@@ -1,0 +1,118 @@
+// Command classify maps architecture descriptions onto taxonomy classes.
+// It reads either a JSON collection (see internal/spec) or a single
+// architecture described with flags, and prints the derived class name and
+// flexibility, the way the paper's Table III classifies its survey.
+//
+// Usage:
+//
+//	classify -file archs.json
+//	classify -name MyCGRA -ips 1 -dps 16 -ipdp 1-16 -ipim 1-1 -dpdm 16-1 -dpdp 16x16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/taxonomy"
+)
+
+func main() {
+	file := flag.String("file", "", "JSON file with an architecture collection")
+	name := flag.String("name", "", "architecture name (flag mode)")
+	ips := flag.String("ips", "1", "IP count cell (e.g. 1, 64, n, v)")
+	dps := flag.String("dps", "1", "DP count cell")
+	ipip := flag.String("ipip", "none", "IP-IP connectivity cell")
+	ipdp := flag.String("ipdp", "1-1", "IP-DP connectivity cell")
+	ipim := flag.String("ipim", "1-1", "IP-IM connectivity cell")
+	dpdm := flag.String("dpdm", "1-1", "DP-DM connectivity cell")
+	dpdp := flag.String("dpdp", "none", "DP-DP connectivity cell")
+	estimateN := flag.Int("n", 16, "instantiation size for the area/config estimate")
+	flag.Parse()
+
+	if err := run(*file, *name, *ips, *dps, *ipip, *ipdp, *ipim, *dpdm, *dpdp, *estimateN); err != nil {
+		fmt.Fprintln(os.Stderr, "classify:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file, name, ips, dps, ipip, ipdp, ipim, dpdm, dpdp string, n int) error {
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		col, err := spec.UnmarshalCollection(data)
+		if err != nil {
+			return err
+		}
+		for _, a := range col.Architectures {
+			if err := classifyOne(a, n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if name == "" {
+		return fmt.Errorf("need -file or -name (see -help)")
+	}
+	return classifyOne(spec.Architecture{
+		Name: name, IPs: ips, DPs: dps,
+		IPIP: ipip, IPDP: ipdp, IPIM: ipim, DPDM: dpdm, DPDP: dpdp,
+	}, n)
+}
+
+func classifyOne(a spec.Architecture, n int) error {
+	c, flex, err := core.ClassifyWithFlexibility(a)
+	if err != nil {
+		// "Did you mean": rank the implementable classes by structural
+		// distance so an NI or malformed shape still gets guidance.
+		if r, rerr := spec.Resolve(a); rerr == nil {
+			if sugg, serr := taxonomy.Suggest(r.IPs, r.DPs, r.Links, 3); serr == nil {
+				fmt.Printf("%s: not classifiable (%v)\n  nearest implementable classes:", a.Name, err)
+				for _, s := range sugg {
+					fmt.Printf(" %s (distance %d)", s.Class, s.Distance)
+				}
+				fmt.Println()
+			}
+		}
+		return err
+	}
+	fmt.Printf("%s: class %s (Table I row %d), flexibility %d\n", a.Name, c, c.Index, flex)
+	fmt.Printf("  %s, %s\n", c.Name.Machine, c.Name.Proc)
+	est, err := core.EstimateArchitecture(a, n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  Eq 1 area estimate:        %.0f GE (IPs=%d, DPs=%d)\n", est.Area, est.IPCount, est.DPCount)
+	fmt.Printf("  Eq 2 config-bits estimate: %d bits\n", est.ConfigBits)
+	// Name the closest survey relatives: same class in Table III.
+	relatives := []string{}
+	for _, e := range core.Survey() {
+		if e.PrintedName == c.String() && e.Arch.Name != a.Name {
+			relatives = append(relatives, e.Arch.Name)
+		}
+	}
+	if len(relatives) > 0 {
+		fmt.Printf("  surveyed relatives (%s): %v\n", c, relatives)
+	}
+	r, err := spec.Resolve(a)
+	if err != nil {
+		return err
+	}
+	fmt.Print("  abstracted switches: ")
+	for i, s := range taxonomy.Sites() {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		kind := r.Links.At(s).String()
+		if r.Limited[s] {
+			kind += " (limited)"
+		}
+		fmt.Printf("%s=%s", s, kind)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestRun_FlagMode(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", "TestChip", "1", "16", "none", "1-16", "1-1", "16-1", "16x16", 16)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TestChip: class IAP-II", "flexibility 2", "Eq 1", "Eq 2", "abstracted switches"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// IAP-II has survey relatives.
+	if !strings.Contains(out, "surveyed relatives") || !strings.Contains(out, "MorphoSys") {
+		t.Errorf("relatives missing:\n%s", out)
+	}
+}
+
+func TestRun_FileMode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "archs.json")
+	doc := `{"architectures":[
+	  {"name":"A","ips":"0","dps":"8","ip_ip":"none","ip_dp":"none","ip_im":"none","dp_dm":"8x8","dp_dp":"8x8"},
+	  {"name":"B","ips":"v","dps":"v","ip_ip":"vxv","ip_dp":"vxv","ip_im":"vxv","dp_dm":"vxv","dp_dp":"vxv"}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run(path, "", "", "", "", "", "", "", "", 8)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "A: class DMP-IV") || !strings.Contains(out, "B: class USP") {
+		t.Errorf("file mode output:\n%s", out)
+	}
+}
+
+func TestRun_Errors(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run("", "", "", "", "", "", "", "", "", 8)
+	}); err == nil {
+		t.Error("missing name and file accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run("/nonexistent/archs.json", "", "", "", "", "", "", "", "", 8)
+	}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run("", "X", "1", "1", "??", "1-1", "1-1", "1-1", "none", 8)
+	}); err == nil {
+		t.Error("bad cell accepted")
+	}
+	// NI shape: n IPs, 1 DP — fails but prints nearest-class suggestions.
+	out, err := capture(t, func() error {
+		return run("", "X", "4", "1", "none", "4-1", "4-4", "1-1", "none", 8)
+	})
+	if err == nil {
+		t.Error("NI shape classified")
+	}
+	if !strings.Contains(out, "nearest implementable classes") {
+		t.Errorf("no suggestions on NI shape:\n%s", out)
+	}
+	// Bad JSON collection.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error {
+		return run(path, "", "", "", "", "", "", "", "", 8)
+	}); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}

@@ -1,0 +1,118 @@
+// Command estimate evaluates the paper's early-estimation equations — Eq 1
+// (area) and Eq 2 (configuration bits) — for a taxonomy class or a surveyed
+// architecture, with the per-term breakdown.
+//
+// Usage:
+//
+//	estimate -class IMP-XVI -n 16
+//	estimate -arch MorphoSys
+//	estimate -sweep -n 16        # every named class at one size
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cost"
+	"repro/internal/registry"
+	"repro/internal/report"
+	"repro/internal/taxonomy"
+)
+
+func main() {
+	class := flag.String("class", "", "taxonomy class name (e.g. IMP-XVI)")
+	arch := flag.String("arch", "", "surveyed architecture name (e.g. MorphoSys)")
+	sweep := flag.Bool("sweep", false, "estimate every named class")
+	n := flag.Int("n", 16, "instantiation size for plural counts")
+	asJSON := flag.Bool("json", false, "emit the estimate as JSON (class/arch modes)")
+	flag.Parse()
+
+	if err := run(*class, *arch, *sweep, *asJSON, *n); err != nil {
+		fmt.Fprintln(os.Stderr, "estimate:", err)
+		os.Exit(1)
+	}
+}
+
+// jsonEstimate is the scripting-friendly shape of one estimate.
+type jsonEstimate struct {
+	Class      string             `json:"class"`
+	IPs        int                `json:"ips"`
+	DPs        int                `json:"dps"`
+	AreaGE     float64            `json:"area_ge"`
+	ConfigBits int                `json:"config_bits"`
+	AreaTerms  map[string]float64 `json:"area_terms"`
+	BitTerms   map[string]int     `json:"bit_terms"`
+}
+
+func emitJSON(est cost.Estimate) error {
+	out := jsonEstimate{
+		Class: est.Class.String(), IPs: est.IPCount, DPs: est.DPCount,
+		AreaGE: est.Area, ConfigBits: est.ConfigBits,
+		AreaTerms: map[string]float64{}, BitTerms: map[string]int{},
+	}
+	for _, term := range cost.Terms() {
+		out.AreaTerms[string(term)] = est.AreaBreakdown[term]
+		out.BitTerms[string(term)] = est.BitsBreakdown[term]
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func run(class, arch string, sweep, asJSON bool, n int) error {
+	model, err := cost.NewModel(cost.DefaultLibrary())
+	if err != nil {
+		return err
+	}
+	switch {
+	case sweep:
+		out, err := report.CostTable(n)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	case class != "":
+		c, err := taxonomy.LookupString(class)
+		if err != nil {
+			return err
+		}
+		est, err := model.ForClass(c, n)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			return emitJSON(est)
+		}
+		printEstimate(est)
+		return nil
+	case arch != "":
+		e, ok := registry.Find(arch)
+		if !ok {
+			return fmt.Errorf("architecture %q is not in the Table III registry (try cmd/survey -json for the list)", arch)
+		}
+		est, err := model.ForArchitecture(e.Arch, n)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			return emitJSON(est)
+		}
+		printEstimate(est)
+		return nil
+	default:
+		return fmt.Errorf("need -class, -arch or -sweep (see -help)")
+	}
+}
+
+func printEstimate(est cost.Estimate) {
+	fmt.Printf("class %s instantiated with IPs=%d DPs=%d\n", est.Class, est.IPCount, est.DPCount)
+	fmt.Printf("Eq 1 area:        %.0f GE\n", est.Area)
+	fmt.Printf("Eq 2 config bits: %d\n", est.ConfigBits)
+	fmt.Println("term breakdown (area GE / config bits):")
+	for _, term := range cost.Terms() {
+		fmt.Printf("  %-6s %12.0f  %12d\n", term, est.AreaBreakdown[term], est.BitsBreakdown[term])
+	}
+}

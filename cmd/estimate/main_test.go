@@ -1,0 +1,92 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestRun_Class(t *testing.T) {
+	out, err := capture(t, func() error { return run("IMP-XVI", "", false, false, 16) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"class IMP-XVI", "Eq 1 area", "Eq 2 config bits", "N*IP", "DP-DM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("estimate output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRun_Arch(t *testing.T) {
+	out, err := capture(t, func() error { return run("", "MorphoSys", false, false, 16) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "IPs=1 DPs=64") {
+		t.Errorf("MorphoSys estimate did not use printed counts:\n%s", out)
+	}
+}
+
+func TestRun_Sweep(t *testing.T) {
+	out, err := capture(t, func() error { return run("", "", true, false, 8) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "USP") || !strings.Contains(out, "DUP") {
+		t.Error("sweep incomplete")
+	}
+}
+
+func TestRun_Errors(t *testing.T) {
+	if _, err := capture(t, func() error { return run("", "", false, false, 16) }); err == nil {
+		t.Error("no mode accepted")
+	}
+	if _, err := capture(t, func() error { return run("XXX", "", false, false, 16) }); err == nil {
+		t.Error("bad class accepted")
+	}
+	if _, err := capture(t, func() error { return run("", "NotAChip", false, false, 16) }); err == nil {
+		t.Error("unknown architecture accepted")
+	}
+	if _, err := capture(t, func() error { return run("IUP", "", false, false, 0) }); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestRun_JSON(t *testing.T) {
+	out, err := capture(t, func() error { return run("IUP", "", false, true, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"class": "IUP"`, `"area_ge": 55128`, `"config_bits": 144`, `"N*IP"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON output missing %q:\n%s", want, out)
+		}
+	}
+	out, err = capture(t, func() error { return run("", "MorphoSys", false, true, 8) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"dps": 64`) {
+		t.Errorf("arch JSON missing concrete DPs:\n%s", out)
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden artefacts instead of comparing:
+//
+//	go test ./cmd/repro -run TestGoldenArtefacts -update
+var update = flag.Bool("update", false, "rewrite golden artefact files")
+
+// TestGoldenArtefacts pins every regenerated artefact byte-for-byte against
+// testdata. Everything in the pipeline is deterministic (the Fig 1 corpus
+// is seeded), so any diff is a real behavioural change: either an
+// intentional improvement (rerun with -update and review the diff) or a
+// regression in the reproduction.
+func TestGoldenArtefacts(t *testing.T) {
+	for _, a := range artefacts(48) {
+		body, err := a.render()
+		if err != nil {
+			t.Fatalf("%s: %v", a.id, err)
+		}
+		path := filepath.Join("testdata", a.file)
+		if *update {
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden file (run with -update): %v", a.id, err)
+		}
+		if string(want) != body {
+			t.Errorf("%s: artefact %s drifted from golden file (rerun with -update after reviewing)", a.id, a.file)
+		}
+	}
+}

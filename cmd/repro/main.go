@@ -1,0 +1,158 @@
+// Command repro runs every experiment of the reproduction end-to-end and
+// prints (or writes) the paper's artefacts: Tables I-III, Figures 1, 2 and
+// 7, the Eq 1/Eq 2 cost sweep, and the §III.B morph probes. It is the
+// one-shot regeneration entry the EXPERIMENTS.md index points at.
+//
+// Usage:
+//
+//	repro            # everything to stdout
+//	repro -out dir   # one file per artefact under dir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bibliometrics"
+	"repro/internal/isa"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", "", "directory to write one file per artefact (default: stdout)")
+	width := flag.Int("width", 48, "chart width")
+	flag.Parse()
+
+	if err := run(*out, *width); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+// artefact is one regenerated table or figure.
+type artefact struct {
+	id, title, file string
+	render          func() (string, error)
+}
+
+func artefacts(width int) []artefact {
+	return []artefact{
+		{"T1", "Table I: extended taxonomy classes", "table1.txt",
+			func() (string, error) { return report.TableI(), nil }},
+		{"T2", "Table II: relative flexibility values", "table2.txt",
+			func() (string, error) { return report.TableII(), nil }},
+		{"T3", "Table III: survey classification (printed vs derived)", "table3.txt",
+			report.TableIII},
+		{"F1", "Fig 1: research trends (synthetic corpus)", "fig1.txt",
+			func() (string, error) {
+				corpus, err := bibliometrics.Generate(bibliometrics.DefaultConfig())
+				if err != nil {
+					return "", err
+				}
+				var b strings.Builder
+				b.WriteString(report.Fig1Table(corpus))
+				b.WriteString("\n")
+				for _, s := range bibliometrics.Trends(corpus) {
+					fmt.Fprintf(&b, "%-26s last-5-years growth: %.1fx\n", s.Topic, s.GrowthRatio(5))
+				}
+				return b.String(), nil
+			}},
+		{"F2", "Fig 2: hierarchy of computing machines", "fig2.txt",
+			func() (string, error) { return report.Fig2Tree(), nil }},
+		{"F3-F6", "Machine-class simulators: one kernel across every class", "classes.txt",
+			renderClassRuns},
+		{"F7", "Fig 7: flexibility comparison of surveyed architectures", "fig7.txt",
+			func() (string, error) { return report.Fig7Chart(width) }},
+		{"E1/E2", "Eq 1 and Eq 2: area and configuration bits per class (n=16)", "cost.txt",
+			func() (string, error) { return report.CostTable(16) }},
+		{"E3", "Flexibility/area Pareto frontier (n=16, extension)", "pareto.txt",
+			func() (string, error) { return report.ParetoTable(16) }},
+		{"E4", "Eq 1 / Eq 2 for every surveyed architecture (extension)", "surveycost.txt",
+			func() (string, error) { return report.SurveyCostTable(16) }},
+		{"A1", "Flynn collapse of the survey (motivation, extension)", "flynn.txt",
+			report.FlynnCollapseTable},
+		{"P1", "Morph probes: the executable flexibility claims of paragraph III.B", "probes.txt",
+			func() (string, error) {
+				probes, err := workload.RunProbes()
+				if err != nil {
+					return "", err
+				}
+				var b strings.Builder
+				for _, p := range probes {
+					status := "CONFIRMED"
+					if !p.Holds {
+						status = "FAILED"
+					}
+					fmt.Fprintf(&b, "[%s] %s\n        %s\n", status, p.Claim, p.Detail)
+				}
+				return b.String(), nil
+			}},
+	}
+}
+
+// renderClassRuns regenerates the F3-F6 companion table: the same
+// vector-add kernel executed on a representative of every machine family
+// the figures illustrate, with the cycle-level statistics that make the
+// structural diagrams operational.
+func renderClassRuns() (string, error) {
+	const n = 256
+	a := make([]isa.Word, n)
+	v := make([]isa.Word, n)
+	for i := range a {
+		a[i] = isa.Word(i%97 + 1)
+		v[i] = isa.Word(i%89 + 2)
+	}
+	runs := []struct {
+		label string
+		fn    func() (workload.Result, error)
+	}{
+		{"IUP (fig: Von Neumann baseline)", func() (workload.Result, error) { return workload.VecAddUni(a, v) }},
+		{"IAP-I x8 (Fig 4)", func() (workload.Result, error) { return workload.VecAddSIMD(1, 8, a, v) }},
+		{"IAP-IV x8 (Fig 4)", func() (workload.Result, error) { return workload.VecAddSIMD(4, 8, a, v) }},
+		{"IMP-I x8 (Fig 5 family)", func() (workload.Result, error) { return workload.VecAddMIMD(1, 8, a, v) }},
+		{"IMP-XVI x8 (Fig 5 family)", func() (workload.Result, error) { return workload.VecAddMIMD(16, 8, a, v) }},
+		{"DMP-II x8 (Fig 3)", func() (workload.Result, error) { return workload.VecAddDataflow(2, 8, a, v) }},
+		{"DMP-IV x8 (Fig 3)", func() (workload.Result, error) { return workload.VecAddDataflow(4, 8, a, v) }},
+		{"USP adder overlay (Fig 6)", func() (workload.Result, error) { return workload.VecAddFabric(16, a, v) }},
+	}
+	t := report.Table{Headers: []string{"Machine", "Cycles", "Instr", "IPC", "MemOps", "Messages", "Conflicts"}}
+	for _, r := range runs {
+		res, err := r.fn()
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", r.label, err)
+		}
+		s := res.Stats
+		t.AddRow(r.label,
+			fmt.Sprint(s.Cycles), fmt.Sprint(s.Instructions), fmt.Sprintf("%.2f", s.IPC()),
+			fmt.Sprint(s.MemReads+s.MemWrites), fmt.Sprint(s.Messages), fmt.Sprint(s.NetConflictCycles))
+	}
+	return fmt.Sprintf("Vector add, %d elements, per machine class:\n\n%s", n, t.Text()), nil
+}
+
+func run(out string, width int) error {
+	if out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, a := range artefacts(width) {
+		body, err := a.render()
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.id, err)
+		}
+		if out == "" {
+			fmt.Printf("==== %s — %s ====\n%s\n", a.id, a.title, body)
+			continue
+		}
+		path := filepath.Join(out, a.file)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%-5s %s -> %s\n", a.id, a.title, path)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestRun_Stdout(t *testing.T) {
+	out, err := capture(t, func() error { return run("", 40) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"T1", "T2", "T3", "F1", "F2", "F3-F6", "F7", "E1/E2", "E3", "E4", "A1", "P1"} {
+		if !strings.Contains(out, "==== "+id+" ") {
+			t.Errorf("artefact %s missing from stdout run", id)
+		}
+	}
+	if strings.Contains(out, "FAILED") {
+		t.Error("a morph probe failed in the end-to-end run")
+	}
+	if !strings.Contains(out, "CONFIRMED") {
+		t.Error("no confirmed probes in output")
+	}
+}
+
+func TestRun_OutDir(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, func() error { return run(dir, 40) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFiles := []string{"table1.txt", "table2.txt", "table3.txt", "fig1.txt", "fig2.txt", "classes.txt", "fig7.txt", "cost.txt", "pareto.txt", "surveycost.txt", "flynn.txt", "probes.txt"}
+	for _, f := range wantFiles {
+		path := filepath.Join(dir, f)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("artefact file %s: %v", f, err)
+			continue
+		}
+		if len(data) == 0 {
+			t.Errorf("artefact file %s is empty", f)
+		}
+		if !strings.Contains(out, f) {
+			t.Errorf("run did not announce %s", f)
+		}
+	}
+	// Spot-check contents.
+	t3, err := os.ReadFile(filepath.Join(dir, "table3.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(t3), "Pact XPP") {
+		t.Error("table3.txt missing Pact XPP")
+	}
+	probes, err := os.ReadFile(filepath.Join(dir, "probes.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(probes), "FAILED") {
+		t.Errorf("probes failed:\n%s", probes)
+	}
+}
+
+func TestRun_BadOutDir(t *testing.T) {
+	// A file path (not a directory) must fail.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "file")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error { return run(filepath.Join(blocker, "sub"), 40) }); err == nil {
+		t.Error("writing under a file accepted")
+	}
+}
+
+func TestArtefacts_AllRender(t *testing.T) {
+	for _, a := range artefacts(30) {
+		body, err := a.render()
+		if err != nil {
+			t.Errorf("%s: %v", a.id, err)
+			continue
+		}
+		if len(body) == 0 {
+			t.Errorf("%s renders empty", a.id)
+		}
+	}
+}

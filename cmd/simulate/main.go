@@ -1,0 +1,196 @@
+// Command simulate runs a workload kernel on a chosen machine class and
+// reports the cycle-level statistics — the executable form of the
+// taxonomy's machine classes (figures 3-6 of the paper describe them only
+// structurally).
+//
+// Usage:
+//
+//	simulate -class IUP      -kernel vecadd -n 256
+//	simulate -class IAP-II   -kernel dot    -n 256 -procs 8
+//	simulate -class IMP-III  -kernel vecadd -n 256 -procs 8
+//	simulate -class DMP-IV   -kernel vecadd -n 64  -procs 8
+//	simulate -class USP      -kernel vecadd -n 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataflow"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/taxonomy"
+	"repro/internal/workload"
+)
+
+func main() {
+	class := flag.String("class", "IUP", "machine class (IUP, IAP-I..IV, IMP-I..XVI, DMP-I..IV, USP)")
+	kernel := flag.String("kernel", "vecadd", "kernel: vecadd or dot")
+	n := flag.Int("n", 256, "problem size (elements)")
+	procs := flag.Int("procs", 8, "processors/lanes/PEs for parallel classes")
+	gantt := flag.Bool("gantt", false, "for DMP classes: show the firing schedule of a reduction-tree demo")
+	flag.Parse()
+
+	if *gantt {
+		if err := runGantt(*class, *procs); err != nil {
+			fmt.Fprintln(os.Stderr, "simulate:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*class, *kernel, *n, *procs); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+// runGantt runs a 16-leaf reduction tree on a DMP machine and renders its
+// firing schedule as a per-PE timeline.
+func runGantt(className string, procs int) error {
+	c, err := taxonomy.LookupString(className)
+	if err != nil {
+		return err
+	}
+	if c.Name.Machine != taxonomy.DataFlow || c.Name.Proc != taxonomy.MultiProcessor {
+		return fmt.Errorf("-gantt shows data-flow schedules; pick a DMP class (got %s)", c)
+	}
+	g := dataflow.NewGraph()
+	var layer []int
+	for i := 0; i < 16; i++ {
+		layer = append(layer, g.Const(int64(i+1)))
+	}
+	for len(layer) > 1 {
+		var next []int
+		for i := 0; i+1 < len(layer); i += 2 {
+			next = append(next, g.Binary(dataflow.OpAdd, layer[i], layer[i+1]))
+		}
+		layer = next
+	}
+	g.MarkOutput(layer[0])
+	cfg, err := dataflow.ForSubtype(c.Name.Sub, procs, 64)
+	if err != nil {
+		return err
+	}
+	mapping, err := dataflow.GreedyLocalityMapping(g, procs)
+	if err != nil {
+		return err
+	}
+	m, err := dataflow.New(cfg, g, mapping)
+	if err != nil {
+		return err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return err
+	}
+	chart, err := report.Gantt(res.Schedule, 10000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s, %d PEs: 16-leaf reduction tree, sum = %d, makespan %d cycles\n\n",
+		c, procs, res.Outputs[0], res.Stats.Cycles)
+	fmt.Print(chart)
+	return nil
+}
+
+func run(className, kernel string, n, procs int) error {
+	c, err := taxonomy.LookupString(className)
+	if err != nil {
+		return err
+	}
+	a := make([]isa.Word, n)
+	b := make([]isa.Word, n)
+	for i := range a {
+		a[i] = isa.Word(i%97 + 1)
+		b[i] = isa.Word(i%89 + 2)
+	}
+
+	var res workload.Result
+	switch {
+	case c.String() == "IUP":
+		res, err = runIUP(kernel, a, b)
+	case c.Name.Machine == taxonomy.InstructionFlow && c.Name.Proc == taxonomy.ArrayProcessor:
+		res, err = runIAP(kernel, c.Name.Sub, procs, a, b)
+	case c.Name.Machine == taxonomy.InstructionFlow && c.Name.Proc == taxonomy.MultiProcessor:
+		res, err = runIMP(kernel, c.Name.Sub, procs, a, b)
+	case c.Name.Machine == taxonomy.DataFlow:
+		if kernel != "vecadd" {
+			return fmt.Errorf("the data-flow runner implements kernel vecadd (got %q)", kernel)
+		}
+		res, err = workload.VecAddDataflow(c.Name.Sub, procs, a, b)
+	case c.Name.Machine == taxonomy.UniversalFlow:
+		if kernel != "vecadd" {
+			return fmt.Errorf("the fabric runner implements kernel vecadd (got %q)", kernel)
+		}
+		res, err = workload.VecAddFabric(16, clamp(a, 1<<15), clamp(b, 1<<15))
+	default:
+		return fmt.Errorf("no simulator runner for class %s (ISP demos live in examples and internal/spatial)", c)
+	}
+	if err != nil {
+		return err
+	}
+	printStats(c, kernel, n, procs, res.Stats)
+	return nil
+}
+
+func runIUP(kernel string, a, b []isa.Word) (workload.Result, error) {
+	switch kernel {
+	case "vecadd":
+		return workload.VecAddUni(a, b)
+	case "dot":
+		return workload.DotUni(a, b)
+	default:
+		return workload.Result{}, fmt.Errorf("unknown kernel %q (have vecadd, dot)", kernel)
+	}
+}
+
+func runIAP(kernel string, sub, lanes int, a, b []isa.Word) (workload.Result, error) {
+	switch kernel {
+	case "vecadd":
+		return workload.VecAddSIMD(sub, lanes, a, b)
+	case "dot":
+		return workload.DotSIMD(sub, lanes, a, b)
+	default:
+		return workload.Result{}, fmt.Errorf("unknown kernel %q (have vecadd, dot)", kernel)
+	}
+}
+
+func runIMP(kernel string, sub, cores int, a, b []isa.Word) (workload.Result, error) {
+	switch kernel {
+	case "vecadd":
+		return workload.VecAddMIMD(sub, cores, a, b)
+	case "dot":
+		return workload.DotMIMD(sub, cores, a, b)
+	default:
+		return workload.Result{}, fmt.Errorf("unknown kernel %q (have vecadd, dot)", kernel)
+	}
+}
+
+func clamp(v []isa.Word, limit isa.Word) []isa.Word {
+	out := make([]isa.Word, len(v))
+	for i, x := range v {
+		out[i] = x % limit
+	}
+	return out
+}
+
+func printStats(c taxonomy.Class, kernel string, n, procs int, s machine.Stats) {
+	fmt.Printf("%s: kernel %s over %d elements", c, kernel, n)
+	if c.Name.Proc != taxonomy.UniProcessor {
+		fmt.Printf(" on %d processors", procs)
+	}
+	fmt.Println()
+	fmt.Printf("  cycles:        %d\n", s.Cycles)
+	fmt.Printf("  instructions:  %d (IPC %.2f)\n", s.Instructions, s.IPC())
+	fmt.Printf("  ALU ops:       %d\n", s.ALUOps)
+	fmt.Printf("  memory:        %d reads, %d writes\n", s.MemReads, s.MemWrites)
+	fmt.Printf("  messages:      %d\n", s.Messages)
+	if s.Barriers > 0 {
+		fmt.Printf("  barriers:      %d\n", s.Barriers)
+	}
+	if s.NetConflictCycles > 0 {
+		fmt.Printf("  net conflicts: %d cycles\n", s.NetConflictCycles)
+	}
+}

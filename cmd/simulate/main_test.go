@@ -1,0 +1,97 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestRun_AllClassKernelPairs(t *testing.T) {
+	cases := []struct {
+		class, kernel string
+		n, procs      int
+	}{
+		{"IUP", "vecadd", 64, 1},
+		{"IUP", "dot", 64, 1},
+		{"IAP-I", "vecadd", 64, 8},
+		{"IAP-II", "dot", 64, 8},
+		{"IAP-IV", "vecadd", 64, 8},
+		{"IMP-I", "vecadd", 64, 8},
+		{"IMP-II", "dot", 64, 8},
+		{"IMP-III", "vecadd", 64, 8},
+		{"DMP-I", "vecadd", 64, 8},
+		{"DMP-IV", "vecadd", 64, 8},
+		{"USP", "vecadd", 64, 1},
+	}
+	for _, tc := range cases {
+		out, err := capture(t, func() error { return run(tc.class, tc.kernel, tc.n, tc.procs) })
+		if err != nil {
+			t.Errorf("%s/%s: %v", tc.class, tc.kernel, err)
+			continue
+		}
+		if !strings.Contains(out, "cycles:") || !strings.Contains(out, tc.class) {
+			t.Errorf("%s/%s output incomplete:\n%s", tc.class, tc.kernel, out)
+		}
+	}
+}
+
+func TestRunGantt(t *testing.T) {
+	out, err := capture(t, func() error { return runGantt("DMP-II", 4) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sum = 136") || !strings.Contains(out, "PE0") {
+		t.Errorf("gantt output:\n%s", out)
+	}
+	if _, err := capture(t, func() error { return runGantt("IAP-I", 4) }); err == nil {
+		t.Error("gantt on a non-DMP class accepted")
+	}
+	if _, err := capture(t, func() error { return runGantt("NOPE", 4) }); err == nil {
+		t.Error("gantt on a bad class accepted")
+	}
+	if _, err := capture(t, func() error { return runGantt("DMP-II", 0) }); err == nil {
+		t.Error("gantt with 0 PEs accepted")
+	}
+}
+
+func TestRun_Errors(t *testing.T) {
+	cases := []struct {
+		name          string
+		class, kernel string
+		n, procs      int
+	}{
+		{"bad class", "XXP", "vecadd", 64, 8},
+		{"bad kernel on IUP", "IUP", "fft", 64, 1},
+		{"bad kernel on IAP", "IAP-I", "fft", 64, 8},
+		{"bad kernel on IMP", "IMP-I", "fft", 64, 8},
+		{"dot on dataflow", "DMP-I", "dot", 64, 8},
+		{"dot on fabric", "USP", "dot", 64, 1},
+		{"dot on IAP-I (no DP-DP)", "IAP-I", "dot", 64, 8},
+		{"ISP not runnable here", "ISP-IV", "vecadd", 64, 8},
+		{"non-dividing shard", "IAP-I", "vecadd", 65, 8},
+	}
+	for _, tc := range cases {
+		if _, err := capture(t, func() error { return run(tc.class, tc.kernel, tc.n, tc.procs) }); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

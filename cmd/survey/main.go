@@ -1,0 +1,80 @@
+// Command survey reproduces the paper's survey artefacts: Table III (the
+// classification of 25 published architectures) and Fig 7 (their relative
+// flexibility comparison).
+//
+// Usage:
+//
+//	survey              # Table III with printed vs derived columns
+//	survey -fig 7       # flexibility bar chart
+//	survey -json        # dump the registry as a spec collection
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/registry"
+	"repro/internal/report"
+	"repro/internal/spec"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "print paper figure 7 instead of the table")
+	asJSON := flag.Bool("json", false, "dump the survey as a JSON collection")
+	group := flag.Bool("group", false, "group the survey by derived class (the §IV narrative)")
+	width := flag.Int("width", 48, "bar chart width")
+	flag.Parse()
+
+	if err := run(*fig, *asJSON, *group, *width); err != nil {
+		fmt.Fprintln(os.Stderr, "survey:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig int, asJSON, group bool, width int) error {
+	switch {
+	case group:
+		groups, err := registry.GroupByClass()
+		if err != nil {
+			return err
+		}
+		for _, g := range groups {
+			fmt.Printf("%-8s (flexibility %d, %d machines):", g.Class, g.Flexibility, len(g.Architectures))
+			for _, name := range g.Architectures {
+				fmt.Printf(" %s;", name)
+			}
+			fmt.Println()
+		}
+		collapse, err := report.FlynnCollapseTable()
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(collapse)
+		return nil
+	case asJSON:
+		data, err := spec.MarshalCollection(registry.Survey())
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
+	case fig == 7:
+		chart, err := report.Fig7Chart(width)
+		if err != nil {
+			return err
+		}
+		fmt.Print(chart)
+		return nil
+	case fig == 0:
+		table, err := report.TableIII()
+		if err != nil {
+			return err
+		}
+		fmt.Print(table)
+		return nil
+	default:
+		return fmt.Errorf("unknown figure %d (the survey has figure 7)", fig)
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestRun_Table(t *testing.T) {
+	out, err := capture(t, func() error { return run(0, false, false, 48) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MorphoSys", "FPGA", "Derived", "DIFFERS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}
+
+func TestRun_Fig7(t *testing.T) {
+	out, err := capture(t, func() error { return run(7, false, false, 30) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "FPGA (USP)") || !strings.Contains(out, "#") {
+		t.Errorf("fig 7 output:\n%s", out)
+	}
+}
+
+func TestRun_JSON(t *testing.T) {
+	out, err := capture(t, func() error { return run(0, true, false, 48) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"architectures"`) || !strings.Contains(out, `"Pact XPP"`) {
+		t.Error("JSON dump incomplete")
+	}
+}
+
+func TestRun_BadFigure(t *testing.T) {
+	if _, err := capture(t, func() error { return run(3, false, false, 48) }); err == nil {
+		t.Error("figure 3 accepted")
+	}
+}
+
+func TestRun_Group(t *testing.T) {
+	out, err := capture(t, func() error { return run(0, false, true, 48) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"IAP-II", "7 machines", "MorphoSys", "Flynn buckets", "SIMD=12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("group output missing %q:\n%s", want, out)
+		}
+	}
+}

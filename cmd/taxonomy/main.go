@@ -1,0 +1,118 @@
+// Command taxonomy prints the extended Skillicorn taxonomy: Table I (the 47
+// classes), Table II (relative flexibility values) and the Fig 2 naming
+// hierarchy.
+//
+// Usage:
+//
+//	taxonomy -table 1               # Table I
+//	taxonomy -table 2               # Table II
+//	taxonomy -fig 2                 # hierarchy tree
+//	taxonomy -class IMP-XIV         # one class's row, score and morph set
+//	taxonomy -compare IMP-I,IAP-I   # §III.A name-based comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/taxonomy"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print paper table 1 or 2")
+	fig := flag.Int("fig", 0, "print paper figure 2 (naming hierarchy)")
+	class := flag.String("class", "", "describe one class by name (e.g. IMP-XIV)")
+	compare := flag.String("compare", "", "compare two classes, comma-separated (e.g. IMP-I,IAP-I)")
+	flag.Parse()
+
+	if err := run(*table, *fig, *class, *compare); err != nil {
+		fmt.Fprintln(os.Stderr, "taxonomy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, fig int, class, compare string) error {
+	switch {
+	case compare != "":
+		return compareClasses(compare)
+	case class != "":
+		return describe(class)
+	case table == 1:
+		fmt.Print(report.TableI())
+		return nil
+	case table == 2:
+		fmt.Print(report.TableII())
+		return nil
+	case fig == 2:
+		fmt.Print(report.Fig2Tree())
+		return nil
+	case table == 0 && fig == 0:
+		fmt.Print(report.TableI())
+		fmt.Println()
+		fmt.Print(report.TableII())
+		return nil
+	default:
+		return fmt.Errorf("unknown table %d / figure %d (have tables 1-2, figure 2)", table, fig)
+	}
+}
+
+// compareClasses prints the §III.A comparison of two named classes plus
+// Flynn placement, morphability both ways and structural distance.
+func compareClasses(pair string) error {
+	parts := strings.Split(pair, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("-compare wants exactly two comma-separated class names, got %q", pair)
+	}
+	a, err := taxonomy.LookupString(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return err
+	}
+	b, err := taxonomy.LookupString(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return err
+	}
+	fmt.Println(taxonomy.Compare(a, b))
+	fmt.Printf("Flynn: %s is %s, %s is %s\n", a, taxonomy.Flynn(a), b, taxonomy.Flynn(b))
+	fmt.Printf("%s can act as %s: %v;  %s can act as %s: %v\n",
+		a, b, taxonomy.CanMorphInto(a, b), b, a, taxonomy.CanMorphInto(b, a))
+	fmt.Printf("structural distance: %d\n", taxonomy.Distance(a, b))
+	return nil
+}
+
+func describe(name string) error {
+	c, err := taxonomy.LookupString(name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s — Table I row %d\n", c, c.Index)
+	fmt.Printf("  machine type:    %s\n", c.Name.Machine)
+	fmt.Printf("  processing type: %s\n", c.Name.Proc)
+	fmt.Printf("  granularity:     %s, IPs=%s, DPs=%s\n", c.Grain, c.IPs, c.DPs)
+	for _, s := range taxonomy.Sites() {
+		fmt.Printf("  %-6s %s\n", s.String()+":", c.Cell(s))
+	}
+	fmt.Printf("  flexibility:     %d (base +%d, switches %d)\n",
+		taxonomy.Flexibility(c), taxonomy.FlexibilityBase(c), c.Links.Switches())
+	fmt.Print("  can morph into: ")
+	first := true
+	for _, other := range taxonomy.Table() {
+		if !other.Implementable || other.Index == c.Index {
+			continue
+		}
+		if taxonomy.CanMorphInto(c, other) {
+			if !first {
+				fmt.Print(", ")
+			}
+			fmt.Print(other)
+			first = false
+		}
+	}
+	if first {
+		fmt.Print("(nothing)")
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestRun_Table1(t *testing.T) {
+	out, err := capture(t, func() error { return run(1, 0, "", "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "IMP-XVI") || !strings.Contains(out, "USP") {
+		t.Errorf("table 1 output incomplete")
+	}
+}
+
+func TestRun_Table2(t *testing.T) {
+	out, err := capture(t, func() error { return run(2, 0, "", "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Flexibility") {
+		t.Error("table 2 output incomplete")
+	}
+}
+
+func TestRun_Fig2(t *testing.T) {
+	out, err := capture(t, func() error { return run(0, 2, "", "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Computing Machines") {
+		t.Error("fig 2 output incomplete")
+	}
+}
+
+func TestRun_Default(t *testing.T) {
+	out, err := capture(t, func() error { return run(0, 0, "", "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "S.N") || !strings.Contains(out, "Flexibility") {
+		t.Error("default output incomplete")
+	}
+}
+
+func TestRun_Class(t *testing.T) {
+	out, err := capture(t, func() error { return run(0, 0, "IMP-XIV", "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"IMP-XIV", "Multi Processor", "flexibility:     5", "can morph into"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("class description missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRun_ClassUnmorphable(t *testing.T) {
+	out, err := capture(t, func() error { return run(0, 0, "DUP", "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(nothing)") {
+		t.Errorf("DUP should morph into nothing:\n%s", out)
+	}
+}
+
+func TestRun_Errors(t *testing.T) {
+	if _, err := capture(t, func() error { return run(9, 0, "", "") }); err == nil {
+		t.Error("table 9 accepted")
+	}
+	if _, err := capture(t, func() error { return run(0, 5, "", "") }); err == nil {
+		t.Error("fig 5 accepted")
+	}
+	if _, err := capture(t, func() error { return run(0, 0, "BOGUS", "") }); err == nil {
+		t.Error("bad class accepted")
+	}
+}
+
+func TestRun_Compare(t *testing.T) {
+	out, err := capture(t, func() error { return run(0, 0, "", "IMP-I,IAP-I") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"IMP-I vs IAP-I", "Flynn", "MIMD", "SIMD", "can act as", "structural distance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "IMP-I can act as IAP-I: true") || !strings.Contains(out, "IAP-I can act as IMP-I: false") {
+		t.Errorf("morph directions wrong:\n%s", out)
+	}
+}
+
+func TestRun_CompareErrors(t *testing.T) {
+	for _, bad := range []string{"IMP-I", "IMP-I,IAP-I,IUP", "NOPE,IUP", "IUP,NOPE"} {
+		if _, err := capture(t, func() error { return run(0, 0, "", bad) }); err == nil {
+			t.Errorf("compare %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Command trends regenerates the paper's Fig 1 ("Research Trends in
+// Parallel Computing") from the synthetic publication corpus of
+// internal/bibliometrics.
+//
+// Usage:
+//
+//	trends               # per-topic yearly counts as a table
+//	trends -chart        # ASCII trend chart
+//	trends -csv          # CSV for external plotting
+//	trends -seed 7       # different corpus draw, same trend shape
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bibliometrics"
+	"repro/internal/report"
+)
+
+func main() {
+	chart := flag.Bool("chart", false, "render an ASCII chart instead of the table")
+	csv := flag.Bool("csv", false, "emit CSV")
+	seed := flag.Uint64("seed", 0, "override the corpus seed (0 keeps the default)")
+	width := flag.Int("width", 40, "chart width")
+	flag.Parse()
+
+	if err := run(*chart, *csv, *seed, *width); err != nil {
+		fmt.Fprintln(os.Stderr, "trends:", err)
+		os.Exit(1)
+	}
+}
+
+func run(chart, csv bool, seed uint64, width int) error {
+	cfg := bibliometrics.DefaultConfig()
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	corpus, err := bibliometrics.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	switch {
+	case chart:
+		out, err := report.Fig1Chart(corpus, width)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	case csv:
+		series := bibliometrics.Trends(corpus)
+		t := report.Table{Headers: []string{"year"}}
+		for _, s := range series {
+			t.Headers = append(t.Headers, s.Topic)
+		}
+		for i, y := range series[0].Years {
+			row := []string{fmt.Sprint(y)}
+			for _, s := range series {
+				row = append(row, fmt.Sprint(s.Counts[i]))
+			}
+			t.AddRow(row...)
+		}
+		fmt.Print(t.CSV())
+	default:
+		fmt.Print(report.Fig1Table(corpus))
+		fmt.Println()
+		for _, s := range bibliometrics.Trends(corpus) {
+			fmt.Printf("%-26s last-5-years growth: %.1fx\n", s.Topic, s.GrowthRatio(5))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestRun_Table(t *testing.T) {
+	out, err := capture(t, func() error { return run(false, false, 0, 40) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"1996", "2011", "multicore architecture", "last-5-years growth"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trend table missing %q", want)
+		}
+	}
+}
+
+func TestRun_Chart(t *testing.T) {
+	out, err := capture(t, func() error { return run(true, false, 0, 20) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "peak") {
+		t.Error("chart output incomplete")
+	}
+}
+
+func TestRun_CSV(t *testing.T) {
+	out, err := capture(t, func() error { return run(false, true, 0, 40) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "year,") || !strings.Contains(out, "\n1996,") {
+		t.Errorf("CSV output:\n%s", out[:80])
+	}
+}
+
+func TestRun_SeedChangesCounts(t *testing.T) {
+	a, err := capture(t, func() error { return run(false, true, 0, 40) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := capture(t, func() error { return run(false, true, 12345, 40) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("different seeds gave identical output")
+	}
+}

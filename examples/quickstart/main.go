@@ -1,0 +1,60 @@
+// Quickstart: describe an architecture in Table III notation, classify it,
+// score its flexibility and estimate its area and configuration overhead —
+// the full pipeline of the paper in a dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// A hypothetical CGRA: one host processor controlling 16 data
+	// processors that reach each other over a full crossbar and their
+	// memory banks over fixed wires (a MorphoSys-style organisation).
+	myCGRA := core.Architecture{
+		Name: "MyCGRA",
+		IPs:  "1", DPs: "16",
+		IPIP: "none", IPDP: "1-16", IPIM: "1-1",
+		DPDM: "16-1", DPDP: "16x16",
+	}
+
+	class, flexibility, err := core.ClassifyWithFlexibility(myCGRA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s is a %s (%s, %s), flexibility %d\n",
+		myCGRA.Name, class, class.Name.Machine, class.Name.Proc, flexibility)
+
+	// Early estimation (Eq 1 and Eq 2) with the default component library.
+	est, err := core.EstimateArchitecture(myCGRA, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimated area %.0f GE, configuration %d bits\n", est.Area, est.ConfigBits)
+
+	// Compare against a surveyed machine of the same class.
+	for _, entry := range core.Survey() {
+		if entry.PrintedName != class.String() {
+			continue
+		}
+		other, err := core.Classify(entry.Arch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmp := core.Compare(class, other)
+		fmt.Printf("closest survey relative: %s — %s\n", entry.Arch.Name, cmp)
+		break
+	}
+
+	// What can this machine morph into?
+	for _, name := range []string{"IUP", "IAP-I", "IMP-I", "USP"} {
+		target, err := core.LookupClass(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("can act as %-6s %v\n", name+":", core.CanMorphInto(class, target))
+	}
+}

@@ -1,0 +1,53 @@
+// Surveyreport regenerates the paper's survey as a markdown document:
+// Table III with printed-vs-derived classification and the Fig 7
+// flexibility comparison, ready to paste into a wiki or README.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/registry"
+	"repro/internal/report"
+)
+
+func main() {
+	rows, err := registry.DeriveAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("# Survey of Modern Parallel and Reconfigurable Architectures")
+	fmt.Println()
+	fmt.Println("Re-derived from the printed connectivity cells of Table III.")
+	fmt.Println()
+
+	tbl := report.Table{Headers: []string{
+		"Architecture", "IPs", "DPs", "IP-IP", "IP-DP", "IP-IM", "DP-DM", "DP-DP",
+		"Printed", "Derived", "Flexibility",
+	}}
+	mismatches := 0
+	for _, r := range rows {
+		a := r.Entry.Arch
+		flex := fmt.Sprint(r.Flexibility)
+		if !r.FlexibilityMatches {
+			flex = fmt.Sprintf("%d (paper prints %d)", r.Flexibility, r.Entry.PrintedFlexibility)
+			mismatches++
+		}
+		tbl.AddRow(a.Name, a.IPs, a.DPs, a.IPIP, a.IPDP, a.IPIM, a.DPDM, a.DPDP,
+			r.Entry.PrintedName, r.Class.String(), flex)
+	}
+	fmt.Println(tbl.Markdown())
+
+	fmt.Println("## Flexibility comparison (Fig 7)")
+	fmt.Println()
+	chart, err := report.Fig7Chart(48)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("```")
+	fmt.Print(chart)
+	fmt.Println("```")
+	fmt.Println()
+	fmt.Printf("Printed-vs-derived disagreements: %d (the paper's own Pact XPP flexibility cell).\n", mismatches)
+}

@@ -1,0 +1,237 @@
+// Package bibliometrics regenerates the paper's Fig 1 ("Research Trends in
+// Parallel Computing", compiled by the authors from the IEEE publication
+// database). The IEEE database is proprietary, so per the substitution rule
+// this package builds a deterministic synthetic publication corpus whose
+// topic/year mixture is parameterised to the trend the figure reports —
+// research interest in parallel computing, "specially in multicore and
+// reconfigurable computer architectures", rising sharply in the five years
+// before the paper (2007-2011) — and a query engine that counts
+// publications by topic and year the way the authors' database query did.
+// The reproduction target is the *shape* of the series, not the absolute
+// counts.
+package bibliometrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Topic is one search term of the figure.
+type Topic struct {
+	// Name is the topic label.
+	Name string
+	// Base is the publications per year at the start of the window.
+	Base float64
+	// Growth is the exponential growth rate per year before takeoff.
+	Growth float64
+	// TakeoffYear is when the topic's growth accelerates (0 disables).
+	TakeoffYear int
+	// TakeoffBoost multiplies the growth rate after TakeoffYear.
+	TakeoffBoost float64
+}
+
+// Config parameterises the corpus.
+type Config struct {
+	// FirstYear and LastYear bound the window, inclusive.
+	FirstYear, LastYear int
+	// Topics lists the modelled search terms.
+	Topics []Topic
+	// Seed drives the deterministic noise generator.
+	Seed uint64
+	// Noise is the relative jitter applied to each yearly count (0..1).
+	Noise float64
+}
+
+// DefaultConfig models Fig 1's six families over 1996-2011 (the paper's
+// "last 15 years" as of IPPS 2012).
+func DefaultConfig() Config {
+	return Config{
+		FirstYear: 1996,
+		LastYear:  2011,
+		Seed:      0x5EED_CA11_ED01,
+		Noise:     0.08,
+		Topics: []Topic{
+			{Name: "parallel computing", Base: 420, Growth: 0.04, TakeoffYear: 2006, TakeoffBoost: 3.0},
+			{Name: "multicore architecture", Base: 8, Growth: 0.10, TakeoffYear: 2005, TakeoffBoost: 5.5},
+			{Name: "reconfigurable computing", Base: 45, Growth: 0.08, TakeoffYear: 2006, TakeoffBoost: 4.0},
+			{Name: "FPGA", Base: 180, Growth: 0.07, TakeoffYear: 2006, TakeoffBoost: 2.5},
+			{Name: "GPU computing", Base: 5, Growth: 0.06, TakeoffYear: 2007, TakeoffBoost: 6.0},
+			{Name: "CGRA", Base: 3, Growth: 0.09, TakeoffYear: 2007, TakeoffBoost: 4.5},
+		},
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.LastYear < c.FirstYear {
+		return fmt.Errorf("bibliometrics: year window [%d,%d] is empty", c.FirstYear, c.LastYear)
+	}
+	if len(c.Topics) == 0 {
+		return fmt.Errorf("bibliometrics: no topics configured")
+	}
+	if c.Noise < 0 || c.Noise > 1 {
+		return fmt.Errorf("bibliometrics: noise %g outside [0,1]", c.Noise)
+	}
+	seen := map[string]bool{}
+	for _, t := range c.Topics {
+		if t.Name == "" {
+			return fmt.Errorf("bibliometrics: unnamed topic")
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("bibliometrics: duplicate topic %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.Base < 0 || t.TakeoffBoost < 0 {
+			return fmt.Errorf("bibliometrics: topic %q has negative parameters", t.Name)
+		}
+	}
+	return nil
+}
+
+// Record is one synthetic publication.
+type Record struct {
+	Year  int
+	Topic string
+}
+
+// Corpus is the generated publication set plus its configuration.
+type Corpus struct {
+	Config  Config
+	Records []Record
+}
+
+// rng is a deterministic xorshift64* generator.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// float returns a uniform value in [0,1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// expectedCount is the topic's modelled publication count for a year.
+func expectedCount(t Topic, year, firstYear int) float64 {
+	count := t.Base
+	for y := firstYear + 1; y <= year; y++ {
+		g := t.Growth
+		if t.TakeoffYear > 0 && y > t.TakeoffYear {
+			g *= t.TakeoffBoost
+		}
+		count *= math.Exp(g)
+	}
+	return count
+}
+
+// Generate builds the corpus deterministically from the configuration.
+func Generate(cfg Config) (Corpus, error) {
+	if err := cfg.Validate(); err != nil {
+		return Corpus{}, err
+	}
+	r := rng{state: cfg.Seed | 1}
+	var records []Record
+	for _, t := range cfg.Topics {
+		for y := cfg.FirstYear; y <= cfg.LastYear; y++ {
+			mean := expectedCount(t, y, cfg.FirstYear)
+			jitter := 1 + cfg.Noise*(2*r.float()-1)
+			n := int(math.Round(mean * jitter))
+			if n < 0 {
+				n = 0
+			}
+			for i := 0; i < n; i++ {
+				records = append(records, Record{Year: y, Topic: t.Name})
+			}
+		}
+	}
+	return Corpus{Config: cfg, Records: records}, nil
+}
+
+// Series is one topic's yearly publication counts.
+type Series struct {
+	Topic string
+	// Years and Counts are parallel, ascending by year.
+	Years  []int
+	Counts []int
+}
+
+// Trends runs the count-by-topic-and-year query over the corpus and returns
+// one series per configured topic, in configuration order.
+func Trends(c Corpus) []Series {
+	byTopic := map[string]map[int]int{}
+	for _, rec := range c.Records {
+		m, ok := byTopic[rec.Topic]
+		if !ok {
+			m = map[int]int{}
+			byTopic[rec.Topic] = m
+		}
+		m[rec.Year]++
+	}
+	var out []Series
+	for _, t := range c.Config.Topics {
+		s := Series{Topic: t.Name}
+		for y := c.Config.FirstYear; y <= c.Config.LastYear; y++ {
+			s.Years = append(s.Years, y)
+			s.Counts = append(s.Counts, byTopic[t.Name][y])
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Total is the series' total publication count.
+func (s Series) Total() int {
+	total := 0
+	for _, c := range s.Counts {
+		total += c
+	}
+	return total
+}
+
+// WindowMean averages the counts of the years in [from,to].
+func (s Series) WindowMean(from, to int) float64 {
+	sum, n := 0, 0
+	for i, y := range s.Years {
+		if y >= from && y <= to {
+			sum += s.Counts[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// GrowthRatio compares the last `window` years with the first `window`
+// years: the figure's "increased significantly in the last five years".
+func (s Series) GrowthRatio(window int) float64 {
+	if len(s.Years) == 0 || window < 1 {
+		return 0
+	}
+	first := s.Years[0]
+	last := s.Years[len(s.Years)-1]
+	early := s.WindowMean(first, first+window-1)
+	late := s.WindowMean(last-window+1, last)
+	if early == 0 {
+		return math.Inf(1)
+	}
+	return late / early
+}
+
+// TopicNames returns the configured topic names, sorted.
+func (c Config) TopicNames() []string {
+	names := make([]string, len(c.Topics))
+	for i, t := range c.Topics {
+		names[i] = t.Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,211 @@
+package bibliometrics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidate_Rejects(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.LastYear = c.FirstYear - 1 },
+		func(c *Config) { c.Topics = nil },
+		func(c *Config) { c.Noise = -0.1 },
+		func(c *Config) { c.Noise = 1.5 },
+		func(c *Config) { c.Topics[0].Name = "" },
+		func(c *Config) { c.Topics[1].Name = c.Topics[0].Name },
+		func(c *Config) { c.Topics[0].Base = -1 },
+	}
+	for i, mutate := range mutations {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("Generate accepted mutation %d", i)
+		}
+	}
+}
+
+func TestGenerate_Deterministic(t *testing.T) {
+	a, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("non-deterministic corpus: %d vs %d records", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	// A different seed gives a different corpus.
+	cfg := DefaultConfig()
+	cfg.Seed = 42
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Records) == len(a.Records) {
+		same := true
+		for i := range c.Records {
+			if c.Records[i] != a.Records[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical corpora")
+		}
+	}
+}
+
+func TestTrends_CoverAllTopicYears(t *testing.T) {
+	corpus, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := Trends(corpus)
+	cfg := corpus.Config
+	if len(series) != len(cfg.Topics) {
+		t.Fatalf("got %d series, want %d", len(series), len(cfg.Topics))
+	}
+	years := cfg.LastYear - cfg.FirstYear + 1
+	for _, s := range series {
+		if len(s.Years) != years || len(s.Counts) != years {
+			t.Errorf("series %q has %d years, want %d", s.Topic, len(s.Years), years)
+		}
+		if s.Total() == 0 {
+			t.Errorf("series %q is empty", s.Topic)
+		}
+	}
+	// The corpus record count equals the sum of all series.
+	total := 0
+	for _, s := range series {
+		total += s.Total()
+	}
+	if total != len(corpus.Records) {
+		t.Errorf("series total %d != corpus size %d", total, len(corpus.Records))
+	}
+}
+
+// TestFig1_TrendShape pins the figure's qualitative claims: every topic
+// grows over the window, and multicore and reconfigurable computing grow
+// the most sharply in the last five years.
+func TestFig1_TrendShape(t *testing.T) {
+	corpus, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := map[string]float64{}
+	for _, s := range Trends(corpus) {
+		ratios[s.Topic] = s.GrowthRatio(5)
+	}
+	for topic, r := range ratios {
+		if r <= 1.5 {
+			t.Errorf("topic %q grew only %.2fx; Fig 1 shows clear growth everywhere", topic, r)
+		}
+	}
+	if ratios["multicore architecture"] <= ratios["parallel computing"] {
+		t.Errorf("multicore (%.1fx) should outgrow general parallel computing (%.1fx)",
+			ratios["multicore architecture"], ratios["parallel computing"])
+	}
+	if ratios["reconfigurable computing"] <= 2 {
+		t.Errorf("reconfigurable computing grew only %.1fx", ratios["reconfigurable computing"])
+	}
+}
+
+// TestFig1_RecentSurge: counts in 2007-2011 dominate 1996-2000 for every
+// topic ("research interest ... has increased significantly in the last
+// five years").
+func TestFig1_RecentSurge(t *testing.T) {
+	corpus, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range Trends(corpus) {
+		early := s.WindowMean(1996, 2000)
+		late := s.WindowMean(2007, 2011)
+		if late <= early {
+			t.Errorf("topic %q: late mean %.1f not above early mean %.1f", s.Topic, late, early)
+		}
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	s := Series{Topic: "x", Years: []int{2000, 2001, 2002, 2003}, Counts: []int{1, 2, 3, 4}}
+	if s.Total() != 10 {
+		t.Errorf("Total = %d", s.Total())
+	}
+	if got := s.WindowMean(2000, 2001); got != 1.5 {
+		t.Errorf("WindowMean = %g", got)
+	}
+	if got := s.WindowMean(1990, 1991); got != 0 {
+		t.Errorf("empty window mean = %g", got)
+	}
+	if got := s.GrowthRatio(2); got != 3.5/1.5 {
+		t.Errorf("GrowthRatio = %g", got)
+	}
+	var empty Series
+	if empty.GrowthRatio(5) != 0 {
+		t.Error("empty growth ratio nonzero")
+	}
+	zeroEarly := Series{Years: []int{1, 2}, Counts: []int{0, 5}}
+	if g := zeroEarly.GrowthRatio(1); !isInf(g) {
+		t.Errorf("zero-base growth = %g, want +Inf", g)
+	}
+}
+
+func isInf(f float64) bool { return f > 1e308 }
+
+func TestTopicNames(t *testing.T) {
+	names := DefaultConfig().TopicNames()
+	if len(names) != 6 {
+		t.Fatalf("got %d names", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Error("names not sorted")
+		}
+	}
+}
+
+// TestGenerate_Property: any valid window produces per-topic series whose
+// yearly counts are non-negative and deterministic in the seed.
+func TestGenerate_Property(t *testing.T) {
+	f := func(seed uint64, span uint8) bool {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.LastYear = cfg.FirstYear + int(span%10)
+		c1, err1 := Generate(cfg)
+		c2, err2 := Generate(cfg)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if len(c1.Records) != len(c2.Records) {
+			return false
+		}
+		for _, s := range Trends(c1) {
+			for _, n := range s.Counts {
+				if n < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package bibliometrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fit quantifies a series' growth the way a reader of Fig 1 would: a
+// log-linear least-squares fit counts ~ A * exp(r * (year - first)) over a
+// year window, giving the annual growth rate r and the doubling time.
+type Fit struct {
+	// Rate is the fitted annual exponential growth rate r.
+	Rate float64
+	// Amplitude is the fitted count at the window's first year.
+	Amplitude float64
+	// DoublingYears is ln(2)/r; +Inf when r <= 0.
+	DoublingYears float64
+	// Points is how many years entered the fit.
+	Points int
+}
+
+// FitGrowth fits the window [from, to] of a series. Years with zero counts
+// are skipped (log undefined); at least two usable points are required.
+func FitGrowth(s Series, from, to int) (Fit, error) {
+	var xs, ys []float64
+	for i, y := range s.Years {
+		if y < from || y > to || s.Counts[i] <= 0 {
+			continue
+		}
+		xs = append(xs, float64(y-from))
+		ys = append(ys, math.Log(float64(s.Counts[i])))
+	}
+	if len(xs) < 2 {
+		return Fit{}, fmt.Errorf("bibliometrics: window [%d,%d] leaves %d usable points for %q, need >= 2",
+			from, to, len(xs), s.Topic)
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Fit{}, fmt.Errorf("bibliometrics: degenerate window for %q (single distinct year)", s.Topic)
+	}
+	rate := (n*sxy - sx*sy) / den
+	intercept := (sy - rate*sx) / n
+	fit := Fit{
+		Rate:      rate,
+		Amplitude: math.Exp(intercept),
+		Points:    len(xs),
+	}
+	if rate > 0 {
+		fit.DoublingYears = math.Ln2 / rate
+	} else {
+		fit.DoublingYears = math.Inf(1)
+	}
+	return fit, nil
+}
+
+// TakeoffReport compares a topic's fitted growth before and after a pivot
+// year: the quantitative form of Fig 1's "increased significantly in the
+// last five years".
+type TakeoffReport struct {
+	Topic  string
+	Before Fit
+	After  Fit
+	// Acceleration is After.Rate - Before.Rate.
+	Acceleration float64
+}
+
+// Takeoff fits the series on both sides of the pivot year (pivot belongs
+// to the "after" side).
+func Takeoff(s Series, pivot int) (TakeoffReport, error) {
+	if len(s.Years) == 0 {
+		return TakeoffReport{}, fmt.Errorf("bibliometrics: empty series")
+	}
+	first := s.Years[0]
+	last := s.Years[len(s.Years)-1]
+	if pivot <= first || pivot >= last {
+		return TakeoffReport{}, fmt.Errorf("bibliometrics: pivot %d outside (%d,%d)", pivot, first, last)
+	}
+	before, err := FitGrowth(s, first, pivot-1)
+	if err != nil {
+		return TakeoffReport{}, err
+	}
+	after, err := FitGrowth(s, pivot, last)
+	if err != nil {
+		return TakeoffReport{}, err
+	}
+	return TakeoffReport{
+		Topic:        s.Topic,
+		Before:       before,
+		After:        after,
+		Acceleration: after.Rate - before.Rate,
+	}, nil
+}

@@ -1,0 +1,144 @@
+package bibliometrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// exactSeries builds counts = A * exp(r * t) rounded, t = year - 2000.
+func exactSeries(a, r float64, years int) Series {
+	s := Series{Topic: "exact"}
+	for t := 0; t < years; t++ {
+		s.Years = append(s.Years, 2000+t)
+		s.Counts = append(s.Counts, int(math.Round(a*math.Exp(r*float64(t)))))
+	}
+	return s
+}
+
+func TestFitGrowth_RecoversKnownRate(t *testing.T) {
+	s := exactSeries(1000, 0.25, 10)
+	fit, err := FitGrowth(s, 2000, 2009)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Rate-0.25) > 0.01 {
+		t.Errorf("fitted rate %g, want ~0.25", fit.Rate)
+	}
+	if math.Abs(fit.Amplitude-1000) > 20 {
+		t.Errorf("fitted amplitude %g, want ~1000", fit.Amplitude)
+	}
+	if math.Abs(fit.DoublingYears-math.Ln2/0.25) > 0.15 {
+		t.Errorf("doubling %g years", fit.DoublingYears)
+	}
+	if fit.Points != 10 {
+		t.Errorf("points %d", fit.Points)
+	}
+}
+
+func TestFitGrowth_FlatAndDecliningSeries(t *testing.T) {
+	flat := Series{Topic: "flat", Years: []int{2000, 2001, 2002}, Counts: []int{50, 50, 50}}
+	fit, err := FitGrowth(flat, 2000, 2002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Rate) > 1e-9 {
+		t.Errorf("flat rate %g", fit.Rate)
+	}
+	if !math.IsInf(fit.DoublingYears, 1) {
+		t.Error("flat series should never double")
+	}
+	declining := exactSeries(1000, -0.2, 8)
+	fit, err = FitGrowth(declining, 2000, 2007)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Rate >= 0 {
+		t.Errorf("declining rate %g", fit.Rate)
+	}
+}
+
+func TestFitGrowth_Errors(t *testing.T) {
+	s := exactSeries(10, 0.1, 5)
+	if _, err := FitGrowth(s, 2050, 2060); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := FitGrowth(s, 2000, 2000); err == nil {
+		t.Error("single-point window accepted")
+	}
+	zeros := Series{Topic: "z", Years: []int{2000, 2001, 2002}, Counts: []int{0, 0, 5}}
+	if _, err := FitGrowth(zeros, 2000, 2002); err == nil {
+		t.Error("window with one usable point accepted")
+	}
+}
+
+func TestTakeoff_DefaultCorpus(t *testing.T) {
+	corpus, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range Trends(corpus) {
+		rep, err := Takeoff(s, 2006)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Topic, err)
+		}
+		if rep.Acceleration <= 0 {
+			t.Errorf("%s: no acceleration after 2006 (before %.3f, after %.3f)",
+				s.Topic, rep.Before.Rate, rep.After.Rate)
+		}
+	}
+	// Multicore accelerates hardest: Fig 1's most dramatic curve.
+	var multicore, parallel TakeoffReport
+	for _, s := range Trends(corpus) {
+		rep, err := Takeoff(s, 2006)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch s.Topic {
+		case "multicore architecture":
+			multicore = rep
+		case "parallel computing":
+			parallel = rep
+		}
+	}
+	if multicore.After.Rate <= parallel.After.Rate {
+		t.Errorf("multicore post-takeoff rate %.3f not above parallel computing's %.3f",
+			multicore.After.Rate, parallel.After.Rate)
+	}
+}
+
+func TestTakeoff_Errors(t *testing.T) {
+	if _, err := Takeoff(Series{}, 2005); err == nil {
+		t.Error("empty series accepted")
+	}
+	s := exactSeries(100, 0.1, 10)
+	if _, err := Takeoff(s, 2000); err == nil {
+		t.Error("pivot at first year accepted")
+	}
+	if _, err := Takeoff(s, 2009); err == nil {
+		t.Error("pivot at last year accepted")
+	}
+}
+
+// TestFitGrowth_Property: the fit is scale-equivariant — multiplying all
+// counts by a constant changes the amplitude, not the rate.
+func TestFitGrowth_Property(t *testing.T) {
+	f := func(rRaw uint8, scaleRaw uint8) bool {
+		r := float64(rRaw%40)/100 + 0.05 // 0.05 .. 0.44
+		scale := float64(scaleRaw%9) + 2
+		base := exactSeries(500, r, 12)
+		scaled := Series{Topic: "scaled", Years: base.Years}
+		for _, c := range base.Counts {
+			scaled.Counts = append(scaled.Counts, int(float64(c)*scale))
+		}
+		f1, err1 := FitGrowth(base, 2000, 2011)
+		f2, err2 := FitGrowth(scaled, 2000, 2011)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(f1.Rate-f2.Rate) < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package core is the library façade: one import that exposes the paper's
+// primary contribution — the extended Skillicorn taxonomy with its naming
+// scheme, flexibility scoring, early area/configuration-bit estimation and
+// survey classification — assembled from the focused packages underneath
+// (internal/taxonomy, internal/spec, internal/registry, internal/cost).
+//
+// The executable machine models live in their own packages
+// (internal/uniproc, internal/simd, internal/mimd, internal/spatial,
+// internal/dataflow, internal/fabric) and are exercised through
+// internal/workload.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/registry"
+	"repro/internal/spec"
+	"repro/internal/taxonomy"
+)
+
+// Re-exported core types, so callers need only this package for the
+// classification pipeline.
+type (
+	// Class is one row of the extended taxonomy's Table I.
+	Class = taxonomy.Class
+	// Architecture is a Table III-style connectivity description.
+	Architecture = spec.Architecture
+	// Estimate is an Eq 1 / Eq 2 evaluation.
+	Estimate = cost.Estimate
+	// Probe-style comparison of two classes by name.
+	Comparison = taxonomy.Comparison
+)
+
+// Classes returns the full extended taxonomy (Table I): 47 classes
+// generated from the enumeration rules.
+func Classes() []Class { return taxonomy.Table() }
+
+// LookupClass finds a class by its hierarchical name, e.g. "IMP-XIV".
+func LookupClass(name string) (Class, error) { return taxonomy.LookupString(name) }
+
+// Flexibility scores a class with the paper's Table II scoring system.
+func Flexibility(c Class) int { return taxonomy.Flexibility(c) }
+
+// Compare produces the §III.A name-based comparison of two classes.
+func Compare(a, b Class) Comparison { return taxonomy.Compare(a, b) }
+
+// CanMorphInto reports whether class a can act as class b (§III.B).
+func CanMorphInto(a, b Class) bool { return taxonomy.CanMorphInto(a, b) }
+
+// Classify maps an architecture description onto its taxonomy class, the
+// way §IV classifies the 25 surveyed machines.
+func Classify(a Architecture) (Class, error) { return spec.Classify(a) }
+
+// ClassifyWithFlexibility classifies and scores in one call.
+func ClassifyWithFlexibility(a Architecture) (Class, int, error) {
+	c, err := spec.Classify(a)
+	if err != nil {
+		return Class{}, 0, err
+	}
+	return c, taxonomy.Flexibility(c), nil
+}
+
+// Survey returns the paper's Table III registry: the 25 surveyed
+// architectures with their printed class names and flexibility values.
+func Survey() []registry.Entry { return registry.All() }
+
+// SurveyDerive re-runs the classification pipeline over the whole survey
+// and reports printed-vs-derived agreement per row.
+func SurveyDerive() ([]registry.DerivedRow, error) { return registry.DeriveAll() }
+
+// EstimateClass evaluates Eq 1 (area) and Eq 2 (configuration bits) for a
+// named class instantiated with n processors, under the default component
+// library. Use cost.NewModel directly for custom libraries.
+func EstimateClass(name string, n int) (Estimate, error) {
+	c, err := taxonomy.LookupString(name)
+	if err != nil {
+		return Estimate{}, err
+	}
+	model, err := cost.NewModel(cost.DefaultLibrary())
+	if err != nil {
+		return Estimate{}, err
+	}
+	return model.ForClass(c, n)
+}
+
+// EstimateArchitecture evaluates the equations for a described machine,
+// using its printed concrete block counts where available and defaultN for
+// symbolic ones.
+func EstimateArchitecture(a Architecture, defaultN int) (Estimate, error) {
+	model, err := cost.NewModel(cost.DefaultLibrary())
+	if err != nil {
+		return Estimate{}, err
+	}
+	return model.ForArchitecture(a, defaultN)
+}
+
+// MinimalClassFor answers the paper's design-space question from §V: among
+// the implementable classes of the given machine type, return the least
+// flexible (and with Eq 2, cheapest-to-configure) class that can still
+// morph into every one of the required classes. This is "which computer
+// class offers the required flexibility with minimum configuration
+// overhead".
+func MinimalClassFor(machine taxonomy.MachineType, required []Class, n int) (Class, Estimate, error) {
+	model, err := cost.NewModel(cost.DefaultLibrary())
+	if err != nil {
+		return Class{}, Estimate{}, err
+	}
+	var best Class
+	var bestEst Estimate
+	found := false
+	for _, cand := range taxonomy.Table() {
+		if !cand.Implementable || cand.Name.Machine != machine {
+			continue
+		}
+		ok := true
+		for _, req := range required {
+			if !taxonomy.CanMorphInto(cand, req) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		est, err := model.ForClass(cand, n)
+		if err != nil {
+			return Class{}, Estimate{}, err
+		}
+		if !found ||
+			taxonomy.Flexibility(cand) < taxonomy.Flexibility(best) ||
+			(taxonomy.Flexibility(cand) == taxonomy.Flexibility(best) && est.ConfigBits < bestEst.ConfigBits) {
+			best, bestEst, found = cand, est, true
+		}
+	}
+	if !found {
+		return Class{}, Estimate{}, fmt.Errorf("core: no %s class can cover all %d required classes", machine, len(required))
+	}
+	return best, bestEst, nil
+}

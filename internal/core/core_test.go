@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/taxonomy"
+)
+
+func TestClassesAndLookup(t *testing.T) {
+	if got := len(Classes()); got != 47 {
+		t.Fatalf("Classes() = %d rows, want 47", got)
+	}
+	c, err := LookupClass("IAP-II")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Flexibility(c) != 2 {
+		t.Errorf("flexibility(IAP-II) = %d", Flexibility(c))
+	}
+	if _, err := LookupClass("NOPE"); err == nil {
+		t.Error("bad class name accepted")
+	}
+}
+
+func TestClassifyFacade(t *testing.T) {
+	arch := Architecture{
+		Name: "MyCGRA", IPs: "1", DPs: "16",
+		IPIP: "none", IPDP: "1-16", IPIM: "1-1", DPDM: "16-1", DPDP: "16x16",
+	}
+	c, flex, err := ClassifyWithFlexibility(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.String() != "IAP-II" || flex != 2 {
+		t.Errorf("classified as (%s, %d)", c, flex)
+	}
+	bad := arch
+	bad.DPDM = "??"
+	if _, _, err := ClassifyWithFlexibility(bad); err == nil {
+		t.Error("bad spec accepted")
+	}
+	if _, err := Classify(bad); err == nil {
+		t.Error("bad spec accepted by Classify")
+	}
+}
+
+func TestSurveyFacade(t *testing.T) {
+	if len(Survey()) != 25 {
+		t.Errorf("survey size %d", len(Survey()))
+	}
+	rows, err := SurveyDerive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 25 {
+		t.Errorf("derived rows %d", len(rows))
+	}
+}
+
+func TestEstimateFacades(t *testing.T) {
+	est, err := EstimateClass("IMP-XVI", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Area <= 0 || est.ConfigBits <= 0 {
+		t.Errorf("estimate %+v", est)
+	}
+	if _, err := EstimateClass("XXX", 16); err == nil {
+		t.Error("bad class accepted")
+	}
+	if _, err := EstimateClass("IUP", 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	arch := Survey()[3].Arch // MorphoSys
+	aest, err := EstimateArchitecture(arch, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aest.DPCount != 64 {
+		t.Errorf("MorphoSys DP count %d", aest.DPCount)
+	}
+}
+
+func TestCompareAndMorph(t *testing.T) {
+	imp1, _ := LookupClass("IMP-I")
+	iap1, _ := LookupClass("IAP-I")
+	cmp := Compare(imp1, iap1)
+	if !cmp.SameMachineType || cmp.SameProcessingType {
+		t.Errorf("comparison %+v", cmp)
+	}
+	if !CanMorphInto(imp1, iap1) || CanMorphInto(iap1, imp1) {
+		t.Error("morph facade wrong")
+	}
+}
+
+func TestMinimalClassFor(t *testing.T) {
+	iap2, _ := LookupClass("IAP-II")
+	iup, _ := LookupClass("IUP")
+	// Requiring IAP-II and IUP within instruction flow: IAP-II itself is
+	// the cheapest class covering both.
+	best, est, err := MinimalClassFor(taxonomy.InstructionFlow, []Class{iap2, iup}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.String() != "IAP-II" {
+		t.Errorf("minimal class = %s, want IAP-II", best)
+	}
+	if est.ConfigBits <= 0 {
+		t.Error("no estimate")
+	}
+	// Requiring an IMP and an IAP forces a multi-processor (or richer).
+	imp2, _ := LookupClass("IMP-II")
+	best, _, err = MinimalClassFor(taxonomy.InstructionFlow, []Class{imp2, iap2}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Name.Proc == taxonomy.ArrayProcessor || Flexibility(best) < Flexibility(imp2) {
+		t.Errorf("minimal covering class = %s", best)
+	}
+	// A data-flow requirement can never be covered by instruction flow.
+	dmp, _ := LookupClass("DMP-I")
+	if _, _, err := MinimalClassFor(taxonomy.InstructionFlow, []Class{dmp}, 16); err == nil {
+		t.Error("cross-paradigm requirement satisfied")
+	}
+	// Universal flow covers everything.
+	best, _, err = MinimalClassFor(taxonomy.UniversalFlow, []Class{dmp, imp2}, 16)
+	if err != nil || best.String() != "USP" {
+		t.Errorf("universal cover = (%v, %v)", best, err)
+	}
+}

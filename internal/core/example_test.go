@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/taxonomy"
+)
+
+// The quickstart of the whole library: describe a machine the way Table
+// III does, get its class and flexibility.
+func ExampleClassifyWithFlexibility() {
+	morphoSysLike := core.Architecture{
+		Name: "MyCGRA", IPs: "1", DPs: "64",
+		IPIP: "none", IPDP: "1-64", IPIM: "1-1",
+		DPDM: "64-1", DPDP: "64x64",
+	}
+	class, flex, err := core.ClassifyWithFlexibility(morphoSysLike)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s: flexibility %d (%s, %s)\n", class, flex, class.Name.Machine, class.Name.Proc)
+	// Output:
+	// IAP-II: flexibility 2 (Instruction Flow, Array Processor)
+}
+
+// Eq 1 and Eq 2 for a taxonomy class at a concrete size.
+func ExampleEstimateClass() {
+	est, err := core.EstimateClass("IUP", 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("area %.0f GE, %d config bits\n", est.Area, est.ConfigBits)
+	// Output:
+	// area 55128 GE, 144 config bits
+}
+
+// The §III.B morphability relation.
+func ExampleCanMorphInto() {
+	imp, _ := core.LookupClass("IMP-I")
+	iap, _ := core.LookupClass("IAP-I")
+	fmt.Println(core.CanMorphInto(imp, iap), core.CanMorphInto(iap, imp))
+	// Output:
+	// true false
+}
+
+// The §V design-space question: the least flexible class covering a set of
+// required machine shapes.
+func ExampleMinimalClassFor() {
+	iap2, _ := core.LookupClass("IAP-II")
+	imp2, _ := core.LookupClass("IMP-II")
+	best, est, err := core.MinimalClassFor(taxonomy.InstructionFlow, []core.Class{iap2, imp2}, 16)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s at %d config bits\n", best, est.ConfigBits)
+	// Output:
+	// IMP-II at 2384 config bits
+}
+
+// Name-based comparison, the §III.A predictive power.
+func ExampleCompare() {
+	a, _ := core.LookupClass("IAP-I")
+	b, _ := core.LookupClass("IMP-I")
+	cmp := core.Compare(a, b)
+	fmt.Println(cmp.SameMachineType, cmp.SameProcessingType, cmp.SameSubtype)
+	// Output:
+	// true false true
+}

@@ -1,0 +1,323 @@
+// Package cost implements the paper's early-estimation equations:
+//
+//	Eq 1:  Area = N·A_IP + N·A_IM + A_IP-IP + A_IP-IM
+//	            + N·A_DP + N·A_DM + A_DP-DP + A_DP-DM
+//
+//	Eq 2:  CB   = N·CW_IP + N·CW_IM + CW_IP-IP + CW_IP-IM
+//	            + N·CW_DP + N·CW_DM + CW_DP-DP + CW_DP-DM
+//
+// The paper gives the equations symbolically; the component areas and
+// configuration-word widths "depend on the type, functionality and IOs of a
+// component". This package supplies a configurable component library with
+// documented defaults (relative gate-equivalent units) and switch models
+// for the four link kinds, so that the equations can be evaluated for any
+// class of Table I or any surveyed architecture, and so that the paper's
+// qualitative predictions — more crossbars mean more area, flexibility is
+// inversely proportional to configuration overhead, an FPGA pays an
+// "enormous" reconfiguration overhead — hold by construction and can be
+// checked by tests and benchmarks.
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/spec"
+	"repro/internal/taxonomy"
+)
+
+// Component is the unit cost of one building block.
+type Component struct {
+	// Area is the silicon area in relative gate equivalents (GE).
+	Area float64
+	// ConfigBits is the configuration word width CW in bits. For an
+	// instruction processor this is the width of its control configuration,
+	// for a memory the width of its addressing/banking setup.
+	ConfigBits int
+}
+
+// Library is the component cost library the equations draw unit costs from.
+type Library struct {
+	// IP, DP, IM and DM are the coarse-grain building-block costs.
+	IP, DP, IM, DM Component
+	// Cell is the fine-grain universal-flow building block (a LUT4+FF
+	// configurable logic cell) used for GrainLUT classes.
+	Cell Component
+	// CellsPerProcessor is how many fine-grain cells it takes to implement
+	// one coarse IP or DP equivalent on a universal-flow fabric; it scales
+	// the USP estimate so it is comparable with coarse-grain classes of the
+	// same logical processor count.
+	CellsPerProcessor int
+	// DataWidth is the datapath width in bits; switch costs scale with it.
+	DataWidth int
+	// DirectPerWire is the area (GE) of one bit of fixed point-to-point
+	// wiring plus its buffers.
+	DirectPerWire float64
+	// CrosspointArea is the area (GE) of one crossbar crosspoint per bit.
+	CrosspointArea float64
+	// VariableRoutingFactor multiplies crossbar cost for the 'vxv' fabric
+	// of universal-flow machines, reflecting segmented routing, switch
+	// boxes and connection boxes rather than a single crossbar.
+	VariableRoutingFactor float64
+	// LimitedWindow is the port window w of a limited crossbar (a windowed
+	// network such as DRRA's 3-hop nx14 connectivity): each output selects
+	// among w inputs instead of all N.
+	LimitedWindow int
+}
+
+// DefaultLibrary returns the documented default unit costs. The absolute
+// numbers are representative of early-estimation practice (an in-order
+// 32-bit IP around 20 kGE, a 32-bit ALU-centric DP around 8 kGE, LUT cells
+// around 50 GE); only the relative ordering matters for the paper's claims.
+func DefaultLibrary() Library {
+	return Library{
+		IP:                    Component{Area: 20000, ConfigBits: 32},
+		DP:                    Component{Area: 8000, ConfigBits: 16},
+		IM:                    Component{Area: 15000, ConfigBits: 64},
+		DM:                    Component{Area: 12000, ConfigBits: 32},
+		Cell:                  Component{Area: 50, ConfigBits: 18},
+		CellsPerProcessor:     600,
+		DataWidth:             32,
+		DirectPerWire:         2,
+		CrosspointArea:        1.5,
+		VariableRoutingFactor: 4,
+		LimitedWindow:         14,
+	}
+}
+
+// Validate checks the library for values the models cannot price.
+func (l Library) Validate() error {
+	if l.DataWidth <= 0 {
+		return fmt.Errorf("cost: data width must be positive, got %d", l.DataWidth)
+	}
+	if l.CellsPerProcessor <= 0 {
+		return fmt.Errorf("cost: cells per processor must be positive, got %d", l.CellsPerProcessor)
+	}
+	if l.LimitedWindow <= 0 {
+		return fmt.Errorf("cost: limited window must be positive, got %d", l.LimitedWindow)
+	}
+	if l.DirectPerWire < 0 || l.CrosspointArea < 0 || l.VariableRoutingFactor < 0 {
+		return fmt.Errorf("cost: negative wiring coefficients")
+	}
+	for _, c := range []Component{l.IP, l.DP, l.IM, l.DM, l.Cell} {
+		if c.Area < 0 || c.ConfigBits < 0 {
+			return fmt.Errorf("cost: negative component cost")
+		}
+	}
+	return nil
+}
+
+// Term identifies one addend of Eq 1 / Eq 2 for cost breakdowns.
+type Term string
+
+// The eight terms of the equations, in the order the paper writes them.
+const (
+	TermIPs  Term = "N*IP"
+	TermIMs  Term = "N*IM"
+	TermIPIP Term = "IP-IP"
+	TermIPIM Term = "IP-IM"
+	TermDPs  Term = "N*DP"
+	TermDMs  Term = "N*DM"
+	TermDPDP Term = "DP-DP"
+	TermDPDM Term = "DP-DM"
+)
+
+// Terms lists the equation terms in paper order.
+func Terms() []Term {
+	return []Term{TermIPs, TermIMs, TermIPIP, TermIPIM, TermDPs, TermDMs, TermDPDP, TermDPDM}
+}
+
+// Estimate is the evaluation of Eq 1 and Eq 2 for one machine instance.
+type Estimate struct {
+	// Class is the taxonomy class the estimate was computed for.
+	Class taxonomy.Class
+	// IPCount and DPCount are the concrete block numbers used for N.
+	IPCount, DPCount int
+	// Area is the Eq 1 total in gate equivalents.
+	Area float64
+	// AreaBreakdown maps each equation term to its contribution.
+	AreaBreakdown map[Term]float64
+	// ConfigBits is the Eq 2 total in bits.
+	ConfigBits int
+	// BitsBreakdown maps each equation term to its contribution.
+	BitsBreakdown map[Term]int
+}
+
+// Model evaluates the equations under a component library.
+type Model struct {
+	// Lib supplies unit costs. Use DefaultLibrary for the documented set.
+	Lib Library
+}
+
+// NewModel builds a model after validating the library.
+func NewModel(lib Library) (Model, error) {
+	if err := lib.Validate(); err != nil {
+		return Model{}, err
+	}
+	return Model{Lib: lib}, nil
+}
+
+// concrete resolves a taxonomy count symbol to a block number given the
+// design-time plural n chosen by the caller.
+func concrete(c taxonomy.Count, n int) int {
+	switch c {
+	case taxonomy.CountZero:
+		return 0
+	case taxonomy.CountOne:
+		return 1
+	default: // CountN and CountVar both instantiate to the chosen n
+		return n
+	}
+}
+
+// ForClass evaluates the equations for a Table I class instantiated with n
+// processors on every plural count. For GrainLUT classes (USP) the coarse
+// blocks are implemented out of fine-grain cells, so the per-block area and
+// configuration cost come from the cell library scaled by
+// CellsPerProcessor; the 'vxv' interconnect is priced as a crossbar times
+// VariableRoutingFactor.
+func (m Model) ForClass(c taxonomy.Class, n int) (Estimate, error) {
+	if n < 1 {
+		return Estimate{}, fmt.Errorf("cost: instantiation size n must be >= 1, got %d", n)
+	}
+	if !c.Implementable {
+		return Estimate{}, fmt.Errorf("cost: class %d is not implementable, no cost model", c.Index)
+	}
+	ips := concrete(c.IPs, n)
+	dps := concrete(c.DPs, n)
+	var limited [taxonomy.NumSites]bool
+	return m.estimate(c, ips, dps, c.Links, limited)
+}
+
+// ForArchitecture evaluates the equations for a surveyed architecture. The
+// concrete block numbers printed in its cells are used when present;
+// symbolic cells (n, m, v) fall back to defaultN. Limited crossbars are
+// priced with the library's window.
+func (m Model) ForArchitecture(a spec.Architecture, defaultN int) (Estimate, error) {
+	if defaultN < 1 {
+		return Estimate{}, fmt.Errorf("cost: default n must be >= 1, got %d", defaultN)
+	}
+	r, err := spec.Resolve(a)
+	if err != nil {
+		return Estimate{}, err
+	}
+	class, err := taxonomy.Classify(r.IPs, r.DPs, r.Links)
+	if err != nil {
+		return Estimate{}, fmt.Errorf("cost: %s: %w", a.Name, err)
+	}
+	ips := r.ConcreteIPs
+	if ips == 0 && r.IPs != taxonomy.CountZero {
+		ips = concrete(r.IPs, defaultN)
+	}
+	dps := r.ConcreteDPs
+	if dps == 0 && r.DPs != taxonomy.CountZero {
+		dps = concrete(r.DPs, defaultN)
+	}
+	return m.estimate(class, ips, dps, r.Links, r.Limited)
+}
+
+// estimate computes both equations for concrete block numbers.
+func (m Model) estimate(c taxonomy.Class, ips, dps int, links taxonomy.Links, limited [taxonomy.NumSites]bool) (Estimate, error) {
+	if err := m.Lib.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	lib := m.Lib
+
+	ipBlock, dpBlock := lib.IP, lib.DP
+	imBlock, dmBlock := lib.IM, lib.DM
+	if c.Grain == taxonomy.GrainLUT {
+		// Universal flow: all four roles are built from fine-grain cells.
+		roleCost := Component{
+			Area:       lib.Cell.Area * float64(lib.CellsPerProcessor),
+			ConfigBits: lib.Cell.ConfigBits * lib.CellsPerProcessor,
+		}
+		ipBlock, dpBlock, imBlock, dmBlock = roleCost, roleCost, roleCost, roleCost
+	}
+
+	est := Estimate{
+		Class:         c,
+		IPCount:       ips,
+		DPCount:       dps,
+		AreaBreakdown: map[Term]float64{},
+		BitsBreakdown: map[Term]int{},
+	}
+
+	addBlock := func(t Term, count int, comp Component) {
+		est.AreaBreakdown[t] = float64(count) * comp.Area
+		est.BitsBreakdown[t] = count * comp.ConfigBits
+	}
+	// Skillicorn pairs each processor with a memory of its own kind, so the
+	// memory count mirrors the processor count (zero for data-flow IP side).
+	addBlock(TermIPs, ips, ipBlock)
+	addBlock(TermIMs, ips, imBlock)
+	addBlock(TermDPs, dps, dpBlock)
+	addBlock(TermDMs, dps, dmBlock)
+
+	addSwitch := func(t Term, site taxonomy.Site, left, right int) {
+		sw := m.switchCost(links[site], left, right, limited[site])
+		est.AreaBreakdown[t] = sw.Area
+		est.BitsBreakdown[t] = sw.ConfigBits
+	}
+	addSwitch(TermIPIP, taxonomy.SiteIPIP, ips, ips)
+	addSwitch(TermIPIM, taxonomy.SiteIPIM, ips, ips)
+	addSwitch(TermDPDP, taxonomy.SiteDPDP, dps, dps)
+	addSwitch(TermDPDM, taxonomy.SiteDPDM, dps, dps)
+	// The IP-DP switch is not a term of Eq 1/Eq 2 as the paper writes them
+	// (the issue path is folded into the IP cost), so it is deliberately
+	// not added here.
+
+	for _, t := range Terms() {
+		est.Area += est.AreaBreakdown[t]
+		est.ConfigBits += est.BitsBreakdown[t]
+	}
+	return est, nil
+}
+
+// switchCost prices one connection site.
+func (m Model) switchCost(l taxonomy.Link, left, right int, limited bool) Component {
+	lib := m.Lib
+	w := float64(lib.DataWidth)
+	n, k := float64(left), float64(right)
+	if n == 0 || k == 0 {
+		return Component{}
+	}
+	switch l {
+	case taxonomy.LinkNone:
+		return Component{}
+	case taxonomy.LinkDirect:
+		// One fixed wire bundle per endpoint pair; no configuration.
+		return Component{Area: lib.DirectPerWire * math.Max(n, k) * w}
+	case taxonomy.LinkCrossbar:
+		if limited {
+			win := math.Min(float64(lib.LimitedWindow), n)
+			return Component{
+				Area:       lib.CrosspointArea * win * k * w,
+				ConfigBits: right * selectBits(int(win)),
+			}
+		}
+		return Component{
+			Area:       lib.CrosspointArea * n * k * w,
+			ConfigBits: right * selectBits(left),
+		}
+	case taxonomy.LinkVariable:
+		return Component{
+			Area:       lib.CrosspointArea * lib.VariableRoutingFactor * n * k * w,
+			ConfigBits: int(lib.VariableRoutingFactor) * right * selectBits(left),
+		}
+	default:
+		return Component{}
+	}
+}
+
+// selectBits is the configuration word of one crossbar output: enough bits
+// to select among n inputs plus a disabled state.
+func selectBits(n int) int {
+	if n < 1 {
+		return 0
+	}
+	bits := 0
+	for v := n; v > 0; v >>= 1 { // ceil(log2(n+1))
+		bits++
+	}
+	return bits
+}

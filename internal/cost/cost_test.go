@@ -1,0 +1,423 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/registry"
+	"repro/internal/taxonomy"
+)
+
+func mustModel(t *testing.T) Model {
+	t.Helper()
+	m, err := NewModel(DefaultLibrary())
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	return m
+}
+
+func mustClass(t *testing.T, name string) taxonomy.Class {
+	t.Helper()
+	c, err := taxonomy.LookupString(name)
+	if err != nil {
+		t.Fatalf("LookupString(%q): %v", name, err)
+	}
+	return c
+}
+
+func TestSelectBits(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 15: 4, 16: 5, 64: 7}
+	for n, want := range cases {
+		if got := selectBits(n); got != want {
+			t.Errorf("selectBits(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestForClass_IUPHandComputed(t *testing.T) {
+	m := mustModel(t)
+	est, err := m.ForClass(mustClass(t, "IUP"), 1)
+	if err != nil {
+		t.Fatalf("ForClass(IUP): %v", err)
+	}
+	lib := DefaultLibrary()
+	// Eq 1 for IUP: 1 IP + 1 IM + 1 DP + 1 DM + direct IP-IM + direct DP-DM.
+	wantArea := lib.IP.Area + lib.IM.Area + lib.DP.Area + lib.DM.Area +
+		2*lib.DirectPerWire*float64(lib.DataWidth)
+	if est.Area != wantArea {
+		t.Errorf("IUP area = %g, want %g", est.Area, wantArea)
+	}
+	// Eq 2: only the blocks carry configuration; direct wires have none.
+	wantBits := lib.IP.ConfigBits + lib.IM.ConfigBits + lib.DP.ConfigBits + lib.DM.ConfigBits
+	if est.ConfigBits != wantBits {
+		t.Errorf("IUP config bits = %d, want %d", est.ConfigBits, wantBits)
+	}
+}
+
+func TestForClass_BreakdownSumsToTotal(t *testing.T) {
+	m := mustModel(t)
+	for _, c := range taxonomy.Table() {
+		if !c.Implementable {
+			continue
+		}
+		est, err := m.ForClass(c, 16)
+		if err != nil {
+			t.Fatalf("ForClass(%s): %v", c, err)
+		}
+		var area float64
+		var bits int
+		for _, t := range Terms() {
+			area += est.AreaBreakdown[t]
+			bits += est.BitsBreakdown[t]
+		}
+		if math.Abs(area-est.Area) > 1e-9 {
+			t.Errorf("%s: area breakdown sums to %g, total %g", c, area, est.Area)
+		}
+		if bits != est.ConfigBits {
+			t.Errorf("%s: bits breakdown sums to %d, total %d", c, bits, est.ConfigBits)
+		}
+	}
+}
+
+func TestForClass_DataFlowHasNoIPTerms(t *testing.T) {
+	m := mustModel(t)
+	est, err := m.ForClass(mustClass(t, "DMP-IV"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, term := range []Term{TermIPs, TermIMs, TermIPIP, TermIPIM} {
+		if est.AreaBreakdown[term] != 0 || est.BitsBreakdown[term] != 0 {
+			t.Errorf("data-flow class has nonzero %s term (area=%g bits=%d)",
+				term, est.AreaBreakdown[term], est.BitsBreakdown[term])
+		}
+	}
+	if est.IPCount != 0 || est.DPCount != 8 {
+		t.Errorf("counts = (%d, %d), want (0, 8)", est.IPCount, est.DPCount)
+	}
+}
+
+// TestEq1_CrossbarCostsMoreThanDirect pins the paper's stated mechanism:
+// "the switch of type 'x' takes more area than a switch of type '-'", so
+// within a sub-type family the area rises with the sub-type's crossbars.
+func TestEq1_CrossbarCostsMoreThanDirect(t *testing.T) {
+	m := mustModel(t)
+	pairs := [][2]string{
+		{"IMP-I", "IMP-II"},    // DP-DP none -> x
+		{"IMP-I", "IMP-III"},   // DP-DM - -> x
+		{"IMP-I", "IMP-V"},     // IP-IM - -> x
+		{"IMP-I", "IMP-XVI"},   // everything
+		{"IAP-I", "IAP-IV"},    //
+		{"DMP-I", "DMP-IV"},    //
+		{"IMP-XVI", "ISP-XVI"}, // adding the IP-IP crossbar
+	}
+	for _, p := range pairs {
+		lo, err := m.ForClass(mustClass(t, p[0]), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := m.ForClass(mustClass(t, p[1]), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hi.Area <= lo.Area {
+			t.Errorf("area(%s)=%g not above area(%s)=%g", p[1], hi.Area, p[0], lo.Area)
+		}
+		if hi.ConfigBits <= lo.ConfigBits {
+			t.Errorf("bits(%s)=%d not above bits(%s)=%d", p[1], hi.ConfigBits, p[0], lo.ConfigBits)
+		}
+	}
+}
+
+// TestEq2_USPOverheadDominates pins the FPGA narrative: the universal-flow
+// machine pays far more configuration bits than any coarse-grain class of
+// the same logical size.
+func TestEq2_USPOverheadDominates(t *testing.T) {
+	m := mustModel(t)
+	usp, err := m.ForClass(mustClass(t, "USP"), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"IUP", "IAP-IV", "IMP-XVI", "ISP-XVI", "DMP-IV"} {
+		est, err := m.ForClass(mustClass(t, name), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if usp.ConfigBits < 10*est.ConfigBits {
+			t.Errorf("USP config bits %d not >> %s's %d", usp.ConfigBits, name, est.ConfigBits)
+		}
+	}
+	ratio, err := m.OverheadRatio(mustClass(t, "USP"), mustClass(t, "IUP"), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 100 {
+		t.Errorf("USP/IUP overhead ratio = %g, want enormous (>=100)", ratio)
+	}
+}
+
+// TestEq1_MonotoneInSwitchDominance: at fixed n, if class b has a crossbar
+// at every site where class a has one (pointwise switch dominance) and at
+// least one more, then b costs more area and more configuration bits. This
+// is the precise form of the paper's prediction; note that flexibility alone
+// does not order Eq 1 because the equation as the paper writes it carries no
+// IP-DP term, while the IP-DP crossbar does score a flexibility point
+// (IMP-IX..XVI differ from IMP-I..VIII only at that unpriced site).
+func TestEq1_MonotoneInSwitchDominance(t *testing.T) {
+	m := mustModel(t)
+	rows, err := m.SweepClasses(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		mt taxonomy.MachineType
+		pt taxonomy.ProcessingType
+	}
+	dominates := func(hi, lo taxonomy.Class) bool {
+		strict := false
+		for _, s := range taxonomy.Sites() {
+			if s == taxonomy.SiteIPDP {
+				continue // not a term of Eq 1/Eq 2
+			}
+			hiX, loX := hi.Links[s].Switched(), lo.Links[s].Switched()
+			if loX && !hiX {
+				return false
+			}
+			if hiX && !loX {
+				strict = true
+			}
+		}
+		return strict
+	}
+	groups := map[key][]ClassRow{}
+	for _, r := range rows {
+		k := key{r.Class.Name.Machine, r.Class.Name.Proc}
+		groups[k] = append(groups[k], r)
+	}
+	checked := 0
+	for k, g := range groups {
+		for _, a := range g {
+			for _, b := range g {
+				if !dominates(b.Class, a.Class) {
+					continue
+				}
+				checked++
+				if b.Estimate.Area <= a.Estimate.Area {
+					t.Errorf("group %v/%v: %s dominates %s but area %g <= %g",
+						k.mt, k.pt, b.Class, a.Class, b.Estimate.Area, a.Estimate.Area)
+				}
+				if b.Estimate.ConfigBits <= a.Estimate.ConfigBits {
+					t.Errorf("group %v/%v: %s dominates %s but bits %d <= %d",
+						k.mt, k.pt, b.Class, a.Class, b.Estimate.ConfigBits, a.Estimate.ConfigBits)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("dominance check exercised no pairs")
+	}
+}
+
+func TestForClass_Errors(t *testing.T) {
+	m := mustModel(t)
+	if _, err := m.ForClass(mustClass(t, "IUP"), 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	ni, err := taxonomy.ByIndex(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ForClass(ni, 4); err == nil {
+		t.Error("NI class accepted")
+	}
+}
+
+func TestForArchitecture_Survey(t *testing.T) {
+	m := mustModel(t)
+	for _, e := range registry.All() {
+		est, err := m.ForArchitecture(e.Arch, 16)
+		if err != nil {
+			t.Errorf("%s: %v", e.Arch.Name, err)
+			continue
+		}
+		if est.Area <= 0 {
+			t.Errorf("%s: non-positive area %g", e.Arch.Name, est.Area)
+		}
+		if est.Class.String() != e.PrintedName {
+			t.Errorf("%s: cost model classified as %s, registry prints %s",
+				e.Arch.Name, est.Class, e.PrintedName)
+		}
+	}
+}
+
+func TestForArchitecture_UsesConcreteCounts(t *testing.T) {
+	m := mustModel(t)
+	e, ok := registry.Find("MorphoSys")
+	if !ok {
+		t.Fatal("MorphoSys missing from registry")
+	}
+	est, err := m.ForArchitecture(e.Arch, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.IPCount != 1 || est.DPCount != 64 {
+		t.Errorf("MorphoSys counts = (%d, %d), want (1, 64) from the printed cells", est.IPCount, est.DPCount)
+	}
+}
+
+func TestForArchitecture_LimitedCrossbarCheaper(t *testing.T) {
+	m := mustModel(t)
+	full, ok := registry.Find("Matrix") // nxn everywhere
+	if !ok {
+		t.Fatal("Matrix missing")
+	}
+	windowed, ok := registry.Find("DRRA") // nx14 windows
+	if !ok {
+		t.Fatal("DRRA missing")
+	}
+	n := 64
+	fe, err := m.ForArchitecture(full.Arch, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	we, err := m.ForArchitecture(windowed.Arch, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if we.AreaBreakdown[TermDPDP] >= fe.AreaBreakdown[TermDPDP] {
+		t.Errorf("windowed DP-DP area %g not below full crossbar %g",
+			we.AreaBreakdown[TermDPDP], fe.AreaBreakdown[TermDPDP])
+	}
+}
+
+func TestForArchitecture_Errors(t *testing.T) {
+	m := mustModel(t)
+	e, _ := registry.Find("FPGA")
+	if _, err := m.ForArchitecture(e.Arch, 0); err == nil {
+		t.Error("defaultN=0 accepted")
+	}
+	bad := e.Arch
+	bad.DPDM = "garbage"
+	if _, err := m.ForArchitecture(bad, 8); err == nil {
+		t.Error("unparseable cell accepted")
+	}
+}
+
+func TestLibraryValidate(t *testing.T) {
+	good := DefaultLibrary()
+	if err := good.Validate(); err != nil {
+		t.Errorf("default library invalid: %v", err)
+	}
+	mutations := []func(*Library){
+		func(l *Library) { l.DataWidth = 0 },
+		func(l *Library) { l.CellsPerProcessor = 0 },
+		func(l *Library) { l.LimitedWindow = -1 },
+		func(l *Library) { l.DirectPerWire = -1 },
+		func(l *Library) { l.IP.Area = -5 },
+		func(l *Library) { l.Cell.ConfigBits = -1 },
+	}
+	for i, mutate := range mutations {
+		l := DefaultLibrary()
+		mutate(&l)
+		if err := l.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+		if _, err := NewModel(l); err == nil {
+			t.Errorf("NewModel accepted mutation %d", i)
+		}
+	}
+}
+
+// TestArea_ScalesWithN: Eq 1 is monotone in the instantiation size.
+func TestArea_ScalesWithN(t *testing.T) {
+	m := mustModel(t)
+	f := func(sel uint8, nSmallRaw, deltaRaw uint8) bool {
+		classes := []string{"DMP-IV", "IAP-II", "IMP-XVI", "ISP-IV", "USP"}
+		c := mustClassQuick(classes[int(sel)%len(classes)])
+		nSmall := int(nSmallRaw%32) + 1
+		nLarge := nSmall + int(deltaRaw%32) + 1
+		small, err1 := m.ForClass(c, nSmall)
+		large, err2 := m.ForClass(c, nLarge)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return large.Area > small.Area && large.ConfigBits > small.ConfigBits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustClassQuick(name string) taxonomy.Class {
+	c, err := taxonomy.LookupString(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestSweepClasses(t *testing.T) {
+	m := mustModel(t)
+	rows, err := m.SweepClasses(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 43 { // 47 classes minus 4 NI rows
+		t.Fatalf("sweep has %d rows, want 43", len(rows))
+	}
+	for _, r := range rows {
+		if r.Flexibility != taxonomy.Flexibility(r.Class) {
+			t.Errorf("%s: stale flexibility", r.Class)
+		}
+	}
+	if _, err := m.SweepClasses(0); err == nil {
+		t.Error("SweepClasses(0) accepted")
+	}
+}
+
+func TestFlexibilityAreaCurve(t *testing.T) {
+	m := mustModel(t)
+	points, err := m.FlexibilityAreaCurve(taxonomy.InstructionFlow, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("empty curve")
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Flexibility <= points[i-1].Flexibility {
+			t.Error("curve not sorted by flexibility")
+		}
+		if points[i].MeanArea <= points[i-1].MeanArea {
+			t.Errorf("mean area not increasing: flex %d -> %g, flex %d -> %g",
+				points[i-1].Flexibility, points[i-1].MeanArea,
+				points[i].Flexibility, points[i].MeanArea)
+		}
+	}
+	total := 0
+	for _, p := range points {
+		total += p.Classes
+	}
+	if total != 37 { // IUP + 4 IAP + 16 IMP + 16 ISP
+		t.Errorf("instruction-flow curve covers %d classes, want 37", total)
+	}
+}
+
+func TestOverheadRatio_Degenerate(t *testing.T) {
+	lib := DefaultLibrary()
+	lib.IP.ConfigBits, lib.DP.ConfigBits = 0, 0
+	lib.IM.ConfigBits, lib.DM.ConfigBits = 0, 0
+	m, err := NewModel(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iup := mustClassQuick("IUP")
+	r, err := m.OverheadRatio(iup, iup, 4)
+	if err != nil || r != 1 {
+		t.Errorf("zero-vs-zero ratio = (%g, %v), want (1, nil)", r, err)
+	}
+	if _, err := m.OverheadRatio(mustClassQuick("USP"), iup, 4); err == nil {
+		t.Error("nonzero-vs-zero ratio accepted")
+	}
+}

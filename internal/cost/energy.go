@@ -1,0 +1,155 @@
+package cost
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/taxonomy"
+)
+
+// The paper motivates its flexibility metric by noting that published
+// architectures are compared only on "speed or energy efficiency" (§III.B);
+// this file provides the energy side as an extension: an activity-based
+// energy model that combines a structural Estimate (Eq 1) with the activity
+// counters a simulator run reports, plus the Pareto view of the
+// flexibility/area trade-off the taxonomy predicts.
+
+// EnergyParams are per-event energies in picojoules and a leakage density.
+type EnergyParams struct {
+	// IssuePJ is the instruction processor's per-instruction energy.
+	IssuePJ float64
+	// ALUOpPJ is the data processor's per-operation energy.
+	ALUOpPJ float64
+	// MemAccessPJ is one DP-DM access (read or write).
+	MemAccessPJ float64
+	// MessagePJ is one DP-DP (or IP-IP) network word.
+	MessagePJ float64
+	// LeakagePJPerGECycle is static leakage per gate equivalent per cycle.
+	LeakagePJPerGECycle float64
+}
+
+// DefaultEnergyParams returns representative relative energies (the usual
+// embedded-CMOS ordering: a memory access costs several ALU ops, a network
+// hop sits in between, leakage is small per gate but scales with area).
+func DefaultEnergyParams() EnergyParams {
+	return EnergyParams{
+		IssuePJ:             6,
+		ALUOpPJ:             2,
+		MemAccessPJ:         10,
+		MessagePJ:           4,
+		LeakagePJPerGECycle: 0.001,
+	}
+}
+
+// Validate rejects negative energies.
+func (p EnergyParams) Validate() error {
+	if p.IssuePJ < 0 || p.ALUOpPJ < 0 || p.MemAccessPJ < 0 || p.MessagePJ < 0 || p.LeakagePJPerGECycle < 0 {
+		return fmt.Errorf("cost: negative energy parameters")
+	}
+	return nil
+}
+
+// EnergyBreakdown itemises a run's energy in picojoules.
+type EnergyBreakdown struct {
+	// Dynamic components.
+	IssuePJ, ALUPJ, MemoryPJ, NetworkPJ float64
+	// LeakagePJ is area times cycles times the leakage density.
+	LeakagePJ float64
+	// TotalPJ sums everything.
+	TotalPJ float64
+}
+
+// Energy combines a structural estimate with a simulator run's activity
+// counters under the given energy parameters.
+func Energy(p EnergyParams, est Estimate, stats machine.Stats) (EnergyBreakdown, error) {
+	if err := p.Validate(); err != nil {
+		return EnergyBreakdown{}, err
+	}
+	eb := EnergyBreakdown{
+		IssuePJ:   p.IssuePJ * float64(stats.Instructions),
+		ALUPJ:     p.ALUOpPJ * float64(stats.ALUOps),
+		MemoryPJ:  p.MemAccessPJ * float64(stats.MemReads+stats.MemWrites),
+		NetworkPJ: p.MessagePJ * float64(stats.Messages),
+		LeakagePJ: p.LeakagePJPerGECycle * est.Area * float64(stats.Cycles),
+	}
+	eb.TotalPJ = eb.IssuePJ + eb.ALUPJ + eb.MemoryPJ + eb.NetworkPJ + eb.LeakagePJ
+	return eb, nil
+}
+
+// ParetoPoint is one class on the flexibility/cost frontier.
+type ParetoPoint struct {
+	Class       taxonomy.Class
+	Flexibility int
+	Area        float64
+	ConfigBits  int
+}
+
+// ParetoFrontier returns the classes not dominated in the two-objective
+// space (maximise flexibility, minimise area): a class is kept iff no other
+// class has both >= flexibility and < area (or > flexibility and <= area).
+// The result is sorted by ascending flexibility; this is the design-space
+// view of the §III.B claim that flexibility is bought with silicon.
+func ParetoFrontier(rows []ClassRow) []ParetoPoint {
+	var points []ParetoPoint
+	for _, r := range rows {
+		dominated := false
+		for _, other := range rows {
+			if other.Class.Index == r.Class.Index {
+				continue
+			}
+			betterOrEqual := other.Flexibility >= r.Flexibility && other.Estimate.Area <= r.Estimate.Area
+			strictlyBetter := other.Flexibility > r.Flexibility || other.Estimate.Area < r.Estimate.Area
+			if betterOrEqual && strictlyBetter {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			points = append(points, ParetoPoint{
+				Class:       r.Class,
+				Flexibility: r.Flexibility,
+				Area:        r.Estimate.Area,
+				ConfigBits:  r.Estimate.ConfigBits,
+			})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].Flexibility != points[j].Flexibility {
+			return points[i].Flexibility < points[j].Flexibility
+		}
+		return points[i].Area < points[j].Area
+	})
+	return points
+}
+
+// TechNode scales the gate-equivalent area of an estimate to square
+// micrometres at a given process node, for readers who want absolute-ish
+// numbers. A gate equivalent is taken as a 2-input NAND; its area scales
+// roughly with the square of the feature size.
+type TechNode struct {
+	// Name labels the node ("65nm").
+	Name string
+	// GateAreaUM2 is the area of one gate equivalent in um^2.
+	GateAreaUM2 float64
+}
+
+// CommonNodes lists a few representative process nodes.
+func CommonNodes() []TechNode {
+	return []TechNode{
+		{Name: "180nm", GateAreaUM2: 9.7},
+		{Name: "90nm", GateAreaUM2: 2.5},
+		{Name: "65nm", GateAreaUM2: 1.2},
+		{Name: "40nm", GateAreaUM2: 0.55},
+		{Name: "28nm", GateAreaUM2: 0.25},
+	}
+}
+
+// SiliconAreaMM2 converts an estimate's gate-equivalent area to mm^2 at a
+// process node.
+func SiliconAreaMM2(est Estimate, node TechNode) (float64, error) {
+	if node.GateAreaUM2 <= 0 {
+		return 0, fmt.Errorf("cost: node %q has non-positive gate area", node.Name)
+	}
+	return est.Area * node.GateAreaUM2 / 1e6, nil
+}

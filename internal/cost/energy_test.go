@@ -1,0 +1,141 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/taxonomy"
+)
+
+func TestEnergy_HandComputed(t *testing.T) {
+	m := mustModel(t)
+	est, err := m.ForClass(mustClass(t, "IUP"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := EnergyParams{IssuePJ: 10, ALUOpPJ: 2, MemAccessPJ: 5, MessagePJ: 3, LeakagePJPerGECycle: 0.01}
+	stats := machine.Stats{Cycles: 100, Instructions: 50, ALUOps: 20, MemReads: 4, MemWrites: 6, Messages: 2}
+	eb, err := Energy(p, est, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb.IssuePJ != 500 || eb.ALUPJ != 40 || eb.MemoryPJ != 50 || eb.NetworkPJ != 6 {
+		t.Errorf("dynamic terms %+v", eb)
+	}
+	wantLeak := 0.01 * est.Area * 100
+	if math.Abs(eb.LeakagePJ-wantLeak) > 1e-9 {
+		t.Errorf("leakage %g, want %g", eb.LeakagePJ, wantLeak)
+	}
+	wantTotal := 500 + 40 + 50 + 6 + wantLeak
+	if math.Abs(eb.TotalPJ-wantTotal) > 1e-9 {
+		t.Errorf("total %g, want %g", eb.TotalPJ, wantTotal)
+	}
+}
+
+func TestEnergy_RejectsNegativeParams(t *testing.T) {
+	m := mustModel(t)
+	est, _ := m.ForClass(mustClass(t, "IUP"), 1)
+	bad := DefaultEnergyParams()
+	bad.ALUOpPJ = -1
+	if _, err := Energy(bad, est, machine.Stats{}); err == nil {
+		t.Error("negative energy params accepted")
+	}
+	if err := DefaultEnergyParams().Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+}
+
+func TestEnergy_LeakageScalesWithFlexibility(t *testing.T) {
+	// Same activity on a more flexible (bigger) class leaks more: the
+	// energy face of the area trade-off.
+	m := mustModel(t)
+	lo, err := m.ForClass(mustClass(t, "IMP-I"), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := m.ForClass(mustClass(t, "IMP-XVI"), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := machine.Stats{Cycles: 1000, Instructions: 100}
+	p := DefaultEnergyParams()
+	eLo, err := Energy(p, lo, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eHi, err := Energy(p, hi, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eHi.LeakagePJ <= eLo.LeakagePJ || eHi.TotalPJ <= eLo.TotalPJ {
+		t.Errorf("IMP-XVI leakage %g not above IMP-I %g", eHi.LeakagePJ, eLo.LeakagePJ)
+	}
+	if eHi.IssuePJ != eLo.IssuePJ {
+		t.Error("identical activity should cost identical dynamic issue energy")
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	m := mustModel(t)
+	rows, err := m.SweepClasses(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontier := ParetoFrontier(rows)
+	if len(frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	// Sorted ascending and strictly improving: more flexibility only at
+	// more area along the frontier.
+	for i := 1; i < len(frontier); i++ {
+		if frontier[i].Flexibility < frontier[i-1].Flexibility {
+			t.Error("frontier not sorted by flexibility")
+		}
+		if frontier[i].Flexibility > frontier[i-1].Flexibility &&
+			frontier[i].Area <= frontier[i-1].Area {
+			t.Errorf("frontier point %s cheaper AND more flexible than %s: the cheaper one should have dominated",
+				frontier[i].Class, frontier[i-1].Class)
+		}
+	}
+	// No frontier point is dominated by any sweep row.
+	for _, p := range frontier {
+		for _, r := range rows {
+			if r.Flexibility > p.Flexibility && r.Estimate.Area < p.Area {
+				t.Errorf("%s dominated by %s", p.Class, r.Class)
+			}
+		}
+	}
+	// The extremes belong on the frontier: IUP (or DUP) as the cheapest,
+	// USP as the most flexible.
+	first, last := frontier[0], frontier[len(frontier)-1]
+	if first.Flexibility != 0 {
+		t.Errorf("frontier starts at flexibility %d", first.Flexibility)
+	}
+	if last.Class.Name.Machine != taxonomy.UniversalFlow {
+		t.Errorf("frontier ends at %s, want USP", last.Class)
+	}
+}
+
+func TestSiliconAreaMM2(t *testing.T) {
+	m := mustModel(t)
+	est, _ := m.ForClass(mustClass(t, "IMP-I"), 16)
+	nodes := CommonNodes()
+	if len(nodes) < 3 {
+		t.Fatal("too few nodes")
+	}
+	prev := math.Inf(1)
+	for _, node := range nodes {
+		mm2, err := SiliconAreaMM2(est, node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mm2 <= 0 || mm2 >= prev {
+			t.Errorf("node %s: %g mm^2 not shrinking", node.Name, mm2)
+		}
+		prev = mm2
+	}
+	if _, err := SiliconAreaMM2(est, TechNode{Name: "bogus", GateAreaUM2: 0}); err == nil {
+		t.Error("zero gate area accepted")
+	}
+}

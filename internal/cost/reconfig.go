@@ -1,0 +1,105 @@
+package cost
+
+import (
+	"fmt"
+
+	"repro/internal/taxonomy"
+)
+
+// The paper's Eq 2 counts configuration bits; this file extends it to the
+// quantity designers actually budget: reconfiguration *time* and its
+// amortization over a kernel. "The relationship between flexibility and
+// configuration overhead is inversely proportional" (§III.B) — these
+// helpers let the trade be read in cycles rather than bits.
+
+// ReconfigCycles is the time to stream a configuration of the given size
+// through a configuration port of the given width (bits per cycle),
+// rounding up.
+func ReconfigCycles(configBits, portWidthBits int) (int64, error) {
+	if configBits < 0 {
+		return 0, fmt.Errorf("cost: negative configuration size %d", configBits)
+	}
+	if portWidthBits < 1 {
+		return 0, fmt.Errorf("cost: configuration port must be >= 1 bit wide, got %d", portWidthBits)
+	}
+	return int64((configBits + portWidthBits - 1) / portWidthBits), nil
+}
+
+// AmortizedOverhead is the fraction of total time spent reconfiguring when
+// a kernel of kernelCycles runs once after a reconfiguration of
+// reconfigCycles: reconfig / (reconfig + kernel). 0 means free, values
+// close to 1 mean the machine spends its life being configured.
+func AmortizedOverhead(reconfigCycles, kernelCycles int64) (float64, error) {
+	if reconfigCycles < 0 || kernelCycles < 0 {
+		return 0, fmt.Errorf("cost: negative cycle counts")
+	}
+	total := reconfigCycles + kernelCycles
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(reconfigCycles) / float64(total), nil
+}
+
+// BreakEvenRuns is the number of kernel executions after which a more
+// flexible machine's one-off reconfiguration cost is amortized to at most
+// the given overhead fraction (e.g. 0.01 for 1%). It returns the smallest
+// k with reconfig / (reconfig + k*kernel) <= overhead.
+func BreakEvenRuns(reconfigCycles, kernelCycles int64, overhead float64) (int64, error) {
+	if reconfigCycles < 0 || kernelCycles <= 0 {
+		return 0, fmt.Errorf("cost: need non-negative reconfig and positive kernel cycles")
+	}
+	if overhead <= 0 || overhead >= 1 {
+		return 0, fmt.Errorf("cost: overhead target must be in (0,1), got %g", overhead)
+	}
+	if reconfigCycles == 0 {
+		return 0, nil
+	}
+	// reconfig <= overhead * (reconfig + k*kernel)
+	// k >= reconfig * (1 - overhead) / (overhead * kernel)
+	num := float64(reconfigCycles) * (1 - overhead)
+	den := overhead * float64(kernelCycles)
+	k := int64(num / den)
+	for float64(reconfigCycles)/(float64(reconfigCycles)+float64(k)*float64(kernelCycles)) > overhead {
+		k++
+	}
+	return k, nil
+}
+
+// ReconfigReport compares the reconfiguration burden of two classes at the
+// same size and port width: the §III.B FPGA-vs-ASIC story in cycles.
+type ReconfigReport struct {
+	A, B             taxonomy.Class
+	ACycles, BCycles int64
+	CyclesRatio      float64
+	PortWidthBits, N int
+	ABits, BBits     int
+}
+
+// CompareReconfig builds the report for two classes under a model.
+func (m Model) CompareReconfig(a, b taxonomy.Class, n, portWidthBits int) (ReconfigReport, error) {
+	ea, err := m.ForClass(a, n)
+	if err != nil {
+		return ReconfigReport{}, err
+	}
+	eb, err := m.ForClass(b, n)
+	if err != nil {
+		return ReconfigReport{}, err
+	}
+	ca, err := ReconfigCycles(ea.ConfigBits, portWidthBits)
+	if err != nil {
+		return ReconfigReport{}, err
+	}
+	cb, err := ReconfigCycles(eb.ConfigBits, portWidthBits)
+	if err != nil {
+		return ReconfigReport{}, err
+	}
+	rep := ReconfigReport{
+		A: a, B: b, ACycles: ca, BCycles: cb,
+		PortWidthBits: portWidthBits, N: n,
+		ABits: ea.ConfigBits, BBits: eb.ConfigBits,
+	}
+	if cb > 0 {
+		rep.CyclesRatio = float64(ca) / float64(cb)
+	}
+	return rep, nil
+}

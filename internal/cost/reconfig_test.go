@@ -1,0 +1,110 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReconfigCycles(t *testing.T) {
+	cases := []struct {
+		bits, width int
+		want        int64
+	}{
+		{0, 32, 0}, {1, 32, 1}, {32, 32, 1}, {33, 32, 2}, {1000, 8, 125}, {1001, 8, 126},
+	}
+	for _, tc := range cases {
+		got, err := ReconfigCycles(tc.bits, tc.width)
+		if err != nil || got != tc.want {
+			t.Errorf("ReconfigCycles(%d,%d) = (%d, %v), want %d", tc.bits, tc.width, got, err, tc.want)
+		}
+	}
+	if _, err := ReconfigCycles(-1, 32); err == nil {
+		t.Error("negative bits accepted")
+	}
+	if _, err := ReconfigCycles(10, 0); err == nil {
+		t.Error("zero-width port accepted")
+	}
+}
+
+func TestAmortizedOverhead(t *testing.T) {
+	v, err := AmortizedOverhead(100, 900)
+	if err != nil || v != 0.1 {
+		t.Errorf("(%g, %v)", v, err)
+	}
+	v, err = AmortizedOverhead(0, 0)
+	if err != nil || v != 0 {
+		t.Errorf("degenerate = (%g, %v)", v, err)
+	}
+	if _, err := AmortizedOverhead(-1, 5); err == nil {
+		t.Error("negative cycles accepted")
+	}
+}
+
+func TestBreakEvenRuns(t *testing.T) {
+	k, err := BreakEvenRuns(1000, 100, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k runs must satisfy the target; k-1 must not.
+	at := func(runs int64) float64 {
+		return 1000.0 / (1000.0 + float64(runs)*100.0)
+	}
+	if at(k) > 0.01 {
+		t.Errorf("k=%d still above target: %g", k, at(k))
+	}
+	if k > 0 && at(k-1) <= 0.01 {
+		t.Errorf("k=%d not minimal", k)
+	}
+	if k2, err := BreakEvenRuns(0, 100, 0.5); err != nil || k2 != 0 {
+		t.Errorf("free reconfig = (%d, %v)", k2, err)
+	}
+	if _, err := BreakEvenRuns(10, 0, 0.5); err == nil {
+		t.Error("zero kernel accepted")
+	}
+	if _, err := BreakEvenRuns(10, 5, 1.5); err == nil {
+		t.Error("overhead > 1 accepted")
+	}
+}
+
+func TestBreakEvenRuns_Property(t *testing.T) {
+	f := func(rcRaw, kRaw uint16, ovRaw uint8) bool {
+		reconfig := int64(rcRaw)
+		kernel := int64(kRaw%1000) + 1
+		overhead := (float64(ovRaw%98) + 1) / 100
+		k, err := BreakEvenRuns(reconfig, kernel, overhead)
+		if err != nil {
+			return false
+		}
+		total := float64(reconfig) + float64(k)*float64(kernel)
+		if total == 0 {
+			return reconfig == 0
+		}
+		return float64(reconfig)/total <= overhead
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareReconfig_USPvsIUP(t *testing.T) {
+	m := mustModel(t)
+	rep, err := m.CompareReconfig(mustClass(t, "USP"), mustClass(t, "IUP"), 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ACycles <= rep.BCycles {
+		t.Errorf("USP reconfig %d cycles not above IUP's %d", rep.ACycles, rep.BCycles)
+	}
+	if rep.CyclesRatio < 100 {
+		t.Errorf("USP/IUP reconfig ratio %g, want enormous", rep.CyclesRatio)
+	}
+	if rep.ABits <= rep.BBits {
+		t.Error("bit counts inconsistent")
+	}
+	if _, err := m.CompareReconfig(mustClass(t, "USP"), mustClass(t, "IUP"), 0, 32); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := m.CompareReconfig(mustClass(t, "USP"), mustClass(t, "IUP"), 16, 0); err == nil {
+		t.Error("0-bit port accepted")
+	}
+}

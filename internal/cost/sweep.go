@@ -1,0 +1,102 @@
+package cost
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/taxonomy"
+)
+
+// ClassRow is one row of a class sweep: a named class with its flexibility
+// score and cost estimate at a fixed instantiation size.
+type ClassRow struct {
+	Class       taxonomy.Class
+	Flexibility int
+	Estimate    Estimate
+}
+
+// SweepClasses evaluates Eq 1 and Eq 2 for every implementable Table I class
+// at instantiation size n, in Table I order. This is the data behind the
+// paper's claim that "the area of an architecture increases by increased
+// flexibility, because the switch of type 'x' takes more area than a switch
+// of type '-'".
+func (m Model) SweepClasses(n int) ([]ClassRow, error) {
+	var rows []ClassRow
+	for _, c := range taxonomy.Table() {
+		if !c.Implementable {
+			continue
+		}
+		est, err := m.ForClass(c, n)
+		if err != nil {
+			return nil, fmt.Errorf("cost: class %s: %w", c, err)
+		}
+		rows = append(rows, ClassRow{Class: c, Flexibility: taxonomy.Flexibility(c), Estimate: est})
+	}
+	return rows, nil
+}
+
+// FlexibilityAreaCurve aggregates a class sweep into (flexibility -> mean
+// area) points, sorted by flexibility: the ablation view of the
+// flexibility/area trade-off within one machine paradigm.
+type CurvePoint struct {
+	Flexibility int
+	// MeanArea and MeanBits average the estimates of all classes at this
+	// flexibility level.
+	MeanArea float64
+	MeanBits float64
+	// Classes is how many classes contributed.
+	Classes int
+}
+
+// FlexibilityAreaCurve computes the curve for the classes of one machine
+// type (data-, instruction- or universal-flow) at instantiation size n.
+func (m Model) FlexibilityAreaCurve(machine taxonomy.MachineType, n int) ([]CurvePoint, error) {
+	rows, err := m.SweepClasses(n)
+	if err != nil {
+		return nil, err
+	}
+	acc := map[int]*CurvePoint{}
+	for _, r := range rows {
+		if r.Class.Name.Machine != machine {
+			continue
+		}
+		p, ok := acc[r.Flexibility]
+		if !ok {
+			p = &CurvePoint{Flexibility: r.Flexibility}
+			acc[r.Flexibility] = p
+		}
+		p.MeanArea += r.Estimate.Area
+		p.MeanBits += float64(r.Estimate.ConfigBits)
+		p.Classes++
+	}
+	points := make([]CurvePoint, 0, len(acc))
+	for _, p := range acc {
+		p.MeanArea /= float64(p.Classes)
+		p.MeanBits /= float64(p.Classes)
+		points = append(points, *p)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Flexibility < points[j].Flexibility })
+	return points, nil
+}
+
+// OverheadRatio compares the configuration overhead of two classes at the
+// same instantiation size: how many configuration bits 'a' pays per bit 'b'
+// pays. The paper's FPGA-vs-ASIC narrative (§III.B) is OverheadRatio(USP,
+// IUP) being very large.
+func (m Model) OverheadRatio(a, b taxonomy.Class, n int) (float64, error) {
+	ea, err := m.ForClass(a, n)
+	if err != nil {
+		return 0, err
+	}
+	eb, err := m.ForClass(b, n)
+	if err != nil {
+		return 0, err
+	}
+	if eb.ConfigBits == 0 {
+		if ea.ConfigBits == 0 {
+			return 1, nil
+		}
+		return 0, fmt.Errorf("cost: class %s has zero configuration bits, ratio undefined", b)
+	}
+	return float64(ea.ConfigBits) / float64(eb.ConfigBits), nil
+}

@@ -1,0 +1,189 @@
+// Package dataflow simulates the taxonomy's data-flow machines (classes
+// DUP and DMP-I..IV, Table I rows 1-5): machines with no instruction
+// processor, where "data elements carry instructions which are then
+// executed on the arrival of the data at the inputs of the processing
+// elements", out of order, driven purely by operand availability — the
+// execution model of REDEFINE and Colt in Table III.
+//
+// A computation is a static dataflow graph. Each node fires once, when all
+// of its input tokens have arrived at its processing element. The sub-type
+// switches matter exactly as the taxonomy says:
+//
+//	DMP-I   DP-DM direct, DP-DP none     — tokens cannot cross PEs at all:
+//	        a graph with a cross-PE edge is rejected at mapping time
+//	DMP-II  DP-DM direct, DP-DP crossbar — cross-PE tokens ride the network
+//	DMP-III DP-DM crossbar, DP-DP none   — cross-PE tokens spill through the
+//	        shared memory crossbar (a store plus a load)
+//	DMP-IV  both                         — tokens ride the cheaper network
+package dataflow
+
+import "fmt"
+
+// Op is a dataflow node operation.
+type Op int
+
+// Node operations. Arities: Const takes none, Load takes (addr),
+// Not takes (a), Store takes (addr, value), everything else takes (a, b).
+const (
+	// OpConst emits a constant token.
+	OpConst Op = iota
+	// OpAdd .. OpEq are the ALU operations.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpAnd
+	OpOr
+	OpXor
+	OpMin
+	OpMax
+	OpLt
+	OpEq
+	// OpNot emits the bitwise complement of its single input.
+	OpNot
+	// OpLoad reads data memory at the address its input carries.
+	OpLoad
+	// OpStore writes its second input to the address its first carries and
+	// emits the stored value (so stores can order other nodes).
+	OpStore
+
+	opCount
+)
+
+// opNames indexes Op names for diagnostics.
+var opNames = [opCount]string{
+	"const", "add", "sub", "mul", "div", "and", "or", "xor",
+	"min", "max", "lt", "eq", "not", "load", "store",
+}
+
+// String returns the node-operation name.
+func (o Op) String() string {
+	if o >= 0 && int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Arity returns the number of input tokens the operation consumes.
+func (o Op) Arity() int {
+	switch o {
+	case OpConst:
+		return 0
+	case OpNot, OpLoad:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Valid reports whether o is a defined operation.
+func (o Op) Valid() bool { return o >= 0 && o < opCount }
+
+// Node is one operator of a dataflow graph.
+type Node struct {
+	// Op is the operation the node performs when it fires.
+	Op Op
+	// Inputs are the producing node IDs, Arity() of them.
+	Inputs []int
+	// Value is the emitted constant for OpConst nodes.
+	Value int64
+}
+
+// Graph is a static, acyclic dataflow graph. Node IDs are slice indices.
+type Graph struct {
+	nodes   []Node
+	outputs []int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// Const adds a constant node and returns its ID.
+func (g *Graph) Const(v int64) int {
+	g.nodes = append(g.nodes, Node{Op: OpConst, Value: v})
+	return len(g.nodes) - 1
+}
+
+// Unary adds a one-input node and returns its ID.
+func (g *Graph) Unary(op Op, a int) int {
+	g.nodes = append(g.nodes, Node{Op: op, Inputs: []int{a}})
+	return len(g.nodes) - 1
+}
+
+// Binary adds a two-input node and returns its ID.
+func (g *Graph) Binary(op Op, a, b int) int {
+	g.nodes = append(g.nodes, Node{Op: op, Inputs: []int{a, b}})
+	return len(g.nodes) - 1
+}
+
+// Load adds a memory-read node (address produced by addr) and returns its ID.
+func (g *Graph) Load(addr int) int { return g.Unary(OpLoad, addr) }
+
+// Store adds a memory-write node and returns its ID.
+func (g *Graph) Store(addr, val int) int { return g.Binary(OpStore, addr, val) }
+
+// MarkOutput declares a node's token as a graph output.
+func (g *Graph) MarkOutput(id int) { g.outputs = append(g.outputs, id) }
+
+// Nodes returns the node count.
+func (g *Graph) Nodes() int { return len(g.nodes) }
+
+// Node returns node id.
+func (g *Graph) Node(id int) (Node, error) {
+	if id < 0 || id >= len(g.nodes) {
+		return Node{}, fmt.Errorf("dataflow: node %d out of range [0,%d)", id, len(g.nodes))
+	}
+	return g.nodes[id], nil
+}
+
+// Outputs returns the declared output node IDs.
+func (g *Graph) Outputs() []int { return append([]int(nil), g.outputs...) }
+
+// Validate checks operation validity, arities, edge targets, that at least
+// one output is declared, and acyclicity (builder-constructed graphs are
+// acyclic by construction since inputs must precede consumers; Validate
+// enforces it for graphs built by hand).
+func (g *Graph) Validate() error {
+	if len(g.nodes) == 0 {
+		return fmt.Errorf("dataflow: empty graph")
+	}
+	if len(g.outputs) == 0 {
+		return fmt.Errorf("dataflow: graph declares no outputs")
+	}
+	for id, n := range g.nodes {
+		if !n.Op.Valid() {
+			return fmt.Errorf("dataflow: node %d has invalid op %d", id, int(n.Op))
+		}
+		if len(n.Inputs) != n.Op.Arity() {
+			return fmt.Errorf("dataflow: node %d (%s) has %d inputs, wants %d",
+				id, n.Op, len(n.Inputs), n.Op.Arity())
+		}
+		for _, in := range n.Inputs {
+			if in < 0 || in >= len(g.nodes) {
+				return fmt.Errorf("dataflow: node %d input %d out of range", id, in)
+			}
+			if in >= id {
+				// Inputs must precede consumers: guarantees acyclicity and
+				// gives a ready topological order.
+				return fmt.Errorf("dataflow: node %d consumes node %d (inputs must have smaller IDs)", id, in)
+			}
+		}
+	}
+	for _, out := range g.outputs {
+		if out < 0 || out >= len(g.nodes) {
+			return fmt.Errorf("dataflow: output node %d out of range", out)
+		}
+	}
+	return nil
+}
+
+// consumers returns, for each node, the IDs of the nodes consuming it.
+func (g *Graph) consumers() [][]int {
+	cons := make([][]int, len(g.nodes))
+	for id, n := range g.nodes {
+		for _, in := range n.Inputs {
+			cons[in] = append(cons[in], id)
+		}
+	}
+	return cons
+}

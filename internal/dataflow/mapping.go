@@ -1,0 +1,116 @@
+package dataflow
+
+import "fmt"
+
+// This file provides mapping heuristics for placing graph nodes onto
+// processing elements — the compile-time decision REDEFINE's run-time
+// reconfiguration unit makes when it forms HyperOps. Round-robin (in
+// machine.go) maximises balance and ignores locality; the greedy mapper
+// here does the opposite trade, and CrossEdges quantifies the difference.
+
+// CrossEdges counts the graph edges whose producer and consumer land on
+// different PEs under a mapping: every such edge costs token-network (or
+// shared-memory) traffic at run time.
+func CrossEdges(g *Graph, mapping []int) (int, error) {
+	if g == nil {
+		return 0, fmt.Errorf("dataflow: nil graph")
+	}
+	if len(mapping) != g.Nodes() {
+		return 0, fmt.Errorf("dataflow: mapping covers %d nodes, graph has %d", len(mapping), g.Nodes())
+	}
+	cross := 0
+	for id := 0; id < g.Nodes(); id++ {
+		n, err := g.Node(id)
+		if err != nil {
+			return 0, err
+		}
+		for _, in := range n.Inputs {
+			if mapping[in] != mapping[id] {
+				cross++
+			}
+		}
+	}
+	return cross, nil
+}
+
+// LoadImbalance returns the difference between the most and least loaded
+// PE under a mapping (in node counts).
+func LoadImbalance(mapping []int, pes int) (int, error) {
+	if pes < 1 {
+		return 0, fmt.Errorf("dataflow: pes must be >= 1, got %d", pes)
+	}
+	load := make([]int, pes)
+	for _, pe := range mapping {
+		if pe < 0 || pe >= pes {
+			return 0, fmt.Errorf("dataflow: mapping references PE %d of %d", pe, pes)
+		}
+		load[pe]++
+	}
+	minLoad, maxLoad := load[0], load[0]
+	for _, l := range load[1:] {
+		if l < minLoad {
+			minLoad = l
+		}
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	return maxLoad - minLoad, nil
+}
+
+// GreedyLocalityMapping places each node (in topological order) onto the
+// PE that already holds the plurality of its inputs, unless that PE is
+// full; capacity is ceil(nodes/pes) so balance degrades gracefully rather
+// than collapsing onto one PE. Nodes without inputs go to the least-loaded
+// PE. The result always validates against New for any sub-type with a
+// cross-PE path, and reduces CrossEdges relative to round-robin on
+// chain-structured graphs.
+func GreedyLocalityMapping(g *Graph, pes int) ([]int, error) {
+	if g == nil {
+		return nil, fmt.Errorf("dataflow: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if pes < 1 {
+		return nil, fmt.Errorf("dataflow: pes must be >= 1, got %d", pes)
+	}
+	n := g.Nodes()
+	capacity := (n + pes - 1) / pes
+	mapping := make([]int, n)
+	load := make([]int, pes)
+
+	leastLoaded := func() int {
+		best := 0
+		for pe := 1; pe < pes; pe++ {
+			if load[pe] < load[best] {
+				best = pe
+			}
+		}
+		return best
+	}
+
+	for id := 0; id < n; id++ {
+		node, _ := g.Node(id)
+		votes := map[int]int{}
+		for _, in := range node.Inputs {
+			votes[mapping[in]]++
+		}
+		choice := -1
+		bestVotes := 0
+		for pe, v := range votes {
+			if load[pe] >= capacity {
+				continue
+			}
+			if v > bestVotes || (v == bestVotes && (choice == -1 || pe < choice)) {
+				choice, bestVotes = pe, v
+			}
+		}
+		if choice == -1 {
+			choice = leastLoaded()
+		}
+		mapping[id] = choice
+		load[choice]++
+	}
+	return mapping, nil
+}

@@ -1,0 +1,116 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// This file serializes configurations into literal bitstream bytes — the
+// artefact a real device's configuration port consumes and the quantity
+// Eq 2 counts. The wire format is versioned and checksummed so corrupted
+// bitstreams are rejected before they configure anything (failure
+// injection for the configuration path).
+//
+// Layout (little-endian):
+//
+//	magic   uint32  "FAB1"
+//	cells   uint32
+//	inputs  uint32
+//	per cell: truth uint16, flags uint8 (bit0 = FF),
+//	          4 x (kind uint8, index uint32)
+//	crc32   uint32  over everything above
+const bitstreamMagic = 0x31424146 // "FAB1"
+
+// MarshalBitstream serializes a configuration for a fabric of the given
+// shape. The configuration is validated against the shape first.
+func MarshalBitstream(numCells, numInputs int, cfg []CellConfig) ([]byte, error) {
+	if len(cfg) != numCells {
+		return nil, fmt.Errorf("fabric: bitstream for %d cells, got %d configs", numCells, len(cfg))
+	}
+	probe, err := New(numCells, numInputs)
+	if err != nil {
+		return nil, err
+	}
+	if err := probe.Configure(cfg); err != nil {
+		return nil, fmt.Errorf("fabric: refusing to serialize an invalid configuration: %w", err)
+	}
+	buf := make([]byte, 0, 12+len(cfg)*23+4)
+	le := binary.LittleEndian
+	buf = le.AppendUint32(buf, bitstreamMagic)
+	buf = le.AppendUint32(buf, uint32(numCells))
+	buf = le.AppendUint32(buf, uint32(numInputs))
+	for _, c := range cfg {
+		buf = le.AppendUint16(buf, c.Truth)
+		var flags uint8
+		if c.UseFF {
+			flags |= 1
+		}
+		buf = append(buf, flags)
+		for _, src := range c.Inputs {
+			buf = append(buf, uint8(src.Kind))
+			buf = le.AppendUint32(buf, uint32(src.Index))
+		}
+	}
+	buf = le.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// UnmarshalBitstream parses and validates a serialized bitstream, returning
+// the fabric shape and configuration it encodes.
+func UnmarshalBitstream(data []byte) (numCells, numInputs int, cfg []CellConfig, err error) {
+	le := binary.LittleEndian
+	if len(data) < 16 {
+		return 0, 0, nil, fmt.Errorf("fabric: bitstream truncated (%d bytes)", len(data))
+	}
+	body, sum := data[:len(data)-4], le.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return 0, 0, nil, fmt.Errorf("fabric: bitstream checksum mismatch")
+	}
+	if le.Uint32(body[0:4]) != bitstreamMagic {
+		return 0, 0, nil, fmt.Errorf("fabric: bad bitstream magic %#x", le.Uint32(body[0:4]))
+	}
+	numCells = int(le.Uint32(body[4:8]))
+	numInputs = int(le.Uint32(body[8:12]))
+	const perCell = 2 + 1 + 4*5
+	if len(body) != 12+numCells*perCell {
+		return 0, 0, nil, fmt.Errorf("fabric: bitstream length %d does not match %d cells", len(body), numCells)
+	}
+	cfg = make([]CellConfig, numCells)
+	off := 12
+	for i := range cfg {
+		cfg[i].Truth = le.Uint16(body[off:])
+		off += 2
+		cfg[i].UseFF = body[off]&1 == 1
+		off++
+		for j := range cfg[i].Inputs {
+			cfg[i].Inputs[j].Kind = SourceKind(body[off])
+			off++
+			cfg[i].Inputs[j].Index = int(le.Uint32(body[off:]))
+			off += 4
+		}
+	}
+	// Validate by configuring a probe fabric.
+	probe, err := New(numCells, numInputs)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if err := probe.Configure(cfg); err != nil {
+		return 0, 0, nil, fmt.Errorf("fabric: bitstream decodes to an invalid configuration: %w", err)
+	}
+	return numCells, numInputs, cfg, nil
+}
+
+// ConfigureFromBitstream loads a serialized bitstream onto this fabric; the
+// encoded shape must match the fabric's.
+func (f *Fabric) ConfigureFromBitstream(data []byte) error {
+	cells, inputs, cfg, err := UnmarshalBitstream(data)
+	if err != nil {
+		return err
+	}
+	if cells != f.numCells || inputs != f.numInputs {
+		return fmt.Errorf("fabric: bitstream is for a %dx%d-pin fabric, this one is %dx%d",
+			cells, inputs, f.numCells, f.numInputs)
+	}
+	return f.Configure(cfg)
+}

@@ -1,0 +1,126 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitstream_RoundTrip(t *testing.T) {
+	f, err := New(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := BuildAdder(f, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalBitstream(16, 16, ov.Bitstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, inputs, cfg, err := UnmarshalBitstream(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells != 16 || inputs != 16 || len(cfg) != 16 {
+		t.Fatalf("decoded shape %dx%d, %d cells", cells, inputs, len(cfg))
+	}
+	for i := range cfg {
+		if cfg[i] != ov.Bitstream[i] {
+			t.Fatalf("cell %d changed: %+v -> %+v", i, ov.Bitstream[i], cfg[i])
+		}
+	}
+	// Loading the serialized form behaves identically to the original.
+	if err := f.ConfigureFromBitstream(data); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ov.Add(f, 100, 55)
+	if err != nil || sum != 155 {
+		t.Errorf("adder through bitstream = (%d, %v)", sum, err)
+	}
+}
+
+func TestBitstream_RejectsCorruption(t *testing.T) {
+	f, _ := New(8, 0)
+	ov, err := BuildCounter(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalBitstream(8, 0, ov.Bitstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit anywhere: the checksum must catch it.
+	for _, pos := range []int{0, 5, 12, len(data) / 2, len(data) - 5} {
+		bad := append([]byte(nil), data...)
+		bad[pos] ^= 0x40
+		if _, _, _, err := UnmarshalBitstream(bad); err == nil {
+			t.Errorf("corruption at byte %d undetected", pos)
+		}
+	}
+	// Truncation.
+	if _, _, _, err := UnmarshalBitstream(data[:10]); err == nil {
+		t.Error("truncated bitstream accepted")
+	}
+	if _, _, _, err := UnmarshalBitstream(nil); err == nil {
+		t.Error("empty bitstream accepted")
+	}
+}
+
+func TestBitstream_RejectsInvalidConfigs(t *testing.T) {
+	// A combinational loop cannot be serialized.
+	loop := make([]CellConfig, 2)
+	loop[0] = CellConfig{Truth: truthBUF, Inputs: [4]Source{{Kind: SourceCell, Index: 1}}}
+	loop[1] = CellConfig{Truth: truthBUF, Inputs: [4]Source{{Kind: SourceCell, Index: 0}}}
+	if _, err := MarshalBitstream(2, 0, loop); err == nil || !strings.Contains(err.Error(), "invalid") {
+		t.Errorf("loop serialized: %v", err)
+	}
+	// Shape mismatch at load time.
+	good := make([]CellConfig, 2)
+	data, err := MarshalBitstream(2, 0, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _ := New(4, 0)
+	if err := other.ConfigureFromBitstream(data); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if _, err := MarshalBitstream(3, 0, good); err == nil {
+		t.Error("count mismatch accepted")
+	}
+}
+
+// TestBitstream_FuzzNeverPanics: arbitrary bytes are rejected or decode to
+// a valid configuration, never panic.
+func TestBitstream_FuzzNeverPanics(t *testing.T) {
+	f := func(raw []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _, _, _ = UnmarshalBitstream(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitstream_SizeMatchesEq2Spirit(t *testing.T) {
+	// The serialized size grows with the fabric, like Eq 2's bit count.
+	small := make([]CellConfig, 4)
+	large := make([]CellConfig, 64)
+	sData, err := MarshalBitstream(4, 0, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lData, err := MarshalBitstream(64, 0, large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lData) <= len(sData) {
+		t.Error("bitstream does not grow with the fabric")
+	}
+}

@@ -1,0 +1,261 @@
+// Package fabric simulates the taxonomy's universal-flow spatial processor
+// (class USP, Table I row 47): a fine-grained fabric of LUT4+FF cells with
+// rich 'vxv' interconnect, the FPGA-like machine whose building blocks are
+// finer than an IP or DP and "can assume the role of either IP, DP or a
+// memory element" upon reconfiguration.
+//
+// The simulator is a bit-level netlist engine: every cell owns a 16-bit
+// truth table over four inputs, an optional output flip-flop, and four
+// input multiplexers that can select any cell output, any external fabric
+// input, or a constant. The configuration bitstream is therefore
+// 16 + 1 + 4·ceil(log2(sources)) bits per cell — the "enormous
+// reconfiguration overhead" of §III.B, which internal/cost's Eq 2 prices
+// and the overlays below make concrete: the same machine morphs into a
+// data-path (adder), a memory element (register file bit), or an
+// instruction processor (a one-hot micro-sequencer) purely by reloading
+// configuration bits.
+package fabric
+
+import "fmt"
+
+// SourceKind selects what a cell input multiplexer listens to.
+type SourceKind int
+
+const (
+	// SourceZero feeds constant 0.
+	SourceZero SourceKind = iota
+	// SourceOne feeds constant 1.
+	SourceOne
+	// SourceCell feeds the output of another cell.
+	SourceCell
+	// SourceInput feeds an external fabric input pin.
+	SourceInput
+)
+
+// Source is one configured input connection.
+type Source struct {
+	Kind SourceKind
+	// Index selects the cell or pin for SourceCell/SourceInput.
+	Index int
+}
+
+// CellConfig is the configuration of one LUT4+FF cell.
+type CellConfig struct {
+	// Truth is the LUT4 truth table: output bit for input pattern i is
+	// (Truth >> i) & 1, with input 0 the least-significant selector bit.
+	Truth uint16
+	// UseFF registers the LUT output behind a flip-flop clocked by Step.
+	UseFF bool
+	// Inputs configures the four input multiplexers.
+	Inputs [4]Source
+}
+
+// Fabric is one configured universal-flow fabric instance.
+type Fabric struct {
+	numCells  int
+	numInputs int
+	cfg       []CellConfig
+	// order is the evaluation order of combinational (non-FF) cells.
+	order []int
+	// q holds registered outputs, out the current cycle's cell outputs.
+	q   []bool
+	out []bool
+	// configured reports that a bitstream has been loaded.
+	configured bool
+	// reconfigs counts bitstream loads, steps counts clock cycles.
+	reconfigs, steps int64
+}
+
+// New builds an unconfigured fabric with the given cell and input-pin count.
+func New(numCells, numInputs int) (*Fabric, error) {
+	if numCells < 1 {
+		return nil, fmt.Errorf("fabric: need at least one cell, got %d", numCells)
+	}
+	if numInputs < 0 {
+		return nil, fmt.Errorf("fabric: negative input count %d", numInputs)
+	}
+	return &Fabric{
+		numCells:  numCells,
+		numInputs: numInputs,
+		q:         make([]bool, numCells),
+		out:       make([]bool, numCells),
+	}, nil
+}
+
+// Cells returns the fabric's cell count.
+func (f *Fabric) Cells() int { return f.numCells }
+
+// Inputs returns the fabric's external input-pin count.
+func (f *Fabric) Inputs() int { return f.numInputs }
+
+// ConfigBitsPerCell is the bitstream cost of one cell on this fabric:
+// 16 truth-table bits, 1 FF-enable bit, and four input multiplexers each
+// selecting among all cells, all input pins and the two constants.
+func (f *Fabric) ConfigBitsPerCell() int {
+	return 16 + 1 + 4*selectBits(f.numCells+f.numInputs+2)
+}
+
+// ConfigBits is the total bitstream size of the fabric.
+func (f *Fabric) ConfigBits() int { return f.numCells * f.ConfigBitsPerCell() }
+
+// Reconfigs reports how many bitstreams have been loaded.
+func (f *Fabric) Reconfigs() int64 { return f.reconfigs }
+
+// Configure loads a bitstream: one CellConfig per cell. It validates every
+// source, rejects combinational cycles (loops must pass through a
+// flip-flop), precomputes the evaluation order, and resets all state.
+func (f *Fabric) Configure(cfg []CellConfig) error {
+	if len(cfg) != f.numCells {
+		return fmt.Errorf("fabric: bitstream configures %d cells, fabric has %d", len(cfg), f.numCells)
+	}
+	for ci, c := range cfg {
+		for ii, src := range c.Inputs {
+			switch src.Kind {
+			case SourceZero, SourceOne:
+			case SourceCell:
+				if src.Index < 0 || src.Index >= f.numCells {
+					return fmt.Errorf("fabric: cell %d input %d selects nonexistent cell %d", ci, ii, src.Index)
+				}
+			case SourceInput:
+				if src.Index < 0 || src.Index >= f.numInputs {
+					return fmt.Errorf("fabric: cell %d input %d selects nonexistent pin %d", ci, ii, src.Index)
+				}
+			default:
+				return fmt.Errorf("fabric: cell %d input %d has invalid source kind %d", ci, ii, int(src.Kind))
+			}
+		}
+	}
+
+	// Topologically order the combinational cells: an edge c -> d exists
+	// when combinational cell d reads combinational cell c. FF outputs are
+	// state, not combinational dependencies.
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make([]int, f.numCells)
+	var order []int
+	var visit func(int) error
+	visit = func(c int) error {
+		switch state[c] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("fabric: combinational cycle through cell %d (insert a flip-flop)", c)
+		}
+		state[c] = visiting
+		for _, src := range cfg[c].Inputs {
+			if src.Kind == SourceCell && !cfg[src.Index].UseFF {
+				if err := visit(src.Index); err != nil {
+					return err
+				}
+			}
+		}
+		state[c] = done
+		order = append(order, c)
+		return nil
+	}
+	for c := 0; c < f.numCells; c++ {
+		if !cfg[c].UseFF && state[c] == unvisited {
+			if err := visit(c); err != nil {
+				return err
+			}
+		}
+	}
+
+	f.cfg = append([]CellConfig(nil), cfg...)
+	f.order = order
+	f.q = make([]bool, f.numCells)
+	f.out = make([]bool, f.numCells)
+	f.configured = true
+	f.reconfigs++
+	f.steps = 0
+	return nil
+}
+
+// resolve reads one configured source given current outputs and pins.
+func (f *Fabric) resolve(src Source, pins []bool) bool {
+	switch src.Kind {
+	case SourceZero:
+		return false
+	case SourceOne:
+		return true
+	case SourceCell:
+		return f.out[src.Index]
+	default: // SourceInput, validated at Configure
+		return pins[src.Index]
+	}
+}
+
+// lut evaluates a cell's truth table over its four resolved inputs.
+func lut(truth uint16, in [4]bool) bool {
+	idx := 0
+	for i, b := range in {
+		if b {
+			idx |= 1 << i
+		}
+	}
+	return truth>>uint(idx)&1 == 1
+}
+
+// Step advances the fabric one clock cycle with the given input-pin values:
+// combinational cells settle in dependency order, then every flip-flop
+// captures its LUT value. It returns nothing; read results with Output.
+func (f *Fabric) Step(pins []bool) error {
+	if !f.configured {
+		return fmt.Errorf("fabric: not configured")
+	}
+	if len(pins) != f.numInputs {
+		return fmt.Errorf("fabric: got %d pin values, fabric has %d input pins", len(pins), f.numInputs)
+	}
+	// FF cells present their registered state.
+	for c := 0; c < f.numCells; c++ {
+		if f.cfg[c].UseFF {
+			f.out[c] = f.q[c]
+		}
+	}
+	// Combinational cells settle.
+	for _, c := range f.order {
+		var in [4]bool
+		for i, src := range f.cfg[c].Inputs {
+			in[i] = f.resolve(src, pins)
+		}
+		f.out[c] = lut(f.cfg[c].Truth, in)
+	}
+	// Clock edge: FFs capture.
+	for c := 0; c < f.numCells; c++ {
+		if f.cfg[c].UseFF {
+			var in [4]bool
+			for i, src := range f.cfg[c].Inputs {
+				in[i] = f.resolve(src, pins)
+			}
+			f.q[c] = lut(f.cfg[c].Truth, in)
+		}
+	}
+	f.steps++
+	return nil
+}
+
+// Output reads a cell's output as of the last Step.
+func (f *Fabric) Output(cell int) (bool, error) {
+	if cell < 0 || cell >= f.numCells {
+		return false, fmt.Errorf("fabric: cell %d out of range [0,%d)", cell, f.numCells)
+	}
+	return f.out[cell], nil
+}
+
+// Steps reports how many clock cycles have run since the last Configure.
+func (f *Fabric) Steps() int64 { return f.steps }
+
+// selectBits is ceil(log2(n)) for n >= 1: the multiplexer select width.
+func selectBits(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	bits := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}

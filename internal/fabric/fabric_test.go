@@ -1,0 +1,335 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNew_Rejects(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Error("0 cells accepted")
+	}
+	if _, err := New(4, -1); err == nil {
+		t.Error("negative pins accepted")
+	}
+}
+
+func TestConfigure_Validation(t *testing.T) {
+	f, err := New(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Configure(make([]CellConfig, 1)); err == nil {
+		t.Error("short bitstream accepted")
+	}
+	bad := make([]CellConfig, 2)
+	bad[0].Inputs[0] = Source{Kind: SourceCell, Index: 9}
+	if err := f.Configure(bad); err == nil {
+		t.Error("bad cell source accepted")
+	}
+	bad = make([]CellConfig, 2)
+	bad[0].Inputs[0] = Source{Kind: SourceInput, Index: 3}
+	if err := f.Configure(bad); err == nil {
+		t.Error("bad pin source accepted")
+	}
+	bad = make([]CellConfig, 2)
+	bad[0].Inputs[0] = Source{Kind: SourceKind(9)}
+	if err := f.Configure(bad); err == nil {
+		t.Error("bad source kind accepted")
+	}
+}
+
+func TestConfigure_RejectsCombinationalCycle(t *testing.T) {
+	f, err := New(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := make([]CellConfig, 2)
+	cfg[0] = CellConfig{Truth: truthBUF, Inputs: [4]Source{{Kind: SourceCell, Index: 1}}}
+	cfg[1] = CellConfig{Truth: truthBUF, Inputs: [4]Source{{Kind: SourceCell, Index: 0}}}
+	if err := f.Configure(cfg); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("combinational loop: %v", err)
+	}
+	// The same loop through a flip-flop is legal (it is state, not a loop).
+	cfg[1].UseFF = true
+	if err := f.Configure(cfg); err != nil {
+		t.Errorf("registered loop rejected: %v", err)
+	}
+}
+
+func TestStep_Preconditions(t *testing.T) {
+	f, err := New(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Step([]bool{true}); err == nil {
+		t.Error("step before configure accepted")
+	}
+	if err := f.Configure(make([]CellConfig, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Step(nil); err == nil {
+		t.Error("wrong pin count accepted")
+	}
+	if _, err := f.Output(5); err == nil {
+		t.Error("out-of-range output read accepted")
+	}
+}
+
+func TestAdderOverlay(t *testing.T) {
+	const width = 8
+	f, err := New(2*width, 2*width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := BuildAdder(f, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Configure(ov.Bitstream); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][2]uint64{{0, 0}, {1, 1}, {3, 5}, {100, 155}, {255, 255}, {200, 56}, {255, 1}}
+	for _, c := range cases {
+		sum, err := ov.Add(f, c[0], c[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum != c[0]+c[1] {
+			t.Errorf("%d + %d = %d on the fabric, want %d", c[0], c[1], sum, c[0]+c[1])
+		}
+	}
+}
+
+func TestAdderOverlay_Property(t *testing.T) {
+	const width = 16
+	f, err := New(2*width, 2*width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := BuildAdder(f, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Configure(ov.Bitstream); err != nil {
+		t.Fatal(err)
+	}
+	fn := func(a, b uint16) bool {
+		sum, err := ov.Add(f, uint64(a), uint64(b))
+		return err == nil && sum == uint64(a)+uint64(b)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildAdder_Rejects(t *testing.T) {
+	f, _ := New(4, 4)
+	if _, err := BuildAdder(f, 0); err == nil {
+		t.Error("0-width adder accepted")
+	}
+	if _, err := BuildAdder(f, 8); err == nil {
+		t.Error("adder larger than fabric accepted")
+	}
+	small, _ := New(64, 2)
+	if _, err := BuildAdder(small, 8); err == nil {
+		t.Error("adder with too few pins accepted")
+	}
+}
+
+func TestCounterOverlay(t *testing.T) {
+	const bits = 6
+	f, err := New(2*bits, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := BuildCounter(f, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Configure(ov.Bitstream); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 70; i++ {
+		if err := f.Step(nil); err != nil {
+			t.Fatal(err)
+		}
+		// Output reflects the pre-edge state; after i steps the counter
+		// shows i-1... check: after the first Step, FFs captured 1 but the
+		// visible output was the pre-clock value 0.
+		want := uint64(i-1) % (1 << bits)
+		got, err := ov.Value(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("after %d steps counter shows %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestBuildCounter_Rejects(t *testing.T) {
+	f, _ := New(2, 0)
+	if _, err := BuildCounter(f, 0); err == nil {
+		t.Error("0-bit counter accepted")
+	}
+	if _, err := BuildCounter(f, 4); err == nil {
+		t.Error("oversized counter accepted")
+	}
+}
+
+func TestSequencerOverlay(t *testing.T) {
+	for states := 2; states <= 4; states++ {
+		f, err := New(4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ov, err := BuildSequencer(f, states)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Configure(ov.Bitstream); err != nil {
+			t.Fatal(err)
+		}
+		// Before any step, no phase fires.
+		if p, err := ov.Phase(f); err != nil || p != -1 {
+			t.Errorf("states=%d: initial phase = (%d, %v), want -1", states, p, err)
+		}
+		// Visible output lags the clock edge by one step: after step i the
+		// phase is (i-2) mod states for i >= 2.
+		for i := 1; i <= 3*states+1; i++ {
+			if err := f.Step(nil); err != nil {
+				t.Fatal(err)
+			}
+			p, err := ov.Phase(f)
+			if err != nil {
+				t.Fatalf("states=%d step %d: %v", states, i, err)
+			}
+			var want int
+			if i == 1 {
+				want = -1 // FFs still show reset state
+			} else {
+				want = (i - 2) % states
+			}
+			if p != want {
+				t.Fatalf("states=%d: after %d steps phase = %d, want %d", states, i, p, want)
+			}
+		}
+	}
+}
+
+func TestBuildSequencer_Rejects(t *testing.T) {
+	f, _ := New(8, 0)
+	if _, err := BuildSequencer(f, 1); err == nil {
+		t.Error("1-state sequencer accepted")
+	}
+	if _, err := BuildSequencer(f, 5); err == nil {
+		t.Error("5-state sequencer accepted")
+	}
+	tiny, _ := New(2, 0)
+	if _, err := BuildSequencer(tiny, 4); err == nil {
+		t.Error("sequencer larger than fabric accepted")
+	}
+}
+
+func TestReconfiguration_MorphsRoles(t *testing.T) {
+	// One fabric, three roles, three bitstreams: the universal-flow claim.
+	f, err := New(32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adder, err := BuildAdder(f, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Configure(adder.Bitstream); err != nil {
+		t.Fatal(err)
+	}
+	if sum, err := adder.Add(f, 77, 23); err != nil || sum != 100 {
+		t.Fatalf("DP role: %d, %v", sum, err)
+	}
+
+	counter, err := BuildCounter(f, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Configure(counter.Bitstream); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 11; i++ {
+		if err := f.Step(make([]bool, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, err := counter.Value(f); err != nil || v != 10 {
+		t.Fatalf("memory/state role: %d, %v", v, err)
+	}
+
+	seq, err := BuildSequencer(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Configure(seq.Bitstream); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := f.Step(make([]bool, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p, err := seq.Phase(f); err != nil || p != 0 {
+		t.Fatalf("IP role: phase %d, %v (want 0 after 6 steps)", p, err)
+	}
+
+	if f.Reconfigs() != 3 {
+		t.Errorf("reconfigs = %d, want 3", f.Reconfigs())
+	}
+}
+
+func TestConfigBits_ScaleWithFabric(t *testing.T) {
+	small, _ := New(16, 4)
+	large, _ := New(1024, 64)
+	if small.ConfigBits() <= 0 {
+		t.Error("no config bits")
+	}
+	if large.ConfigBits() <= small.ConfigBits() {
+		t.Error("config bits do not grow with the fabric")
+	}
+	if large.ConfigBitsPerCell() <= small.ConfigBitsPerCell() {
+		t.Error("per-cell bits do not grow with routing richness")
+	}
+	// Per-cell cost: 16 truth + 1 FF + 4 mux selects.
+	want := 16 + 1 + 4*selectBits(16+4+2)
+	if small.ConfigBitsPerCell() != want {
+		t.Errorf("per-cell bits = %d, want %d", small.ConfigBitsPerCell(), want)
+	}
+}
+
+func TestSelectBits(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := selectBits(n); got != want {
+			t.Errorf("selectBits(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	f, _ := New(8, 3)
+	if f.Cells() != 8 || f.Inputs() != 3 {
+		t.Error("accessors wrong")
+	}
+	if err := f.Configure(make([]CellConfig, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if f.Steps() != 0 {
+		t.Error("steps not reset")
+	}
+	if err := f.Step(make([]bool, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if f.Steps() != 1 {
+		t.Error("steps not counted")
+	}
+}

@@ -1,0 +1,246 @@
+package fabric
+
+import "fmt"
+
+// This file builds the strongest form of the universal-flow claim: a whole
+// stored-program (instruction-flow) machine synthesised onto the fabric —
+// instruction memory, program counter (IP) and accumulator datapath (DP)
+// all made of LUT4+FF cells. The taxonomy calls the fabric 'USP' precisely
+// because it can become this; the overlay makes "become" literal.
+//
+// The machine: a 4-bit accumulator processor with a 3-bit program counter
+// (8-entry instruction ROM) and a 6-bit instruction word (2-bit opcode +
+// 4-bit immediate). Per cycle it executes ROM[PC] and increments PC (mod
+// 8, so programs either terminate in NOPs or loop by design).
+
+// MicroOp is the 2-bit opcode of the fabric micro-machine.
+type MicroOp uint8
+
+const (
+	// MicroNop leaves the accumulator unchanged.
+	MicroNop MicroOp = 0
+	// MicroLdi loads the 4-bit immediate into the accumulator.
+	MicroLdi MicroOp = 1
+	// MicroAdd adds the immediate (mod 16).
+	MicroAdd MicroOp = 2
+	// MicroXor xors the immediate in.
+	MicroXor MicroOp = 3
+)
+
+// String returns the mnemonic.
+func (o MicroOp) String() string {
+	switch o {
+	case MicroNop:
+		return "nop"
+	case MicroLdi:
+		return "ldi"
+	case MicroAdd:
+		return "add"
+	case MicroXor:
+		return "xor"
+	default:
+		return fmt.Sprintf("microop(%d)", uint8(o))
+	}
+}
+
+// MicroInstr is one instruction of the micro-machine.
+type MicroInstr struct {
+	Op  MicroOp
+	Imm uint8 // 4 bits
+}
+
+// MicroProgramLen is the instruction ROM depth.
+const MicroProgramLen = 8
+
+// MicroMachineCells is the number of fabric cells the overlay occupies.
+const MicroMachineCells = 34
+
+// MicroMachine describes a configured micro-machine overlay.
+type MicroMachine struct {
+	// Bitstream is the cell configuration to load.
+	Bitstream []CellConfig
+	// AccBits are the accumulator state cells, LSB first.
+	AccBits [4]int
+	// PCBits are the program-counter state cells, LSB first.
+	PCBits [3]int
+	// Program is the synthesised instruction ROM contents.
+	Program [MicroProgramLen]MicroInstr
+}
+
+// BuildMicroMachine synthesises the micro-machine with the given program
+// baked into its instruction ROM. The fabric needs at least
+// MicroMachineCells cells; no input pins are used.
+func BuildMicroMachine(f *Fabric, program [MicroProgramLen]MicroInstr) (MicroMachine, error) {
+	if f.Cells() < MicroMachineCells {
+		return MicroMachine{}, fmt.Errorf("fabric: micro-machine needs %d cells, fabric has %d",
+			MicroMachineCells, f.Cells())
+	}
+	for i, ins := range program {
+		if ins.Op > MicroXor {
+			return MicroMachine{}, fmt.Errorf("fabric: instruction %d has invalid opcode %d", i, ins.Op)
+		}
+		if ins.Imm > 15 {
+			return MicroMachine{}, fmt.Errorf("fabric: instruction %d immediate %d exceeds 4 bits", i, ins.Imm)
+		}
+	}
+
+	cfg := make([]CellConfig, f.Cells())
+	next := 0
+	alloc := func() int {
+		c := next
+		next++
+		return c
+	}
+	cellSrc := func(c int) Source { return Source{Kind: SourceCell, Index: c} }
+	zero := Source{Kind: SourceZero}
+
+	mm := MicroMachine{Program: program}
+
+	// --- Program counter: 3-bit synchronous binary counter.
+	// carry(0) = 1; pc(k)' = pc(k) XOR carry(k); carry(k+1) = carry(k) AND pc(k).
+	var pcFF [3]int
+	carry := Source{Kind: SourceOne}
+	for k := 0; k < 3; k++ {
+		ff := alloc()
+		pcFF[k] = ff
+		cfg[ff] = CellConfig{
+			Truth: truthXOR2, UseFF: true,
+			Inputs: [4]Source{cellSrc(ff), carry, zero, zero},
+		}
+		if k < 2 {
+			andCell := alloc()
+			cfg[andCell] = CellConfig{
+				Truth:  truthAND2,
+				Inputs: [4]Source{carry, cellSrc(ff), zero, zero},
+			}
+			carry = cellSrc(andCell)
+		}
+		mm.PCBits[k] = ff
+	}
+
+	// --- Instruction ROM: one LUT per instruction-word bit, addressed by
+	// the PC. ROM bit layout: 0..3 immediate, 4 op0, 5 op1.
+	romBit := func(bit int) uint16 {
+		var truth uint16
+		for pc := 0; pc < MicroProgramLen; pc++ {
+			word := uint16(program[pc].Imm&0xF) | uint16(program[pc].Op&0x3)<<4
+			if word>>uint(bit)&1 == 1 {
+				truth |= 1 << uint(pc) // PC occupies LUT inputs 0..2
+			}
+		}
+		return truth
+	}
+	var imm [4]Source
+	for b := 0; b < 4; b++ {
+		c := alloc()
+		cfg[c] = CellConfig{
+			Truth:  romBit(b),
+			Inputs: [4]Source{cellSrc(pcFF[0]), cellSrc(pcFF[1]), cellSrc(pcFF[2]), zero},
+		}
+		imm[b] = cellSrc(c)
+	}
+	op0Cell := alloc()
+	cfg[op0Cell] = CellConfig{
+		Truth:  romBit(4),
+		Inputs: [4]Source{cellSrc(pcFF[0]), cellSrc(pcFF[1]), cellSrc(pcFF[2]), zero},
+	}
+	op1Cell := alloc()
+	cfg[op1Cell] = CellConfig{
+		Truth:  romBit(5),
+		Inputs: [4]Source{cellSrc(pcFF[0]), cellSrc(pcFF[1]), cellSrc(pcFF[2]), zero},
+	}
+	op0, op1 := cellSrc(op0Cell), cellSrc(op1Cell)
+
+	// --- Accumulator datapath, bit-sliced. Allocate the FF cells first so
+	// every slice can reference any accumulator bit.
+	var accFF [4]int
+	for b := 0; b < 4; b++ {
+		accFF[b] = alloc()
+		mm.AccBits[b] = accFF[b]
+	}
+	const (
+		truthMuxSel0 = 0xCACA // in2 ? in1 : in0  (select on input 2)
+	)
+	addCarry := zero
+	for b := 0; b < 4; b++ {
+		acc := cellSrc(accFF[b])
+		// xor_b = acc XOR imm (also the half-add partial sum).
+		xorCell := alloc()
+		cfg[xorCell] = CellConfig{Truth: truthXOR2, Inputs: [4]Source{acc, imm[b], zero, zero}}
+		// sum_b = xor_b XOR carry.
+		sumCell := alloc()
+		cfg[sumCell] = CellConfig{Truth: truthXOR2, Inputs: [4]Source{cellSrc(xorCell), addCarry, zero, zero}}
+		// m0 = op0 ? imm : acc   (covers NOP and LDI)
+		m0 := alloc()
+		cfg[m0] = CellConfig{Truth: truthMuxSel0, Inputs: [4]Source{acc, imm[b], op0, zero}}
+		// m1 = op0 ? xor : sum   (covers ADD and XOR)
+		m1 := alloc()
+		cfg[m1] = CellConfig{Truth: truthMuxSel0, Inputs: [4]Source{cellSrc(sumCell), cellSrc(xorCell), op0, zero}}
+		// acc' = op1 ? m1 : m0 — the registered accumulator bit.
+		cfg[accFF[b]] = CellConfig{
+			Truth: truthMuxSel0, UseFF: true,
+			Inputs: [4]Source{cellSrc(m0), cellSrc(m1), op1, zero},
+		}
+		// carry out = MAJ(acc, imm, carry in) for the adder chain.
+		if b < 3 {
+			carryCell := alloc()
+			cfg[carryCell] = CellConfig{Truth: truthMAJ3, Inputs: [4]Source{acc, imm[b], addCarry, zero}}
+			addCarry = cellSrc(carryCell)
+		}
+	}
+
+	if next != MicroMachineCells {
+		return MicroMachine{}, fmt.Errorf("fabric: micro-machine used %d cells, expected %d", next, MicroMachineCells)
+	}
+	mm.Bitstream = cfg
+	return mm, nil
+}
+
+// Acc reads the accumulator after the last Step.
+func (mm MicroMachine) Acc(f *Fabric) (uint8, error) {
+	var v uint8
+	for b, cell := range mm.AccBits {
+		bit, err := f.Output(cell)
+		if err != nil {
+			return 0, err
+		}
+		if bit {
+			v |= 1 << uint(b)
+		}
+	}
+	return v, nil
+}
+
+// PC reads the program counter after the last Step.
+func (mm MicroMachine) PC(f *Fabric) (uint8, error) {
+	var v uint8
+	for b, cell := range mm.PCBits {
+		bit, err := f.Output(cell)
+		if err != nil {
+			return 0, err
+		}
+		if bit {
+			v |= 1 << uint(b)
+		}
+	}
+	return v, nil
+}
+
+// SimulateMicroProgram is the pure-Go reference semantics of the
+// micro-machine: the accumulator value after `steps` executed instructions
+// (the ROM wraps modulo MicroProgramLen).
+func SimulateMicroProgram(program [MicroProgramLen]MicroInstr, steps int) uint8 {
+	var acc uint8
+	for s := 0; s < steps; s++ {
+		ins := program[s%MicroProgramLen]
+		switch ins.Op {
+		case MicroLdi:
+			acc = ins.Imm & 0xF
+		case MicroAdd:
+			acc = (acc + ins.Imm) & 0xF
+		case MicroXor:
+			acc = (acc ^ ins.Imm) & 0xF
+		}
+	}
+	return acc
+}

@@ -1,0 +1,162 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// runMicro configures a fresh fabric with the program and executes `steps`
+// instructions, returning the visible accumulator (which lags the clock
+// edge by one Step, like every FF output in this simulator).
+func runMicro(t *testing.T, program [MicroProgramLen]MicroInstr, steps int) uint8 {
+	t.Helper()
+	f, err := New(MicroMachineCells, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := BuildMicroMachine(f, program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Configure(mm.Bitstream); err != nil {
+		t.Fatal(err)
+	}
+	// steps+1 clocks: after the extra clock the visible output equals the
+	// architectural state after `steps` executed instructions.
+	for i := 0; i < steps+1; i++ {
+		if err := f.Step(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc, err := mm.Acc(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acc
+}
+
+func TestMicroMachine_BasicProgram(t *testing.T) {
+	program := [MicroProgramLen]MicroInstr{
+		{Op: MicroLdi, Imm: 5},
+		{Op: MicroAdd, Imm: 7},
+		{Op: MicroXor, Imm: 3},
+		{Op: MicroAdd, Imm: 1},
+		{Op: MicroNop}, {Op: MicroNop}, {Op: MicroNop}, {Op: MicroNop},
+	}
+	wantTrace := []uint8{0, 5, 12, 15, 0, 0, 0, 0, 0}
+	for steps, want := range wantTrace {
+		if got := runMicro(t, program, steps); got != want {
+			t.Errorf("after %d instructions acc = %d, want %d", steps, got, want)
+		}
+		if ref := SimulateMicroProgram(program, steps); ref != want {
+			t.Errorf("reference after %d instructions = %d, want %d", steps, ref, want)
+		}
+	}
+}
+
+func TestMicroMachine_PCWrapsAndReexecutes(t *testing.T) {
+	program := [MicroProgramLen]MicroInstr{
+		{Op: MicroAdd, Imm: 1},
+		{Op: MicroNop}, {Op: MicroNop}, {Op: MicroNop},
+		{Op: MicroNop}, {Op: MicroNop}, {Op: MicroNop}, {Op: MicroNop},
+	}
+	// Each full ROM pass adds 1; after 3 passes (24 instructions) acc = 3.
+	if got := runMicro(t, program, 24); got != 3 {
+		t.Errorf("acc after 3 loop passes = %d, want 3", got)
+	}
+	f, err := New(MicroMachineCells, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := BuildMicroMachine(f, program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Configure(mm.Bitstream); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 11; i++ { // visible PC after 11 clocks = 10 mod 8 = 2
+		if err := f.Step(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pc, err := mm.PC(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc != 2 {
+		t.Errorf("visible PC = %d, want 2", pc)
+	}
+}
+
+func TestMicroMachine_MatchesReference_Property(t *testing.T) {
+	// Arbitrary programs agree with the pure-Go reference semantics.
+	f := func(raw [MicroProgramLen]uint8, stepsRaw uint8) bool {
+		var program [MicroProgramLen]MicroInstr
+		for i, r := range raw {
+			program[i] = MicroInstr{Op: MicroOp(r >> 4 & 3), Imm: r & 0xF}
+		}
+		steps := int(stepsRaw % 32)
+		fab, err := New(MicroMachineCells, 0)
+		if err != nil {
+			return false
+		}
+		mm, err := BuildMicroMachine(fab, program)
+		if err != nil {
+			return false
+		}
+		if err := fab.Configure(mm.Bitstream); err != nil {
+			return false
+		}
+		for i := 0; i < steps+1; i++ {
+			if err := fab.Step(nil); err != nil {
+				return false
+			}
+		}
+		got, err := mm.Acc(fab)
+		if err != nil {
+			return false
+		}
+		return got == SimulateMicroProgram(program, steps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildMicroMachine_Rejects(t *testing.T) {
+	small, err := New(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var program [MicroProgramLen]MicroInstr
+	if _, err := BuildMicroMachine(small, program); err == nil {
+		t.Error("undersized fabric accepted")
+	}
+	big, err := New(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := program
+	bad[0] = MicroInstr{Op: MicroOp(7)}
+	if _, err := BuildMicroMachine(big, bad); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+	bad = program
+	bad[0] = MicroInstr{Op: MicroAdd, Imm: 99}
+	if _, err := BuildMicroMachine(big, bad); err == nil {
+		t.Error("oversized immediate accepted")
+	}
+}
+
+func TestMicroOpString(t *testing.T) {
+	cases := map[MicroOp]string{MicroNop: "nop", MicroLdi: "ldi", MicroAdd: "add", MicroXor: "xor"}
+	for op, want := range cases {
+		if op.String() != want {
+			t.Errorf("%d prints %q", op, op.String())
+		}
+	}
+	if MicroOp(9).String() == "" {
+		t.Error("invalid op prints empty")
+	}
+}

@@ -1,0 +1,232 @@
+package fabric
+
+import "fmt"
+
+// This file builds the overlays that demonstrate the universal-flow claim
+// of §II.C: the same fabric, reconfigured, acts as a data processor (a
+// ripple-carry adder), as a memory element (a register), or as an
+// instruction processor (a self-starting one-hot micro-sequencer emitting
+// control phases). Each builder returns the bitstream plus the cell
+// indices to observe; load it with Fabric.Configure.
+
+// Truth tables used by the overlays.
+const (
+	truthXOR3 = 0x9696 // parity of inputs 0..2 (replicated over input 3)
+	truthMAJ3 = 0xE8E8 // majority of inputs 0..2
+	truthXOR2 = 0x6666 // inputs 0,1
+	truthAND2 = 0x8888 // inputs 0,1
+	truthBUF  = 0xAAAA // copy input 0
+)
+
+// AdderOverlay describes a configured ripple-carry adder.
+type AdderOverlay struct {
+	// Bitstream is the cell configuration to load.
+	Bitstream []CellConfig
+	// Sum lists the sum-bit cells, least significant first.
+	Sum []int
+	// CarryOut is the final carry cell.
+	CarryOut int
+	// Width is the operand width; pins 0..Width-1 are operand A and pins
+	// Width..2*Width-1 are operand B.
+	Width int
+}
+
+// BuildAdder returns a width-bit ripple-carry adder overlay for a fabric
+// with at least 2*width cells and exactly >= 2*width input pins. The fabric
+// acts purely as a data processor: no state, data flows through LUTs.
+func BuildAdder(f *Fabric, width int) (AdderOverlay, error) {
+	if width < 1 {
+		return AdderOverlay{}, fmt.Errorf("fabric: adder width must be >= 1, got %d", width)
+	}
+	needCells := 2 * width
+	if f.Cells() < needCells {
+		return AdderOverlay{}, fmt.Errorf("fabric: %d-bit adder needs %d cells, fabric has %d",
+			width, needCells, f.Cells())
+	}
+	if f.Inputs() < 2*width {
+		return AdderOverlay{}, fmt.Errorf("fabric: %d-bit adder needs %d input pins, fabric has %d",
+			width, 2*width, f.Inputs())
+	}
+	cfg := make([]CellConfig, f.Cells())
+	ov := AdderOverlay{Width: width}
+	carry := Source{Kind: SourceZero}
+	for bit := 0; bit < width; bit++ {
+		a := Source{Kind: SourceInput, Index: bit}
+		b := Source{Kind: SourceInput, Index: width + bit}
+		sumCell := 2 * bit
+		carryCell := 2*bit + 1
+		cfg[sumCell] = CellConfig{
+			Truth:  truthXOR3,
+			Inputs: [4]Source{a, b, carry, {Kind: SourceZero}},
+		}
+		cfg[carryCell] = CellConfig{
+			Truth:  truthMAJ3,
+			Inputs: [4]Source{a, b, carry, {Kind: SourceZero}},
+		}
+		ov.Sum = append(ov.Sum, sumCell)
+		carry = Source{Kind: SourceCell, Index: carryCell}
+		ov.CarryOut = carryCell
+	}
+	ov.Bitstream = cfg
+	return ov, nil
+}
+
+// Add drives a configured adder overlay with two operands and reads back
+// the sum. The fabric must already hold ov.Bitstream.
+func (ov AdderOverlay) Add(f *Fabric, a, b uint64) (uint64, error) {
+	pins := make([]bool, f.Inputs())
+	for bit := 0; bit < ov.Width; bit++ {
+		pins[bit] = a>>uint(bit)&1 == 1
+		pins[ov.Width+bit] = b>>uint(bit)&1 == 1
+	}
+	if err := f.Step(pins); err != nil {
+		return 0, err
+	}
+	var sum uint64
+	for bit, cell := range ov.Sum {
+		v, err := f.Output(cell)
+		if err != nil {
+			return 0, err
+		}
+		if v {
+			sum |= 1 << uint(bit)
+		}
+	}
+	cout, err := f.Output(ov.CarryOut)
+	if err != nil {
+		return 0, err
+	}
+	if cout {
+		sum |= 1 << uint(ov.Width)
+	}
+	return sum, nil
+}
+
+// CounterOverlay describes a configured binary up-counter: the fabric in
+// its memory-element/state role.
+type CounterOverlay struct {
+	Bitstream []CellConfig
+	// Bits lists the counter state cells, least significant first.
+	Bits []int
+}
+
+// BuildCounter returns a bits-wide synchronous binary counter overlay. It
+// needs 2*bits cells and no input pins.
+func BuildCounter(f *Fabric, bits int) (CounterOverlay, error) {
+	if bits < 1 {
+		return CounterOverlay{}, fmt.Errorf("fabric: counter width must be >= 1, got %d", bits)
+	}
+	if f.Cells() < 2*bits {
+		return CounterOverlay{}, fmt.Errorf("fabric: %d-bit counter needs %d cells, fabric has %d",
+			bits, 2*bits, f.Cells())
+	}
+	cfg := make([]CellConfig, f.Cells())
+	ov := CounterOverlay{}
+	// Cell layout: state FF cells at 2k, carry-chain AND cells at 2k+1.
+	// carry(0) = 1; carry(k) = carry(k-1) AND q(k-1); q(k)' = q(k) XOR carry(k).
+	carry := Source{Kind: SourceOne}
+	for k := 0; k < bits; k++ {
+		ff := 2 * k
+		cfg[ff] = CellConfig{
+			Truth:  truthXOR2,
+			UseFF:  true,
+			Inputs: [4]Source{{Kind: SourceCell, Index: ff}, carry, {Kind: SourceZero}, {Kind: SourceZero}},
+		}
+		ov.Bits = append(ov.Bits, ff)
+		andCell := 2*k + 1
+		cfg[andCell] = CellConfig{
+			Truth:  truthAND2,
+			Inputs: [4]Source{carry, {Kind: SourceCell, Index: ff}, {Kind: SourceZero}, {Kind: SourceZero}},
+		}
+		carry = Source{Kind: SourceCell, Index: andCell}
+	}
+	ov.Bitstream = cfg
+	return ov, nil
+}
+
+// Value reads the counter state after the last Step.
+func (ov CounterOverlay) Value(f *Fabric) (uint64, error) {
+	var v uint64
+	for bit, cell := range ov.Bits {
+		b, err := f.Output(cell)
+		if err != nil {
+			return 0, err
+		}
+		if b {
+			v |= 1 << uint(bit)
+		}
+	}
+	return v, nil
+}
+
+// SequencerOverlay describes a configured one-hot micro-sequencer: the
+// fabric in its instruction-processor role, emitting control phases the
+// way a tiny hardwired IP sequences a data path.
+type SequencerOverlay struct {
+	Bitstream []CellConfig
+	// Phases lists the one-hot phase cells in firing order.
+	Phases []int
+}
+
+// BuildSequencer returns a self-starting one-hot ring sequencer with the
+// given number of states (2..4; the restart LUT watches all states with a
+// single LUT4). After the first Step, phase 0 fires, then 1, 2, ... and
+// wraps around forever.
+func BuildSequencer(f *Fabric, states int) (SequencerOverlay, error) {
+	if states < 2 || states > 4 {
+		return SequencerOverlay{}, fmt.Errorf("fabric: sequencer supports 2..4 states, got %d", states)
+	}
+	if f.Cells() < states {
+		return SequencerOverlay{}, fmt.Errorf("fabric: %d-state sequencer needs %d cells, fabric has %d",
+			states, states, f.Cells())
+	}
+	cfg := make([]CellConfig, f.Cells())
+	ov := SequencerOverlay{}
+	// Phase 0 fires when every phase is low (self-start out of reset) or
+	// when the last phase was high (ring wrap); phase k follows phase k-1.
+	// All phase cells are flip-flops, so after the first Step phase 0 is
+	// high and each further Step advances the one-hot token by one.
+	watch := [4]Source{{Kind: SourceZero}, {Kind: SourceZero}, {Kind: SourceZero}, {Kind: SourceZero}}
+	for s := 0; s < states; s++ {
+		watch[s] = Source{Kind: SourceCell, Index: s}
+	}
+	var truth uint16
+	for idx := 0; idx < 16; idx++ {
+		allLow := idx&(1<<uint(states)-1) == 0
+		lastHigh := idx>>uint(states-1)&1 == 1
+		if allLow || lastHigh {
+			truth |= 1 << uint(idx)
+		}
+	}
+	cfg[0] = CellConfig{Truth: truth, UseFF: true, Inputs: watch}
+	ov.Phases = append(ov.Phases, 0)
+	for s := 1; s < states; s++ {
+		cfg[s] = CellConfig{
+			Truth:  truthBUF,
+			UseFF:  true,
+			Inputs: [4]Source{{Kind: SourceCell, Index: s - 1}, {Kind: SourceZero}, {Kind: SourceZero}, {Kind: SourceZero}},
+		}
+		ov.Phases = append(ov.Phases, s)
+	}
+	ov.Bitstream = cfg
+	return ov, nil
+}
+
+// Phase returns the index of the currently-high phase, or -1 when none is
+// high (the self-start cycle).
+func (ov SequencerOverlay) Phase(f *Fabric) (int, error) {
+	phase := -1
+	for i, cell := range ov.Phases {
+		b, err := f.Output(cell)
+		if err != nil {
+			return 0, err
+		}
+		if b {
+			if phase >= 0 {
+				return 0, fmt.Errorf("fabric: sequencer not one-hot: phases %d and %d both high", phase, i)
+			}
+			phase = i
+		}
+	}
+	return phase, nil
+}

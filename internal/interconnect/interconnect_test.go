@@ -1,0 +1,318 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/taxonomy"
+)
+
+func TestDirect_PairedPortsOnly(t *testing.T) {
+	d, err := NewDirect(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrival, err := d.Transfer(0, 2, 2)
+	if err != nil || arrival != 1 {
+		t.Errorf("Transfer(0,2,2) = (%d, %v), want (1, nil)", arrival, err)
+	}
+	if _, err := d.Transfer(0, 1, 2); err == nil {
+		t.Error("cross-pair transfer accepted on direct wiring")
+	}
+	if _, err := d.Transfer(0, -1, 0); err == nil {
+		t.Error("negative port accepted")
+	}
+	if _, err := d.Transfer(0, 0, 7); err == nil {
+		t.Error("out-of-range port accepted")
+	}
+}
+
+func TestDirect_PairsAreIndependent(t *testing.T) {
+	d, _ := NewDirect(4)
+	for p := 0; p < 4; p++ {
+		arrival, err := d.Transfer(0, p, p)
+		if err != nil || arrival != 1 {
+			t.Errorf("pair %d: (%d, %v)", p, arrival, err)
+		}
+	}
+	if s := d.Stats(); s.ConflictCycles != 0 || s.Transfers != 4 {
+		t.Errorf("independent pairs conflicted: %+v", s)
+	}
+	// Same pair back-to-back in the same cycle serializes.
+	a1, _ := d.Transfer(5, 1, 1)
+	a2, _ := d.Transfer(5, 1, 1)
+	if a2 != a1+1 {
+		t.Errorf("same-pair serialization: %d then %d", a1, a2)
+	}
+}
+
+func TestBus_Serializes(t *testing.T) {
+	b, err := NewBus(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last int64
+	for i := 0; i < 8; i++ {
+		arrival, err := b.Transfer(0, i, (i+1)%8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if arrival != int64(i+1) {
+			t.Errorf("transfer %d arrived at %d, want %d (bus carries one word per cycle)", i, arrival, i+1)
+		}
+		last = arrival
+	}
+	s := b.Stats()
+	if s.Transfers != 8 || s.ConflictCycles != 0+1+2+3+4+5+6+7 {
+		t.Errorf("bus stats %+v", s)
+	}
+	if last != 8 {
+		t.Errorf("last arrival %d", last)
+	}
+	b.Reset()
+	if b.Stats() != (Stats{}) {
+		t.Error("Reset did not clear stats")
+	}
+	if a, _ := b.Transfer(0, 0, 1); a != 1 {
+		t.Error("Reset did not clear occupancy")
+	}
+}
+
+func TestCrossbar_ParallelToDistinctOutputs(t *testing.T) {
+	c, err := NewCrossbar(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		arrival, err := c.Transfer(0, i, 7-i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if arrival != 1 {
+			t.Errorf("transfer to output %d arrived at %d, want 1 (distinct outputs run in parallel)", 7-i, arrival)
+		}
+	}
+	if s := c.Stats(); s.ConflictCycles != 0 {
+		t.Errorf("permutation traffic conflicted: %+v", s)
+	}
+	// All-to-one serializes on the output port.
+	c.Reset()
+	for i := 0; i < 4; i++ {
+		arrival, err := c.Transfer(0, i, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if arrival != int64(i+1) {
+			t.Errorf("hot output: transfer %d arrived at %d", i, arrival)
+		}
+	}
+}
+
+func TestLimited_Window(t *testing.T) {
+	l, err := NewLimited(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Window() != 3 {
+		t.Errorf("Window() = %d", l.Window())
+	}
+	if _, err := l.Transfer(0, 5, 8); err != nil {
+		t.Errorf("distance-3 transfer rejected: %v", err)
+	}
+	if _, err := l.Transfer(0, 5, 2); err != nil {
+		t.Errorf("distance-3 transfer (left) rejected: %v", err)
+	}
+	if _, err := l.Transfer(0, 5, 9); err == nil {
+		t.Error("distance-4 transfer accepted with window 3")
+	}
+	if _, err := l.Transfer(0, 0, 15); err == nil {
+		t.Error("far transfer accepted")
+	}
+	if _, err := l.Transfer(0, 20, 0); err == nil {
+		t.Error("out-of-range port accepted")
+	}
+}
+
+func TestMesh_HopCounts(t *testing.T) {
+	m, err := NewMesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		src, dst, hops int
+	}{
+		{0, 0, 0}, {0, 1, 1}, {0, 3, 3}, {0, 4, 1}, {0, 15, 6}, {5, 10, 2}, {12, 3, 6},
+	}
+	for _, tc := range cases {
+		got, err := m.Hops(tc.src, tc.dst)
+		if err != nil {
+			t.Errorf("Hops(%d,%d): %v", tc.src, tc.dst, err)
+			continue
+		}
+		if got != tc.hops {
+			t.Errorf("Hops(%d,%d) = %d, want %d", tc.src, tc.dst, got, tc.hops)
+		}
+	}
+	if _, err := m.Hops(0, 99); err == nil {
+		t.Error("Hops out of range accepted")
+	}
+}
+
+func TestMesh_TransferLatencyMatchesHops(t *testing.T) {
+	m, _ := NewMesh(4, 4)
+	arrival, err := m.Transfer(10, 0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arrival != 16 { // 6 hops, no contention
+		t.Errorf("uncontended 6-hop transfer arrived at %d, want 16", arrival)
+	}
+	m.Reset()
+	arrival, err = m.Transfer(0, 3, 3)
+	if err != nil || arrival != 1 {
+		t.Errorf("local delivery = (%d, %v), want (1, nil)", arrival, err)
+	}
+}
+
+func TestMesh_LinkContention(t *testing.T) {
+	m, _ := NewMesh(1, 3)
+	// Two messages both need node 0's east link at cycle 0.
+	a1, err := m.Transfer(0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := m.Transfer(0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != 2 {
+		t.Errorf("first message arrived at %d, want 2", a1)
+	}
+	if a2 <= a1 {
+		t.Errorf("second message (%d) did not queue behind the first (%d)", a2, a1)
+	}
+	if m.Stats().ConflictCycles == 0 {
+		t.Error("contention not recorded")
+	}
+	m.Reset()
+	if m.Stats() != (Stats{}) {
+		t.Error("Reset did not clear mesh stats")
+	}
+}
+
+func TestMesh_OppositeDirectionsDontConflict(t *testing.T) {
+	m, _ := NewMesh(1, 2)
+	a1, _ := m.Transfer(0, 0, 1) // east
+	a2, _ := m.Transfer(0, 1, 0) // west
+	if a1 != 1 || a2 != 1 {
+		t.Errorf("bidirectional transfers = %d, %d; want both 1", a1, a2)
+	}
+}
+
+func TestNewConstructors_Reject(t *testing.T) {
+	if _, err := NewDirect(0); err == nil {
+		t.Error("NewDirect(0) accepted")
+	}
+	if _, err := NewBus(-1); err == nil {
+		t.Error("NewBus(-1) accepted")
+	}
+	if _, err := NewCrossbar(0); err == nil {
+		t.Error("NewCrossbar(0) accepted")
+	}
+	if _, err := NewLimited(0, 3); err == nil {
+		t.Error("NewLimited(0,3) accepted")
+	}
+	if _, err := NewLimited(8, 0); err == nil {
+		t.Error("NewLimited(8,0) accepted")
+	}
+	if _, err := NewMesh(0, 4); err == nil {
+		t.Error("NewMesh(0,4) accepted")
+	}
+}
+
+func TestForLink(t *testing.T) {
+	n, err := ForLink(taxonomy.LinkNone, 4)
+	if err != nil || n != nil {
+		t.Errorf("ForLink(none) = (%v, %v)", n, err)
+	}
+	n, err = ForLink(taxonomy.LinkDirect, 4)
+	if err != nil || n.Kind() != taxonomy.LinkDirect {
+		t.Errorf("ForLink(direct) = (%v, %v)", n, err)
+	}
+	n, err = ForLink(taxonomy.LinkCrossbar, 4)
+	if err != nil || n.Kind() != taxonomy.LinkCrossbar {
+		t.Errorf("ForLink(crossbar) = (%v, %v)", n, err)
+	}
+	n, err = ForLink(taxonomy.LinkVariable, 4)
+	if err != nil || n == nil {
+		t.Errorf("ForLink(variable) = (%v, %v)", n, err)
+	}
+	if _, err := ForLink(taxonomy.Link(9), 4); err == nil {
+		t.Error("ForLink(bogus) accepted")
+	}
+}
+
+func TestKinds(t *testing.T) {
+	d, _ := NewDirect(2)
+	b, _ := NewBus(2)
+	c, _ := NewCrossbar(2)
+	l, _ := NewLimited(4, 1)
+	m, _ := NewMesh(2, 2)
+	if d.Kind() != taxonomy.LinkDirect {
+		t.Error("direct kind")
+	}
+	for _, n := range []Network{b, c, l, m} {
+		if n.Kind() != taxonomy.LinkCrossbar {
+			t.Errorf("%T kind = %v, want crossbar", n, n.Kind())
+		}
+	}
+	if r, c := m.Dims(); r != 2 || c != 2 {
+		t.Error("mesh dims")
+	}
+}
+
+func TestStatsMeanLatency(t *testing.T) {
+	var s Stats
+	if s.MeanLatency() != 0 {
+		t.Error("idle mean latency nonzero")
+	}
+	s = Stats{Transfers: 4, TotalLatency: 10}
+	if s.MeanLatency() != 2.5 {
+		t.Errorf("mean latency = %g", s.MeanLatency())
+	}
+}
+
+// TestProperty_ArrivalAfterIssue: on every network, a transfer arrives
+// strictly after it is issued and latency accumulates consistently.
+func TestProperty_ArrivalAfterIssue(t *testing.T) {
+	mkNets := func() []Network {
+		d, _ := NewDirect(8)
+		b, _ := NewBus(8)
+		c, _ := NewCrossbar(8)
+		l, _ := NewLimited(8, 7)
+		m, _ := NewMesh(2, 4)
+		return []Network{d, b, c, l, m}
+	}
+	nets := mkNets()
+	f := func(netSel, srcRaw, dstRaw uint8, nowRaw uint16) bool {
+		net := nets[int(netSel)%len(nets)]
+		src := int(srcRaw) % net.Ports()
+		dst := int(dstRaw) % net.Ports()
+		if _, ok := net.(*Direct); ok {
+			dst = src
+		}
+		now := int64(nowRaw)
+		before := net.Stats()
+		arrival, err := net.Transfer(now, src, dst)
+		if err != nil {
+			return false
+		}
+		after := net.Stats()
+		return arrival > now &&
+			after.Transfers == before.Transfers+1 &&
+			after.TotalLatency >= before.TotalLatency+(arrival-now)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+package interconnect
+
+import (
+	"fmt"
+
+	"repro/internal/taxonomy"
+)
+
+// Mesh is a packet-switched 2D mesh network-on-chip with dimension-ordered
+// (XY) routing, the fabric REDEFINE's compute elements communicate over.
+// Ports are laid out row-major on a rows x cols grid. A word traverses one
+// link per cycle; each directional link carries one word per cycle and
+// later words wait for the link to free.
+type Mesh struct {
+	rows, cols int
+	// linkBusy[from][dir] is the cycle until which the outgoing link of
+	// node 'from' in direction 'dir' is occupied.
+	linkBusy [][4]int64
+	stats    Stats
+}
+
+// Link directions out of a mesh node.
+const (
+	dirEast = iota
+	dirWest
+	dirNorth
+	dirSouth
+)
+
+// NewMesh builds a rows x cols mesh.
+func NewMesh(rows, cols int) (*Mesh, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("interconnect: mesh: dimensions must be >= 1, got %dx%d", rows, cols)
+	}
+	return &Mesh{rows: rows, cols: cols, linkBusy: make([][4]int64, rows*cols)}, nil
+}
+
+// Ports implements Network.
+func (m *Mesh) Ports() int { return m.rows * m.cols }
+
+// Dims returns the grid shape.
+func (m *Mesh) Dims() (rows, cols int) { return m.rows, m.cols }
+
+// Kind implements Network. A mesh realizes the 'x' switch kind: any node
+// reaches any node, at multi-hop cost.
+func (m *Mesh) Kind() taxonomy.Link { return taxonomy.LinkCrossbar }
+
+// Hops returns the XY-routing hop count between two ports.
+func (m *Mesh) Hops(src, dst int) (int, error) {
+	if err := checkPorts("mesh", m.Ports(), src, dst); err != nil {
+		return 0, err
+	}
+	sr, sc := src/m.cols, src%m.cols
+	dr, dc := dst/m.cols, dst%m.cols
+	return abs(sr-dr) + abs(sc-dc), nil
+}
+
+// Transfer implements Network: the word moves X-first then Y, acquiring
+// each directional link in turn; a local delivery (src == dst) costs one
+// cycle through the node's ejection port.
+func (m *Mesh) Transfer(now int64, src, dst int) (int64, error) {
+	if err := checkPorts("mesh", m.Ports(), src, dst); err != nil {
+		return 0, err
+	}
+	t := now
+	r, c := src/m.cols, src%m.cols
+	dr, dc := dst/m.cols, dst%m.cols
+
+	hop := func(node, dir int) {
+		if m.linkBusy[node][dir] > t {
+			m.stats.ConflictCycles += m.linkBusy[node][dir] - t
+			t = m.linkBusy[node][dir]
+		}
+		t++
+		m.linkBusy[node][dir] = t
+	}
+
+	for c != dc {
+		node := r*m.cols + c
+		if dc > c {
+			hop(node, dirEast)
+			c++
+		} else {
+			hop(node, dirWest)
+			c--
+		}
+	}
+	for r != dr {
+		node := r*m.cols + c
+		if dr > r {
+			hop(node, dirSouth)
+			r++
+		} else {
+			hop(node, dirNorth)
+			r--
+		}
+	}
+	if t == now { // local delivery still takes a cycle
+		t++
+	}
+	m.stats.Transfers++
+	m.stats.TotalLatency += t - now
+	return t, nil
+}
+
+// Stats implements Network.
+func (m *Mesh) Stats() Stats { return m.stats }
+
+// Reset implements Network.
+func (m *Mesh) Reset() {
+	for i := range m.linkBusy {
+		m.linkBusy[i] = [4]int64{}
+	}
+	m.stats = Stats{}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// ForLink constructs the default network model for a taxonomy switch kind
+// over the given number of ports: direct wiring for '-', a full crossbar
+// for 'x' (and for the 'vxv' fabric, whose routing cost the cost models
+// price separately), and nil for absent links. Limited cells should use
+// NewLimited directly; buses and meshes are explicit architectural choices.
+func ForLink(l taxonomy.Link, ports int) (Network, error) {
+	switch l {
+	case taxonomy.LinkNone:
+		return nil, nil
+	case taxonomy.LinkDirect:
+		return NewDirect(ports)
+	case taxonomy.LinkCrossbar, taxonomy.LinkVariable:
+		return NewCrossbar(ports)
+	default:
+		return nil, fmt.Errorf("interconnect: unknown link kind %v", l)
+	}
+}

@@ -1,0 +1,99 @@
+package interconnect
+
+import (
+	"fmt"
+
+	"repro/internal/taxonomy"
+)
+
+// Omega is a log-stage multistage interconnection network of 2x2 switches
+// with destination-tag routing: the classic way to approximate a full
+// crossbar's any-to-any reach at O(N log N) switch cost instead of O(N^2).
+// The price is *blocking*: two messages can contend for an internal link
+// even when their destinations differ, which a true crossbar never does.
+// The cost models price such networks like limited crossbars; this model
+// makes the performance side of the trade observable.
+type Omega struct {
+	ports  int
+	stages int
+	// linkBusy[stage][link] is the cycle until which the link leaving that
+	// stage is occupied.
+	linkBusy [][]int64
+	stats    Stats
+}
+
+// NewOmega builds an omega network; ports must be a power of two >= 2.
+func NewOmega(ports int) (*Omega, error) {
+	if ports < 2 || ports&(ports-1) != 0 {
+		return nil, fmt.Errorf("interconnect: omega: ports must be a power of two >= 2, got %d", ports)
+	}
+	stages := 0
+	for v := ports; v > 1; v >>= 1 {
+		stages++
+	}
+	busy := make([][]int64, stages)
+	for i := range busy {
+		busy[i] = make([]int64, ports)
+	}
+	return &Omega{ports: ports, stages: stages, linkBusy: busy}, nil
+}
+
+// Ports implements Network.
+func (o *Omega) Ports() int { return o.ports }
+
+// Stages is the number of switch stages (log2 ports).
+func (o *Omega) Stages() int { return o.stages }
+
+// Kind implements Network: an omega network realizes the 'x' switch kind.
+func (o *Omega) Kind() taxonomy.Link { return taxonomy.LinkCrossbar }
+
+// Path returns the sequence of internal link indices a message occupies,
+// one per stage, under destination-tag routing: at each stage the address
+// is shuffled left and its low bit replaced by the next destination bit.
+func (o *Omega) Path(src, dst int) ([]int, error) {
+	if err := checkPorts("omega", o.ports, src, dst); err != nil {
+		return nil, err
+	}
+	path := make([]int, o.stages)
+	addr := src
+	for s := 0; s < o.stages; s++ {
+		bit := dst >> uint(o.stages-1-s) & 1
+		addr = (addr<<1 | bit) & (o.ports - 1)
+		path[s] = addr
+	}
+	return path, nil
+}
+
+// Transfer implements Network: the message acquires each stage's output
+// link in sequence, one cycle per stage, waiting out any occupancy.
+func (o *Omega) Transfer(now int64, src, dst int) (int64, error) {
+	path, err := o.Path(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	t := now
+	for s, link := range path {
+		if o.linkBusy[s][link] > t {
+			o.stats.ConflictCycles += o.linkBusy[s][link] - t
+			t = o.linkBusy[s][link]
+		}
+		t++
+		o.linkBusy[s][link] = t
+	}
+	o.stats.Transfers++
+	o.stats.TotalLatency += t - now
+	return t, nil
+}
+
+// Stats implements Network.
+func (o *Omega) Stats() Stats { return o.stats }
+
+// Reset implements Network.
+func (o *Omega) Reset() {
+	for s := range o.linkBusy {
+		for l := range o.linkBusy[s] {
+			o.linkBusy[s][l] = 0
+		}
+	}
+	o.stats = Stats{}
+}

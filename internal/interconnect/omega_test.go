@@ -1,0 +1,150 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewOmega_Rejects(t *testing.T) {
+	for _, bad := range []int{0, 1, 3, 6, 12} {
+		if _, err := NewOmega(bad); err == nil {
+			t.Errorf("NewOmega(%d) accepted", bad)
+		}
+	}
+	o, err := NewOmega(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Ports() != 8 || o.Stages() != 3 {
+		t.Errorf("8-port omega: %d ports, %d stages", o.Ports(), o.Stages())
+	}
+}
+
+func TestOmega_PathProperties(t *testing.T) {
+	o, err := NewOmega(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Destination-tag routing always ends on the destination's link.
+	for src := 0; src < 8; src++ {
+		for dst := 0; dst < 8; dst++ {
+			path, err := o.Path(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(path) != 3 {
+				t.Fatalf("path length %d", len(path))
+			}
+			if path[2] != dst {
+				t.Errorf("path %d->%d ends at link %d", src, dst, path[2])
+			}
+		}
+	}
+	if _, err := o.Path(0, 9); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+}
+
+func TestOmega_UncontendedLatencyIsStages(t *testing.T) {
+	o, _ := NewOmega(16)
+	arrival, err := o.Transfer(5, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arrival != 5+4 {
+		t.Errorf("arrival %d, want 9 (4 stages)", arrival)
+	}
+}
+
+func TestOmega_IdentityPermutationIsConflictFree(t *testing.T) {
+	// The identity permutation routes without conflicts on an omega net.
+	o, _ := NewOmega(8)
+	for p := 0; p < 8; p++ {
+		if _, err := o.Transfer(0, p, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Stats().ConflictCycles != 0 {
+		t.Errorf("identity permutation conflicted: %+v", o.Stats())
+	}
+}
+
+func TestOmega_BlockingUnlikeCrossbar(t *testing.T) {
+	// src 0 -> dst 0 and src 4 -> dst 1 share the stage-0 link (both
+	// shuffle onto link 0/1 patterns): find a blocking pair exhaustively
+	// and verify the crossbar would not block it.
+	o, _ := NewOmega(8)
+	blockingFound := false
+	for s1 := 0; s1 < 8 && !blockingFound; s1++ {
+		for s2 := 0; s2 < 8 && !blockingFound; s2++ {
+			for d1 := 0; d1 < 8 && !blockingFound; d1++ {
+				for d2 := 0; d2 < 8 && !blockingFound; d2++ {
+					if s1 == s2 || d1 == d2 {
+						continue
+					}
+					p1, _ := o.Path(s1, d1)
+					p2, _ := o.Path(s2, d2)
+					for st := range p1 {
+						if p1[st] == p2[st] {
+							blockingFound = true
+							// Demonstrate the conflict dynamically.
+							o.Reset()
+							a1, _ := o.Transfer(0, s1, d1)
+							a2, _ := o.Transfer(0, s2, d2)
+							if a1 == a2 && o.Stats().ConflictCycles == 0 {
+								t.Errorf("shared-link pair (%d->%d, %d->%d) did not conflict", s1, d1, s2, d2)
+							}
+							// The same pair on a crossbar is conflict-free.
+							cb, _ := NewCrossbar(8)
+							b1, _ := cb.Transfer(0, s1, d1)
+							b2, _ := cb.Transfer(0, s2, d2)
+							if b1 != 1 || b2 != 1 {
+								t.Errorf("crossbar serialized distinct destinations")
+							}
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	if !blockingFound {
+		t.Fatal("no blocking pair found: omega model is not blocking")
+	}
+}
+
+func TestOmega_ResetAndStats(t *testing.T) {
+	o, _ := NewOmega(4)
+	if _, err := o.Transfer(0, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if o.Stats().Transfers != 1 {
+		t.Error("transfer not counted")
+	}
+	o.Reset()
+	if o.Stats() != (Stats{}) {
+		t.Error("Reset did not clear stats")
+	}
+	if a, _ := o.Transfer(0, 0, 3); a != 2 {
+		t.Errorf("post-reset arrival %d, want 2", a)
+	}
+}
+
+// TestOmega_Property: arrivals are strictly after issue and at least
+// stages later; paths stay in range.
+func TestOmega_Property(t *testing.T) {
+	o, _ := NewOmega(16)
+	f := func(src, dst uint8, nowRaw uint16) bool {
+		s := int(src) % 16
+		d := int(dst) % 16
+		now := int64(nowRaw)
+		arrival, err := o.Transfer(now, s, d)
+		if err != nil {
+			return false
+		}
+		return arrival >= now+int64(o.Stages())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

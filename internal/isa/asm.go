@@ -1,0 +1,373 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates assembler text into a Program. The syntax is one
+// instruction per line:
+//
+//	; full-line or trailing comment
+//	loop:               ; a label (may share the line with an instruction)
+//	    ldi  r1, 42
+//	    add  r2, r2, r1
+//	    ld   r3, [r4+8]  ; memory operands are [base+offset]
+//	    st   r3, [r4-8]
+//	    beq  r2, r3, loop
+//	    jmp  done
+//	done:
+//	    halt
+//
+// Branch targets may be labels or signed numeric displacements. Register
+// names are r0..r15, case-insensitive.
+func Assemble(src string) (Program, error) {
+	type pending struct {
+		pc    int
+		line  int
+		label string
+	}
+	var (
+		prog    Program
+		labels  = map[string]int{}
+		fixups  []pending
+		lineNum int
+	)
+
+	for _, rawLine := range strings.Split(src, "\n") {
+		lineNum++
+		line := rawLine
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		// Labels: any number of leading "name:" prefixes.
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isIdent(label) {
+				return nil, fmt.Errorf("isa: line %d: bad label %q", lineNum, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate label %q", lineNum, label)
+			}
+			labels[label] = len(prog)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		mnemonic, rest := splitMnemonic(line)
+		op, ok := opByName(mnemonic)
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: unknown mnemonic %q", lineNum, mnemonic)
+		}
+		operands := splitOperands(rest)
+		ins := Instruction{Op: op}
+		var labelRef string
+
+		parseErr := func(err error) error {
+			return fmt.Errorf("isa: line %d: %s: %w", lineNum, mnemonic, err)
+		}
+		need := func(n int) error {
+			if len(operands) != n {
+				return parseErr(fmt.Errorf("want %d operands, got %d", n, len(operands)))
+			}
+			return nil
+		}
+
+		switch op {
+		case OpNop, OpHalt, OpSync:
+			if err := need(0); err != nil {
+				return nil, err
+			}
+		case OpLane:
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			r, err := parseReg(operands[0])
+			if err != nil {
+				return nil, parseErr(err)
+			}
+			ins.Rd = r
+		case OpLdi:
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			r, err := parseReg(operands[0])
+			if err != nil {
+				return nil, parseErr(err)
+			}
+			imm, err := parseImm(operands[1])
+			if err != nil {
+				return nil, parseErr(err)
+			}
+			ins.Rd, ins.Imm = r, imm
+		case OpMov:
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			rd, err := parseReg(operands[0])
+			if err != nil {
+				return nil, parseErr(err)
+			}
+			ra, err := parseReg(operands[1])
+			if err != nil {
+				return nil, parseErr(err)
+			}
+			ins.Rd, ins.Ra = rd, ra
+		case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSlt, OpSeq, OpMin, OpMax:
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			rd, err := parseReg(operands[0])
+			if err != nil {
+				return nil, parseErr(err)
+			}
+			ra, err := parseReg(operands[1])
+			if err != nil {
+				return nil, parseErr(err)
+			}
+			rb, err := parseReg(operands[2])
+			if err != nil {
+				return nil, parseErr(err)
+			}
+			ins.Rd, ins.Ra, ins.Rb = rd, ra, rb
+		case OpAddi, OpMuli:
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			rd, err := parseReg(operands[0])
+			if err != nil {
+				return nil, parseErr(err)
+			}
+			ra, err := parseReg(operands[1])
+			if err != nil {
+				return nil, parseErr(err)
+			}
+			imm, err := parseImm(operands[2])
+			if err != nil {
+				return nil, parseErr(err)
+			}
+			ins.Rd, ins.Ra, ins.Imm = rd, ra, imm
+		case OpLd:
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			rd, err := parseReg(operands[0])
+			if err != nil {
+				return nil, parseErr(err)
+			}
+			base, off, err := parseMem(operands[1])
+			if err != nil {
+				return nil, parseErr(err)
+			}
+			ins.Rd, ins.Ra, ins.Imm = rd, base, off
+		case OpSt:
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			rb, err := parseReg(operands[0])
+			if err != nil {
+				return nil, parseErr(err)
+			}
+			base, off, err := parseMem(operands[1])
+			if err != nil {
+				return nil, parseErr(err)
+			}
+			ins.Rb, ins.Ra, ins.Imm = rb, base, off
+		case OpBeq, OpBne, OpBlt, OpBge:
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			ra, err := parseReg(operands[0])
+			if err != nil {
+				return nil, parseErr(err)
+			}
+			rb, err := parseReg(operands[1])
+			if err != nil {
+				return nil, parseErr(err)
+			}
+			ins.Ra, ins.Rb = ra, rb
+			if imm, err := parseImm(operands[2]); err == nil {
+				ins.Imm = imm
+			} else if isIdent(operands[2]) {
+				labelRef = operands[2]
+			} else {
+				return nil, parseErr(fmt.Errorf("bad branch target %q", operands[2]))
+			}
+		case OpJmp:
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			if imm, err := parseImm(operands[0]); err == nil {
+				ins.Imm = imm
+			} else if isIdent(operands[0]) {
+				labelRef = operands[0]
+			} else {
+				return nil, parseErr(fmt.Errorf("bad jump target %q", operands[0]))
+			}
+		case OpSend:
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			ra, err := parseReg(operands[0])
+			if err != nil {
+				return nil, parseErr(err)
+			}
+			rb, err := parseReg(operands[1])
+			if err != nil {
+				return nil, parseErr(err)
+			}
+			ins.Ra, ins.Rb = ra, rb
+		case OpRecv:
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			rd, err := parseReg(operands[0])
+			if err != nil {
+				return nil, parseErr(err)
+			}
+			rb, err := parseReg(operands[1])
+			if err != nil {
+				return nil, parseErr(err)
+			}
+			ins.Rd, ins.Rb = rd, rb
+		default:
+			return nil, fmt.Errorf("isa: line %d: mnemonic %q not assemblable", lineNum, mnemonic)
+		}
+
+		if labelRef != "" {
+			fixups = append(fixups, pending{pc: len(prog), line: lineNum, label: labelRef})
+		}
+		prog = append(prog, ins)
+	}
+
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: undefined label %q", f.line, f.label)
+		}
+		prog[f.pc].Imm = int32(target - (f.pc + 1))
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble for program text known to be valid (package
+// constants, tests). It panics on error.
+func MustAssemble(src string) Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Disassemble renders a program as assembler text, one instruction per
+// line, with the program counter as a comment.
+func Disassemble(p Program) string {
+	var b strings.Builder
+	for pc, ins := range p {
+		fmt.Fprintf(&b, "%4d:  %s\n", pc, ins)
+	}
+	return b.String()
+}
+
+func splitMnemonic(line string) (mnemonic, rest string) {
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return strings.ToLower(line), ""
+	}
+	return strings.ToLower(line[:i]), strings.TrimSpace(line[i+1:])
+}
+
+func splitOperands(rest string) []string {
+	if rest == "" {
+		return nil
+	}
+	parts := strings.Split(rest, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func opByName(name string) (Op, bool) {
+	for op, info := range opTable {
+		if info.name == name && info.name != "" {
+			return Op(op), true
+		}
+	}
+	return 0, false
+}
+
+func parseReg(s string) (uint8, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	if len(t) < 2 || t[0] != 'r' {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	v, err := strconv.Atoi(t[1:])
+	if err != nil || v < 0 || v >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(v), nil
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return int32(v), nil
+}
+
+// parseMem parses a memory operand "[rBASE+OFF]" or "[rBASE]" or
+// "[rBASE-OFF]".
+func parseMem(s string) (base uint8, off int32, err error) {
+	t := strings.TrimSpace(s)
+	if len(t) < 2 || t[0] != '[' || t[len(t)-1] != ']' {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := t[1 : len(t)-1]
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		b, err := parseReg(inner)
+		return b, 0, err
+	}
+	b, err := parseReg(inner[:sep])
+	if err != nil {
+		return 0, 0, err
+	}
+	o, err := parseImm(inner[sep:])
+	if err != nil {
+		return 0, 0, err
+	}
+	return b, o, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,47 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Assemble a small kernel and inspect its encoding.
+func ExampleAssemble() {
+	prog, err := isa.Assemble(`
+        ldi  r1, 5
+loop:   addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(len(prog), "instructions")
+	fmt.Print(isa.Disassemble(prog))
+	// Output:
+	// 4 instructions
+	//    0:  ldi r1, 5
+	//    1:  addi r1, r1, -1
+	//    2:  bne r1, r0, -2
+	//    3:  halt
+}
+
+// Programs encode to 64-bit instruction-memory words and decode back.
+func ExampleEncodeProgram() {
+	prog := isa.MustAssemble("ldi r2, 7\nhalt")
+	words, err := isa.EncodeProgram(prog)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	back, err := isa.DecodeProgram(words)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(len(words), back[0].String())
+	// Output:
+	// 2 ldi r2, 7
+}

@@ -1,0 +1,74 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestAssemble_ArbitraryTextNeverPanics: the assembler rejects or accepts
+// arbitrary text without panicking, and anything it accepts validates and
+// encodes.
+func TestAssemble_ArbitraryTextNeverPanics(t *testing.T) {
+	f := func(raw []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		p, err := Assemble(string(raw))
+		if err != nil {
+			return true
+		}
+		if err := p.Validate(); err != nil {
+			return false // accepted programs must validate
+		}
+		_, err = EncodeProgram(p)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecode_ArbitraryWordsNeverPanic: random instruction-memory words
+// either decode to a valid instruction or error.
+func TestDecode_ArbitraryWordsNeverPanic(t *testing.T) {
+	f := func(w uint64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		ins, err := Decode(w)
+		if err != nil {
+			return true
+		}
+		// Decoded instructions re-encode into words that decode equal.
+		w2, err := Encode(ins)
+		if err != nil {
+			return false
+		}
+		back, err := Decode(w2)
+		return err == nil && back == ins
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDisassemble_ArbitraryProgramsNeverPanic: any instruction value
+// renders as some string.
+func TestDisassemble_ArbitraryProgramsNeverPanic(t *testing.T) {
+	f := func(op, rd, ra, rb uint8, imm int32) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		ins := Instruction{Op: Op(op), Rd: rd, Ra: ra, Rb: rb, Imm: imm}
+		return len(ins.String()) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,311 @@
+// Package machine provides the shared execution substrate of the
+// machine-class simulators: register files, bounds-checked data memories,
+// the single-instruction step function that implements the ISA semantics,
+// and the statistics every simulator reports. The per-class packages
+// (internal/uniproc, internal/simd, internal/mimd, internal/spatial,
+// internal/dataflow, internal/fabric) wire these pieces together according
+// to the block counts and switch kinds of their taxonomy class.
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Stats aggregates what one simulation run did.
+type Stats struct {
+	// Cycles is the simulated wall-clock of the run (makespan).
+	Cycles int64
+	// Instructions counts executed (retired) instructions across all
+	// processors.
+	Instructions int64
+	// ALUOps counts arithmetic/logic operations.
+	ALUOps int64
+	// MemReads and MemWrites count DP-DM traffic.
+	MemReads, MemWrites int64
+	// Messages counts DP-DP (and IP-IP) network words.
+	Messages int64
+	// Barriers counts completed synchronizations.
+	Barriers int64
+	// NetConflictCycles sums the cycles lost to interconnect contention.
+	NetConflictCycles int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Instructions += other.Instructions
+	s.ALUOps += other.ALUOps
+	s.MemReads += other.MemReads
+	s.MemWrites += other.MemWrites
+	s.Messages += other.Messages
+	s.Barriers += other.Barriers
+	s.NetConflictCycles += other.NetConflictCycles
+	if other.Cycles > s.Cycles {
+		s.Cycles = other.Cycles
+	}
+}
+
+// IPC is instructions per cycle, 0 when no cycles elapsed.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// ErrDeadline is returned when a run exceeds its cycle budget, which almost
+// always means the guest program loops forever or deadlocks on RECV/SYNC.
+var ErrDeadline = errors.New("machine: cycle budget exhausted (livelock or deadlock in guest program)")
+
+// DefaultMaxCycles bounds runs that do not choose their own budget.
+const DefaultMaxCycles = 10_000_000
+
+// Memory is a bounds-checked word-addressed data memory (one DM bank).
+type Memory []isa.Word
+
+// NewMemory allocates a zeroed bank of the given number of words.
+func NewMemory(words int) (Memory, error) {
+	if words < 0 {
+		return nil, fmt.Errorf("machine: memory size %d is negative", words)
+	}
+	return make(Memory, words), nil
+}
+
+// Load reads the word at addr.
+func (m Memory) Load(addr isa.Word) (isa.Word, error) {
+	if addr < 0 || addr >= isa.Word(len(m)) {
+		return 0, fmt.Errorf("machine: load address %d outside bank of %d words", addr, len(m))
+	}
+	return m[addr], nil
+}
+
+// Store writes the word at addr.
+func (m Memory) Store(addr, val isa.Word) error {
+	if addr < 0 || addr >= isa.Word(len(m)) {
+		return fmt.Errorf("machine: store address %d outside bank of %d words", addr, len(m))
+	}
+	m[addr] = val
+	return nil
+}
+
+// CopyIn writes vals into the bank starting at base.
+func (m Memory) CopyIn(base int, vals []isa.Word) error {
+	if base < 0 || base+len(vals) > len(m) {
+		return fmt.Errorf("machine: copy of %d words at %d outside bank of %d words", len(vals), base, len(m))
+	}
+	copy(m[base:], vals)
+	return nil
+}
+
+// CopyOut reads n words starting at base.
+func (m Memory) CopyOut(base, n int) ([]isa.Word, error) {
+	if base < 0 || n < 0 || base+n > len(m) {
+		return nil, fmt.Errorf("machine: read of %d words at %d outside bank of %d words", n, base, len(m))
+	}
+	out := make([]isa.Word, n)
+	copy(out, m[base:base+n])
+	return out, nil
+}
+
+// Regs is one data processor's register file.
+type Regs [isa.NumRegs]isa.Word
+
+// Env supplies the machine-specific behaviour of the memory, network and
+// synchronization operations to Step. Machines leave callbacks nil for
+// connection sites their class does not have; executing the corresponding
+// instruction is then a guest error, which is exactly how an architecture
+// without a DP-DP switch "cannot" communicate.
+type Env struct {
+	// Lane is the value OpLane loads: the processor or lane index.
+	Lane isa.Word
+	// Load and Store implement the DP-DM site.
+	Load  func(addr isa.Word) (isa.Word, error)
+	Store func(addr, val isa.Word) error
+	// SendTo and RecvFrom implement the DP-DP site. RecvFrom may return
+	// ErrWouldBlock to stall the processor without consuming the cycle.
+	SendTo   func(peer int, val isa.Word) error
+	RecvFrom func(peer int) (isa.Word, error)
+	// Barrier implements OpSync; it may return ErrWouldBlock to stall.
+	Barrier func() error
+}
+
+// ErrWouldBlock signals that a RECV or SYNC cannot complete this cycle; the
+// simulator keeps the PC on the instruction and retries later.
+var ErrWouldBlock = errors.New("machine: operation would block")
+
+// Outcome is the control-flow result of one executed instruction.
+type Outcome struct {
+	// NextPC is the program counter after the instruction.
+	NextPC int
+	// Halted reports that the processor executed HALT.
+	Halted bool
+	// Blocked reports that the instruction could not complete (RECV/SYNC);
+	// the PC did not advance and no work was done.
+	Blocked bool
+	// Mem reports that the instruction used the DP-DM switch.
+	Mem bool
+	// Comm reports that the instruction used the DP-DP network.
+	Comm bool
+}
+
+// Step executes one instruction against a register file and an environment,
+// implementing the ISA semantics shared by all instruction-flow simulators.
+func Step(regs *Regs, pc int, ins isa.Instruction, env Env) (Outcome, error) {
+	out := Outcome{NextPC: pc + 1}
+	switch ins.Op {
+	case isa.OpNop:
+	case isa.OpHalt:
+		out.Halted = true
+	case isa.OpLdi:
+		regs[ins.Rd] = isa.Word(ins.Imm)
+	case isa.OpMov:
+		regs[ins.Rd] = regs[ins.Ra]
+	case isa.OpAdd:
+		regs[ins.Rd] = regs[ins.Ra] + regs[ins.Rb]
+	case isa.OpSub:
+		regs[ins.Rd] = regs[ins.Ra] - regs[ins.Rb]
+	case isa.OpMul:
+		regs[ins.Rd] = regs[ins.Ra] * regs[ins.Rb]
+	case isa.OpDiv:
+		if regs[ins.Rb] == 0 {
+			return out, fmt.Errorf("machine: division by zero at pc %d", pc)
+		}
+		regs[ins.Rd] = regs[ins.Ra] / regs[ins.Rb]
+	case isa.OpRem:
+		if regs[ins.Rb] == 0 {
+			return out, fmt.Errorf("machine: remainder by zero at pc %d", pc)
+		}
+		regs[ins.Rd] = regs[ins.Ra] % regs[ins.Rb]
+	case isa.OpAnd:
+		regs[ins.Rd] = regs[ins.Ra] & regs[ins.Rb]
+	case isa.OpOr:
+		regs[ins.Rd] = regs[ins.Ra] | regs[ins.Rb]
+	case isa.OpXor:
+		regs[ins.Rd] = regs[ins.Ra] ^ regs[ins.Rb]
+	case isa.OpShl:
+		regs[ins.Rd] = regs[ins.Ra] << uint(regs[ins.Rb]&63)
+	case isa.OpShr:
+		regs[ins.Rd] = regs[ins.Ra] >> uint(regs[ins.Rb]&63)
+	case isa.OpSlt:
+		regs[ins.Rd] = boolWord(regs[ins.Ra] < regs[ins.Rb])
+	case isa.OpSeq:
+		regs[ins.Rd] = boolWord(regs[ins.Ra] == regs[ins.Rb])
+	case isa.OpMin:
+		regs[ins.Rd] = minWord(regs[ins.Ra], regs[ins.Rb])
+	case isa.OpMax:
+		regs[ins.Rd] = maxWord(regs[ins.Ra], regs[ins.Rb])
+	case isa.OpAddi:
+		regs[ins.Rd] = regs[ins.Ra] + isa.Word(ins.Imm)
+	case isa.OpMuli:
+		regs[ins.Rd] = regs[ins.Ra] * isa.Word(ins.Imm)
+	case isa.OpLd:
+		if env.Load == nil {
+			return out, fmt.Errorf("machine: no DP-DM path for load at pc %d", pc)
+		}
+		v, err := env.Load(regs[ins.Ra] + isa.Word(ins.Imm))
+		if err != nil {
+			return out, err
+		}
+		regs[ins.Rd] = v
+		out.Mem = true
+	case isa.OpSt:
+		if env.Store == nil {
+			return out, fmt.Errorf("machine: no DP-DM path for store at pc %d", pc)
+		}
+		if err := env.Store(regs[ins.Ra]+isa.Word(ins.Imm), regs[ins.Rb]); err != nil {
+			return out, err
+		}
+		out.Mem = true
+	case isa.OpBeq:
+		if regs[ins.Ra] == regs[ins.Rb] {
+			out.NextPC = pc + 1 + int(ins.Imm)
+		}
+	case isa.OpBne:
+		if regs[ins.Ra] != regs[ins.Rb] {
+			out.NextPC = pc + 1 + int(ins.Imm)
+		}
+	case isa.OpBlt:
+		if regs[ins.Ra] < regs[ins.Rb] {
+			out.NextPC = pc + 1 + int(ins.Imm)
+		}
+	case isa.OpBge:
+		if regs[ins.Ra] >= regs[ins.Rb] {
+			out.NextPC = pc + 1 + int(ins.Imm)
+		}
+	case isa.OpJmp:
+		out.NextPC = pc + 1 + int(ins.Imm)
+	case isa.OpSend:
+		if env.SendTo == nil {
+			return out, fmt.Errorf("machine: no DP-DP network for send at pc %d (this class has DP-DP: none)", pc)
+		}
+		if err := env.SendTo(int(regs[ins.Rb]), regs[ins.Ra]); err != nil {
+			return out, err
+		}
+		out.Comm = true
+	case isa.OpRecv:
+		if env.RecvFrom == nil {
+			return out, fmt.Errorf("machine: no DP-DP network for recv at pc %d (this class has DP-DP: none)", pc)
+		}
+		v, err := env.RecvFrom(int(regs[ins.Rb]))
+		if errors.Is(err, ErrWouldBlock) {
+			out.NextPC = pc
+			out.Blocked = true
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		regs[ins.Rd] = v
+		out.Comm = true
+	case isa.OpSync:
+		if env.Barrier == nil {
+			return out, fmt.Errorf("machine: no barrier support at pc %d", pc)
+		}
+		if err := env.Barrier(); errors.Is(err, ErrWouldBlock) {
+			out.NextPC = pc
+			out.Blocked = true
+			return out, nil
+		} else if err != nil {
+			return out, err
+		}
+	case isa.OpLane:
+		regs[ins.Rd] = env.Lane
+	default:
+		return out, fmt.Errorf("machine: unimplemented opcode %v at pc %d", ins.Op, pc)
+	}
+	return out, nil
+}
+
+// IsALU reports whether the op counts as an ALU operation in Stats.
+func IsALU(op isa.Op) bool {
+	switch op {
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpRem,
+		isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr,
+		isa.OpSlt, isa.OpSeq, isa.OpMin, isa.OpMax, isa.OpAddi, isa.OpMuli:
+		return true
+	}
+	return false
+}
+
+func boolWord(b bool) isa.Word {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func minWord(a, b isa.Word) isa.Word {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxWord(a, b isa.Word) isa.Word {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,498 @@
+// Package mimd simulates the taxonomy's instruction-flow multi-processors
+// (classes IMP-I..XVI, Table I rows 15-30): n instruction processors each
+// driving a data processor, with the sub-type's switch kinds deciding what
+// the machine can do:
+//
+//   - IP-IM direct: each core fetches from its own program image (the
+//     separate-Von-Neumann-machines shape of IMP-I); IP-IM crossbar lets any
+//     core be pointed at any program image, so one image can drive all cores
+//     (single-program-multiple-data without copying).
+//   - DP-DM direct: each core addresses only its own bank; crossbar gives a
+//     single global address space over all banks, with output contention.
+//   - DP-DP none: cores cannot exchange words at all; crossbar carries
+//     SEND/RECV messages with per-pair FIFO ordering.
+//
+// Cores run asynchronously (own program counters) and synchronize only via
+// SYNC barriers or message waits — the property the paper uses to argue
+// IMP-I is more flexible than IAP-I ("IMP-I can act as an array processor
+// if all the processors are executing the same program. However, IAP-I
+// cannot execute n different programs at the same time").
+package mimd
+
+import (
+	"fmt"
+
+	"repro/internal/interconnect"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/taxonomy"
+)
+
+// Config describes one multi-processor instance.
+type Config struct {
+	// Cores is the number of IP+DP pairs n.
+	Cores int
+	// BankWords is each core's data-memory bank size.
+	BankWords int
+	// IPDP is kept for classification completeness (direct in all IMP
+	// sub-types I..VIII, crossbar in IX..XVI); it does not change timing.
+	IPDP taxonomy.Link
+	// IPIM selects private program images (direct) or an image crossbar.
+	IPIM taxonomy.Link
+	// DPDM selects local (direct) or global crossbar memory addressing.
+	DPDM taxonomy.Link
+	// DPDP selects the message network: none or crossbar.
+	DPDP taxonomy.Link
+	// BusDPDP realizes the DP-DP 'x' switch as a single shared bus instead
+	// of a full crossbar: the cheap implementation RaPiD's row buses use,
+	// whose serialization is the paper's §IV scalability complaint. The
+	// taxonomy class is unchanged (a bus is still an 'x' switch); only the
+	// timing differs.
+	BusDPDP bool
+	// MaxCycles bounds the run; 0 means machine.DefaultMaxCycles.
+	MaxCycles int64
+}
+
+// ForSubtype returns the configuration of IMP sub-type 1..16 with the
+// paper's bit order: IP-DP, IP-IM, DP-DM, DP-DP from most to least
+// significant.
+func ForSubtype(sub, cores, bankWords int) (Config, error) {
+	if sub < 1 || sub > 16 {
+		return Config{}, fmt.Errorf("mimd: multi-processors have sub-types I..XVI, got %d", sub)
+	}
+	bits := sub - 1
+	pick := func(bit int, off, on taxonomy.Link) taxonomy.Link {
+		if bits&bit != 0 {
+			return on
+		}
+		return off
+	}
+	return Config{
+		Cores:     cores,
+		BankWords: bankWords,
+		IPDP:      pick(8, taxonomy.LinkDirect, taxonomy.LinkCrossbar),
+		IPIM:      pick(4, taxonomy.LinkDirect, taxonomy.LinkCrossbar),
+		DPDM:      pick(2, taxonomy.LinkDirect, taxonomy.LinkCrossbar),
+		DPDP:      pick(1, taxonomy.LinkNone, taxonomy.LinkCrossbar),
+	}, nil
+}
+
+// Class returns the taxonomy class this configuration realizes.
+func (c Config) Class() (taxonomy.Class, error) {
+	links := taxonomy.Links{
+		taxonomy.SiteIPDP: c.IPDP,
+		taxonomy.SiteIPIM: c.IPIM,
+		taxonomy.SiteDPDM: c.DPDM,
+		taxonomy.SiteDPDP: c.DPDP,
+	}
+	return taxonomy.Classify(taxonomy.CountN, taxonomy.CountN, links)
+}
+
+func (c Config) validate() error {
+	if c.Cores < 2 {
+		return fmt.Errorf("mimd: a multi-processor needs n >= 2 cores, got %d (use uniproc for 1)", c.Cores)
+	}
+	if c.BankWords < 1 {
+		return fmt.Errorf("mimd: bank size must be >= 1 word, got %d", c.BankWords)
+	}
+	if c.IPDP != taxonomy.LinkDirect && c.IPDP != taxonomy.LinkCrossbar {
+		return fmt.Errorf("mimd: IP-DP must be direct or crossbar, got %v", c.IPDP)
+	}
+	if c.IPIM != taxonomy.LinkDirect && c.IPIM != taxonomy.LinkCrossbar {
+		return fmt.Errorf("mimd: IP-IM must be direct or crossbar, got %v", c.IPIM)
+	}
+	if c.DPDM != taxonomy.LinkDirect && c.DPDM != taxonomy.LinkCrossbar {
+		return fmt.Errorf("mimd: DP-DM must be direct or crossbar, got %v", c.DPDM)
+	}
+	if c.DPDP != taxonomy.LinkNone && c.DPDP != taxonomy.LinkCrossbar {
+		return fmt.Errorf("mimd: DP-DP must be none or crossbar, got %v", c.DPDP)
+	}
+	return nil
+}
+
+// message is one word in flight between cores.
+type message struct {
+	val         isa.Word
+	availableAt int64
+}
+
+// coreState tracks one core's execution.
+type coreState struct {
+	regs    machine.Regs
+	pc      int
+	prog    int // index into the machine's program images
+	halted  bool
+	readyAt int64
+	// inBarrier marks a core waiting at the current SYNC.
+	inBarrier bool
+}
+
+// Machine is one multi-processor instance.
+type Machine struct {
+	cfg      Config
+	programs []isa.Program
+	cores    []coreState
+	banks    []machine.Memory
+	memNet   *interconnect.Crossbar
+	msgNet   interconnect.Network
+	// mail[src][dst] is the in-order message queue between one core pair.
+	mail [][][]message
+	// perCore accumulates each core's retired instructions and last-active
+	// cycle for load-balance analysis.
+	perCore []CoreStats
+}
+
+// CoreStats summarises one core's activity in a run.
+type CoreStats struct {
+	// Instructions is the core's retired instruction count.
+	Instructions int64
+	// FinishedAt is the cycle the core halted (0 if it never ran).
+	FinishedAt int64
+}
+
+// New builds a multi-processor. With IP-IM direct there must be exactly one
+// program image per core (core i runs programs[i]). With the IP-IM crossbar
+// any positive number of images is allowed and every core starts on image
+// 0; use Assign to point cores at other images.
+func New(cfg Config, programs []isa.Program) (*Machine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(programs) == 0 {
+		return nil, fmt.Errorf("mimd: no program images")
+	}
+	for i, p := range programs {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("mimd: program image %d is empty", i)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("mimd: program image %d: %w", i, err)
+		}
+	}
+	if cfg.IPIM == taxonomy.LinkDirect && len(programs) != cfg.Cores {
+		return nil, fmt.Errorf("mimd: IP-IM is direct, need one program image per core (%d), got %d",
+			cfg.Cores, len(programs))
+	}
+	m := &Machine{
+		cfg:      cfg,
+		programs: programs,
+		cores:    make([]coreState, cfg.Cores),
+		banks:    make([]machine.Memory, cfg.Cores),
+		perCore:  make([]CoreStats, cfg.Cores),
+	}
+	for i := range m.cores {
+		if cfg.IPIM == taxonomy.LinkDirect {
+			m.cores[i].prog = i
+		}
+		bank, err := machine.NewMemory(cfg.BankWords)
+		if err != nil {
+			return nil, err
+		}
+		m.banks[i] = bank
+	}
+	if cfg.DPDM == taxonomy.LinkCrossbar {
+		net, err := interconnect.NewCrossbar(cfg.Cores)
+		if err != nil {
+			return nil, err
+		}
+		m.memNet = net
+	}
+	if cfg.DPDP == taxonomy.LinkCrossbar {
+		var net interconnect.Network
+		var err error
+		if cfg.BusDPDP {
+			net, err = interconnect.NewBus(cfg.Cores)
+		} else {
+			net, err = interconnect.NewCrossbar(cfg.Cores)
+		}
+		if err != nil {
+			return nil, err
+		}
+		m.msgNet = net
+		m.mail = make([][][]message, cfg.Cores)
+		for i := range m.mail {
+			m.mail[i] = make([][]message, cfg.Cores)
+		}
+	}
+	return m, nil
+}
+
+// Assign points core at program image. It requires the IP-IM crossbar: on
+// direct wiring each instruction processor can only see its own image.
+func (m *Machine) Assign(core, image int) error {
+	if m.cfg.IPIM != taxonomy.LinkCrossbar {
+		return fmt.Errorf("mimd: IP-IM is direct; core %d cannot be re-pointed at image %d", core, image)
+	}
+	if core < 0 || core >= m.cfg.Cores {
+		return fmt.Errorf("mimd: core %d out of range [0,%d)", core, m.cfg.Cores)
+	}
+	if image < 0 || image >= len(m.programs) {
+		return fmt.Errorf("mimd: image %d out of range [0,%d)", image, len(m.programs))
+	}
+	m.cores[core].prog = image
+	return nil
+}
+
+// Cores returns the core count.
+func (m *Machine) Cores() int { return m.cfg.Cores }
+
+// CoreStats returns each core's activity after Run, for load-balance
+// analysis: who retired how many instructions and when each core halted.
+func (m *Machine) CoreStats() []CoreStats {
+	return append([]CoreStats(nil), m.perCore...)
+}
+
+// LoadBank copies vals into a core's bank at base (bank-local addressing).
+func (m *Machine) LoadBank(core, base int, vals []isa.Word) error {
+	if core < 0 || core >= m.cfg.Cores {
+		return fmt.Errorf("mimd: core %d out of range [0,%d)", core, m.cfg.Cores)
+	}
+	return m.banks[core].CopyIn(base, vals)
+}
+
+// ReadBank reads n words from a core's bank at base.
+func (m *Machine) ReadBank(core, base, n int) ([]isa.Word, error) {
+	if core < 0 || core >= m.cfg.Cores {
+		return nil, fmt.Errorf("mimd: core %d out of range [0,%d)", core, m.cfg.Cores)
+	}
+	return m.banks[core].CopyOut(base, n)
+}
+
+// resolveAddr maps a core's address under the DP-DM kind.
+func (m *Machine) resolveAddr(core int, addr isa.Word) (bank int, off isa.Word, err error) {
+	if m.cfg.DPDM == taxonomy.LinkDirect {
+		if addr < 0 || addr >= isa.Word(m.cfg.BankWords) {
+			return 0, 0, fmt.Errorf("mimd: core %d address %d outside its bank of %d words (DP-DM is direct)",
+				core, addr, m.cfg.BankWords)
+		}
+		return core, addr, nil
+	}
+	total := isa.Word(m.cfg.BankWords) * isa.Word(m.cfg.Cores)
+	if addr < 0 || addr >= total {
+		return 0, 0, fmt.Errorf("mimd: core %d global address %d outside %d words", core, addr, total)
+	}
+	return int(addr) / m.cfg.BankWords, addr % isa.Word(m.cfg.BankWords), nil
+}
+
+// Run executes all cores to completion and returns aggregate statistics.
+// The scheduler is deterministic: one simulated cycle at a time, stepping
+// ready cores in index order.
+func (m *Machine) Run() (machine.Stats, error) {
+	var stats machine.Stats
+	budget := m.cfg.MaxCycles
+	if budget <= 0 {
+		budget = machine.DefaultMaxCycles
+	}
+
+	running := 0
+	for i := range m.cores {
+		if m.cores[i].pc < len(m.programs[m.cores[i].prog]) {
+			running++
+		} else {
+			m.cores[i].halted = true
+		}
+	}
+
+	for cycle := int64(0); running > 0; cycle++ {
+		if cycle >= budget {
+			m.collectNetStats(&stats)
+			stats.Cycles = cycle
+			return stats, fmt.Errorf("mimd: %w after %d cycles", machine.ErrDeadline, cycle)
+		}
+		progress := false
+		anyScheduledLater := false
+		for i := range m.cores {
+			c := &m.cores[i]
+			if c.halted || c.inBarrier {
+				continue
+			}
+			if c.readyAt > cycle {
+				anyScheduledLater = true
+				continue
+			}
+			prog := m.programs[c.prog]
+			if c.pc < 0 || c.pc >= len(prog) {
+				c.halted = true
+				running--
+				progress = true
+				continue
+			}
+			ins := prog[c.pc]
+			finish := cycle + 1
+			env := m.coreEnv(i, cycle, &finish)
+			out, err := machine.Step(&c.regs, c.pc, ins, env)
+			if err != nil {
+				m.collectNetStats(&stats)
+				stats.Cycles = cycle
+				return stats, fmt.Errorf("mimd: core %d pc %d: %w", i, c.pc, err)
+			}
+			if out.Blocked {
+				if ins.Op == isa.OpSync {
+					c.inBarrier = true
+					progress = true // entering the barrier is progress
+					m.tryReleaseBarrier(cycle+1, &stats)
+				}
+				// Blocked RECV: retry next cycle.
+				c.readyAt = cycle + 1
+				continue
+			}
+			progress = true
+			stats.Instructions++
+			m.perCore[i].Instructions++
+			if machine.IsALU(ins.Op) {
+				stats.ALUOps++
+			}
+			if out.Mem {
+				if ins.Op == isa.OpLd {
+					stats.MemReads++
+				} else {
+					stats.MemWrites++
+				}
+			}
+			if out.Comm {
+				stats.Messages++
+			}
+			c.pc = out.NextPC
+			c.readyAt = finish
+			if out.Halted || c.pc >= len(prog) {
+				c.halted = true
+				m.perCore[i].FinishedAt = finish
+				running--
+			}
+			if stats.Cycles < finish {
+				stats.Cycles = finish
+			}
+		}
+		if !progress && !anyScheduledLater {
+			// A core may have halted after the others entered the barrier;
+			// the barrier is then releasable among the remaining live cores.
+			if m.tryReleaseBarrierNow(cycle+1, &stats) {
+				continue
+			}
+			// Every live core is blocked on RECV or stuck in a barrier that
+			// can never release: deadlock.
+			m.collectNetStats(&stats)
+			stats.Cycles = cycle
+			return stats, fmt.Errorf("mimd: deadlock at cycle %d: all %d live cores blocked", cycle, running)
+		}
+	}
+	m.collectNetStats(&stats)
+	return stats, nil
+}
+
+// coreEnv builds one core's environment for one instruction at a cycle.
+func (m *Machine) coreEnv(core int, cycle int64, finish *int64) machine.Env {
+	env := machine.Env{Lane: isa.Word(core)}
+	env.Load = func(addr isa.Word) (isa.Word, error) {
+		bank, off, err := m.resolveAddr(core, addr)
+		if err != nil {
+			return 0, err
+		}
+		m.accountMem(core, bank, cycle, finish)
+		return m.banks[bank].Load(off)
+	}
+	env.Store = func(addr, val isa.Word) error {
+		bank, off, err := m.resolveAddr(core, addr)
+		if err != nil {
+			return err
+		}
+		m.accountMem(core, bank, cycle, finish)
+		return m.banks[bank].Store(off, val)
+	}
+	if m.msgNet != nil {
+		env.SendTo = func(peer int, val isa.Word) error {
+			if peer < 0 || peer >= m.cfg.Cores {
+				return fmt.Errorf("mimd: core %d sends to nonexistent core %d", core, peer)
+			}
+			arrival, err := m.msgNet.Transfer(cycle, core, peer)
+			if err != nil {
+				return err
+			}
+			if arrival+1 > *finish {
+				*finish = arrival + 1
+			}
+			m.mail[core][peer] = append(m.mail[core][peer], message{val: val, availableAt: arrival})
+			return nil
+		}
+		env.RecvFrom = func(peer int) (isa.Word, error) {
+			if peer < 0 || peer >= m.cfg.Cores {
+				return 0, fmt.Errorf("mimd: core %d receives from nonexistent core %d", core, peer)
+			}
+			q := m.mail[peer][core]
+			if len(q) == 0 || q[0].availableAt > cycle {
+				return 0, machine.ErrWouldBlock
+			}
+			v := q[0].val
+			m.mail[peer][core] = q[1:]
+			return v, nil
+		}
+	}
+	env.Barrier = func() error { return machine.ErrWouldBlock } // resolved by tryReleaseBarrier
+	return env
+}
+
+// tryReleaseBarrierNow is tryReleaseBarrier reporting whether it released.
+func (m *Machine) tryReleaseBarrierNow(releaseCycle int64, stats *machine.Stats) bool {
+	before := stats.Barriers
+	m.tryReleaseBarrier(releaseCycle, stats)
+	return stats.Barriers > before
+}
+
+// tryReleaseBarrier releases all cores once every live core waits at SYNC.
+func (m *Machine) tryReleaseBarrier(releaseCycle int64, stats *machine.Stats) {
+	waiting := 0
+	live := 0
+	for i := range m.cores {
+		if m.cores[i].halted {
+			continue
+		}
+		live++
+		if m.cores[i].inBarrier {
+			waiting++
+		}
+	}
+	if live == 0 || waiting < live {
+		return
+	}
+	for i := range m.cores {
+		if m.cores[i].halted || !m.cores[i].inBarrier {
+			continue
+		}
+		m.cores[i].inBarrier = false
+		m.cores[i].pc++ // step past the SYNC
+		m.cores[i].readyAt = releaseCycle
+		stats.Instructions++
+		m.perCore[i].Instructions++
+	}
+	stats.Barriers++
+	if stats.Cycles < releaseCycle {
+		stats.Cycles = releaseCycle
+	}
+}
+
+// accountMem charges the DP-DM traversal.
+func (m *Machine) accountMem(core, bank int, cycle int64, finish *int64) {
+	if m.memNet == nil {
+		if cycle+2 > *finish {
+			*finish = cycle + 2
+		}
+		return
+	}
+	arrival, err := m.memNet.Transfer(cycle, core, bank)
+	if err != nil {
+		panic(fmt.Sprintf("mimd: internal memory network error: %v", err))
+	}
+	if arrival+1 > *finish {
+		*finish = arrival + 1
+	}
+}
+
+// collectNetStats folds interconnect counters into the run stats.
+func (m *Machine) collectNetStats(stats *machine.Stats) {
+	if m.memNet != nil {
+		stats.NetConflictCycles += m.memNet.Stats().ConflictCycles
+	}
+	if m.msgNet != nil {
+		stats.NetConflictCycles += m.msgNet.Stats().ConflictCycles
+	}
+}

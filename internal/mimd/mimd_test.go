@@ -1,0 +1,495 @@
+package mimd
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/taxonomy"
+)
+
+func mustConfig(t *testing.T, sub, cores, bank int) Config {
+	t.Helper()
+	cfg, err := ForSubtype(sub, cores, bank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestForSubtype_ClassRoundTrip(t *testing.T) {
+	for sub := 1; sub <= 16; sub++ {
+		cfg := mustConfig(t, sub, 4, 64)
+		c, err := cfg.Class()
+		if err != nil {
+			t.Errorf("sub %d: %v", sub, err)
+			continue
+		}
+		want := "IMP-" + taxonomy.Roman(sub)
+		if c.String() != want {
+			t.Errorf("sub %d classifies as %s, want %s", sub, c, want)
+		}
+	}
+	if _, err := ForSubtype(0, 4, 64); err == nil {
+		t.Error("sub 0 accepted")
+	}
+	if _, err := ForSubtype(17, 4, 64); err == nil {
+		t.Error("sub 17 accepted")
+	}
+}
+
+// privateProg computes (core-specific constant)^2 into local bank word 0.
+func privateProg(k int) isa.Program {
+	return isa.MustAssemble(fmt.Sprintf(`
+        ldi r1, %d
+        mul r2, r1, r1
+        st  r2, [r0+0]
+        halt
+`, k))
+}
+
+func TestIMP1_IndependentPrograms(t *testing.T) {
+	// IMP-I: separate Von Neumann machines, each with its own image.
+	cfg := mustConfig(t, 1, 4, 16)
+	progs := []isa.Program{privateProg(2), privateProg(3), privateProg(4), privateProg(5)}
+	m, err := New(cfg, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for core, want := range []isa.Word{4, 9, 16, 25} {
+		out, err := m.ReadBank(core, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != want {
+			t.Errorf("core %d result %d, want %d", core, out[0], want)
+		}
+	}
+	if stats.Instructions != 16 {
+		t.Errorf("instructions = %d, want 16", stats.Instructions)
+	}
+	// MIMD overlap: 4 cores x 4 instructions complete in far fewer than 16
+	// serial cycles.
+	if stats.Cycles > 8 {
+		t.Errorf("cycles = %d, cores did not run in parallel", stats.Cycles)
+	}
+}
+
+func TestIMP1_RequiresOneImagePerCore(t *testing.T) {
+	cfg := mustConfig(t, 1, 4, 16)
+	if _, err := New(cfg, []isa.Program{privateProg(1)}); err == nil {
+		t.Error("IMP-I accepted a single shared image (IP-IM is direct)")
+	}
+}
+
+func TestIPIMCrossbar_SharedImageSPMD(t *testing.T) {
+	// IMP-V has the IP-IM crossbar: all cores can point at image 0, giving
+	// SPMD from one image — the paper's "IMP can act as an array processor".
+	cfg := mustConfig(t, 5, 4, 16)
+	spmd := isa.MustAssemble(`
+        lane r1
+        muli r2, r1, 10
+        st   r2, [r0+0]
+        halt
+`)
+	m, err := New(cfg, []isa.Program{spmd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for core := 0; core < 4; core++ {
+		out, err := m.ReadBank(core, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != isa.Word(core*10) {
+			t.Errorf("core %d = %d, want %d", core, out[0], core*10)
+		}
+	}
+}
+
+func TestAssign(t *testing.T) {
+	cfg := mustConfig(t, 5, 2, 16) // IP-IM crossbar
+	images := []isa.Program{privateProg(2), privateProg(7)}
+	m, err := New(cfg, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Assign(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Assign(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for core := 0; core < 2; core++ {
+		out, _ := m.ReadBank(core, 0, 1)
+		if out[0] != 49 {
+			t.Errorf("core %d = %d, want 49", core, out[0])
+		}
+	}
+	if err := m.Assign(0, 9); err == nil {
+		t.Error("bad image accepted")
+	}
+	if err := m.Assign(9, 0); err == nil {
+		t.Error("bad core accepted")
+	}
+	direct, err := New(mustConfig(t, 1, 2, 16), []isa.Program{privateProg(1), privateProg(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.Assign(0, 1); err == nil {
+		t.Error("Assign allowed on direct IP-IM")
+	}
+}
+
+func TestDPDMCrossbar_SharedMemory(t *testing.T) {
+	// IMP-III: global address space. Core 0 writes, core 1 polls and reads.
+	cfg := mustConfig(t, 3, 2, 16)
+	writer := isa.MustAssemble(`
+        ldi r1, 123
+        st  r1, [r0+5]       ; global address 5 (bank 0)
+        ldi r2, 1
+        st  r2, [r0+6]       ; flag
+        halt
+`)
+	reader := isa.MustAssemble(`
+        ldi r3, 1
+poll:   ld  r1, [r0+6]
+        bne r1, r3, poll
+        ld  r2, [r0+5]
+        st  r2, [r0+16]      ; global address 16 = bank 1 word 0
+        halt
+`)
+	m, err := New(cfg, []isa.Program{writer, reader})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.ReadBank(1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 123 {
+		t.Errorf("shared-memory handoff = %d, want 123", out[0])
+	}
+}
+
+func TestIMP1_NoSharedMemory(t *testing.T) {
+	// On IMP-I the reader cannot even address core 0's bank.
+	cfg := mustConfig(t, 1, 2, 16)
+	farLoad := isa.MustAssemble(`
+        ldi r1, 16
+        ld  r2, [r1+0]       ; address 16 is outside the 16-word local bank
+        halt
+`)
+	m, err := New(cfg, []isa.Program{farLoad, isa.MustAssemble("halt")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "direct") {
+		t.Errorf("far load on IMP-I: %v", err)
+	}
+}
+
+func TestDPDPCrossbar_MessagePassing(t *testing.T) {
+	// IMP-II: message ring over 4 cores; each core sends its id+100 right
+	// and stores what it receives from the left.
+	const cores = 4
+	cfg := mustConfig(t, 2, cores, 16)
+	progs := make([]isa.Program, cores)
+	for i := range progs {
+		progs[i] = isa.MustAssemble(fmt.Sprintf(`
+        ldi  r1, %d          ; value
+        ldi  r2, %d          ; right neighbour
+        send r1, r2
+        ldi  r3, %d          ; left neighbour
+        recv r4, r3
+        st   r4, [r0+0]
+        halt
+`, 100+i, (i+1)%cores, (i-1+cores)%cores))
+	}
+	m, err := New(cfg, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for core := 0; core < cores; core++ {
+		out, _ := m.ReadBank(core, 0, 1)
+		want := isa.Word(100 + (core-1+cores)%cores)
+		if out[0] != want {
+			t.Errorf("core %d received %d, want %d", core, out[0], want)
+		}
+	}
+	if stats.Messages != 2*cores {
+		t.Errorf("messages = %d, want %d", stats.Messages, 2*cores)
+	}
+}
+
+func TestIMP1_CannotMessage(t *testing.T) {
+	cfg := mustConfig(t, 1, 2, 16)
+	sender := isa.MustAssemble("ldi r2, 1\nsend r1, r2\nhalt")
+	m, err := New(cfg, []isa.Program{sender, isa.MustAssemble("halt")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "DP-DP") {
+		t.Errorf("send on IMP-I: %v", err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	// Two cores: core 0 works a while, core 1 arrives at the barrier first;
+	// after the barrier core 1 reads what core 0 wrote before it.
+	cfg := mustConfig(t, 3, 2, 16) // shared memory for the handoff
+	worker := isa.MustAssemble(`
+        ldi r1, 50
+        ldi r2, 0
+        ldi r3, 1
+spin:   sub r1, r1, r3
+        bne r1, r2, spin
+        ldi r4, 77
+        st  r4, [r0+3]
+        sync
+        halt
+`)
+	waiter := isa.MustAssemble(`
+        sync
+        ld  r1, [r0+3]
+        st  r1, [r0+16]      ; bank 1 word 0
+        halt
+`)
+	m, err := New(cfg, []isa.Program{worker, waiter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := m.ReadBank(1, 0, 1)
+	if out[0] != 77 {
+		t.Errorf("post-barrier read = %d, want 77", out[0])
+	}
+	if stats.Barriers != 1 {
+		t.Errorf("barriers = %d, want 1", stats.Barriers)
+	}
+}
+
+func TestBarrier_SurvivesHaltedCore(t *testing.T) {
+	// One core halts immediately; the remaining cores' barrier still
+	// releases among the live cores.
+	cfg := mustConfig(t, 1, 3, 16)
+	m, err := New(cfg, []isa.Program{
+		isa.MustAssemble("halt"),
+		isa.MustAssemble("sync\nhalt"),
+		isa.MustAssemble("sync\nhalt"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Errorf("barrier with a halted core: %v", err)
+	}
+}
+
+func TestDeadlock_RecvWithoutSend(t *testing.T) {
+	cfg := mustConfig(t, 2, 2, 16)
+	m, err := New(cfg, []isa.Program{
+		isa.MustAssemble("ldi r2, 1\nrecv r1, r2\nhalt"),
+		isa.MustAssemble("ldi r2, 0\nrecv r1, r2\nhalt"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("mutual recv: %v, want deadlock", err)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	cfg := mustConfig(t, 1, 2, 16)
+	cfg.MaxCycles = 200
+	m, err := New(cfg, []isa.Program{
+		isa.MustAssemble("loop: jmp loop"),
+		isa.MustAssemble("halt"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); !errors.Is(err, machine.ErrDeadline) {
+		t.Errorf("livelock: %v", err)
+	}
+}
+
+func TestHotBankContention(t *testing.T) {
+	// All cores hammer bank 0 through the shared-memory crossbar.
+	const cores = 8
+	cfg := mustConfig(t, 3, cores, 16)
+	progs := make([]isa.Program, cores)
+	for i := range progs {
+		progs[i] = isa.MustAssemble(`
+        ld r1, [r0+0]
+        ld r1, [r0+0]
+        ld r1, [r0+0]
+        halt
+`)
+	}
+	m, err := New(cfg, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NetConflictCycles == 0 {
+		t.Error("hot bank recorded no conflicts")
+	}
+	if stats.MemReads != 3*cores {
+		t.Errorf("reads = %d", stats.MemReads)
+	}
+}
+
+func TestGuestErrors(t *testing.T) {
+	cfg := mustConfig(t, 2, 2, 16)
+	m, err := New(cfg, []isa.Program{
+		isa.MustAssemble("ldi r2, 9\nsend r1, r2\nhalt"), // core 9 does not exist
+		isa.MustAssemble("halt"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil {
+		t.Error("send to core 9 accepted")
+	}
+	m2, err := New(cfg, []isa.Program{
+		isa.MustAssemble("ldi r2, -2\nrecv r1, r2\nhalt"),
+		isa.MustAssemble("halt"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Run(); err == nil {
+		t.Error("recv from core -2 accepted")
+	}
+}
+
+func TestNew_Rejects(t *testing.T) {
+	good := mustConfig(t, 1, 2, 16)
+	if _, err := New(good, nil); err == nil {
+		t.Error("no images accepted")
+	}
+	if _, err := New(good, []isa.Program{nil, nil}); err == nil {
+		t.Error("empty images accepted")
+	}
+	if _, err := New(good, []isa.Program{{{Op: isa.OpJmp, Imm: 7}}, privateProg(1)}); err == nil {
+		t.Error("invalid image accepted")
+	}
+	bad := good
+	bad.Cores = 1
+	if _, err := New(bad, []isa.Program{privateProg(1)}); err == nil {
+		t.Error("1-core multiprocessor accepted")
+	}
+	bad = good
+	bad.BankWords = 0
+	if _, err := New(bad, []isa.Program{privateProg(1), privateProg(2)}); err == nil {
+		t.Error("0-word banks accepted")
+	}
+	bad = good
+	bad.DPDP = taxonomy.LinkDirect
+	if _, err := New(bad, []isa.Program{privateProg(1), privateProg(2)}); err == nil {
+		t.Error("DP-DP direct accepted")
+	}
+	bad = good
+	bad.IPIM = taxonomy.LinkNone
+	if _, err := New(bad, []isa.Program{privateProg(1), privateProg(2)}); err == nil {
+		t.Error("IP-IM none accepted")
+	}
+	bad = good
+	bad.IPDP = taxonomy.LinkNone
+	if _, err := New(bad, []isa.Program{privateProg(1), privateProg(2)}); err == nil {
+		t.Error("IP-DP none accepted")
+	}
+	bad = good
+	bad.DPDM = taxonomy.LinkVariable
+	if _, err := New(bad, []isa.Program{privateProg(1), privateProg(2)}); err == nil {
+		t.Error("DP-DM variable accepted")
+	}
+}
+
+func TestCoreStats_LoadBalance(t *testing.T) {
+	// Core 0 runs a long loop, core 1 a single halt: the per-core stats
+	// expose the imbalance the aggregate numbers hide.
+	cfg := mustConfig(t, 1, 2, 16)
+	busy := isa.MustAssemble(`
+        ldi r1, 20
+        ldi r2, 0
+loop:   addi r1, r1, -1
+        bne r1, r2, loop
+        halt
+`)
+	m, err := New(cfg, []isa.Program{busy, isa.MustAssemble("halt")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := m.CoreStats()
+	if len(per) != 2 {
+		t.Fatalf("%d core stats", len(per))
+	}
+	if per[0].Instructions <= per[1].Instructions {
+		t.Errorf("busy core %d instructions, idle core %d", per[0].Instructions, per[1].Instructions)
+	}
+	if per[0].Instructions+per[1].Instructions != stats.Instructions {
+		t.Errorf("per-core sum %d != aggregate %d",
+			per[0].Instructions+per[1].Instructions, stats.Instructions)
+	}
+	if per[0].FinishedAt <= per[1].FinishedAt {
+		t.Errorf("busy core finished at %d, idle at %d", per[0].FinishedAt, per[1].FinishedAt)
+	}
+	if per[0].FinishedAt != stats.Cycles {
+		t.Errorf("last core finished at %d, makespan %d", per[0].FinishedAt, stats.Cycles)
+	}
+	// The accessor returns a copy.
+	per[0].Instructions = -1
+	if m.CoreStats()[0].Instructions == -1 {
+		t.Error("CoreStats returned shared state")
+	}
+}
+
+func TestBankAccessors_Reject(t *testing.T) {
+	m, err := New(mustConfig(t, 1, 2, 8), []isa.Program{privateProg(1), privateProg(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cores() != 2 {
+		t.Errorf("Cores() = %d", m.Cores())
+	}
+	if err := m.LoadBank(5, 0, nil); err == nil {
+		t.Error("LoadBank(5) accepted")
+	}
+	if _, err := m.ReadBank(-1, 0, 1); err == nil {
+		t.Error("ReadBank(-1) accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package registry
+
+import (
+	"sort"
+
+	"repro/internal/taxonomy"
+)
+
+// This file provides the aggregate views of the survey the paper's §IV
+// narrates in prose: which classes the surveyed machines cluster in, how
+// flexibility distributes across them, and the Flynn collapse that
+// motivated extending Skillicorn in the first place.
+
+// ClassGroup is one taxonomy class with the surveyed machines in it.
+type ClassGroup struct {
+	// Class is the derived class name (e.g. "IAP-II").
+	Class string
+	// Flexibility is the class's score.
+	Flexibility int
+	// Architectures lists the member machines in Table III row order.
+	Architectures []string
+}
+
+// GroupByClass groups the survey by derived class, ordered by descending
+// member count and then by class name, reproducing §IV's narrative
+// structure ("IMAGINE, MorphoSys, REMARC, RICA, PADDI, PACT XPP, Chimaera
+// and ADRES are the array processors of Type-II...").
+func GroupByClass() ([]ClassGroup, error) {
+	rows, err := DeriveAll()
+	if err != nil {
+		return nil, err
+	}
+	byClass := map[string]*ClassGroup{}
+	for _, r := range rows {
+		key := r.Class.String()
+		g, ok := byClass[key]
+		if !ok {
+			g = &ClassGroup{Class: key, Flexibility: r.Flexibility}
+			byClass[key] = g
+		}
+		g.Architectures = append(g.Architectures, r.Entry.Arch.Name)
+	}
+	groups := make([]ClassGroup, 0, len(byClass))
+	for _, g := range byClass {
+		groups = append(groups, *g)
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if len(groups[i].Architectures) != len(groups[j].Architectures) {
+			return len(groups[i].Architectures) > len(groups[j].Architectures)
+		}
+		return groups[i].Class < groups[j].Class
+	})
+	return groups, nil
+}
+
+// FlexibilityHistogram counts surveyed machines per derived flexibility
+// score: the data behind Fig 7's visual spread.
+func FlexibilityHistogram() (map[int]int, error) {
+	rows, err := DeriveAll()
+	if err != nil {
+		return nil, err
+	}
+	hist := map[int]int{}
+	for _, r := range rows {
+		hist[r.Flexibility]++
+	}
+	return hist, nil
+}
+
+// FlynnCollapse maps every surveyed machine to its Flynn category and
+// returns the counts: the quantitative form of "the broadness of Flynn's
+// taxonomy is a limitation" — 25 distinct machines collapse into a handful
+// of Flynn buckets while the extended taxonomy separates them into 8
+// classes.
+func FlynnCollapse() (map[taxonomy.FlynnCategory]int, error) {
+	rows, err := DeriveAll()
+	if err != nil {
+		return nil, err
+	}
+	counts := map[taxonomy.FlynnCategory]int{}
+	for _, r := range rows {
+		counts[taxonomy.Flynn(r.Class)]++
+	}
+	return counts, nil
+}

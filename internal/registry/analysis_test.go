@@ -1,0 +1,95 @@
+package registry
+
+import (
+	"testing"
+
+	"repro/internal/taxonomy"
+)
+
+func TestGroupByClass(t *testing.T) {
+	groups, err := GroupByClass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ClassGroup{}
+	total := 0
+	for _, g := range groups {
+		byName[g.Class] = g
+		total += len(g.Architectures)
+	}
+	if total != 25 {
+		t.Fatalf("groups cover %d machines", total)
+	}
+	// §IV's enumeration: 8 IAP-II machines (the paper lists IMAGINE,
+	// MorphoSys, REMARC, RICA, PADDI, Chimaera, ADRES as IAP-II plus names
+	// Pact XPP in the same paragraph but classifies it IMP-II).
+	if g := byName["IAP-II"]; len(g.Architectures) != 7 {
+		t.Errorf("IAP-II group has %d members: %v", len(g.Architectures), g.Architectures)
+	}
+	if g := byName["IAP-IV"]; len(g.Architectures) != 5 {
+		t.Errorf("IAP-IV group has %d members: %v", len(g.Architectures), g.Architectures)
+	}
+	if g := byName["IMP-I"]; len(g.Architectures) != 3 {
+		t.Errorf("IMP-I group: %v", g.Architectures)
+	}
+	if g := byName["USP"]; len(g.Architectures) != 1 || g.Architectures[0] != "FPGA" {
+		t.Errorf("USP group: %v", g.Architectures)
+	}
+	// The biggest group comes first.
+	if groups[0].Class != "IAP-II" {
+		t.Errorf("largest group is %s", groups[0].Class)
+	}
+}
+
+func TestFlexibilityHistogram(t *testing.T) {
+	hist, err := FlexibilityHistogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Derived scores: 0 x2 (IUPs), 2 x10 (7 IAP-II + 3 IMP-I), 3 x9
+	// (5 IAP-IV + Pact XPP + Pleiades + 2 DMP-IV), 5 x2 (RaPiD + DRRA),
+	// 7 x1 (Matrix), 8 x1 (FPGA).
+	want := map[int]int{0: 2, 2: 10, 3: 9, 5: 2, 7: 1, 8: 1}
+	for score, n := range want {
+		if hist[score] != n {
+			t.Errorf("flexibility %d: %d machines, want %d", score, hist[score], n)
+		}
+	}
+	total := 0
+	for _, n := range hist {
+		total += n
+	}
+	if total != 25 {
+		t.Errorf("histogram covers %d machines", total)
+	}
+}
+
+func TestFlynnCollapse(t *testing.T) {
+	counts, err := FlynnCollapse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 SISD, 12 SIMD (all IAP rows), 8 MIMD (IMP + ISP), 3 outside Flynn
+	// (2 DMP + FPGA).
+	if counts[taxonomy.FlynnSISD] != 2 {
+		t.Errorf("SISD = %d", counts[taxonomy.FlynnSISD])
+	}
+	if counts[taxonomy.FlynnSIMD] != 12 {
+		t.Errorf("SIMD = %d", counts[taxonomy.FlynnSIMD])
+	}
+	if counts[taxonomy.FlynnMIMD] != 8 {
+		t.Errorf("MIMD = %d", counts[taxonomy.FlynnMIMD])
+	}
+	if counts[taxonomy.FlynnOutside] != 3 {
+		t.Errorf("outside = %d", counts[taxonomy.FlynnOutside])
+	}
+	// The collapse: 25 machines, 8 extended classes, only 4 Flynn buckets.
+	groups, err := GroupByClass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) <= len(counts) {
+		t.Errorf("extended taxonomy (%d classes) should out-resolve Flynn (%d buckets)",
+			len(groups), len(counts))
+	}
+}

@@ -1,0 +1,323 @@
+// Package registry holds the 25 architectures the paper surveys in Table
+// III, with every cell transcribed exactly as printed, plus the class name
+// and flexibility value the paper assigns to each. The survey tests
+// re-derive class and flexibility from the cells through internal/spec and
+// internal/taxonomy; where the derivation disagrees with the printed value,
+// the discrepancy is part of the reproduction result and is recorded here.
+package registry
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+	"repro/internal/taxonomy"
+)
+
+// Entry is one Table III row: the architecture description plus the class
+// name and flexibility score as printed in the paper.
+type Entry struct {
+	// Arch is the connectivity description, cells verbatim from Table III.
+	Arch spec.Architecture
+	// PrintedName is the taxonomic name column as printed.
+	PrintedName string
+	// PrintedFlexibility is the flexibility column as printed.
+	PrintedFlexibility int
+}
+
+// DerivedRow is the result of re-running the paper's classification pipeline
+// on one entry: the class our classifier derives from the printed cells and
+// the flexibility score of that class.
+type DerivedRow struct {
+	Entry Entry
+	// Class is the taxonomy class derived from the connectivity cells.
+	Class taxonomy.Class
+	// Flexibility is the score of the derived class.
+	Flexibility int
+	// NameMatches and FlexibilityMatches report agreement with the printed
+	// row. The only known mismatch in the paper is Pact XPP's flexibility
+	// (printed 2, while Table II assigns IMP-II a score of 3).
+	NameMatches, FlexibilityMatches bool
+}
+
+// Derive classifies an entry and compares against the printed row.
+func Derive(e Entry) (DerivedRow, error) {
+	c, err := spec.Classify(e.Arch)
+	if err != nil {
+		return DerivedRow{}, fmt.Errorf("registry: %s: %w", e.Arch.Name, err)
+	}
+	flex := taxonomy.Flexibility(c)
+	return DerivedRow{
+		Entry:              e,
+		Class:              c,
+		Flexibility:        flex,
+		NameMatches:        c.String() == e.PrintedName,
+		FlexibilityMatches: flex == e.PrintedFlexibility,
+	}, nil
+}
+
+// DeriveAll classifies every entry of the survey in Table III order.
+func DeriveAll() ([]DerivedRow, error) {
+	entries := All()
+	rows := make([]DerivedRow, 0, len(entries))
+	for _, e := range entries {
+		row, err := Derive(e)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Find returns the entry with the given architecture name.
+func Find(name string) (Entry, bool) {
+	for _, e := range All() {
+		if e.Arch.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Survey packages the registry as a spec.Collection, the JSON shape the
+// command-line tools exchange.
+func Survey() spec.Collection {
+	entries := All()
+	col := spec.Collection{Title: "Table III: Survey of Modern Parallel and Reconfigurable Architectures"}
+	for _, e := range entries {
+		col.Architectures = append(col.Architectures, e.Arch)
+	}
+	return col
+}
+
+// All returns the 25 survey entries in Table III row order. The slice is
+// freshly allocated; callers may modify it.
+func All() []Entry {
+	return []Entry{
+		{
+			Arch: spec.Architecture{
+				Name: "ARM7TDMI", IPs: "1", DPs: "1",
+				IPIP: "none", IPDP: "1-1", IPIM: "1-1", DPDM: "1-1", DPDP: "none",
+				Reference:   "Texas Instruments, TMS470R1A256 16/32-bit RISC flash microcontroller",
+				Description: "Instruction-flow uni-processor: a single RISC core with its instruction and data memories.",
+			},
+			PrintedName: "IUP", PrintedFlexibility: 0,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "AT89C51", IPs: "1", DPs: "1",
+				IPIP: "none", IPDP: "1-1", IPIM: "1-1", DPDM: "1-1", DPDP: "none",
+				Reference:   "Atmel, 8-bit microcontroller with 4K bytes flash",
+				Description: "8051-family microcontroller; a single instruction processor driving a single data path.",
+			},
+			PrintedName: "IUP", PrintedFlexibility: 0,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "IMAGINE", IPs: "1", DPs: "6",
+				IPIP: "none", IPDP: "1-6", IPIM: "1-1", DPDM: "6-1", DPDP: "6x6",
+				Reference:   "Kapasi et al., The Imagine stream processor, ICCD 2002",
+				Description: "Stream processor: 6 ALU clusters connected to each other and a multi-ported register file through a circuit-switched network, controlled by a host.",
+			},
+			PrintedName: "IAP-II", PrintedFlexibility: 2,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "MorphoSys", IPs: "1", DPs: "64",
+				IPIP: "none", IPDP: "1-64", IPIM: "1-1", DPDM: "64-1", DPDP: "64x64",
+				Reference:   "Lu et al., The MorphoSys dynamically reconfigurable system-on-chip, 1999",
+				Description: "8x8 RC fabric in rows and columns; cells connect to each other and to a frame buffer, under a host processor.",
+			},
+			PrintedName: "IAP-II", PrintedFlexibility: 2,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "REMARC", IPs: "1", DPs: "64",
+				IPIP: "none", IPDP: "1-64", IPIM: "1-1", DPDM: "64-1", DPDP: "64x64",
+				Reference:   "Miyamori & Olukotun, REMARC: reconfigurable multimedia array coprocessor, 1998",
+				Description: "8x8 NANO processors with local instruction storage; a single global control unit provides the program counter.",
+			},
+			PrintedName: "IAP-II", PrintedFlexibility: 2,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "RICA", IPs: "1", DPs: "n",
+				IPIP: "none", IPDP: "1-n", IPIM: "1-1", DPDM: "n-1", DPDP: "nxn",
+				Reference:   "Khawam et al., The reconfigurable instruction cell array, 2008",
+				Description: "Template of instruction cells loosely coupled to data memory through I/O ports, tightly coupled to a RISC processor.",
+			},
+			PrintedName: "IAP-II", PrintedFlexibility: 2,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "PADDI", IPs: "1", DPs: "8",
+				IPIP: "none", IPDP: "1-8", IPIM: "1-8", DPDM: "8-1", DPDP: "8x8",
+				Reference:   "Chen & Rabaey, A reconfigurable multiprocessor IC for rapid prototyping, JSSC 1992",
+				Description: "8 processors with data-paths and local control behind a crossbar; a global sequencer issues instructions VLIW-fashion.",
+			},
+			PrintedName: "IAP-II", PrintedFlexibility: 2,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "Pact XPP", IPs: "n", DPs: "n",
+				IPIP: "none", IPDP: "n-n", IPIM: "n-n", DPDM: "n-n", DPDP: "nxn",
+				Reference:   "Baumgarte et al., PACT XPP: a self-reconfigurable data processing architecture, 2003",
+				Description: "Self-reconfigurable array of processing array elements; Table III prints flexibility 2 although Table II assigns IMP-II a 3.",
+			},
+			PrintedName: "IMP-II", PrintedFlexibility: 2,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "Chimaera", IPs: "1", DPs: "n",
+				IPIP: "none", IPDP: "1-n", IPIM: "1-1", DPDM: "n-1", DPDP: "nxn",
+				Reference:   "Hauck et al., The Chimaera reconfigurable functional unit, 2004",
+				Description: "Reconfigurable array of 2/3-input lookup tables with a shadow register file, controlled by a host processor.",
+			},
+			PrintedName: "IAP-II", PrintedFlexibility: 2,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "ADRES", IPs: "1", DPs: "64",
+				IPIP: "none", IPDP: "1-64", IPIM: "1-1", DPDM: "8-1", DPDP: "64x64",
+				Reference:   "Kwok & Wilton, Register file architecture optimization in a CGRA, FCCM 2005",
+				Description: "RISC core plus an RC fabric; the first row couples tightly to the multi-ported register file, the rest reach it through a mux network.",
+			},
+			PrintedName: "IAP-II", PrintedFlexibility: 2,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "Montium", IPs: "1", DPs: "5",
+				IPIP: "none", IPDP: "1-5", IPIM: "1-1", DPDM: "5x10", DPDP: "5x5",
+				Reference:   "Heysters, Coarse-grained reconfigurable processors, PhD thesis, Twente, 2004",
+				Description: "Tile of 5 data-path units connected to 10 memory banks through a full circuit-switched network, sequenced VLIW-fashion.",
+			},
+			PrintedName: "IAP-IV", PrintedFlexibility: 3,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "GARP", IPs: "1", DPs: "24xn",
+				IPIP: "none", IPDP: "1-24n", IPIM: "1-1", DPDM: "24nx1", DPDP: "24nx24n",
+				Reference:   "Callahan, Hauser & Wawrzynek, The GARP architecture and C compiler, 2000",
+				Description: "MIPS core tightly coupled to a reconfigurable fabric of rows of 23 2-bit logic elements, loosely coupled to memory.",
+			},
+			PrintedName: "IAP-IV", PrintedFlexibility: 3,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "Piperench", IPs: "1", DPs: "n",
+				IPIP: "none", IPDP: "1-n", IPIM: "1-1", DPDM: "nx1", DPDP: "nxn",
+				Reference:   "Goldstein et al., PipeRench: a coprocessor for streaming multimedia acceleration, ISCA 1999",
+				Description: "Rows of processing elements on horizontal and vertical buses, fed by an input controller and I/O FIFOs.",
+			},
+			PrintedName: "IAP-IV", PrintedFlexibility: 3,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "EGRA", IPs: "1", DPs: "n",
+				IPIP: "none", IPDP: "1-n", IPIM: "1-1", DPDM: "nxn", DPDP: "nxn",
+				Reference:   "Ansaloni, Bonzini & Pozzi, EGRA: a coarse grained reconfigurable architectural template, 2011",
+				Description: "Template of ALU, multiplier and memory blocks in rows and columns, joined by nearest-neighbour and bus interconnect under external control.",
+			},
+			PrintedName: "IAP-IV", PrintedFlexibility: 3,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "ELM processor", IPs: "1", DPs: "2",
+				IPIP: "none", IPDP: "1-2", IPIM: "1-1", DPDM: "2x2", DPDP: "2x2",
+				Reference:   "Balfour et al., An energy-efficient processor architecture for embedded systems, CAL 2008",
+				Description: "Energy-efficient embedded processor with two data-paths cross-connected to two memories.",
+			},
+			PrintedName: "IAP-IV", PrintedFlexibility: 3,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "PADDI-2", IPs: "48", DPs: "48",
+				IPIP: "none", IPDP: "48-48", IPIM: "48-48", DPDM: "48-48", DPDP: "48-48",
+				Reference:   "Yeung & Rabaey, A 2.4 GOPS data-driven reconfigurable multiprocessor IC for DSP, ISSCC 1995",
+				Description: "48 processing elements, each with its own local control unit, joined by a hierarchical interconnection network.",
+			},
+			PrintedName: "IMP-I", PrintedFlexibility: 2,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "Cortex-A9 (Quad core)", IPs: "4", DPs: "4",
+				IPIP: "none", IPDP: "4-4", IPIM: "4-4", DPDM: "4-4", DPDP: "none",
+				Reference:   "ARM, The ARM Cortex-A9 processors, white paper, 2009",
+				Description: "Four instruction processors directly connected to four data processors working in parallel.",
+			},
+			PrintedName: "IMP-I", PrintedFlexibility: 2,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "Core2Duo", IPs: "2", DPs: "2",
+				IPIP: "none", IPDP: "2-2", IPIM: "2-2", DPDM: "2-2", DPDP: "none",
+				Reference:   "Intel, Core2 Duo processor development kit, 2008",
+				Description: "Two independent Von Neumann cores.",
+			},
+			PrintedName: "IMP-I", PrintedFlexibility: 2,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "Pleiades", IPs: "n", DPs: "n",
+				IPIP: "none", IPDP: "n-n", IPIM: "n-n", DPDM: "n-1", DPDP: "nxn",
+				Reference:   "Rabaey et al., Heterogeneous reconfigurable systems, SIPS 1997",
+				Description: "Host processor plus satellite processors joined through a circuit-switched network.",
+			},
+			PrintedName: "IMP-II", PrintedFlexibility: 3,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "RaPiD", IPs: "n", DPs: "m",
+				IPIP: "none", IPDP: "nxm", IPIM: "nxn", DPDM: "m-1", DPDP: "mxm",
+				Reference:   "Cronquist et al., Architecture design of reconfigurable pipelined datapaths, ARVLSI 1999",
+				Description: "Row of functional units on a bus-based interconnect, loosely coupled to memory and to the instruction processors over the same buses.",
+			},
+			PrintedName: "IMP-XIV", PrintedFlexibility: 5,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "Redefine", IPs: "0", DPs: "64",
+				IPIP: "none", IPDP: "none", IPIM: "none", DPDM: "22x1", DPDP: "64x64",
+				Reference:   "Alle et al., REDEFINE: runtime reconfigurable polymorphic ASIC, TECS 2009",
+				Description: "Static dataflow architecture: an 8x8 matrix of compute elements on a packet-switched NoC executing HyperOps.",
+			},
+			PrintedName: "DMP-IV", PrintedFlexibility: 3,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "Colt", IPs: "0", DPs: "16",
+				IPIP: "none", IPDP: "none", IPIM: "none", DPDM: "16x6", DPDP: "16x16",
+				Reference:   "Bittner, Athanas & Musgrove, Colt: an experiment in wormhole run-time reconfiguration, SPIE 1996",
+				Description: "4x4 data-flow fabric behind a crossbar; the data stream carries routing information and reconfigures the chip at run time; 6 I/O ports reach memory.",
+			},
+			PrintedName: "DMP-IV", PrintedFlexibility: 3,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "DRRA", IPs: "n", DPs: "n",
+				IPIP: "nx14", IPDP: "n-n", IPIM: "n-n", DPDM: "nx14", DPDP: "nx14",
+				Reference:   "Shami & Hemani, Control scheme for a CGRA, SBAC-PAD 2010",
+				Description: "Distributed control, memory and data-path resources; every element reaches every other element within a 3-hop window on either side.",
+			},
+			PrintedName: "ISP-IV", PrintedFlexibility: 5,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "Matrix", IPs: "n", DPs: "n",
+				IPIP: "nxn", IPDP: "nxn", IPIM: "nxn", DPDM: "nxn", DPDP: "nxn",
+				Reference:   "Mirsky & DeHon, MATRIX: a reconfigurable computing architecture, FCCM 1996",
+				Description: "Every element configures as data or instruction storage, register file or data-path; nearest-neighbour, length-four bypass and global buses. Cannot implement data flow, hence ISP rather than USP.",
+			},
+			PrintedName: "ISP-XVI", PrintedFlexibility: 7,
+		},
+		{
+			Arch: spec.Architecture{
+				Name: "FPGA", IPs: "v", DPs: "v",
+				IPIP: "vxv", IPDP: "vxv", IPIM: "vxv", DPDM: "vxv", DPDP: "vxv",
+				Reference:   "Altera (now Intel PSG) device families",
+				Description: "Configuration logic blocks implement IPs or DPs; any CLB can connect to any other; implements both data- and instruction-flow machines.",
+			},
+			PrintedName: "USP", PrintedFlexibility: 8,
+		},
+	}
+}

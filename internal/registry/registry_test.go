@@ -1,0 +1,173 @@
+package registry
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/taxonomy"
+)
+
+// paperTableIII pins the printed Name and Flexibility columns, in row order.
+var paperTableIII = []struct {
+	name  string
+	class string
+	flex  int
+}{
+	{"ARM7TDMI", "IUP", 0},
+	{"AT89C51", "IUP", 0},
+	{"IMAGINE", "IAP-II", 2},
+	{"MorphoSys", "IAP-II", 2},
+	{"REMARC", "IAP-II", 2},
+	{"RICA", "IAP-II", 2},
+	{"PADDI", "IAP-II", 2},
+	{"Pact XPP", "IMP-II", 2},
+	{"Chimaera", "IAP-II", 2},
+	{"ADRES", "IAP-II", 2},
+	{"Montium", "IAP-IV", 3},
+	{"GARP", "IAP-IV", 3},
+	{"Piperench", "IAP-IV", 3},
+	{"EGRA", "IAP-IV", 3},
+	{"ELM processor", "IAP-IV", 3},
+	{"PADDI-2", "IMP-I", 2},
+	{"Cortex-A9 (Quad core)", "IMP-I", 2},
+	{"Core2Duo", "IMP-I", 2},
+	{"Pleiades", "IMP-II", 3},
+	{"RaPiD", "IMP-XIV", 5},
+	{"Redefine", "DMP-IV", 3},
+	{"Colt", "DMP-IV", 3},
+	{"DRRA", "ISP-IV", 5},
+	{"Matrix", "ISP-XVI", 7},
+	{"FPGA", "USP", 8},
+}
+
+func TestTableIII_RowOrderAndPrintedColumns(t *testing.T) {
+	entries := All()
+	if len(entries) != len(paperTableIII) {
+		t.Fatalf("registry has %d entries, Table III has %d", len(entries), len(paperTableIII))
+	}
+	for i, want := range paperTableIII {
+		e := entries[i]
+		if e.Arch.Name != want.name {
+			t.Errorf("row %d: name %q, want %q", i+1, e.Arch.Name, want.name)
+		}
+		if e.PrintedName != want.class {
+			t.Errorf("row %d (%s): printed class %q, want %q", i+1, e.Arch.Name, e.PrintedName, want.class)
+		}
+		if e.PrintedFlexibility != want.flex {
+			t.Errorf("row %d (%s): printed flexibility %d, want %d", i+1, e.Arch.Name, e.PrintedFlexibility, want.flex)
+		}
+	}
+}
+
+func TestTableIII_MatchesPaper(t *testing.T) {
+	// Re-derive class and flexibility from the printed connectivity cells.
+	// Every derived class name must match the printed one; every derived
+	// flexibility must match except the one known inconsistency in the
+	// paper itself (Pact XPP: printed 2, Table II assigns IMP-II a 3).
+	rows, err := DeriveAll()
+	if err != nil {
+		t.Fatalf("DeriveAll: %v", err)
+	}
+	for _, r := range rows {
+		if !r.NameMatches {
+			t.Errorf("%s: derived class %s, paper prints %s",
+				r.Entry.Arch.Name, r.Class, r.Entry.PrintedName)
+		}
+		if r.Entry.Arch.Name == "Pact XPP" {
+			if r.FlexibilityMatches {
+				t.Errorf("Pact XPP: expected the paper's known flexibility inconsistency (printed %d, derived %d)",
+					r.Entry.PrintedFlexibility, r.Flexibility)
+			}
+			if r.Flexibility != 3 {
+				t.Errorf("Pact XPP: derived flexibility %d, Table II assigns IMP-II a 3", r.Flexibility)
+			}
+			continue
+		}
+		if !r.FlexibilityMatches {
+			t.Errorf("%s: derived flexibility %d, paper prints %d",
+				r.Entry.Arch.Name, r.Flexibility, r.Entry.PrintedFlexibility)
+		}
+	}
+}
+
+func TestTableIII_AllEntriesValidate(t *testing.T) {
+	for _, e := range All() {
+		if err := spec.Validate(e.Arch); err != nil {
+			t.Errorf("%s: %v", e.Arch.Name, err)
+		}
+		if e.Arch.Reference == "" || e.Arch.Description == "" {
+			t.Errorf("%s: missing provenance", e.Arch.Name)
+		}
+	}
+}
+
+func TestTableIII_PrintedNamesAreValidClasses(t *testing.T) {
+	for _, e := range All() {
+		if _, err := taxonomy.LookupString(e.PrintedName); err != nil {
+			t.Errorf("%s: printed class %q is not a Table I class: %v", e.Arch.Name, e.PrintedName, err)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	e, ok := Find("MorphoSys")
+	if !ok || e.PrintedName != "IAP-II" {
+		t.Errorf("Find(MorphoSys) = (%+v, %v)", e, ok)
+	}
+	if _, ok := Find("NotAnArchitecture"); ok {
+		t.Error("Find on a missing name reported success")
+	}
+}
+
+func TestSurveyCollection(t *testing.T) {
+	col := Survey()
+	if len(col.Architectures) != 25 {
+		t.Fatalf("survey has %d architectures, want 25", len(col.Architectures))
+	}
+	data, err := spec.MarshalCollection(col)
+	if err != nil {
+		t.Fatalf("MarshalCollection: %v", err)
+	}
+	back, err := spec.UnmarshalCollection(data)
+	if err != nil {
+		t.Fatalf("UnmarshalCollection: %v", err)
+	}
+	if len(back.Architectures) != 25 {
+		t.Errorf("round trip lost architectures: %d", len(back.Architectures))
+	}
+}
+
+func TestFig7_FPGAHighestThenMatrixThenDRRA(t *testing.T) {
+	// Fig 7's reading: "FPGA has the highest flexibility. Matrix and DRRA
+	// come second and third respectively."
+	rows, err := DeriveAll()
+	if err != nil {
+		t.Fatalf("DeriveAll: %v", err)
+	}
+	flex := map[string]int{}
+	for _, r := range rows {
+		flex[r.Entry.Arch.Name] = r.Flexibility
+	}
+	if flex["FPGA"] != 8 {
+		t.Errorf("FPGA flexibility = %d, want 8", flex["FPGA"])
+	}
+	for name, f := range flex {
+		if name != "FPGA" && f >= flex["FPGA"] {
+			t.Errorf("%s (%d) is not below FPGA (%d)", name, f, flex["FPGA"])
+		}
+		if name != "FPGA" && name != "Matrix" && f >= flex["Matrix"] {
+			t.Errorf("%s (%d) is not below Matrix (%d)", name, f, flex["Matrix"])
+		}
+		if name != "FPGA" && name != "Matrix" && name != "DRRA" && name != "RaPiD" && f > flex["DRRA"] {
+			t.Errorf("%s (%d) exceeds DRRA (%d)", name, f, flex["DRRA"])
+		}
+	}
+}
+
+func TestAll_FreshSliceEachCall(t *testing.T) {
+	a := All()
+	a[0].PrintedName = "mutated"
+	if All()[0].PrintedName != "IUP" {
+		t.Error("All() returned shared state")
+	}
+}

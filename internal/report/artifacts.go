@@ -1,0 +1,248 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bibliometrics"
+	"repro/internal/cost"
+	"repro/internal/registry"
+	"repro/internal/taxonomy"
+)
+
+// TableI renders the extended taxonomy table (paper Table I) from the
+// generated class list.
+func TableI() string {
+	t := Table{Headers: []string{"S.N", "Gran.", "IPs", "DPs", "IP-IP", "IP-DP", "IP-IM", "DP-DM", "DP-DP", "Comments"}}
+	for _, c := range taxonomy.Table() {
+		row := []string{
+			fmt.Sprint(c.Index), c.Grain.String(), c.IPs.String(), c.DPs.String(),
+		}
+		for _, s := range taxonomy.Sites() {
+			row = append(row, c.Cell(s))
+		}
+		row = append(row, c.String())
+		t.AddRow(row...)
+	}
+	return t.Text()
+}
+
+// TableII renders the relative flexibility values (paper Table II).
+func TableII() string {
+	t := Table{Headers: []string{"Class", "Flexibility", "Group base", "Switch points"}}
+	for _, row := range taxonomy.FlexibilityTable() {
+		t.AddRow(
+			row.Class.String(),
+			fmt.Sprint(row.Score),
+			fmt.Sprintf("+%d", taxonomy.FlexibilityBase(row.Class)),
+			fmt.Sprint(row.Class.Links.Switches()),
+		)
+	}
+	return t.Text()
+}
+
+// TableIII renders the survey classification (paper Table III), with the
+// derived class and flexibility next to the printed values.
+func TableIII() (string, error) {
+	rows, err := registry.DeriveAll()
+	if err != nil {
+		return "", err
+	}
+	t := Table{Headers: []string{
+		"Architecture", "IPs", "DPs", "IP-IP", "IP-DP", "IP-IM", "DP-DM", "DP-DP",
+		"Name", "Flx", "Derived", "DFlx", "Match",
+	}}
+	for _, r := range rows {
+		a := r.Entry.Arch
+		match := "yes"
+		if !r.NameMatches || !r.FlexibilityMatches {
+			match = "DIFFERS"
+		}
+		t.AddRow(a.Name, a.IPs, a.DPs, a.IPIP, a.IPDP, a.IPIM, a.DPDM, a.DPDP,
+			r.Entry.PrintedName, fmt.Sprint(r.Entry.PrintedFlexibility),
+			r.Class.String(), fmt.Sprint(r.Flexibility), match)
+	}
+	return t.Text(), nil
+}
+
+// Fig2Tree renders the hierarchy of computing machines (paper Fig 2).
+func Fig2Tree() string {
+	root := &TreeNode{Label: "Computing Machines"}
+	df := root.Add("Data Flow")
+	df.Add("Uni Processor: DUP")
+	dmp := df.Add("Multi Processor")
+	for sub := 1; sub <= 4; sub++ {
+		dmp.Add("DMP-" + taxonomy.Roman(sub))
+	}
+	ifl := root.Add("Instruction Flow")
+	ifl.Add("Uni Processor: IUP")
+	iap := ifl.Add("Array Processor")
+	for sub := 1; sub <= 4; sub++ {
+		iap.Add("IAP-" + taxonomy.Roman(sub))
+	}
+	imp := ifl.Add("Multi Processor")
+	for sub := 1; sub <= 16; sub++ {
+		imp.Add("IMP-" + taxonomy.Roman(sub))
+	}
+	isp := ifl.Add("Spatial Processor")
+	for sub := 1; sub <= 16; sub++ {
+		isp.Add("ISP-" + taxonomy.Roman(sub))
+	}
+	uf := root.Add("Universal Flow")
+	uf.Add("Spatial Computing: USP")
+	return RenderTree(root)
+}
+
+// Fig7Chart renders the flexibility comparison across the surveyed
+// architectures (paper Fig 7) as a bar chart in Table III row order.
+func Fig7Chart(width int) (string, error) {
+	rows, err := registry.DeriveAll()
+	if err != nil {
+		return "", err
+	}
+	items := make([]BarItem, 0, len(rows))
+	for _, r := range rows {
+		items = append(items, BarItem{
+			Label: fmt.Sprintf("%s (%s)", r.Entry.Arch.Name, r.Class),
+			Value: float64(r.Flexibility),
+		})
+	}
+	return BarChart(items, width)
+}
+
+// Fig1Chart renders the research-trend series (paper Fig 1) from a
+// generated corpus.
+func Fig1Chart(corpus bibliometrics.Corpus, width int) (string, error) {
+	trendSeries := bibliometrics.Trends(corpus)
+	if len(trendSeries) == 0 {
+		return "", fmt.Errorf("report: corpus has no series")
+	}
+	xs := trendSeries[0].Years
+	series := make([]LineSeries, 0, len(trendSeries))
+	for _, s := range trendSeries {
+		vals := make([]float64, len(s.Counts))
+		for i, c := range s.Counts {
+			vals[i] = float64(c)
+		}
+		series = append(series, LineSeries{Label: s.Topic, Values: vals})
+	}
+	return TrendChart(xs, series, width)
+}
+
+// Fig1Table renders the trend counts as a year-by-topic table.
+func Fig1Table(corpus bibliometrics.Corpus) string {
+	trendSeries := bibliometrics.Trends(corpus)
+	t := Table{Headers: []string{"Year"}}
+	for _, s := range trendSeries {
+		t.Headers = append(t.Headers, s.Topic)
+	}
+	if len(trendSeries) == 0 {
+		return t.Text()
+	}
+	for i, y := range trendSeries[0].Years {
+		row := []string{fmt.Sprint(y)}
+		for _, s := range trendSeries {
+			row = append(row, fmt.Sprint(s.Counts[i]))
+		}
+		t.AddRow(row...)
+	}
+	return t.Text()
+}
+
+// SurveyCostTable evaluates Eq 1 and Eq 2 for every surveyed architecture
+// under the default library, using the printed concrete counts where
+// available and defaultN for symbolic templates.
+func SurveyCostTable(defaultN int) (string, error) {
+	model, err := cost.NewModel(cost.DefaultLibrary())
+	if err != nil {
+		return "", err
+	}
+	t := Table{Headers: []string{"Architecture", "Class", "IPs", "DPs", "Area (GE)", "Config bits"}}
+	for _, e := range registry.All() {
+		est, err := model.ForArchitecture(e.Arch, defaultN)
+		if err != nil {
+			return "", fmt.Errorf("report: %s: %w", e.Arch.Name, err)
+		}
+		t.AddRow(e.Arch.Name, est.Class.String(),
+			fmt.Sprint(est.IPCount), fmt.Sprint(est.DPCount),
+			fmt.Sprintf("%.0f", est.Area), fmt.Sprint(est.ConfigBits))
+	}
+	return t.Text(), nil
+}
+
+// FlynnCollapseTable renders the survey's Flynn-category collapse next to
+// the extended classes: the quantitative motivation of §I.
+func FlynnCollapseTable() (string, error) {
+	groups, err := registry.GroupByClass()
+	if err != nil {
+		return "", err
+	}
+	counts, err := registry.FlynnCollapse()
+	if err != nil {
+		return "", err
+	}
+	t := Table{Headers: []string{"Extended class", "Members", "Flynn category"}}
+	for _, g := range groups {
+		c, err := taxonomy.LookupString(g.Class)
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(g.Class, fmt.Sprint(len(g.Architectures)), taxonomy.Flynn(c).String())
+	}
+	var b strings.Builder
+	b.WriteString(t.Text())
+	b.WriteString("\nFlynn buckets over the 25 surveyed machines: ")
+	first := true
+	for _, cat := range []taxonomy.FlynnCategory{taxonomy.FlynnSISD, taxonomy.FlynnSIMD, taxonomy.FlynnMISD, taxonomy.FlynnMIMD, taxonomy.FlynnOutside} {
+		if counts[cat] == 0 {
+			continue
+		}
+		if !first {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%d", cat, counts[cat])
+		first = false
+	}
+	b.WriteString("\n")
+	return b.String(), nil
+}
+
+// ParetoTable renders the flexibility/area Pareto frontier across all
+// named classes at instantiation size n: the design-space reading of the
+// paper's flexibility-costs-silicon claim.
+func ParetoTable(n int) (string, error) {
+	model, err := cost.NewModel(cost.DefaultLibrary())
+	if err != nil {
+		return "", err
+	}
+	rows, err := model.SweepClasses(n)
+	if err != nil {
+		return "", err
+	}
+	frontier := cost.ParetoFrontier(rows)
+	t := Table{Headers: []string{"Class", "Flexibility", "Area (GE)", "Config bits"}}
+	for _, p := range frontier {
+		t.AddRow(p.Class.String(), fmt.Sprint(p.Flexibility),
+			fmt.Sprintf("%.0f", p.Area), fmt.Sprint(p.ConfigBits))
+	}
+	return t.Text(), nil
+}
+
+// CostTable renders Eq 1 and Eq 2 for every named class at instantiation
+// size n under the default component library.
+func CostTable(n int) (string, error) {
+	model, err := cost.NewModel(cost.DefaultLibrary())
+	if err != nil {
+		return "", err
+	}
+	rows, err := model.SweepClasses(n)
+	if err != nil {
+		return "", err
+	}
+	t := Table{Headers: []string{"Class", "Flexibility", "Area (GE)", "Config bits"}}
+	for _, r := range rows {
+		t.AddRow(r.Class.String(), fmt.Sprint(r.Flexibility),
+			fmt.Sprintf("%.0f", r.Estimate.Area), fmt.Sprint(r.Estimate.ConfigBits))
+	}
+	return t.Text(), nil
+}

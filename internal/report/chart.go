@@ -1,0 +1,127 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarItem is one bar of a horizontal ASCII bar chart.
+type BarItem struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders items as a horizontal bar chart whose longest bar spans
+// width characters. Values must be non-negative.
+func BarChart(items []BarItem, width int) (string, error) {
+	if width < 1 {
+		return "", fmt.Errorf("report: chart width must be >= 1, got %d", width)
+	}
+	if len(items) == 0 {
+		return "", fmt.Errorf("report: empty chart")
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for _, it := range items {
+		if it.Value < 0 {
+			return "", fmt.Errorf("report: negative bar value %g for %q", it.Value, it.Label)
+		}
+		if it.Value > maxVal {
+			maxVal = it.Value
+		}
+		if len(it.Label) > maxLabel {
+			maxLabel = len(it.Label)
+		}
+	}
+	var b strings.Builder
+	for _, it := range items {
+		bar := 0
+		if maxVal > 0 {
+			bar = int(it.Value / maxVal * float64(width))
+		}
+		if it.Value > 0 && bar == 0 {
+			bar = 1 // visible trace for nonzero values
+		}
+		fmt.Fprintf(&b, "%-*s | %s %g\n", maxLabel, it.Label, strings.Repeat("#", bar), it.Value)
+	}
+	return b.String(), nil
+}
+
+// LineSeries is one labelled series of a multi-series text chart.
+type LineSeries struct {
+	Label  string
+	Values []float64
+}
+
+// TrendChart renders one row per (series, x) pair: a compact textual view
+// of Fig 1-style multi-series data, with per-series scaling so dissimilar
+// magnitudes stay readable.
+func TrendChart(xs []int, series []LineSeries, width int) (string, error) {
+	if width < 1 {
+		return "", fmt.Errorf("report: chart width must be >= 1, got %d", width)
+	}
+	if len(series) == 0 {
+		return "", fmt.Errorf("report: no series")
+	}
+	var b strings.Builder
+	for _, s := range series {
+		if len(s.Values) != len(xs) {
+			return "", fmt.Errorf("report: series %q has %d values for %d x points", s.Label, len(s.Values), len(xs))
+		}
+		maxVal := 0.0
+		for _, v := range s.Values {
+			if v < 0 {
+				return "", fmt.Errorf("report: negative value in series %q", s.Label)
+			}
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+		fmt.Fprintf(&b, "%s (peak %g)\n", s.Label, maxVal)
+		for i, x := range xs {
+			bar := 0
+			if maxVal > 0 {
+				bar = int(s.Values[i] / maxVal * float64(width))
+			}
+			fmt.Fprintf(&b, "  %d | %s %g\n", x, strings.Repeat("*", bar), s.Values[i])
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// TreeNode is one node of a rendered hierarchy (Fig 2).
+type TreeNode struct {
+	Label    string
+	Children []*TreeNode
+}
+
+// Add appends a child and returns it for chaining.
+func (n *TreeNode) Add(label string) *TreeNode {
+	child := &TreeNode{Label: label}
+	n.Children = append(n.Children, child)
+	return child
+}
+
+// RenderTree renders the hierarchy with box-drawing guides.
+func RenderTree(root *TreeNode) string {
+	if root == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(root.Label + "\n")
+	var walk func(n *TreeNode, prefix string)
+	walk = func(n *TreeNode, prefix string) {
+		for i, c := range n.Children {
+			last := i == len(n.Children)-1
+			branch, cont := "├── ", "│   "
+			if last {
+				branch, cont = "└── ", "    "
+			}
+			b.WriteString(prefix + branch + c.Label + "\n")
+			walk(c, prefix+cont)
+		}
+	}
+	walk(root, "")
+	return b.String()
+}

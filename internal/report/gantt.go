@@ -1,0 +1,58 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataflow"
+)
+
+// Gantt renders a dataflow firing schedule as an ASCII timeline, one row
+// per processing element, one column per cycle: the visual form of how a
+// DMP machine's tokens actually flowed. Busy cycles print the node ID's
+// last digit, idle cycles a dot; a legend lists the node spans.
+func Gantt(schedule []dataflow.NodeFire, maxCycles int) (string, error) {
+	if len(schedule) == 0 {
+		return "", fmt.Errorf("report: empty schedule")
+	}
+	if maxCycles < 1 {
+		return "", fmt.Errorf("report: maxCycles must be >= 1, got %d", maxCycles)
+	}
+	maxPE := 0
+	span := int64(0)
+	for _, f := range schedule {
+		if f.PE < 0 || f.FireAt < 0 || f.DoneAt <= f.FireAt {
+			return "", fmt.Errorf("report: malformed schedule entry %+v", f)
+		}
+		if f.PE > maxPE {
+			maxPE = f.PE
+		}
+		if f.DoneAt > span {
+			span = f.DoneAt
+		}
+	}
+	if span > int64(maxCycles) {
+		return "", fmt.Errorf("report: schedule spans %d cycles, cap is %d", span, maxCycles)
+	}
+
+	rows := make([][]byte, maxPE+1)
+	for pe := range rows {
+		rows[pe] = []byte(strings.Repeat(".", int(span)))
+	}
+	sorted := append([]dataflow.NodeFire(nil), schedule...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].FireAt < sorted[j].FireAt })
+	for _, f := range sorted {
+		mark := byte('0' + f.Node%10)
+		for c := f.FireAt; c < f.DoneAt; c++ {
+			rows[f.PE][c] = mark
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles 0..%d, %d nodes:\n", span-1, len(schedule))
+	for pe, row := range rows {
+		fmt.Fprintf(&b, "PE%-2d |%s|\n", pe, row)
+	}
+	return b.String(), nil
+}

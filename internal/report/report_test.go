@@ -1,0 +1,258 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bibliometrics"
+)
+
+func TestTableText(t *testing.T) {
+	tbl := Table{Headers: []string{"A", "Long header"}}
+	tbl.AddRow("1", "x")
+	tbl.AddRow("22")
+	out := tbl.Text()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "A ") || !strings.Contains(lines[0], "Long header") {
+		t.Errorf("header line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("rule line %q", lines[1])
+	}
+}
+
+func TestTableMarkdownAndCSV(t *testing.T) {
+	tbl := Table{Headers: []string{"name", "value"}}
+	tbl.AddRow("plain", "1")
+	tbl.AddRow("with,comma", `say "hi"`)
+	md := tbl.Markdown()
+	if !strings.Contains(md, "| name | value |") || !strings.Contains(md, "| --- | --- |") {
+		t.Errorf("markdown:\n%s", md)
+	}
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"with,comma"`) || !strings.Contains(csv, `"say ""hi"""`) {
+		t.Errorf("csv quoting:\n%s", csv)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out, err := BarChart([]BarItem{{"a", 10}, {"b", 5}, {"c", 0}, {"d", 0.1}}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines:\n%s", out)
+	}
+	if !strings.Contains(lines[0], strings.Repeat("#", 20)) {
+		t.Errorf("max bar not full width: %q", lines[0])
+	}
+	if strings.Count(lines[1], "#") != 10 {
+		t.Errorf("half bar: %q", lines[1])
+	}
+	if strings.Contains(lines[2], "#") {
+		t.Errorf("zero bar drew: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "#") {
+		t.Errorf("tiny value invisible: %q", lines[3])
+	}
+	if _, err := BarChart(nil, 20); err == nil {
+		t.Error("empty chart accepted")
+	}
+	if _, err := BarChart([]BarItem{{"x", 1}}, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := BarChart([]BarItem{{"x", -1}}, 10); err == nil {
+		t.Error("negative value accepted")
+	}
+}
+
+func TestTrendChart(t *testing.T) {
+	xs := []int{2000, 2001}
+	out, err := TrendChart(xs, []LineSeries{{Label: "s", Values: []float64{1, 2}}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "s (peak 2)") || !strings.Contains(out, "2001 | ********** 2") {
+		t.Errorf("trend chart:\n%s", out)
+	}
+	if _, err := TrendChart(xs, nil, 10); err == nil {
+		t.Error("no series accepted")
+	}
+	if _, err := TrendChart(xs, []LineSeries{{Label: "s", Values: []float64{1}}}, 10); err == nil {
+		t.Error("ragged series accepted")
+	}
+	if _, err := TrendChart(xs, []LineSeries{{Label: "s", Values: []float64{-1, 0}}}, 10); err == nil {
+		t.Error("negative series accepted")
+	}
+	if _, err := TrendChart(xs, []LineSeries{{Label: "s", Values: []float64{1, 2}}}, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	root := &TreeNode{Label: "root"}
+	a := root.Add("a")
+	a.Add("a1")
+	a.Add("a2")
+	root.Add("b")
+	out := RenderTree(root)
+	want := "root\n├── a\n│   ├── a1\n│   └── a2\n└── b\n"
+	if out != want {
+		t.Errorf("tree:\n%q\nwant:\n%q", out, want)
+	}
+	if RenderTree(nil) != "" {
+		t.Error("nil tree rendered")
+	}
+}
+
+func TestTableI_Renders47Rows(t *testing.T) {
+	out := TableI()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 49 { // header + rule + 47 classes
+		t.Fatalf("Table I rendered %d lines", len(lines))
+	}
+	if !strings.Contains(out, "IMP-XVI") || !strings.Contains(out, "USP") || !strings.Contains(out, "NI") {
+		t.Error("Table I missing class names")
+	}
+}
+
+func TestTableII_RendersAllNamedClasses(t *testing.T) {
+	out := TableII()
+	for _, name := range []string{"DUP", "DMP-IV", "IUP", "IAP-II", "IMP-XVI", "ISP-XVI", "USP"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table II missing %s", name)
+		}
+	}
+}
+
+func TestTableIII_MarksPactXPP(t *testing.T) {
+	out, err := TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	var xpp string
+	differs := 0
+	for _, l := range lines {
+		if strings.Contains(l, "DIFFERS") {
+			differs++
+		}
+		if strings.Contains(l, "Pact XPP") {
+			xpp = l
+		}
+	}
+	if differs != 1 || !strings.Contains(xpp, "DIFFERS") {
+		t.Errorf("expected exactly Pact XPP to differ; got %d DIFFERS rows\n%s", differs, out)
+	}
+}
+
+func TestFig2Tree(t *testing.T) {
+	out := Fig2Tree()
+	for _, label := range []string{"Computing Machines", "Data Flow", "Instruction Flow", "Universal Flow",
+		"DMP-IV", "IAP-I", "IMP-XVI", "ISP-I", "USP"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("Fig 2 tree missing %q", label)
+		}
+	}
+}
+
+func TestFig7Chart(t *testing.T) {
+	out, err := Fig7Chart(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "FPGA (USP)") {
+		t.Error("Fig 7 missing FPGA")
+	}
+	// FPGA is the maximum: its bar spans the full width.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "FPGA") && !strings.Contains(line, strings.Repeat("#", 40)) {
+			t.Errorf("FPGA bar not full width: %q", line)
+		}
+	}
+}
+
+func TestFig1Artifacts(t *testing.T) {
+	corpus, err := bibliometrics.Generate(bibliometrics.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart, err := Fig1Chart(corpus, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chart, "multicore architecture") || !strings.Contains(chart, "2011") {
+		t.Error("Fig 1 chart missing content")
+	}
+	tbl := Fig1Table(corpus)
+	if !strings.Contains(tbl, "1996") || !strings.Contains(tbl, "CGRA") {
+		t.Error("Fig 1 table missing content")
+	}
+	empty := bibliometrics.Corpus{}
+	if _, err := Fig1Chart(empty, 30); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}
+
+func TestSurveyCostTable(t *testing.T) {
+	out, err := SurveyCostTable(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MorphoSys", "64", "FPGA", "Config bits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("survey cost table missing %q", want)
+		}
+	}
+	if _, err := SurveyCostTable(0); err == nil {
+		t.Error("defaultN=0 accepted")
+	}
+}
+
+func TestFlynnCollapseTable(t *testing.T) {
+	out, err := FlynnCollapseTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"IAP-II", "SIMD", "MIMD", "outside Flynn", "SISD=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Flynn collapse table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParetoTable(t *testing.T) {
+	out, err := ParetoTable(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The frontier always contains the cheapest (flexibility 0) class and
+	// the USP extreme.
+	if !strings.Contains(out, "USP") {
+		t.Errorf("frontier missing USP:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines < 4 {
+		t.Errorf("frontier suspiciously small:\n%s", out)
+	}
+	if _, err := ParetoTable(0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestCostTable(t *testing.T) {
+	out, err := CostTable(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Config bits") || !strings.Contains(out, "USP") {
+		t.Errorf("cost table:\n%s", out)
+	}
+	if _, err := CostTable(0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}

@@ -1,0 +1,349 @@
+// Package simd simulates the taxonomy's instruction-flow array processors
+// (classes IAP-I..IV, Table I rows 7-10): a single instruction processor
+// broadcasting one instruction stream to n data-processor lanes in
+// lockstep. The four sub-types differ exactly as the taxonomy says they do:
+//
+//	IAP-I   DP-DM direct, DP-DP none      — each lane sees only its own bank
+//	IAP-II  DP-DM direct, DP-DP crossbar  — lanes exchange values directly
+//	IAP-III DP-DM crossbar, DP-DP none    — lanes gather/scatter any bank
+//	IAP-IV  DP-DM crossbar, DP-DP crossbar
+//
+// The operational consequences are what §III.B narrates: IAP-I cannot run a
+// kernel that moves data between lanes at all, IAP-II does it through the
+// lane network, IAP-III does it through the memory crossbar, and all pay
+// contention cycles on their crossbars. Control flow is scalar and lives in
+// the instruction processor, which evaluates branches on lane 0's register
+// file (the control-lane convention of real array machines).
+package simd
+
+import (
+	"fmt"
+
+	"repro/internal/interconnect"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/taxonomy"
+)
+
+// Config describes one array-processor instance.
+type Config struct {
+	// Lanes is the number of data processors n.
+	Lanes int
+	// BankWords is the size of each lane's data-memory bank.
+	BankWords int
+	// DPDM is the memory switch kind: LinkDirect (own bank only, local
+	// addressing) or LinkCrossbar (global addressing across all banks).
+	DPDM taxonomy.Link
+	// DPDP is the lane network kind: LinkNone or LinkCrossbar.
+	DPDP taxonomy.Link
+	// MaxCycles bounds the run; 0 means machine.DefaultMaxCycles.
+	MaxCycles int64
+}
+
+// ForSubtype returns the configuration of one of the paper's four IAP
+// sub-types.
+func ForSubtype(sub, lanes, bankWords int) (Config, error) {
+	cfg := Config{Lanes: lanes, BankWords: bankWords}
+	switch sub {
+	case 1:
+		cfg.DPDM, cfg.DPDP = taxonomy.LinkDirect, taxonomy.LinkNone
+	case 2:
+		cfg.DPDM, cfg.DPDP = taxonomy.LinkDirect, taxonomy.LinkCrossbar
+	case 3:
+		cfg.DPDM, cfg.DPDP = taxonomy.LinkCrossbar, taxonomy.LinkNone
+	case 4:
+		cfg.DPDM, cfg.DPDP = taxonomy.LinkCrossbar, taxonomy.LinkCrossbar
+	default:
+		return Config{}, fmt.Errorf("simd: array processors have sub-types I..IV, got %d", sub)
+	}
+	return cfg, nil
+}
+
+// Class returns the taxonomy class this configuration realizes.
+func (c Config) Class() (taxonomy.Class, error) {
+	links := taxonomy.Links{
+		taxonomy.SiteIPDP: taxonomy.LinkDirect,
+		taxonomy.SiteIPIM: taxonomy.LinkDirect,
+		taxonomy.SiteDPDM: c.DPDM,
+		taxonomy.SiteDPDP: c.DPDP,
+	}
+	return taxonomy.Classify(taxonomy.CountOne, taxonomy.CountN, links)
+}
+
+// validate checks the configuration.
+func (c Config) validate() error {
+	if c.Lanes < 2 {
+		return fmt.Errorf("simd: an array processor needs n >= 2 lanes, got %d (use uniproc for 1)", c.Lanes)
+	}
+	if c.BankWords < 1 {
+		return fmt.Errorf("simd: bank size must be >= 1 word, got %d", c.BankWords)
+	}
+	if c.DPDM != taxonomy.LinkDirect && c.DPDM != taxonomy.LinkCrossbar {
+		return fmt.Errorf("simd: DP-DM must be direct or crossbar, got %v", c.DPDM)
+	}
+	if c.DPDP != taxonomy.LinkNone && c.DPDP != taxonomy.LinkCrossbar {
+		return fmt.Errorf("simd: DP-DP must be none or crossbar, got %v", c.DPDP)
+	}
+	return nil
+}
+
+// Machine is one array-processor instance.
+type Machine struct {
+	cfg   Config
+	prog  isa.Program
+	banks []machine.Memory
+	regs  []machine.Regs
+	// laneNet carries DP-DP exchanges; nil for sub-types I and III.
+	laneNet *interconnect.Crossbar
+	// memNet carries cross-bank accesses; nil for direct DP-DM.
+	memNet *interconnect.Crossbar
+	// mailboxes[src][dst] queues values sent but not yet received.
+	mailboxes [][][]isa.Word
+}
+
+// New builds an array processor loaded with one broadcast program.
+func New(cfg Config, prog isa.Program) (*Machine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(prog) == 0 {
+		return nil, fmt.Errorf("simd: empty program")
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("simd: %w", err)
+	}
+	m := &Machine{
+		cfg:   cfg,
+		prog:  prog,
+		banks: make([]machine.Memory, cfg.Lanes),
+		regs:  make([]machine.Regs, cfg.Lanes),
+	}
+	for i := range m.banks {
+		bank, err := machine.NewMemory(cfg.BankWords)
+		if err != nil {
+			return nil, err
+		}
+		m.banks[i] = bank
+	}
+	if cfg.DPDP == taxonomy.LinkCrossbar {
+		net, err := interconnect.NewCrossbar(cfg.Lanes)
+		if err != nil {
+			return nil, err
+		}
+		m.laneNet = net
+		m.mailboxes = make([][][]isa.Word, cfg.Lanes)
+		for i := range m.mailboxes {
+			m.mailboxes[i] = make([][]isa.Word, cfg.Lanes)
+		}
+	}
+	if cfg.DPDM == taxonomy.LinkCrossbar {
+		net, err := interconnect.NewCrossbar(cfg.Lanes)
+		if err != nil {
+			return nil, err
+		}
+		m.memNet = net
+	}
+	return m, nil
+}
+
+// Lanes returns the lane count.
+func (m *Machine) Lanes() int { return m.cfg.Lanes }
+
+// LoadLane copies vals into lane's bank at base (lane-local addressing).
+func (m *Machine) LoadLane(lane, base int, vals []isa.Word) error {
+	if lane < 0 || lane >= m.cfg.Lanes {
+		return fmt.Errorf("simd: lane %d out of range [0,%d)", lane, m.cfg.Lanes)
+	}
+	return m.banks[lane].CopyIn(base, vals)
+}
+
+// ReadLane reads n words from lane's bank at base.
+func (m *Machine) ReadLane(lane, base, n int) ([]isa.Word, error) {
+	if lane < 0 || lane >= m.cfg.Lanes {
+		return nil, fmt.Errorf("simd: lane %d out of range [0,%d)", lane, m.cfg.Lanes)
+	}
+	return m.banks[lane].CopyOut(base, n)
+}
+
+// resolveAddr maps a lane's address to (bank, offset) under the DP-DM kind.
+func (m *Machine) resolveAddr(lane int, addr isa.Word) (bank int, off isa.Word, err error) {
+	if m.cfg.DPDM == taxonomy.LinkDirect {
+		// Lane-local addressing: the lane sees only its own bank.
+		if addr < 0 || addr >= isa.Word(m.cfg.BankWords) {
+			return 0, 0, fmt.Errorf("simd: lane %d address %d outside its bank of %d words (DP-DM is direct)",
+				lane, addr, m.cfg.BankWords)
+		}
+		return lane, addr, nil
+	}
+	// Global addressing through the memory crossbar.
+	total := isa.Word(m.cfg.BankWords) * isa.Word(m.cfg.Lanes)
+	if addr < 0 || addr >= total {
+		return 0, 0, fmt.Errorf("simd: lane %d global address %d outside %d words", lane, addr, total)
+	}
+	return int(addr) / m.cfg.BankWords, addr % isa.Word(m.cfg.BankWords), nil
+}
+
+// Run executes the broadcast program until the control lane halts. Lockstep
+// semantics: every instruction issues on all lanes in the same cycle; the
+// cycle counter advances by the worst lane's completion (memory/network
+// contention included). Branch conditions read lane 0's registers.
+func (m *Machine) Run() (machine.Stats, error) {
+	var stats machine.Stats
+	budget := m.cfg.MaxCycles
+	if budget <= 0 {
+		budget = machine.DefaultMaxCycles
+	}
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(m.prog) {
+			m.collectNetStats(&stats)
+			return stats, nil
+		}
+		if stats.Cycles >= budget {
+			m.collectNetStats(&stats)
+			return stats, fmt.Errorf("simd: %w after %d cycles", machine.ErrDeadline, stats.Cycles)
+		}
+		ins := m.prog[pc]
+		issue := stats.Cycles
+		finish := issue + 1
+
+		switch {
+		case ins.Op.IsBranch():
+			// Scalar control: the IP evaluates the branch on lane 0.
+			out, err := machine.Step(&m.regs[0], pc, ins, machine.Env{Lane: 0})
+			if err != nil {
+				m.collectNetStats(&stats)
+				return stats, fmt.Errorf("simd: pc %d: %w", pc, err)
+			}
+			stats.Instructions++
+			stats.Cycles = finish
+			pc = out.NextPC
+			continue
+
+		case ins.Op == isa.OpHalt:
+			stats.Instructions++
+			stats.Cycles = finish
+			m.collectNetStats(&stats)
+			return stats, nil
+
+		case ins.Op == isa.OpSync:
+			// Lockstep lanes are always synchronized; SYNC is a no-op cycle.
+			stats.Instructions++
+			stats.Barriers++
+			stats.Cycles = finish
+			pc++
+			continue
+		}
+
+		// Data instruction: broadcast to every lane.
+		for lane := 0; lane < m.cfg.Lanes; lane++ {
+			env := m.laneEnv(lane, issue, &finish, &stats)
+			out, err := machine.Step(&m.regs[lane], pc, ins, env)
+			if err != nil {
+				m.collectNetStats(&stats)
+				return stats, fmt.Errorf("simd: lane %d pc %d: %w", lane, pc, err)
+			}
+			if out.Blocked {
+				m.collectNetStats(&stats)
+				return stats, fmt.Errorf("simd: lane %d pc %d: recv with no matching send (lockstep exchange mismatch)", lane, pc)
+			}
+			stats.Instructions++
+			if machine.IsALU(ins.Op) {
+				stats.ALUOps++
+			}
+			if out.Mem {
+				if ins.Op == isa.OpLd {
+					stats.MemReads++
+				} else {
+					stats.MemWrites++
+				}
+			}
+			if out.Comm {
+				stats.Messages++
+			}
+		}
+		stats.Cycles = finish
+		pc++
+	}
+}
+
+// laneEnv builds the per-lane environment for one broadcast instruction.
+// finish accumulates the worst completion cycle across lanes.
+func (m *Machine) laneEnv(lane int, issue int64, finish *int64, stats *machine.Stats) machine.Env {
+	env := machine.Env{Lane: isa.Word(lane)}
+	env.Load = func(addr isa.Word) (isa.Word, error) {
+		bank, off, err := m.resolveAddr(lane, addr)
+		if err != nil {
+			return 0, err
+		}
+		m.accountMem(lane, bank, issue, finish)
+		return m.banks[bank].Load(off)
+	}
+	env.Store = func(addr, val isa.Word) error {
+		bank, off, err := m.resolveAddr(lane, addr)
+		if err != nil {
+			return err
+		}
+		m.accountMem(lane, bank, issue, finish)
+		return m.banks[bank].Store(off, val)
+	}
+	if m.laneNet != nil {
+		env.SendTo = func(peer int, val isa.Word) error {
+			if peer < 0 || peer >= m.cfg.Lanes {
+				return fmt.Errorf("simd: lane %d sends to nonexistent lane %d", lane, peer)
+			}
+			arrival, err := m.laneNet.Transfer(issue, lane, peer)
+			if err != nil {
+				return err
+			}
+			if arrival+1 > *finish {
+				*finish = arrival + 1
+			}
+			m.mailboxes[lane][peer] = append(m.mailboxes[lane][peer], val)
+			return nil
+		}
+		env.RecvFrom = func(peer int) (isa.Word, error) {
+			if peer < 0 || peer >= m.cfg.Lanes {
+				return 0, fmt.Errorf("simd: lane %d receives from nonexistent lane %d", lane, peer)
+			}
+			q := m.mailboxes[peer][lane]
+			if len(q) == 0 {
+				return 0, machine.ErrWouldBlock
+			}
+			v := q[0]
+			m.mailboxes[peer][lane] = q[1:]
+			return v, nil
+		}
+	}
+	return env
+}
+
+// accountMem charges the DP-DM traversal: one fixed cycle on direct wiring,
+// a contended crossbar transfer on crossbar wiring.
+func (m *Machine) accountMem(lane, bank int, issue int64, finish *int64) {
+	if m.memNet == nil {
+		if issue+2 > *finish {
+			*finish = issue + 2
+		}
+		return
+	}
+	arrival, err := m.memNet.Transfer(issue, lane, bank)
+	if err != nil {
+		// Crossbars connect all ports; Transfer only fails on range errors,
+		// which resolveAddr already excluded.
+		panic(fmt.Sprintf("simd: internal memory network error: %v", err))
+	}
+	if arrival+1 > *finish {
+		*finish = arrival + 1
+	}
+}
+
+// collectNetStats folds interconnect conflict counters into the run stats.
+func (m *Machine) collectNetStats(stats *machine.Stats) {
+	if m.laneNet != nil {
+		stats.NetConflictCycles += m.laneNet.Stats().ConflictCycles
+	}
+	if m.memNet != nil {
+		stats.NetConflictCycles += m.memNet.Stats().ConflictCycles
+	}
+}

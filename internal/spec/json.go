@@ -1,0 +1,70 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Collection is a named set of architecture descriptions, the JSON document
+// cmd/classify consumes and examples produce.
+type Collection struct {
+	// Title labels the collection (e.g. "Table III survey").
+	Title string `json:"title,omitempty"`
+	// Architectures lists the described machines.
+	Architectures []Architecture `json:"architectures"`
+}
+
+// UnmarshalCollection parses a JSON collection and validates every entry.
+// It accepts either a Collection document or a bare JSON array of
+// architectures.
+func UnmarshalCollection(data []byte) (Collection, error) {
+	var col Collection
+	if err := json.Unmarshal(data, &col); err != nil {
+		var arr []Architecture
+		if err2 := json.Unmarshal(data, &arr); err2 != nil {
+			return Collection{}, fmt.Errorf("spec: cannot parse collection: %w", err)
+		}
+		col = Collection{Architectures: arr}
+	}
+	seen := map[string]bool{}
+	for _, a := range col.Architectures {
+		if err := Validate(a); err != nil {
+			return Collection{}, err
+		}
+		if seen[a.Name] {
+			return Collection{}, fmt.Errorf("spec: duplicate architecture name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return col, nil
+}
+
+// MarshalCollection renders a collection as indented JSON.
+func MarshalCollection(col Collection) ([]byte, error) {
+	data, err := json.MarshalIndent(col, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("spec: cannot marshal collection: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Names returns the architecture names of the collection, sorted.
+func (c Collection) Names() []string {
+	names := make([]string, len(c.Architectures))
+	for i, a := range c.Architectures {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Find returns the architecture with the given name, if present.
+func (c Collection) Find(name string) (Architecture, bool) {
+	for _, a := range c.Architectures {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Architecture{}, false
+}

@@ -1,0 +1,123 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/taxonomy"
+)
+
+// ParseLink parses a Table III connectivity cell into the abstract switch
+// kind the taxonomy classifies on, plus whether the cell names a *limited*
+// crossbar (unequal port counts such as "5x10" or a windowed network such
+// as "nx14" — Table III represents both with the 'x' notation and the paper
+// scores them as switches, but the cost models price them differently).
+//
+// Grammar, after lowercasing and trimming:
+//
+//	"none"            -> no connection
+//	"<a>-<b>"         -> direct switch (e.g. "1-1", "1-64", "n-n", "48-48")
+//	"<a>x<b>"         -> crossbar     (e.g. "nxn", "64x64", "5x10", "24nx24n")
+//	"vxv"             -> variable fabric of universal-flow machines
+//
+// where <a>/<b> are count atoms: decimals, n, m, v, or products like 24n.
+func ParseLink(cell string) (link taxonomy.Link, limited bool, err error) {
+	s := strings.ToLower(strings.TrimSpace(cell))
+	switch s {
+	case "":
+		return 0, false, fmt.Errorf("empty connectivity cell")
+	case "none":
+		return taxonomy.LinkNone, false, nil
+	case "vxv":
+		return taxonomy.LinkVariable, false, nil
+	}
+
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		left, right := s[:i], s[i+1:]
+		if err := checkCountAtom(left); err != nil {
+			return 0, false, fmt.Errorf("cell %q: %w", cell, err)
+		}
+		if err := checkCountAtom(right); err != nil {
+			return 0, false, fmt.Errorf("cell %q: %w", cell, err)
+		}
+		return taxonomy.LinkDirect, false, nil
+	}
+
+	left, right, ok := splitCrossbar(s)
+	if !ok {
+		return 0, false, fmt.Errorf("cell %q is neither none, a-b nor axb", cell)
+	}
+	if err := checkCountAtom(left); err != nil {
+		return 0, false, fmt.Errorf("cell %q: %w", cell, err)
+	}
+	if err := checkCountAtom(right); err != nil {
+		return 0, false, fmt.Errorf("cell %q: %w", cell, err)
+	}
+	return taxonomy.LinkCrossbar, left != right, nil
+}
+
+// splitCrossbar splits an "axb" cell at the separating 'x'. The atoms
+// themselves may contain 'x' as a product sign ("24nx24n" splits into 24n
+// and 24n; GARP's DPs cell "24xn" is a count, not a link, and is handled by
+// parseCountCell). The separator is the 'x' whose both sides parse as count
+// atoms; we scan candidates left to right.
+func splitCrossbar(s string) (left, right string, ok bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] != 'x' {
+			continue
+		}
+		l, r := s[:i], s[i+1:]
+		if checkCountAtom(l) == nil && checkCountAtom(r) == nil {
+			return l, r, true
+		}
+	}
+	return "", "", false
+}
+
+// checkCountAtom validates one side of a connectivity cell: a decimal, one
+// of the symbols n/m/v, or a decimal-times-symbol product such as "24n".
+func checkCountAtom(s string) error {
+	if s == "" {
+		return fmt.Errorf("empty count atom")
+	}
+	switch s {
+	case "n", "m", "v":
+		return nil
+	}
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i == 0 {
+		return fmt.Errorf("count atom %q does not start with a digit or symbol", s)
+	}
+	rest := s[i:]
+	switch rest {
+	case "", "n", "m", "v":
+		return nil
+	default:
+		return fmt.Errorf("count atom %q has trailing %q", s, rest)
+	}
+}
+
+// parseCountCell parses a block-count cell into the abstract taxonomy count
+// plus the concrete number when the cell is a literal decimal.
+func parseCountCell(cell string) (taxonomy.Count, int, error) {
+	s := strings.ToLower(strings.TrimSpace(cell))
+	if s == "" {
+		return 0, 0, fmt.Errorf("empty count cell")
+	}
+	if v, err := strconv.Atoi(s); err == nil {
+		c, err := taxonomy.CountFromInt(v)
+		if err != nil {
+			return 0, 0, err
+		}
+		return c, v, nil
+	}
+	c, err := taxonomy.ParseCount(s)
+	if err != nil {
+		return 0, 0, err
+	}
+	return c, 0, nil
+}

@@ -1,0 +1,72 @@
+package spec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestParseLink_ArbitraryInputNeverPanics feeds random byte strings: the
+// parser must reject or accept, never panic, and whatever it accepts must
+// be internally consistent (an accepted cell re-parses identically).
+func TestParseLink_ArbitraryInputNeverPanics(t *testing.T) {
+	f := func(raw []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		s := string(raw)
+		kind1, lim1, err1 := ParseLink(s)
+		if err1 != nil {
+			return true
+		}
+		kind2, lim2, err2 := ParseLink(s)
+		return err2 == nil && kind1 == kind2 && lim1 == lim2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestResolve_ArbitraryCellsNeverPanic drives whole architecture records
+// with random cells through Resolve and Classify.
+func TestResolve_ArbitraryCellsNeverPanic(t *testing.T) {
+	f := func(ips, dps, c1, c2, c3, c4, c5 []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		a := Architecture{
+			Name: "fuzz", IPs: string(ips), DPs: string(dps),
+			IPIP: string(c1), IPDP: string(c2), IPIM: string(c3),
+			DPDM: string(c4), DPDP: string(c5),
+		}
+		if _, err := Resolve(a); err != nil {
+			return true
+		}
+		// Resolvable descriptions either classify or produce an error —
+		// both fine; panics are not.
+		_, _ = Classify(a)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnmarshalCollection_ArbitraryJSONNeverPanics.
+func TestUnmarshalCollection_ArbitraryJSONNeverPanics(t *testing.T) {
+	f := func(raw []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = UnmarshalCollection(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Package spec describes concrete architectures in the connectivity notation
+// of the paper's Table III ("Survey of Modern Parallel and Reconfigurable
+// Architectures") and turns those descriptions into taxonomy classes.
+//
+// A spec keeps the cell strings exactly as a datasheet or survey row prints
+// them ("64x64", "n-1", "vxv", "24xn") and derives from them the abstract
+// counts and link kinds the taxonomy classifies on, plus the concrete block
+// numbers the cost models of internal/cost evaluate Eq 1 and Eq 2 with.
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/taxonomy"
+)
+
+// Architecture is one surveyed machine: its Table III row, verbatim, plus
+// optional provenance.
+type Architecture struct {
+	// Name is the architecture's name as printed ("MorphoSys", "RaPiD").
+	Name string `json:"name"`
+	// IPs and DPs are the block-count cells ("1", "64", "n", "24xn", "v").
+	IPs string `json:"ips"`
+	DPs string `json:"dps"`
+	// IPIP, IPDP, IPIM, DPDM and DPDP are the connectivity cells
+	// ("none", "1-64", "nxn", "vxv", "nx14").
+	IPIP string `json:"ip_ip"`
+	IPDP string `json:"ip_dp"`
+	IPIM string `json:"ip_im"`
+	DPDM string `json:"dp_dm"`
+	DPDP string `json:"dp_dp"`
+	// Reference cites the source publication, free-form.
+	Reference string `json:"reference,omitempty"`
+	// Description summarises the organisation, free-form.
+	Description string `json:"description,omitempty"`
+}
+
+// Cells returns the five connectivity cells indexed by taxonomy site order.
+func (a Architecture) Cells() [taxonomy.NumSites]string {
+	return [taxonomy.NumSites]string{a.IPIP, a.IPDP, a.IPIM, a.DPDM, a.DPDP}
+}
+
+// Resolved is an Architecture whose cells have been parsed: abstract counts
+// and link kinds for classification, concrete sizes for cost estimation.
+type Resolved struct {
+	// Arch is the source description.
+	Arch Architecture
+	// IPs and DPs are the abstracted block counts.
+	IPs, DPs taxonomy.Count
+	// Links holds the abstracted switch kind at each site.
+	Links taxonomy.Links
+	// ConcreteIPs and ConcreteDPs are the literal block numbers when the
+	// cells carry them (64 for MorphoSys), or 0 when symbolic (n, m, v).
+	ConcreteIPs, ConcreteDPs int
+	// Limited marks sites whose crossbar is a limited/windowed one (the
+	// cell names unequal port counts, e.g. "5x10", "nx14", "16x6").
+	Limited [taxonomy.NumSites]bool
+}
+
+// Resolve parses every cell of the architecture description.
+func Resolve(a Architecture) (Resolved, error) {
+	r := Resolved{Arch: a}
+
+	var err error
+	if r.IPs, r.ConcreteIPs, err = parseCountCell(a.IPs); err != nil {
+		return Resolved{}, fmt.Errorf("spec %s: IPs: %w", a.Name, err)
+	}
+	if r.DPs, r.ConcreteDPs, err = parseCountCell(a.DPs); err != nil {
+		return Resolved{}, fmt.Errorf("spec %s: DPs: %w", a.Name, err)
+	}
+	for i, cell := range a.Cells() {
+		site := taxonomy.Site(i)
+		link, limited, err := ParseLink(cell)
+		if err != nil {
+			return Resolved{}, fmt.Errorf("spec %s: %s: %w", a.Name, site, err)
+		}
+		r.Links[site] = link
+		r.Limited[site] = limited
+	}
+	return r, nil
+}
+
+// Classify resolves the description and maps it onto its taxonomy class.
+func Classify(a Architecture) (taxonomy.Class, error) {
+	r, err := Resolve(a)
+	if err != nil {
+		return taxonomy.Class{}, err
+	}
+	return taxonomy.Classify(r.IPs, r.DPs, r.Links)
+}
+
+// Flexibility resolves the description and computes its relative flexibility
+// score from the classified class, the way Table III's last column does.
+func Flexibility(a Architecture) (int, error) {
+	c, err := Classify(a)
+	if err != nil {
+		return 0, err
+	}
+	return taxonomy.Flexibility(c), nil
+}
+
+// Validate checks a description for the structural mistakes Resolve cannot
+// express as parse errors: missing name, empty cells.
+func Validate(a Architecture) error {
+	if strings.TrimSpace(a.Name) == "" {
+		return fmt.Errorf("spec: architecture has no name")
+	}
+	for i, cell := range a.Cells() {
+		if strings.TrimSpace(cell) == "" {
+			return fmt.Errorf("spec %s: empty %s cell (use %q for no connection)",
+				a.Name, taxonomy.Site(i), "none")
+		}
+	}
+	if strings.TrimSpace(a.IPs) == "" || strings.TrimSpace(a.DPs) == "" {
+		return fmt.Errorf("spec %s: empty block-count cell", a.Name)
+	}
+	_, err := Resolve(a)
+	return err
+}

@@ -1,0 +1,273 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/taxonomy"
+)
+
+func TestParseLink_TableIIICells(t *testing.T) {
+	cases := []struct {
+		cell    string
+		kind    taxonomy.Link
+		limited bool
+	}{
+		{"none", taxonomy.LinkNone, false},
+		{"1-1", taxonomy.LinkDirect, false},
+		{"1-6", taxonomy.LinkDirect, false},
+		{"1-64", taxonomy.LinkDirect, false},
+		{"1-n", taxonomy.LinkDirect, false},
+		{"1-8", taxonomy.LinkDirect, false},
+		{"n-n", taxonomy.LinkDirect, false},
+		{"n-1", taxonomy.LinkDirect, false},
+		{"6-1", taxonomy.LinkDirect, false},
+		{"64-1", taxonomy.LinkDirect, false},
+		{"8-1", taxonomy.LinkDirect, false},
+		{"48-48", taxonomy.LinkDirect, false},
+		{"4-4", taxonomy.LinkDirect, false},
+		{"2-2", taxonomy.LinkDirect, false},
+		{"m-1", taxonomy.LinkDirect, false},
+		{"1-24n", taxonomy.LinkDirect, false},
+		{"1-5", taxonomy.LinkDirect, false},
+		{"1-2", taxonomy.LinkDirect, false},
+		{"6x6", taxonomy.LinkCrossbar, false},
+		{"64x64", taxonomy.LinkCrossbar, false},
+		{"nxn", taxonomy.LinkCrossbar, false},
+		{"8x8", taxonomy.LinkCrossbar, false},
+		{"5x10", taxonomy.LinkCrossbar, true},
+		{"5x5", taxonomy.LinkCrossbar, false},
+		{"24nx1", taxonomy.LinkCrossbar, true},
+		{"24nx24n", taxonomy.LinkCrossbar, false},
+		{"nx1", taxonomy.LinkCrossbar, true},
+		{"2x2", taxonomy.LinkCrossbar, false},
+		{"nxm", taxonomy.LinkCrossbar, true},
+		{"mxm", taxonomy.LinkCrossbar, false},
+		{"22x1", taxonomy.LinkCrossbar, true},
+		{"16x6", taxonomy.LinkCrossbar, true},
+		{"16x16", taxonomy.LinkCrossbar, false},
+		{"nx14", taxonomy.LinkCrossbar, true},
+		{"vxv", taxonomy.LinkVariable, false},
+		{"VXV", taxonomy.LinkVariable, false}, // Table III prints FPGA rows uppercase
+		{" nxn ", taxonomy.LinkCrossbar, false},
+		{"NxN", taxonomy.LinkCrossbar, false},
+	}
+	for _, tc := range cases {
+		kind, limited, err := ParseLink(tc.cell)
+		if err != nil {
+			t.Errorf("ParseLink(%q): %v", tc.cell, err)
+			continue
+		}
+		if kind != tc.kind || limited != tc.limited {
+			t.Errorf("ParseLink(%q) = (%v, limited=%v), want (%v, limited=%v)",
+				tc.cell, kind, limited, tc.kind, tc.limited)
+		}
+	}
+}
+
+func TestParseLink_Rejects(t *testing.T) {
+	for _, cell := range []string{"", "x", "-", "a-b", "nx", "xn", "1--1", "n x n", "1-1-1", "??", "n+n"} {
+		if kind, _, err := ParseLink(cell); err == nil {
+			t.Errorf("ParseLink(%q) = %v, want error", cell, kind)
+		}
+	}
+}
+
+func TestParseLink_DashWins(t *testing.T) {
+	// A dash cell is direct even when the atoms carry product signs.
+	kind, limited, err := ParseLink("1-24n")
+	if err != nil || kind != taxonomy.LinkDirect || limited {
+		t.Errorf("ParseLink(1-24n) = (%v, %v, %v), want direct", kind, limited, err)
+	}
+}
+
+func TestParseCountCell(t *testing.T) {
+	cases := []struct {
+		cell     string
+		count    taxonomy.Count
+		concrete int
+	}{
+		{"0", taxonomy.CountZero, 0},
+		{"1", taxonomy.CountOne, 1},
+		{"2", taxonomy.CountN, 2},
+		{"64", taxonomy.CountN, 64},
+		{"48", taxonomy.CountN, 48},
+		{"n", taxonomy.CountN, 0},
+		{"m", taxonomy.CountN, 0},
+		{"v", taxonomy.CountVar, 0},
+		{"24xn", taxonomy.CountN, 0},
+		{" 6 ", taxonomy.CountN, 6},
+	}
+	for _, tc := range cases {
+		count, concrete, err := parseCountCell(tc.cell)
+		if err != nil {
+			t.Errorf("parseCountCell(%q): %v", tc.cell, err)
+			continue
+		}
+		if count != tc.count || concrete != tc.concrete {
+			t.Errorf("parseCountCell(%q) = (%s, %d), want (%s, %d)",
+				tc.cell, count, concrete, tc.count, tc.concrete)
+		}
+	}
+	for _, bad := range []string{"", "-3", "abc", "1.5"} {
+		if _, _, err := parseCountCell(bad); err == nil {
+			t.Errorf("parseCountCell(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func testArch() Architecture {
+	return Architecture{
+		Name: "TestCGRA", IPs: "1", DPs: "16",
+		IPIP: "none", IPDP: "1-16", IPIM: "1-1", DPDM: "16x16", DPDP: "16x16",
+	}
+}
+
+func TestResolve(t *testing.T) {
+	r, err := Resolve(testArch())
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if r.IPs != taxonomy.CountOne || r.DPs != taxonomy.CountN {
+		t.Errorf("counts = (%s, %s), want (1, n)", r.IPs, r.DPs)
+	}
+	if r.ConcreteIPs != 1 || r.ConcreteDPs != 16 {
+		t.Errorf("concrete = (%d, %d), want (1, 16)", r.ConcreteIPs, r.ConcreteDPs)
+	}
+	if r.Links[taxonomy.SiteDPDM] != taxonomy.LinkCrossbar {
+		t.Errorf("DP-DM link = %v, want crossbar", r.Links[taxonomy.SiteDPDM])
+	}
+	if r.Limited[taxonomy.SiteDPDM] {
+		t.Error("16x16 must not be limited")
+	}
+}
+
+func TestResolve_Errors(t *testing.T) {
+	bad := testArch()
+	bad.DPDM = "oops"
+	if _, err := Resolve(bad); err == nil || !strings.Contains(err.Error(), "DP-DM") {
+		t.Errorf("Resolve with bad DP-DM cell: err = %v, want site-qualified error", err)
+	}
+	bad = testArch()
+	bad.IPs = "??"
+	if _, err := Resolve(bad); err == nil || !strings.Contains(err.Error(), "IPs") {
+		t.Errorf("Resolve with bad IPs cell: err = %v", err)
+	}
+}
+
+func TestClassifyAndFlexibility(t *testing.T) {
+	c, err := Classify(testArch())
+	if err != nil {
+		t.Fatalf("Classify: %v", err)
+	}
+	if c.String() != "IAP-IV" {
+		t.Errorf("class = %s, want IAP-IV", c)
+	}
+	f, err := Flexibility(testArch())
+	if err != nil {
+		t.Fatalf("Flexibility: %v", err)
+	}
+	if f != 3 {
+		t.Errorf("flexibility = %d, want 3", f)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(testArch()); err != nil {
+		t.Errorf("valid arch rejected: %v", err)
+	}
+	cases := []func(*Architecture){
+		func(a *Architecture) { a.Name = "  " },
+		func(a *Architecture) { a.IPIP = "" },
+		func(a *Architecture) { a.DPDP = "" },
+		func(a *Architecture) { a.IPs = "" },
+		func(a *Architecture) { a.DPs = "bogus" },
+	}
+	for i, mutate := range cases {
+		a := testArch()
+		mutate(&a)
+		if err := Validate(a); err == nil {
+			t.Errorf("mutation %d accepted, want error", i)
+		}
+	}
+}
+
+func TestCollection_JSONRoundTrip(t *testing.T) {
+	col := Collection{Title: "test", Architectures: []Architecture{testArch()}}
+	data, err := MarshalCollection(col)
+	if err != nil {
+		t.Fatalf("MarshalCollection: %v", err)
+	}
+	got, err := UnmarshalCollection(data)
+	if err != nil {
+		t.Fatalf("UnmarshalCollection: %v", err)
+	}
+	if got.Title != col.Title || len(got.Architectures) != 1 || got.Architectures[0] != col.Architectures[0] {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestUnmarshalCollection_BareArray(t *testing.T) {
+	data := []byte(`[{"name":"X","ips":"1","dps":"1","ip_ip":"none","ip_dp":"1-1","ip_im":"1-1","dp_dm":"1-1","dp_dp":"none"}]`)
+	col, err := UnmarshalCollection(data)
+	if err != nil {
+		t.Fatalf("UnmarshalCollection(bare array): %v", err)
+	}
+	if len(col.Architectures) != 1 || col.Architectures[0].Name != "X" {
+		t.Errorf("unexpected collection %+v", col)
+	}
+}
+
+func TestUnmarshalCollection_Rejects(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"architectures":[{"name":"","ips":"1","dps":"1","ip_ip":"none","ip_dp":"1-1","ip_im":"1-1","dp_dm":"1-1","dp_dp":"none"}]}`,
+		`{"architectures":[
+			{"name":"A","ips":"1","dps":"1","ip_ip":"none","ip_dp":"1-1","ip_im":"1-1","dp_dm":"1-1","dp_dp":"none"},
+			{"name":"A","ips":"1","dps":"1","ip_ip":"none","ip_dp":"1-1","ip_im":"1-1","dp_dm":"1-1","dp_dp":"none"}]}`,
+		`{"architectures":[{"name":"B","ips":"1","dps":"1","ip_ip":"none","ip_dp":"??","ip_im":"1-1","dp_dm":"1-1","dp_dp":"none"}]}`,
+	}
+	for i, data := range cases {
+		if _, err := UnmarshalCollection([]byte(data)); err == nil {
+			t.Errorf("case %d accepted, want error", i)
+		}
+	}
+}
+
+func TestCollection_NamesAndFind(t *testing.T) {
+	col := Collection{Architectures: []Architecture{
+		{Name: "Zeta"}, {Name: "Alpha"},
+	}}
+	names := col.Names()
+	if len(names) != 2 || names[0] != "Alpha" || names[1] != "Zeta" {
+		t.Errorf("Names() = %v, want sorted [Alpha Zeta]", names)
+	}
+	if _, ok := col.Find("Alpha"); !ok {
+		t.Error("Find(Alpha) missed")
+	}
+	if _, ok := col.Find("Missing"); ok {
+		t.Error("Find(Missing) hit")
+	}
+}
+
+// TestParseLink_RenderRoundTripProperty: rendering a parsed link through the
+// taxonomy Cell formatter and re-parsing preserves the kind.
+func TestParseLink_RenderRoundTripProperty(t *testing.T) {
+	counts := []taxonomy.Count{taxonomy.CountOne, taxonomy.CountN, taxonomy.CountVar}
+	kinds := []taxonomy.Link{taxonomy.LinkNone, taxonomy.LinkDirect, taxonomy.LinkCrossbar}
+	f := func(k, l, r uint8) bool {
+		kind := kinds[int(k)%len(kinds)]
+		left := counts[int(l)%len(counts)]
+		right := counts[int(r)%len(counts)]
+		if left == taxonomy.CountVar || right == taxonomy.CountVar {
+			return true // variable endpoints render vxv; covered separately
+		}
+		cell := kind.Cell(left, right)
+		got, _, err := ParseLink(cell)
+		return err == nil && got == kind
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table III keeps symbolic counts for "scalable architectures, where the
+// number of IPs and DPs can be changed at design time without modifying
+// the architecture (template based architectures)" — RICA, Pact XPP,
+// Pleiades, RaPiD, DRRA, Matrix. This file instantiates such templates:
+// every symbolic atom in the count and connectivity cells is replaced by a
+// concrete value, producing a buildable description whose class (and
+// flexibility) provably does not change.
+
+// IsTemplate reports whether the description carries symbolic counts
+// (n, m or v) in its count cells.
+func IsTemplate(a Architecture) bool {
+	for _, cell := range []string{a.IPs, a.DPs} {
+		if cellHasSymbol(cell) {
+			return true
+		}
+	}
+	return false
+}
+
+// cellHasSymbol detects symbolic atoms in a cell.
+func cellHasSymbol(cell string) bool {
+	s := strings.ToLower(cell)
+	for _, r := range s {
+		if r == 'n' && !strings.Contains(s, "none") || r == 'm' || r == 'v' {
+			return true
+		}
+	}
+	return false
+}
+
+// Instantiate replaces every symbolic atom with concrete values: n and v
+// become nValue, m becomes mValue (RaPiD distinguishes them). The result's
+// name records the instantiation. Products like "24n" multiply out. The
+// connectivity cells are rewritten atom-by-atom so "nx14" becomes e.g.
+// "16x14" and "24nx24n" becomes "384x384".
+//
+// For template architectures (symbolic n/m counts) the classification is
+// invariant under instantiation. Instantiating a *variable-count* machine
+// (v) is different in kind: it freezes the reconfigurable fabric into one
+// concrete organisation, so an FPGA row deliberately classifies as the
+// fixed-grain ISP-XVI after instantiation — which is exactly the
+// taxonomy's distinction between n and v.
+func Instantiate(a Architecture, nValue, mValue int) (Architecture, error) {
+	if nValue < 1 || mValue < 1 {
+		return Architecture{}, fmt.Errorf("spec: instantiation values must be >= 1, got n=%d m=%d", nValue, mValue)
+	}
+	out := a
+	out.Name = fmt.Sprintf("%s(n=%d)", a.Name, nValue)
+	var err error
+	if out.IPs, err = instantiateAtomOrProduct(a.IPs, nValue, mValue); err != nil {
+		return Architecture{}, fmt.Errorf("spec: %s IPs: %w", a.Name, err)
+	}
+	if out.DPs, err = instantiateAtomOrProduct(a.DPs, nValue, mValue); err != nil {
+		return Architecture{}, fmt.Errorf("spec: %s DPs: %w", a.Name, err)
+	}
+	rewrite := func(cell string) (string, error) {
+		return instantiateCell(cell, nValue, mValue)
+	}
+	if out.IPIP, err = rewrite(a.IPIP); err != nil {
+		return Architecture{}, fmt.Errorf("spec: %s IP-IP: %w", a.Name, err)
+	}
+	if out.IPDP, err = rewrite(a.IPDP); err != nil {
+		return Architecture{}, fmt.Errorf("spec: %s IP-DP: %w", a.Name, err)
+	}
+	if out.IPIM, err = rewrite(a.IPIM); err != nil {
+		return Architecture{}, fmt.Errorf("spec: %s IP-IM: %w", a.Name, err)
+	}
+	if out.DPDM, err = rewrite(a.DPDM); err != nil {
+		return Architecture{}, fmt.Errorf("spec: %s DP-DM: %w", a.Name, err)
+	}
+	if out.DPDP, err = rewrite(a.DPDP); err != nil {
+		return Architecture{}, fmt.Errorf("spec: %s DP-DP: %w", a.Name, err)
+	}
+	if err := Validate(out); err != nil {
+		return Architecture{}, err
+	}
+	return out, nil
+}
+
+// instantiateCell rewrites a connectivity cell's atoms.
+func instantiateCell(cell string, n, m int) (string, error) {
+	s := strings.ToLower(strings.TrimSpace(cell))
+	if s == "none" {
+		return "none", nil
+	}
+	if s == "vxv" {
+		// The 'vxv' fabric instantiates to an n-port crossbar.
+		return fmt.Sprintf("%dx%d", n, n), nil
+	}
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		left, err := instantiateAtomOrProduct(s[:i], n, m)
+		if err != nil {
+			return "", err
+		}
+		right, err := instantiateAtomOrProduct(s[i+1:], n, m)
+		if err != nil {
+			return "", err
+		}
+		return left + "-" + right, nil
+	}
+	left, right, ok := splitCrossbar(s)
+	if !ok {
+		return "", fmt.Errorf("cannot instantiate cell %q", cell)
+	}
+	l, err := instantiateAtomOrProduct(left, n, m)
+	if err != nil {
+		return "", err
+	}
+	r, err := instantiateAtomOrProduct(right, n, m)
+	if err != nil {
+		return "", err
+	}
+	return l + "x" + r, nil
+}
+
+// instantiateAtomOrProduct turns a count atom into a decimal string.
+func instantiateAtomOrProduct(atom string, n, m int) (string, error) {
+	s := strings.ToLower(strings.TrimSpace(atom))
+	switch s {
+	case "n", "v":
+		return strconv.Itoa(n), nil
+	case "m":
+		return strconv.Itoa(m), nil
+	}
+	if v, err := strconv.Atoi(s); err == nil {
+		return strconv.Itoa(v), nil
+	}
+	// Products: decimal prefix times symbol, e.g. "24n".
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i == 0 || i == len(s) {
+		return "", fmt.Errorf("cannot instantiate atom %q", atom)
+	}
+	factor, err := strconv.Atoi(s[:i])
+	if err != nil {
+		return "", fmt.Errorf("cannot instantiate atom %q", atom)
+	}
+	switch s[i:] {
+	case "n", "v", "xn", "xv":
+		return strconv.Itoa(factor * n), nil
+	case "m", "xm":
+		return strconv.Itoa(factor * m), nil
+	default:
+		return "", fmt.Errorf("cannot instantiate atom %q", atom)
+	}
+}

@@ -1,0 +1,179 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func ricaLike() Architecture {
+	return Architecture{
+		Name: "RICA", IPs: "1", DPs: "n",
+		IPIP: "none", IPDP: "1-n", IPIM: "1-1", DPDM: "n-1", DPDP: "nxn",
+	}
+}
+
+func TestIsTemplate(t *testing.T) {
+	if !IsTemplate(ricaLike()) {
+		t.Error("RICA is a template")
+	}
+	concrete := Architecture{Name: "X", IPs: "1", DPs: "16"}
+	if IsTemplate(concrete) {
+		t.Error("concrete counts flagged as template")
+	}
+	garp := Architecture{Name: "GARP", IPs: "1", DPs: "24xn"}
+	if !IsTemplate(garp) {
+		t.Error("product count is a template")
+	}
+	fpga := Architecture{Name: "FPGA", IPs: "v", DPs: "v"}
+	if !IsTemplate(fpga) {
+		t.Error("variable counts are templates")
+	}
+	rapid := Architecture{Name: "RaPiD", IPs: "n", DPs: "m"}
+	if !IsTemplate(rapid) {
+		t.Error("m counts are templates")
+	}
+}
+
+func TestInstantiate_RICA(t *testing.T) {
+	inst, err := Instantiate(ricaLike(), 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Name != "RICA(n=16)" {
+		t.Errorf("name %q", inst.Name)
+	}
+	if inst.DPs != "16" || inst.IPDP != "1-16" || inst.DPDM != "16-1" || inst.DPDP != "16x16" {
+		t.Errorf("cells %+v", inst)
+	}
+	// Class and flexibility preserved for n-templates.
+	c1, err := Classify(ricaLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Classify(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.String() != c2.String() {
+		t.Errorf("class changed: %s -> %s", c1, c2)
+	}
+}
+
+func TestInstantiate_GARPProducts(t *testing.T) {
+	garp := Architecture{
+		Name: "GARP", IPs: "1", DPs: "24xn",
+		IPIP: "none", IPDP: "1-24n", IPIM: "1-1", DPDM: "24nx1", DPDP: "24nx24n",
+	}
+	inst, err := Instantiate(garp, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.DPs != "96" || inst.IPDP != "1-96" || inst.DPDM != "96x1" || inst.DPDP != "96x96" {
+		t.Errorf("GARP instantiation %+v", inst)
+	}
+	c, err := Classify(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.String() != "IAP-IV" {
+		t.Errorf("instantiated GARP = %s, want IAP-IV", c)
+	}
+}
+
+func TestInstantiate_RaPiDUsesM(t *testing.T) {
+	rapid := Architecture{
+		Name: "RaPiD", IPs: "n", DPs: "m",
+		IPIP: "none", IPDP: "nxm", IPIM: "nxn", DPDM: "m-1", DPDP: "mxm",
+	}
+	inst, err := Instantiate(rapid, 4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.IPs != "4" || inst.DPs != "12" || inst.IPDP != "4x12" || inst.DPDP != "12x12" {
+		t.Errorf("RaPiD instantiation %+v", inst)
+	}
+	c, err := Classify(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.String() != "IMP-XIV" {
+		t.Errorf("instantiated RaPiD = %s", c)
+	}
+}
+
+func TestInstantiate_FreezesFPGA(t *testing.T) {
+	fpga := Architecture{
+		Name: "FPGA", IPs: "v", DPs: "v",
+		IPIP: "vxv", IPDP: "vxv", IPIM: "vxv", DPDM: "vxv", DPDP: "vxv",
+	}
+	inst, err := Instantiate(fpga, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Classify(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.String() != "ISP-XVI" {
+		t.Errorf("frozen FPGA = %s, want ISP-XVI (a fixed organisation)", c)
+	}
+}
+
+func TestInstantiate_Rejects(t *testing.T) {
+	if _, err := Instantiate(ricaLike(), 0, 4); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Instantiate(ricaLike(), 4, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	bad := ricaLike()
+	bad.DPDP = "n+n"
+	if _, err := Instantiate(bad, 4, 4); err == nil {
+		t.Error("unparseable cell accepted")
+	}
+	bad = ricaLike()
+	bad.DPs = "x24"
+	if _, err := Instantiate(bad, 4, 4); err == nil {
+		t.Error("malformed product accepted")
+	}
+}
+
+// TestInstantiate_ClassInvariantProperty: for n-templates, classification
+// commutes with instantiation across arbitrary sizes.
+func TestInstantiate_ClassInvariantProperty(t *testing.T) {
+	templates := []Architecture{
+		ricaLike(),
+		{Name: "XPP", IPs: "n", DPs: "n",
+			IPIP: "none", IPDP: "n-n", IPIM: "n-n", DPDM: "n-n", DPDP: "nxn"},
+		{Name: "DRRAish", IPs: "n", DPs: "n",
+			IPIP: "nx14", IPDP: "n-n", IPIM: "n-n", DPDM: "nx14", DPDP: "nx14"},
+	}
+	f := func(sel, nRaw uint8) bool {
+		tmpl := templates[int(sel)%len(templates)]
+		n := int(nRaw%63) + 2
+		inst, err := Instantiate(tmpl, n, n)
+		if err != nil {
+			return false
+		}
+		c1, err1 := Classify(tmpl)
+		c2, err2 := Classify(inst)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return c1.String() == c2.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstantiate_NameMentionsSize(t *testing.T) {
+	inst, err := Instantiate(ricaLike(), 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(inst.Name, "32") {
+		t.Errorf("name %q does not record the size", inst.Name)
+	}
+}

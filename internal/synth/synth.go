@@ -1,0 +1,254 @@
+// Package synth compiles dataflow graphs onto the universal-flow fabric:
+// every graph node becomes a bit-sliced LUT subcircuit, so the same
+// computation that internal/dataflow executes as a token program runs on
+// internal/fabric as pure spatial logic. Together with the fabric's
+// stored-program micro-machine this completes the paper's §II.C claim in
+// both directions: the USP "can implement both instruction flow or data
+// flow machines", and here both implementations are executable and
+// verified against each other.
+//
+// The synthesizable subset is the combinational core of the dataflow ops:
+// Const, Not, And, Or, Xor, Add and Sub at a fixed bit width (two's
+// complement). Memory nodes and the comparison/multiply operators would
+// need RAM blocks and larger macros; they are rejected explicitly.
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/fabric"
+)
+
+// Truth tables for the bit-slice cells.
+const (
+	truthXOR2 = 0x6666 // in0 XOR in1
+	truthXOR3 = 0x9696 // parity of in0..in2
+	truthMAJ3 = 0xE8E8 // majority of in0..in2
+	truthAND2 = 0x8888
+	truthOR2  = 0xEEEE
+	truthNOT  = 0x5555 // NOT in0
+)
+
+// Result describes a synthesized graph.
+type Result struct {
+	// Bitstream is the full fabric configuration.
+	Bitstream []fabric.CellConfig
+	// Outputs holds, per graph output, the cell indices of its bits
+	// (least significant first).
+	Outputs [][]int
+	// CellsUsed is the number of fabric cells the netlist occupies.
+	CellsUsed int
+	// Width is the datapath width in bits.
+	Width int
+}
+
+// CellsFor estimates the cell count a graph needs at a width: the upper
+// bound used to size a fabric before synthesis (Const nodes are free —
+// they become constant input sources).
+func CellsFor(g *dataflow.Graph, width int) (int, error) {
+	if g == nil {
+		return 0, fmt.Errorf("synth: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	total := 0
+	for id := 0; id < g.Nodes(); id++ {
+		n, _ := g.Node(id)
+		c, err := cellsPerNode(n.Op, width)
+		if err != nil {
+			return 0, fmt.Errorf("synth: node %d: %w", id, err)
+		}
+		total += c
+	}
+	return total, nil
+}
+
+// cellsPerNode is the cell cost of one node at a width.
+func cellsPerNode(op dataflow.Op, width int) (int, error) {
+	switch op {
+	case dataflow.OpConst:
+		return 0, nil
+	case dataflow.OpNot, dataflow.OpAnd, dataflow.OpOr, dataflow.OpXor:
+		return width, nil
+	case dataflow.OpAdd:
+		return 2*width - 1, nil // sum cells + carry chain (no final carry cell)
+	case dataflow.OpSub:
+		return 3*width - 1, nil // inverters + adder with carry-in 1
+	default:
+		return 0, fmt.Errorf("op %s is not synthesizable (subset: const/not/and/or/xor/add/sub)", op)
+	}
+}
+
+// Synthesize compiles the graph onto the fabric at the given bit width and
+// returns the bitstream plus output cell indices. The fabric needs
+// CellsFor(g, width) cells; no input pins are used (constants are baked
+// into the netlist).
+func Synthesize(f *fabric.Fabric, g *dataflow.Graph, width int) (Result, error) {
+	if width < 1 || width > 63 {
+		return Result{}, fmt.Errorf("synth: width must be 1..63, got %d", width)
+	}
+	need, err := CellsFor(g, width)
+	if err != nil {
+		return Result{}, err
+	}
+	if f.Cells() < need {
+		return Result{}, fmt.Errorf("synth: graph needs %d cells at width %d, fabric has %d",
+			need, width, f.Cells())
+	}
+
+	cfg := make([]fabric.CellConfig, f.Cells())
+	next := 0
+	alloc := func() int { c := next; next++; return c }
+	zero := fabric.Source{Kind: fabric.SourceZero}
+	one := fabric.Source{Kind: fabric.SourceOne}
+	cellSrc := func(c int) fabric.Source { return fabric.Source{Kind: fabric.SourceCell, Index: c} }
+
+	// nodeBits[id] is the per-bit signal sources of each synthesized node.
+	nodeBits := make([][]fabric.Source, g.Nodes())
+
+	unary := func(truth uint16, a []fabric.Source) []fabric.Source {
+		out := make([]fabric.Source, width)
+		for b := 0; b < width; b++ {
+			c := alloc()
+			cfg[c] = fabric.CellConfig{Truth: truth, Inputs: [4]fabric.Source{a[b], zero, zero, zero}}
+			out[b] = cellSrc(c)
+		}
+		return out
+	}
+	binary := func(truth uint16, a, bsrc []fabric.Source) []fabric.Source {
+		out := make([]fabric.Source, width)
+		for b := 0; b < width; b++ {
+			c := alloc()
+			cfg[c] = fabric.CellConfig{Truth: truth, Inputs: [4]fabric.Source{a[b], bsrc[b], zero, zero}}
+			out[b] = cellSrc(c)
+		}
+		return out
+	}
+	adder := func(a, bsrc []fabric.Source, carryIn fabric.Source) []fabric.Source {
+		out := make([]fabric.Source, width)
+		carry := carryIn
+		for b := 0; b < width; b++ {
+			sum := alloc()
+			cfg[sum] = fabric.CellConfig{Truth: truthXOR3, Inputs: [4]fabric.Source{a[b], bsrc[b], carry, zero}}
+			out[b] = cellSrc(sum)
+			if b < width-1 {
+				cy := alloc()
+				cfg[cy] = fabric.CellConfig{Truth: truthMAJ3, Inputs: [4]fabric.Source{a[b], bsrc[b], carry, zero}}
+				carry = cellSrc(cy)
+			}
+		}
+		return out
+	}
+
+	for id := 0; id < g.Nodes(); id++ {
+		n, _ := g.Node(id)
+		in := make([][]fabric.Source, len(n.Inputs))
+		for i, src := range n.Inputs {
+			in[i] = nodeBits[src]
+		}
+		switch n.Op {
+		case dataflow.OpConst:
+			bits := make([]fabric.Source, width)
+			for b := 0; b < width; b++ {
+				if n.Value>>uint(b)&1 == 1 {
+					bits[b] = one
+				} else {
+					bits[b] = zero
+				}
+			}
+			nodeBits[id] = bits
+		case dataflow.OpNot:
+			nodeBits[id] = unary(truthNOT, in[0])
+		case dataflow.OpAnd:
+			nodeBits[id] = binary(truthAND2, in[0], in[1])
+		case dataflow.OpOr:
+			nodeBits[id] = binary(truthOR2, in[0], in[1])
+		case dataflow.OpXor:
+			nodeBits[id] = binary(truthXOR2, in[0], in[1])
+		case dataflow.OpAdd:
+			nodeBits[id] = adder(in[0], in[1], zero)
+		case dataflow.OpSub:
+			// a - b = a + ~b + 1.
+			nb := unary(truthNOT, in[1])
+			nodeBits[id] = adder(in[0], nb, one)
+		default:
+			return Result{}, fmt.Errorf("synth: node %d: op %s is not synthesizable", id, n.Op)
+		}
+	}
+
+	res := Result{Bitstream: cfg, CellsUsed: next, Width: width}
+	for _, out := range g.Outputs() {
+		cells := make([]int, 0, width)
+		for b := 0; b < width; b++ {
+			src := nodeBits[out][b]
+			switch src.Kind {
+			case fabric.SourceCell:
+				cells = append(cells, src.Index)
+			case fabric.SourceZero, fabric.SourceOne:
+				// A constant output bit: materialise it in a cell so the
+				// caller can read all outputs uniformly.
+				c := alloc()
+				truth := uint16(0)
+				if src.Kind == fabric.SourceOne {
+					truth = 0xFFFF
+				}
+				if next > f.Cells() {
+					return Result{}, fmt.Errorf("synth: fabric too small for constant output bits")
+				}
+				cfg[c] = fabric.CellConfig{Truth: truth}
+				cells = append(cells, c)
+			default:
+				return Result{}, fmt.Errorf("synth: unexpected output source kind %d", src.Kind)
+			}
+		}
+		res.Outputs = append(res.Outputs, cells)
+	}
+	res.CellsUsed = next
+	res.Bitstream = cfg
+	return res, nil
+}
+
+// ReadOutput reads one synthesized output (two's complement at the
+// synthesis width) after the fabric has stepped at least once.
+func (r Result) ReadOutput(f *fabric.Fabric, idx int) (int64, error) {
+	if idx < 0 || idx >= len(r.Outputs) {
+		return 0, fmt.Errorf("synth: output %d out of range [0,%d)", idx, len(r.Outputs))
+	}
+	var v uint64
+	for b, cell := range r.Outputs[idx] {
+		bit, err := f.Output(cell)
+		if err != nil {
+			return 0, err
+		}
+		if bit {
+			v |= 1 << uint(b)
+		}
+	}
+	// Sign-extend from the synthesis width.
+	if r.Width < 64 && v>>(uint(r.Width)-1)&1 == 1 {
+		v |= ^uint64(0) << uint(r.Width)
+	}
+	return int64(v), nil
+}
+
+// Run configures the fabric with the synthesized bitstream, settles the
+// combinational netlist with one step and reads every output.
+func (r Result) Run(f *fabric.Fabric) ([]int64, error) {
+	if err := f.Configure(r.Bitstream); err != nil {
+		return nil, err
+	}
+	if err := f.Step(make([]bool, f.Inputs())); err != nil {
+		return nil, err
+	}
+	outs := make([]int64, len(r.Outputs))
+	for i := range outs {
+		v, err := r.ReadOutput(f, i)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = v
+	}
+	return outs, nil
+}

@@ -1,0 +1,105 @@
+package taxonomy
+
+import "fmt"
+
+// ErrNotImplementable is wrapped by Classify when the description matches
+// one of the NI rows of Table I (n instruction processors driving a single
+// data processor).
+var ErrNotImplementable = fmt.Errorf("taxonomy: class is not implementable (n IPs driving 1 DP)")
+
+// Classify maps an architecture description — block counts plus the switch
+// kind observed at each connection site — onto its Table I class, the way
+// §IV classifies the 25 surveyed machines. Concrete counts must already be
+// abstracted to Count symbols (use CountFromInt / ParseCount) and concrete
+// interconnects to Link kinds (use spec.ParseLink for Table III cell syntax).
+//
+// The sites that do not exist for a machine shape are ignored: a machine
+// with a single IP has no meaningful IP-IP site, a data-flow machine has no
+// IP-side sites at all. Sites that do exist participate in sub-type
+// selection exactly as in Table I.
+func Classify(ips, dps Count, links Links) (Class, error) {
+	if !ips.Valid() || !dps.Valid() {
+		return Class{}, fmt.Errorf("taxonomy: invalid block counts (IPs=%d, DPs=%d)", int(ips), int(dps))
+	}
+	for s, l := range links {
+		if !l.Valid() {
+			return Class{}, fmt.Errorf("taxonomy: invalid link kind %d at site %s", int(l), Site(s))
+		}
+	}
+
+	switch {
+	case ips == CountVar || dps == CountVar:
+		// Variable-count blocks mean the machine is universal-flow only if
+		// *both* roles are variable: MATRIX-like machines that can vary
+		// counts but cannot implement data flow are classified by the paper
+		// as ISP, which callers express with CountN (see Table III).
+		if ips != CountVar || dps != CountVar {
+			return Class{}, fmt.Errorf("taxonomy: mixed variable and fixed counts (IPs=%s, DPs=%s)", ips, dps)
+		}
+		return Lookup(Name{Machine: UniversalFlow, Proc: SpatialProcessor})
+
+	case ips == CountZero:
+		switch dps {
+		case CountZero:
+			return Class{}, fmt.Errorf("taxonomy: a machine needs at least one data processor")
+		case CountOne:
+			return Lookup(Name{Machine: DataFlow, Proc: UniProcessor})
+		default:
+			return Lookup(Name{Machine: DataFlow, Proc: MultiProcessor, Sub: dataflowSubtype(links)})
+		}
+
+	case ips == CountOne:
+		switch dps {
+		case CountZero:
+			return Class{}, fmt.Errorf("taxonomy: an instruction processor needs a data processor to drive")
+		case CountOne:
+			return Lookup(Name{Machine: InstructionFlow, Proc: UniProcessor})
+		default:
+			return Lookup(Name{Machine: InstructionFlow, Proc: ArrayProcessor, Sub: SubtypeFromLinks(ArrayProcessor, links)})
+		}
+
+	default: // ips == CountN
+		switch dps {
+		case CountZero:
+			return Class{}, fmt.Errorf("taxonomy: instruction processors need data processors to drive")
+		case CountOne:
+			// Rows 11-14: the paper marks these NI. Report which row matched
+			// so callers can still render the Table I entry.
+			c, err := matchNIRow(links)
+			if err != nil {
+				return Class{}, err
+			}
+			return c, fmt.Errorf("%w (Table I row %d)", ErrNotImplementable, c.Index)
+		default:
+			proc := MultiProcessor
+			if links[SiteIPIP].Switched() {
+				proc = SpatialProcessor
+			}
+			return Lookup(Name{Machine: InstructionFlow, Proc: proc, Sub: SubtypeFromLinks(proc, links)})
+		}
+	}
+}
+
+// matchNIRow locates the NI row (11-14) matching the IP-side switches.
+func matchNIRow(links Links) (Class, error) {
+	for _, c := range Table() {
+		if c.Implementable || c.IPs != CountN || c.DPs != CountOne {
+			continue
+		}
+		if subtypeBit(c.Links[SiteIPIP]) == subtypeBit(links[SiteIPIP]) &&
+			subtypeBit(c.Links[SiteIPIM]) == subtypeBit(links[SiteIPIM]) {
+			return c, nil
+		}
+	}
+	return Class{}, fmt.Errorf("taxonomy: no NI row matches the given links")
+}
+
+// MustClassify is Classify for inputs known to be valid at compile time,
+// such as package-internal tables. It panics on error.
+func MustClassify(ips, dps Count, links Links) Class {
+	c, err := Classify(ips, dps, links)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

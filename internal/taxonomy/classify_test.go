@@ -1,0 +1,269 @@
+package taxonomy
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassify_RoundTripTableI(t *testing.T) {
+	// Every implementable class must classify back to itself from its own
+	// counts and links.
+	for _, c := range Table() {
+		if !c.Implementable {
+			continue
+		}
+		got, err := Classify(c.IPs, c.DPs, c.Links)
+		if err != nil {
+			t.Errorf("Classify(%s): %v", c, err)
+			continue
+		}
+		if got.Index != c.Index {
+			t.Errorf("Classify round-trip for %s landed on row %d (%s)", c, got.Index, got)
+		}
+	}
+}
+
+func TestClassify_NIRows(t *testing.T) {
+	// n IPs driving 1 DP must classify as not-implementable, but still
+	// identify which NI row matched.
+	cases := []struct {
+		ipip, ipim Link
+		row        int
+	}{
+		{LinkNone, LinkDirect, 11},
+		{LinkNone, LinkCrossbar, 12},
+		{LinkCrossbar, LinkDirect, 13},
+		{LinkCrossbar, LinkCrossbar, 14},
+	}
+	for _, tc := range cases {
+		links := Links{SiteIPIP: tc.ipip, SiteIPDP: LinkDirect, SiteIPIM: tc.ipim, SiteDPDM: LinkDirect}
+		c, err := Classify(CountN, CountOne, links)
+		if !errors.Is(err, ErrNotImplementable) {
+			t.Errorf("Classify(n,1,%v) error = %v, want ErrNotImplementable", links, err)
+			continue
+		}
+		if c.Index != tc.row {
+			t.Errorf("Classify(n,1,%v) matched row %d, want %d", links, c.Index, tc.row)
+		}
+	}
+}
+
+func TestClassify_Errors(t *testing.T) {
+	cases := []struct {
+		name     string
+		ips, dps Count
+		links    Links
+	}{
+		{"no processors at all", CountZero, CountZero, Links{}},
+		{"IP without DP", CountOne, CountZero, Links{}},
+		{"n IPs without DPs", CountN, CountZero, Links{}},
+		{"mixed variable and fixed", CountVar, CountN, Links{}},
+		{"fixed and variable", CountOne, CountVar, Links{}},
+		{"invalid count", Count(9), CountOne, Links{}},
+		{"invalid link", CountOne, CountOne, Links{SiteDPDM: Link(9)}},
+	}
+	for _, tc := range cases {
+		if _, err := Classify(tc.ips, tc.dps, tc.links); err == nil {
+			t.Errorf("%s: Classify succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestClassify_SurveySpotChecks(t *testing.T) {
+	// Hand-derived classifications for a few Table III architectures; the
+	// full survey round-trip lives in internal/registry.
+	cases := []struct {
+		arch     string
+		ips, dps Count
+		links    Links
+		want     string
+	}{
+		{"ARM7TDMI", CountOne, CountOne,
+			Links{SiteIPDP: LinkDirect, SiteIPIM: LinkDirect, SiteDPDM: LinkDirect}, "IUP"},
+		{"MorphoSys", CountOne, CountN,
+			Links{SiteIPDP: LinkDirect, SiteIPIM: LinkDirect, SiteDPDM: LinkDirect, SiteDPDP: LinkCrossbar}, "IAP-II"},
+		{"Montium", CountOne, CountN,
+			Links{SiteIPDP: LinkDirect, SiteIPIM: LinkDirect, SiteDPDM: LinkCrossbar, SiteDPDP: LinkCrossbar}, "IAP-IV"},
+		{"Cortex-A9", CountN, CountN,
+			Links{SiteIPDP: LinkDirect, SiteIPIM: LinkDirect, SiteDPDM: LinkDirect}, "IMP-I"},
+		{"RaPiD", CountN, CountN,
+			Links{SiteIPDP: LinkCrossbar, SiteIPIM: LinkCrossbar, SiteDPDM: LinkDirect, SiteDPDP: LinkCrossbar}, "IMP-XIV"},
+		{"Redefine", CountZero, CountN,
+			Links{SiteDPDM: LinkCrossbar, SiteDPDP: LinkCrossbar}, "DMP-IV"},
+		{"DRRA", CountN, CountN,
+			Links{SiteIPIP: LinkCrossbar, SiteIPDP: LinkDirect, SiteIPIM: LinkDirect, SiteDPDM: LinkCrossbar, SiteDPDP: LinkCrossbar}, "ISP-IV"},
+		{"Matrix", CountN, CountN,
+			Links{SiteIPIP: LinkCrossbar, SiteIPDP: LinkCrossbar, SiteIPIM: LinkCrossbar, SiteDPDM: LinkCrossbar, SiteDPDP: LinkCrossbar}, "ISP-XVI"},
+		{"FPGA", CountVar, CountVar,
+			Links{SiteIPIP: LinkVariable, SiteIPDP: LinkVariable, SiteIPIM: LinkVariable, SiteDPDM: LinkVariable, SiteDPDP: LinkVariable}, "USP"},
+	}
+	for _, tc := range cases {
+		got, err := Classify(tc.ips, tc.dps, tc.links)
+		if err != nil {
+			t.Errorf("%s: %v", tc.arch, err)
+			continue
+		}
+		if got.String() != tc.want {
+			t.Errorf("%s classified as %s, want %s", tc.arch, got, tc.want)
+		}
+	}
+}
+
+func TestMustClassify(t *testing.T) {
+	c := MustClassify(CountOne, CountOne,
+		Links{SiteIPDP: LinkDirect, SiteIPIM: LinkDirect, SiteDPDM: LinkDirect})
+	if c.String() != "IUP" {
+		t.Errorf("MustClassify = %s, want IUP", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustClassify on invalid input did not panic")
+		}
+	}()
+	MustClassify(CountZero, CountZero, Links{})
+}
+
+// TestClassify_Property feeds arbitrary valid count/link combinations and
+// checks the classifier's invariants: it either errors, or returns a class
+// whose flexibility equals the score recomputed from the canonical Table I
+// links (never from the raw input — classification quotienting by sub-type
+// must not change the score).
+func TestClassify_Property(t *testing.T) {
+	f := func(ipSel, dpSel uint8, l0, l1, l2, l3, l4 uint8) bool {
+		counts := []Count{CountZero, CountOne, CountN, CountVar}
+		kinds := []Link{LinkNone, LinkDirect, LinkCrossbar, LinkVariable}
+		ips := counts[int(ipSel)%len(counts)]
+		dps := counts[int(dpSel)%len(counts)]
+		links := Links{
+			kinds[int(l0)%len(kinds)], kinds[int(l1)%len(kinds)],
+			kinds[int(l2)%len(kinds)], kinds[int(l3)%len(kinds)],
+			kinds[int(l4)%len(kinds)],
+		}
+		c, err := Classify(ips, dps, links)
+		if err != nil {
+			return true // rejecting is always acceptable for arbitrary input
+		}
+		// The returned class must be an implementable Table I row whose
+		// sub-type-relevant switch bits agree with the input.
+		if !c.Implementable {
+			return false
+		}
+		fromTable, err := ByIndex(c.Index)
+		if err != nil || fromTable.String() != c.String() {
+			return false
+		}
+		return Flexibility(c) >= 0 && Flexibility(c) <= 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	iap1, _ := LookupString("IAP-I")
+	imp1, _ := LookupString("IMP-I")
+	cmp := Compare(imp1, iap1)
+	if !cmp.SameMachineType {
+		t.Error("IMP-I and IAP-I share the instruction-flow machine type")
+	}
+	if cmp.SameProcessingType {
+		t.Error("IMP-I and IAP-I differ in processing type")
+	}
+	if !cmp.SameSubtype {
+		t.Error("IMP-I and IAP-I share sub-type I")
+	}
+	// The paper: same sub-type number means same IP-IP, IP-IM, DP-DM, DP-DP
+	// connectivity kinds (IP-DP differs in shape but both are direct).
+	if len(cmp.DifferingSites) != 0 {
+		t.Errorf("IMP-I vs IAP-I differing sites = %v, want none (same switch kinds)", cmp.DifferingSites)
+	}
+	if !cmp.Comparable || cmp.FlexibilityDelta != 1 {
+		t.Errorf("IMP-I vs IAP-I delta = %d (comparable=%v), want 1", cmp.FlexibilityDelta, cmp.Comparable)
+	}
+	if s := cmp.String(); s == "" {
+		t.Error("Comparison.String() is empty")
+	}
+
+	dmp4, _ := LookupString("DMP-IV")
+	cmp2 := Compare(dmp4, imp1)
+	if cmp2.Comparable {
+		t.Error("DMP-IV vs IMP-I must be incomparable")
+	}
+	if s := cmp2.String(); s == "" {
+		t.Error("incomparable Comparison.String() is empty")
+	}
+	imp16, _ := LookupString("IMP-XVI")
+	cmp3 := Compare(imp1, imp16)
+	if cmp3.FlexibilityDelta >= 0 {
+		t.Errorf("IMP-I vs IMP-XVI delta = %d, want negative", cmp3.FlexibilityDelta)
+	}
+	if len(cmp3.DifferingSites) != 4 {
+		t.Errorf("IMP-I vs IMP-XVI differ at %d sites, want 4", len(cmp3.DifferingSites))
+	}
+	cmpSame := Compare(imp1, imp1)
+	if cmpSame.FlexibilityDelta != 0 || len(cmpSame.DifferingSites) != 0 {
+		t.Error("self-comparison must report identity")
+	}
+	if s := cmpSame.String(); s == "" {
+		t.Error("self Comparison.String() is empty")
+	}
+}
+
+func TestCanMorphInto(t *testing.T) {
+	get := func(name string) Class {
+		c, err := LookupString(name)
+		if err != nil {
+			t.Fatalf("LookupString(%q): %v", name, err)
+		}
+		return c
+	}
+	cases := []struct {
+		from, to string
+		want     bool
+	}{
+		// §III.B worked examples.
+		{"IMP-I", "IAP-I", true},     // n Von Neumann cores can run one program everywhere
+		{"IAP-I", "IMP-I", false},    // an array processor cannot run n different programs
+		{"IAP-I", "IUP", true},       // turn off the extra DPs
+		{"IUP", "IAP-I", false},      // not enough DPs
+		{"USP", "IMP-XVI", true},     // FPGA can morph into anything
+		{"USP", "DMP-IV", true},      // including data flow
+		{"USP", "IUP", true},         //
+		{"IMP-XVI", "DMP-IV", false}, // fixed-grain instruction flow cannot become data flow
+		{"DMP-IV", "DMP-I", true},    // richer switches cover poorer ones
+		{"DMP-I", "DMP-IV", false},   // no crossbars to emulate with
+		{"IMP-I", "IMP-II", false},   // missing the DP-DP crossbar
+		{"ISP-XVI", "IMP-XVI", true},
+		{"IMP-XVI", "ISP-XVI", false}, // no IP-IP switch
+		{"IMP-XVI", "IUP", true},
+	}
+	for _, tc := range cases {
+		if got := CanMorphInto(get(tc.from), get(tc.to)); got != tc.want {
+			t.Errorf("CanMorphInto(%s, %s) = %v, want %v", tc.from, tc.to, got, tc.want)
+		}
+	}
+	// NI classes can morph into nothing and nothing morphs into them.
+	ni, _ := ByIndex(11)
+	if CanMorphInto(ni, get("IUP")) || CanMorphInto(get("USP"), ni) {
+		t.Error("NI classes must not participate in morphing")
+	}
+}
+
+// TestCanMorphInto_ImpliesFlexibilityOrder: if a can morph into b (and they
+// are distinct), a's flexibility must be >= b's. This ties the paper's
+// §III.B narrative to the Table II scores.
+func TestCanMorphInto_ImpliesFlexibilityOrder(t *testing.T) {
+	classes := Table()
+	for _, a := range classes {
+		for _, b := range classes {
+			if !a.Implementable || !b.Implementable {
+				continue
+			}
+			if CanMorphInto(a, b) && Flexibility(a) < Flexibility(b) {
+				t.Errorf("%s morphs into %s but has lower flexibility (%d < %d)",
+					a, b, Flexibility(a), Flexibility(b))
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package taxonomy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Comparison is the structured result of comparing two classes by name, the
+// paper's §III.A predictive power: "by just looking at the names of the
+// classes one can compare two or more architectures in terms of
+// similarities or differences".
+type Comparison struct {
+	// A and B are the compared classes.
+	A, B Class
+	// SameMachineType reports whether both are data-, instruction- or
+	// universal-flow machines.
+	SameMachineType bool
+	// SameProcessingType reports whether both are uni-, array-, multi- or
+	// spatial-processing machines.
+	SameProcessingType bool
+	// SameSubtype reports whether the roman sub-type index matches. The
+	// paper notes that IAP-I and IMP-I share the same IP-IP, IP-IM, DP-DM
+	// and DP-DP connectivity because the sub-type number is shared.
+	SameSubtype bool
+	// DifferingSites lists the connection sites whose switch kinds differ.
+	DifferingSites []Site
+	// FlexibilityDelta is Flexibility(A) - Flexibility(B) when the two
+	// scores are comparable under the paper's rules; Comparable is false
+	// otherwise and the delta is meaningless.
+	FlexibilityDelta int
+	// Comparable reports whether the flexibility numbers may be compared.
+	Comparable bool
+}
+
+// Compare produces the structured name-based comparison of two classes.
+func Compare(a, b Class) Comparison {
+	cmp := Comparison{
+		A: a, B: b,
+		SameMachineType:    a.Name.Machine == b.Name.Machine,
+		SameProcessingType: a.Name.Proc == b.Name.Proc,
+		SameSubtype:        a.Name.Sub == b.Name.Sub,
+		Comparable:         Comparable(a, b),
+	}
+	for _, s := range Sites() {
+		if subtypeBit(a.Links[s]) != subtypeBit(b.Links[s]) || (a.Links[s] == LinkNone) != (b.Links[s] == LinkNone) {
+			cmp.DifferingSites = append(cmp.DifferingSites, s)
+		}
+	}
+	if cmp.Comparable {
+		cmp.FlexibilityDelta = Flexibility(a) - Flexibility(b)
+	}
+	return cmp
+}
+
+// String renders the comparison as one human-readable sentence per finding.
+func (c Comparison) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s vs %s:", c.A, c.B)
+	if c.SameMachineType {
+		fmt.Fprintf(&b, " same machine type (%s);", c.A.Name.Machine)
+	} else {
+		fmt.Fprintf(&b, " different machine types (%s vs %s);", c.A.Name.Machine, c.B.Name.Machine)
+	}
+	if c.SameProcessingType {
+		fmt.Fprintf(&b, " same processing type (%s);", c.A.Name.Proc)
+	} else {
+		fmt.Fprintf(&b, " different processing types (%s vs %s);", c.A.Name.Proc, c.B.Name.Proc)
+	}
+	if len(c.DifferingSites) == 0 {
+		b.WriteString(" identical switch kinds at every site;")
+	} else {
+		names := make([]string, len(c.DifferingSites))
+		for i, s := range c.DifferingSites {
+			names[i] = s.String()
+		}
+		fmt.Fprintf(&b, " switch kinds differ at %s;", strings.Join(names, ", "))
+	}
+	if !c.Comparable {
+		b.WriteString(" flexibility scores not comparable (data- vs instruction-flow)")
+	} else {
+		switch {
+		case c.FlexibilityDelta > 0:
+			fmt.Fprintf(&b, " %s is more flexible by %d", c.A, c.FlexibilityDelta)
+		case c.FlexibilityDelta < 0:
+			fmt.Fprintf(&b, " %s is more flexible by %d", c.B, -c.FlexibilityDelta)
+		default:
+			b.WriteString(" equal flexibility")
+		}
+	}
+	return b.String()
+}
+
+// CanMorphInto reports whether a machine of class "from" can act as a
+// machine of class "to" by reconfiguration or software convention, following
+// the paper's §III.B argument:
+//
+//   - a universal-flow machine can morph into anything;
+//   - nothing (except universal flow) can morph across the data-flow /
+//     instruction-flow divide;
+//   - within a paradigm, a machine can act as a machine with fewer or equal
+//     resources and less or equal switching: IMP-I can act as an array
+//     processor by running the same program on every IP, and IAP-I can act
+//     as a uni-processor by turning off its extra DPs — but not vice versa.
+//
+// The rule implemented: from can morph into to iff they are comparable, the
+// processing-type rank of from is >= that of to, and at every connection
+// site that "to" requires switched (crossbar) connectivity, "from" has it
+// too (on the sites that exist in "from").
+func CanMorphInto(from, to Class) bool {
+	if !from.Implementable || !to.Implementable {
+		return false
+	}
+	if from.Name.Machine == UniversalFlow {
+		return true
+	}
+	if from.Name.Machine != to.Name.Machine {
+		return false
+	}
+	if procRank(from.Name.Proc) < procRank(to.Name.Proc) {
+		return false
+	}
+	for _, s := range Sites() {
+		// A site "to" uses as a crossbar must be a crossbar in "from" as
+		// well — unless the site is trivial in "to" (none) or collapses in
+		// "from" because "from" has strictly more structure there (e.g. an
+		// IMP emulating an IAP supplies the broadcast in software).
+		if to.Links[s].Switched() && !from.Links[s].Switched() {
+			return false
+		}
+	}
+	return true
+}
+
+// procRank orders processing types by resource richness for CanMorphInto.
+func procRank(p ProcessingType) int {
+	switch p {
+	case UniProcessor:
+		return 0
+	case ArrayProcessor:
+		return 1
+	case MultiProcessor:
+		return 2
+	case SpatialProcessor:
+		return 3
+	default:
+		return -1
+	}
+}

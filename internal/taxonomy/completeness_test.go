@@ -1,0 +1,70 @@
+package taxonomy
+
+import "testing"
+
+// TestClassify_ExhaustiveCompleteness sweeps the entire description space —
+// every block-count pair times every switch assignment — and checks the
+// completeness property a taxonomy must have: every description either
+// classifies onto a Table I row or is rejected with a reason, and every
+// named class is reachable from some description. This is the "no valid
+// combination is missing from Table I" theorem, checked by enumeration
+// (4 x 4 counts x 4^5 link kinds = 16384 descriptions).
+func TestClassify_ExhaustiveCompleteness(t *testing.T) {
+	counts := []Count{CountZero, CountOne, CountN, CountVar}
+	kinds := []Link{LinkNone, LinkDirect, LinkCrossbar, LinkVariable}
+	reached := map[string]bool{}
+	niReached := map[int]bool{}
+	total, classified, rejected := 0, 0, 0
+
+	for _, ips := range counts {
+		for _, dps := range counts {
+			for k0 := range kinds {
+				for k1 := range kinds {
+					for k2 := range kinds {
+						for k3 := range kinds {
+							for k4 := range kinds {
+								total++
+								links := Links{kinds[k0], kinds[k1], kinds[k2], kinds[k3], kinds[k4]}
+								c, err := Classify(ips, dps, links)
+								if err != nil {
+									rejected++
+									if !c.Implementable && c.Index >= 11 && c.Index <= 14 {
+										niReached[c.Index] = true
+									}
+									continue
+								}
+								classified++
+								reached[c.String()] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	if total != 4*4*4*4*4*4*4 {
+		t.Fatalf("swept %d descriptions", total)
+	}
+	if classified == 0 || rejected == 0 {
+		t.Fatalf("degenerate sweep: %d classified, %d rejected", classified, rejected)
+	}
+	// Every named class is the image of some description.
+	for _, c := range Table() {
+		if !c.Implementable {
+			continue
+		}
+		if !reached[c.String()] {
+			t.Errorf("class %s unreachable by any description", c)
+		}
+	}
+	if len(reached) != 43 {
+		t.Errorf("classifier image has %d classes, want exactly the 43 named ones", len(reached))
+	}
+	// All four NI rows are reachable as explicit rejections.
+	for row := 11; row <= 14; row++ {
+		if !niReached[row] {
+			t.Errorf("NI row %d never matched", row)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package taxonomy
+
+import "fmt"
+
+// Count is the number of instruction or data processors in an architecture,
+// abstracted the way the taxonomy abstracts it: zero, exactly one, a fixed
+// plural number n decided at design time, or the paper's new symbol v — a
+// variable number that changes when a fine-grained fabric is reconfigured.
+type Count int
+
+const (
+	// CountZero means the block is absent (e.g. no IP in a data-flow machine).
+	CountZero Count = iota
+	// CountOne means exactly one block.
+	CountOne
+	// CountN means a fixed plural number of blocks, decided at design time.
+	// Template architectures keep the symbolic n; concrete machines replace
+	// it with an actual value (tracked separately, see spec.Architecture).
+	CountN
+	// CountVar is the paper's 'v': the number of blocks is variable because
+	// the underlying building blocks (gates, LUTs, CLBs) can assume the role
+	// of either IP or DP upon reconfiguration. v >= 0.
+	CountVar
+)
+
+// String returns the symbol used in the paper's tables: "0", "1", "n" or "v".
+func (c Count) String() string {
+	switch c {
+	case CountZero:
+		return "0"
+	case CountOne:
+		return "1"
+	case CountN:
+		return "n"
+	case CountVar:
+		return "v"
+	default:
+		return fmt.Sprintf("Count(%d)", int(c))
+	}
+}
+
+// Valid reports whether c is one of the four defined count symbols.
+func (c Count) Valid() bool {
+	return c >= CountZero && c <= CountVar
+}
+
+// Plural reports whether the count stands for more than one block, i.e.
+// the symbolic n or the variable v.
+func (c Count) Plural() bool {
+	return c == CountN || c == CountVar
+}
+
+// FlexibilityPoints returns the contribution of this count to the paper's
+// flexibility score: "the presence of 'n' IPs or DPs each will get 1 point".
+// The variable count v also counts as a plural presence; the extra +1 bonus
+// universal-flow machines receive for *being* variable is added once per
+// machine, not per count (see Flexibility).
+func (c Count) FlexibilityPoints() int {
+	if c.Plural() {
+		return 1
+	}
+	return 0
+}
+
+// CountFromInt abstracts a concrete block count into a taxonomy Count.
+// Negative values are rejected.
+func CountFromInt(v int) (Count, error) {
+	switch {
+	case v < 0:
+		return 0, fmt.Errorf("taxonomy: block count %d is negative", v)
+	case v == 0:
+		return CountZero, nil
+	case v == 1:
+		return CountOne, nil
+	default:
+		return CountN, nil
+	}
+}
+
+// ParseCount parses the table symbols "0", "1", "n", "v" as well as concrete
+// decimal counts ("64" becomes CountN). It also accepts compound symbolic
+// products such as "24xn" (GARP's 24·n logic elements) and "m" (RaPiD's m
+// functional units), both of which denote a design-time plural.
+func ParseCount(s string) (Count, error) {
+	switch s {
+	case "0":
+		return CountZero, nil
+	case "1":
+		return CountOne, nil
+	case "n", "m", "N", "M":
+		return CountN, nil
+	case "v", "V":
+		return CountVar, nil
+	}
+	// Concrete decimal, or a symbolic product like "24xn" / "8n".
+	concrete := 0
+	sawDigit := false
+	sawSymbol := false
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			concrete = concrete*10 + int(r-'0')
+			sawDigit = true
+		case r == 'x' || r == '*' || r == 'n' || r == 'm':
+			sawSymbol = true
+		default:
+			return 0, fmt.Errorf("taxonomy: cannot parse count %q", s)
+		}
+	}
+	if !sawDigit && !sawSymbol {
+		return 0, fmt.Errorf("taxonomy: cannot parse count %q", s)
+	}
+	if sawSymbol {
+		return CountN, nil
+	}
+	return CountFromInt(concrete)
+}

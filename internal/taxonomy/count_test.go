@@ -1,0 +1,174 @@
+package taxonomy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCountString(t *testing.T) {
+	cases := map[Count]string{CountZero: "0", CountOne: "1", CountN: "n", CountVar: "v"}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("Count(%d).String() = %q, want %q", int(c), got, want)
+		}
+	}
+	if got := Count(42).String(); got != "Count(42)" {
+		t.Errorf("out-of-range count prints %q", got)
+	}
+}
+
+func TestCountFromInt(t *testing.T) {
+	cases := []struct {
+		in   int
+		want Count
+	}{
+		{0, CountZero}, {1, CountOne}, {2, CountN}, {48, CountN}, {1 << 20, CountN},
+	}
+	for _, tc := range cases {
+		got, err := CountFromInt(tc.in)
+		if err != nil {
+			t.Errorf("CountFromInt(%d): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("CountFromInt(%d) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+	if _, err := CountFromInt(-1); err == nil {
+		t.Error("CountFromInt(-1) succeeded, want error")
+	}
+}
+
+func TestCountFromInt_Property(t *testing.T) {
+	f := func(v uint16) bool {
+		c, err := CountFromInt(int(v))
+		if err != nil {
+			return false
+		}
+		switch {
+		case v == 0:
+			return c == CountZero
+		case v == 1:
+			return c == CountOne
+		default:
+			return c == CountN
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseCount(t *testing.T) {
+	cases := map[string]Count{
+		"0": CountZero, "1": CountOne, "n": CountN, "m": CountN,
+		"N": CountN, "M": CountN, "v": CountVar, "V": CountVar,
+		"6": CountN, "64": CountN, "48": CountN, "2": CountN,
+		"24xn": CountN, // GARP's 24 x n logic elements
+		"8n":   CountN,
+	}
+	for in, want := range cases {
+		got, err := ParseCount(in)
+		if err != nil {
+			t.Errorf("ParseCount(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseCount(%q) = %s, want %s", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "-1", "abc", "n-n", "1.5", "?"} {
+		if c, err := ParseCount(bad); err == nil {
+			t.Errorf("ParseCount(%q) = %s, want error", bad, c)
+		}
+	}
+}
+
+func TestCountPredicates(t *testing.T) {
+	if CountZero.Plural() || CountOne.Plural() {
+		t.Error("0 and 1 must not be plural")
+	}
+	if !CountN.Plural() || !CountVar.Plural() {
+		t.Error("n and v must be plural")
+	}
+	if CountZero.FlexibilityPoints() != 0 || CountOne.FlexibilityPoints() != 0 {
+		t.Error("0 and 1 must not score flexibility points")
+	}
+	if CountN.FlexibilityPoints() != 1 || CountVar.FlexibilityPoints() != 1 {
+		t.Error("n and v must score one flexibility point each")
+	}
+	if !CountZero.Valid() || !CountVar.Valid() || Count(-1).Valid() || Count(4).Valid() {
+		t.Error("Count.Valid is wrong")
+	}
+}
+
+func TestLinkCell(t *testing.T) {
+	cases := []struct {
+		l           Link
+		left, right Count
+		want        string
+	}{
+		{LinkNone, CountN, CountN, "none"},
+		{LinkDirect, CountOne, CountN, "1-n"},
+		{LinkDirect, CountN, CountOne, "n-1"},
+		{LinkDirect, CountOne, CountOne, "1-1"},
+		{LinkCrossbar, CountN, CountN, "nxn"},
+		{LinkVariable, CountVar, CountVar, "vxv"},
+	}
+	for _, tc := range cases {
+		if got := tc.l.Cell(tc.left, tc.right); got != tc.want {
+			t.Errorf("%v.Cell(%s, %s) = %q, want %q", tc.l, tc.left, tc.right, got, tc.want)
+		}
+	}
+}
+
+func TestLinkPredicates(t *testing.T) {
+	if LinkNone.Switched() || LinkDirect.Switched() {
+		t.Error("none and direct must not count as switches")
+	}
+	if !LinkCrossbar.Switched() || !LinkVariable.Switched() {
+		t.Error("crossbar and variable must count as switches")
+	}
+	if !LinkNone.Valid() || !LinkVariable.Valid() || Link(-1).Valid() || Link(7).Valid() {
+		t.Error("Link.Valid is wrong")
+	}
+	if LinkNone.String() != "none" || LinkDirect.String() != "-" ||
+		LinkCrossbar.String() != "x" || LinkVariable.String() != "vxv" {
+		t.Error("link symbols wrong")
+	}
+}
+
+func TestLinksSwitches(t *testing.T) {
+	var ls Links
+	if ls.Switches() != 0 {
+		t.Error("zero Links must have no switches")
+	}
+	ls[SiteDPDP] = LinkCrossbar
+	ls[SiteIPIP] = LinkVariable
+	ls[SiteIPDP] = LinkDirect
+	if got := ls.Switches(); got != 2 {
+		t.Errorf("Switches() = %d, want 2", got)
+	}
+}
+
+func TestLinksAt_PanicsOnInvalidSite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(invalid site) did not panic")
+		}
+	}()
+	var ls Links
+	ls.At(Site(9))
+}
+
+func TestSiteStrings(t *testing.T) {
+	want := []string{"IP-IP", "IP-DP", "IP-IM", "DP-DM", "DP-DP"}
+	for i, s := range Sites() {
+		if s.String() != want[i] {
+			t.Errorf("site %d prints %q, want %q", i, s, want[i])
+		}
+	}
+	if Site(9).Valid() || !SiteDPDP.Valid() {
+		t.Error("Site.Valid is wrong")
+	}
+}

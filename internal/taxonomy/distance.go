@@ -1,0 +1,96 @@
+package taxonomy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Signature renders a class's structural content as a canonical compact
+// string — machine-readable, order-stable, independent of the naming
+// scheme — so external tools can diff classes without reimplementing the
+// taxonomy: "IPs=n DPs=n IP-IP=none IP-DP=- IP-IM=- DP-DM=x DP-DP=x".
+func (c Class) Signature() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "IPs=%s DPs=%s", c.IPs, c.DPs)
+	for _, s := range Sites() {
+		fmt.Fprintf(&b, " %s=%s", s, c.Links.At(s))
+	}
+	return b.String()
+}
+
+// Distance is a structural edit distance between two classes:
+//
+//   - +3 when the machine paradigms differ (data- vs instruction- vs
+//     universal-flow machines cannot substitute each other, §III.B),
+//   - +1 per differing block count (IPs, DPs), and
+//   - +1 per connection site whose switch kind differs.
+//
+// Zero means structurally identical. The metric is symmetric and satisfies
+// the triangle inequality (it is a weighted Hamming distance).
+func Distance(a, b Class) int {
+	d := 0
+	if a.Name.Machine != b.Name.Machine {
+		d += 3
+	}
+	if a.IPs != b.IPs {
+		d++
+	}
+	if a.DPs != b.DPs {
+		d++
+	}
+	for _, s := range Sites() {
+		if a.Links[s] != b.Links[s] {
+			d++
+		}
+	}
+	return d
+}
+
+// Suggestion pairs a class with its distance from a query description.
+type Suggestion struct {
+	Class    Class
+	Distance int
+}
+
+// Suggest ranks the implementable classes by structural distance from a
+// described (possibly unclassifiable) machine and returns the k nearest.
+// It is the "did you mean" companion to Classify: a description that lands
+// on an NI row or fails validation still gets actionable neighbours. Ties
+// break by Table I row order.
+func Suggest(ips, dps Count, links Links, k int) ([]Suggestion, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("taxonomy: need k >= 1 suggestions, got %d", k)
+	}
+	if !ips.Valid() || !dps.Valid() {
+		return nil, fmt.Errorf("taxonomy: invalid block counts")
+	}
+	query := Class{IPs: ips, DPs: dps, Links: links}
+	// Give the query a machine type for the paradigm term of Distance.
+	switch {
+	case ips == CountVar && dps == CountVar:
+		query.Name.Machine = UniversalFlow
+	case ips == CountZero:
+		query.Name.Machine = DataFlow
+	default:
+		query.Name.Machine = InstructionFlow
+	}
+
+	var all []Suggestion
+	for _, c := range Table() {
+		if !c.Implementable {
+			continue
+		}
+		all = append(all, Suggestion{Class: c, Distance: Distance(query, c)})
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Distance != all[j].Distance {
+			return all[i].Distance < all[j].Distance
+		}
+		return all[i].Class.Index < all[j].Class.Index
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k], nil
+}

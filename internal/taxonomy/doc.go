@@ -1,0 +1,19 @@
+// Package taxonomy implements the extended Skillicorn taxonomy of Shami &
+// Hemani, "Classification of Massively Parallel Computer Architectures"
+// (IPPS 2012).
+//
+// The taxonomy describes a computer architecture by four building blocks —
+// Instruction Processor (IP), Data Processor (DP), Instruction Memory (IM)
+// and Data Memory (DM) — plus five connection sites between them: IP-IP,
+// IP-DP, IP-IM, DP-DM and DP-DP. A class is a combination of block counts
+// (0, 1, n or the paper's new variable count v) and switch kinds at each
+// site (no connection, a direct switch '-', a crossbar switch 'x', or the
+// variable 'vxv' fabric of universal-flow machines).
+//
+// The package generates the paper's Table I (47 classes) from those
+// enumeration rules rather than transcribing it, derives the hierarchical
+// names of Fig 2 (DUP, DMP-I..IV, IUP, IAP-I..IV, IMP-I..XVI, ISP-I..XVI,
+// USP), computes the relative flexibility scores of Table II, and classifies
+// arbitrary architecture descriptions the way Table III classifies the 25
+// surveyed machines.
+package taxonomy

@@ -1,0 +1,79 @@
+package taxonomy
+
+// Flexibility computes the relative flexibility score of a class using the
+// paper's scoring system (Table II):
+//
+//   - the presence of 'n' (or 'v') instruction processors scores 1 point,
+//   - the presence of 'n' (or 'v') data processors scores 1 point,
+//   - every switch of type 'x' (or 'vxv') scores 1 point, and
+//   - universal-flow machines score one extra point "because of the
+//     variable number of IPs and DPs".
+//
+// The score measures the ability of a hardware organisation to morph into a
+// different kind of computing machine; scores of data-flow and
+// instruction-flow machines are not comparable with each other, but both are
+// comparable with the score of a universal-flow machine (§III.B).
+func Flexibility(c Class) int {
+	score := c.IPs.FlexibilityPoints() + c.DPs.FlexibilityPoints() + c.Links.Switches()
+	if c.IPs == CountVar || c.DPs == CountVar {
+		score++
+	}
+	return score
+}
+
+// FlexibilityBase returns the group offset the paper's Table II headings
+// print for each machine/processing type pair ("Data Flow -> Multi
+// Processor (+1)", "Instruction Flow -> Multi Processor (+2)", "Universal
+// Flow -> Fine Grained (+3)"). It is the count-derived part of the score:
+// the switch points come on top of it.
+func FlexibilityBase(c Class) int {
+	base := c.IPs.FlexibilityPoints() + c.DPs.FlexibilityPoints()
+	if c.IPs == CountVar || c.DPs == CountVar {
+		base++
+	}
+	return base
+}
+
+// Comparable reports whether the flexibility scores of two classes may be
+// compared under the paper's rules: data-flow and instruction-flow machines
+// cannot substitute each other, so their numbers are incomparable, but a
+// universal-flow machine is comparable with everything (it can implement
+// both paradigms).
+func Comparable(a, b Class) bool {
+	if a.Name.Machine == UniversalFlow || b.Name.Machine == UniversalFlow {
+		return true
+	}
+	return a.Name.Machine == b.Name.Machine
+}
+
+// MoreFlexible reports whether class a is strictly more flexible than class
+// b, and whether the comparison is meaningful at all. When comparable is
+// false the first result is always false.
+func MoreFlexible(a, b Class) (more, comparable bool) {
+	if !Comparable(a, b) {
+		return false, false
+	}
+	return Flexibility(a) > Flexibility(b), true
+}
+
+// FlexibilityTable reproduces Table II: the flexibility value of every named
+// (implementable) class, keyed by class name string, in Table I order.
+type FlexibilityRow struct {
+	// Class is the named class the row scores.
+	Class Class
+	// Score is the relative flexibility value.
+	Score int
+}
+
+// FlexibilityTable returns one row per named class in Table I order,
+// reproducing the paper's Table II.
+func FlexibilityTable() []FlexibilityRow {
+	var rows []FlexibilityRow
+	for _, c := range Table() {
+		if !c.Implementable {
+			continue
+		}
+		rows = append(rows, FlexibilityRow{Class: c, Score: Flexibility(c)})
+	}
+	return rows
+}

@@ -1,0 +1,175 @@
+package taxonomy
+
+import "testing"
+
+// paperTableII transcribes Table II: relative flexibility per named class.
+var paperTableII = map[string]int{
+	"DUP":   0,
+	"DMP-I": 1, "DMP-II": 2, "DMP-III": 2, "DMP-IV": 3,
+	"IUP":   0,
+	"IAP-I": 1, "IAP-II": 2, "IAP-III": 2, "IAP-IV": 3,
+	"IMP-I": 2, "IMP-II": 3, "IMP-III": 3, "IMP-IV": 4,
+	"IMP-V": 3, "IMP-VI": 4, "IMP-VII": 4, "IMP-VIII": 5,
+	"IMP-IX": 3, "IMP-X": 4, "IMP-XI": 4, "IMP-XII": 5,
+	"IMP-XIII": 4, "IMP-XIV": 5, "IMP-XV": 5, "IMP-XVI": 6,
+	"ISP-I": 3, "ISP-II": 4, "ISP-III": 4, "ISP-IV": 5,
+	"ISP-V": 4, "ISP-VI": 5, "ISP-VII": 5, "ISP-VIII": 6,
+	"ISP-IX": 4, "ISP-X": 5, "ISP-XI": 5, "ISP-XII": 6,
+	"ISP-XIII": 5, "ISP-XIV": 6, "ISP-XV": 6, "ISP-XVI": 7,
+	"USP": 8,
+}
+
+func TestTableII_MatchesPaper(t *testing.T) {
+	rows := FlexibilityTable()
+	if len(rows) != len(paperTableII) {
+		t.Fatalf("FlexibilityTable has %d rows, paper Table II has %d", len(rows), len(paperTableII))
+	}
+	for _, row := range rows {
+		want, ok := paperTableII[row.Class.String()]
+		if !ok {
+			t.Errorf("generated class %s is not in paper Table II", row.Class)
+			continue
+		}
+		if row.Score != want {
+			t.Errorf("flexibility(%s) = %d, paper says %d", row.Class, row.Score, want)
+		}
+	}
+}
+
+// paperGroupBases transcribes the group offsets printed in Table II headings.
+func TestFlexibilityBase_MatchesGroupHeadings(t *testing.T) {
+	cases := []struct {
+		class string
+		base  int
+	}{
+		{"DUP", 0},     // Data Flow -> Uni Processor (+0)
+		{"DMP-II", 1},  // Data Flow -> Multi Processor (+1)
+		{"IUP", 0},     // Instruction -> Uni Processor (+0)
+		{"IAP-III", 1}, // Instruction Flow -> Array Processor (+1)
+		{"IMP-IX", 2},  // Instruction Flow -> Multi Processor (+2)
+		{"ISP-XVI", 2}, // ISP rows are listed under the same +2 group
+		{"USP", 3},     // Universal Flow -> Fine Grained (+3)
+	}
+	for _, tc := range cases {
+		c, err := LookupString(tc.class)
+		if err != nil {
+			t.Fatalf("LookupString(%q): %v", tc.class, err)
+		}
+		if got := FlexibilityBase(c); got != tc.base {
+			t.Errorf("FlexibilityBase(%s) = %d, want %d", tc.class, got, tc.base)
+		}
+	}
+}
+
+// TestFlexibility_SwitchDecomposition checks the scoring identity the paper
+// states: score = count points + crossbar points (+1 for variable counts).
+func TestFlexibility_SwitchDecomposition(t *testing.T) {
+	for _, c := range Table() {
+		if !c.Implementable {
+			continue
+		}
+		want := FlexibilityBase(c) + c.Links.Switches()
+		if got := Flexibility(c); got != want {
+			t.Errorf("flexibility(%s) = %d, decomposition gives %d", c, got, want)
+		}
+	}
+}
+
+func TestComparable(t *testing.T) {
+	get := func(name string) Class {
+		c, err := LookupString(name)
+		if err != nil {
+			t.Fatalf("LookupString(%q): %v", name, err)
+		}
+		return c
+	}
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"IMP-I", "IAP-I", true},  // both instruction flow
+		{"DMP-I", "DMP-IV", true}, // both data flow
+		{"DMP-I", "IMP-I", false}, // across the paradigm divide
+		{"DUP", "IUP", false},     // likewise
+		{"USP", "IMP-XVI", true},  // universal flow comparable to anything
+		{"DMP-IV", "USP", true},   // and symmetrically
+		{"ISP-XVI", "IUP", true},  // ISP is instruction flow
+	}
+	for _, tc := range cases {
+		if got := Comparable(get(tc.a), get(tc.b)); got != tc.want {
+			t.Errorf("Comparable(%s, %s) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestMoreFlexible(t *testing.T) {
+	get := func(name string) Class {
+		c, err := LookupString(name)
+		if err != nil {
+			t.Fatalf("LookupString(%q): %v", name, err)
+		}
+		return c
+	}
+	// §III.B worked examples: IMP-II > IMP-I, IMP-I > IAP-I, IAP-I > IUP.
+	orderings := [][2]string{
+		{"IMP-II", "IMP-I"},
+		{"IMP-I", "IAP-I"},
+		{"IAP-I", "IUP"},
+		{"USP", "ISP-XVI"},
+	}
+	for _, o := range orderings {
+		more, comparable := MoreFlexible(get(o[0]), get(o[1]))
+		if !comparable || !more {
+			t.Errorf("MoreFlexible(%s, %s) = (%v, %v), want (true, true)", o[0], o[1], more, comparable)
+		}
+	}
+	if more, comparable := MoreFlexible(get("DMP-IV"), get("IUP")); comparable || more {
+		t.Errorf("data-flow vs instruction-flow comparison should be incomparable, got (%v, %v)", more, comparable)
+	}
+}
+
+// TestFlexibility_USPIsMaximum verifies the Fig 7 headline: FPGA (USP) has
+// the highest flexibility of all classes.
+func TestFlexibility_USPIsMaximum(t *testing.T) {
+	usp, err := LookupString("USP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := Flexibility(usp)
+	for _, c := range Table() {
+		if !c.Implementable {
+			continue
+		}
+		if f := Flexibility(c); f > max {
+			t.Errorf("class %s has flexibility %d > USP's %d", c, f, max)
+		}
+		if c.Name.Machine != UniversalFlow && Flexibility(c) >= max {
+			t.Errorf("non-universal class %s matches USP's flexibility %d", c, max)
+		}
+	}
+}
+
+// TestFlexibility_MonotoneInSubtype checks that within each sub-typed group,
+// sub-type IV (or XVI) is the most flexible and sub-type I the least, as the
+// paper asserts ("IMP-XVI being the most flexible and IMP-I the least").
+func TestFlexibility_MonotoneInSubtype(t *testing.T) {
+	groups := map[string][]Class{}
+	for _, c := range Table() {
+		if !c.Implementable || c.Name.Sub == 0 {
+			continue
+		}
+		key := c.Name.Machine.Letter() + c.Name.Proc.Letter()
+		groups[key] = append(groups[key], c)
+	}
+	for key, cs := range groups {
+		first, last := cs[0], cs[len(cs)-1]
+		for _, c := range cs {
+			if Flexibility(c) < Flexibility(first) {
+				t.Errorf("group %s: %s less flexible than sub-type I", key, c)
+			}
+			if Flexibility(c) > Flexibility(last) {
+				t.Errorf("group %s: %s more flexible than the last sub-type", key, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package taxonomy
+
+import "fmt"
+
+// FlynnCategory is Flynn's 1966 taxonomy, which the paper's §I cites as
+// "perhaps the oldest, simplest and the most widely known" classification
+// and whose broadness motivated Skillicorn's refinement. Mapping the
+// extended classes back onto Flynn shows exactly what resolution the
+// extension adds: Flynn's four buckets hold 43 named classes, and the
+// data-flow and universal-flow machines do not fit Flynn at all.
+type FlynnCategory int
+
+const (
+	// FlynnSISD: single instruction stream, single data stream.
+	FlynnSISD FlynnCategory = iota
+	// FlynnSIMD: single instruction stream, multiple data streams.
+	FlynnSIMD
+	// FlynnMISD: multiple instruction streams, single data stream.
+	FlynnMISD
+	// FlynnMIMD: multiple instruction streams, multiple data streams.
+	FlynnMIMD
+	// FlynnOutside marks machines Flynn's taxonomy cannot express: the
+	// data-flow classes (no instruction stream at all) and the
+	// universal-flow fabric (the streams themselves are configurable).
+	FlynnOutside
+)
+
+// String returns the Flynn acronym.
+func (f FlynnCategory) String() string {
+	switch f {
+	case FlynnSISD:
+		return "SISD"
+	case FlynnSIMD:
+		return "SIMD"
+	case FlynnMISD:
+		return "MISD"
+	case FlynnMIMD:
+		return "MIMD"
+	case FlynnOutside:
+		return "(outside Flynn)"
+	default:
+		return fmt.Sprintf("FlynnCategory(%d)", int(f))
+	}
+}
+
+// Flynn maps a class of the extended taxonomy onto Flynn's category.
+// Implementable instruction-flow classes map by their stream counts; the
+// NI rows 11-14 are literally Flynn's MISD (n instruction streams driving
+// one data stream) — the paper's judgement that they are "not possible in
+// a real world system" mirrors the scarcity of real MISD machines.
+func Flynn(c Class) FlynnCategory {
+	if !c.Implementable {
+		return FlynnMISD
+	}
+	switch c.Name.Machine {
+	case InstructionFlow:
+		switch c.Name.Proc {
+		case UniProcessor:
+			return FlynnSISD
+		case ArrayProcessor:
+			return FlynnSIMD
+		default: // Multi- and spatial processors
+			return FlynnMIMD
+		}
+	default: // DataFlow, UniversalFlow
+		return FlynnOutside
+	}
+}
+
+// FlynnHistogram counts the Table I classes per Flynn category: the
+// quantitative form of "Flynn's taxonomy is too broad".
+func FlynnHistogram() map[FlynnCategory]int {
+	hist := map[FlynnCategory]int{}
+	for _, c := range Table() {
+		hist[Flynn(c)]++
+	}
+	return hist
+}

@@ -1,0 +1,77 @@
+package taxonomy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFlynn_ClassMapping(t *testing.T) {
+	cases := map[string]FlynnCategory{
+		"IUP":     FlynnSISD,
+		"IAP-I":   FlynnSIMD,
+		"IAP-IV":  FlynnSIMD,
+		"IMP-I":   FlynnMIMD,
+		"IMP-XVI": FlynnMIMD,
+		"ISP-I":   FlynnMIMD,
+		"ISP-XVI": FlynnMIMD,
+		"DUP":     FlynnOutside,
+		"DMP-IV":  FlynnOutside,
+		"USP":     FlynnOutside,
+	}
+	for name, want := range cases {
+		c, err := LookupString(name)
+		if err != nil {
+			t.Fatalf("LookupString(%q): %v", name, err)
+		}
+		if got := Flynn(c); got != want {
+			t.Errorf("Flynn(%s) = %s, want %s", name, got, want)
+		}
+	}
+}
+
+func TestFlynn_NIRowsAreMISD(t *testing.T) {
+	for _, idx := range []int{11, 12, 13, 14} {
+		c, err := ByIndex(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Flynn(c) != FlynnMISD {
+			t.Errorf("row %d = %s, want MISD", idx, Flynn(c))
+		}
+	}
+}
+
+func TestFlynnHistogram(t *testing.T) {
+	hist := FlynnHistogram()
+	// 1 SISD (IUP), 4 SIMD (IAP), 32 MIMD (IMP+ISP), 4 MISD (NI rows),
+	// 6 outside Flynn (DUP, DMP-I..IV, USP): 47 total.
+	want := map[FlynnCategory]int{
+		FlynnSISD: 1, FlynnSIMD: 4, FlynnMIMD: 32, FlynnMISD: 4, FlynnOutside: 6,
+	}
+	total := 0
+	for cat, n := range want {
+		if hist[cat] != n {
+			t.Errorf("%s: %d classes, want %d", cat, hist[cat], n)
+		}
+		total += hist[cat]
+	}
+	if total != 47 {
+		t.Errorf("histogram covers %d classes", total)
+	}
+}
+
+func TestFlynnCategoryString(t *testing.T) {
+	for cat, want := range map[FlynnCategory]string{
+		FlynnSISD: "SISD", FlynnSIMD: "SIMD", FlynnMISD: "MISD", FlynnMIMD: "MIMD",
+	} {
+		if cat.String() != want {
+			t.Errorf("%d prints %q", cat, cat.String())
+		}
+	}
+	if !strings.Contains(FlynnOutside.String(), "outside") {
+		t.Error("FlynnOutside label")
+	}
+	if !strings.Contains(FlynnCategory(9).String(), "9") {
+		t.Error("invalid category label")
+	}
+}

@@ -1,0 +1,147 @@
+package taxonomy
+
+import "fmt"
+
+// Link is the kind of switch placed at one of the five connection sites of
+// the taxonomy. The paper distinguishes a direct interconnection ('-'), an
+// interconnection through a full crossbar ('x'), the absence of a connection,
+// and — for universal-flow machines — the variable 'vxv' fabric in which any
+// building block can reach any other.
+type Link int
+
+const (
+	// LinkNone means the two components are not connected at this site.
+	LinkNone Link = iota
+	// LinkDirect is a fixed one-to-one (or one-to-many broadcast) wire: the
+	// paper's '-' switch. Its organisation cannot be changed after design.
+	LinkDirect
+	// LinkCrossbar is the paper's 'x' switch: each component on the left can
+	// be switched to any component on the right. Limited crossbars (windowed
+	// connectivity such as DRRA's 3-hop nx14 network, or a bus) are abstracted
+	// to this kind as well; the cost models in internal/cost distinguish full
+	// and limited variants, the taxonomy does not.
+	LinkCrossbar
+	// LinkVariable is the 'vxv' connectivity of universal-flow machines,
+	// where the endpoints themselves are variable-role fine-grained blocks.
+	LinkVariable
+)
+
+// String returns the switch symbol used in prose: "none", "-", "x" or "vxv".
+func (l Link) String() string {
+	switch l {
+	case LinkNone:
+		return "none"
+	case LinkDirect:
+		return "-"
+	case LinkCrossbar:
+		return "x"
+	case LinkVariable:
+		return "vxv"
+	default:
+		return fmt.Sprintf("Link(%d)", int(l))
+	}
+}
+
+// Valid reports whether l is one of the four defined switch kinds.
+func (l Link) Valid() bool {
+	return l >= LinkNone && l <= LinkVariable
+}
+
+// Switched reports whether the link contributes a flexibility point:
+// "presence of every switch of type 'x' will get another point". The
+// variable fabric of a universal-flow machine subsumes a crossbar.
+func (l Link) Switched() bool {
+	return l == LinkCrossbar || l == LinkVariable
+}
+
+// Cell renders the link the way a Table I/III cell prints it, given the
+// count symbols of its left and right endpoints: a direct link between one
+// IP and n DPs prints "1-n", a crossbar between n DPs and their memories
+// prints "nxn", the variable fabric prints "vxv".
+func (l Link) Cell(left, right Count) string {
+	switch l {
+	case LinkNone:
+		return "none"
+	case LinkDirect:
+		return left.String() + "-" + right.String()
+	case LinkCrossbar:
+		return left.String() + "x" + right.String()
+	case LinkVariable:
+		return "vxv"
+	default:
+		return l.String()
+	}
+}
+
+// Site identifies one of the five connection sites of the extended taxonomy.
+// The IP-IP site is the paper's addition to Skillicorn's original four.
+type Site int
+
+const (
+	// SiteIPIP connects instruction processors to each other (the extension
+	// that opens up the spatial-computing classes 13-14 and 31-46).
+	SiteIPIP Site = iota
+	// SiteIPDP connects instruction processors to the data processors they
+	// issue instructions to.
+	SiteIPDP
+	// SiteIPIM connects instruction processors to instruction memories.
+	SiteIPIM
+	// SiteDPDM connects data processors to data memories.
+	SiteDPDM
+	// SiteDPDP connects data processors to each other.
+	SiteDPDP
+
+	// NumSites is the number of connection sites.
+	NumSites = 5
+)
+
+// String returns the column heading used in the paper's tables.
+func (s Site) String() string {
+	switch s {
+	case SiteIPIP:
+		return "IP-IP"
+	case SiteIPDP:
+		return "IP-DP"
+	case SiteIPIM:
+		return "IP-IM"
+	case SiteDPDM:
+		return "DP-DM"
+	case SiteDPDP:
+		return "DP-DP"
+	default:
+		return fmt.Sprintf("Site(%d)", int(s))
+	}
+}
+
+// Valid reports whether s is one of the five defined sites.
+func (s Site) Valid() bool { return s >= SiteIPIP && s < NumSites }
+
+// Sites lists all connection sites in the column order of Table I.
+func Sites() [NumSites]Site {
+	return [NumSites]Site{SiteIPIP, SiteIPDP, SiteIPIM, SiteDPDM, SiteDPDP}
+}
+
+// Links is the switch assignment of one class or architecture: one Link per
+// Site, indexed by Site.
+type Links [NumSites]Link
+
+// Switches returns the number of flexibility-scoring switches (kind 'x' or
+// 'vxv') present across all sites.
+func (ls Links) Switches() int {
+	n := 0
+	for _, l := range ls {
+		if l.Switched() {
+			n++
+		}
+	}
+	return n
+}
+
+// At returns the link at site s. It panics if s is not a valid site, which
+// indicates a programming error rather than bad input.
+func (ls Links) At(s Site) Link {
+	if !s.Valid() {
+		panic(fmt.Sprintf("taxonomy: invalid site %d", int(s)))
+	}
+	return ls[s]
+}

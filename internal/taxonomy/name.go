@@ -1,0 +1,241 @@
+package taxonomy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MachineType is the primary branch of the paper's naming hierarchy (Fig 2),
+// determined by the presence or absence of an instruction processor.
+type MachineType int
+
+const (
+	// DataFlow machines have no instruction processor: data elements carry
+	// their instructions and fire on operand arrival.
+	DataFlow MachineType = iota
+	// InstructionFlow machines fetch instructions to decide which data
+	// element is processed next (the Von Neumann family).
+	InstructionFlow
+	// UniversalFlow machines are built from blocks finer than an IP or DP
+	// (gates, LUTs, CLBs) that can implement either paradigm. FPGAs are the
+	// canonical example.
+	UniversalFlow
+)
+
+// String returns the machine-type name used in the paper.
+func (m MachineType) String() string {
+	switch m {
+	case DataFlow:
+		return "Data Flow"
+	case InstructionFlow:
+		return "Instruction Flow"
+	case UniversalFlow:
+		return "Universal Flow"
+	default:
+		return fmt.Sprintf("MachineType(%d)", int(m))
+	}
+}
+
+// Letter returns the initial used in class names: D, I or U.
+func (m MachineType) Letter() string {
+	switch m {
+	case DataFlow:
+		return "D"
+	case InstructionFlow:
+		return "I"
+	case UniversalFlow:
+		return "U"
+	default:
+		return "?"
+	}
+}
+
+// Valid reports whether m is a defined machine type.
+func (m MachineType) Valid() bool { return m >= DataFlow && m <= UniversalFlow }
+
+// ProcessingType is the secondary branch of the naming hierarchy: the degree
+// of parallelism, read from the counts of IPs and DPs.
+type ProcessingType int
+
+const (
+	// UniProcessor machines have a single processor (one DP, and one IP if
+	// instruction-flow).
+	UniProcessor ProcessingType = iota
+	// ArrayProcessor machines have a single IP driving n DPs.
+	ArrayProcessor
+	// MultiProcessor machines have n IPs and n DPs with no IP-IP switch.
+	MultiProcessor
+	// SpatialProcessor machines can connect IPs (or DPs) together to create
+	// a single bigger IP (or DP): the paper's spatial-computing classes,
+	// including the universal-flow USP.
+	SpatialProcessor
+)
+
+// String returns the processing-type name used in the paper.
+func (p ProcessingType) String() string {
+	switch p {
+	case UniProcessor:
+		return "Uni Processor"
+	case ArrayProcessor:
+		return "Array Processor"
+	case MultiProcessor:
+		return "Multi Processor"
+	case SpatialProcessor:
+		return "Spatial Processor"
+	default:
+		return fmt.Sprintf("ProcessingType(%d)", int(p))
+	}
+}
+
+// Letter returns the middle initial used in class names: U, A, M or S.
+func (p ProcessingType) Letter() string {
+	switch p {
+	case UniProcessor:
+		return "U"
+	case ArrayProcessor:
+		return "A"
+	case MultiProcessor:
+		return "M"
+	case SpatialProcessor:
+		return "S"
+	default:
+		return "?"
+	}
+}
+
+// Valid reports whether p is a defined processing type.
+func (p ProcessingType) Valid() bool { return p >= UniProcessor && p <= SpatialProcessor }
+
+// Name is a hierarchical class name: machine type, processing type, and the
+// roman-numeral sub-processing type indexing the switch combination. Sub is
+// zero for classes with a single sub-type (DUP, IUP, USP) and 1-based
+// otherwise (DMP-I..IV, IAP-I..IV, IMP-I..XVI, ISP-I..XVI).
+type Name struct {
+	Machine MachineType
+	Proc    ProcessingType
+	Sub     int
+}
+
+// String renders the class name exactly as the paper prints it, e.g. "DUP",
+// "DMP-III", "IAP-II", "IMP-XVI", "ISP-IV", "USP".
+func (n Name) String() string {
+	base := n.Machine.Letter() + n.Proc.Letter() + "P"
+	if n.Sub == 0 {
+		return base
+	}
+	return base + "-" + Roman(n.Sub)
+}
+
+// ParseName parses a class name in the paper's format back into its parts.
+// It accepts the three-letter prefix plus an optional roman-numeral suffix.
+func ParseName(s string) (Name, error) {
+	var n Name
+	body, sub := s, 0
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		body = s[:i]
+		v, err := ParseRoman(s[i+1:])
+		if err != nil {
+			return Name{}, fmt.Errorf("taxonomy: bad sub-type in class name %q: %w", s, err)
+		}
+		sub = v
+	}
+	if len(body) != 3 || body[2] != 'P' {
+		return Name{}, fmt.Errorf("taxonomy: malformed class name %q", s)
+	}
+	switch body[0] {
+	case 'D':
+		n.Machine = DataFlow
+	case 'I':
+		n.Machine = InstructionFlow
+	case 'U':
+		n.Machine = UniversalFlow
+	default:
+		return Name{}, fmt.Errorf("taxonomy: unknown machine type %q in class name %q", body[:1], s)
+	}
+	switch body[1] {
+	case 'U':
+		n.Proc = UniProcessor
+	case 'A':
+		n.Proc = ArrayProcessor
+	case 'M':
+		n.Proc = MultiProcessor
+	case 'S':
+		n.Proc = SpatialProcessor
+	default:
+		return Name{}, fmt.Errorf("taxonomy: unknown processing type %q in class name %q", body[1:2], s)
+	}
+	n.Sub = sub
+	if err := n.validate(); err != nil {
+		return Name{}, err
+	}
+	return n, nil
+}
+
+// validate checks that the (machine, proc, sub) combination is one the
+// taxonomy defines.
+func (n Name) validate() error {
+	switch {
+	case n.Machine == DataFlow && n.Proc == UniProcessor && n.Sub == 0:
+	case n.Machine == DataFlow && n.Proc == MultiProcessor && n.Sub >= 1 && n.Sub <= 4:
+	case n.Machine == InstructionFlow && n.Proc == UniProcessor && n.Sub == 0:
+	case n.Machine == InstructionFlow && n.Proc == ArrayProcessor && n.Sub >= 1 && n.Sub <= 4:
+	case n.Machine == InstructionFlow && n.Proc == MultiProcessor && n.Sub >= 1 && n.Sub <= 16:
+	case n.Machine == InstructionFlow && n.Proc == SpatialProcessor && n.Sub >= 1 && n.Sub <= 16:
+	case n.Machine == UniversalFlow && n.Proc == SpatialProcessor && n.Sub == 0:
+	default:
+		return fmt.Errorf("taxonomy: %s %s sub-type %d is not a class the taxonomy defines",
+			n.Machine, n.Proc, n.Sub)
+	}
+	return nil
+}
+
+// romanDigits maps values to numerals in descending order for Roman.
+var romanDigits = []struct {
+	value   int
+	numeral string
+}{
+	{1000, "M"}, {900, "CM"}, {500, "D"}, {400, "CD"},
+	{100, "C"}, {90, "XC"}, {50, "L"}, {40, "XL"},
+	{10, "X"}, {9, "IX"}, {5, "V"}, {4, "IV"}, {1, "I"},
+}
+
+// Roman renders a positive integer as a roman numeral, the way the paper
+// numbers sub-processing types (I..XVI). Non-positive input yields "".
+func Roman(v int) string {
+	if v <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, d := range romanDigits {
+		for v >= d.value {
+			b.WriteString(d.numeral)
+			v -= d.value
+		}
+	}
+	return b.String()
+}
+
+// ParseRoman parses a roman numeral produced by Roman. It enforces canonical
+// form by round-tripping, so "IIII" is rejected while "IV" is accepted.
+func ParseRoman(s string) (int, error) {
+	if s == "" {
+		return 0, fmt.Errorf("taxonomy: empty roman numeral")
+	}
+	values := map[byte]int{'I': 1, 'V': 5, 'X': 10, 'L': 50, 'C': 100, 'D': 500, 'M': 1000}
+	total := 0
+	for i := 0; i < len(s); i++ {
+		v, ok := values[s[i]]
+		if !ok {
+			return 0, fmt.Errorf("taxonomy: invalid roman digit %q in %q", s[i], s)
+		}
+		if i+1 < len(s) && values[s[i+1]] > v {
+			total -= v
+		} else {
+			total += v
+		}
+	}
+	if Roman(total) != s {
+		return 0, fmt.Errorf("taxonomy: non-canonical roman numeral %q", s)
+	}
+	return total, nil
+}

@@ -1,0 +1,118 @@
+package taxonomy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoman(t *testing.T) {
+	cases := map[int]string{
+		1: "I", 2: "II", 3: "III", 4: "IV", 5: "V", 6: "VI", 7: "VII",
+		8: "VIII", 9: "IX", 10: "X", 11: "XI", 14: "XIV", 15: "XV",
+		16: "XVI", 40: "XL", 90: "XC", 1987: "MCMLXXXVII", 3999: "MMMCMXCIX",
+	}
+	for v, want := range cases {
+		if got := Roman(v); got != want {
+			t.Errorf("Roman(%d) = %q, want %q", v, got, want)
+		}
+	}
+	if got := Roman(0); got != "" {
+		t.Errorf("Roman(0) = %q, want empty", got)
+	}
+	if got := Roman(-5); got != "" {
+		t.Errorf("Roman(-5) = %q, want empty", got)
+	}
+}
+
+func TestParseRoman_RoundTripProperty(t *testing.T) {
+	f := func(v uint16) bool {
+		n := int(v%3999) + 1
+		got, err := ParseRoman(Roman(n))
+		return err == nil && got == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRoman_Rejects(t *testing.T) {
+	for _, s := range []string{"", "IIII", "VV", "IC", "ABC", "iv", "XVIIII", "IXX"} {
+		if v, err := ParseRoman(s); err == nil {
+			t.Errorf("ParseRoman(%q) = %d, want error", s, v)
+		}
+	}
+}
+
+func TestNameString(t *testing.T) {
+	cases := []struct {
+		n    Name
+		want string
+	}{
+		{Name{Machine: DataFlow, Proc: UniProcessor}, "DUP"},
+		{Name{Machine: DataFlow, Proc: MultiProcessor, Sub: 3}, "DMP-III"},
+		{Name{Machine: InstructionFlow, Proc: UniProcessor}, "IUP"},
+		{Name{Machine: InstructionFlow, Proc: ArrayProcessor, Sub: 2}, "IAP-II"},
+		{Name{Machine: InstructionFlow, Proc: MultiProcessor, Sub: 16}, "IMP-XVI"},
+		{Name{Machine: InstructionFlow, Proc: SpatialProcessor, Sub: 4}, "ISP-IV"},
+		{Name{Machine: UniversalFlow, Proc: SpatialProcessor}, "USP"},
+	}
+	for _, tc := range cases {
+		if got := tc.n.String(); got != tc.want {
+			t.Errorf("Name%v.String() = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestParseName_RoundTripAllClasses(t *testing.T) {
+	for _, c := range Table() {
+		if !c.Implementable {
+			continue
+		}
+		parsed, err := ParseName(c.Name.String())
+		if err != nil {
+			t.Errorf("ParseName(%q): %v", c.Name.String(), err)
+			continue
+		}
+		if parsed != c.Name {
+			t.Errorf("ParseName(%q) = %+v, want %+v", c.Name.String(), parsed, c.Name)
+		}
+	}
+}
+
+func TestParseName_Rejects(t *testing.T) {
+	bad := []string{
+		"", "I", "IM", "IMPX", "IMP-", "IMP-ABC", "XMP-I", "IXP-I",
+		"DUP-I",  // DUP has no sub-types
+		"DAP-I",  // data-flow array processors do not exist in the taxonomy
+		"DSP-I",  // nor data-flow spatial
+		"USP-II", // USP has no sub-types
+		"UUP",    // universal uni-processor is not a class
+		"IMP-XX", // out of range
+		"imp-i",  // case-sensitive
+	}
+	for _, s := range bad {
+		if n, err := ParseName(s); err == nil {
+			t.Errorf("ParseName(%q) = %+v, want error", s, n)
+		}
+	}
+}
+
+func TestMachineTypeAndProcTypeStrings(t *testing.T) {
+	if DataFlow.String() != "Data Flow" || InstructionFlow.String() != "Instruction Flow" ||
+		UniversalFlow.String() != "Universal Flow" {
+		t.Error("machine type names do not match the paper")
+	}
+	if UniProcessor.String() != "Uni Processor" || ArrayProcessor.String() != "Array Processor" ||
+		MultiProcessor.String() != "Multi Processor" || SpatialProcessor.String() != "Spatial Processor" {
+		t.Error("processing type names do not match the paper")
+	}
+	if MachineType(9).Letter() != "?" || ProcessingType(9).Letter() != "?" {
+		t.Error("out-of-range letters should be ?")
+	}
+	if !DataFlow.Valid() || !UniversalFlow.Valid() || MachineType(9).Valid() {
+		t.Error("MachineType.Valid is wrong")
+	}
+	if !UniProcessor.Valid() || !SpatialProcessor.Valid() || ProcessingType(9).Valid() {
+		t.Error("ProcessingType.Valid is wrong")
+	}
+}

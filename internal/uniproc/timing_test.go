@@ -1,0 +1,114 @@
+package uniproc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+func TestTiming_MemLatency(t *testing.T) {
+	prog := isa.MustAssemble(`
+        ld r1, [r0+0]
+        ld r2, [r0+1]
+        halt
+`)
+	base, err := New(Config{MemWords: 8}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseStats, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := New(Config{MemWords: 8, MemLatency: 10}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowStats, err := slow.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 loads: default pays 2 extra cycles, slow pays 20.
+	if want := baseStats.Cycles + 2*(10-1); slowStats.Cycles != want {
+		t.Errorf("slow memory run = %d cycles, want %d", slowStats.Cycles, want)
+	}
+}
+
+func TestTiming_BranchPenalty(t *testing.T) {
+	// 10 taken back-branches.
+	prog := isa.MustAssemble(`
+        ldi  r1, 10
+        ldi  r2, 0
+loop:   addi r1, r1, -1
+        bne  r1, r2, loop
+        halt
+`)
+	base, err := New(Config{MemWords: 8}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseStats, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := New(Config{MemWords: 8, BranchPenalty: 3}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipedStats, err := piped.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bne is taken 9 times (falls through on the last iteration).
+	if want := baseStats.Cycles + 9*3; pipedStats.Cycles != want {
+		t.Errorf("penalized run = %d cycles, want %d", pipedStats.Cycles, want)
+	}
+	if pipedStats.Instructions != baseStats.Instructions {
+		t.Error("timing knobs changed the instruction count")
+	}
+}
+
+func TestTrace_CapturesExecution(t *testing.T) {
+	prog := isa.MustAssemble(`
+        ldi r1, 7
+        addi r1, r1, 1
+        halt
+`)
+	var pcs []int
+	var mnemonics []string
+	var lastR1 isa.Word
+	cfg := Config{MemWords: 8, Trace: func(pc int, ins isa.Instruction, regs machine.Regs) {
+		pcs = append(pcs, pc)
+		mnemonics = append(mnemonics, ins.Op.String())
+		lastR1 = regs[1]
+	}}
+	m, err := New(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(pcs) != 3 || pcs[0] != 0 || pcs[2] != 2 {
+		t.Errorf("traced pcs %v", pcs)
+	}
+	if strings.Join(mnemonics, ",") != "ldi,addi,halt" {
+		t.Errorf("traced ops %v", mnemonics)
+	}
+	// The trace fires before execution: at halt, r1 already holds 8.
+	if lastR1 != 8 {
+		t.Errorf("r1 at halt trace = %d, want 8", lastR1)
+	}
+}
+
+func TestTiming_RejectsNegative(t *testing.T) {
+	prog := isa.Program{{Op: isa.OpHalt}}
+	if _, err := New(Config{MemWords: 8, MemLatency: -1}, prog); err == nil {
+		t.Error("negative memory latency accepted")
+	}
+	if _, err := New(Config{MemWords: 8, BranchPenalty: -2}, prog); err == nil {
+		t.Error("negative branch penalty accepted")
+	}
+}

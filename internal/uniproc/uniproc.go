@@ -1,0 +1,151 @@
+// Package uniproc simulates the taxonomy's instruction-flow uni-processor
+// (class IUP, Table I row 6): one instruction processor fetching from its
+// own instruction memory, driving one data processor with one data memory,
+// all through direct '-' switches. This is the Von Neumann baseline every
+// flexibility argument in the paper is anchored to (flexibility 0: the
+// organisation cannot be changed, although any algorithm can be expressed
+// given enough instruction storage).
+package uniproc
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// Config sizes the machine and its timing model.
+type Config struct {
+	// MemWords is the data-memory size in words.
+	MemWords int
+	// MaxCycles bounds the run; 0 means machine.DefaultMaxCycles.
+	MaxCycles int64
+	// MemLatency is the extra cycles a load/store spends traversing the
+	// DP-DM switch; 0 means the default single cycle.
+	MemLatency int64
+	// BranchPenalty is the extra cycles a taken branch costs (a simple
+	// pipeline-refill model); 0 means taken branches are free beyond their
+	// issue cycle.
+	BranchPenalty int64
+	// Trace, when non-nil, is called before each instruction executes with
+	// the program counter, the instruction and a snapshot of the register
+	// file. Use it for debugging guest programs; it does not affect timing.
+	Trace func(pc int, ins isa.Instruction, regs machine.Regs)
+}
+
+// DefaultConfig returns a 64 KiW data memory and the default cycle budget.
+func DefaultConfig() Config {
+	return Config{MemWords: 1 << 16}
+}
+
+// Machine is one instruction-flow uni-processor instance.
+type Machine struct {
+	cfg  Config
+	prog isa.Program
+	mem  machine.Memory
+}
+
+// New builds a uni-processor loaded with the given program.
+func New(cfg Config, prog isa.Program) (*Machine, error) {
+	if cfg.MemWords <= 0 {
+		return nil, fmt.Errorf("uniproc: data memory must have at least one word, got %d", cfg.MemWords)
+	}
+	if cfg.MemLatency < 0 || cfg.BranchPenalty < 0 {
+		return nil, fmt.Errorf("uniproc: negative timing parameters")
+	}
+	if len(prog) == 0 {
+		return nil, fmt.Errorf("uniproc: empty program")
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("uniproc: %w", err)
+	}
+	mem, err := machine.NewMemory(cfg.MemWords)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{cfg: cfg, prog: prog, mem: mem}, nil
+}
+
+// Memory exposes the data memory for loading inputs and reading results.
+func (m *Machine) Memory() machine.Memory { return m.mem }
+
+// Program returns the loaded program.
+func (m *Machine) Program() isa.Program { return m.prog }
+
+// Run executes the program to HALT (or until it falls off the end) and
+// returns the run statistics. Memory operations cost one extra cycle for
+// the DP-DM traversal, matching the one-cycle direct-switch model of
+// internal/interconnect.
+func (m *Machine) Run() (machine.Stats, error) {
+	var stats machine.Stats
+	budget := m.cfg.MaxCycles
+	if budget <= 0 {
+		budget = machine.DefaultMaxCycles
+	}
+
+	var regs machine.Regs
+	env := machine.Env{
+		Lane:  0,
+		Load:  m.mem.Load,
+		Store: m.mem.Store,
+	}
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(m.prog) {
+			return stats, nil // fell off the program: implicit halt
+		}
+		if stats.Cycles >= budget {
+			return stats, fmt.Errorf("uniproc: %w after %d cycles", machine.ErrDeadline, stats.Cycles)
+		}
+		ins := m.prog[pc]
+		if m.cfg.Trace != nil {
+			m.cfg.Trace(pc, ins, regs)
+		}
+		out, err := machine.Step(&regs, pc, ins, env)
+		if err != nil {
+			return stats, fmt.Errorf("uniproc: pc %d: %w", pc, err)
+		}
+		stats.Cycles++
+		stats.Instructions++
+		if machine.IsALU(ins.Op) {
+			stats.ALUOps++
+		}
+		if out.Mem {
+			memLat := m.cfg.MemLatency
+			if memLat == 0 {
+				memLat = 1 // default DP-DM direct-switch traversal
+			}
+			stats.Cycles += memLat
+			if ins.Op == isa.OpLd {
+				stats.MemReads++
+			} else {
+				stats.MemWrites++
+			}
+		}
+		if ins.Op.IsBranch() && out.NextPC != pc+1 {
+			stats.Cycles += m.cfg.BranchPenalty
+		}
+		pc = out.NextPC
+		if out.Halted {
+			return stats, nil
+		}
+	}
+}
+
+// RunWithInput copies input into data memory at base 0, runs, and reads
+// back n output words from outBase: the convenience entry the workload
+// kernels use.
+func (m *Machine) RunWithInput(input []isa.Word, outBase, n int) ([]isa.Word, machine.Stats, error) {
+	if err := m.mem.CopyIn(0, input); err != nil {
+		return nil, machine.Stats{}, fmt.Errorf("uniproc: %w", err)
+	}
+	stats, err := m.Run()
+	if err != nil {
+		return nil, stats, err
+	}
+	out, err := m.mem.CopyOut(outBase, n)
+	if err != nil {
+		return nil, stats, fmt.Errorf("uniproc: %w", err)
+	}
+	return out, stats, nil
+}

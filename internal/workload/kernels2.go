@@ -1,0 +1,422 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mimd"
+	"repro/internal/simd"
+	"repro/internal/uniproc"
+)
+
+// RefStencil3Periodic is the reference periodic 3-point stencil.
+func RefStencil3Periodic(a []isa.Word) []isa.Word {
+	n := len(a)
+	out := make([]isa.Word, n)
+	for i := range a {
+		out[i] = a[(i-1+n)%n] + a[i] + a[(i+1)%n]
+	}
+	return out
+}
+
+// RefScan is the reference inclusive prefix sum.
+func RefScan(a []isa.Word) []isa.Word {
+	out := make([]isa.Word, len(a))
+	var run isa.Word
+	for i, v := range a {
+		run += v
+		out[i] = run
+	}
+	return out
+}
+
+// RefMatMul is the reference C = A (rows x k) x B (k x n), row-major.
+func RefMatMul(a, b []isa.Word, rows, k, n int) ([]isa.Word, error) {
+	if len(a) != rows*k || len(b) != k*n {
+		return nil, fmt.Errorf("workload: matmul operands %dx%d and %dx%d sized %d and %d",
+			rows, k, k, n, len(a), len(b))
+	}
+	c := make([]isa.Word, rows*n)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < n; j++ {
+			var acc isa.Word
+			for t := 0; t < k; t++ {
+				acc += a[i*k+t] * b[t*n+j]
+			}
+			c[i*n+j] = acc
+		}
+	}
+	return c, nil
+}
+
+// RefFIR is the reference y[i] = sum_t h[t] * x[i+t] for i in [0, len(x) -
+// len(h) + 1).
+func RefFIR(x, h []isa.Word) ([]isa.Word, error) {
+	if len(h) == 0 || len(x) < len(h) {
+		return nil, fmt.Errorf("workload: FIR needs len(x) >= len(h) >= 1, got %d and %d", len(x), len(h))
+	}
+	out := make([]isa.Word, len(x)-len(h)+1)
+	for i := range out {
+		var acc isa.Word
+		for t := range h {
+			acc += h[t] * x[i+t]
+		}
+		out[i] = acc
+	}
+	return out, nil
+}
+
+// Stencil3SIMD runs the periodic 3-point stencil on an IAP with halo
+// exchange over the lane network: it needs a DP-DP switch (sub-types II and
+// IV) and >= 3 lanes.
+func Stencil3SIMD(sub, lanes int, a []isa.Word) (Result, error) {
+	want := RefStencil3Periodic(a)
+	n := len(a)
+	if lanes < 3 || n%lanes != 0 {
+		return Result{}, fmt.Errorf("workload: %d elements do not shard over %d lanes (need >= 3 lanes)", n, lanes)
+	}
+	if sub == 3 || sub == 4 {
+		return Result{}, fmt.Errorf("workload: the stencil runner uses local addressing; use sub-type II for the lane network")
+	}
+	m := n / lanes
+	prog, err := stencilProgram(m, lanes)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg, err := simd.ForSubtype(sub, lanes, 2*m+16)
+	if err != nil {
+		return Result{}, err
+	}
+	mach, err := simd.New(cfg, prog)
+	if err != nil {
+		return Result{}, err
+	}
+	for lane := 0; lane < lanes; lane++ {
+		if err := mach.LoadLane(lane, 0, a[lane*m:(lane+1)*m]); err != nil {
+			return Result{}, err
+		}
+	}
+	stats, err := mach.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	out := make([]isa.Word, 0, n)
+	for lane := 0; lane < lanes; lane++ {
+		part, err := mach.ReadLane(lane, m, m)
+		if err != nil {
+			return Result{}, err
+		}
+		out = append(out, part...)
+	}
+	if err := checkEqual(out, want); err != nil {
+		return Result{}, err
+	}
+	return Result{Output: out, Stats: stats}, nil
+}
+
+// Stencil3MIMD runs the same halo-exchange stencil SPMD on an IMP with a
+// DP-DP switch (even sub-types) and >= 3 cores.
+func Stencil3MIMD(sub, cores int, a []isa.Word) (Result, error) {
+	want := RefStencil3Periodic(a)
+	n := len(a)
+	if cores < 3 || n%cores != 0 {
+		return Result{}, fmt.Errorf("workload: %d elements do not shard over %d cores (need >= 3 cores)", n, cores)
+	}
+	if (sub-1)&2 != 0 {
+		return Result{}, fmt.Errorf("workload: the stencil runner uses local addressing; pick a direct DP-DM sub-type (II, VI, X, XIV)")
+	}
+	m := n / cores
+	prog, err := stencilProgram(m, cores)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg, err := mimd.ForSubtype(sub, cores, 2*m+16)
+	if err != nil {
+		return Result{}, err
+	}
+	mach, err := newSPMD(cfg, sub, cores, prog)
+	if err != nil {
+		return Result{}, err
+	}
+	for core := 0; core < cores; core++ {
+		if err := mach.LoadBank(core, 0, a[core*m:(core+1)*m]); err != nil {
+			return Result{}, err
+		}
+	}
+	stats, err := mach.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	out := make([]isa.Word, 0, n)
+	for core := 0; core < cores; core++ {
+		part, err := mach.ReadBank(core, m, m)
+		if err != nil {
+			return Result{}, err
+		}
+		out = append(out, part...)
+	}
+	if err := checkEqual(out, want); err != nil {
+		return Result{}, err
+	}
+	return Result{Output: out, Stats: stats}, nil
+}
+
+// ScanMIMD runs the distributed inclusive prefix sum on an IMP with a
+// DP-DP switch. The coordinator/worker role split requires per-core control
+// flow; there is deliberately no ScanSIMD — see probeIAPCannotActAsIMP.
+func ScanMIMD(sub, cores int, a []isa.Word) (Result, error) {
+	want := RefScan(a)
+	n := len(a)
+	if cores < 2 || n%cores != 0 {
+		return Result{}, fmt.Errorf("workload: %d elements do not shard over %d cores", n, cores)
+	}
+	if (sub-1)&2 != 0 {
+		return Result{}, fmt.Errorf("workload: the scan runner uses local addressing; pick a direct DP-DM sub-type (II, VI, X, XIV)")
+	}
+	m := n / cores
+	prog, err := scanProgram(m, cores)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg, err := mimd.ForSubtype(sub, cores, 2*m+16)
+	if err != nil {
+		return Result{}, err
+	}
+	mach, err := newSPMD(cfg, sub, cores, prog)
+	if err != nil {
+		return Result{}, err
+	}
+	for core := 0; core < cores; core++ {
+		if err := mach.LoadBank(core, 0, a[core*m:(core+1)*m]); err != nil {
+			return Result{}, err
+		}
+	}
+	stats, err := mach.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	out := make([]isa.Word, 0, n)
+	for core := 0; core < cores; core++ {
+		part, err := mach.ReadBank(core, m, m)
+		if err != nil {
+			return Result{}, err
+		}
+		out = append(out, part...)
+	}
+	if err := checkEqual(out, want); err != nil {
+		return Result{}, err
+	}
+	return Result{Output: out, Stats: stats}, nil
+}
+
+// MatMulMIMDReplicated runs C = A x B on an IMP of any sub-type by
+// replicating B into every core's bank: rows of A are sharded, B is copied
+// per core. This is how a machine *without* shared memory gets matmul.
+func MatMulMIMDReplicated(sub, cores int, a, b []isa.Word, rows, k, n int) (Result, error) {
+	want, err := RefMatMul(a, b, rows, k, n)
+	if err != nil {
+		return Result{}, err
+	}
+	if cores < 2 || rows%cores != 0 {
+		return Result{}, fmt.Errorf("workload: %d rows do not shard over %d cores", rows, cores)
+	}
+	mr := rows / cores
+	prog, err := matmulProgram(mr, k, n)
+	if err != nil {
+		return Result{}, err
+	}
+	bankWords := mr*k + k*n + mr*n + 16
+	cfg, err := mimd.ForSubtype(sub, cores, bankWords)
+	if err != nil {
+		return Result{}, err
+	}
+	// Replicated-B addressing is local: only direct-DP-DM sub-types keep
+	// local addressing in this simulator, so require one.
+	if (sub-1)&2 != 0 {
+		return Result{}, fmt.Errorf("workload: replicated matmul uses local addressing; use MatMulMIMDShared on DP-DM crossbar sub-types")
+	}
+	mach, err := newSPMD(cfg, sub, cores, prog)
+	if err != nil {
+		return Result{}, err
+	}
+	for core := 0; core < cores; core++ {
+		if err := mach.LoadBank(core, 0, a[core*mr*k:(core+1)*mr*k]); err != nil {
+			return Result{}, err
+		}
+		if err := mach.LoadBank(core, mr*k, b); err != nil {
+			return Result{}, err
+		}
+	}
+	stats, err := mach.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	out := make([]isa.Word, 0, rows*n)
+	for core := 0; core < cores; core++ {
+		part, err := mach.ReadBank(core, mr*k+k*n, mr*n)
+		if err != nil {
+			return Result{}, err
+		}
+		out = append(out, part...)
+	}
+	if err := checkEqual(out, want); err != nil {
+		return Result{}, err
+	}
+	return Result{Output: out, Stats: stats}, nil
+}
+
+// MatMulMIMDShared runs C = A x B on an IMP with the DP-DM crossbar
+// (sub-types III, IV, VII, VIII, ...): B lives once in core 0's bank and
+// every core reads it through the memory crossbar. Compare its
+// NetConflictCycles with MatMulMIMDReplicated's zero — the storage/traffic
+// trade the two organisations make.
+func MatMulMIMDShared(sub, cores int, a, b []isa.Word, rows, k, n int) (Result, error) {
+	want, err := RefMatMul(a, b, rows, k, n)
+	if err != nil {
+		return Result{}, err
+	}
+	if cores < 2 || rows%cores != 0 {
+		return Result{}, fmt.Errorf("workload: %d rows do not shard over %d cores", rows, cores)
+	}
+	if (sub-1)&2 == 0 {
+		return Result{}, fmt.Errorf("workload: shared-B matmul needs the DP-DM crossbar (sub-types III/IV/...)")
+	}
+	mr := rows / cores
+	// Bank layout: A rows + C rows locally; B appended to core 0's bank.
+	bankWords := mr*k + mr*n + k*n + 16
+	bGlobal := mr*k + mr*n // B's offset inside core 0's bank == its global address in bank 0
+	prog, err := matmulSharedProgram(mr, k, n, bankWords, bGlobal)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg, err := mimd.ForSubtype(sub, cores, bankWords)
+	if err != nil {
+		return Result{}, err
+	}
+	mach, err := newSPMD(cfg, sub, cores, prog)
+	if err != nil {
+		return Result{}, err
+	}
+	for core := 0; core < cores; core++ {
+		if err := mach.LoadBank(core, 0, a[core*mr*k:(core+1)*mr*k]); err != nil {
+			return Result{}, err
+		}
+	}
+	if err := mach.LoadBank(0, bGlobal, b); err != nil {
+		return Result{}, err
+	}
+	stats, err := mach.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	out := make([]isa.Word, 0, rows*n)
+	for core := 0; core < cores; core++ {
+		part, err := mach.ReadBank(core, mr*k, mr*n)
+		if err != nil {
+			return Result{}, err
+		}
+		out = append(out, part...)
+	}
+	if err := checkEqual(out, want); err != nil {
+		return Result{}, err
+	}
+	return Result{Output: out, Stats: stats}, nil
+}
+
+// FIRUni runs the FIR filter on the uni-processor. x includes len(h)-1
+// trailing ghost samples relative to the output length.
+func FIRUni(x, h []isa.Word) (Result, error) {
+	want, err := RefFIR(x, h)
+	if err != nil {
+		return Result{}, err
+	}
+	m := len(want)
+	prog, err := firProgram(m, len(h))
+	if err != nil {
+		return Result{}, err
+	}
+	mach, err := uniproc.New(uniproc.Config{MemWords: len(x) + len(h) + m + 16}, prog)
+	if err != nil {
+		return Result{}, err
+	}
+	input := append(append([]isa.Word{}, x...), h...)
+	out, stats, err := mach.RunWithInput(input, len(x)+len(h), m)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := checkEqual(out, want); err != nil {
+		return Result{}, err
+	}
+	return Result{Output: out, Stats: stats}, nil
+}
+
+// FIRSIMD runs the FIR filter on an IAP of any sub-type using overlapped
+// sharding: every lane's chunk is preloaded with len(h)-1 ghost samples
+// from the next chunk, so no communication is needed and even IAP-I (no
+// DP-DP switch) runs it — the overlap is the software workaround for the
+// missing switch, bought with duplicated input words.
+func FIRSIMD(sub, lanes int, x, h []isa.Word) (Result, error) {
+	want, err := RefFIR(x, h)
+	if err != nil {
+		return Result{}, err
+	}
+	outLen := len(want)
+	if lanes < 2 || outLen%lanes != 0 {
+		return Result{}, fmt.Errorf("workload: %d outputs do not shard over %d lanes", outLen, lanes)
+	}
+	if sub != 1 && sub != 2 {
+		return Result{}, fmt.Errorf("workload: FIR runner uses local addressing (sub-types I and II), got %d", sub)
+	}
+	m := outLen / lanes
+	taps := len(h)
+	prog, err := firProgram(m, taps)
+	if err != nil {
+		return Result{}, err
+	}
+	bankWords := (m + taps - 1) + taps + m + 16
+	cfg, err := simd.ForSubtype(sub, lanes, bankWords)
+	if err != nil {
+		return Result{}, err
+	}
+	mach, err := simd.New(cfg, prog)
+	if err != nil {
+		return Result{}, err
+	}
+	for lane := 0; lane < lanes; lane++ {
+		chunk := x[lane*m : lane*m+m+taps-1] // includes the ghost overlap
+		payload := append(append([]isa.Word{}, chunk...), h...)
+		if err := mach.LoadLane(lane, 0, payload); err != nil {
+			return Result{}, err
+		}
+	}
+	stats, err := mach.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	out := make([]isa.Word, 0, outLen)
+	for lane := 0; lane < lanes; lane++ {
+		part, err := mach.ReadLane(lane, m+2*taps-1, m)
+		if err != nil {
+			return Result{}, err
+		}
+		out = append(out, part...)
+	}
+	if err := checkEqual(out, want); err != nil {
+		return Result{}, err
+	}
+	return Result{Output: out, Stats: stats}, nil
+}
+
+// newSPMD builds an IMP machine running one program on every core,
+// regardless of whether the sub-type shares images (IP-IM crossbar) or
+// needs per-core copies (IP-IM direct).
+func newSPMD(cfg mimd.Config, sub, cores int, prog isa.Program) (*mimd.Machine, error) {
+	images := []isa.Program{prog}
+	if (sub-1)&4 == 0 {
+		images = make([]isa.Program, cores)
+		for i := range images {
+			images[i] = prog
+		}
+	}
+	return mimd.New(cfg, images)
+}

@@ -1,0 +1,74 @@
+// Package workload expresses a small suite of kernels on every machine
+// class of the taxonomy — uni-processor (IUP), array processor (IAP),
+// multi-processor (IMP), data-flow machine (DMP) and the universal fabric
+// (USP) — and provides the "morph probes" that turn the paper's §III.B
+// flexibility arguments into executable checks: which classes can run which
+// kernels, which emulations succeed, and which fail for exactly the reason
+// the taxonomy predicts (no DP-DP switch, single instruction stream, local
+// addressing only).
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// Result is a kernel run's outcome on one machine class.
+type Result struct {
+	// Output is the kernel's result vector (or a single element for
+	// reductions).
+	Output []isa.Word
+	// Stats is the machine's run statistics.
+	Stats machine.Stats
+}
+
+// RefVecAdd is the reference c[i] = a[i] + b[i].
+func RefVecAdd(a, b []isa.Word) ([]isa.Word, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("workload: vector lengths differ (%d vs %d)", len(a), len(b))
+	}
+	c := make([]isa.Word, len(a))
+	for i := range a {
+		c[i] = a[i] + b[i]
+	}
+	return c, nil
+}
+
+// RefDot is the reference sum of a[i] * b[i].
+func RefDot(a, b []isa.Word) (isa.Word, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("workload: vector lengths differ (%d vs %d)", len(a), len(b))
+	}
+	var s isa.Word
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s, nil
+}
+
+// RefSum is the reference sum of a.
+func RefSum(a []isa.Word) isa.Word {
+	var s isa.Word
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// checkEqual compares a machine output with the reference.
+func checkEqual(got, want []isa.Word) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("workload: output length %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("workload: output[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// isPow2 reports whether v is a positive power of two.
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }

@@ -1,0 +1,246 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestRefHelpers(t *testing.T) {
+	c, err := RefVecAdd([]isa.Word{1, 2}, []isa.Word{10, 20})
+	if err != nil || c[0] != 11 || c[1] != 22 {
+		t.Errorf("RefVecAdd = (%v, %v)", c, err)
+	}
+	if _, err := RefVecAdd([]isa.Word{1}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	d, err := RefDot([]isa.Word{1, 2, 3}, []isa.Word{4, 5, 6})
+	if err != nil || d != 32 {
+		t.Errorf("RefDot = (%d, %v)", d, err)
+	}
+	if _, err := RefDot([]isa.Word{1}, nil); err == nil {
+		t.Error("dot length mismatch accepted")
+	}
+	if RefSum([]isa.Word{5, -2, 7}) != 10 {
+		t.Error("RefSum wrong")
+	}
+}
+
+func TestVecAddUni(t *testing.T) {
+	res, err := VecAddUni(seq(32, 0), seq(32, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 32 || res.Output[5] != 110 {
+		t.Errorf("output = %v", res.Output[:8])
+	}
+	if res.Stats.Instructions == 0 || res.Stats.Cycles == 0 {
+		t.Error("no stats recorded")
+	}
+}
+
+func TestVecAddSIMD_AllSubtypes(t *testing.T) {
+	for sub := 1; sub <= 4; sub++ {
+		res, err := VecAddSIMD(sub, 8, seq(64, 1), seq(64, 7))
+		if err != nil {
+			t.Errorf("sub %d: %v", sub, err)
+			continue
+		}
+		if res.Output[63] != (1+63)+(7+63) {
+			t.Errorf("sub %d: tail = %d, want 134", sub, res.Output[63])
+		}
+	}
+	if _, err := VecAddSIMD(1, 7, seq(64, 1), seq(64, 7)); err == nil {
+		t.Error("non-dividing shard accepted")
+	}
+	if _, err := VecAddSIMD(9, 8, seq(64, 1), seq(64, 7)); err == nil {
+		t.Error("bad sub-type accepted")
+	}
+}
+
+func TestVecAddMIMD_SubtypesAndSharing(t *testing.T) {
+	// Sub-type 1 uses private images, sub-type 5 shares one image.
+	for _, sub := range []int{1, 5} {
+		res, err := VecAddMIMD(sub, 4, seq(32, 1), seq(32, 2))
+		if err != nil {
+			t.Errorf("sub %d: %v", sub, err)
+			continue
+		}
+		if res.Output[0] != 3 {
+			t.Errorf("sub %d: head = %d", sub, res.Output[0])
+		}
+	}
+	if _, err := VecAddMIMD(1, 5, seq(32, 1), seq(32, 2)); err == nil {
+		t.Error("non-dividing shard accepted")
+	}
+}
+
+func TestVecAddMIMD_AllSixteenSubtypes(t *testing.T) {
+	// Every IMP sub-type runs the kernel: the runner picks local or global
+	// addressing and private or shared images per the sub-type bits.
+	a, b := seq(32, 1), seq(32, 9)
+	want, _ := RefVecAdd(a, b)
+	for sub := 1; sub <= 16; sub++ {
+		res, err := VecAddMIMD(sub, 4, a, b)
+		if err != nil {
+			t.Errorf("IMP-%d: %v", sub, err)
+			continue
+		}
+		if !equalWords(res.Output, want) {
+			t.Errorf("IMP-%d produced wrong output", sub)
+		}
+	}
+}
+
+func TestDotAcrossClasses(t *testing.T) {
+	a, b := seq(64, 1), seq(64, 3)
+	want, _ := RefDot(a, b)
+	uni, err := DotUni(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uni.Output[0] != want {
+		t.Errorf("uni dot = %d, want %d", uni.Output[0], want)
+	}
+	sres, err := DotSIMD(2, 8, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Output[0] != want {
+		t.Errorf("SIMD dot = %d", sres.Output[0])
+	}
+	mres, err := DotMIMD(2, 8, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.Output[0] != want {
+		t.Errorf("MIMD dot = %d", mres.Output[0])
+	}
+}
+
+func TestDot_RequiresDPDP(t *testing.T) {
+	a, b := seq(16, 1), seq(16, 1)
+	if _, err := DotSIMD(1, 4, a, b); err == nil || !strings.Contains(err.Error(), "DP-DP") {
+		t.Errorf("dot on IAP-I: %v", err)
+	}
+	if _, err := DotSIMD(3, 4, a, b); err == nil {
+		t.Error("dot on IAP-III accepted (no DP-DP switch)")
+	}
+}
+
+func TestDot_RequiresPow2(t *testing.T) {
+	a, b := seq(12, 1), seq(12, 1)
+	if _, err := DotSIMD(2, 6, a, b); err == nil {
+		t.Error("butterfly on 6 lanes accepted")
+	}
+}
+
+func TestVecAddDataflow_AllSubtypes(t *testing.T) {
+	for sub := 1; sub <= 4; sub++ {
+		res, err := VecAddDataflow(sub, 4, seq(16, 5), seq(16, 9))
+		if err != nil {
+			t.Errorf("sub %d: %v", sub, err)
+			continue
+		}
+		if res.Output[15] != 5+15+9+15 {
+			t.Errorf("sub %d: tail = %d", sub, res.Output[15])
+		}
+	}
+	// Single PE is the data-flow uni-processor.
+	if _, err := VecAddDataflow(1, 1, seq(8, 1), seq(8, 1)); err != nil {
+		t.Errorf("DUP vecadd: %v", err)
+	}
+	if _, err := VecAddDataflow(1, 3, seq(16, 1), seq(16, 1)); err == nil {
+		t.Error("non-dividing shard accepted")
+	}
+}
+
+func TestVecAddFabric(t *testing.T) {
+	res, err := VecAddFabric(8, seq(16, 1), seq(16, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[15] != 16+25 {
+		t.Errorf("tail = %d", res.Output[15])
+	}
+	if _, err := VecAddFabric(4, []isa.Word{100}, []isa.Word{1}); err == nil {
+		t.Error("overflowing operand accepted")
+	}
+}
+
+func TestConsistencyAcrossClasses_Property(t *testing.T) {
+	// The same vector add gives identical results on every machine class.
+	f := func(seed uint8) bool {
+		a := make([]isa.Word, 16)
+		b := make([]isa.Word, 16)
+		for i := range a {
+			a[i] = isa.Word((int(seed) + i*7) % 100)
+			b[i] = isa.Word((int(seed)*3 + i*11) % 100)
+		}
+		uni, err := VecAddUni(a, b)
+		if err != nil {
+			return false
+		}
+		sim, err := VecAddSIMD(2, 4, a, b)
+		if err != nil {
+			return false
+		}
+		mim, err := VecAddMIMD(2, 4, a, b)
+		if err != nil {
+			return false
+		}
+		df, err := VecAddDataflow(2, 4, a, b)
+		if err != nil {
+			return false
+		}
+		fb, err := VecAddFabric(8, a, b)
+		if err != nil {
+			return false
+		}
+		return equalWords(uni.Output, sim.Output) &&
+			equalWords(uni.Output, mim.Output) &&
+			equalWords(uni.Output, df.Output) &&
+			equalWords(uni.Output, fb.Output)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunProbes_AllClaimsHold(t *testing.T) {
+	probes, err := RunProbes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probes) != 10 {
+		t.Fatalf("got %d probes, want 10", len(probes))
+	}
+	for _, p := range probes {
+		if !p.Holds {
+			t.Errorf("claim failed: %s\n  %s", p.Claim, p.Detail)
+		}
+		if p.Detail == "" {
+			t.Errorf("probe %q has no detail", p.Claim)
+		}
+	}
+}
+
+func TestParallelismPaysOff(t *testing.T) {
+	// More lanes reduce cycle counts for the same problem: the reason the
+	// flexibility to morph into an array machine matters at all.
+	a, b := seq(256, 1), seq(256, 2)
+	lanes2, err := VecAddSIMD(1, 2, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes16, err := VecAddSIMD(1, 16, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lanes16.Stats.Cycles >= lanes2.Stats.Cycles {
+		t.Errorf("16 lanes (%d cycles) not faster than 2 lanes (%d cycles)",
+			lanes16.Stats.Cycles, lanes2.Stats.Cycles)
+	}
+}
