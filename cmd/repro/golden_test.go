@@ -18,7 +18,7 @@ var update = flag.Bool("update", false, "rewrite golden artefact files")
 // intentional improvement (rerun with -update and review the diff) or a
 // regression in the reproduction.
 func TestGoldenArtefacts(t *testing.T) {
-	for _, a := range artefacts(48) {
+	for _, a := range artefacts(48, "") {
 		body, err := a.render()
 		if err != nil {
 			t.Fatalf("%s: %v", a.id, err)

@@ -5,8 +5,10 @@
 //
 // Usage:
 //
-//	repro            # everything to stdout
-//	repro -out dir   # one file per artefact under dir
+//	repro              # everything to stdout
+//	repro -out dir     # one file per artefact under dir
+//	repro -traces dir  # additionally write Chrome trace-event JSON files
+//	                   # (Perfetto-loadable) per simulated experiment
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 
 	"repro/internal/bibliometrics"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
@@ -25,12 +28,27 @@ import (
 func main() {
 	out := flag.String("out", "", "directory to write one file per artefact (default: stdout)")
 	width := flag.Int("width", 48, "chart width")
+	traces := flag.String("traces", "", "directory to write Chrome trace-event JSON per simulated experiment (F3-F6 class runs and P1 probes)")
 	flag.Parse()
 
-	if err := run(*out, *width); err != nil {
+	if err := run(*out, *width, *traces); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
+}
+
+// writeTrace dumps one experiment's recorded events as a Chrome trace file
+// under dir, named for the experiment id.
+func writeTrace(dir, name, process string, tr *obs.Trace) error {
+	if tr.Len() == 0 {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tr.WriteChrome(f, obs.ChromeOptions{Process: process})
 }
 
 // artefact is one regenerated table or figure.
@@ -39,7 +57,7 @@ type artefact struct {
 	render          func() (string, error)
 }
 
-func artefacts(width int) []artefact {
+func artefacts(width int, tracesDir string) []artefact {
 	return []artefact{
 		{"T1", "Table I: extended taxonomy classes", "table1.txt",
 			func() (string, error) { return report.TableI(), nil }},
@@ -64,7 +82,7 @@ func artefacts(width int) []artefact {
 		{"F2", "Fig 2: hierarchy of computing machines", "fig2.txt",
 			func() (string, error) { return report.Fig2Tree(), nil }},
 		{"F3-F6", "Machine-class simulators: one kernel across every class", "classes.txt",
-			renderClassRuns},
+			func() (string, error) { return renderClassRuns(tracesDir) }},
 		{"F7", "Fig 7: flexibility comparison of surveyed architectures", "fig7.txt",
 			func() (string, error) { return report.Fig7Chart(width) }},
 		{"E1/E2", "Eq 1 and Eq 2: area and configuration bits per class (n=16)", "cost.txt",
@@ -77,9 +95,20 @@ func artefacts(width int) []artefact {
 			report.FlynnCollapseTable},
 		{"P1", "Morph probes: the executable flexibility claims of paragraph III.B", "probes.txt",
 			func() (string, error) {
-				probes, err := workload.RunProbes()
+				var opts []workload.Option
+				var tr *obs.Trace
+				if tracesDir != "" {
+					tr = obs.NewTrace()
+					opts = append(opts, workload.WithTracer(tr))
+				}
+				probes, err := workload.RunProbes(opts...)
 				if err != nil {
 					return "", err
+				}
+				if tr != nil {
+					if err := writeTrace(tracesDir, "P1-probes.json", "P1 morph probes", tr); err != nil {
+						return "", err
+					}
 				}
 				var b strings.Builder
 				for _, p := range probes {
@@ -97,8 +126,9 @@ func artefacts(width int) []artefact {
 // renderClassRuns regenerates the F3-F6 companion table: the same
 // vector-add kernel executed on a representative of every machine family
 // the figures illustrate, with the cycle-level statistics that make the
-// structural diagrams operational.
-func renderClassRuns() (string, error) {
+// structural diagrams operational. With tracesDir set, each run also
+// writes a Chrome trace file classes-<class>.json there.
+func renderClassRuns(tracesDir string) (string, error) {
 	const n = 256
 	a := make([]isa.Word, n)
 	v := make([]isa.Word, n)
@@ -107,23 +137,43 @@ func renderClassRuns() (string, error) {
 		v[i] = isa.Word(i%89 + 2)
 	}
 	runs := []struct {
-		label string
-		fn    func() (workload.Result, error)
+		class, label string
+		fn           func(...workload.Option) (workload.Result, error)
 	}{
-		{"IUP (fig: Von Neumann baseline)", func() (workload.Result, error) { return workload.VecAddUni(a, v) }},
-		{"IAP-I x8 (Fig 4)", func() (workload.Result, error) { return workload.VecAddSIMD(1, 8, a, v) }},
-		{"IAP-IV x8 (Fig 4)", func() (workload.Result, error) { return workload.VecAddSIMD(4, 8, a, v) }},
-		{"IMP-I x8 (Fig 5 family)", func() (workload.Result, error) { return workload.VecAddMIMD(1, 8, a, v) }},
-		{"IMP-XVI x8 (Fig 5 family)", func() (workload.Result, error) { return workload.VecAddMIMD(16, 8, a, v) }},
-		{"DMP-II x8 (Fig 3)", func() (workload.Result, error) { return workload.VecAddDataflow(2, 8, a, v) }},
-		{"DMP-IV x8 (Fig 3)", func() (workload.Result, error) { return workload.VecAddDataflow(4, 8, a, v) }},
-		{"USP adder overlay (Fig 6)", func() (workload.Result, error) { return workload.VecAddFabric(16, a, v) }},
+		{"IUP", "IUP (fig: Von Neumann baseline)",
+			func(o ...workload.Option) (workload.Result, error) { return workload.VecAddUni(a, v, o...) }},
+		{"IAP-I", "IAP-I x8 (Fig 4)",
+			func(o ...workload.Option) (workload.Result, error) { return workload.VecAddSIMD(1, 8, a, v, o...) }},
+		{"IAP-IV", "IAP-IV x8 (Fig 4)",
+			func(o ...workload.Option) (workload.Result, error) { return workload.VecAddSIMD(4, 8, a, v, o...) }},
+		{"IMP-I", "IMP-I x8 (Fig 5 family)",
+			func(o ...workload.Option) (workload.Result, error) { return workload.VecAddMIMD(1, 8, a, v, o...) }},
+		{"IMP-XVI", "IMP-XVI x8 (Fig 5 family)",
+			func(o ...workload.Option) (workload.Result, error) { return workload.VecAddMIMD(16, 8, a, v, o...) }},
+		{"DMP-II", "DMP-II x8 (Fig 3)",
+			func(o ...workload.Option) (workload.Result, error) { return workload.VecAddDataflow(2, 8, a, v, o...) }},
+		{"DMP-IV", "DMP-IV x8 (Fig 3)",
+			func(o ...workload.Option) (workload.Result, error) { return workload.VecAddDataflow(4, 8, a, v, o...) }},
+		{"USP", "USP adder overlay (Fig 6)",
+			func(o ...workload.Option) (workload.Result, error) { return workload.VecAddFabric(16, a, v, o...) }},
 	}
 	t := report.Table{Headers: []string{"Machine", "Cycles", "Instr", "IPC", "MemOps", "Messages", "Conflicts"}}
 	for _, r := range runs {
-		res, err := r.fn()
+		var opts []workload.Option
+		var tr *obs.Trace
+		if tracesDir != "" {
+			tr = obs.NewTrace()
+			opts = append(opts, workload.WithTracer(tr))
+		}
+		res, err := r.fn(opts...)
 		if err != nil {
 			return "", fmt.Errorf("%s: %w", r.label, err)
+		}
+		if tr != nil {
+			name := fmt.Sprintf("classes-%s.json", r.class)
+			if err := writeTrace(tracesDir, name, r.label+" vecadd", tr); err != nil {
+				return "", err
+			}
 		}
 		s := res.Stats
 		t.AddRow(r.label,
@@ -133,13 +183,18 @@ func renderClassRuns() (string, error) {
 	return fmt.Sprintf("Vector add, %d elements, per machine class:\n\n%s", n, t.Text()), nil
 }
 
-func run(out string, width int) error {
+func run(out string, width int, tracesDir string) error {
 	if out != "" {
 		if err := os.MkdirAll(out, 0o755); err != nil {
 			return err
 		}
 	}
-	for _, a := range artefacts(width) {
+	if tracesDir != "" {
+		if err := os.MkdirAll(tracesDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, a := range artefacts(width, tracesDir) {
 		body, err := a.render()
 		if err != nil {
 			return fmt.Errorf("%s: %w", a.id, err)
@@ -153,6 +208,13 @@ func run(out string, width int) error {
 			return err
 		}
 		fmt.Printf("%-5s %s -> %s\n", a.id, a.title, path)
+	}
+	if tracesDir != "" {
+		entries, err := os.ReadDir(tracesDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("traces: %d Chrome trace files under %s (load in https://ui.perfetto.dev)\n", len(entries), tracesDir)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -27,7 +28,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 }
 
 func TestRun_Stdout(t *testing.T) {
-	out, err := capture(t, func() error { return run("", 40) })
+	out, err := capture(t, func() error { return run("", 40, "") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestRun_Stdout(t *testing.T) {
 
 func TestRun_OutDir(t *testing.T) {
 	dir := t.TempDir()
-	out, err := capture(t, func() error { return run(dir, 40) })
+	out, err := capture(t, func() error { return run(dir, 40, "") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,13 +90,13 @@ func TestRun_BadOutDir(t *testing.T) {
 	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := capture(t, func() error { return run(filepath.Join(blocker, "sub"), 40) }); err == nil {
+	if _, err := capture(t, func() error { return run(filepath.Join(blocker, "sub"), 40, "") }); err == nil {
 		t.Error("writing under a file accepted")
 	}
 }
 
 func TestArtefacts_AllRender(t *testing.T) {
-	for _, a := range artefacts(30) {
+	for _, a := range artefacts(30, "") {
 		body, err := a.render()
 		if err != nil {
 			t.Errorf("%s: %v", a.id, err)
@@ -103,6 +104,37 @@ func TestArtefacts_AllRender(t *testing.T) {
 		}
 		if len(body) == 0 {
 			t.Errorf("%s renders empty", a.id)
+		}
+	}
+}
+
+func TestRun_TracesDir(t *testing.T) {
+	out := t.TempDir()
+	traces := t.TempDir()
+	if _, err := capture(t, func() error { return run(out, 40, traces) }); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		names[e.Name()] = true
+		data, err := os.ReadFile(filepath.Join(traces, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !json.Valid(data) {
+			t.Errorf("%s is not valid JSON", e.Name())
+		}
+		if !strings.Contains(string(data), "traceEvents") {
+			t.Errorf("%s is not a Chrome trace file", e.Name())
+		}
+	}
+	for _, want := range []string{"classes-IUP.json", "classes-IAP-I.json", "classes-IMP-XVI.json", "classes-DMP-IV.json", "classes-USP.json", "P1-probes.json"} {
+		if !names[want] {
+			t.Errorf("missing trace file %s (have %v)", want, names)
 		}
 	}
 }

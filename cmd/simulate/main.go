@@ -7,19 +7,30 @@
 //
 //	simulate -class IUP      -kernel vecadd -n 256
 //	simulate -class IAP-II   -kernel dot    -n 256 -procs 8
-//	simulate -class IMP-III  -kernel vecadd -n 256 -procs 8
+//	simulate -class IMP-III  -kernel matmul -n 64  -procs 8
 //	simulate -class DMP-IV   -kernel vecadd -n 64  -procs 8
 //	simulate -class USP      -kernel vecadd -n 64
+//
+// Observability:
+//
+//	-trace out.json   write a Chrome trace-event file (Perfetto-loadable)
+//	-trace-ascii      print the trace as an ASCII timeline
+//	-metrics          print Prometheus-style metrics aggregated from the
+//	                  trace and cross-check them against the run stats
+//	-cpuprofile f     write a pprof CPU profile of the simulation itself
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"strings"
 
 	"repro/internal/dataflow"
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/taxonomy"
 	"repro/internal/workload"
@@ -27,28 +38,49 @@ import (
 
 func main() {
 	class := flag.String("class", "IUP", "machine class (IUP, IAP-I..IV, IMP-I..XVI, DMP-I..IV, USP)")
-	kernel := flag.String("kernel", "vecadd", "kernel: vecadd or dot")
-	n := flag.Int("n", 256, "problem size (elements)")
+	kernel := flag.String("kernel", "vecadd", "kernel: vecadd, dot, reduce, fir, matmul, scan or stencil (support varies by class)")
+	n := flag.Int("n", 256, "problem size (elements; matmul rows)")
 	procs := flag.Int("procs", 8, "processors/lanes/PEs for parallel classes")
 	gantt := flag.Bool("gantt", false, "for DMP classes: show the firing schedule of a reduction-tree demo")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto or chrome://tracing)")
+	traceASCII := flag.Bool("trace-ascii", false, "print the recorded trace as an ASCII timeline")
+	metrics := flag.Bool("metrics", false, "print Prometheus-style metrics aggregated from the trace and cross-check them against the run stats")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simulate:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "simulate:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
 	if *gantt {
-		if err := runGantt(*class, *procs); err != nil {
+		if err := runGantt(*class, *procs, *tracePath); err != nil {
 			fmt.Fprintln(os.Stderr, "simulate:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*class, *kernel, *n, *procs); err != nil {
+	if err := run(*class, *kernel, *n, *procs, *tracePath, *traceASCII, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(1)
 	}
 }
 
 // runGantt runs a 16-leaf reduction tree on a DMP machine and renders its
-// firing schedule as a per-PE timeline.
-func runGantt(className string, procs int) error {
+// firing schedule as a per-PE timeline. With tracePath set the same run is
+// also exported as a Chrome trace file.
+func runGantt(className string, procs int, tracePath string) error {
 	c, err := taxonomy.LookupString(className)
 	if err != nil {
 		return err
@@ -73,6 +105,11 @@ func runGantt(className string, procs int) error {
 	if err != nil {
 		return err
 	}
+	var tr *obs.Trace
+	if tracePath != "" {
+		tr = obs.NewTrace()
+		cfg.Tracer = tr
+	}
 	mapping, err := dataflow.GreedyLocalityMapping(g, procs)
 	if err != nil {
 		return err
@@ -92,10 +129,22 @@ func runGantt(className string, procs int) error {
 	fmt.Printf("%s, %d PEs: 16-leaf reduction tree, sum = %d, makespan %d cycles\n\n",
 		c, procs, res.Outputs[0], res.Stats.Cycles)
 	fmt.Print(chart)
+	if tr != nil {
+		if err := writeChrome(tracePath, c, "reduction-tree", tr.Events()); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events -> %s (load in https://ui.perfetto.dev)\n", tr.Len(), tracePath)
+	}
 	return nil
 }
 
-func run(className, kernel string, n, procs int) error {
+// kernelErr lists the kernels a runner supports when asked for one it
+// doesn't.
+func kernelErr(kernel string, have ...string) error {
+	return fmt.Errorf("unknown kernel %q (have %s)", kernel, strings.Join(have, ", "))
+}
+
+func run(className, kernel string, n, procs int, tracePath string, traceASCII, metrics bool) error {
 	c, err := taxonomy.LookupString(className)
 	if err != nil {
 		return err
@@ -107,24 +156,31 @@ func run(className, kernel string, n, procs int) error {
 		b[i] = isa.Word(i%89 + 2)
 	}
 
+	var opts []workload.Option
+	var trace *obs.Trace
+	if tracePath != "" || traceASCII || metrics {
+		trace = obs.NewTrace()
+		opts = append(opts, workload.WithTracer(trace))
+	}
+
 	var res workload.Result
 	switch {
 	case c.String() == "IUP":
-		res, err = runIUP(kernel, a, b)
+		res, err = runIUP(kernel, a, b, opts)
 	case c.Name.Machine == taxonomy.InstructionFlow && c.Name.Proc == taxonomy.ArrayProcessor:
-		res, err = runIAP(kernel, c.Name.Sub, procs, a, b)
+		res, err = runIAP(kernel, c.Name.Sub, procs, a, b, opts)
 	case c.Name.Machine == taxonomy.InstructionFlow && c.Name.Proc == taxonomy.MultiProcessor:
-		res, err = runIMP(kernel, c.Name.Sub, procs, a, b)
+		res, err = runIMP(kernel, c.Name.Sub, procs, a, b, opts)
 	case c.Name.Machine == taxonomy.DataFlow:
 		if kernel != "vecadd" {
-			return fmt.Errorf("the data-flow runner implements kernel vecadd (got %q)", kernel)
+			return kernelErr(kernel, "vecadd")
 		}
-		res, err = workload.VecAddDataflow(c.Name.Sub, procs, a, b)
+		res, err = workload.VecAddDataflow(c.Name.Sub, procs, a, b, opts...)
 	case c.Name.Machine == taxonomy.UniversalFlow:
 		if kernel != "vecadd" {
-			return fmt.Errorf("the fabric runner implements kernel vecadd (got %q)", kernel)
+			return kernelErr(kernel, "vecadd")
 		}
-		res, err = workload.VecAddFabric(16, clamp(a, 1<<15), clamp(b, 1<<15))
+		res, err = workload.VecAddFabric(16, clamp(a, 1<<15), clamp(b, 1<<15), opts...)
 	default:
 		return fmt.Errorf("no simulator runner for class %s (ISP demos live in examples and internal/spatial)", c)
 	}
@@ -132,40 +188,169 @@ func run(className, kernel string, n, procs int) error {
 		return err
 	}
 	printStats(c, kernel, n, procs, res.Stats)
+
+	if trace == nil {
+		return nil
+	}
+	events := trace.Events()
+	if tracePath != "" {
+		if err := writeChrome(tracePath, c, kernel, events); err != nil {
+			return err
+		}
+		fmt.Printf("\ntrace: %d events -> %s (load in https://ui.perfetto.dev)\n", len(events), tracePath)
+	}
+	if traceASCII {
+		chart, err := report.TraceGantt(events, 1<<20)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(chart)
+	}
+	if metrics {
+		if err := printMetrics(c, events, res.Stats); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-func runIUP(kernel string, a, b []isa.Word) (workload.Result, error) {
+// writeChrome exports events as a Chrome trace-event file.
+func writeChrome(path string, c taxonomy.Class, kernel string, events []obs.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return obs.WriteChromeTrace(f, events, obs.ChromeOptions{
+		Process: fmt.Sprintf("%s %s", c, kernel),
+	})
+}
+
+// printMetrics aggregates the trace into a registry, prints the Prometheus
+// text exposition, and cross-checks the counters against the run stats —
+// the invariant that the metrics layer observes exactly what the machine
+// accounted. The USP runner is exempt: fabric cycles are not evented.
+func printMetrics(c taxonomy.Class, events []obs.Event, stats machine.Stats) error {
+	reg := obs.NewRegistry()
+	if err := obs.Collect(reg, events); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := reg.WriteProm(os.Stdout); err != nil {
+		return err
+	}
+	if c.Name.Machine == taxonomy.UniversalFlow {
+		return nil
+	}
+	checks := []struct {
+		metric string
+		want   int64
+	}{
+		{obs.MetricInstructions, stats.Instructions},
+		{obs.MetricALUOps, stats.ALUOps},
+		{obs.MetricMemReads, stats.MemReads},
+		{obs.MetricMemWrites, stats.MemWrites},
+		{obs.MetricMessages, stats.Messages},
+		{obs.MetricBarriers, stats.Barriers},
+		{obs.MetricNetConflict, stats.NetConflictCycles},
+	}
+	var bad []string
+	for _, ch := range checks {
+		got, _ := reg.CounterValue(ch.metric)
+		if got != ch.want {
+			bad = append(bad, fmt.Sprintf("%s = %d, stats say %d", ch.metric, got, ch.want))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("metrics/stats cross-check failed:\n  %s", strings.Join(bad, "\n  "))
+	}
+	fmt.Println("\nmetrics cross-check: counters match the run stats")
+	return nil
+}
+
+func runIUP(kernel string, a, b []isa.Word, opts []workload.Option) (workload.Result, error) {
 	switch kernel {
 	case "vecadd":
-		return workload.VecAddUni(a, b)
-	case "dot":
-		return workload.DotUni(a, b)
+		return workload.VecAddUni(a, b, opts...)
+	case "dot", "reduce":
+		return workload.DotUni(a, b, opts...)
+	case "fir":
+		x, h := firInput(a)
+		return workload.FIRUni(x, h, opts...)
 	default:
-		return workload.Result{}, fmt.Errorf("unknown kernel %q (have vecadd, dot)", kernel)
+		return workload.Result{}, kernelErr(kernel, "vecadd", "dot", "reduce", "fir")
 	}
 }
 
-func runIAP(kernel string, sub, lanes int, a, b []isa.Word) (workload.Result, error) {
+func runIAP(kernel string, sub, lanes int, a, b []isa.Word, opts []workload.Option) (workload.Result, error) {
 	switch kernel {
 	case "vecadd":
-		return workload.VecAddSIMD(sub, lanes, a, b)
-	case "dot":
-		return workload.DotSIMD(sub, lanes, a, b)
+		return workload.VecAddSIMD(sub, lanes, a, b, opts...)
+	case "dot", "reduce":
+		if sub == 1 || sub == 3 { // no DP-DP switch: butterfly impossible
+			return workload.DotSIMDPartial(sub, lanes, a, b, opts...)
+		}
+		return workload.DotSIMD(sub, lanes, a, b, opts...)
+	case "fir":
+		x, h := firInput(a)
+		return workload.FIRSIMD(sub, lanes, x, h, opts...)
+	case "stencil":
+		return workload.Stencil3SIMD(sub, lanes, a, opts...)
 	default:
-		return workload.Result{}, fmt.Errorf("unknown kernel %q (have vecadd, dot)", kernel)
+		return workload.Result{}, kernelErr(kernel, "vecadd", "dot", "reduce", "fir", "stencil")
 	}
 }
 
-func runIMP(kernel string, sub, cores int, a, b []isa.Word) (workload.Result, error) {
+func runIMP(kernel string, sub, cores int, a, b []isa.Word, opts []workload.Option) (workload.Result, error) {
 	switch kernel {
 	case "vecadd":
-		return workload.VecAddMIMD(sub, cores, a, b)
-	case "dot":
-		return workload.DotMIMD(sub, cores, a, b)
+		return workload.VecAddMIMD(sub, cores, a, b, opts...)
+	case "dot", "reduce":
+		if (sub-1)&1 == 0 { // no DP-DP switch: butterfly impossible
+			return workload.DotMIMDPartial(sub, cores, a, b, opts...)
+		}
+		return workload.DotMIMD(sub, cores, a, b, opts...)
+	case "scan":
+		return workload.ScanMIMD(sub, cores, a, opts...)
+	case "stencil":
+		return workload.Stencil3MIMD(sub, cores, a, opts...)
+	case "matmul":
+		// C = A x B with rows = n, inner dim and columns fixed at 8. The
+		// DP-DM switch kind picks the strategy: replicated B on direct
+		// banks, shared B through the crossbar.
+		const k, cols = 8, 8
+		rows := len(a)
+		am := make([]isa.Word, rows*k)
+		bm := make([]isa.Word, k*cols)
+		for i := range am {
+			am[i] = isa.Word(i%23 + 1)
+		}
+		for i := range bm {
+			bm[i] = isa.Word(i%19 + 1)
+		}
+		if (sub-1)&2 != 0 {
+			return workload.MatMulMIMDShared(sub, cores, am, bm, rows, k, cols, opts...)
+		}
+		return workload.MatMulMIMDReplicated(sub, cores, am, bm, rows, k, cols, opts...)
 	default:
-		return workload.Result{}, fmt.Errorf("unknown kernel %q (have vecadd, dot)", kernel)
+		return workload.Result{}, kernelErr(kernel, "vecadd", "dot", "reduce", "fir", "matmul", "scan", "stencil")
 	}
+}
+
+// firInput derives an 8-tap FIR input from the vector: a supplies the
+// output-length samples, extended with the ghost overlap the kernels need.
+func firInput(a []isa.Word) (x, h []isa.Word) {
+	const taps = 8
+	x = make([]isa.Word, len(a)+taps-1)
+	for i := range x {
+		x[i] = isa.Word(i%31 + 1)
+	}
+	h = make([]isa.Word, taps)
+	for i := range h {
+		h[i] = isa.Word(i + 1)
+	}
+	return x, h
 }
 
 func clamp(v []isa.Word, limit isa.Word) []isa.Word {

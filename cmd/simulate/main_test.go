@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -25,6 +27,11 @@ func capture(t *testing.T, fn func() error) (string, error) {
 	return string(data), runErr
 }
 
+// runPlain is run without any observability flags.
+func runPlain(class, kernel string, n, procs int) error {
+	return run(class, kernel, n, procs, "", false, false)
+}
+
 func TestRun_AllClassKernelPairs(t *testing.T) {
 	cases := []struct {
 		class, kernel string
@@ -32,18 +39,29 @@ func TestRun_AllClassKernelPairs(t *testing.T) {
 	}{
 		{"IUP", "vecadd", 64, 1},
 		{"IUP", "dot", 64, 1},
+		{"IUP", "reduce", 64, 1},
+		{"IUP", "fir", 64, 1},
 		{"IAP-I", "vecadd", 64, 8},
+		{"IAP-I", "dot", 64, 8}, // no DP-DP: host gathers per-lane partials
 		{"IAP-II", "dot", 64, 8},
+		{"IAP-II", "fir", 64, 8},
+		{"IAP-II", "stencil", 64, 8},
+		{"IAP-III", "dot", 64, 8},
 		{"IAP-IV", "vecadd", 64, 8},
 		{"IMP-I", "vecadd", 64, 8},
+		{"IMP-I", "dot", 64, 8}, // no DP-DP: host gathers per-core partials
+		{"IMP-I", "matmul", 16, 8},
 		{"IMP-II", "dot", 64, 8},
+		{"IMP-II", "scan", 64, 8},
+		{"IMP-II", "stencil", 64, 8},
 		{"IMP-III", "vecadd", 64, 8},
+		{"IMP-IV", "matmul", 16, 8},
 		{"DMP-I", "vecadd", 64, 8},
 		{"DMP-IV", "vecadd", 64, 8},
 		{"USP", "vecadd", 64, 1},
 	}
 	for _, tc := range cases {
-		out, err := capture(t, func() error { return run(tc.class, tc.kernel, tc.n, tc.procs) })
+		out, err := capture(t, func() error { return runPlain(tc.class, tc.kernel, tc.n, tc.procs) })
 		if err != nil {
 			t.Errorf("%s/%s: %v", tc.class, tc.kernel, err)
 			continue
@@ -55,20 +73,20 @@ func TestRun_AllClassKernelPairs(t *testing.T) {
 }
 
 func TestRunGantt(t *testing.T) {
-	out, err := capture(t, func() error { return runGantt("DMP-II", 4) })
+	out, err := capture(t, func() error { return runGantt("DMP-II", 4, "") })
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "sum = 136") || !strings.Contains(out, "PE0") {
 		t.Errorf("gantt output:\n%s", out)
 	}
-	if _, err := capture(t, func() error { return runGantt("IAP-I", 4) }); err == nil {
+	if _, err := capture(t, func() error { return runGantt("IAP-I", 4, "") }); err == nil {
 		t.Error("gantt on a non-DMP class accepted")
 	}
-	if _, err := capture(t, func() error { return runGantt("NOPE", 4) }); err == nil {
+	if _, err := capture(t, func() error { return runGantt("NOPE", 4, "") }); err == nil {
 		t.Error("gantt on a bad class accepted")
 	}
-	if _, err := capture(t, func() error { return runGantt("DMP-II", 0) }); err == nil {
+	if _, err := capture(t, func() error { return runGantt("DMP-II", 0, "") }); err == nil {
 		t.Error("gantt with 0 PEs accepted")
 	}
 }
@@ -85,13 +103,60 @@ func TestRun_Errors(t *testing.T) {
 		{"bad kernel on IMP", "IMP-I", "fft", 64, 8},
 		{"dot on dataflow", "DMP-I", "dot", 64, 8},
 		{"dot on fabric", "USP", "dot", 64, 1},
-		{"dot on IAP-I (no DP-DP)", "IAP-I", "dot", 64, 8},
+		{"stencil on IAP-I (no DP-DP)", "IAP-I", "stencil", 64, 8},
+		{"scan on IMP-I (no DP-DP)", "IMP-I", "scan", 64, 8},
 		{"ISP not runnable here", "ISP-IV", "vecadd", 64, 8},
 		{"non-dividing shard", "IAP-I", "vecadd", 65, 8},
 	}
 	for _, tc := range cases {
-		if _, err := capture(t, func() error { return run(tc.class, tc.kernel, tc.n, tc.procs) }); err == nil {
+		if _, err := capture(t, func() error { return runPlain(tc.class, tc.kernel, tc.n, tc.procs) }); err == nil {
 			t.Errorf("%s: accepted", tc.name)
 		}
+	}
+}
+
+// TestRun_UnknownKernelListsValid checks the error on a bad kernel name
+// names the kernels the class runner actually supports.
+func TestRun_UnknownKernelListsValid(t *testing.T) {
+	_, err := capture(t, func() error { return runPlain("IMP-II", "fft", 64, 8) })
+	if err == nil {
+		t.Fatal("fft accepted")
+	}
+	for _, want := range []string{"vecadd", "dot", "reduce", "matmul", "scan", "stencil"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not list kernel %q", err, want)
+		}
+	}
+}
+
+func TestRun_Observability(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	out, err := capture(t, func() error {
+		return run("IMP-II", "dot", 64, 4, tracePath, true, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "metrics cross-check: counters match the run stats") {
+		t.Errorf("missing cross-check confirmation:\n%s", out)
+	}
+	if !strings.Contains(out, "sim_instructions_total") {
+		t.Errorf("missing metrics exposition:\n%s", out)
+	}
+	if !strings.Contains(out, "cycles 0..") {
+		t.Errorf("missing ASCII trace:\n%s", out)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace file has no events")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/interconnect"
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/taxonomy"
 )
 
@@ -25,6 +26,10 @@ type Config struct {
 	// interconnect. Tokens then pay per-hop latency and link contention;
 	// the taxonomy class is unchanged.
 	MeshCols int
+	// Tracer, when non-nil, receives run events: one track per PE, node
+	// firings as instruction events carrying the node ID, token routes as
+	// send events, PE backlog as wait events. Nil disables tracing.
+	Tracer obs.Tracer
 }
 
 // ForSubtype returns the configuration of DMP sub-type 1..4.
@@ -79,7 +84,7 @@ type Machine struct {
 	mapping []int
 	banks   []machine.Memory
 	tokNet  interconnect.Network
-	memNet  *interconnect.Crossbar
+	memNet  interconnect.Network
 }
 
 // New builds a data-flow machine executing graph with the given node-to-PE
@@ -140,14 +145,14 @@ func New(cfg Config, graph *Graph, mapping []int) (*Machine, error) {
 		if err != nil {
 			return nil, err
 		}
-		m.tokNet = net
+		m.tokNet = obs.ObserveNetwork(net, cfg.Tracer)
 	}
 	if cfg.DPDM == taxonomy.LinkCrossbar {
 		net, err := interconnect.NewCrossbar(cfg.PEs)
 		if err != nil {
 			return nil, err
 		}
-		m.memNet = net
+		m.memNet = obs.ObserveNetwork(net, cfg.Tracer)
 	}
 	return m, nil
 }
@@ -250,6 +255,10 @@ func (m *Machine) Run() (Result, error) {
 					return res, fmt.Errorf("dataflow: edge %d->%d: %w", in, id, err)
 				}
 				res.Stats.Messages++
+				if m.cfg.Tracer != nil {
+					m.cfg.Tracer.Emit(obs.Event{Kind: obs.KindSend, Track: int32(src),
+						Cycle: doneAt[in], Dur: arrive - doneAt[in], Arg: int64(pe)})
+				}
 			}
 			if arrive > ready {
 				ready = arrive
@@ -263,6 +272,12 @@ func (m *Machine) Run() (Result, error) {
 		}
 		peBusy[pe][fire] = true
 		finish := fire + 1
+		if m.cfg.Tracer != nil && fire > ready {
+			// The node's inputs were ready but the PE was backlogged: the
+			// dataflow queue-depth signal the wait histogram aggregates.
+			m.cfg.Tracer.Emit(obs.Event{Kind: obs.KindWait, Track: int32(pe),
+				Cycle: ready, Dur: fire - ready, Arg: int64(id)})
+		}
 
 		// Execute; memory nodes extend finish through accountMem.
 		v, _, err := m.fire(pe, node, inputs, fire, &finish, &res.Stats)
@@ -273,8 +288,18 @@ func (m *Machine) Run() (Result, error) {
 		doneAt[id] = finish
 		res.Schedule = append(res.Schedule, NodeFire{Node: id, PE: pe, FireAt: fire, DoneAt: finish})
 		res.Stats.Instructions++
-		if node.Op != OpConst && node.Op != OpLoad && node.Op != OpStore {
+		isALU := node.Op != OpConst && node.Op != OpLoad && node.Op != OpStore
+		if isALU {
 			res.Stats.ALUOps++
+		}
+		if m.cfg.Tracer != nil {
+			var flags uint8
+			if isALU {
+				flags = obs.FlagALU
+			}
+			// No FlagHasOp: Arg carries the graph node ID, not an ISA opcode.
+			m.cfg.Tracer.Emit(obs.Event{Kind: obs.KindInstr, Flags: flags, Track: int32(pe),
+				Cycle: fire, Dur: finish - fire, Arg: int64(id)})
 		}
 		if finish > res.Stats.Cycles {
 			res.Stats.Cycles = finish
@@ -366,6 +391,10 @@ func (m *Machine) fire(pe int, node Node, in []int64, fireAt int64, finish *int6
 			return 0, false, err
 		}
 		stats.MemReads++
+		if m.cfg.Tracer != nil {
+			m.cfg.Tracer.Emit(obs.Event{Kind: obs.KindMemRead, Track: int32(pe),
+				Cycle: fireAt, Arg: in[0]})
+		}
 		return int64(v), true, nil
 	case OpStore:
 		bank, off, err := m.resolveAddr(pe, in[0])
@@ -377,6 +406,10 @@ func (m *Machine) fire(pe int, node Node, in []int64, fireAt int64, finish *int6
 			return 0, false, err
 		}
 		stats.MemWrites++
+		if m.cfg.Tracer != nil {
+			m.cfg.Tracer.Emit(obs.Event{Kind: obs.KindMemWrite, Track: int32(pe),
+				Cycle: fireAt, Arg: in[0]})
+		}
 		return in[1], true, nil
 	default:
 		return 0, false, fmt.Errorf("unimplemented op %v", node.Op)

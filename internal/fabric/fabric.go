@@ -16,7 +16,11 @@
 // configuration bits.
 package fabric
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // SourceKind selects what a cell input multiplexer listens to.
 type SourceKind int
@@ -62,8 +66,12 @@ type Fabric struct {
 	out []bool
 	// configured reports that a bitstream has been loaded.
 	configured bool
-	// reconfigs counts bitstream loads, steps counts clock cycles.
-	reconfigs, steps int64
+	// reconfigs counts bitstream loads, steps counts clock cycles since the
+	// last Configure; totalSteps counts cycles across the fabric's lifetime
+	// so traced reconfigurations land on a monotone timeline.
+	reconfigs, steps, totalSteps int64
+	// tracer receives reconfiguration events when non-nil.
+	tracer obs.Tracer
 }
 
 // New builds an unconfigured fabric with the given cell and input-pin count.
@@ -100,6 +108,11 @@ func (f *Fabric) ConfigBits() int { return f.numCells * f.ConfigBitsPerCell() }
 
 // Reconfigs reports how many bitstreams have been loaded.
 func (f *Fabric) Reconfigs() int64 { return f.reconfigs }
+
+// SetTracer installs tr to receive a reconfiguration event on every
+// Configure, stamped with the fabric's lifetime cycle count and carrying
+// the bitstream size in bits. A nil tracer disables tracing.
+func (f *Fabric) SetTracer(tr obs.Tracer) { f.tracer = tr }
 
 // Configure loads a bitstream: one CellConfig per cell. It validates every
 // source, rejects combinational cycles (loops must pass through a
@@ -171,6 +184,10 @@ func (f *Fabric) Configure(cfg []CellConfig) error {
 	f.configured = true
 	f.reconfigs++
 	f.steps = 0
+	if f.tracer != nil {
+		f.tracer.Emit(obs.Event{Kind: obs.KindReconfig, Track: obs.TrackMachine,
+			Cycle: f.totalSteps, Arg: int64(f.ConfigBits())})
+	}
 	return nil
 }
 
@@ -234,6 +251,7 @@ func (f *Fabric) Step(pins []bool) error {
 		}
 	}
 	f.steps++
+	f.totalSteps++
 	return nil
 }
 

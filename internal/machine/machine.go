@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
 )
 
 // Stats aggregates what one simulation run did.
@@ -129,6 +130,17 @@ type Env struct {
 	RecvFrom func(peer int) (isa.Word, error)
 	// Barrier implements OpSync; it may return ErrWouldBlock to stall.
 	Barrier func() error
+	// Tracer, when non-nil, receives the fine-grained events only Step
+	// sees: memory reads/writes with their addresses and network
+	// sends/receives with their peers. Simulators emit instruction-retire,
+	// barrier and stall events at their loop level, where cycle timing is
+	// known. Leave nil to disable tracing; the hooks then cost a nil check
+	// and nothing else.
+	Tracer obs.Tracer
+	// Now is the issue cycle Step stamps on emitted events.
+	Now int64
+	// Track is the processor/lane/core index stamped on emitted events.
+	Track int32
 }
 
 // ErrWouldBlock signals that a RECV or SYNC cannot complete this cycle; the
@@ -204,20 +216,28 @@ func Step(regs *Regs, pc int, ins isa.Instruction, env Env) (Outcome, error) {
 		if env.Load == nil {
 			return out, fmt.Errorf("machine: no DP-DM path for load at pc %d", pc)
 		}
-		v, err := env.Load(regs[ins.Ra] + isa.Word(ins.Imm))
+		addr := regs[ins.Ra] + isa.Word(ins.Imm)
+		v, err := env.Load(addr)
 		if err != nil {
 			return out, err
 		}
 		regs[ins.Rd] = v
 		out.Mem = true
+		if env.Tracer != nil {
+			env.Tracer.Emit(obs.Event{Kind: obs.KindMemRead, Track: env.Track, Cycle: env.Now, Arg: int64(addr)})
+		}
 	case isa.OpSt:
 		if env.Store == nil {
 			return out, fmt.Errorf("machine: no DP-DM path for store at pc %d", pc)
 		}
-		if err := env.Store(regs[ins.Ra]+isa.Word(ins.Imm), regs[ins.Rb]); err != nil {
+		addr := regs[ins.Ra] + isa.Word(ins.Imm)
+		if err := env.Store(addr, regs[ins.Rb]); err != nil {
 			return out, err
 		}
 		out.Mem = true
+		if env.Tracer != nil {
+			env.Tracer.Emit(obs.Event{Kind: obs.KindMemWrite, Track: env.Track, Cycle: env.Now, Arg: int64(addr)})
+		}
 	case isa.OpBeq:
 		if regs[ins.Ra] == regs[ins.Rb] {
 			out.NextPC = pc + 1 + int(ins.Imm)
@@ -244,11 +264,15 @@ func Step(regs *Regs, pc int, ins isa.Instruction, env Env) (Outcome, error) {
 			return out, err
 		}
 		out.Comm = true
+		if env.Tracer != nil {
+			env.Tracer.Emit(obs.Event{Kind: obs.KindSend, Track: env.Track, Cycle: env.Now, Arg: int64(regs[ins.Rb])})
+		}
 	case isa.OpRecv:
 		if env.RecvFrom == nil {
 			return out, fmt.Errorf("machine: no DP-DP network for recv at pc %d (this class has DP-DP: none)", pc)
 		}
-		v, err := env.RecvFrom(int(regs[ins.Rb]))
+		peer := int(regs[ins.Rb])
+		v, err := env.RecvFrom(peer)
 		if errors.Is(err, ErrWouldBlock) {
 			out.NextPC = pc
 			out.Blocked = true
@@ -259,6 +283,9 @@ func Step(regs *Regs, pc int, ins isa.Instruction, env Env) (Outcome, error) {
 		}
 		regs[ins.Rd] = v
 		out.Comm = true
+		if env.Tracer != nil {
+			env.Tracer.Emit(obs.Event{Kind: obs.KindRecv, Track: env.Track, Cycle: env.Now, Arg: int64(peer)})
+		}
 	case isa.OpSync:
 		if env.Barrier == nil {
 			return out, fmt.Errorf("machine: no barrier support at pc %d", pc)

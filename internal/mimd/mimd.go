@@ -25,6 +25,7 @@ import (
 	"repro/internal/interconnect"
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/taxonomy"
 )
 
@@ -51,6 +52,10 @@ type Config struct {
 	BusDPDP bool
 	// MaxCycles bounds the run; 0 means machine.DefaultMaxCycles.
 	MaxCycles int64
+	// Tracer, when non-nil, receives run events: one track per core, barrier
+	// releases on the machine track, network stalls on the sending core's
+	// track. Nil disables tracing.
+	Tracer obs.Tracer
 }
 
 // ForSubtype returns the configuration of IMP sub-type 1..16 with the
@@ -123,8 +128,10 @@ type coreState struct {
 	prog    int // index into the machine's program images
 	halted  bool
 	readyAt int64
-	// inBarrier marks a core waiting at the current SYNC.
+	// inBarrier marks a core waiting at the current SYNC; barrierAt is the
+	// cycle it arrived (for traced wait spans).
 	inBarrier bool
+	barrierAt int64
 }
 
 // Machine is one multi-processor instance.
@@ -133,7 +140,7 @@ type Machine struct {
 	programs []isa.Program
 	cores    []coreState
 	banks    []machine.Memory
-	memNet   *interconnect.Crossbar
+	memNet   interconnect.Network
 	msgNet   interconnect.Network
 	// mail[src][dst] is the in-order message queue between one core pair.
 	mail [][][]message
@@ -195,7 +202,7 @@ func New(cfg Config, programs []isa.Program) (*Machine, error) {
 		if err != nil {
 			return nil, err
 		}
-		m.memNet = net
+		m.memNet = obs.ObserveNetwork(net, cfg.Tracer)
 	}
 	if cfg.DPDP == taxonomy.LinkCrossbar {
 		var net interconnect.Network
@@ -208,7 +215,7 @@ func New(cfg Config, programs []isa.Program) (*Machine, error) {
 		if err != nil {
 			return nil, err
 		}
-		m.msgNet = net
+		m.msgNet = obs.ObserveNetwork(net, cfg.Tracer)
 		m.mail = make([][][]message, cfg.Cores)
 		for i := range m.mail {
 			m.mail[i] = make([][]message, cfg.Cores)
@@ -329,6 +336,7 @@ func (m *Machine) Run() (machine.Stats, error) {
 			if out.Blocked {
 				if ins.Op == isa.OpSync {
 					c.inBarrier = true
+					c.barrierAt = cycle
 					progress = true // entering the barrier is progress
 					m.tryReleaseBarrier(cycle+1, &stats)
 				}
@@ -339,8 +347,17 @@ func (m *Machine) Run() (machine.Stats, error) {
 			progress = true
 			stats.Instructions++
 			m.perCore[i].Instructions++
-			if machine.IsALU(ins.Op) {
+			isALU := machine.IsALU(ins.Op)
+			if isALU {
 				stats.ALUOps++
+			}
+			if m.cfg.Tracer != nil {
+				flags := obs.FlagHasOp
+				if isALU {
+					flags |= obs.FlagALU
+				}
+				m.cfg.Tracer.Emit(obs.Event{Kind: obs.KindInstr, Flags: flags, Track: int32(i),
+					Cycle: cycle, Dur: finish - cycle, Arg: int64(ins.Op)})
 			}
 			if out.Mem {
 				if ins.Op == isa.OpLd {
@@ -382,7 +399,7 @@ func (m *Machine) Run() (machine.Stats, error) {
 
 // coreEnv builds one core's environment for one instruction at a cycle.
 func (m *Machine) coreEnv(core int, cycle int64, finish *int64) machine.Env {
-	env := machine.Env{Lane: isa.Word(core)}
+	env := machine.Env{Lane: isa.Word(core), Tracer: m.cfg.Tracer, Now: cycle, Track: int32(core)}
 	env.Load = func(addr isa.Word) (isa.Word, error) {
 		bank, off, err := m.resolveAddr(core, addr)
 		if err != nil {
@@ -463,8 +480,19 @@ func (m *Machine) tryReleaseBarrier(releaseCycle int64, stats *machine.Stats) {
 		m.cores[i].readyAt = releaseCycle
 		stats.Instructions++
 		m.perCore[i].Instructions++
+		if m.cfg.Tracer != nil {
+			// The SYNC retires at release; its span covers the wait.
+			wait := releaseCycle - m.cores[i].barrierAt
+			m.cfg.Tracer.Emit(obs.Event{Kind: obs.KindInstr, Flags: obs.FlagHasOp, Track: int32(i),
+				Cycle: m.cores[i].barrierAt, Dur: wait, Arg: int64(isa.OpSync)})
+			m.cfg.Tracer.Emit(obs.Event{Kind: obs.KindWait, Track: int32(i),
+				Cycle: m.cores[i].barrierAt, Dur: wait})
+		}
 	}
 	stats.Barriers++
+	if m.cfg.Tracer != nil {
+		m.cfg.Tracer.Emit(obs.Event{Kind: obs.KindBarrier, Track: obs.TrackMachine, Cycle: releaseCycle})
+	}
 	if stats.Cycles < releaseCycle {
 		stats.Cycles = releaseCycle
 	}

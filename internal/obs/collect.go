@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Standard metric names every simulator run exports. The counter values
+// are defined so that they equal the corresponding machine.Stats fields of
+// the traced run — the invariant cmd/simulate -metrics cross-checks.
+const (
+	MetricInstructions     = "sim_instructions_total"
+	MetricALUOps           = "sim_alu_ops_total"
+	MetricMemReads         = "sim_mem_reads_total"
+	MetricMemWrites        = "sim_mem_writes_total"
+	MetricMessages         = "sim_messages_total"
+	MetricBarriers         = "sim_barriers_total"
+	MetricNetConflict      = "sim_net_conflict_cycles_total"
+	MetricReconfigs        = "sim_reconfigs_total"
+	MetricReconfigBits     = "sim_reconfig_bits_total"
+	MetricCycles           = "sim_cycles"
+	MetricTracks           = "sim_tracks"
+	MetricInstrMix         = "sim_instruction_mix_total"
+	MetricStallHist        = "sim_net_stall_cycles"
+	MetricQueueWaitHist    = "sim_queue_wait_cycles"
+	MetricTrackInstrs      = "sim_track_instructions_total"
+)
+
+// StallBuckets are the contention-stall histogram bounds in cycles.
+var StallBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// Collect aggregates a recorded event stream into reg using the standard
+// metric names: run totals, the per-track instruction counts and
+// instruction mix, the contention-stall histogram and the queue-wait
+// (dataflow backlog, barrier entry) histogram. It can be called once per
+// run; counters accumulate across calls on the same registry.
+func Collect(reg *Registry, events []Event) error {
+	instr := reg.MustCounter(MetricInstructions, "retired instructions (all tracks)")
+	alu := reg.MustCounter(MetricALUOps, "arithmetic/logic operations")
+	reads := reg.MustCounter(MetricMemReads, "DP-DM read traversals")
+	writes := reg.MustCounter(MetricMemWrites, "DP-DM write traversals")
+	msgs := reg.MustCounter(MetricMessages, "DP-DP and IP-IP network words")
+	barriers := reg.MustCounter(MetricBarriers, "completed synchronizations")
+	conflict := reg.MustCounter(MetricNetConflict, "cycles lost to interconnect contention")
+	reconfigs := reg.MustCounter(MetricReconfigs, "configuration bitstream loads")
+	reconfigBits := reg.MustCounter(MetricReconfigBits, "configuration bits loaded")
+	stallHist := reg.MustHistogram(MetricStallHist, "interconnect stall lengths in cycles", StallBuckets)
+	waitHist := reg.MustHistogram(MetricQueueWaitHist, "non-contention wait lengths in cycles (PE backlog, barrier entry)", StallBuckets)
+
+	var maxCycle int64
+	tracks := map[int32]bool{}
+	for _, e := range events {
+		if end := e.Cycle + e.Dur; end > maxCycle {
+			maxCycle = end
+		}
+		if e.Track != TrackMachine {
+			tracks[e.Track] = true
+		}
+		switch e.Kind {
+		case KindInstr:
+			instr.Inc()
+			if e.Flags&FlagALU != 0 {
+				alu.Inc()
+			}
+			track := fmt.Sprint(e.Track)
+			op := "node"
+			if e.Flags&FlagHasOp != 0 {
+				op = isa.Op(e.Arg).String()
+			}
+			mix, err := reg.Counter(MetricInstrMix, "retired instructions by track and operation",
+				"track", track, "op", op)
+			if err != nil {
+				return err
+			}
+			mix.Inc()
+			perTrack, err := reg.Counter(MetricTrackInstrs, "retired instructions per track", "track", track)
+			if err != nil {
+				return err
+			}
+			perTrack.Inc()
+		case KindMemRead:
+			reads.Inc()
+		case KindMemWrite:
+			writes.Inc()
+		case KindSend, KindRecv:
+			msgs.Inc()
+		case KindBarrier:
+			barriers.Inc()
+		case KindStall:
+			conflict.Add(e.Arg)
+			stallHist.Observe(float64(e.Arg))
+		case KindWait:
+			waitHist.Observe(float64(e.Dur))
+		case KindReconfig:
+			reconfigs.Inc()
+			reconfigBits.Add(e.Arg)
+		}
+	}
+	reg.MustGauge(MetricCycles, "run makespan in guest cycles (max event end)").Set(float64(maxCycle))
+	reg.MustGauge(MetricTracks, "distinct processor tracks observed").Set(float64(len(tracks)))
+	return nil
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/interconnect"
+)
+
+func TestCollect(t *testing.T) {
+	events := []Event{
+		{Kind: KindInstr, Flags: FlagHasOp | FlagALU, Track: 0, Cycle: 0, Dur: 1, Arg: 2},
+		{Kind: KindInstr, Flags: FlagHasOp, Track: 0, Cycle: 1, Dur: 1, Arg: 3},
+		{Kind: KindInstr, Track: 1, Cycle: 0, Dur: 4, Arg: 7}, // dataflow node firing
+		{Kind: KindMemRead, Track: 0, Cycle: 2, Arg: 10},
+		{Kind: KindMemWrite, Track: 0, Cycle: 3, Arg: 11},
+		{Kind: KindMemWrite, Track: 1, Cycle: 3, Arg: 12},
+		{Kind: KindSend, Track: 0, Cycle: 4, Arg: 1},
+		{Kind: KindRecv, Track: 1, Cycle: 5, Arg: 0},
+		{Kind: KindBarrier, Track: TrackMachine, Cycle: 6},
+		{Kind: KindStall, Track: 0, Cycle: 7, Dur: 3, Arg: 3},
+		{Kind: KindWait, Track: 1, Cycle: 7, Dur: 5, Arg: 7},
+		{Kind: KindReconfig, Track: TrackMachine, Cycle: 8, Arg: 1000},
+	}
+	reg := NewRegistry()
+	if err := Collect(reg, events); err != nil {
+		t.Fatal(err)
+	}
+	wantCounters := map[string]int64{
+		MetricInstructions: 3,
+		MetricALUOps:       1,
+		MetricMemReads:     1,
+		MetricMemWrites:    2,
+		MetricMessages:     2,
+		MetricBarriers:     1,
+		MetricNetConflict:  3,
+		MetricReconfigs:    1,
+		MetricReconfigBits: 1000,
+	}
+	for name, want := range wantCounters {
+		if got, ok := reg.CounterValue(name); !ok || got != want {
+			t.Errorf("%s = %d (ok=%v), want %d", name, got, ok, want)
+		}
+	}
+	if got, _ := reg.CounterValue(MetricTrackInstrs, "track", "0"); got != 2 {
+		t.Errorf("track 0 instrs = %d, want 2", got)
+	}
+	if got, _ := reg.CounterValue(MetricTrackInstrs, "track", "1"); got != 1 {
+		t.Errorf("track 1 instrs = %d, want 1", got)
+	}
+	// The node firing has no FlagHasOp, so its mix op is "node".
+	if got, _ := reg.CounterValue(MetricInstrMix, "track", "1", "op", "node"); got != 1 {
+		t.Errorf("node mix = %d, want 1", got)
+	}
+	// Gauges: makespan is max(Cycle+Dur) = 12 (wait at 7+5); tracks 0 and 1.
+	g, err := reg.Gauge(MetricCycles, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Value() != 12 {
+		t.Errorf("%s = %g, want 12", MetricCycles, g.Value())
+	}
+	tracks, err := reg.Gauge(MetricTracks, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracks.Value() != 2 {
+		t.Errorf("%s = %g, want 2", MetricTracks, tracks.Value())
+	}
+}
+
+func TestCollectAccumulates(t *testing.T) {
+	reg := NewRegistry()
+	ev := []Event{{Kind: KindInstr, Track: 0, Cycle: 0, Dur: 1}}
+	if err := Collect(reg, ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := Collect(reg, ev); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := reg.CounterValue(MetricInstructions); got != 2 {
+		t.Errorf("two collects = %d instructions, want 2", got)
+	}
+}
+
+func TestObserveNetwork(t *testing.T) {
+	inner, err := interconnect.NewCrossbar(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ObserveNetwork(inner, nil); got != interconnect.Network(inner) {
+		t.Error("nil tracer must return the raw network")
+	}
+
+	tr := NewTrace()
+	net := ObserveNetwork(inner, tr)
+	// Two transfers to the same output port in the same cycle: the second
+	// serializes and loses exactly one cycle.
+	if _, err := net.Transfer(0, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Transfer(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d stall events, want 1 (conflict-free transfer must not emit)", len(evs))
+	}
+	e := evs[0]
+	if e.Kind != KindStall || e.Track != 1 || e.Cycle != 0 || e.Dur != 1 || e.Arg != 1 {
+		t.Errorf("stall event = %+v", e)
+	}
+	if got := inner.Stats().ConflictCycles; got != e.Arg {
+		t.Errorf("network counts %d conflict cycles, event says %d", got, e.Arg)
+	}
+	// The wrapper must still expose the inner network's interface.
+	if net.Ports() != 4 || net.Kind() != inner.Kind() {
+		t.Error("wrapper does not forward Ports/Kind")
+	}
+}

@@ -1,0 +1,35 @@
+package obs
+
+import "repro/internal/interconnect"
+
+// observedNetwork decorates an interconnect.Network so that every Transfer
+// whose word waited on a contended resource emits a KindStall event on the
+// source port's track. The decorator diffs the network's own ConflictCycles
+// counter around the call, so the traced stall total is exactly the
+// NetConflictCycles the simulator later folds into machine.Stats.
+type observedNetwork struct {
+	interconnect.Network
+	tr Tracer
+}
+
+// ObserveNetwork wraps net so contention stalls reach tr. A nil tracer
+// returns net unchanged: the disabled path keeps the raw network.
+func ObserveNetwork(net interconnect.Network, tr Tracer) interconnect.Network {
+	if tr == nil {
+		return net
+	}
+	return &observedNetwork{Network: net, tr: tr}
+}
+
+// Transfer implements interconnect.Network.
+func (o *observedNetwork) Transfer(now int64, src, dst int) (int64, error) {
+	before := o.Network.Stats().ConflictCycles
+	arrival, err := o.Network.Transfer(now, src, dst)
+	if err != nil {
+		return arrival, err
+	}
+	if delta := o.Network.Stats().ConflictCycles - before; delta > 0 {
+		o.tr.Emit(Event{Kind: KindStall, Track: int32(src), Cycle: now, Dur: delta, Arg: delta})
+	}
+	return arrival, nil
+}

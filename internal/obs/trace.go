@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/isa"
+)
+
+// Trace is an in-memory event recorder. It is safe for concurrent Emit
+// calls; export runs after the simulation finished.
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTrace returns an empty recorder.
+func NewTrace() *Trace { return &Trace{} }
+
+// Emit implements Tracer.
+func (t *Trace) Emit(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Len reports the number of recorded events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Reset clears the recorder for reuse.
+func (t *Trace) Reset() {
+	t.mu.Lock()
+	t.events = t.events[:0]
+	t.mu.Unlock()
+}
+
+// ChromeOptions configures the Chrome trace-event export.
+type ChromeOptions struct {
+	// Process names the single process row; empty means "simulation".
+	Process string
+	// TrackName labels one track (thread row); nil uses "P<track>" and
+	// "machine" for TrackMachine.
+	TrackName func(track int32) string
+}
+
+// chromeEvent is one trace-event JSON object. Guest cycles are exported as
+// microseconds (ts/dur), the unit Perfetto and chrome://tracing expect.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// eventName is the exported display name of one event.
+func eventName(e Event) string {
+	if e.Kind == KindInstr && e.Flags&FlagHasOp != 0 {
+		return isa.Op(e.Arg).String()
+	}
+	if e.Kind == KindInstr {
+		return fmt.Sprintf("node %d", e.Arg)
+	}
+	return e.Kind.String()
+}
+
+// eventArgs is the exported args payload of one event.
+func eventArgs(e Event) map[string]any {
+	switch e.Kind {
+	case KindMemRead, KindMemWrite:
+		return map[string]any{"addr": e.Arg}
+	case KindSend, KindRecv:
+		return map[string]any{"peer": e.Arg}
+	case KindStall:
+		return map[string]any{"stall_cycles": e.Arg}
+	case KindReconfig:
+		return map[string]any{"config_bits": e.Arg}
+	case KindInstr:
+		if e.Flags&FlagHasOp == 0 {
+			return map[string]any{"node": e.Arg}
+		}
+	}
+	return nil
+}
+
+// tid maps a track to a Chrome thread ID: the machine track renders first.
+func tid(track int32) int64 {
+	if track == TrackMachine {
+		return 0
+	}
+	return int64(track) + 1
+}
+
+// WriteChromeTrace writes events as a Chrome trace-event JSON document
+// ({"traceEvents": [...]}), loadable in Perfetto and chrome://tracing. One
+// thread row is emitted per track, so an IAP's lockstep broadcast, an
+// IMP's message interleave, a DMP's token firing and a USP's
+// reconfiguration phases are visually distinguishable. Events are sorted
+// by start cycle, so timestamps are monotone within every track.
+func WriteChromeTrace(w io.Writer, events []Event, opt ChromeOptions) error {
+	process := opt.Process
+	if process == "" {
+		process = "simulation"
+	}
+	trackName := opt.TrackName
+	if trackName == nil {
+		trackName = func(track int32) string { return fmt.Sprintf("P%d", track) }
+	}
+
+	sorted := append([]Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Cycle != sorted[j].Cycle {
+			return sorted[i].Cycle < sorted[j].Cycle
+		}
+		return sorted[i].Track < sorted[j].Track
+	})
+
+	tracks := map[int32]bool{}
+	for _, e := range sorted {
+		tracks[e.Track] = true
+	}
+	trackList := make([]int32, 0, len(tracks))
+	for tr := range tracks {
+		trackList = append(trackList, tr)
+	}
+	sort.Slice(trackList, func(i, j int) bool { return trackList[i] < trackList[j] })
+
+	out := make([]chromeEvent, 0, len(sorted)+len(trackList)+1)
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": process},
+	})
+	for _, tr := range trackList {
+		name := trackName(tr)
+		if tr == TrackMachine {
+			name = "machine"
+		}
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid(tr),
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, e := range sorted {
+		ce := chromeEvent{
+			Name: eventName(e),
+			Ts:   e.Cycle,
+			Pid:  0,
+			Tid:  tid(e.Track),
+			Args: eventArgs(e),
+		}
+		if e.Dur > 0 {
+			dur := e.Dur
+			ce.Ph, ce.Dur = "X", &dur
+		} else {
+			ce.Ph, ce.S = "i", "t"
+		}
+		out = append(out, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     out,
+		"displayTimeUnit": "ms",
+	})
+}
+
+// WriteChrome exports the recorder's events; see WriteChromeTrace.
+func (t *Trace) WriteChrome(w io.Writer, opt ChromeOptions) error {
+	return WriteChromeTrace(w, t.Events(), opt)
+}

@@ -8,6 +8,40 @@ import (
 	"repro/internal/dataflow"
 )
 
+// ganttSpan is one busy interval on one chart row.
+type ganttSpan struct {
+	row        int
+	start, end int64 // [start, end) in cycles
+	mark       byte
+}
+
+// renderGantt shares the timeline drawing between the dataflow schedule
+// chart and the trace fallback view: one labelled row per processor, one
+// column per cycle, later spans overwriting earlier ones.
+func renderGantt(header string, labels []string, spans []ganttSpan, span int64) string {
+	rows := make([][]byte, len(labels))
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", int(span)))
+	}
+	for _, s := range spans {
+		for c := s.start; c < s.end && c < span; c++ {
+			rows[s.row][c] = s.mark
+		}
+	}
+	width := 0
+	for _, l := range labels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	var b strings.Builder
+	b.WriteString(header)
+	for i, row := range rows {
+		fmt.Fprintf(&b, "%-*s |%s|\n", width, labels[i], row)
+	}
+	return b.String()
+}
+
 // Gantt renders a dataflow firing schedule as an ASCII timeline, one row
 // per processing element, one column per cycle: the visual form of how a
 // DMP machine's tokens actually flowed. Busy cycles print the node ID's
@@ -36,23 +70,16 @@ func Gantt(schedule []dataflow.NodeFire, maxCycles int) (string, error) {
 		return "", fmt.Errorf("report: schedule spans %d cycles, cap is %d", span, maxCycles)
 	}
 
-	rows := make([][]byte, maxPE+1)
-	for pe := range rows {
-		rows[pe] = []byte(strings.Repeat(".", int(span)))
-	}
 	sorted := append([]dataflow.NodeFire(nil), schedule...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].FireAt < sorted[j].FireAt })
+	spans := make([]ganttSpan, 0, len(sorted))
 	for _, f := range sorted {
-		mark := byte('0' + f.Node%10)
-		for c := f.FireAt; c < f.DoneAt; c++ {
-			rows[f.PE][c] = mark
-		}
+		spans = append(spans, ganttSpan{row: f.PE, start: f.FireAt, end: f.DoneAt, mark: byte('0' + f.Node%10)})
 	}
-
-	var b strings.Builder
-	fmt.Fprintf(&b, "cycles 0..%d, %d nodes:\n", span-1, len(schedule))
-	for pe, row := range rows {
-		fmt.Fprintf(&b, "PE%-2d |%s|\n", pe, row)
+	labels := make([]string, maxPE+1)
+	for pe := range labels {
+		labels[pe] = fmt.Sprintf("PE%d", pe)
 	}
-	return b.String(), nil
+	header := fmt.Sprintf("cycles 0..%d, %d nodes:\n", span-1, len(schedule))
+	return renderGantt(header, labels, spans, span), nil
 }

@@ -1,0 +1,91 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/obs"
+)
+
+// TraceGantt renders a recorded obs event stream as an ASCII timeline: the
+// terminal fallback for the Chrome trace export, sharing the renderer with
+// the dataflow schedule chart. One row per track (the machine track, when
+// present, renders first as "mach"); instruction spans print the op
+// mnemonic's first letter (or the node ID's last digit for dataflow
+// firings), network stalls overwrite with '!', barriers with '#' and
+// reconfigurations with '@'.
+func TraceGantt(events []obs.Event, maxCycles int) (string, error) {
+	if len(events) == 0 {
+		return "", fmt.Errorf("report: empty trace")
+	}
+	if maxCycles < 1 {
+		return "", fmt.Errorf("report: maxCycles must be >= 1, got %d", maxCycles)
+	}
+
+	span := int64(0)
+	trackSet := map[int32]bool{}
+	for _, e := range events {
+		if e.Cycle < 0 || e.Dur < 0 {
+			return "", fmt.Errorf("report: malformed trace event %+v", e)
+		}
+		end := e.Cycle + e.Dur
+		if e.Dur == 0 {
+			end = e.Cycle + 1
+		}
+		if end > span {
+			span = end
+		}
+		trackSet[e.Track] = true
+	}
+	if span > int64(maxCycles) {
+		return "", fmt.Errorf("report: trace spans %d cycles, cap is %d", span, maxCycles)
+	}
+
+	tracks := make([]int32, 0, len(trackSet))
+	for tr := range trackSet {
+		tracks = append(tracks, tr)
+	}
+	sort.Slice(tracks, func(i, j int) bool { return tracks[i] < tracks[j] })
+	row := map[int32]int{}
+	labels := make([]string, len(tracks))
+	for i, tr := range tracks {
+		row[tr] = i
+		if tr == obs.TrackMachine {
+			labels[i] = "mach"
+		} else {
+			labels[i] = fmt.Sprintf("P%d", tr)
+		}
+	}
+
+	// Instruction spans first, then overlays, so stalls and barriers stay
+	// visible on top of the busy intervals they interrupt.
+	var spans, overlays []ganttSpan
+	for _, e := range events {
+		end := e.Cycle + e.Dur
+		if e.Dur == 0 {
+			end = e.Cycle + 1
+		}
+		s := ganttSpan{row: row[e.Track], start: e.Cycle, end: end}
+		switch e.Kind {
+		case obs.KindInstr:
+			if e.Flags&obs.FlagHasOp != 0 {
+				s.mark = isa.Op(e.Arg).String()[0]
+			} else {
+				s.mark = byte('0' + e.Arg%10)
+			}
+			spans = append(spans, s)
+		case obs.KindStall:
+			s.mark = '!'
+			overlays = append(overlays, s)
+		case obs.KindBarrier:
+			s.mark = '#'
+			overlays = append(overlays, s)
+		case obs.KindReconfig:
+			s.mark = '@'
+			overlays = append(overlays, s)
+		}
+	}
+	header := fmt.Sprintf("cycles 0..%d, %d events:\n", span-1, len(events))
+	return renderGantt(header, labels, append(spans, overlays...), span), nil
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/interconnect"
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/taxonomy"
 )
 
@@ -38,6 +39,9 @@ type Config struct {
 	DPDP taxonomy.Link
 	// MaxCycles bounds the run; 0 means machine.DefaultMaxCycles.
 	MaxCycles int64
+	// Tracer, when non-nil, receives run events: one track per lane, plus
+	// network stalls on the source lane's track. Nil disables tracing.
+	Tracer obs.Tracer
 }
 
 // ForSubtype returns the configuration of one of the paper's four IAP
@@ -93,10 +97,11 @@ type Machine struct {
 	prog  isa.Program
 	banks []machine.Memory
 	regs  []machine.Regs
-	// laneNet carries DP-DP exchanges; nil for sub-types I and III.
-	laneNet *interconnect.Crossbar
+	// laneNet carries DP-DP exchanges; nil for sub-types I and III. It is
+	// wrapped by obs.ObserveNetwork when a tracer is configured.
+	laneNet interconnect.Network
 	// memNet carries cross-bank accesses; nil for direct DP-DM.
-	memNet *interconnect.Crossbar
+	memNet interconnect.Network
 	// mailboxes[src][dst] queues values sent but not yet received.
 	mailboxes [][][]isa.Word
 }
@@ -130,7 +135,7 @@ func New(cfg Config, prog isa.Program) (*Machine, error) {
 		if err != nil {
 			return nil, err
 		}
-		m.laneNet = net
+		m.laneNet = obs.ObserveNetwork(net, cfg.Tracer)
 		m.mailboxes = make([][][]isa.Word, cfg.Lanes)
 		for i := range m.mailboxes {
 			m.mailboxes[i] = make([][]isa.Word, cfg.Lanes)
@@ -141,7 +146,7 @@ func New(cfg Config, prog isa.Program) (*Machine, error) {
 		if err != nil {
 			return nil, err
 		}
-		m.memNet = net
+		m.memNet = obs.ObserveNetwork(net, cfg.Tracer)
 	}
 	return m, nil
 }
@@ -206,6 +211,7 @@ func (m *Machine) Run() (machine.Stats, error) {
 		ins := m.prog[pc]
 		issue := stats.Cycles
 		finish := issue + 1
+		tr := m.cfg.Tracer
 
 		switch {
 		case ins.Op.IsBranch():
@@ -217,12 +223,20 @@ func (m *Machine) Run() (machine.Stats, error) {
 			}
 			stats.Instructions++
 			stats.Cycles = finish
+			if tr != nil {
+				tr.Emit(obs.Event{Kind: obs.KindInstr, Flags: obs.FlagHasOp, Track: 0,
+					Cycle: issue, Dur: 1, Arg: int64(ins.Op)})
+			}
 			pc = out.NextPC
 			continue
 
 		case ins.Op == isa.OpHalt:
 			stats.Instructions++
 			stats.Cycles = finish
+			if tr != nil {
+				tr.Emit(obs.Event{Kind: obs.KindInstr, Flags: obs.FlagHasOp, Track: 0,
+					Cycle: issue, Dur: 1, Arg: int64(ins.Op)})
+			}
 			m.collectNetStats(&stats)
 			return stats, nil
 
@@ -231,6 +245,11 @@ func (m *Machine) Run() (machine.Stats, error) {
 			stats.Instructions++
 			stats.Barriers++
 			stats.Cycles = finish
+			if tr != nil {
+				tr.Emit(obs.Event{Kind: obs.KindInstr, Flags: obs.FlagHasOp, Track: 0,
+					Cycle: issue, Dur: 1, Arg: int64(ins.Op)})
+				tr.Emit(obs.Event{Kind: obs.KindBarrier, Track: obs.TrackMachine, Cycle: finish})
+			}
 			pc++
 			continue
 		}
@@ -262,6 +281,18 @@ func (m *Machine) Run() (machine.Stats, error) {
 				stats.Messages++
 			}
 		}
+		if tr != nil {
+			// Lockstep: every lane retires the same op, spanning the worst
+			// lane's completion (memory and network contention included).
+			flags := obs.FlagHasOp
+			if machine.IsALU(ins.Op) {
+				flags |= obs.FlagALU
+			}
+			for lane := 0; lane < m.cfg.Lanes; lane++ {
+				tr.Emit(obs.Event{Kind: obs.KindInstr, Flags: flags, Track: int32(lane),
+					Cycle: issue, Dur: finish - issue, Arg: int64(ins.Op)})
+			}
+		}
 		stats.Cycles = finish
 		pc++
 	}
@@ -270,7 +301,7 @@ func (m *Machine) Run() (machine.Stats, error) {
 // laneEnv builds the per-lane environment for one broadcast instruction.
 // finish accumulates the worst completion cycle across lanes.
 func (m *Machine) laneEnv(lane int, issue int64, finish *int64, stats *machine.Stats) machine.Env {
-	env := machine.Env{Lane: isa.Word(lane)}
+	env := machine.Env{Lane: isa.Word(lane), Tracer: m.cfg.Tracer, Now: issue, Track: int32(lane)}
 	env.Load = func(addr isa.Word) (isa.Word, error) {
 		bank, off, err := m.resolveAddr(lane, addr)
 		if err != nil {

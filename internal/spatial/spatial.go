@@ -28,6 +28,7 @@ import (
 	"repro/internal/interconnect"
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/taxonomy"
 )
 
@@ -46,6 +47,10 @@ type Config struct {
 	Window int
 	// MaxCycles bounds the run; 0 means machine.DefaultMaxCycles.
 	MaxCycles int64
+	// Tracer, when non-nil, receives run events: one track per cell, control
+	// instructions on the leader's track, IP-IP instruction streaming as send
+	// events, barrier releases on the machine track. Nil disables tracing.
+	Tracer obs.Tracer
 }
 
 // links returns the taxonomy links of this configuration.
@@ -104,6 +109,8 @@ type group struct {
 	halted  bool
 	readyAt int64
 	inSync  bool
+	// syncAt is the cycle the group reached the current SYNC (traced waits).
+	syncAt int64
 }
 
 // message is one DP-DP word in flight.
@@ -120,8 +127,8 @@ type Machine struct {
 	groups   []*group
 	assigned []bool
 	ipip     interconnect.Network
-	memNet   *interconnect.Crossbar
-	msgNet   *interconnect.Crossbar
+	memNet   interconnect.Network
+	msgNet   interconnect.Network
 	mail     [][][]message
 	sealed   bool
 }
@@ -154,27 +161,27 @@ func New(cfg Config) (*Machine, error) {
 		if err != nil {
 			return nil, err
 		}
-		m.ipip = net
+		m.ipip = obs.ObserveNetwork(net, cfg.Tracer)
 	} else {
 		net, err := interconnect.NewCrossbar(cfg.Cores)
 		if err != nil {
 			return nil, err
 		}
-		m.ipip = net
+		m.ipip = obs.ObserveNetwork(net, cfg.Tracer)
 	}
 	if links[taxonomy.SiteDPDM] == taxonomy.LinkCrossbar {
 		net, err := interconnect.NewCrossbar(cfg.Cores)
 		if err != nil {
 			return nil, err
 		}
-		m.memNet = net
+		m.memNet = obs.ObserveNetwork(net, cfg.Tracer)
 	}
 	if links[taxonomy.SiteDPDP] == taxonomy.LinkCrossbar {
 		net, err := interconnect.NewCrossbar(cfg.Cores)
 		if err != nil {
 			return nil, err
 		}
-		m.msgNet = net
+		m.msgNet = obs.ObserveNetwork(net, cfg.Tracer)
 		m.mail = make([][][]message, cfg.Cores)
 		for i := range m.mail {
 			m.mail[i] = make([][]message, cfg.Cores)
@@ -333,6 +340,7 @@ func (m *Machine) Run() (machine.Stats, error) {
 				g.readyAt = cycle + 1
 			case groupInSync:
 				g.inSync = true
+				g.syncAt = cycle
 				progress = true
 				m.tryReleaseSync(cycle+1, &stats)
 			case groupHalted:
@@ -375,6 +383,7 @@ func (m *Machine) stepGroup(g *group, ins isa.Instruction, cycle int64, stats *m
 		switch ins.Op {
 		case isa.OpHalt:
 			stats.Instructions++
+			m.emitInstr(int32(g.leader), cycle, 1, ins.Op)
 			bump(stats, finish)
 			return groupHalted, nil
 		case isa.OpSync:
@@ -385,6 +394,7 @@ func (m *Machine) stepGroup(g *group, ins isa.Instruction, cycle int64, stats *m
 				return 0, fmt.Errorf("spatial: group of leader %d pc %d: %w", g.leader, g.pc, err)
 			}
 			stats.Instructions++
+			m.emitInstr(int32(g.leader), cycle, 1, ins.Op)
 			g.pc = out.NextPC
 			bump(stats, finish)
 			return groupAdvanced, nil
@@ -419,6 +429,11 @@ func (m *Machine) stepGroup(g *group, ins isa.Instruction, cycle int64, stats *m
 			}
 			execAt = arrival
 			stats.Messages++
+			if m.cfg.Tracer != nil {
+				// Instruction streaming over the IP-IP switch is a message.
+				m.cfg.Tracer.Emit(obs.Event{Kind: obs.KindSend, Track: int32(g.leader),
+					Cycle: cycle, Arg: int64(cell)})
+			}
 		}
 		memberFinish := execAt + 1
 		env := m.cellEnv(cell, execAt, &memberFinish)
@@ -435,6 +450,7 @@ func (m *Machine) stepGroup(g *group, ins isa.Instruction, cycle int64, stats *m
 		if machine.IsALU(ins.Op) {
 			stats.ALUOps++
 		}
+		m.emitInstr(int32(cell), execAt, memberFinish-execAt, ins.Op)
 		if out.Mem {
 			if ins.Op == isa.OpLd {
 				stats.MemReads++
@@ -455,9 +471,22 @@ func (m *Machine) stepGroup(g *group, ins isa.Instruction, cycle int64, stats *m
 	return groupAdvanced, nil
 }
 
+// emitInstr traces one retired instruction when a tracer is configured.
+func (m *Machine) emitInstr(track int32, cycle, dur int64, op isa.Op) {
+	if m.cfg.Tracer == nil {
+		return
+	}
+	flags := obs.FlagHasOp
+	if machine.IsALU(op) {
+		flags |= obs.FlagALU
+	}
+	m.cfg.Tracer.Emit(obs.Event{Kind: obs.KindInstr, Flags: flags, Track: track,
+		Cycle: cycle, Dur: dur, Arg: int64(op)})
+}
+
 // cellEnv builds a member cell's environment.
 func (m *Machine) cellEnv(cell int, cycle int64, finish *int64) machine.Env {
-	env := machine.Env{Lane: isa.Word(cell)}
+	env := machine.Env{Lane: isa.Word(cell), Tracer: m.cfg.Tracer, Now: cycle, Track: int32(cell)}
 	env.Load = func(addr isa.Word) (isa.Word, error) {
 		bank, off, err := m.resolveAddr(cell, addr)
 		if err != nil {
@@ -552,8 +581,17 @@ func (m *Machine) tryReleaseSync(releaseCycle int64, stats *machine.Stats) {
 		g.pc++
 		g.readyAt = releaseCycle
 		stats.Instructions++
+		if m.cfg.Tracer != nil {
+			wait := releaseCycle - g.syncAt
+			m.emitInstr(int32(g.leader), g.syncAt, wait, isa.OpSync)
+			m.cfg.Tracer.Emit(obs.Event{Kind: obs.KindWait, Track: int32(g.leader),
+				Cycle: g.syncAt, Dur: wait})
+		}
 	}
 	stats.Barriers++
+	if m.cfg.Tracer != nil {
+		m.cfg.Tracer.Emit(obs.Event{Kind: obs.KindBarrier, Track: obs.TrackMachine, Cycle: releaseCycle})
+	}
 	bump(stats, releaseCycle)
 }
 

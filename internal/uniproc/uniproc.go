@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Config sizes the machine and its timing model.
@@ -31,6 +32,9 @@ type Config struct {
 	// the program counter, the instruction and a snapshot of the register
 	// file. Use it for debugging guest programs; it does not affect timing.
 	Trace func(pc int, ins isa.Instruction, regs machine.Regs)
+	// Tracer, when non-nil, receives run events (instruction retirements,
+	// memory traffic) on track 0. Nil disables tracing at zero cost.
+	Tracer obs.Tracer
 }
 
 // DefaultConfig returns a 64 KiW data memory and the default cycle budget.
@@ -84,10 +88,12 @@ func (m *Machine) Run() (machine.Stats, error) {
 	}
 
 	var regs machine.Regs
+	tr := m.cfg.Tracer
 	env := machine.Env{
-		Lane:  0,
-		Load:  m.mem.Load,
-		Store: m.mem.Store,
+		Lane:   0,
+		Load:   m.mem.Load,
+		Store:  m.mem.Store,
+		Tracer: tr,
 	}
 	pc := 0
 	for {
@@ -101,13 +107,16 @@ func (m *Machine) Run() (machine.Stats, error) {
 		if m.cfg.Trace != nil {
 			m.cfg.Trace(pc, ins, regs)
 		}
+		issue := stats.Cycles
+		env.Now = issue
 		out, err := machine.Step(&regs, pc, ins, env)
 		if err != nil {
 			return stats, fmt.Errorf("uniproc: pc %d: %w", pc, err)
 		}
 		stats.Cycles++
 		stats.Instructions++
-		if machine.IsALU(ins.Op) {
+		isALU := machine.IsALU(ins.Op)
+		if isALU {
 			stats.ALUOps++
 		}
 		if out.Mem {
@@ -124,6 +133,14 @@ func (m *Machine) Run() (machine.Stats, error) {
 		}
 		if ins.Op.IsBranch() && out.NextPC != pc+1 {
 			stats.Cycles += m.cfg.BranchPenalty
+		}
+		if tr != nil {
+			flags := obs.FlagHasOp
+			if isALU {
+				flags |= obs.FlagALU
+			}
+			tr.Emit(obs.Event{Kind: obs.KindInstr, Flags: flags, Track: 0,
+				Cycle: issue, Dur: stats.Cycles - issue, Arg: int64(ins.Op)})
 		}
 		pc = out.NextPC
 		if out.Halted {

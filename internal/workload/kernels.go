@@ -12,7 +12,7 @@ import (
 )
 
 // VecAddUni runs c = a + b on the instruction-flow uni-processor.
-func VecAddUni(a, b []isa.Word) (Result, error) {
+func VecAddUni(a, b []isa.Word, opts ...Option) (Result, error) {
 	want, err := RefVecAdd(a, b)
 	if err != nil {
 		return Result{}, err
@@ -22,7 +22,7 @@ func VecAddUni(a, b []isa.Word) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	m, err := uniproc.New(uniproc.Config{MemWords: 3*n + 16}, prog)
+	m, err := uniproc.New(uniproc.Config{MemWords: 3*n + 16, Tracer: applyOpts(opts).tracer}, prog)
 	if err != nil {
 		return Result{}, err
 	}
@@ -39,7 +39,7 @@ func VecAddUni(a, b []isa.Word) (Result, error) {
 
 // VecAddSIMD runs c = a + b on an IAP of the given sub-type, splitting the
 // vectors into contiguous per-lane chunks. len(a) must divide evenly.
-func VecAddSIMD(sub, lanes int, a, b []isa.Word) (Result, error) {
+func VecAddSIMD(sub, lanes int, a, b []isa.Word, opts ...Option) (Result, error) {
 	want, err := RefVecAdd(a, b)
 	if err != nil {
 		return Result{}, err
@@ -61,6 +61,7 @@ func VecAddSIMD(sub, lanes int, a, b []isa.Word) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	cfg.Tracer = applyOpts(opts).tracer
 	mach, err := simd.New(cfg, prog)
 	if err != nil {
 		return Result{}, err
@@ -92,7 +93,7 @@ func VecAddSIMD(sub, lanes int, a, b []isa.Word) (Result, error) {
 // VecAddMIMD runs c = a + b SPMD on an IMP of the given sub-type. Sub-types
 // with a direct IP-IM get one copy of the program per core; sub-types with
 // the IP-IM crossbar share a single image.
-func VecAddMIMD(sub, cores int, a, b []isa.Word) (Result, error) {
+func VecAddMIMD(sub, cores int, a, b []isa.Word, opts ...Option) (Result, error) {
 	want, err := RefVecAdd(a, b)
 	if err != nil {
 		return Result{}, err
@@ -114,6 +115,7 @@ func VecAddMIMD(sub, cores int, a, b []isa.Word) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	cfg.Tracer = applyOpts(opts).tracer
 	images := []isa.Program{prog}
 	if (sub-1)&4 == 0 { // IP-IM direct: one private copy per core
 		images = make([]isa.Program, cores)
@@ -150,7 +152,7 @@ func VecAddMIMD(sub, cores int, a, b []isa.Word) (Result, error) {
 }
 
 // DotUni computes the dot product on the uni-processor.
-func DotUni(a, b []isa.Word) (Result, error) {
+func DotUni(a, b []isa.Word, opts ...Option) (Result, error) {
 	want, err := RefDot(a, b)
 	if err != nil {
 		return Result{}, err
@@ -160,7 +162,7 @@ func DotUni(a, b []isa.Word) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	m, err := uniproc.New(uniproc.Config{MemWords: 2*n + 16}, prog)
+	m, err := uniproc.New(uniproc.Config{MemWords: 2*n + 16, Tracer: applyOpts(opts).tracer}, prog)
 	if err != nil {
 		return Result{}, err
 	}
@@ -179,7 +181,7 @@ func DotUni(a, b []isa.Word) (Result, error) {
 // over the lane network. It requires a DP-DP switch (sub-types II and IV)
 // and a power-of-two lane count; on sub-types I and III the run fails with
 // the machine's no-DP-DP error — the probe relies on that.
-func DotSIMD(sub, lanes int, a, b []isa.Word) (Result, error) {
+func DotSIMD(sub, lanes int, a, b []isa.Word, opts ...Option) (Result, error) {
 	want, err := RefDot(a, b)
 	if err != nil {
 		return Result{}, err
@@ -201,6 +203,7 @@ func DotSIMD(sub, lanes int, a, b []isa.Word) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	cfg.Tracer = applyOpts(opts).tracer
 	mach, err := simd.New(cfg, prog)
 	if err != nil {
 		return Result{}, err
@@ -227,7 +230,7 @@ func DotSIMD(sub, lanes int, a, b []isa.Word) (Result, error) {
 
 // DotMIMD computes the dot product SPMD on an IMP with the same butterfly
 // all-reduce; it requires the DP-DP crossbar (even sub-types).
-func DotMIMD(sub, cores int, a, b []isa.Word) (Result, error) {
+func DotMIMD(sub, cores int, a, b []isa.Word, opts ...Option) (Result, error) {
 	want, err := RefDot(a, b)
 	if err != nil {
 		return Result{}, err
@@ -249,6 +252,7 @@ func DotMIMD(sub, cores int, a, b []isa.Word) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	cfg.Tracer = applyOpts(opts).tracer
 	images := []isa.Program{prog}
 	if (sub-1)&4 == 0 {
 		images = make([]isa.Program, cores)
@@ -280,11 +284,130 @@ func DotMIMD(sub, cores int, a, b []isa.Word) (Result, error) {
 	return Result{Output: out, Stats: stats}, nil
 }
 
+// DotSIMDPartial computes the dot product on an IAP without a DP-DP
+// switch: every lane reduces its own chunk to a partial in its bank and
+// the host gathers — the only dot strategy sub-types I and III admit,
+// since the butterfly all-reduce DotSIMD uses is architecturally
+// impossible without lane-to-lane exchange (Table I).
+func DotSIMDPartial(sub, lanes int, a, b []isa.Word, opts ...Option) (Result, error) {
+	want, err := RefDot(a, b)
+	if err != nil {
+		return Result{}, err
+	}
+	n := len(a)
+	if lanes < 2 || n%lanes != 0 {
+		return Result{}, fmt.Errorf("workload: %d elements do not shard over %d lanes", n, lanes)
+	}
+	m := n / lanes
+	bankWords := 2*m + 16
+	global := 0
+	if sub == 3 || sub == 4 { // DP-DM crossbar: global addressing
+		global = bankWords
+	}
+	prog, err := dotPartialProgram(m, global)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg, err := simd.ForSubtype(sub, lanes, bankWords)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.Tracer = applyOpts(opts).tracer
+	mach, err := simd.New(cfg, prog)
+	if err != nil {
+		return Result{}, err
+	}
+	for lane := 0; lane < lanes; lane++ {
+		chunk := append(append([]isa.Word{}, a[lane*m:(lane+1)*m]...), b[lane*m:(lane+1)*m]...)
+		if err := mach.LoadLane(lane, 0, chunk); err != nil {
+			return Result{}, err
+		}
+	}
+	stats, err := mach.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	var sum isa.Word
+	for lane := 0; lane < lanes; lane++ {
+		part, err := mach.ReadLane(lane, 2*m, 1)
+		if err != nil {
+			return Result{}, err
+		}
+		sum += part[0]
+	}
+	if sum != want {
+		return Result{}, fmt.Errorf("workload: SIMD partial dot = %d, want %d", sum, want)
+	}
+	return Result{Output: []isa.Word{sum}, Stats: stats}, nil
+}
+
+// DotMIMDPartial is DotSIMDPartial on an IMP: per-core partials plus a
+// host-side gather, for the eight odd sub-types whose DP-DP switch is
+// absent and therefore cannot run DotMIMD's butterfly.
+func DotMIMDPartial(sub, cores int, a, b []isa.Word, opts ...Option) (Result, error) {
+	want, err := RefDot(a, b)
+	if err != nil {
+		return Result{}, err
+	}
+	n := len(a)
+	if cores < 2 || n%cores != 0 {
+		return Result{}, fmt.Errorf("workload: %d elements do not shard over %d cores", n, cores)
+	}
+	m := n / cores
+	bankWords := 2*m + 16
+	global := 0
+	if (sub-1)&2 != 0 { // DP-DM crossbar: global addressing
+		global = bankWords
+	}
+	prog, err := dotPartialProgram(m, global)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg, err := mimd.ForSubtype(sub, cores, bankWords)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.Tracer = applyOpts(opts).tracer
+	images := []isa.Program{prog}
+	if (sub-1)&4 == 0 {
+		images = make([]isa.Program, cores)
+		for i := range images {
+			images[i] = prog
+		}
+	}
+	mach, err := mimd.New(cfg, images)
+	if err != nil {
+		return Result{}, err
+	}
+	for core := 0; core < cores; core++ {
+		chunk := append(append([]isa.Word{}, a[core*m:(core+1)*m]...), b[core*m:(core+1)*m]...)
+		if err := mach.LoadBank(core, 0, chunk); err != nil {
+			return Result{}, err
+		}
+	}
+	stats, err := mach.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	var sum isa.Word
+	for core := 0; core < cores; core++ {
+		part, err := mach.ReadBank(core, 2*m, 1)
+		if err != nil {
+			return Result{}, err
+		}
+		sum += part[0]
+	}
+	if sum != want {
+		return Result{}, fmt.Errorf("workload: MIMD partial dot = %d, want %d", sum, want)
+	}
+	return Result{Output: []isa.Word{sum}, Stats: stats}, nil
+}
+
 // VecAddDataflow runs c = a + b as a static dataflow graph on a DMP of the
 // given sub-type. Elements are load/add/store chains; on multi-PE machines
 // each chain is kept PE-local (so even DMP-I can run it) and the banks are
 // sharded like the SIMD layout.
-func VecAddDataflow(sub, pes int, a, b []isa.Word) (Result, error) {
+func VecAddDataflow(sub, pes int, a, b []isa.Word, opts ...Option) (Result, error) {
 	want, err := RefVecAdd(a, b)
 	if err != nil {
 		return Result{}, err
@@ -325,6 +448,7 @@ func VecAddDataflow(sub, pes int, a, b []isa.Word) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	cfg.Tracer = applyOpts(opts).tracer
 	mach, err := dataflow.New(cfg, g, mapping)
 	if err != nil {
 		return Result{}, err
@@ -355,7 +479,7 @@ func VecAddDataflow(sub, pes int, a, b []isa.Word) (Result, error) {
 
 // VecAddFabric runs c = a + b serially through an adder overlay on the
 // universal-flow fabric: the USP acting as a pure data processor.
-func VecAddFabric(width int, a, b []isa.Word) (Result, error) {
+func VecAddFabric(width int, a, b []isa.Word, opts ...Option) (Result, error) {
 	want, err := RefVecAdd(a, b)
 	if err != nil {
 		return Result{}, err
@@ -364,6 +488,7 @@ func VecAddFabric(width int, a, b []isa.Word) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	f.SetTracer(applyOpts(opts).tracer)
 	ov, err := fabric.BuildAdder(f, width)
 	if err != nil {
 		return Result{}, err

@@ -69,7 +69,7 @@ func RefFIR(x, h []isa.Word) ([]isa.Word, error) {
 // Stencil3SIMD runs the periodic 3-point stencil on an IAP with halo
 // exchange over the lane network: it needs a DP-DP switch (sub-types II and
 // IV) and >= 3 lanes.
-func Stencil3SIMD(sub, lanes int, a []isa.Word) (Result, error) {
+func Stencil3SIMD(sub, lanes int, a []isa.Word, opts ...Option) (Result, error) {
 	want := RefStencil3Periodic(a)
 	n := len(a)
 	if lanes < 3 || n%lanes != 0 {
@@ -87,6 +87,7 @@ func Stencil3SIMD(sub, lanes int, a []isa.Word) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	cfg.Tracer = applyOpts(opts).tracer
 	mach, err := simd.New(cfg, prog)
 	if err != nil {
 		return Result{}, err
@@ -116,7 +117,7 @@ func Stencil3SIMD(sub, lanes int, a []isa.Word) (Result, error) {
 
 // Stencil3MIMD runs the same halo-exchange stencil SPMD on an IMP with a
 // DP-DP switch (even sub-types) and >= 3 cores.
-func Stencil3MIMD(sub, cores int, a []isa.Word) (Result, error) {
+func Stencil3MIMD(sub, cores int, a []isa.Word, opts ...Option) (Result, error) {
 	want := RefStencil3Periodic(a)
 	n := len(a)
 	if cores < 3 || n%cores != 0 {
@@ -134,6 +135,7 @@ func Stencil3MIMD(sub, cores int, a []isa.Word) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	cfg.Tracer = applyOpts(opts).tracer
 	mach, err := newSPMD(cfg, sub, cores, prog)
 	if err != nil {
 		return Result{}, err
@@ -164,7 +166,7 @@ func Stencil3MIMD(sub, cores int, a []isa.Word) (Result, error) {
 // ScanMIMD runs the distributed inclusive prefix sum on an IMP with a
 // DP-DP switch. The coordinator/worker role split requires per-core control
 // flow; there is deliberately no ScanSIMD — see probeIAPCannotActAsIMP.
-func ScanMIMD(sub, cores int, a []isa.Word) (Result, error) {
+func ScanMIMD(sub, cores int, a []isa.Word, opts ...Option) (Result, error) {
 	want := RefScan(a)
 	n := len(a)
 	if cores < 2 || n%cores != 0 {
@@ -182,6 +184,7 @@ func ScanMIMD(sub, cores int, a []isa.Word) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	cfg.Tracer = applyOpts(opts).tracer
 	mach, err := newSPMD(cfg, sub, cores, prog)
 	if err != nil {
 		return Result{}, err
@@ -212,7 +215,7 @@ func ScanMIMD(sub, cores int, a []isa.Word) (Result, error) {
 // MatMulMIMDReplicated runs C = A x B on an IMP of any sub-type by
 // replicating B into every core's bank: rows of A are sharded, B is copied
 // per core. This is how a machine *without* shared memory gets matmul.
-func MatMulMIMDReplicated(sub, cores int, a, b []isa.Word, rows, k, n int) (Result, error) {
+func MatMulMIMDReplicated(sub, cores int, a, b []isa.Word, rows, k, n int, opts ...Option) (Result, error) {
 	want, err := RefMatMul(a, b, rows, k, n)
 	if err != nil {
 		return Result{}, err
@@ -230,6 +233,7 @@ func MatMulMIMDReplicated(sub, cores int, a, b []isa.Word, rows, k, n int) (Resu
 	if err != nil {
 		return Result{}, err
 	}
+	cfg.Tracer = applyOpts(opts).tracer
 	// Replicated-B addressing is local: only direct-DP-DM sub-types keep
 	// local addressing in this simulator, so require one.
 	if (sub-1)&2 != 0 {
@@ -270,7 +274,7 @@ func MatMulMIMDReplicated(sub, cores int, a, b []isa.Word, rows, k, n int) (Resu
 // every core reads it through the memory crossbar. Compare its
 // NetConflictCycles with MatMulMIMDReplicated's zero — the storage/traffic
 // trade the two organisations make.
-func MatMulMIMDShared(sub, cores int, a, b []isa.Word, rows, k, n int) (Result, error) {
+func MatMulMIMDShared(sub, cores int, a, b []isa.Word, rows, k, n int, opts ...Option) (Result, error) {
 	want, err := RefMatMul(a, b, rows, k, n)
 	if err != nil {
 		return Result{}, err
@@ -293,6 +297,7 @@ func MatMulMIMDShared(sub, cores int, a, b []isa.Word, rows, k, n int) (Result, 
 	if err != nil {
 		return Result{}, err
 	}
+	cfg.Tracer = applyOpts(opts).tracer
 	mach, err := newSPMD(cfg, sub, cores, prog)
 	if err != nil {
 		return Result{}, err
@@ -325,7 +330,7 @@ func MatMulMIMDShared(sub, cores int, a, b []isa.Word, rows, k, n int) (Result, 
 
 // FIRUni runs the FIR filter on the uni-processor. x includes len(h)-1
 // trailing ghost samples relative to the output length.
-func FIRUni(x, h []isa.Word) (Result, error) {
+func FIRUni(x, h []isa.Word, opts ...Option) (Result, error) {
 	want, err := RefFIR(x, h)
 	if err != nil {
 		return Result{}, err
@@ -335,7 +340,7 @@ func FIRUni(x, h []isa.Word) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	mach, err := uniproc.New(uniproc.Config{MemWords: len(x) + len(h) + m + 16}, prog)
+	mach, err := uniproc.New(uniproc.Config{MemWords: len(x) + len(h) + m + 16, Tracer: applyOpts(opts).tracer}, prog)
 	if err != nil {
 		return Result{}, err
 	}
@@ -355,7 +360,7 @@ func FIRUni(x, h []isa.Word) (Result, error) {
 // from the next chunk, so no communication is needed and even IAP-I (no
 // DP-DP switch) runs it — the overlap is the software workaround for the
 // missing switch, bought with duplicated input words.
-func FIRSIMD(sub, lanes int, x, h []isa.Word) (Result, error) {
+func FIRSIMD(sub, lanes int, x, h []isa.Word, opts ...Option) (Result, error) {
 	want, err := RefFIR(x, h)
 	if err != nil {
 		return Result{}, err
@@ -378,6 +383,7 @@ func FIRSIMD(sub, lanes int, x, h []isa.Word) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	cfg.Tracer = applyOpts(opts).tracer
 	mach, err := simd.New(cfg, prog)
 	if err != nil {
 		return Result{}, err

@@ -33,9 +33,9 @@ type Probe struct {
 // RunProbes executes every morph probe and returns the reports. An error
 // means a probe could not run at all (an infrastructure failure, not a
 // claim failure).
-func RunProbes() ([]Probe, error) {
+func RunProbes(opts ...Option) ([]Probe, error) {
 	var probes []Probe
-	for _, fn := range []func() (Probe, error){
+	for _, fn := range []func(...Option) (Probe, error){
 		probeIMPActsAsIAP,
 		probeIAPCannotActAsIMP,
 		probeIAPActsAsIUP,
@@ -47,7 +47,7 @@ func RunProbes() ([]Probe, error) {
 		probeISPMorphsBetweenIMPAndIAP,
 		probeUSPImplementsDataflow,
 	} {
-		p, err := fn()
+		p, err := fn(opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -58,14 +58,14 @@ func RunProbes() ([]Probe, error) {
 
 // probeIMPActsAsIAP: "IMP-I can act as an array processor if all the
 // processors are executing the same program."
-func probeIMPActsAsIAP() (Probe, error) {
+func probeIMPActsAsIAP(opts ...Option) (Probe, error) {
 	a := seq(64, 1)
 	b := seq(64, 3)
-	simdRes, err := VecAddSIMD(1, 8, a, b)
+	simdRes, err := VecAddSIMD(1, 8, a, b, opts...)
 	if err != nil {
 		return Probe{}, fmt.Errorf("workload: IAP-I reference run failed: %v", err)
 	}
-	mimdRes, err := VecAddMIMD(1, 8, a, b)
+	mimdRes, err := VecAddMIMD(1, 8, a, b, opts...)
 	claim := Probe{Claim: "IMP-I can act as an array processor by running the same program on every core (§III.B)"}
 	if err != nil {
 		claim.Detail = fmt.Sprintf("SPMD vector add failed on IMP-I: %v", err)
@@ -80,7 +80,7 @@ func probeIMPActsAsIAP() (Probe, error) {
 // probeIAPCannotActAsIMP: "IAP-I cannot execute n different programs at the
 // same time" — per-processor control flow diverges and the lockstep machine
 // follows the control lane.
-func probeIAPCannotActAsIMP() (Probe, error) {
+func probeIAPCannotActAsIMP(opts ...Option) (Probe, error) {
 	const procs = 4
 	claim := Probe{Claim: "IAP cannot act as a multi-processor: one instruction stream cannot follow n divergent control flows (§III.B)"}
 
@@ -89,6 +89,7 @@ func probeIAPCannotActAsIMP() (Probe, error) {
 	if err != nil {
 		return Probe{}, err
 	}
+	cfg.Tracer = applyOpts(opts).tracer
 	images := make([]isa.Program, procs)
 	for i := range images {
 		images[i] = divergentProgram()
@@ -117,6 +118,7 @@ func probeIAPCannotActAsIMP() (Probe, error) {
 	if err != nil {
 		return Probe{}, err
 	}
+	scfg.Tracer = applyOpts(opts).tracer
 	sm, err := simd.New(scfg, divergentProgram())
 	if err != nil {
 		return Probe{}, err
@@ -143,10 +145,10 @@ func probeIAPCannotActAsIMP() (Probe, error) {
 
 // probeIAPActsAsIUP: "IAP-I can act as a uni-processor by turning off its
 // extra DPs."
-func probeIAPActsAsIUP() (Probe, error) {
+func probeIAPActsAsIUP(opts ...Option) (Probe, error) {
 	a := seq(16, 2)
 	b := seq(16, 5)
-	uniRes, err := VecAddUni(a, b)
+	uniRes, err := VecAddUni(a, b, opts...)
 	if err != nil {
 		return Probe{}, err
 	}
@@ -161,6 +163,7 @@ func probeIAPActsAsIUP() (Probe, error) {
 	if err != nil {
 		return Probe{}, err
 	}
+	cfg.Tracer = applyOpts(opts).tracer
 	sm, err := simd.New(cfg, prog)
 	if err != nil {
 		return Probe{}, err
@@ -188,14 +191,14 @@ func probeIAPActsAsIUP() (Probe, error) {
 // doesn't have enough DPs" — operationally, the IUP has no lane network and
 // no lanes, so the lane-parallel program is meaningless; the measurable
 // form is that the IUP takes ~n times the cycles of the n-lane IAP.
-func probeIUPCannotActAsIAP() (Probe, error) {
+func probeIUPCannotActAsIAP(opts ...Option) (Probe, error) {
 	a := seq(128, 1)
 	b := seq(128, 2)
-	uniRes, err := VecAddUni(a, b)
+	uniRes, err := VecAddUni(a, b, opts...)
 	if err != nil {
 		return Probe{}, err
 	}
-	simdRes, err := VecAddSIMD(1, 8, a, b)
+	simdRes, err := VecAddSIMD(1, 8, a, b, opts...)
 	if err != nil {
 		return Probe{}, err
 	}
@@ -210,13 +213,13 @@ func probeIUPCannotActAsIAP() (Probe, error) {
 
 // probeIAP1CannotExchange: sub-type I has no DP-DP switch, so the dot
 // product's butterfly all-reduce is impossible on IAP-I but runs on IAP-II.
-func probeIAP1CannotExchange() (Probe, error) {
+func probeIAP1CannotExchange(opts ...Option) (Probe, error) {
 	a := seq(64, 1)
 	b := seq(64, 1)
-	if _, err := DotSIMD(2, 8, a, b); err != nil {
+	if _, err := DotSIMD(2, 8, a, b, opts...); err != nil {
 		return Probe{}, fmt.Errorf("workload: dot on IAP-II failed: %v", err)
 	}
-	_, err := DotSIMD(1, 8, a, b)
+	_, err := DotSIMD(1, 8, a, b, opts...)
 	holds := err != nil && strings.Contains(err.Error(), "DP-DP")
 	detail := "dot-product all-reduce ran on IAP-II (DP-DP crossbar)"
 	if err != nil {
@@ -234,11 +237,12 @@ func probeIAP1CannotExchange() (Probe, error) {
 // probeUSPImplementsBothParadigms: the universal-flow fabric morphs into a
 // data processor, a state element and an instruction processor by
 // reconfiguration alone (§II.C, Fig 6).
-func probeUSPImplementsBothParadigms() (Probe, error) {
+func probeUSPImplementsBothParadigms(opts ...Option) (Probe, error) {
 	f, err := fabric.New(32, 16)
 	if err != nil {
 		return Probe{}, err
 	}
+	f.SetTracer(applyOpts(opts).tracer)
 	adder, err := fabric.BuildAdder(f, 8)
 	if err != nil {
 		return Probe{}, err
@@ -280,7 +284,7 @@ func probeUSPImplementsBothParadigms() (Probe, error) {
 
 // probeUSPPaysConfigOverhead: "this flexibility comes at the cost of
 // reconfiguration overhead in terms of configuration bits".
-func probeUSPPaysConfigOverhead() (Probe, error) {
+func probeUSPPaysConfigOverhead(opts ...Option) (Probe, error) {
 	// Configuration cost of implementing an 8-bit add: on the fabric it is
 	// the full bitstream (a real FPGA always loads configuration for every
 	// cell, used or not); on the IUP it is the program's instruction bits.
@@ -290,6 +294,7 @@ func probeUSPPaysConfigOverhead() (Probe, error) {
 	if err != nil {
 		return Probe{}, err
 	}
+	f.SetTracer(applyOpts(opts).tracer)
 	ov, err := fabric.BuildAdder(f, 8)
 	if err != nil {
 		return Probe{}, err
@@ -324,11 +329,12 @@ func probeUSPPaysConfigOverhead() (Probe, error) {
 // accumulator datapath) synthesised onto the LUT fabric executes a program
 // with the same semantics as its pure-software reference — the fabric
 // literally *becomes* an instruction-flow machine.
-func probeUSPExecutesStoredPrograms() (Probe, error) {
+func probeUSPExecutesStoredPrograms(opts ...Option) (Probe, error) {
 	f, err := fabric.New(fabric.MicroMachineCells, 0)
 	if err != nil {
 		return Probe{}, err
 	}
+	f.SetTracer(applyOpts(opts).tracer)
 	program := [fabric.MicroProgramLen]fabric.MicroInstr{
 		{Op: fabric.MicroLdi, Imm: 9},
 		{Op: fabric.MicroAdd, Imm: 8}, // 17 mod 16 = 1
@@ -367,7 +373,7 @@ func probeUSPExecutesStoredPrograms() (Probe, error) {
 // instruction processor spanning all cells (the IAP morph, program stored
 // once) and singleton groups (the IMP morph, programs replicated), with
 // identical results and the storage/control-traffic trade measurable.
-func probeISPMorphsBetweenIMPAndIAP() (Probe, error) {
+func probeISPMorphsBetweenIMPAndIAP(opts ...Option) (Probe, error) {
 	const cells = 4
 	prog := isa.MustAssemble(`
         lane r1
@@ -377,7 +383,7 @@ func probeISPMorphsBetweenIMPAndIAP() (Probe, error) {
         halt
 `)
 	build := func() (*spatial.Machine, error) {
-		return spatial.New(spatial.Config{Cores: cells, BankWords: 16, Sub: 2})
+		return spatial.New(spatial.Config{Cores: cells, BankWords: 16, Sub: 2, Tracer: applyOpts(opts).tracer})
 	}
 
 	composed, err := build()
@@ -437,7 +443,7 @@ func probeISPMorphsBetweenIMPAndIAP() (Probe, error) {
 // engine and as synthesized spatial logic on the LUT fabric, with
 // identical results — so the fabric implements data-flow machines as
 // literally as the micro-machine showed it implements instruction flow.
-func probeUSPImplementsDataflow() (Probe, error) {
+func probeUSPImplementsDataflow(opts ...Option) (Probe, error) {
 	g := dataflow.NewGraph()
 	a := g.Const(123)
 	b := g.Const(77)
@@ -451,6 +457,7 @@ func probeUSPImplementsDataflow() (Probe, error) {
 	if err != nil {
 		return Probe{}, err
 	}
+	cfg.Tracer = applyOpts(opts).tracer
 	dm, err := dataflow.New(cfg, g, dataflow.SinglePEMapping(g.Nodes()))
 	if err != nil {
 		return Probe{}, err
@@ -468,6 +475,7 @@ func probeUSPImplementsDataflow() (Probe, error) {
 	if err != nil {
 		return Probe{}, err
 	}
+	f.SetTracer(applyOpts(opts).tracer)
 	sres, err := synth.Synthesize(f, g, 16)
 	if err != nil {
 		return Probe{}, err

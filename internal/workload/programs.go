@@ -95,6 +95,41 @@ func dotButterflyProgramGlobal(m, procs, bankWords int) (isa.Program, error) {
 	return dotButterfly(m, procs, bankWords)
 }
 
+// dotPartialProgram computes a processor-local dot partial over the local
+// chunk at [0,m) x [m,2m) and stores it at address 2m, then halts — no
+// cross-processor reduction at all. It is the dot strategy for classes
+// without a DP-DP switch, where the all-reduce is architecturally
+// impossible (Table I) and the host must gather the partials instead.
+// bankWords == 0 selects local (direct DP-DM) addressing; otherwise
+// accesses are offset by the processor's global bank base.
+func dotPartialProgram(m, bankWords int) (isa.Program, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("workload: chunk length must be >= 1, got %d", m)
+	}
+	if bankWords != 0 && bankWords < 2*m+1 {
+		return nil, fmt.Errorf("workload: bank of %d words cannot hold 2x%d elements plus the result", bankWords, m)
+	}
+	src := fmt.Sprintf(`
+        lane r10            ; my index
+        muli r9, r10, %d    ; my bank base (0 under local addressing)
+        ldi  r1, 0          ; i
+        ldi  r2, %d         ; m
+        ldi  r8, 0          ; acc
+loop:   beq  r1, r2, done
+        add  r4, r9, r1
+        ld   r3, [r4+0]
+        ld   r5, [r4+%d]
+        mul  r6, r3, r5
+        add  r8, r8, r6
+        addi r1, r1, 1
+        jmp  loop
+done:   addi r9, r9, %d
+        st   r8, [r9+0]
+        halt
+`, bankWords, m, m, 2*m)
+	return isa.Assemble(src)
+}
+
 func dotButterfly(m, procs, bankWords int) (isa.Program, error) {
 	src := fmt.Sprintf(`
         lane r10            ; my index

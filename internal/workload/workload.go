@@ -13,7 +13,32 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
+
+// runOpts carries optional per-run settings kernels thread into the
+// machine configurations they build.
+type runOpts struct {
+	tracer obs.Tracer
+}
+
+// Option customises one kernel run.
+type Option func(*runOpts)
+
+// WithTracer routes the run's events (instruction retirements, memory and
+// network traffic, barriers, stalls) to tr. A nil tr is a no-op.
+func WithTracer(tr obs.Tracer) Option {
+	return func(o *runOpts) { o.tracer = tr }
+}
+
+// applyOpts folds the option list into a runOpts value.
+func applyOpts(opts []Option) runOpts {
+	var o runOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
 
 // Result is a kernel run's outcome on one machine class.
 type Result struct {
