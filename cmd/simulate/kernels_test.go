@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/conformance"
+)
+
+// TestEveryKernelHasConformanceCells: the kernels cmd/simulate accepts and
+// the kernels the conformance matrix covers must be the same set, and each
+// must have at least one runnable matrix cell — a kernel users can invoke
+// but the conformance suite never checks would be untested surface.
+func TestEveryKernelHasConformanceCells(t *testing.T) {
+	matrix := map[string]bool{}
+	for _, k := range conformance.KernelNames() {
+		matrix[k] = true
+	}
+	for _, k := range knownKernels {
+		if !matrix[k] {
+			t.Errorf("simulate kernel %q has no row in the conformance matrix", k)
+			continue
+		}
+		if len(conformance.CellsForKernel(k)) == 0 {
+			t.Errorf("kernel %q has no conformance cells", k)
+		}
+		delete(matrix, k)
+	}
+	for k := range matrix {
+		t.Errorf("conformance kernel %q is not runnable via cmd/simulate", k)
+	}
+}

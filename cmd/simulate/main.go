@@ -36,15 +36,21 @@ import (
 	"repro/internal/workload"
 )
 
+// knownKernels lists every kernel the -kernel flag accepts, across all
+// classes. The conformance matrix (internal/conformance) must cover each
+// of them; cmd/simulate's kernels_test.go pins that.
+var knownKernels = []string{"vecadd", "dot", "reduce", "fir", "matmul", "scan", "stencil"}
+
 func main() {
 	class := flag.String("class", "IUP", "machine class (IUP, IAP-I..IV, IMP-I..XVI, DMP-I..IV, USP)")
-	kernel := flag.String("kernel", "vecadd", "kernel: vecadd, dot, reduce, fir, matmul, scan or stencil (support varies by class)")
+	kernel := flag.String("kernel", "vecadd", "kernel: "+strings.Join(knownKernels, ", ")+" (support varies by class)")
 	n := flag.Int("n", 256, "problem size (elements; matmul rows)")
 	procs := flag.Int("procs", 8, "processors/lanes/PEs for parallel classes")
 	gantt := flag.Bool("gantt", false, "for DMP classes: show the firing schedule of a reduction-tree demo")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto or chrome://tracing)")
 	traceASCII := flag.Bool("trace-ascii", false, "print the recorded trace as an ASCII timeline")
 	metrics := flag.Bool("metrics", false, "print Prometheus-style metrics aggregated from the trace and cross-check them against the run stats")
+	metricsJSON := flag.Bool("metrics-json", false, "like -metrics but emit the aggregated metrics as a JSON document")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	flag.Parse()
 
@@ -71,7 +77,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*class, *kernel, *n, *procs, *tracePath, *traceASCII, *metrics); err != nil {
+	if err := run(*class, *kernel, *n, *procs, *tracePath, *traceASCII, *metrics, *metricsJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(1)
 	}
@@ -144,7 +150,7 @@ func kernelErr(kernel string, have ...string) error {
 	return fmt.Errorf("unknown kernel %q (have %s)", kernel, strings.Join(have, ", "))
 }
 
-func run(className, kernel string, n, procs int, tracePath string, traceASCII, metrics bool) error {
+func run(className, kernel string, n, procs int, tracePath string, traceASCII, metrics, metricsJSON bool) error {
 	c, err := taxonomy.LookupString(className)
 	if err != nil {
 		return err
@@ -158,7 +164,7 @@ func run(className, kernel string, n, procs int, tracePath string, traceASCII, m
 
 	var opts []workload.Option
 	var trace *obs.Trace
-	if tracePath != "" || traceASCII || metrics {
+	if tracePath != "" || traceASCII || metrics || metricsJSON {
 		trace = obs.NewTrace()
 		opts = append(opts, workload.WithTracer(trace))
 	}
@@ -207,8 +213,8 @@ func run(className, kernel string, n, procs int, tracePath string, traceASCII, m
 		fmt.Println()
 		fmt.Print(chart)
 	}
-	if metrics {
-		if err := printMetrics(c, events, res.Stats); err != nil {
+	if metrics || metricsJSON {
+		if err := printMetrics(c, events, res.Stats, metricsJSON); err != nil {
 			return err
 		}
 	}
@@ -228,16 +234,23 @@ func writeChrome(path string, c taxonomy.Class, kernel string, events []obs.Even
 }
 
 // printMetrics aggregates the trace into a registry, prints the Prometheus
-// text exposition, and cross-checks the counters against the run stats —
-// the invariant that the metrics layer observes exactly what the machine
-// accounted. The USP runner is exempt: fabric cycles are not evented.
-func printMetrics(c taxonomy.Class, events []obs.Event, stats machine.Stats) error {
+// text exposition (or, with asJSON, a JSON document), and cross-checks the
+// counters against the run stats — the invariant that the metrics layer
+// observes exactly what the machine accounted. The USP runner is exempt:
+// fabric cycles are not evented. In JSON mode a cross-check failure is
+// still an error, but the confirmation line is suppressed to keep the
+// emitted document parseable on its own.
+func printMetrics(c taxonomy.Class, events []obs.Event, stats machine.Stats, asJSON bool) error {
 	reg := obs.NewRegistry()
 	if err := obs.Collect(reg, events); err != nil {
 		return err
 	}
 	fmt.Println()
-	if err := reg.WriteProm(os.Stdout); err != nil {
+	if asJSON {
+		if err := reg.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else if err := reg.WriteProm(os.Stdout); err != nil {
 		return err
 	}
 	if c.Name.Machine == taxonomy.UniversalFlow {
@@ -265,7 +278,9 @@ func printMetrics(c taxonomy.Class, events []obs.Event, stats machine.Stats) err
 	if len(bad) > 0 {
 		return fmt.Errorf("metrics/stats cross-check failed:\n  %s", strings.Join(bad, "\n  "))
 	}
-	fmt.Println("\nmetrics cross-check: counters match the run stats")
+	if !asJSON {
+		fmt.Println("\nmetrics cross-check: counters match the run stats")
+	}
 	return nil
 }
 

@@ -1,0 +1,250 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// TestMatrixAllCellsConform is the tentpole invariant: every kernel × class
+// cell of the matrix computes the reference answer with consistent metrics.
+func TestMatrixAllCellsConform(t *testing.T) {
+	results, allPass := RunMatrix(DefaultParams())
+	if len(results) == 0 {
+		t.Fatal("empty conformance matrix")
+	}
+	if !allPass {
+		for _, r := range results {
+			if !r.Pass {
+				t.Errorf("%s on %s: %s", r.Kernel, r.Class, r.Err)
+			}
+		}
+	}
+	for _, r := range results {
+		if r.Pass && r.Cycles <= 0 {
+			t.Errorf("%s on %s: passing cell reports %d cycles", r.Kernel, r.Class, r.Cycles)
+		}
+	}
+}
+
+// TestMatrixAtLargerSizing re-runs the matrix at a second operating point so
+// a kernel that only conforms at the default sizing cannot hide.
+func TestMatrixAtLargerSizing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: default sizing only")
+	}
+	results, allPass := RunMatrix(Params{N: 128, Procs: 8})
+	if !allPass {
+		for _, r := range results {
+			if !r.Pass {
+				t.Errorf("%s on %s: %s", r.Kernel, r.Class, r.Err)
+			}
+		}
+	}
+}
+
+// TestMatrixCoversEveryKernel: each kernel row exists, and every cell's
+// labels come from the canonical vocabularies.
+func TestMatrixCoversEveryKernel(t *testing.T) {
+	kernels := map[string]bool{}
+	for _, k := range KernelNames() {
+		kernels[k] = false
+	}
+	classes := map[string]bool{}
+	for _, c := range ClassNames() {
+		classes[c] = true
+	}
+	for _, cell := range Matrix() {
+		seen, known := kernels[cell.Kernel]
+		if !known {
+			t.Errorf("cell kernel %q not in KernelNames", cell.Kernel)
+		}
+		_ = seen
+		kernels[cell.Kernel] = true
+		if !classes[cell.Class] {
+			t.Errorf("cell class %q not in ClassNames", cell.Class)
+		}
+	}
+	for k, covered := range kernels {
+		if !covered {
+			t.Errorf("kernel %q has no conformance cell", k)
+		}
+	}
+}
+
+// TestVecAddCoversEveryClass: the universal kernel must appear on every
+// machine-class column — all six classes, every simulated sub-type.
+func TestVecAddCoversEveryClass(t *testing.T) {
+	covered := map[string]bool{}
+	for _, cell := range CellsForKernel("vecadd") {
+		covered[cell.Class] = true
+	}
+	for _, class := range ClassNames() {
+		if !covered[class] {
+			t.Errorf("class %s has no vecadd cell", class)
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+		ok   bool
+	}{
+		{"default", DefaultParams(), true},
+		{"larger", Params{N: 128, Procs: 8}, true},
+		{"zero n", Params{N: 0, Procs: 4}, false},
+		{"negative n", Params{N: -8, Procs: 4}, false},
+		{"procs too small", Params{N: 64, Procs: 2}, false},
+		{"procs not pow2", Params{N: 60, Procs: 6}, false},
+		{"n not sharded", Params{N: 63, Procs: 4}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.p.Validate()
+			if tc.ok && err != nil {
+				t.Errorf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+// TestRunDetectsWrongOutput: a cell whose machine result disagrees with the
+// reference must fail — the detector itself is tested, not just the happy
+// path.
+func TestRunDetectsWrongOutput(t *testing.T) {
+	lying := Cell{Kernel: "vecadd", Class: "IUP", run: func(p Params, opts ...workload.Option) (workload.Result, []isa.Word, error) {
+		a, b := inputs(p.N)
+		want, err := workload.RefVecAdd(a, b)
+		if err != nil {
+			return workload.Result{}, nil, err
+		}
+		res, err := workload.VecAddUni(a, b, opts...)
+		if err == nil && len(res.Output) > 0 {
+			res.Output[0]++ // inject a single-word divergence
+		}
+		return res, want, err
+	}}
+	r := Run(lying, DefaultParams())
+	if r.Pass {
+		t.Fatal("cell with corrupted output passed")
+	}
+	if !strings.Contains(r.Err, "reference") {
+		t.Errorf("error %q does not mention the reference", r.Err)
+	}
+}
+
+// TestRunDetectsBadParams: invalid sizing is reported per cell, not
+// panicked on.
+func TestRunDetectsBadParams(t *testing.T) {
+	cells := Matrix()
+	r := Run(cells[0], Params{N: 63, Procs: 4})
+	if r.Pass {
+		t.Fatal("cell passed with invalid params")
+	}
+}
+
+// TestRunDetectsStatsDrift: a run whose reported Stats disagree with the
+// trace it emitted must fail the metric cross-check, and a run claiming
+// zero cycles must fail the timing sanity check — the detectors the
+// whole matrix leans on.
+func TestRunDetectsStatsDrift(t *testing.T) {
+	lie := func(mutate func(*workload.Result)) Cell {
+		return Cell{Kernel: "vecadd", Class: "IUP", run: func(p Params, opts ...workload.Option) (workload.Result, []isa.Word, error) {
+			a, b := inputs(p.N)
+			want, err := workload.RefVecAdd(a, b)
+			if err != nil {
+				return workload.Result{}, nil, err
+			}
+			res, err := workload.VecAddUni(a, b, opts...)
+			if err == nil {
+				mutate(&res)
+			}
+			return res, want, err
+		}}
+	}
+	r := Run(lie(func(res *workload.Result) { res.Stats.ALUOps++ }), DefaultParams())
+	if r.Pass {
+		t.Fatal("cell with drifted ALU count passed")
+	}
+	if !strings.Contains(r.Err, "cross-check") {
+		t.Errorf("error %q does not mention the cross-check", r.Err)
+	}
+	r = Run(lie(func(res *workload.Result) { res.Stats.Cycles = 0 }), DefaultParams())
+	if r.Pass {
+		t.Fatal("cell claiming zero cycles passed")
+	}
+	if !strings.Contains(r.Err, "cycles") {
+		t.Errorf("error %q does not mention cycles", r.Err)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	results, _ := RunMatrix(DefaultParams())
+	var b strings.Builder
+	if err := WriteTable(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"vecadd", "matmul", "✓", "IMP×16", "all"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "✗") {
+		t.Errorf("table reports failing cells:\n%s", out)
+	}
+}
+
+func TestWriteTableRendersFailure(t *testing.T) {
+	results := []CellResult{
+		{Kernel: "vecadd", Class: "IUP", Pass: true},
+		{Kernel: "dot", Class: "IAP-II", Pass: false, Err: "boom"},
+	}
+	var b strings.Builder
+	if err := WriteTable(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "✗") || !strings.Contains(out, "boom") {
+		t.Errorf("failing cell not surfaced:\n%s", out)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	results := []CellResult{{Kernel: "vecadd", Class: "IUP", Pass: true, Cycles: 10}}
+	var b strings.Builder
+	if err := WriteJSON(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"pass": true`, `"kernel": "vecadd"`, `"cycles": 10`, `"summary"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	results := []CellResult{
+		{Kernel: "dot", Pass: true},
+		{Kernel: "dot", Pass: false},
+		{Kernel: "vecadd", Pass: true},
+	}
+	got := Summary(results)
+	want := []string{"dot 1/2", "vecadd 1/1"}
+	if len(got) != len(want) {
+		t.Fatalf("Summary = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Summary[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

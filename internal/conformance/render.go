@@ -1,0 +1,151 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTable renders results as a kernel × class grid: ✓ for a passing
+// cell, ✗ for a failing one, · where the class cannot run the kernel.
+// Failing cells are detailed below the grid.
+func WriteTable(w io.Writer, results []CellResult) error {
+	byCell := map[string]map[string]*CellResult{}
+	for i := range results {
+		r := &results[i]
+		if byCell[r.Kernel] == nil {
+			byCell[r.Kernel] = map[string]*CellResult{}
+		}
+		byCell[r.Kernel][r.Class] = r
+	}
+	classes := ClassNames()
+	kernels := KernelNames()
+
+	width := 0
+	for _, k := range kernels {
+		if len(k) > width {
+			width = len(k)
+		}
+	}
+
+	// Header: class labels rendered vertically would be unreadable in
+	// plain text; instead group the columns per class family.
+	if _, err := fmt.Fprintf(w, "%-*s", width+2, ""); err != nil {
+		return err
+	}
+	for _, cl := range classes {
+		short := classColumnLabel(cl)
+		if _, err := fmt.Fprintf(w, "%3s", short); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w)
+
+	for _, k := range kernels {
+		if _, err := fmt.Fprintf(w, "%-*s", width+2, k); err != nil {
+			return err
+		}
+		for _, cl := range classes {
+			mark := "  ·"
+			if r, ok := byCell[k][cl]; ok {
+				if r.Pass {
+					mark = "  ✓"
+				} else {
+					mark = "  ✗"
+				}
+			}
+			if _, err := io.WriteString(w, mark); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "\ncolumns: %s\n", strings.Join(classFamilies(classes), "  "))
+
+	var failed []CellResult
+	for _, r := range results {
+		if !r.Pass {
+			failed = append(failed, r)
+		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(w, "\n%d MISMATCHED CELL(S):\n", len(failed))
+		for _, r := range failed {
+			fmt.Fprintf(w, "  %s on %s: %s\n", r.Kernel, r.Class, r.Err)
+		}
+	} else {
+		fmt.Fprintf(w, "all %d cells conform: every class computes the reference answer\n", len(results))
+	}
+	return nil
+}
+
+// classColumnLabel compresses a class name into a 2-3 char column header:
+// the sub-type number for sub-typed classes, the class initial otherwise.
+func classColumnLabel(class string) string {
+	i := strings.IndexByte(class, '-')
+	if i < 0 {
+		return class[:1]
+	}
+	return romanToArabicLabel(class[i+1:])
+}
+
+// romanToArabicLabel renders a roman sub-type as its arabic number so the
+// grid columns stay narrow.
+func romanToArabicLabel(roman string) string {
+	vals := map[string]int{"I": 1, "II": 2, "III": 3, "IV": 4, "V": 5, "VI": 6,
+		"VII": 7, "VIII": 8, "IX": 9, "X": 10, "XI": 11, "XII": 12,
+		"XIII": 13, "XIV": 14, "XV": 15, "XVI": 16}
+	if v, ok := vals[roman]; ok {
+		return fmt.Sprintf("%d", v)
+	}
+	return roman
+}
+
+// classFamilies summarises the column layout for the grid legend.
+func classFamilies(classes []string) []string {
+	var fams []string
+	var cur string
+	count := 0
+	flush := func() {
+		if cur == "" {
+			return
+		}
+		if count > 1 {
+			fams = append(fams, fmt.Sprintf("%s×%d", cur, count))
+		} else {
+			fams = append(fams, cur)
+		}
+	}
+	for _, cl := range classes {
+		fam := cl
+		if i := strings.IndexByte(cl, '-'); i >= 0 {
+			fam = cl[:i]
+		}
+		if fam != cur {
+			flush()
+			cur, count = fam, 0
+		}
+		count++
+	}
+	flush()
+	return fams
+}
+
+// WriteJSON renders the results as a JSON document: the matrix plus an
+// aggregate verdict, for machine consumption in CI.
+func WriteJSON(w io.Writer, results []CellResult) error {
+	allPass := true
+	for _, r := range results {
+		allPass = allPass && r.Pass
+	}
+	doc := struct {
+		Pass    bool         `json:"pass"`
+		Cells   []CellResult `json:"cells"`
+		Summary []string     `json:"summary"`
+	}{Pass: allPass, Cells: results, Summary: Summary(results)}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

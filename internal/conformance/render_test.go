@@ -1,0 +1,33 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassColumnLabel(t *testing.T) {
+	cases := []struct{ class, want string }{
+		{"IUP", "I"},
+		{"USP", "U"},
+		{"IAP-II", "2"},
+		{"IMP-XVI", "16"},
+		{"DMP-IV", "4"},
+		{"XXX-ZZ", "ZZ"}, // non-roman sub-type falls through unchanged
+	}
+	for _, tc := range cases {
+		if got := classColumnLabel(tc.class); got != tc.want {
+			t.Errorf("classColumnLabel(%q) = %q, want %q", tc.class, got, tc.want)
+		}
+	}
+}
+
+func TestClassFamilies(t *testing.T) {
+	got := classFamilies([]string{"IUP", "IAP-I", "IAP-II", "USP"})
+	want := []string{"IUP", "IAP×2", "USP"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("classFamilies = %v, want %v", got, want)
+	}
+	if out := classFamilies(nil); len(out) != 0 {
+		t.Errorf("classFamilies(nil) = %v", out)
+	}
+}

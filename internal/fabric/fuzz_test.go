@@ -1,0 +1,51 @@
+package fabric
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzBitstreamRoundTrip: any byte string UnmarshalBitstream accepts must
+// re-marshal (the decoded configuration is valid by definition) and
+// unmarshal again to the identical shape and configuration. Rejected
+// inputs only assert that the parser fails cleanly — no panic, no
+// unbounded allocation — which is the point of fuzzing a configuration
+// port.
+func FuzzBitstreamRoundTrip(f *testing.F) {
+	// A valid 2-cell bitstream: an FF divider reading the inverter, the
+	// inverter reading pin 0.
+	cfg := []CellConfig{
+		{Truth: 0x0002, UseFF: true, Inputs: [4]Source{{Kind: SourceCell, Index: 1}}},
+		{Truth: 0x0001, Inputs: [4]Source{{Kind: SourceInput, Index: 0}, {Kind: SourceOne}}},
+	}
+	bs, err := MarshalBitstream(2, 1, cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bs)
+	bad := append([]byte(nil), bs...)
+	bad[0] ^= 0xFF // breaks the magic and the checksum
+	f.Add(bad)
+	f.Add([]byte("FAB1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cells, inputs, cfg, err := UnmarshalBitstream(data)
+		if err != nil {
+			return // rejected; the parser survived is the property
+		}
+		out, err := MarshalBitstream(cells, inputs, cfg)
+		if err != nil {
+			t.Fatalf("accepted bitstream does not re-marshal: %v", err)
+		}
+		cells2, inputs2, cfg2, err := UnmarshalBitstream(out)
+		if err != nil {
+			t.Fatalf("re-marshaled bitstream rejected: %v", err)
+		}
+		if cells2 != cells || inputs2 != inputs {
+			t.Fatalf("round trip changed the shape: %dx%d -> %dx%d", cells, inputs, cells2, inputs2)
+		}
+		if !reflect.DeepEqual(cfg2, cfg) {
+			t.Fatalf("round trip changed the configuration:\n%v\n%v", cfg, cfg2)
+		}
+	})
+}

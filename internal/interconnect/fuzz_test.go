@@ -1,0 +1,73 @@
+package interconnect
+
+import "testing"
+
+// FuzzOmegaRouting: under destination-tag routing every message's path
+// has exactly one link per stage and its final link index equals the
+// destination — the delivery invariant of the omega construction. The
+// transfer layered on top must arrive no earlier than one cycle per
+// stage and keep its counters self-consistent, and out-of-range
+// endpoints must be rejected rather than mis-routed.
+func FuzzOmegaRouting(f *testing.F) {
+	f.Add(uint8(2), uint16(0), uint16(7), uint16(3), uint16(7))
+	f.Add(uint8(0), uint16(0), uint16(1), uint16(1), uint16(0))
+	f.Add(uint8(3), uint16(15), uint16(0), uint16(8), uint16(8))
+	f.Add(uint8(1), uint16(2), uint16(2), uint16(2), uint16(2))
+	f.Fuzz(func(t *testing.T, portSel uint8, src1, dst1, src2, dst2 uint16) {
+		ports := []int{2, 4, 8, 16}[int(portSel)%4]
+		o, err := NewOmega(ports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := [][2]int{
+			{int(src1) % ports, int(dst1) % ports},
+			{int(src2) % ports, int(dst2) % ports},
+		}
+		var now int64
+		for i, pr := range pairs {
+			src, dst := pr[0], pr[1]
+			path, err := o.Path(src, dst)
+			if err != nil {
+				t.Fatalf("path %d->%d on %d ports: %v", src, dst, ports, err)
+			}
+			if len(path) != o.Stages() {
+				t.Fatalf("path %d->%d has %d links, want one per stage (%d)", src, dst, len(path), o.Stages())
+			}
+			for s, link := range path {
+				if link < 0 || link >= ports {
+					t.Fatalf("path %d->%d stage %d uses link %d outside [0,%d)", src, dst, s, link, ports)
+				}
+			}
+			if got := path[len(path)-1]; got != dst {
+				t.Fatalf("message %d->%d delivered to link %d", src, dst, got)
+			}
+			arrival, err := o.Transfer(now, src, dst)
+			if err != nil {
+				t.Fatalf("transfer %d->%d: %v", src, dst, err)
+			}
+			if arrival < now+int64(o.Stages()) {
+				t.Fatalf("transfer %d->%d arrived at %d, cannot beat %d stages from %d", src, dst, arrival, o.Stages(), now)
+			}
+			st := o.Stats()
+			if st.Transfers != int64(i+1) {
+				t.Fatalf("stats count %d transfers after %d", st.Transfers, i+1)
+			}
+			if st.TotalLatency < st.Transfers*int64(o.Stages()) {
+				t.Fatalf("total latency %d below the %d-stage floor for %d transfers", st.TotalLatency, o.Stages(), st.Transfers)
+			}
+			if st.ConflictCycles < 0 {
+				t.Fatalf("negative conflict cycles %d", st.ConflictCycles)
+			}
+		}
+		if _, err := o.Path(-1, 0); err == nil {
+			t.Fatal("negative source port accepted")
+		}
+		if _, err := o.Path(0, ports); err == nil {
+			t.Fatal("destination one past the last port accepted")
+		}
+		o.Reset()
+		if o.Stats() != (Stats{}) {
+			t.Fatal("Reset left stats behind")
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAsmRoundTrip: any source the assembler accepts must render, via
+// Instruction.String, back into text that assembles to the identical
+// program, and the accepted program must survive the binary
+// Encode/Decode path unchanged. Inputs the assembler rejects are fine —
+// the property is only that acceptance implies round-trip stability
+// (and that no input panics the parser).
+func FuzzAsmRoundTrip(f *testing.F) {
+	f.Add("ldi r1, 42\nadd r2, r2, r1\nhalt")
+	f.Add("loop: addi r1, r1, -1\nbne r1, r0, loop\nhalt")
+	f.Add("ld r3, [r4+8]\nst r3, [r4-8]\nsync\nlane r5\nsend r1, r2\nrecv r3, r2\nmov r1, r2\njmp +0\nnop\nhalt")
+	f.Add("x: y: beq r0, r0, 0x1 ; trailing comment\nnop\nhalt")
+	f.Add("muli r9, r9, -4\nshr r1, r2, r3\nmin r4, r5, r6")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			return // rejected input; nothing to round-trip
+		}
+		var b strings.Builder
+		for _, ins := range prog {
+			b.WriteString(ins.String())
+			b.WriteByte('\n')
+		}
+		prog2, err := Assemble(b.String())
+		if err != nil {
+			t.Fatalf("rendering of accepted program does not re-assemble: %v\nrendered:\n%s", err, b.String())
+		}
+		if len(prog2) != len(prog) {
+			t.Fatalf("round trip changed program length: %d -> %d", len(prog), len(prog2))
+		}
+		for i := range prog {
+			if prog[i] != prog2[i] {
+				t.Fatalf("round trip changed instruction %d: %v -> %v", i, prog[i], prog2[i])
+			}
+		}
+
+		words, err := EncodeProgram(prog)
+		if err != nil {
+			t.Fatalf("accepted program does not encode: %v", err)
+		}
+		prog3, err := DecodeProgram(words)
+		if err != nil {
+			t.Fatalf("encoded program does not decode: %v", err)
+		}
+		for i := range prog {
+			if prog[i] != prog3[i] {
+				t.Fatalf("binary round trip changed instruction %d: %v -> %v", i, prog[i], prog3[i])
+			}
+		}
+	})
+}
+
+// FuzzEncodeDecode: any word Decode accepts must re-encode to a word
+// that decodes to the identical instruction. (Encode(Decode(w)) need not
+// equal w — the unused bits 20..31 are not preserved — but the decoded
+// form is canonical and must be a fixed point.)
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(^uint64(0))
+	f.Add(EncodeRaw(Instruction{Op: OpAddi, Rd: 1, Ra: 2, Imm: -7}))
+	f.Add(EncodeRaw(Instruction{Op: OpSt, Rb: 13, Ra: 14, Imm: 62}))
+	f.Fuzz(func(t *testing.T, w uint64) {
+		ins, err := Decode(w)
+		if err != nil {
+			return // invalid word; must be rejected, not mis-decoded
+		}
+		if err := ins.Validate(); err != nil {
+			t.Fatalf("Decode accepted an invalid instruction: %v", err)
+		}
+		w2, err := Encode(ins)
+		if err != nil {
+			t.Fatalf("decoded instruction does not re-encode: %v", err)
+		}
+		ins2, err := Decode(w2)
+		if err != nil {
+			t.Fatalf("re-encoded word does not decode: %v", err)
+		}
+		if ins2 != ins {
+			t.Fatalf("decode not a fixed point: %v -> %v", ins, ins2)
+		}
+	})
+}

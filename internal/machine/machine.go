@@ -91,18 +91,21 @@ func (m Memory) Store(addr, val isa.Word) error {
 	return nil
 }
 
-// CopyIn writes vals into the bank starting at base.
+// CopyIn writes vals into the bank starting at base. The bounds check is
+// phrased as a subtraction so a huge base cannot overflow base+len(vals)
+// into an accepted negative value.
 func (m Memory) CopyIn(base int, vals []isa.Word) error {
-	if base < 0 || base+len(vals) > len(m) {
+	if base < 0 || base > len(m) || len(vals) > len(m)-base {
 		return fmt.Errorf("machine: copy of %d words at %d outside bank of %d words", len(vals), base, len(m))
 	}
 	copy(m[base:], vals)
 	return nil
 }
 
-// CopyOut reads n words starting at base.
+// CopyOut reads n words starting at base. Like CopyIn, the bounds check
+// avoids the base+n overflow.
 func (m Memory) CopyOut(base, n int) ([]isa.Word, error) {
-	if base < 0 || n < 0 || base+n > len(m) {
+	if base < 0 || n < 0 || base > len(m) || n > len(m)-base {
 		return nil, fmt.Errorf("machine: read of %d words at %d outside bank of %d words", n, base, len(m))
 	}
 	out := make([]isa.Word, n)

@@ -1,0 +1,127 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestMemoryEdgeCases is the table-driven bounds audit of the Memory API:
+// every rejection path, every degenerate-but-legal shape, and the
+// integer-overflow regression where base+len wrapped negative and the old
+// check admitted a copy far past the bank.
+func TestMemoryEdgeCases(t *testing.T) {
+	mem, err := NewMemory(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("NewMemory", func(t *testing.T) {
+		if _, err := NewMemory(-1); err == nil {
+			t.Error("negative size accepted")
+		}
+		empty, err := NewMemory(0)
+		if err != nil || len(empty) != 0 {
+			t.Errorf("zero-word bank: %v, len %d", err, len(empty))
+		}
+	})
+
+	t.Run("CopyIn", func(t *testing.T) {
+		cases := []struct {
+			name string
+			base int
+			vals []isa.Word
+			ok   bool
+		}{
+			{"full bank", 0, make([]isa.Word, 8), true},
+			{"interior", 3, []isa.Word{1, 2}, true},
+			{"zero words at end", 8, nil, true},
+			{"zero words at start", 0, nil, true},
+			{"negative base", -1, []isa.Word{1}, false},
+			{"base past end", 9, nil, false},
+			{"tail overrun", 7, []isa.Word{1, 2}, false},
+			{"vals longer than bank", 0, make([]isa.Word, 9), false},
+			{"overflowing base", math.MaxInt, []isa.Word{1}, false},
+			{"overflowing base zero words", math.MaxInt - 1, nil, false},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				err := mem.CopyIn(tc.base, tc.vals)
+				if tc.ok && err != nil {
+					t.Errorf("CopyIn(%d, %d words) = %v", tc.base, len(tc.vals), err)
+				}
+				if !tc.ok && err == nil {
+					t.Errorf("CopyIn(%d, %d words) accepted", tc.base, len(tc.vals))
+				}
+			})
+		}
+	})
+
+	t.Run("CopyOut", func(t *testing.T) {
+		cases := []struct {
+			name    string
+			base, n int
+			ok      bool
+		}{
+			{"full bank", 0, 8, true},
+			{"interior", 5, 2, true},
+			{"zero words at end", 8, 0, true},
+			{"negative base", -1, 1, false},
+			{"negative count", 0, -1, false},
+			{"base past end", 9, 0, false},
+			{"tail overrun", 7, 2, false},
+			{"overflowing base", math.MaxInt, 1, false},
+			{"overflowing count", 1, math.MaxInt, false},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				out, err := mem.CopyOut(tc.base, tc.n)
+				if tc.ok && (err != nil || len(out) != tc.n) {
+					t.Errorf("CopyOut(%d, %d) = %d words, %v", tc.base, tc.n, len(out), err)
+				}
+				if !tc.ok && err == nil {
+					t.Errorf("CopyOut(%d, %d) accepted", tc.base, tc.n)
+				}
+			})
+		}
+	})
+
+	t.Run("RoundTrip", func(t *testing.T) {
+		vals := []isa.Word{10, 20, 30}
+		if err := mem.CopyIn(2, vals); err != nil {
+			t.Fatal(err)
+		}
+		got, err := mem.CopyOut(2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Errorf("word %d: %d, want %d", i, got[i], vals[i])
+			}
+		}
+		// CopyOut must return a copy, not an alias into the bank.
+		got[0] = 999
+		if v, _ := mem.Load(2); v != 10 {
+			t.Errorf("CopyOut aliases the bank: word 2 became %d", v)
+		}
+	})
+
+	t.Run("LoadStore", func(t *testing.T) {
+		for _, addr := range []isa.Word{-1, 8, math.MaxInt64} {
+			if _, err := mem.Load(addr); err == nil {
+				t.Errorf("Load(%d) accepted", addr)
+			}
+			if err := mem.Store(addr, 1); err == nil {
+				t.Errorf("Store(%d) accepted", addr)
+			}
+		}
+		if err := mem.Store(0, 42); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := mem.Load(0); err != nil || v != 42 {
+			t.Errorf("Load(0) = %d, %v", v, err)
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestRefHelperEdgeCases audits the reference helpers the conformance
+// matrix trusts: mismatched lengths, empty inputs, and degenerate shapes
+// must be rejected or handled, never mis-summed.
+func TestRefHelperEdgeCases(t *testing.T) {
+	t.Run("VecAdd", func(t *testing.T) {
+		if _, err := RefVecAdd([]isa.Word{1}, []isa.Word{1, 2}); err == nil {
+			t.Error("mismatched lengths accepted")
+		}
+		out, err := RefVecAdd(nil, nil)
+		if err != nil || len(out) != 0 {
+			t.Errorf("empty vectors: %v, %d words", err, len(out))
+		}
+	})
+
+	t.Run("Dot", func(t *testing.T) {
+		if _, err := RefDot([]isa.Word{1, 2}, []isa.Word{1}); err == nil {
+			t.Error("mismatched lengths accepted")
+		}
+		s, err := RefDot(nil, nil)
+		if err != nil || s != 0 {
+			t.Errorf("empty dot = %d, %v", s, err)
+		}
+		s, err = RefDot([]isa.Word{2, -3}, []isa.Word{5, 7})
+		if err != nil || s != -11 {
+			t.Errorf("dot = %d, %v, want -11", s, err)
+		}
+	})
+
+	t.Run("SumReduce", func(t *testing.T) {
+		if s := RefSum(nil); s != 0 {
+			t.Errorf("empty sum = %d", s)
+		}
+		if s := RefReduce([]isa.Word{5, -2, 4}); s != 7 {
+			t.Errorf("reduce = %d, want 7", s)
+		}
+		if RefReduce(nil) != RefSum(nil) {
+			t.Error("RefReduce disagrees with RefSum")
+		}
+	})
+
+	t.Run("Scan", func(t *testing.T) {
+		if out := RefScan(nil); len(out) != 0 {
+			t.Errorf("empty scan has %d words", len(out))
+		}
+		out := RefScan([]isa.Word{1, -1, 5})
+		want := []isa.Word{1, 0, 5}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Errorf("scan[%d] = %d, want %d", i, out[i], want[i])
+			}
+		}
+	})
+
+	t.Run("Stencil", func(t *testing.T) {
+		if out := RefStencil3Periodic(nil); len(out) != 0 {
+			t.Errorf("empty stencil has %d words", len(out))
+		}
+		// Single element: periodic neighbours are the element itself.
+		out := RefStencil3Periodic([]isa.Word{4})
+		if len(out) != 1 || out[0] != 12 {
+			t.Errorf("1-wide stencil = %v, want [12]", out)
+		}
+	})
+
+	t.Run("FIR", func(t *testing.T) {
+		if _, err := RefFIR([]isa.Word{1, 2}, nil); err == nil {
+			t.Error("empty taps accepted")
+		}
+		if _, err := RefFIR([]isa.Word{1}, []isa.Word{1, 2}); err == nil {
+			t.Error("signal shorter than taps accepted")
+		}
+		// len(x) == len(h): exactly one output sample.
+		out, err := RefFIR([]isa.Word{2, 3}, []isa.Word{10, 100})
+		if err != nil || len(out) != 1 || out[0] != 320 {
+			t.Errorf("minimal FIR = %v, %v, want [320]", out, err)
+		}
+	})
+
+	t.Run("MatMul", func(t *testing.T) {
+		if _, err := RefMatMul([]isa.Word{1}, []isa.Word{1}, 2, 1, 1); err == nil {
+			t.Error("undersized A accepted")
+		}
+		if _, err := RefMatMul([]isa.Word{1, 2}, []isa.Word{1}, 2, 1, 2); err == nil {
+			t.Error("undersized B accepted")
+		}
+		// 1x1 identity-ish case.
+		out, err := RefMatMul([]isa.Word{3}, []isa.Word{7}, 1, 1, 1)
+		if err != nil || len(out) != 1 || out[0] != 21 {
+			t.Errorf("1x1 matmul = %v, %v, want [21]", out, err)
+		}
+		// Degenerate inner dimension: zero-sized operands, all-zero C.
+		out, err = RefMatMul(nil, nil, 2, 0, 3)
+		if err != nil || len(out) != 6 {
+			t.Fatalf("k=0 matmul = %d words, %v, want 6", len(out), err)
+		}
+		for i, v := range out {
+			if v != 0 {
+				t.Errorf("k=0 matmul C[%d] = %d, want 0", i, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestVecAddSpatial_AllSixteenSubtypes: the ISP composed into array shape
+// must compute the reference vecadd on every sub-type, switching between
+// the local and global addressing programs with the DP-DM bit.
+func TestVecAddSpatial_AllSixteenSubtypes(t *testing.T) {
+	a := make([]isa.Word, 32)
+	b := make([]isa.Word, 32)
+	for i := range a {
+		a[i] = isa.Word(i%13 + 1)
+		b[i] = isa.Word(i%7 + 2)
+	}
+	want, err := RefVecAdd(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sub := 1; sub <= 16; sub++ {
+		res, err := VecAddSpatial(sub, 4, a, b)
+		if err != nil {
+			t.Errorf("ISP sub %d: %v", sub, err)
+			continue
+		}
+		for i := range want {
+			if res.Output[i] != want[i] {
+				t.Errorf("ISP sub %d: c[%d] = %d, want %d", sub, i, res.Output[i], want[i])
+				break
+			}
+		}
+		if res.Stats.Cycles <= 0 || res.Stats.Instructions <= 0 {
+			t.Errorf("ISP sub %d: empty stats %+v", sub, res.Stats)
+		}
+	}
+}
+
+func TestVecAddSpatial_RejectsBadShapes(t *testing.T) {
+	a := make([]isa.Word, 32)
+	b := make([]isa.Word, 32)
+	cases := []struct {
+		name      string
+		sub, core int
+		a, b      []isa.Word
+	}{
+		{"mismatched vectors", 1, 4, a, b[:16]},
+		{"one cell", 1, 1, a, b},
+		{"non-dividing shard", 1, 5, a, b},
+		{"bad sub", 0, 4, a, b},
+		{"sub too large", 17, 4, a, b},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := VecAddSpatial(tc.sub, tc.core, tc.a, tc.b); err == nil {
+				t.Error("accepted")
+			}
+		})
+	}
+}

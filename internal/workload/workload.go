@@ -82,6 +82,11 @@ func RefSum(a []isa.Word) isa.Word {
 	return s
 }
 
+// RefReduce is the reference sum-reduction of a — the result the "reduce"
+// kernel must produce on every machine class. It is RefSum under the name
+// the conformance matrix uses for the kernel row.
+func RefReduce(a []isa.Word) isa.Word { return RefSum(a) }
+
 // checkEqual compares a machine output with the reference.
 func checkEqual(got, want []isa.Word) error {
 	if len(got) != len(want) {

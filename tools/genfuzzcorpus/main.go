@@ -1,0 +1,88 @@
+// Command genfuzzcorpus regenerates the checked-in fuzz seed corpora under
+// internal/*/testdata/fuzz. The corpora make the fuzz targets' interesting
+// inputs part of every plain `go test ./...` run; rerun this after changing
+// a serialization format so the seeds stay valid.
+//
+// Run from the repository root:
+//
+//	go run ./tools/genfuzzcorpus
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fabric"
+	"repro/internal/isa"
+)
+
+// writeSeed writes one corpus entry in the `go test fuzz v1` encoding:
+// one Go-syntax literal per fuzz argument.
+func writeSeed(dir, name string, literals ...string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	body := "go test fuzz v1\n"
+	for _, l := range literals {
+		body += l + "\n"
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", filepath.Join(dir, name))
+}
+
+func str(s string) string      { return fmt.Sprintf("string(%q)", s) }
+func bytesLit(b []byte) string { return fmt.Sprintf("[]byte(%q)", b) }
+
+func main() {
+	// internal/isa: assembler sources covering every operand shape, plus
+	// raw instruction words for the binary decoder.
+	asmDir := filepath.Join("internal", "isa", "testdata", "fuzz", "FuzzAsmRoundTrip")
+	writeSeed(asmDir, "alu", str("add r1, r2, r3\nsub r4, r5, r6\nmul r7, r8, r9\nhalt"))
+	writeSeed(asmDir, "label_loop", str("loop: addi r1, r1, -1\nbne r1, r0, loop\nhalt"))
+	writeSeed(asmDir, "memory", str("ld r3, [r4+8]\nst r3, [r4-8]\nld r5, [r6]\nhalt"))
+	writeSeed(asmDir, "comm", str("lane r1\nsend r1, r2\nrecv r3, r2\nsync\nhalt"))
+	writeSeed(asmDir, "immediates", str("ldi r1, 0x10\nmuli r2, r1, -4\naddi r3, r2, +7\njmp +0\nhalt"))
+	writeSeed(asmDir, "comments", str("; header\nstart: nop ; pad\n  mov r1, r2\n\nbeq r1, r2, start\nhalt"))
+
+	decDir := filepath.Join("internal", "isa", "testdata", "fuzz", "FuzzEncodeDecode")
+	for name, ins := range map[string]isa.Instruction{
+		"halt":   {Op: isa.OpHalt},
+		"addi":   {Op: isa.OpAddi, Rd: 1, Ra: 2, Imm: -7},
+		"store":  {Op: isa.OpSt, Rb: 13, Ra: 14, Imm: 62},
+		"branch": {Op: isa.OpBlt, Ra: 3, Rb: 4, Imm: 5},
+	} {
+		writeSeed(decDir, name, fmt.Sprintf("uint64(%d)", isa.EncodeRaw(ins)))
+	}
+	writeSeed(decDir, "all_ones", fmt.Sprintf("uint64(%d)", ^uint64(0)))
+
+	// internal/fabric: a valid bitstream, a checksum-corrupted copy, and
+	// truncations that stop at each header boundary.
+	cfg := []fabric.CellConfig{
+		{Truth: 0x0002, UseFF: true, Inputs: [4]fabric.Source{{Kind: fabric.SourceCell, Index: 1}}},
+		{Truth: 0x0001, Inputs: [4]fabric.Source{{Kind: fabric.SourceInput, Index: 0}, {Kind: fabric.SourceOne}}},
+	}
+	bs, err := fabric.MarshalBitstream(2, 1, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fabDir := filepath.Join("internal", "fabric", "testdata", "fuzz", "FuzzBitstreamRoundTrip")
+	writeSeed(fabDir, "valid", bytesLit(bs))
+	bad := append([]byte(nil), bs...)
+	bad[len(bad)-1] ^= 0xFF
+	writeSeed(fabDir, "bad_crc", bytesLit(bad))
+	writeSeed(fabDir, "magic_only", bytesLit(bs[:4]))
+	writeSeed(fabDir, "header_only", bytesLit(bs[:12]))
+	writeSeed(fabDir, "empty", bytesLit(nil))
+
+	// internal/interconnect: port-count selectors with routes that collide
+	// on internal links (same destination, shuffled sources) and loopback.
+	omgDir := filepath.Join("internal", "interconnect", "testdata", "fuzz", "FuzzOmegaRouting")
+	writeSeed(omgDir, "eight_ports_conflict", "uint8(2)", "uint16(0)", "uint16(7)", "uint16(3)", "uint16(7)")
+	writeSeed(omgDir, "two_ports", "uint8(0)", "uint16(0)", "uint16(1)", "uint16(1)", "uint16(0)")
+	writeSeed(omgDir, "sixteen_ports", "uint8(3)", "uint16(15)", "uint16(0)", "uint16(8)", "uint16(8)")
+	writeSeed(omgDir, "loopback", "uint8(1)", "uint16(2)", "uint16(2)", "uint16(2)", "uint16(2)")
+}
