@@ -11,15 +11,18 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"repro/internal/bibliometrics"
+	"repro/internal/conformance"
 	"repro/internal/cost"
 	"repro/internal/dataflow"
 	"repro/internal/fabric"
 	"repro/internal/interconnect"
 	"repro/internal/isa"
+	"repro/internal/machine"
 	"repro/internal/modelzoo"
 	"repro/internal/registry"
 	"repro/internal/report"
@@ -516,6 +519,125 @@ func BenchmarkEq2_ReconfigBreakEven(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(runs), "break-even-runs")
+}
+
+// BenchmarkStep_RawVsDecoded is the pre-decode ablation: the same guest
+// loop executed instruction by instruction through the raw Step interpreter
+// (re-decoding operands every cycle) and through StepDecoded over the
+// program lowered once by isa.Predecode. The delta is what every simulator
+// in this repo now saves per retired instruction.
+func BenchmarkStep_RawVsDecoded(b *testing.B) {
+	prog, err := isa.Assemble(`
+        ldi  r1, 0
+        ldi  r2, 64
+loop:   beq  r1, r2, done
+        ld   r3, [r1+0]
+        addi r3, r3, 5
+        st   r3, [r1+0]
+        addi r1, r1, 1
+        jmp  loop
+done:   halt
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec := isa.Predecode(prog)
+	mem := make(machine.Memory, 128)
+	env := machine.Env{Load: mem.Load, Store: mem.Store}
+	b.Run("raw", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var regs machine.Regs
+			pc := 0
+			for pc < len(prog) {
+				out, err := machine.Step(&regs, pc, prog[pc], env)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Halted {
+					break
+				}
+				pc = out.NextPC
+			}
+		}
+	})
+	b.Run("decoded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var regs machine.Regs
+			pc := 0
+			for pc < len(dec) {
+				out, err := machine.StepDecoded(&regs, pc, &dec[pc], &env)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Halted {
+					break
+				}
+				pc = out.NextPC
+			}
+		}
+	})
+}
+
+// BenchmarkConformance_Matrix is the serial-vs-parallel ablation on the
+// real batch workload: the full 112-cell kernel x class matrix through the
+// internal/exec worker pool at increasing worker counts. workers=1 is the
+// serial baseline (the engine runs the jobs inline); the speedup at higher
+// counts is bounded by GOMAXPROCS on the host.
+func BenchmarkConformance_Matrix(b *testing.B) {
+	p := conformance.Params{N: 16, Procs: 4}
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				results, allPass := conformance.RunMatrixParallel(ctx, p, workers)
+				if !allPass {
+					b.Fatalf("matrix failed: %+v", results)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConformance_Lockstep is the same ablation on the randomized
+// lockstep differ: each seed assembles a random program and runs it on
+// three machine organisations, so the per-job grain is coarser than a
+// matrix cell.
+func BenchmarkConformance_Lockstep(b *testing.B) {
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				results, pass := conformance.LockstepSweepParallel(ctx, 1, 8, workers)
+				if !pass {
+					b.Fatalf("sweep failed: %+v", results)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSurveyZoo_Parallel fans the 25 Table III machines across the
+// worker pool — the model zoo as a batch job.
+func BenchmarkSurveyZoo_Parallel(b *testing.B) {
+	entries := registry.Survey().Architectures
+	ctx := context.Background()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := modelzoo.RunSurveyParallel(ctx, entries, 128, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != 25 {
+					b.Fatalf("%d results", len(results))
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkEq1_ScalingInN sweeps the instantiation size for one class: the

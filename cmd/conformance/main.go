@@ -12,14 +12,21 @@
 //	conformance -n 128 -procs 8 # a different operating point
 //	conformance -json           # machine-readable output
 //	conformance -seeds 100      # a longer lockstep sweep
+//	conformance -workers 8      # run matrix cells + seeds in parallel
+//
+// The -workers flag fans the independent cells and seeds across a batch
+// worker pool (internal/exec). Results are deterministic: any worker count
+// produces output byte-identical to -workers 1.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"repro/internal/conformance"
 )
@@ -39,19 +46,24 @@ func run(args []string, w io.Writer) error {
 	jsonOut := fs.Bool("json", false, "emit the results as JSON instead of a table")
 	seeds := fs.Int("seeds", 25, "number of random-program lockstep seeds (0 disables the sweep)")
 	seed := fs.Int64("seed", 1, "first lockstep seed")
+	workers := fs.Int("workers", runtime.NumCPU(), "worker goroutines for matrix cells and lockstep seeds (1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *seeds < 0 {
 		return fmt.Errorf("-seeds must be >= 0, got %d", *seeds)
 	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be >= 1, got %d", *workers)
+	}
 	p := conformance.Params{N: *n, Procs: *procs}
 	if err := p.Validate(); err != nil {
 		return err
 	}
 
-	cells, matrixPass := conformance.RunMatrix(p)
-	lockstep, lockstepPass := conformance.LockstepSweep(*seed, *seeds)
+	ctx := context.Background()
+	cells, matrixPass := conformance.RunMatrixParallel(ctx, p, *workers)
+	lockstep, lockstepPass := conformance.LockstepSweepParallel(ctx, *seed, *seeds, *workers)
 
 	if *jsonOut {
 		doc := struct {

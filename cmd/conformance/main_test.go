@@ -51,12 +51,28 @@ func TestRunJSON(t *testing.T) {
 	}
 }
 
+// TestRunWorkersByteIdentical is the CLI-level determinism pin: the full
+// text output at -workers 4 must equal the serial run's, byte for byte.
+func TestRunWorkersByteIdentical(t *testing.T) {
+	var serial, parallel strings.Builder
+	if err := run([]string{"-n", "32", "-procs", "4", "-seeds", "3", "-workers", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "32", "-procs", "4", "-seeds", "3", "-workers", "4"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Error("-workers 4 output differs from -workers 1")
+	}
+}
+
 func TestRunRejectsBadSizing(t *testing.T) {
 	cases := [][]string{
 		{"-procs", "3"},
 		{"-n", "0"},
 		{"-n", "63", "-procs", "4"},
 		{"-seeds", "-1"},
+		{"-workers", "0"},
 		{"-definitely-not-a-flag"},
 	}
 	for _, args := range cases {

@@ -11,6 +11,12 @@
 //	simulate -class DMP-IV   -kernel vecadd -n 64  -procs 8
 //	simulate -class USP      -kernel vecadd -n 64
 //
+// Comparison mode runs one kernel's whole conformance row — every machine
+// class that implements it — as a parallel batch (internal/exec) and prints
+// the per-class cycle counts side by side:
+//
+//	simulate -compare -kernel dot -n 64 -procs 4 -workers 8
+//
 // Observability:
 //
 //	-trace out.json   write a Chrome trace-event file (Perfetto-loadable)
@@ -21,13 +27,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strings"
+	"text/tabwriter"
 
+	"repro/internal/conformance"
 	"repro/internal/dataflow"
+	"repro/internal/exec"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -52,6 +63,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print Prometheus-style metrics aggregated from the trace and cross-check them against the run stats")
 	metricsJSON := flag.Bool("metrics-json", false, "like -metrics but emit the aggregated metrics as a JSON document")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	compare := flag.Bool("compare", false, "run the kernel on every class that implements it and print the cycle counts side by side")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for -compare (1 = serial)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -72,6 +85,13 @@ func main() {
 
 	if *gantt {
 		if err := runGantt(*class, *procs, *tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "simulate:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *compare {
+		if err := runCompare(*kernel, *n, *procs, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "simulate:", err)
 			os.Exit(1)
 		}
@@ -124,6 +144,7 @@ func runGantt(className string, procs int, tracePath string) error {
 	if err != nil {
 		return err
 	}
+	defer m.Release()
 	res, err := m.Run()
 	if err != nil {
 		return err
@@ -140,6 +161,51 @@ func runGantt(className string, procs int, tracePath string) error {
 			return err
 		}
 		fmt.Printf("trace: %d events -> %s (load in https://ui.perfetto.dev)\n", tr.Len(), tracePath)
+	}
+	return nil
+}
+
+// runCompare executes one kernel's full conformance row — every machine
+// class implementing it — as a batch across the worker pool and prints the
+// per-class cycle counts side by side. Each cell is a self-contained
+// simulation, so the batch engine's ordering guarantee keeps the table
+// stable at any worker count.
+func runCompare(kernel string, n, procs, workers int) error {
+	cells := conformance.CellsForKernel(kernel)
+	if len(cells) == 0 {
+		return kernelErr(kernel, knownKernels...)
+	}
+	if workers < 1 {
+		return fmt.Errorf("-workers must be >= 1, got %d", workers)
+	}
+	p := conformance.Params{N: n, Procs: procs}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	results := exec.Map(context.Background(), workers, cells, func(ctx context.Context, c conformance.Cell) (conformance.CellResult, error) {
+		return conformance.Run(c, p), nil
+	})
+	fmt.Printf("kernel %s over %d elements, %d processors, %d workers\n\n", kernel, n, procs, workers)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "CLASS\tCYCLES\tINSTRUCTIONS\tVERDICT")
+	failed := false
+	for i, r := range results {
+		cr := r.Value
+		if r.Err != nil {
+			cr = conformance.CellResult{Kernel: cells[i].Kernel, Class: cells[i].Class, Err: r.Err.Error()}
+		}
+		verdict := "ok"
+		if !cr.Pass {
+			failed = true
+			verdict = "FAIL: " + cr.Err
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\n", cr.Class, cr.Cycles, cr.Instructions, verdict)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if failed {
+		return fmt.Errorf("comparison row has failing cells")
 	}
 	return nil
 }

@@ -22,10 +22,12 @@
 package conformance
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"repro/internal/exec"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -374,7 +376,8 @@ func Run(c Cell, p Params) CellResult {
 		r.Err = err.Error()
 		return r
 	}
-	trace := obs.NewTrace()
+	trace := obs.AcquireTrace()
+	defer obs.ReleaseTrace(trace)
 	res, want, err := c.run(p, workload.WithTracer(trace))
 	if err != nil {
 		r.Err = err.Error()
@@ -403,11 +406,30 @@ func Run(c Cell, p Params) CellResult {
 // RunMatrix executes every cell and reports the results in matrix order
 // plus whether all of them passed.
 func RunMatrix(p Params) ([]CellResult, bool) {
+	return RunMatrixParallel(context.Background(), p, 1)
+}
+
+// RunMatrixParallel is RunMatrix across the given number of workers (<= 0
+// means GOMAXPROCS). Every cell builds its own machines, networks and
+// trace, so cells are independent; results land in matrix order whatever
+// the worker count, making the parallel run byte-identical to the serial
+// one. A cancelled context or a panicking cell surfaces as that cell's
+// Err.
+func RunMatrixParallel(ctx context.Context, p Params, workers int) ([]CellResult, bool) {
 	cells := Matrix()
+	batch := exec.Map(ctx, workers, cells, func(ctx context.Context, c Cell) (CellResult, error) {
+		return Run(c, p), nil
+	})
 	results := make([]CellResult, len(cells))
 	allPass := true
-	for i, c := range cells {
-		results[i] = Run(c, p)
+	for i, r := range batch {
+		if r.Err != nil {
+			// Cancellation or a panic inside the cell: report it in-place so
+			// the matrix stays fully populated.
+			results[i] = CellResult{Kernel: cells[i].Kernel, Class: cells[i].Class, Err: r.Err.Error()}
+		} else {
+			results[i] = r.Value
+		}
 		allPass = allPass && results[i].Pass
 	}
 	return results, allPass

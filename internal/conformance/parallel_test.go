@@ -1,0 +1,74 @@
+package conformance
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunMatrixParallelMatchesSerial pins the engine's determinism on the
+// real workload: the full matrix at several worker counts must be
+// byte-identical (same order, same cycle counts, same errors) to the
+// serial run.
+func TestRunMatrixParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix comparison is slow")
+	}
+	p := Params{N: 16, Procs: 4}
+	serial, serialPass := RunMatrix(p)
+	want, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, parPass := RunMatrixParallel(context.Background(), p, workers)
+		got, err := json.Marshal(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("workers=%d: matrix results diverge from serial run", workers)
+		}
+		if parPass != serialPass {
+			t.Fatalf("workers=%d: allPass %v, serial %v", workers, parPass, serialPass)
+		}
+	}
+}
+
+// TestLockstepSweepParallelMatchesSerial does the same for the randomized
+// differ: per-seed results must be identical at any worker count.
+func TestLockstepSweepParallelMatchesSerial(t *testing.T) {
+	const seeds = 12
+	serial, serialPass := LockstepSweep(1000, seeds)
+	if !serialPass {
+		t.Fatalf("serial sweep failed: %+v", serial)
+	}
+	par, parPass := LockstepSweepParallel(context.Background(), 1000, seeds, 4)
+	if !parPass {
+		t.Fatalf("parallel sweep failed: %+v", par)
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("seed %d: serial %+v, parallel %+v", serial[i].Seed, serial[i], par[i])
+		}
+	}
+}
+
+// TestRunMatrixParallelCancelled checks a cancelled context yields a fully
+// populated matrix where unstarted cells carry the context error.
+func TestRunMatrixParallelCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, allPass := RunMatrixParallel(ctx, Params{N: 16, Procs: 4}, 2)
+	if allPass {
+		t.Fatal("cancelled matrix cannot pass")
+	}
+	if len(results) != len(Matrix()) {
+		t.Fatalf("%d results, want %d", len(results), len(Matrix()))
+	}
+	for i, r := range results {
+		if r.Err == "" {
+			t.Fatalf("cell %d: expected error after pre-cancellation", i)
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package conformance
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"repro/internal/exec"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/mimd"
@@ -178,6 +180,7 @@ func lockstepCheck(seed int64, cfg GenConfig) LockstepResult {
 	if err != nil {
 		return fail(err, prog)
 	}
+	defer uni.Release()
 	uniMem, uniStats, err := uni.RunWithInput(img, 0, bank)
 	if err != nil {
 		return fail(fmt.Errorf("uniproc: %w", err), prog)
@@ -192,6 +195,7 @@ func lockstepCheck(seed int64, cfg GenConfig) LockstepResult {
 	if err != nil {
 		return fail(err, prog)
 	}
+	defer arr.Release()
 	for lane := 0; lane < lockstepProcs; lane++ {
 		if err := arr.LoadLane(lane, 0, img); err != nil {
 			return fail(err, prog)
@@ -224,6 +228,7 @@ func lockstepCheck(seed int64, cfg GenConfig) LockstepResult {
 	if err != nil {
 		return fail(err, prog)
 	}
+	defer mp.Release()
 	for core := 0; core < lockstepProcs; core++ {
 		if err := mp.LoadBank(core, 0, img); err != nil {
 			return fail(err, prog)
@@ -299,10 +304,29 @@ func diffStats(uni, simdStats, mimdStats machine.Stats) error {
 // LockstepSweep runs count seeds starting at baseSeed and reports each
 // result plus whether all of them held the lockstep-equivalence property.
 func LockstepSweep(baseSeed int64, count int) ([]LockstepResult, bool) {
+	return LockstepSweepParallel(context.Background(), baseSeed, count, 1)
+}
+
+// LockstepSweepParallel is LockstepSweep across the given number of
+// workers (<= 0 means GOMAXPROCS). Each seed owns its rand.Rand and its
+// machines, so seeds are independent; results land in seed order whatever
+// the worker count.
+func LockstepSweepParallel(ctx context.Context, baseSeed int64, count, workers int) ([]LockstepResult, bool) {
+	seeds := make([]int64, count)
+	for i := range seeds {
+		seeds[i] = baseSeed + int64(i)
+	}
+	batch := exec.Map(ctx, workers, seeds, func(ctx context.Context, seed int64) (LockstepResult, error) {
+		return LockstepCheck(seed), nil
+	})
 	results := make([]LockstepResult, count)
 	allPass := true
-	for i := range results {
-		results[i] = LockstepCheck(baseSeed + int64(i))
+	for i, r := range batch {
+		if r.Err != nil {
+			results[i] = LockstepResult{Seed: seeds[i], Err: r.Err.Error()}
+		} else {
+			results[i] = r.Value
+		}
 		allPass = allPass && results[i].Pass
 	}
 	return results, allPass

@@ -125,7 +125,7 @@ func New(cfg Config, graph *Graph, mapping []int) (*Machine, error) {
 	m := &Machine{cfg: cfg, graph: graph, mapping: append([]int(nil), mapping...)}
 	m.banks = make([]machine.Memory, cfg.PEs)
 	for i := range m.banks {
-		bank, err := machine.NewMemory(cfg.BankWords)
+		bank, err := machine.GetMemory(cfg.BankWords)
 		if err != nil {
 			return nil, err
 		}
@@ -219,6 +219,15 @@ type Result struct {
 	Outputs  []int64
 	Stats    machine.Stats
 	Schedule []NodeFire
+}
+
+// Release returns the machine's pooled banks. The machine must not be used
+// afterwards.
+func (m *Machine) Release() {
+	for i := range m.banks {
+		machine.PutMemory(m.banks[i])
+		m.banks[i] = nil
+	}
 }
 
 // Run executes the graph: list scheduling in topological order, each PE

@@ -1,0 +1,160 @@
+// Package exec is the batch-execution engine: a worker pool that runs
+// independent simulations — conformance matrix cells, lockstep replicas,
+// survey rows, artefact regenerations — across GOMAXPROCS OS threads while
+// keeping every observable property of the serial runner:
+//
+//   - Determinism: results come back in submission order, indexed like the
+//     job slice, regardless of the worker count or completion order. A
+//     -workers 8 matrix run is byte-identical to -workers 1.
+//   - Isolation: a panicking job is confined to its own Result as a
+//     *PanicError carrying the recovered value and stack; the other jobs
+//     and the caller are unaffected.
+//   - Cancellation: when the context is cancelled, jobs not yet started
+//     report ctx.Err() without running; in-flight jobs run to completion
+//     (simulation steps are compute-bound and short).
+//
+// The package is deliberately dependency-free in both directions — it knows
+// nothing about machines or kernels — so every layer (internal/conformance,
+// internal/modelzoo, the CLIs, the benchmarks) can batch through the same
+// engine. This is the reproduction practising what the paper classifies:
+// the repo's own fleet of IP/DP organisations now executes as a
+// data-parallel workload.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Job is one unit of batch work. Jobs must be independent of each other:
+// the engine gives no ordering guarantee between their executions, only
+// between their results.
+type Job[R any] func(ctx context.Context) (R, error)
+
+// Result is one job's outcome, at the index the job was submitted at.
+type Result[R any] struct {
+	// Value is the job's return value; the zero value on error.
+	Value R
+	// Err is the job's error, a *PanicError if it panicked, or ctx.Err()
+	// if the batch was cancelled before the job started.
+	Err error
+}
+
+// PanicError wraps a panic recovered inside a job so one poisoned cell
+// cannot take down a whole batch.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exec: job panicked: %v", e.Value)
+}
+
+// Workers resolves a worker-count setting: n itself when positive,
+// otherwise GOMAXPROCS (the CLI flags pass runtime.NumCPU(), so 0 only
+// means "pick for me" in library use).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes the jobs on up to `workers` goroutines (clamped to the job
+// count; <= 0 means GOMAXPROCS) and returns their results in submission
+// order. It never returns an error itself: per-job failures, panics and
+// cancellations are all in the Result slice, so a batch is always fully
+// accounted for.
+func Run[R any](ctx context.Context, workers int, jobs []Job[R]) []Result[R] {
+	results := make([]Result[R], len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	workers = Workers(workers)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	if workers == 1 {
+		// The serial fast path keeps single-worker batches on the caller's
+		// goroutine: no channel traffic, easier profiles, same results.
+		for i, job := range jobs {
+			results[i] = runOne(ctx, i, job)
+		}
+		return results
+	}
+
+	// Feed indices through a channel; each worker writes only results[i]
+	// for the indices it drew, so the slice needs no lock and the output
+	// order is the submission order by construction.
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runOne(ctx, i, jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single job with cancellation check and panic fencing.
+func runOne[R any](ctx context.Context, i int, job Job[R]) (res Result[R]) {
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			stack := make([]byte, 16<<10)
+			stack = stack[:runtime.Stack(stack, false)]
+			res.Err = &PanicError{Value: r, Stack: stack}
+		}
+	}()
+	res.Value, res.Err = job(ctx)
+	return res
+}
+
+// Map runs fn over every item with Run's guarantees: results in item order,
+// panics fenced per item, cancellation honoured between items.
+func Map[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, item T) (R, error)) []Result[R] {
+	jobs := make([]Job[R], len(items))
+	for i := range items {
+		item := items[i]
+		jobs[i] = func(ctx context.Context) (R, error) { return fn(ctx, item) }
+	}
+	return Run(ctx, workers, jobs)
+}
+
+// Values unwraps a result slice whose jobs cannot fail structurally: it
+// returns the values in order plus the first error encountered (nil when
+// the whole batch succeeded). Use it when one failure should fail the
+// batch; inspect the Result slice directly for per-job verdicts.
+func Values[R any](results []Result[R]) ([]R, error) {
+	out := make([]R, len(results))
+	var firstErr error
+	for i, r := range results {
+		out[i] = r.Value
+		if r.Err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("exec: job %d: %w", i, r.Err)
+		}
+	}
+	return out, firstErr
+}

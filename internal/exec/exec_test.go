@@ -1,0 +1,240 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunDeterministicOrder pins the engine's core guarantee: results land
+// at their submission index for every worker count, even when jobs finish
+// wildly out of order.
+func TestRunDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const jobsN = 64
+	for trial := 0; trial < 20; trial++ {
+		workers := rng.Intn(12) - 2 // includes <=0 (GOMAXPROCS) and 1 (serial path)
+		jobs := make([]Job[int], jobsN)
+		for i := range jobs {
+			i := i
+			delay := time.Duration(rng.Intn(300)) * time.Microsecond
+			jobs[i] = func(ctx context.Context) (int, error) {
+				time.Sleep(delay)
+				return i * i, nil
+			}
+		}
+		results := Run(context.Background(), workers, jobs)
+		if len(results) != jobsN {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(results), jobsN)
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d job %d: %v", workers, i, r.Err)
+			}
+			if r.Value != i*i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, r.Value, i*i)
+			}
+		}
+	}
+}
+
+// TestRunAllJobsRunOnce counts executions: every job runs exactly once no
+// matter how many workers contend for the queue.
+func TestRunAllJobsRunOnce(t *testing.T) {
+	var counts [100]atomic.Int32
+	jobs := make([]Job[struct{}], len(counts))
+	for i := range jobs {
+		i := i
+		jobs[i] = func(ctx context.Context) (struct{}, error) {
+			counts[i].Add(1)
+			return struct{}{}, nil
+		}
+	}
+	Run(context.Background(), 8, jobs)
+	for i := range counts {
+		if n := counts[i].Load(); n != 1 {
+			t.Fatalf("job %d ran %d times", i, n)
+		}
+	}
+}
+
+// TestRunPanicIsolation checks a panicking job surfaces as *PanicError in
+// its own slot while every other job completes normally.
+func TestRunPanicIsolation(t *testing.T) {
+	jobs := make([]Job[int], 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(ctx context.Context) (int, error) {
+			if i == 4 {
+				panic(fmt.Sprintf("poisoned cell %d", i))
+			}
+			return i, nil
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		results := Run(context.Background(), workers, jobs)
+		for i, r := range results {
+			if i == 4 {
+				var pe *PanicError
+				if !errors.As(r.Err, &pe) {
+					t.Fatalf("workers=%d: job 4 err = %v, want *PanicError", workers, r.Err)
+				}
+				if pe.Value != "poisoned cell 4" {
+					t.Fatalf("workers=%d: panic value %v", workers, pe.Value)
+				}
+				if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "exec") {
+					t.Fatalf("workers=%d: panic stack missing", workers)
+				}
+				if !strings.Contains(pe.Error(), "poisoned cell 4") {
+					t.Fatalf("workers=%d: Error() = %q", workers, pe.Error())
+				}
+				continue
+			}
+			if r.Err != nil || r.Value != i {
+				t.Fatalf("workers=%d: job %d = (%d, %v), want (%d, nil)", workers, i, r.Value, r.Err, i)
+			}
+		}
+	}
+}
+
+// TestRunCancellation cancels mid-batch: started jobs complete, unstarted
+// jobs report ctx.Err() without running, and Run still returns a fully
+// populated slice.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	release := make(chan struct{})
+	jobs := make([]Job[int], 50)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(ctx context.Context) (int, error) {
+			ran.Add(1)
+			if i < 2 {
+				<-release // hold the two workers until cancel lands
+			}
+			return i, nil
+		}
+	}
+	var results []Result[int]
+	done := make(chan struct{})
+	go func() {
+		results = Run(ctx, 2, jobs)
+		close(done)
+	}()
+	for ran.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	<-done
+
+	var completed, cancelled int
+	for i, r := range results {
+		switch {
+		case r.Err == nil:
+			if r.Value != i {
+				t.Fatalf("job %d value %d", i, r.Value)
+			}
+			completed++
+		case errors.Is(r.Err, context.Canceled):
+			cancelled++
+		default:
+			t.Fatalf("job %d unexpected error %v", i, r.Err)
+		}
+	}
+	if completed < 2 {
+		t.Fatalf("held jobs should have completed, got %d", completed)
+	}
+	if cancelled == 0 {
+		t.Fatal("expected some jobs cancelled before starting")
+	}
+	if int(ran.Load()) != completed {
+		t.Fatalf("%d jobs ran but %d completed", ran.Load(), completed)
+	}
+}
+
+// TestRunEmptyAndNil covers the degenerate inputs.
+func TestRunEmptyAndNil(t *testing.T) {
+	if got := Run[int](context.Background(), 4, nil); len(got) != 0 {
+		t.Fatalf("nil jobs: %d results", len(got))
+	}
+	//lint:ignore SA1012 passing nil context is part of Run's documented contract
+	if got := Run(nil, 0, []Job[int]{func(ctx context.Context) (int, error) { return 1, nil }}); got[0].Value != 1 {
+		t.Fatalf("nil ctx: %+v", got[0])
+	}
+}
+
+// TestWorkers pins the flag-resolution helper.
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("positive passthrough")
+	}
+	if Workers(0) < 1 || Workers(-5) < 1 {
+		t.Fatal("non-positive must resolve to at least one worker")
+	}
+}
+
+// TestMap checks the item-slice adapter preserves order and item identity.
+func TestMap(t *testing.T) {
+	items := []string{"iup", "iap", "imp", "isp", "dmp", "usp"}
+	results := Map(context.Background(), 3, items, func(ctx context.Context, s string) (string, error) {
+		return strings.ToUpper(s), nil
+	})
+	for i, r := range results {
+		if r.Err != nil || r.Value != strings.ToUpper(items[i]) {
+			t.Fatalf("item %d: (%q, %v)", i, r.Value, r.Err)
+		}
+	}
+}
+
+// TestValues checks the unwrap helper: ordered values plus first error.
+func TestValues(t *testing.T) {
+	ok := []Result[int]{{Value: 1}, {Value: 2}}
+	vals, err := Values(ok)
+	if err != nil || vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("ok batch: %v %v", vals, err)
+	}
+	bad := []Result[int]{{Value: 1}, {Err: errors.New("boom")}, {Err: errors.New("later")}}
+	if _, err := Values(bad); err == nil || !strings.Contains(err.Error(), "job 1") {
+		t.Fatalf("want first error wrapped with index, got %v", err)
+	}
+}
+
+// TestRunSharedStateRace is the -race canary: workers aggregating into a
+// shared counter through atomics must be clean, and the results slice
+// itself must not race despite being written by many goroutines.
+func TestRunSharedStateRace(t *testing.T) {
+	var total atomic.Int64
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	jobs := make([]Job[int], 200)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(ctx context.Context) (int, error) {
+			total.Add(int64(i))
+			mu.Lock()
+			seen[i] = true
+			mu.Unlock()
+			return i, nil
+		}
+	}
+	results := Run(context.Background(), 16, jobs)
+	want := int64(len(jobs) * (len(jobs) - 1) / 2)
+	if total.Load() != want {
+		t.Fatalf("total %d, want %d", total.Load(), want)
+	}
+	if len(seen) != len(jobs) {
+		t.Fatalf("saw %d jobs", len(seen))
+	}
+	for i, r := range results {
+		if r.Value != i {
+			t.Fatalf("results[%d] = %d", i, r.Value)
+		}
+	}
+}

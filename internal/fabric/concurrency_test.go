@@ -1,0 +1,99 @@
+package fabric
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStepsSampledWhileStepping clocks a fabric on one goroutine while a
+// monitor samples Steps and Reconfigs on another; under -race this pins
+// the documented guarantee that the counters are safe to read mid-run.
+func TestStepsSampledWhileStepping(t *testing.T) {
+	f, err := New(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := make([]CellConfig, 4)
+	for i := range cfg {
+		cfg[i] = CellConfig{Truth: 0xAAAA, Inputs: [4]Source{{Kind: SourceInput, Index: 0}}, UseFF: true}
+	}
+	if err := f.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	const cycles = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // monitor
+		defer wg.Done()
+		var last int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := f.Steps()
+			if s < last {
+				t.Errorf("Steps went backwards: %d after %d", s, last)
+				return
+			}
+			last = s
+			if r := f.Reconfigs(); r != 1 {
+				t.Errorf("Reconfigs = %d mid-run", r)
+				return
+			}
+		}
+	}()
+	pins := []bool{true}
+	for i := 0; i < cycles; i++ {
+		if err := f.Step(pins); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := f.Steps(); got != cycles {
+		t.Fatalf("Steps = %d, want %d", got, cycles)
+	}
+}
+
+// TestConfigureReusesBuffers pins that reconfiguration clears rather than
+// leaks state: registered outputs from the previous bitstream must not be
+// visible after Configure.
+func TestConfigureReusesBuffers(t *testing.T) {
+	f, err := New(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := []CellConfig{
+		{Truth: 0xFFFF, UseFF: true}, // constant 1 into FF
+		{Truth: 0xFFFF, UseFF: true},
+	}
+	if err := f.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Step([]bool{false}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Step([]bool{false}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := f.Output(0); !v {
+		t.Fatal("FF should hold 1 before reconfigure")
+	}
+	if err := f.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Before any post-reconfigure Step, all state must read as reset.
+	if v, _ := f.Output(0); v {
+		t.Fatal("reconfigure must clear registered state")
+	}
+	if f.Steps() != 0 {
+		t.Fatalf("Steps = %d after reconfigure", f.Steps())
+	}
+	if f.Reconfigs() != 2 {
+		t.Fatalf("Reconfigs = %d", f.Reconfigs())
+	}
+}

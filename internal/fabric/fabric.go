@@ -18,6 +18,7 @@ package fabric
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
@@ -68,8 +69,12 @@ type Fabric struct {
 	configured bool
 	// reconfigs counts bitstream loads, steps counts clock cycles since the
 	// last Configure; totalSteps counts cycles across the fabric's lifetime
-	// so traced reconfigurations land on a monotone timeline.
-	reconfigs, steps, totalSteps int64
+	// so traced reconfigurations land on a monotone timeline. They are
+	// atomics so a monitoring goroutine may sample Reconfigs/Steps while a
+	// Run loop is clocking the fabric; all other Fabric state remains
+	// single-goroutine (Configure/Step/Output must not be called
+	// concurrently).
+	reconfigs, steps, totalSteps atomic.Int64
 	// tracer receives reconfiguration events when non-nil.
 	tracer obs.Tracer
 }
@@ -106,8 +111,9 @@ func (f *Fabric) ConfigBitsPerCell() int {
 // ConfigBits is the total bitstream size of the fabric.
 func (f *Fabric) ConfigBits() int { return f.numCells * f.ConfigBitsPerCell() }
 
-// Reconfigs reports how many bitstreams have been loaded.
-func (f *Fabric) Reconfigs() int64 { return f.reconfigs }
+// Reconfigs reports how many bitstreams have been loaded. Safe to call
+// from a monitoring goroutine while another goroutine is stepping.
+func (f *Fabric) Reconfigs() int64 { return f.reconfigs.Load() }
 
 // SetTracer installs tr to receive a reconfiguration event on every
 // Configure, stamped with the fabric's lifetime cycle count and carrying
@@ -179,14 +185,17 @@ func (f *Fabric) Configure(cfg []CellConfig) error {
 
 	f.cfg = append([]CellConfig(nil), cfg...)
 	f.order = order
-	f.q = make([]bool, f.numCells)
-	f.out = make([]bool, f.numCells)
+	// Reuse the state buffers across reconfigurations: a USP workload
+	// reconfigures per phase, and the buffers' size depends only on the
+	// fabric geometry, which is fixed at New.
+	clear(f.q)
+	clear(f.out)
 	f.configured = true
-	f.reconfigs++
-	f.steps = 0
+	f.reconfigs.Add(1)
+	f.steps.Store(0)
 	if f.tracer != nil {
 		f.tracer.Emit(obs.Event{Kind: obs.KindReconfig, Track: obs.TrackMachine,
-			Cycle: f.totalSteps, Arg: int64(f.ConfigBits())})
+			Cycle: f.totalSteps.Load(), Arg: int64(f.ConfigBits())})
 	}
 	return nil
 }
@@ -250,8 +259,8 @@ func (f *Fabric) Step(pins []bool) error {
 			f.q[c] = lut(f.cfg[c].Truth, in)
 		}
 	}
-	f.steps++
-	f.totalSteps++
+	f.steps.Add(1)
+	f.totalSteps.Add(1)
 	return nil
 }
 
@@ -264,7 +273,9 @@ func (f *Fabric) Output(cell int) (bool, error) {
 }
 
 // Steps reports how many clock cycles have run since the last Configure.
-func (f *Fabric) Steps() int64 { return f.steps }
+// Safe to call from a monitoring goroutine while another goroutine is
+// stepping.
+func (f *Fabric) Steps() int64 { return f.steps.Load() }
 
 // selectBits is ceil(log2(n)) for n >= 1: the multiplexer select width.
 func selectBits(n int) int {

@@ -1,0 +1,62 @@
+package isa
+
+import "testing"
+
+// TestPredecodeFields checks the lowering of every field and flag.
+func TestPredecodeFields(t *testing.T) {
+	prog := Program{
+		{Op: OpLdi, Rd: 1, Imm: -7},
+		{Op: OpAdd, Rd: 2, Ra: 1, Rb: 3},
+		{Op: OpLd, Rd: 4, Ra: 1, Imm: 9},
+		{Op: OpBne, Ra: 1, Rb: 2, Imm: -2},
+		{Op: OpSend, Ra: 1, Rb: 2},
+		{Op: OpHalt},
+	}
+	dec := Predecode(prog)
+	if len(dec) != len(prog) {
+		t.Fatalf("decoded %d ops, program has %d", len(dec), len(prog))
+	}
+	for pc, d := range dec {
+		ins := prog[pc]
+		if d.Op != ins.Op || d.Rd != ins.Rd || d.Ra != ins.Ra || d.Rb != ins.Rb {
+			t.Errorf("pc %d: fields %+v do not mirror %+v", pc, d, ins)
+		}
+		if d.Imm != Word(ins.Imm) {
+			t.Errorf("pc %d: Imm = %d, want widened %d", pc, d.Imm, ins.Imm)
+		}
+		if got := d.Instruction(); got != ins {
+			t.Errorf("pc %d: round-trip %+v != %+v", pc, got, ins)
+		}
+	}
+	if !dec[1].IsALU() || dec[0].IsALU() {
+		t.Error("ALU flag wrong on add/ldi")
+	}
+	if !dec[2].IsMemory() || dec[1].IsMemory() {
+		t.Error("memory flag wrong on ld/add")
+	}
+	if !dec[3].IsBranch() {
+		t.Error("branch flag missing on bne")
+	}
+	if want := int32(3 + 1 - 2); dec[3].Target != want {
+		t.Errorf("branch target %d, want %d", dec[3].Target, want)
+	}
+	if !dec[4].IsComm() {
+		t.Error("comm flag missing on send")
+	}
+}
+
+// TestOpIsALUMatchesTable pins the ALU classification against the opTable:
+// exactly the register/immediate arithmetic group, nothing else.
+func TestOpIsALUMatchesTable(t *testing.T) {
+	want := map[Op]bool{
+		OpAdd: true, OpSub: true, OpMul: true, OpDiv: true, OpRem: true,
+		OpAnd: true, OpOr: true, OpXor: true, OpShl: true, OpShr: true,
+		OpSlt: true, OpSeq: true, OpMin: true, OpMax: true,
+		OpAddi: true, OpMuli: true,
+	}
+	for o := Op(0); o < opCount; o++ {
+		if o.IsALU() != want[o] {
+			t.Errorf("%v.IsALU() = %v, want %v", o, o.IsALU(), want[o])
+		}
+	}
+}

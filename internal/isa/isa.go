@@ -151,6 +151,18 @@ func (o Op) IsBranch() bool {
 	return false
 }
 
+// IsALU reports whether the op is an arithmetic/logic operation executed
+// in the data processor (the class machine.Stats counts as ALUOps).
+func (o Op) IsALU() bool {
+	switch o {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem,
+		OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpSlt, OpSeq, OpMin, OpMax, OpAddi, OpMuli:
+		return true
+	}
+	return false
+}
+
 // IsMemory reports whether the op traverses the DP-DM switch.
 func (o Op) IsMemory() bool { return o == OpLd || o == OpSt }
 

@@ -309,15 +309,7 @@ func Step(regs *Regs, pc int, ins isa.Instruction, env Env) (Outcome, error) {
 }
 
 // IsALU reports whether the op counts as an ALU operation in Stats.
-func IsALU(op isa.Op) bool {
-	switch op {
-	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpRem,
-		isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr,
-		isa.OpSlt, isa.OpSeq, isa.OpMin, isa.OpMax, isa.OpAddi, isa.OpMuli:
-		return true
-	}
-	return false
-}
+func IsALU(op isa.Op) bool { return op.IsALU() }
 
 func boolWord(b bool) isa.Word {
 	if b {

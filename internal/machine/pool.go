@@ -1,0 +1,104 @@
+package machine
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// This file is the allocator-churn half of the batch-execution work:
+// size-bucketed sync.Pools for the two allocations every machine build
+// repeats — data-memory banks and per-processor register-file slices. A
+// conformance matrix run builds hundreds of machines; recycling their banks
+// keeps repeated runs (and the parallel workers of internal/exec, which
+// multiply the churn) off the garbage collector.
+//
+// Ownership rule: a bank or regs slice handed to PutMemory/PutRegs must not
+// be referenced again by the caller. The simulators enforce this through
+// their Release methods, which are documented to invalidate the machine.
+
+// poolBuckets is the number of power-of-two size classes (2^0..2^31 words
+// covers every simulated memory).
+const poolBuckets = 32
+
+var memPools [poolBuckets]sync.Pool
+
+// bucketFor returns the size class holding capacity >= words, i.e. the
+// exponent of the next power of two.
+func bucketFor(words int) int {
+	if words <= 1 {
+		return 0
+	}
+	return bits.Len(uint(words - 1))
+}
+
+// GetMemory returns a zeroed bank of the given number of words, reusing a
+// pooled allocation when one of the right size class is available. It is
+// the pooled counterpart of NewMemory and shares its validation.
+func GetMemory(words int) (Memory, error) {
+	if words < 0 {
+		return NewMemory(words) // propagate the size error
+	}
+	b := bucketFor(words)
+	if b >= poolBuckets {
+		return NewMemory(words)
+	}
+	if v := memPools[b].Get(); v != nil {
+		m := v.(Memory)[:words]
+		clear(m)
+		return m, nil
+	}
+	// Allocate the full bucket capacity so the slice can serve any size in
+	// its class when recycled.
+	return make(Memory, words, 1<<b), nil
+}
+
+// PutMemory recycles a bank obtained from GetMemory (or any bank the caller
+// owns outright). Banks whose capacity is not a power of two are dropped
+// rather than mis-filed.
+func PutMemory(m Memory) {
+	c := cap(m)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	b := bucketFor(c)
+	if b >= poolBuckets {
+		return
+	}
+	//lint:ignore SA6002 one boxed slice header per Put is amortized by reusing the bank
+	memPools[b].Put(m[:c])
+}
+
+var regsPools [poolBuckets]sync.Pool
+
+// GetRegs returns a zeroed slice of n register files, pooled like GetMemory.
+func GetRegs(n int) []Regs {
+	if n < 0 {
+		n = 0
+	}
+	b := bucketFor(n)
+	if b >= poolBuckets {
+		return make([]Regs, n)
+	}
+	if v := regsPools[b].Get(); v != nil {
+		r := v.([]Regs)[:n]
+		for i := range r {
+			r[i] = Regs{}
+		}
+		return r
+	}
+	return make([]Regs, n, 1<<b)
+}
+
+// PutRegs recycles a register-file slice obtained from GetRegs.
+func PutRegs(r []Regs) {
+	c := cap(r)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	b := bucketFor(c)
+	if b >= poolBuckets {
+		return
+	}
+	//lint:ignore SA6002 see PutMemory
+	regsPools[b].Put(r[:c])
+}

@@ -1,0 +1,164 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/obs"
+)
+
+// StepDecoded executes one pre-decoded instruction: the hot-path twin of
+// Step. Semantics are identical instruction for instruction (the
+// equivalence is pinned by TestStepDecodedMatchesStep); the differences are
+// purely mechanical:
+//
+//   - the op class, widened immediate and absolute branch target come from
+//     the DecodedOp instead of being re-derived every cycle;
+//   - d and env are passed by pointer, so the per-cycle call copies two
+//     words instead of an Instruction plus the whole Env (eight fields,
+//     five of them closures).
+//
+// Simulators lower their programs once with isa.Predecode at construction
+// and drive this from their cycle loops; Step remains for one-off stepping
+// and as the reference implementation.
+func StepDecoded(regs *Regs, pc int, d *isa.DecodedOp, env *Env) (Outcome, error) {
+	out := Outcome{NextPC: pc + 1}
+	switch d.Op {
+	case isa.OpNop:
+	case isa.OpHalt:
+		out.Halted = true
+	case isa.OpLdi:
+		regs[d.Rd] = d.Imm
+	case isa.OpMov:
+		regs[d.Rd] = regs[d.Ra]
+	case isa.OpAdd:
+		regs[d.Rd] = regs[d.Ra] + regs[d.Rb]
+	case isa.OpSub:
+		regs[d.Rd] = regs[d.Ra] - regs[d.Rb]
+	case isa.OpMul:
+		regs[d.Rd] = regs[d.Ra] * regs[d.Rb]
+	case isa.OpDiv:
+		if regs[d.Rb] == 0 {
+			return out, fmt.Errorf("machine: division by zero at pc %d", pc)
+		}
+		regs[d.Rd] = regs[d.Ra] / regs[d.Rb]
+	case isa.OpRem:
+		if regs[d.Rb] == 0 {
+			return out, fmt.Errorf("machine: remainder by zero at pc %d", pc)
+		}
+		regs[d.Rd] = regs[d.Ra] % regs[d.Rb]
+	case isa.OpAnd:
+		regs[d.Rd] = regs[d.Ra] & regs[d.Rb]
+	case isa.OpOr:
+		regs[d.Rd] = regs[d.Ra] | regs[d.Rb]
+	case isa.OpXor:
+		regs[d.Rd] = regs[d.Ra] ^ regs[d.Rb]
+	case isa.OpShl:
+		regs[d.Rd] = regs[d.Ra] << uint(regs[d.Rb]&63)
+	case isa.OpShr:
+		regs[d.Rd] = regs[d.Ra] >> uint(regs[d.Rb]&63)
+	case isa.OpSlt:
+		regs[d.Rd] = boolWord(regs[d.Ra] < regs[d.Rb])
+	case isa.OpSeq:
+		regs[d.Rd] = boolWord(regs[d.Ra] == regs[d.Rb])
+	case isa.OpMin:
+		regs[d.Rd] = minWord(regs[d.Ra], regs[d.Rb])
+	case isa.OpMax:
+		regs[d.Rd] = maxWord(regs[d.Ra], regs[d.Rb])
+	case isa.OpAddi:
+		regs[d.Rd] = regs[d.Ra] + d.Imm
+	case isa.OpMuli:
+		regs[d.Rd] = regs[d.Ra] * d.Imm
+	case isa.OpLd:
+		if env.Load == nil {
+			return out, fmt.Errorf("machine: no DP-DM path for load at pc %d", pc)
+		}
+		addr := regs[d.Ra] + d.Imm
+		v, err := env.Load(addr)
+		if err != nil {
+			return out, err
+		}
+		regs[d.Rd] = v
+		out.Mem = true
+		if env.Tracer != nil {
+			env.Tracer.Emit(obs.Event{Kind: obs.KindMemRead, Track: env.Track, Cycle: env.Now, Arg: int64(addr)})
+		}
+	case isa.OpSt:
+		if env.Store == nil {
+			return out, fmt.Errorf("machine: no DP-DM path for store at pc %d", pc)
+		}
+		addr := regs[d.Ra] + d.Imm
+		if err := env.Store(addr, regs[d.Rb]); err != nil {
+			return out, err
+		}
+		out.Mem = true
+		if env.Tracer != nil {
+			env.Tracer.Emit(obs.Event{Kind: obs.KindMemWrite, Track: env.Track, Cycle: env.Now, Arg: int64(addr)})
+		}
+	case isa.OpBeq:
+		if regs[d.Ra] == regs[d.Rb] {
+			out.NextPC = int(d.Target)
+		}
+	case isa.OpBne:
+		if regs[d.Ra] != regs[d.Rb] {
+			out.NextPC = int(d.Target)
+		}
+	case isa.OpBlt:
+		if regs[d.Ra] < regs[d.Rb] {
+			out.NextPC = int(d.Target)
+		}
+	case isa.OpBge:
+		if regs[d.Ra] >= regs[d.Rb] {
+			out.NextPC = int(d.Target)
+		}
+	case isa.OpJmp:
+		out.NextPC = int(d.Target)
+	case isa.OpSend:
+		if env.SendTo == nil {
+			return out, fmt.Errorf("machine: no DP-DP network for send at pc %d (this class has DP-DP: none)", pc)
+		}
+		if err := env.SendTo(int(regs[d.Rb]), regs[d.Ra]); err != nil {
+			return out, err
+		}
+		out.Comm = true
+		if env.Tracer != nil {
+			env.Tracer.Emit(obs.Event{Kind: obs.KindSend, Track: env.Track, Cycle: env.Now, Arg: int64(regs[d.Rb])})
+		}
+	case isa.OpRecv:
+		if env.RecvFrom == nil {
+			return out, fmt.Errorf("machine: no DP-DP network for recv at pc %d (this class has DP-DP: none)", pc)
+		}
+		peer := int(regs[d.Rb])
+		v, err := env.RecvFrom(peer)
+		if errors.Is(err, ErrWouldBlock) {
+			out.NextPC = pc
+			out.Blocked = true
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		regs[d.Rd] = v
+		out.Comm = true
+		if env.Tracer != nil {
+			env.Tracer.Emit(obs.Event{Kind: obs.KindRecv, Track: env.Track, Cycle: env.Now, Arg: int64(peer)})
+		}
+	case isa.OpSync:
+		if env.Barrier == nil {
+			return out, fmt.Errorf("machine: no barrier support at pc %d", pc)
+		}
+		if err := env.Barrier(); errors.Is(err, ErrWouldBlock) {
+			out.NextPC = pc
+			out.Blocked = true
+			return out, nil
+		} else if err != nil {
+			return out, err
+		}
+	case isa.OpLane:
+		regs[d.Rd] = env.Lane
+	default:
+		return out, fmt.Errorf("machine: unimplemented opcode %v at pc %d", d.Op, pc)
+	}
+	return out, nil
+}

@@ -1,0 +1,199 @@
+package machine
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// stepEnv builds a small test environment over one private bank, with an
+// always-full mailbox and a non-blocking barrier so every opcode is
+// executable.
+func stepEnv(mem Memory, sent *[]isa.Word) Env {
+	return Env{
+		Lane:  3,
+		Load:  mem.Load,
+		Store: mem.Store,
+		SendTo: func(peer int, val isa.Word) error {
+			*sent = append(*sent, val)
+			return nil
+		},
+		RecvFrom: func(peer int) (isa.Word, error) { return isa.Word(peer + 100), nil },
+		Barrier:  func() error { return nil },
+	}
+}
+
+// TestStepDecodedMatchesStep drives randomized instructions through Step
+// and StepDecoded side by side: identical register files, memories,
+// outcomes and errors. This is the semantic-equivalence pin for the
+// pre-decode fast path.
+func TestStepDecodedMatchesStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ops := []isa.Op{
+		isa.OpNop, isa.OpHalt, isa.OpLdi, isa.OpMov, isa.OpAdd, isa.OpSub,
+		isa.OpMul, isa.OpDiv, isa.OpRem, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpShl, isa.OpShr, isa.OpSlt, isa.OpSeq, isa.OpMin, isa.OpMax,
+		isa.OpAddi, isa.OpMuli, isa.OpLd, isa.OpSt, isa.OpBeq, isa.OpBne,
+		isa.OpBlt, isa.OpBge, isa.OpJmp, isa.OpSend, isa.OpRecv, isa.OpSync,
+		isa.OpLane,
+	}
+	const bank = 32
+	for trial := 0; trial < 5000; trial++ {
+		ins := isa.Instruction{
+			Op: ops[rng.Intn(len(ops))],
+			Rd: uint8(rng.Intn(isa.NumRegs)),
+			Ra: uint8(rng.Intn(isa.NumRegs)),
+			Rb: uint8(rng.Intn(isa.NumRegs)),
+			// Small immediates keep loads/stores mostly in the bank while
+			// still exercising the out-of-range error paths.
+			Imm: int32(rng.Intn(2*bank) - bank/2),
+		}
+		pc := rng.Intn(64)
+
+		var regsA, regsB Regs
+		for i := range regsA {
+			v := isa.Word(rng.Intn(41) - 20)
+			regsA[i], regsB[i] = v, v
+		}
+		memA := make(Memory, bank)
+		memB := make(Memory, bank)
+		for i := range memA {
+			v := isa.Word(rng.Intn(100))
+			memA[i], memB[i] = v, v
+		}
+		var sentA, sentB []isa.Word
+
+		envA := stepEnv(memA, &sentA)
+		envB := stepEnv(memB, &sentB)
+		outA, errA := Step(&regsA, pc, ins, envA)
+		d := isa.DecodeOp(pc, ins)
+		outB, errB := StepDecoded(&regsB, pc, &d, &envB)
+
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("trial %d %v: Step err %v, StepDecoded err %v", trial, ins, errA, errB)
+		}
+		if errA != nil {
+			if errA.Error() != errB.Error() {
+				t.Fatalf("trial %d %v: error text %q vs %q", trial, ins, errA, errB)
+			}
+			continue
+		}
+		if outA != outB {
+			t.Fatalf("trial %d %v: outcome %+v vs %+v", trial, ins, outA, outB)
+		}
+		if regsA != regsB {
+			t.Fatalf("trial %d %v: register files diverged\n%v\n%v", trial, ins, regsA, regsB)
+		}
+		for i := range memA {
+			if memA[i] != memB[i] {
+				t.Fatalf("trial %d %v: memory diverged at %d: %d vs %d", trial, ins, i, memA[i], memB[i])
+			}
+		}
+		if len(sentA) != len(sentB) {
+			t.Fatalf("trial %d %v: sends diverged", trial, ins)
+		}
+	}
+}
+
+// TestStepDecodedBlocked checks the stall path: a blocked RECV keeps the PC
+// and reports Blocked, exactly like Step.
+func TestStepDecodedBlocked(t *testing.T) {
+	var regs Regs
+	env := Env{RecvFrom: func(peer int) (isa.Word, error) { return 0, ErrWouldBlock }}
+	d := isa.DecodeOp(7, isa.Instruction{Op: isa.OpRecv, Rd: 1, Rb: 2})
+	out, err := StepDecoded(&regs, 7, &d, &env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Blocked || out.NextPC != 7 {
+		t.Fatalf("blocked recv: %+v", out)
+	}
+}
+
+// TestStepDecodedMissingSites checks the connection-site errors surface
+// with no callbacks configured.
+func TestStepDecodedMissingSites(t *testing.T) {
+	for _, op := range []isa.Op{isa.OpLd, isa.OpSt, isa.OpSend, isa.OpRecv, isa.OpSync} {
+		var regs Regs
+		env := Env{}
+		d := isa.DecodeOp(0, isa.Instruction{Op: op})
+		if _, err := StepDecoded(&regs, 0, &d, &env); err == nil {
+			t.Errorf("%v with no environment: expected error", op)
+		}
+	}
+}
+
+// TestStepDecodedUnimplemented checks the default arm.
+func TestStepDecodedUnimplemented(t *testing.T) {
+	var regs Regs
+	env := Env{}
+	d := isa.DecodedOp{Op: isa.Op(200)}
+	if _, err := StepDecoded(&regs, 0, &d, &env); err == nil {
+		t.Fatal("invalid opcode: expected error")
+	}
+}
+
+// TestPools checks the zeroing and reuse contract of the bank and register
+// pools.
+func TestPools(t *testing.T) {
+	m, err := GetMemory(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 100 {
+		t.Fatalf("len %d", len(m))
+	}
+	for i := range m {
+		m[i] = 7
+	}
+	PutMemory(m)
+	m2, err := GetMemory(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2) != 90 {
+		t.Fatalf("len %d", len(m2))
+	}
+	for i, v := range m2 {
+		if v != 0 {
+			t.Fatalf("pooled bank not zeroed at %d: %d", i, v)
+		}
+	}
+
+	if _, err := GetMemory(-1); err == nil {
+		t.Fatal("negative size: expected error")
+	}
+	if m0, err := GetMemory(0); err != nil || len(m0) != 0 {
+		t.Fatalf("zero-size bank: %v len %d", err, len(m0))
+	}
+
+	r := GetRegs(8)
+	if len(r) != 8 {
+		t.Fatalf("regs len %d", len(r))
+	}
+	r[3][2] = 99
+	PutRegs(r)
+	r2 := GetRegs(5)
+	if len(r2) != 5 {
+		t.Fatalf("regs len %d", len(r2))
+	}
+	for i := range r2 {
+		if r2[i] != (Regs{}) {
+			t.Fatalf("pooled regs not zeroed at %d", i)
+		}
+	}
+
+	// Odd capacities are dropped, not mis-filed.
+	PutMemory(make(Memory, 3, 3))
+	PutRegs(make([]Regs, 3, 3))
+}
+
+// TestErrWouldBlockIsComparable pins that ErrWouldBlock round-trips through
+// errors.Is from both step implementations' perspective.
+func TestErrWouldBlockIsComparable(t *testing.T) {
+	if !errors.Is(ErrWouldBlock, ErrWouldBlock) {
+		t.Fatal("ErrWouldBlock identity")
+	}
+}

@@ -138,15 +138,23 @@ type coreState struct {
 type Machine struct {
 	cfg      Config
 	programs []isa.Program
-	cores    []coreState
-	banks    []machine.Memory
-	memNet   interconnect.Network
-	msgNet   interconnect.Network
+	// decoded holds the pre-decoded form of each program image; cores
+	// dispatch on it in the scheduler loop.
+	decoded []isa.DecodedProgram
+	cores   []coreState
+	banks   []machine.Memory
+	memNet  interconnect.Network
+	msgNet  interconnect.Network
 	// mail[src][dst] is the in-order message queue between one core pair.
 	mail [][][]message
 	// perCore accumulates each core's retired instructions and last-active
 	// cycle for load-balance analysis.
 	perCore []CoreStats
+	// envs holds one prebuilt environment per core; the closures read the
+	// cycle/finish fields below, refreshed by the scheduler per step.
+	envs   []machine.Env
+	cycle  int64
+	finish int64
 }
 
 // CoreStats summarises one core's activity in a run.
@@ -183,15 +191,19 @@ func New(cfg Config, programs []isa.Program) (*Machine, error) {
 	m := &Machine{
 		cfg:      cfg,
 		programs: programs,
+		decoded:  make([]isa.DecodedProgram, len(programs)),
 		cores:    make([]coreState, cfg.Cores),
 		banks:    make([]machine.Memory, cfg.Cores),
 		perCore:  make([]CoreStats, cfg.Cores),
+	}
+	for i, p := range programs {
+		m.decoded[i] = isa.Predecode(p)
 	}
 	for i := range m.cores {
 		if cfg.IPIM == taxonomy.LinkDirect {
 			m.cores[i].prog = i
 		}
-		bank, err := machine.NewMemory(cfg.BankWords)
+		bank, err := machine.GetMemory(cfg.BankWords)
 		if err != nil {
 			return nil, err
 		}
@@ -221,7 +233,20 @@ func New(cfg Config, programs []isa.Program) (*Machine, error) {
 			m.mail[i] = make([][]message, cfg.Cores)
 		}
 	}
+	m.envs = make([]machine.Env, cfg.Cores)
+	for i := range m.envs {
+		m.envs[i] = m.coreEnv(i)
+	}
 	return m, nil
+}
+
+// Release returns the machine's pooled banks. The machine must not be used
+// afterwards.
+func (m *Machine) Release() {
+	for i := range m.banks {
+		machine.PutMemory(m.banks[i])
+		m.banks[i] = nil
+	}
 }
 
 // Assign points core at program image. It requires the IP-IM crossbar: on
@@ -245,6 +270,10 @@ func (m *Machine) Cores() int { return m.cfg.Cores }
 
 // CoreStats returns each core's activity after Run, for load-balance
 // analysis: who retired how many instructions and when each core halted.
+// It must only be called after Run returns: the per-core counters are
+// plain fields the scheduler writes without synchronisation, so sampling
+// them from another goroutine mid-run is a data race (use an obs.Tracer
+// for live monitoring instead).
 func (m *Machine) CoreStats() []CoreStats {
 	return append([]CoreStats(nil), m.perCore...)
 }
@@ -317,24 +346,26 @@ func (m *Machine) Run() (machine.Stats, error) {
 				anyScheduledLater = true
 				continue
 			}
-			prog := m.programs[c.prog]
-			if c.pc < 0 || c.pc >= len(prog) {
+			dec := m.decoded[c.prog]
+			if c.pc < 0 || c.pc >= len(dec) {
 				c.halted = true
 				running--
 				progress = true
 				continue
 			}
-			ins := prog[c.pc]
-			finish := cycle + 1
-			env := m.coreEnv(i, cycle, &finish)
-			out, err := machine.Step(&c.regs, c.pc, ins, env)
+			d := &dec[c.pc]
+			m.cycle, m.finish = cycle, cycle+1
+			env := &m.envs[i]
+			env.Now = cycle
+			out, err := machine.StepDecoded(&c.regs, c.pc, d, env)
+			finish := m.finish
 			if err != nil {
 				m.collectNetStats(&stats)
 				stats.Cycles = cycle
 				return stats, fmt.Errorf("mimd: core %d pc %d: %w", i, c.pc, err)
 			}
 			if out.Blocked {
-				if ins.Op == isa.OpSync {
+				if d.Op == isa.OpSync {
 					c.inBarrier = true
 					c.barrierAt = cycle
 					progress = true // entering the barrier is progress
@@ -347,7 +378,7 @@ func (m *Machine) Run() (machine.Stats, error) {
 			progress = true
 			stats.Instructions++
 			m.perCore[i].Instructions++
-			isALU := machine.IsALU(ins.Op)
+			isALU := d.IsALU()
 			if isALU {
 				stats.ALUOps++
 			}
@@ -357,10 +388,10 @@ func (m *Machine) Run() (machine.Stats, error) {
 					flags |= obs.FlagALU
 				}
 				m.cfg.Tracer.Emit(obs.Event{Kind: obs.KindInstr, Flags: flags, Track: int32(i),
-					Cycle: cycle, Dur: finish - cycle, Arg: int64(ins.Op)})
+					Cycle: cycle, Dur: finish - cycle, Arg: int64(d.Op)})
 			}
 			if out.Mem {
-				if ins.Op == isa.OpLd {
+				if d.Op == isa.OpLd {
 					stats.MemReads++
 				} else {
 					stats.MemWrites++
@@ -371,7 +402,7 @@ func (m *Machine) Run() (machine.Stats, error) {
 			}
 			c.pc = out.NextPC
 			c.readyAt = finish
-			if out.Halted || c.pc >= len(prog) {
+			if out.Halted || c.pc >= len(dec) {
 				c.halted = true
 				m.perCore[i].FinishedAt = finish
 				running--
@@ -397,15 +428,18 @@ func (m *Machine) Run() (machine.Stats, error) {
 	return stats, nil
 }
 
-// coreEnv builds one core's environment for one instruction at a cycle.
-func (m *Machine) coreEnv(core int, cycle int64, finish *int64) machine.Env {
-	env := machine.Env{Lane: isa.Word(core), Tracer: m.cfg.Tracer, Now: cycle, Track: int32(core)}
+// coreEnv builds one core's reusable environment. The closures read the
+// machine's cycle/finish fields, refreshed by the scheduler before every
+// step, so this runs once per core at construction instead of once per
+// instruction.
+func (m *Machine) coreEnv(core int) machine.Env {
+	env := machine.Env{Lane: isa.Word(core), Tracer: m.cfg.Tracer, Track: int32(core)}
 	env.Load = func(addr isa.Word) (isa.Word, error) {
 		bank, off, err := m.resolveAddr(core, addr)
 		if err != nil {
 			return 0, err
 		}
-		m.accountMem(core, bank, cycle, finish)
+		m.accountMem(core, bank, m.cycle, &m.finish)
 		return m.banks[bank].Load(off)
 	}
 	env.Store = func(addr, val isa.Word) error {
@@ -413,7 +447,7 @@ func (m *Machine) coreEnv(core int, cycle int64, finish *int64) machine.Env {
 		if err != nil {
 			return err
 		}
-		m.accountMem(core, bank, cycle, finish)
+		m.accountMem(core, bank, m.cycle, &m.finish)
 		return m.banks[bank].Store(off, val)
 	}
 	if m.msgNet != nil {
@@ -421,12 +455,12 @@ func (m *Machine) coreEnv(core int, cycle int64, finish *int64) machine.Env {
 			if peer < 0 || peer >= m.cfg.Cores {
 				return fmt.Errorf("mimd: core %d sends to nonexistent core %d", core, peer)
 			}
-			arrival, err := m.msgNet.Transfer(cycle, core, peer)
+			arrival, err := m.msgNet.Transfer(m.cycle, core, peer)
 			if err != nil {
 				return err
 			}
-			if arrival+1 > *finish {
-				*finish = arrival + 1
+			if arrival+1 > m.finish {
+				m.finish = arrival + 1
 			}
 			m.mail[core][peer] = append(m.mail[core][peer], message{val: val, availableAt: arrival})
 			return nil
@@ -436,7 +470,7 @@ func (m *Machine) coreEnv(core int, cycle int64, finish *int64) machine.Env {
 				return 0, fmt.Errorf("mimd: core %d receives from nonexistent core %d", core, peer)
 			}
 			q := m.mail[peer][core]
-			if len(q) == 0 || q[0].availableAt > cycle {
+			if len(q) == 0 || q[0].availableAt > m.cycle {
 				return 0, machine.ErrWouldBlock
 			}
 			v := q[0].val

@@ -1,0 +1,43 @@
+package mimd
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestRelease pins the pooling contract: released banks go back to the
+// pool, a second Release is a no-op, and a machine built afterwards
+// (likely reusing the pooled banks) starts zeroed.
+func TestRelease(t *testing.T) {
+	prog := isa.MustAssemble(`
+        ldi  r1, 11
+        st   r1, [r0+0]
+        halt
+`)
+	m, err := New(mustConfig(t, 1, 4, 16), []isa.Program{prog, prog, prog, prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m.Release()
+	m.Release()
+
+	halt := isa.MustAssemble("halt")
+	m2, err := New(mustConfig(t, 1, 4, 16), []isa.Program{halt, halt, halt, halt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Release()
+	for core := 0; core < 4; core++ {
+		out, err := m2.ReadBank(core, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != 0 {
+			t.Fatalf("core %d sees stale memory word %d", core, out[0])
+		}
+	}
+}

@@ -15,8 +15,10 @@
 package modelzoo
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/spatial"
@@ -147,6 +149,7 @@ func runSpatialVecAdd(cells, n int, a, b []isa.Word) (machine.Stats, error) {
 	if err != nil {
 		return machine.Stats{}, err
 	}
+	defer sm.Release()
 	for c := 0; c < cells; c++ {
 		if err := sm.Compose(c, nil, prog); err != nil {
 			return machine.Stats{}, err
@@ -210,13 +213,16 @@ func clampWords(v []isa.Word, limit isa.Word) []isa.Word {
 // and returns the results in row order. Entries whose class genuinely
 // cannot run the kernel (none in the current survey) would report an error.
 func RunSurvey(entries []spec.Architecture, n int) ([]Result, error) {
-	results := make([]Result, 0, len(entries))
-	for _, arch := range entries {
-		res, err := RunVecAdd(arch, n)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, res)
-	}
-	return results, nil
+	return RunSurveyParallel(context.Background(), entries, n, 1)
+}
+
+// RunSurveyParallel is RunSurvey across the given number of workers (<= 0
+// means GOMAXPROCS). Each survey row is an independent simulation, so the
+// batch engine preserves row order exactly; workers == 1 reproduces the
+// serial RunSurvey byte for byte.
+func RunSurveyParallel(ctx context.Context, entries []spec.Architecture, n, workers int) ([]Result, error) {
+	results := exec.Map(ctx, workers, entries, func(ctx context.Context, arch spec.Architecture) (Result, error) {
+		return RunVecAdd(arch, n)
+	})
+	return exec.Values(results)
 }

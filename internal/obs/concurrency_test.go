@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines and checks no sample is lost: the lock-free Observe must be
+// exactly as accurate as the mutex it replaced.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.MustHistogram("lat", "latency", []float64{1, 10, 100})
+	const goroutines, perG = 8, 2000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i % 200))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := h.Count(); n != goroutines*perG {
+		t.Fatalf("count %d, want %d", n, goroutines*perG)
+	}
+	// Each goroutine observes 0..199 repeated: per 200 samples the sum is
+	// 199*200/2 = 19900.
+	want := float64(goroutines) * float64(perG/200) * 19900
+	if s := h.Sum(); s != want {
+		t.Fatalf("sum %g, want %g", s, want)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `lat_bucket{le="+Inf"} 16000`) {
+		t.Fatalf("exposition lost samples:\n%s", buf.String())
+	}
+}
+
+// TestRegistryConcurrentReadWrite races registration, updates and both
+// expositions; run under -race this proves a monitoring goroutine can
+// scrape a registry that live simulations are writing to.
+func TestRegistryConcurrentReadWrite(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(3)
+	go func() { // registering + updating writer
+		defer wg.Done()
+		names := []string{"a_total", "b_total", "c_total"}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c := r.MustCounter(names[i%len(names)], "help", "class", "IMP-I")
+			c.Inc()
+			g := r.MustGauge("util", "utilisation")
+			g.Set(float64(i))
+			h := r.MustHistogram("cyc", "cycles", []float64{10, 100})
+			h.Observe(float64(i % 50))
+		}
+	}()
+	go func() { // prom scraper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := r.WriteProm(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() { // json scraper + point reads
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := r.WriteJSON(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			r.CounterValue("a_total", "class", "IMP-I")
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		r.MustCounter("d_total", "help").Inc()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestAcquireReleaseTrace pins the trace pool contract: acquired recorders
+// start empty even after recycling a dirty one.
+func TestAcquireReleaseTrace(t *testing.T) {
+	tr := AcquireTrace()
+	tr.Emit(Event{Kind: KindInstr, Cycle: 1})
+	tr.Emit(Event{Kind: KindMemRead, Cycle: 2})
+	if tr.Len() != 2 {
+		t.Fatalf("len %d", tr.Len())
+	}
+	ReleaseTrace(tr)
+	tr2 := AcquireTrace()
+	if tr2.Len() != 0 {
+		t.Fatalf("recycled trace not empty: %d events", tr2.Len())
+	}
+	ReleaseTrace(tr2)
+	ReleaseTrace(nil) // must not panic
+}

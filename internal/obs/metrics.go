@@ -16,7 +16,11 @@ import (
 // Registration is idempotent: asking for an existing name+labels returns
 // the same instrument, so collectors can be re-run.
 type Registry struct {
-	mu       sync.Mutex
+	// mu is a RWMutex so exposition and point reads (WriteProm, WriteJSON,
+	// CounterValue) from a monitoring goroutine only contend with
+	// registration, never with each other. Instrument updates (Inc, Set,
+	// Observe) are lock-free atomics and never touch mu at all.
+	mu       sync.RWMutex
 	families map[string]*family
 }
 
@@ -36,12 +40,29 @@ type instrument struct {
 	hist *histState
 }
 
+// histState is lock-free: Observe is on every simulator's cycle path (cycle
+// and IPC histograms), and with internal/exec running cells on all cores a
+// mutex here serializes the whole fleet. Buckets and the sample count are
+// plain atomic adds; the float sum is a CAS loop over its bit pattern.
+// Readers see each field monotone and individually consistent; a reader
+// racing an Observe may see n updated before sum (or vice versa), which the
+// expositions tolerate — they are sampling a live system.
 type histState struct {
-	mu      sync.Mutex
-	bounds  []float64 // ascending upper bounds, +Inf implicit
-	buckets []int64   // len(bounds)+1, last is +Inf
-	sum     float64
-	n       int64
+	bounds  []float64 // ascending upper bounds, +Inf implicit; immutable
+	buckets []int64   // len(bounds)+1, last is +Inf; atomic access
+	sumBits uint64    // math.Float64bits of the running sum; CAS access
+	n       int64     // atomic access
+}
+
+// addSum folds v into the running float sum with a compare-and-swap loop.
+func (s *histState) addSum(v float64) {
+	for {
+		old := atomic.LoadUint64(&s.sumBits)
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(&s.sumBits, old, next) {
+			return
+		}
+	}
 }
 
 // Counter is a monotonically increasing integer metric.
@@ -71,28 +92,20 @@ type Histogram struct{ in *instrument }
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	s := h.in.hist
-	s.mu.Lock()
 	idx := sort.SearchFloat64s(s.bounds, v) // first bound >= v
-	s.buckets[idx]++
-	s.sum += v
-	s.n++
-	s.mu.Unlock()
+	atomic.AddInt64(&s.buckets[idx], 1)
+	s.addSum(v)
+	atomic.AddInt64(&s.n, 1)
 }
 
 // Count reports how many samples were observed.
 func (h *Histogram) Count() int64 {
-	s := h.in.hist
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.n
+	return atomic.LoadInt64(&h.in.hist.n)
 }
 
 // Sum reports the total of all observed samples.
 func (h *Histogram) Sum() float64 {
-	s := h.in.hist
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sum
+	return math.Float64frombits(atomic.LoadUint64(&h.in.hist.sumBits))
 }
 
 // NewRegistry returns an empty registry.
@@ -224,8 +237,8 @@ func (r *Registry) CounterValue(name string, labelPairs ...string) (v int64, ok 
 	if err != nil {
 		return 0, false
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	fam := r.families[name]
 	if fam == nil || fam.kind != "counter" {
 		return 0, false
@@ -237,26 +250,30 @@ func (r *Registry) CounterValue(name string, labelPairs ...string) (v int64, ok 
 	return atomic.LoadInt64(&in.count), true
 }
 
-// sortedFamilies snapshots families in name order.
-func (r *Registry) sortedFamilies() []*family {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	fams := make([]*family, 0, len(r.families))
-	for _, f := range r.families {
-		fams = append(fams, f)
-	}
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
-	return fams
+// famSnapshot pairs a family with its instance list, both captured under
+// the registry read lock so expositions cannot race concurrent
+// registration (the instance maps are only written under the write lock).
+type famSnapshot struct {
+	fam *family
+	ins []*instrument
 }
 
-// sortedInstances snapshots one family's series in label order.
-func (f *family) sortedInstances() []*instrument {
-	ins := make([]*instrument, 0, len(f.instances))
-	for _, in := range f.instances {
-		ins = append(ins, in)
+// sortedFamilies snapshots families in name order and each family's series
+// in label order.
+func (r *Registry) sortedFamilies() []famSnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fams := make([]famSnapshot, 0, len(r.families))
+	for _, f := range r.families {
+		ins := make([]*instrument, 0, len(f.instances))
+		for _, in := range f.instances {
+			ins = append(ins, in)
+		}
+		sort.Slice(ins, func(i, j int) bool { return ins[i].labels < ins[j].labels })
+		fams = append(fams, famSnapshot{fam: f, ins: ins})
 	}
-	sort.Slice(ins, func(i, j int) bool { return ins[i].labels < ins[j].labels })
-	return ins
+	sort.Slice(fams, func(i, j int) bool { return fams[i].fam.name < fams[j].fam.name })
+	return fams
 }
 
 // formatBound renders a bucket upper bound the Prometheus way.
@@ -278,7 +295,8 @@ func mergeLabels(labels, extra string) string {
 // WriteProm writes the Prometheus text exposition (HELP/TYPE comments plus
 // one line per series; histograms expand to _bucket/_sum/_count).
 func (r *Registry) WriteProm(w io.Writer) error {
-	for _, fam := range r.sortedFamilies() {
+	for _, snap := range r.sortedFamilies() {
+		fam := snap.fam
 		if fam.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.name, fam.help); err != nil {
 				return err
@@ -287,7 +305,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, fam.kind); err != nil {
 			return err
 		}
-		for _, in := range fam.sortedInstances() {
+		for _, in := range snap.ins {
 			switch fam.kind {
 			case "counter":
 				if _, err := fmt.Fprintf(w, "%s%s %d\n", fam.name, in.labels, atomic.LoadInt64(&in.count)); err != nil {
@@ -299,26 +317,23 @@ func (r *Registry) WriteProm(w io.Writer) error {
 				}
 			case "histogram":
 				s := in.hist
-				s.mu.Lock()
 				var cum int64
-				for i, b := range s.buckets {
-					cum += b
+				for i := range s.buckets {
+					cum += atomic.LoadInt64(&s.buckets[i])
 					bound := math.Inf(1)
 					if i < len(s.bounds) {
 						bound = s.bounds[i]
 					}
 					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
 						fam.name, mergeLabels(in.labels, fmt.Sprintf("le=%q", formatBound(bound))), cum); err != nil {
-						s.mu.Unlock()
 						return err
 					}
 				}
 				if _, err := fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n",
-					fam.name, in.labels, s.sum, fam.name, in.labels, s.n); err != nil {
-					s.mu.Unlock()
+					fam.name, in.labels, math.Float64frombits(atomic.LoadUint64(&s.sumBits)),
+					fam.name, in.labels, atomic.LoadInt64(&s.n)); err != nil {
 					return err
 				}
-				s.mu.Unlock()
 			}
 		}
 	}
@@ -347,8 +362,9 @@ type jsonBucket struct {
 // WriteJSON writes the machine-readable dump: a JSON array of series.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	var out []jsonMetric
-	for _, fam := range r.sortedFamilies() {
-		for _, in := range fam.sortedInstances() {
+	for _, snap := range r.sortedFamilies() {
+		fam := snap.fam
+		for _, in := range snap.ins {
 			m := jsonMetric{Name: fam.name, Labels: in.labels, Kind: fam.kind, Help: fam.help}
 			switch fam.kind {
 			case "counter":
@@ -359,18 +375,17 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				m.Value = &v
 			case "histogram":
 				s := in.hist
-				s.mu.Lock()
 				var cum int64
-				for i, b := range s.buckets {
-					cum += b
+				for i := range s.buckets {
+					cum += atomic.LoadInt64(&s.buckets[i])
 					bound := math.Inf(1)
 					if i < len(s.bounds) {
 						bound = s.bounds[i]
 					}
 					m.Buckets = append(m.Buckets, jsonBucket{Le: formatBound(bound), Count: cum})
 				}
-				sum, n := s.sum, s.n
-				s.mu.Unlock()
+				sum := math.Float64frombits(atomic.LoadUint64(&s.sumBits))
+				n := atomic.LoadInt64(&s.n)
 				m.Sum, m.Count = &sum, &n
 			}
 			out = append(out, m)

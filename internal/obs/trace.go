@@ -48,6 +48,30 @@ func (t *Trace) Reset() {
 	t.mu.Unlock()
 }
 
+// tracePool recycles recorders between batch cells. A conformance matrix
+// run allocates one trace per cell and each grows to thousands of events;
+// reusing the event buffers keeps the parallel sweep off the allocator.
+var tracePool = sync.Pool{New: func() any { return &Trace{} }}
+
+// AcquireTrace returns an empty recorder, reusing a pooled one (and its
+// grown event buffer) when available. Pair with ReleaseTrace.
+func AcquireTrace() *Trace {
+	t := tracePool.Get().(*Trace)
+	t.Reset()
+	return t
+}
+
+// ReleaseTrace recycles a recorder obtained from AcquireTrace. The caller
+// must not use t (or slices returned by Events before copying — Events
+// already copies) afterwards.
+func ReleaseTrace(t *Trace) {
+	if t == nil {
+		return
+	}
+	t.Reset()
+	tracePool.Put(t)
+}
+
 // ChromeOptions configures the Chrome trace-event export.
 type ChromeOptions struct {
 	// Process names the single process row; empty means "simulation".

@@ -93,8 +93,10 @@ func (c Config) validate() error {
 
 // Machine is one array-processor instance.
 type Machine struct {
-	cfg   Config
-	prog  isa.Program
+	cfg  Config
+	prog isa.Program
+	dec  isa.DecodedProgram
+	// banks comes from the shared bank pool; regs from the register pool.
 	banks []machine.Memory
 	regs  []machine.Regs
 	// laneNet carries DP-DP exchanges; nil for sub-types I and III. It is
@@ -104,9 +106,17 @@ type Machine struct {
 	memNet interconnect.Network
 	// mailboxes[src][dst] queues values sent but not yet received.
 	mailboxes [][][]isa.Word
+	// envs holds one prebuilt environment per lane; the closures read the
+	// issue/finish fields below, so the broadcast loop reuses them instead
+	// of rebuilding five closures per lane per instruction.
+	envs   []machine.Env
+	issue  int64
+	finish int64
 }
 
-// New builds an array processor loaded with one broadcast program.
+// New builds an array processor loaded with one broadcast program. The
+// program is pre-decoded once and the banks and register files come from
+// the shared pools; call Release to recycle them.
 func New(cfg Config, prog isa.Program) (*Machine, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -120,11 +130,12 @@ func New(cfg Config, prog isa.Program) (*Machine, error) {
 	m := &Machine{
 		cfg:   cfg,
 		prog:  prog,
+		dec:   isa.Predecode(prog),
 		banks: make([]machine.Memory, cfg.Lanes),
-		regs:  make([]machine.Regs, cfg.Lanes),
+		regs:  machine.GetRegs(cfg.Lanes),
 	}
 	for i := range m.banks {
-		bank, err := machine.NewMemory(cfg.BankWords)
+		bank, err := machine.GetMemory(cfg.BankWords)
 		if err != nil {
 			return nil, err
 		}
@@ -148,7 +159,22 @@ func New(cfg Config, prog isa.Program) (*Machine, error) {
 		}
 		m.memNet = obs.ObserveNetwork(net, cfg.Tracer)
 	}
+	m.envs = make([]machine.Env, cfg.Lanes)
+	for lane := range m.envs {
+		m.envs[lane] = m.laneEnv(lane)
+	}
 	return m, nil
+}
+
+// Release returns the machine's pooled banks and register files. The
+// machine must not be used afterwards.
+func (m *Machine) Release() {
+	for i := range m.banks {
+		machine.PutMemory(m.banks[i])
+		m.banks[i] = nil
+	}
+	machine.PutRegs(m.regs)
+	m.regs = nil
 }
 
 // Lanes returns the lane count.
@@ -200,7 +226,7 @@ func (m *Machine) Run() (machine.Stats, error) {
 	}
 	pc := 0
 	for {
-		if pc < 0 || pc >= len(m.prog) {
+		if pc < 0 || pc >= len(m.dec) {
 			m.collectNetStats(&stats)
 			return stats, nil
 		}
@@ -208,15 +234,16 @@ func (m *Machine) Run() (machine.Stats, error) {
 			m.collectNetStats(&stats)
 			return stats, fmt.Errorf("simd: %w after %d cycles", machine.ErrDeadline, stats.Cycles)
 		}
-		ins := m.prog[pc]
+		d := &m.dec[pc]
 		issue := stats.Cycles
 		finish := issue + 1
 		tr := m.cfg.Tracer
 
 		switch {
-		case ins.Op.IsBranch():
+		case d.IsBranch():
 			// Scalar control: the IP evaluates the branch on lane 0.
-			out, err := machine.Step(&m.regs[0], pc, ins, machine.Env{Lane: 0})
+			env := machine.Env{Lane: 0}
+			out, err := machine.StepDecoded(&m.regs[0], pc, d, &env)
 			if err != nil {
 				m.collectNetStats(&stats)
 				return stats, fmt.Errorf("simd: pc %d: %w", pc, err)
@@ -225,39 +252,43 @@ func (m *Machine) Run() (machine.Stats, error) {
 			stats.Cycles = finish
 			if tr != nil {
 				tr.Emit(obs.Event{Kind: obs.KindInstr, Flags: obs.FlagHasOp, Track: 0,
-					Cycle: issue, Dur: 1, Arg: int64(ins.Op)})
+					Cycle: issue, Dur: 1, Arg: int64(d.Op)})
 			}
 			pc = out.NextPC
 			continue
 
-		case ins.Op == isa.OpHalt:
+		case d.Op == isa.OpHalt:
 			stats.Instructions++
 			stats.Cycles = finish
 			if tr != nil {
 				tr.Emit(obs.Event{Kind: obs.KindInstr, Flags: obs.FlagHasOp, Track: 0,
-					Cycle: issue, Dur: 1, Arg: int64(ins.Op)})
+					Cycle: issue, Dur: 1, Arg: int64(d.Op)})
 			}
 			m.collectNetStats(&stats)
 			return stats, nil
 
-		case ins.Op == isa.OpSync:
+		case d.Op == isa.OpSync:
 			// Lockstep lanes are always synchronized; SYNC is a no-op cycle.
 			stats.Instructions++
 			stats.Barriers++
 			stats.Cycles = finish
 			if tr != nil {
 				tr.Emit(obs.Event{Kind: obs.KindInstr, Flags: obs.FlagHasOp, Track: 0,
-					Cycle: issue, Dur: 1, Arg: int64(ins.Op)})
+					Cycle: issue, Dur: 1, Arg: int64(d.Op)})
 				tr.Emit(obs.Event{Kind: obs.KindBarrier, Track: obs.TrackMachine, Cycle: finish})
 			}
 			pc++
 			continue
 		}
 
-		// Data instruction: broadcast to every lane.
+		// Data instruction: broadcast to every lane. The prebuilt lane
+		// environments read issue/finish through the machine fields.
+		m.issue, m.finish = issue, finish
+		isALU := d.IsALU()
 		for lane := 0; lane < m.cfg.Lanes; lane++ {
-			env := m.laneEnv(lane, issue, &finish, &stats)
-			out, err := machine.Step(&m.regs[lane], pc, ins, env)
+			env := &m.envs[lane]
+			env.Now = issue
+			out, err := machine.StepDecoded(&m.regs[lane], pc, d, env)
 			if err != nil {
 				m.collectNetStats(&stats)
 				return stats, fmt.Errorf("simd: lane %d pc %d: %w", lane, pc, err)
@@ -267,11 +298,11 @@ func (m *Machine) Run() (machine.Stats, error) {
 				return stats, fmt.Errorf("simd: lane %d pc %d: recv with no matching send (lockstep exchange mismatch)", lane, pc)
 			}
 			stats.Instructions++
-			if machine.IsALU(ins.Op) {
+			if isALU {
 				stats.ALUOps++
 			}
 			if out.Mem {
-				if ins.Op == isa.OpLd {
+				if d.Op == isa.OpLd {
 					stats.MemReads++
 				} else {
 					stats.MemWrites++
@@ -281,16 +312,17 @@ func (m *Machine) Run() (machine.Stats, error) {
 				stats.Messages++
 			}
 		}
+		finish = m.finish
 		if tr != nil {
 			// Lockstep: every lane retires the same op, spanning the worst
 			// lane's completion (memory and network contention included).
 			flags := obs.FlagHasOp
-			if machine.IsALU(ins.Op) {
+			if isALU {
 				flags |= obs.FlagALU
 			}
 			for lane := 0; lane < m.cfg.Lanes; lane++ {
 				tr.Emit(obs.Event{Kind: obs.KindInstr, Flags: flags, Track: int32(lane),
-					Cycle: issue, Dur: finish - issue, Arg: int64(ins.Op)})
+					Cycle: issue, Dur: finish - issue, Arg: int64(d.Op)})
 			}
 		}
 		stats.Cycles = finish
@@ -298,16 +330,18 @@ func (m *Machine) Run() (machine.Stats, error) {
 	}
 }
 
-// laneEnv builds the per-lane environment for one broadcast instruction.
-// finish accumulates the worst completion cycle across lanes.
-func (m *Machine) laneEnv(lane int, issue int64, finish *int64, stats *machine.Stats) machine.Env {
-	env := machine.Env{Lane: isa.Word(lane), Tracer: m.cfg.Tracer, Now: issue, Track: int32(lane)}
+// laneEnv builds one lane's reusable environment. The closures read the
+// machine's issue/finish fields, which Run refreshes per instruction, so
+// this is called once per lane at construction instead of once per lane
+// per broadcast.
+func (m *Machine) laneEnv(lane int) machine.Env {
+	env := machine.Env{Lane: isa.Word(lane), Tracer: m.cfg.Tracer, Track: int32(lane)}
 	env.Load = func(addr isa.Word) (isa.Word, error) {
 		bank, off, err := m.resolveAddr(lane, addr)
 		if err != nil {
 			return 0, err
 		}
-		m.accountMem(lane, bank, issue, finish)
+		m.accountMem(lane, bank, m.issue, &m.finish)
 		return m.banks[bank].Load(off)
 	}
 	env.Store = func(addr, val isa.Word) error {
@@ -315,7 +349,7 @@ func (m *Machine) laneEnv(lane int, issue int64, finish *int64, stats *machine.S
 		if err != nil {
 			return err
 		}
-		m.accountMem(lane, bank, issue, finish)
+		m.accountMem(lane, bank, m.issue, &m.finish)
 		return m.banks[bank].Store(off, val)
 	}
 	if m.laneNet != nil {
@@ -323,12 +357,12 @@ func (m *Machine) laneEnv(lane int, issue int64, finish *int64, stats *machine.S
 			if peer < 0 || peer >= m.cfg.Lanes {
 				return fmt.Errorf("simd: lane %d sends to nonexistent lane %d", lane, peer)
 			}
-			arrival, err := m.laneNet.Transfer(issue, lane, peer)
+			arrival, err := m.laneNet.Transfer(m.issue, lane, peer)
 			if err != nil {
 				return err
 			}
-			if arrival+1 > *finish {
-				*finish = arrival + 1
+			if arrival+1 > m.finish {
+				m.finish = arrival + 1
 			}
 			m.mailboxes[lane][peer] = append(m.mailboxes[lane][peer], val)
 			return nil

@@ -104,6 +104,7 @@ type group struct {
 	leader  int
 	members []int // includes the leader, sorted by construction order
 	prog    isa.Program
+	dec     isa.DecodedProgram
 	regs    []machine.Regs // indexed like members
 	pc      int
 	halted  bool
@@ -131,6 +132,11 @@ type Machine struct {
 	msgNet   interconnect.Network
 	mail     [][][]message
 	sealed   bool
+	// envs holds one prebuilt environment per cell; the closures read the
+	// cycle/finish fields below, refreshed per member step.
+	envs   []machine.Env
+	cycle  int64
+	finish int64
 }
 
 // New builds an empty spatial fabric; compose control groups with Compose,
@@ -150,7 +156,7 @@ func New(cfg Config) (*Machine, error) {
 		assigned: make([]bool, cfg.Cores),
 	}
 	for i := range m.banks {
-		bank, err := machine.NewMemory(cfg.BankWords)
+		bank, err := machine.GetMemory(cfg.BankWords)
 		if err != nil {
 			return nil, err
 		}
@@ -187,7 +193,20 @@ func New(cfg Config) (*Machine, error) {
 			m.mail[i] = make([][]message, cfg.Cores)
 		}
 	}
+	m.envs = make([]machine.Env, cfg.Cores)
+	for cell := range m.envs {
+		m.envs[cell] = m.cellEnv(cell)
+	}
 	return m, nil
+}
+
+// Release returns the machine's pooled banks. The machine must not be used
+// afterwards.
+func (m *Machine) Release() {
+	for i := range m.banks {
+		machine.PutMemory(m.banks[i])
+		m.banks[i] = nil
+	}
 }
 
 // Compose forms a control group: leader's IP sequences prog and streams it
@@ -234,7 +253,7 @@ func (m *Machine) Compose(leader int, members []int, prog isa.Program) error {
 	for _, c := range all {
 		m.assigned[c] = true
 	}
-	g := &group{leader: leader, members: all, prog: prog, regs: make([]machine.Regs, len(all))}
+	g := &group{leader: leader, members: all, prog: prog, dec: isa.Predecode(prog), regs: make([]machine.Regs, len(all))}
 	m.groups = append(m.groups, g)
 	return nil
 }
@@ -322,14 +341,14 @@ func (m *Machine) Run() (machine.Stats, error) {
 				scheduledLater = true
 				continue
 			}
-			if g.pc < 0 || g.pc >= len(g.prog) {
+			if g.pc < 0 || g.pc >= len(g.dec) {
 				g.halted = true
 				running--
 				progress = true
 				continue
 			}
-			ins := g.prog[g.pc]
-			outcome, err := m.stepGroup(g, ins, cycle, &stats)
+			d := &g.dec[g.pc]
+			outcome, err := m.stepGroup(g, d, cycle, &stats)
 			if err != nil {
 				m.collectNetStats(&stats)
 				stats.Cycles = cycle
@@ -374,27 +393,29 @@ const (
 	groupHalted
 )
 
-// stepGroup executes one instruction across the whole group in lockstep.
-func (m *Machine) stepGroup(g *group, ins isa.Instruction, cycle int64, stats *machine.Stats) (groupOutcome, error) {
+// stepGroup executes one pre-decoded instruction across the whole group in
+// lockstep.
+func (m *Machine) stepGroup(g *group, d *isa.DecodedOp, cycle int64, stats *machine.Stats) (groupOutcome, error) {
 	finish := cycle + 1
 
 	// Control instructions run on the leader's IP alone.
-	if ins.Op.IsBranch() || ins.Op == isa.OpHalt || ins.Op == isa.OpSync {
-		switch ins.Op {
+	if d.IsBranch() || d.Op == isa.OpHalt || d.Op == isa.OpSync {
+		switch d.Op {
 		case isa.OpHalt:
 			stats.Instructions++
-			m.emitInstr(int32(g.leader), cycle, 1, ins.Op)
+			m.emitInstr(int32(g.leader), cycle, 1, d.Op)
 			bump(stats, finish)
 			return groupHalted, nil
 		case isa.OpSync:
 			return groupInSync, nil
 		default:
-			out, err := machine.Step(&g.regs[0], g.pc, ins, machine.Env{Lane: isa.Word(g.leader)})
+			env := machine.Env{Lane: isa.Word(g.leader)}
+			out, err := machine.StepDecoded(&g.regs[0], g.pc, d, &env)
 			if err != nil {
 				return 0, fmt.Errorf("spatial: group of leader %d pc %d: %w", g.leader, g.pc, err)
 			}
 			stats.Instructions++
-			m.emitInstr(int32(g.leader), cycle, 1, ins.Op)
+			m.emitInstr(int32(g.leader), cycle, 1, d.Op)
 			g.pc = out.NextPC
 			bump(stats, finish)
 			return groupAdvanced, nil
@@ -402,12 +423,12 @@ func (m *Machine) stepGroup(g *group, ins isa.Instruction, cycle int64, stats *m
 	}
 
 	// Pre-check RECVs so a blocked member never leaves partial effects.
-	if ins.Op == isa.OpRecv {
+	if d.Op == isa.OpRecv {
 		if m.msgNet == nil {
 			return 0, fmt.Errorf("spatial: group of leader %d pc %d: no DP-DP network for recv", g.leader, g.pc)
 		}
 		for mi, cell := range g.members {
-			peer := int(g.regs[mi][ins.Rb])
+			peer := int(g.regs[mi][d.Rb])
 			if peer < 0 || peer >= m.cfg.Cores {
 				return 0, fmt.Errorf("spatial: cell %d receives from nonexistent cell %d", cell, peer)
 			}
@@ -420,6 +441,7 @@ func (m *Machine) stepGroup(g *group, ins isa.Instruction, cycle int64, stats *m
 
 	// Stream the instruction to every member; non-leader members pay the
 	// IP-IP delivery first.
+	isALU := d.IsALU()
 	for mi, cell := range g.members {
 		execAt := cycle
 		if cell != g.leader {
@@ -435,9 +457,11 @@ func (m *Machine) stepGroup(g *group, ins isa.Instruction, cycle int64, stats *m
 					Cycle: cycle, Arg: int64(cell)})
 			}
 		}
-		memberFinish := execAt + 1
-		env := m.cellEnv(cell, execAt, &memberFinish)
-		out, err := machine.Step(&g.regs[mi], g.pc, ins, env)
+		m.cycle, m.finish = execAt, execAt+1
+		env := &m.envs[cell]
+		env.Now = execAt
+		out, err := machine.StepDecoded(&g.regs[mi], g.pc, d, env)
+		memberFinish := m.finish
 		if err != nil {
 			return 0, fmt.Errorf("spatial: cell %d pc %d: %w", cell, g.pc, err)
 		}
@@ -447,12 +471,12 @@ func (m *Machine) stepGroup(g *group, ins isa.Instruction, cycle int64, stats *m
 			return 0, fmt.Errorf("spatial: cell %d pc %d: lockstep recv underflow", cell, g.pc)
 		}
 		stats.Instructions++
-		if machine.IsALU(ins.Op) {
+		if isALU {
 			stats.ALUOps++
 		}
-		m.emitInstr(int32(cell), execAt, memberFinish-execAt, ins.Op)
+		m.emitInstr(int32(cell), execAt, memberFinish-execAt, d.Op)
 		if out.Mem {
-			if ins.Op == isa.OpLd {
+			if d.Op == isa.OpLd {
 				stats.MemReads++
 			} else {
 				stats.MemWrites++
@@ -484,15 +508,17 @@ func (m *Machine) emitInstr(track int32, cycle, dur int64, op isa.Op) {
 		Cycle: cycle, Dur: dur, Arg: int64(op)})
 }
 
-// cellEnv builds a member cell's environment.
-func (m *Machine) cellEnv(cell int, cycle int64, finish *int64) machine.Env {
-	env := machine.Env{Lane: isa.Word(cell), Tracer: m.cfg.Tracer, Now: cycle, Track: int32(cell)}
+// cellEnv builds a member cell's reusable environment. The closures read
+// the machine's cycle/finish fields, refreshed per member step, so this
+// runs once per cell at construction.
+func (m *Machine) cellEnv(cell int) machine.Env {
+	env := machine.Env{Lane: isa.Word(cell), Tracer: m.cfg.Tracer, Track: int32(cell)}
 	env.Load = func(addr isa.Word) (isa.Word, error) {
 		bank, off, err := m.resolveAddr(cell, addr)
 		if err != nil {
 			return 0, err
 		}
-		m.accountMem(cell, bank, cycle, finish)
+		m.accountMem(cell, bank, m.cycle, &m.finish)
 		return m.banks[bank].Load(off)
 	}
 	env.Store = func(addr, val isa.Word) error {
@@ -500,7 +526,7 @@ func (m *Machine) cellEnv(cell int, cycle int64, finish *int64) machine.Env {
 		if err != nil {
 			return err
 		}
-		m.accountMem(cell, bank, cycle, finish)
+		m.accountMem(cell, bank, m.cycle, &m.finish)
 		return m.banks[bank].Store(off, val)
 	}
 	if m.msgNet != nil {
@@ -508,12 +534,12 @@ func (m *Machine) cellEnv(cell int, cycle int64, finish *int64) machine.Env {
 			if peer < 0 || peer >= m.cfg.Cores {
 				return fmt.Errorf("spatial: cell %d sends to nonexistent cell %d", cell, peer)
 			}
-			arrival, err := m.msgNet.Transfer(cycle, cell, peer)
+			arrival, err := m.msgNet.Transfer(m.cycle, cell, peer)
 			if err != nil {
 				return err
 			}
-			if arrival+1 > *finish {
-				*finish = arrival + 1
+			if arrival+1 > m.finish {
+				m.finish = arrival + 1
 			}
 			m.mail[cell][peer] = append(m.mail[cell][peer], message{val: val, availableAt: arrival})
 			return nil
@@ -523,7 +549,7 @@ func (m *Machine) cellEnv(cell int, cycle int64, finish *int64) machine.Env {
 				return 0, fmt.Errorf("spatial: cell %d receives from nonexistent cell %d", cell, peer)
 			}
 			q := m.mail[peer][cell]
-			if len(q) == 0 || q[0].availableAt > cycle {
+			if len(q) == 0 || q[0].availableAt > m.cycle {
 				return 0, machine.ErrWouldBlock
 			}
 			v := q[0].val

@@ -1,0 +1,36 @@
+package uniproc
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestRelease pins the pooling contract: a released machine's buffers go
+// back to the pool, and a machine built after the release (likely reusing
+// the pooled bank) still starts from zeroed memory.
+func TestRelease(t *testing.T) {
+	prog := isa.MustAssemble(`
+        ldi  r1, 7
+        st   r1, [r0+0]
+        halt
+`)
+	m, err := New(DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m.Release()
+	m.Release() // second release must be a no-op, not a double put
+
+	m2, err := New(DefaultConfig(), isa.MustAssemble("halt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Release()
+	if got := m2.Memory()[0]; got != 0 {
+		t.Fatalf("fresh machine sees stale memory word %d", got)
+	}
+}

@@ -46,10 +46,14 @@ func DefaultConfig() Config {
 type Machine struct {
 	cfg  Config
 	prog isa.Program
+	dec  isa.DecodedProgram
 	mem  machine.Memory
 }
 
-// New builds a uni-processor loaded with the given program.
+// New builds a uni-processor loaded with the given program. The program is
+// pre-decoded once here so the cycle loop dispatches on lowered ops, and
+// the data bank comes from the shared pool; call Release when done with
+// the machine to recycle it.
 func New(cfg Config, prog isa.Program) (*Machine, error) {
 	if cfg.MemWords <= 0 {
 		return nil, fmt.Errorf("uniproc: data memory must have at least one word, got %d", cfg.MemWords)
@@ -63,11 +67,18 @@ func New(cfg Config, prog isa.Program) (*Machine, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, fmt.Errorf("uniproc: %w", err)
 	}
-	mem, err := machine.NewMemory(cfg.MemWords)
+	mem, err := machine.GetMemory(cfg.MemWords)
 	if err != nil {
 		return nil, err
 	}
-	return &Machine{cfg: cfg, prog: prog, mem: mem}, nil
+	return &Machine{cfg: cfg, prog: prog, dec: isa.Predecode(prog), mem: mem}, nil
+}
+
+// Release returns the machine's pooled buffers. The machine (including any
+// Memory slice previously obtained from it) must not be used afterwards.
+func (m *Machine) Release() {
+	machine.PutMemory(m.mem)
+	m.mem = nil
 }
 
 // Memory exposes the data memory for loading inputs and reading results.
@@ -97,25 +108,25 @@ func (m *Machine) Run() (machine.Stats, error) {
 	}
 	pc := 0
 	for {
-		if pc < 0 || pc >= len(m.prog) {
+		if pc < 0 || pc >= len(m.dec) {
 			return stats, nil // fell off the program: implicit halt
 		}
 		if stats.Cycles >= budget {
 			return stats, fmt.Errorf("uniproc: %w after %d cycles", machine.ErrDeadline, stats.Cycles)
 		}
-		ins := m.prog[pc]
+		d := &m.dec[pc]
 		if m.cfg.Trace != nil {
-			m.cfg.Trace(pc, ins, regs)
+			m.cfg.Trace(pc, d.Instruction(), regs)
 		}
 		issue := stats.Cycles
 		env.Now = issue
-		out, err := machine.Step(&regs, pc, ins, env)
+		out, err := machine.StepDecoded(&regs, pc, d, &env)
 		if err != nil {
 			return stats, fmt.Errorf("uniproc: pc %d: %w", pc, err)
 		}
 		stats.Cycles++
 		stats.Instructions++
-		isALU := machine.IsALU(ins.Op)
+		isALU := d.IsALU()
 		if isALU {
 			stats.ALUOps++
 		}
@@ -125,13 +136,13 @@ func (m *Machine) Run() (machine.Stats, error) {
 				memLat = 1 // default DP-DM direct-switch traversal
 			}
 			stats.Cycles += memLat
-			if ins.Op == isa.OpLd {
+			if d.Op == isa.OpLd {
 				stats.MemReads++
 			} else {
 				stats.MemWrites++
 			}
 		}
-		if ins.Op.IsBranch() && out.NextPC != pc+1 {
+		if d.IsBranch() && out.NextPC != pc+1 {
 			stats.Cycles += m.cfg.BranchPenalty
 		}
 		if tr != nil {
@@ -140,7 +151,7 @@ func (m *Machine) Run() (machine.Stats, error) {
 				flags |= obs.FlagALU
 			}
 			tr.Emit(obs.Event{Kind: obs.KindInstr, Flags: flags, Track: 0,
-				Cycle: issue, Dur: stats.Cycles - issue, Arg: int64(ins.Op)})
+				Cycle: issue, Dur: stats.Cycles - issue, Arg: int64(d.Op)})
 		}
 		pc = out.NextPC
 		if out.Halted {

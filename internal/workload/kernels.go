@@ -26,6 +26,7 @@ func VecAddUni(a, b []isa.Word, opts ...Option) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer m.Release()
 	input := append(append([]isa.Word{}, a...), b...)
 	out, stats, err := m.RunWithInput(input, 2*n, n)
 	if err != nil {
@@ -66,6 +67,7 @@ func VecAddSIMD(sub, lanes int, a, b []isa.Word, opts ...Option) (Result, error)
 	if err != nil {
 		return Result{}, err
 	}
+	defer mach.Release()
 	for lane := 0; lane < lanes; lane++ {
 		chunk := append(append([]isa.Word{}, a[lane*m:(lane+1)*m]...), b[lane*m:(lane+1)*m]...)
 		if err := mach.LoadLane(lane, 0, chunk); err != nil {
@@ -127,6 +129,7 @@ func VecAddMIMD(sub, cores int, a, b []isa.Word, opts ...Option) (Result, error)
 	if err != nil {
 		return Result{}, err
 	}
+	defer mach.Release()
 	for core := 0; core < cores; core++ {
 		chunk := append(append([]isa.Word{}, a[core*m:(core+1)*m]...), b[core*m:(core+1)*m]...)
 		if err := mach.LoadBank(core, 0, chunk); err != nil {
@@ -166,6 +169,7 @@ func DotUni(a, b []isa.Word, opts ...Option) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer m.Release()
 	input := append(append([]isa.Word{}, a...), b...)
 	out, stats, err := m.RunWithInput(input, 2*n, 1)
 	if err != nil {
@@ -208,6 +212,7 @@ func DotSIMD(sub, lanes int, a, b []isa.Word, opts ...Option) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer mach.Release()
 	for lane := 0; lane < lanes; lane++ {
 		chunk := append(append([]isa.Word{}, a[lane*m:(lane+1)*m]...), b[lane*m:(lane+1)*m]...)
 		if err := mach.LoadLane(lane, 0, chunk); err != nil {
@@ -264,6 +269,7 @@ func DotMIMD(sub, cores int, a, b []isa.Word, opts ...Option) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer mach.Release()
 	for core := 0; core < cores; core++ {
 		chunk := append(append([]isa.Word{}, a[core*m:(core+1)*m]...), b[core*m:(core+1)*m]...)
 		if err := mach.LoadBank(core, 0, chunk); err != nil {
@@ -317,6 +323,7 @@ func DotSIMDPartial(sub, lanes int, a, b []isa.Word, opts ...Option) (Result, er
 	if err != nil {
 		return Result{}, err
 	}
+	defer mach.Release()
 	for lane := 0; lane < lanes; lane++ {
 		chunk := append(append([]isa.Word{}, a[lane*m:(lane+1)*m]...), b[lane*m:(lane+1)*m]...)
 		if err := mach.LoadLane(lane, 0, chunk); err != nil {
@@ -379,6 +386,7 @@ func DotMIMDPartial(sub, cores int, a, b []isa.Word, opts ...Option) (Result, er
 	if err != nil {
 		return Result{}, err
 	}
+	defer mach.Release()
 	for core := 0; core < cores; core++ {
 		chunk := append(append([]isa.Word{}, a[core*m:(core+1)*m]...), b[core*m:(core+1)*m]...)
 		if err := mach.LoadBank(core, 0, chunk); err != nil {
@@ -453,6 +461,7 @@ func VecAddDataflow(sub, pes int, a, b []isa.Word, opts ...Option) (Result, erro
 	if err != nil {
 		return Result{}, err
 	}
+	defer mach.Release()
 	for pe := 0; pe < pes; pe++ {
 		chunk := append(append([]isa.Word{}, a[pe*m:(pe+1)*m]...), b[pe*m:(pe+1)*m]...)
 		if err := mach.LoadBank(pe, 0, chunk); err != nil {

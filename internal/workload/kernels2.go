@@ -92,6 +92,7 @@ func Stencil3SIMD(sub, lanes int, a []isa.Word, opts ...Option) (Result, error) 
 	if err != nil {
 		return Result{}, err
 	}
+	defer mach.Release()
 	for lane := 0; lane < lanes; lane++ {
 		if err := mach.LoadLane(lane, 0, a[lane*m:(lane+1)*m]); err != nil {
 			return Result{}, err
@@ -140,6 +141,7 @@ func Stencil3MIMD(sub, cores int, a []isa.Word, opts ...Option) (Result, error) 
 	if err != nil {
 		return Result{}, err
 	}
+	defer mach.Release()
 	for core := 0; core < cores; core++ {
 		if err := mach.LoadBank(core, 0, a[core*m:(core+1)*m]); err != nil {
 			return Result{}, err
@@ -189,6 +191,7 @@ func ScanMIMD(sub, cores int, a []isa.Word, opts ...Option) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer mach.Release()
 	for core := 0; core < cores; core++ {
 		if err := mach.LoadBank(core, 0, a[core*m:(core+1)*m]); err != nil {
 			return Result{}, err
@@ -243,6 +246,7 @@ func MatMulMIMDReplicated(sub, cores int, a, b []isa.Word, rows, k, n int, opts 
 	if err != nil {
 		return Result{}, err
 	}
+	defer mach.Release()
 	for core := 0; core < cores; core++ {
 		if err := mach.LoadBank(core, 0, a[core*mr*k:(core+1)*mr*k]); err != nil {
 			return Result{}, err
@@ -302,6 +306,7 @@ func MatMulMIMDShared(sub, cores int, a, b []isa.Word, rows, k, n int, opts ...O
 	if err != nil {
 		return Result{}, err
 	}
+	defer mach.Release()
 	for core := 0; core < cores; core++ {
 		if err := mach.LoadBank(core, 0, a[core*mr*k:(core+1)*mr*k]); err != nil {
 			return Result{}, err
@@ -344,6 +349,7 @@ func FIRUni(x, h []isa.Word, opts ...Option) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer mach.Release()
 	input := append(append([]isa.Word{}, x...), h...)
 	out, stats, err := mach.RunWithInput(input, len(x)+len(h), m)
 	if err != nil {
@@ -388,6 +394,7 @@ func FIRSIMD(sub, lanes int, x, h []isa.Word, opts ...Option) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer mach.Release()
 	for lane := 0; lane < lanes; lane++ {
 		chunk := x[lane*m : lane*m+m+taps-1] // includes the ghost overlap
 		payload := append(append([]isa.Word{}, chunk...), h...)

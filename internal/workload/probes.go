@@ -98,6 +98,7 @@ func probeIAPCannotActAsIMP(opts ...Option) (Probe, error) {
 	if err != nil {
 		return Probe{}, err
 	}
+	defer mm.Release()
 	if _, err := mm.Run(); err != nil {
 		return Probe{}, fmt.Errorf("workload: divergent kernel failed on IMP: %v", err)
 	}
@@ -123,6 +124,7 @@ func probeIAPCannotActAsIMP(opts ...Option) (Probe, error) {
 	if err != nil {
 		return Probe{}, err
 	}
+	defer sm.Release()
 	if _, err := sm.Run(); err != nil {
 		return Probe{}, fmt.Errorf("workload: divergent kernel failed to run on IAP: %v", err)
 	}
@@ -168,6 +170,7 @@ func probeIAPActsAsIUP(opts ...Option) (Probe, error) {
 	if err != nil {
 		return Probe{}, err
 	}
+	defer sm.Release()
 	input := append(append([]isa.Word{}, a...), b...)
 	if err := sm.LoadLane(0, 0, input); err != nil {
 		return Probe{}, err
@@ -462,6 +465,7 @@ func probeUSPImplementsDataflow(opts ...Option) (Probe, error) {
 	if err != nil {
 		return Probe{}, err
 	}
+	defer dm.Release()
 	dres, err := dm.Run()
 	if err != nil {
 		return Probe{}, err

@@ -1,0 +1,192 @@
+// Command benchjson runs the repository's root benchmark suite and emits
+// the results as a machine-readable JSON document — the bench-trajectory
+// format checked in as BENCH_PR3.json and uploaded as a CI artifact, so the
+// performance numbers travel with the commit that produced them.
+//
+// It shells out to `go test -run ^$ -bench <regex> -benchmem`, parses the
+// standard benchmark output lines
+//
+//	BenchmarkName/sub-8   1234   5678 ns/op   90 B/op   1 allocs/op
+//
+// and records ns/op, B/op, allocs/op plus any custom metrics
+// (guest-cycles, conflict-cycles, ...) the benchmarks report.
+//
+// Run from the repository root:
+//
+//	go run ./tools/benchjson                       # full suite -> stdout
+//	go run ./tools/benchjson -out BENCH_PR3.json   # full suite -> file
+//	go run ./tools/benchjson -short                # CI smoke: 1 iteration,
+//	                                               # engine benchmarks only
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmarks and the
+	// GOMAXPROCS suffix as printed (e.g. "BenchmarkSim_VecAdd/IUP-8").
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is wall time per iteration in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present when -benchmem is on.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds any custom b.ReportMetric values keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	// GoVersion, GOOS, GOARCH and GOMAXPROCS describe the machine the
+	// numbers came from; a bench trajectory is only comparable within one
+	// environment.
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// CPU is the "cpu:" line go test prints, when present.
+	CPU string `json:"cpu,omitempty"`
+	// Bench and Benchtime echo the selection this run used.
+	Bench     string   `json:"bench"`
+	Benchtime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// shortBench restricts -short runs to the PR-3 engine ablations: the
+// pre-decode microbench and the worker-pool batch benchmarks. They cover
+// the perf-critical paths without the multi-minute full-suite cost.
+const shortBench = "Step_RawVsDecoded|Conformance_Matrix|Conformance_Lockstep|SurveyZoo_Parallel"
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("out", "", "write the JSON document to this file instead of stdout")
+	bench := fs.String("bench", ".", "benchmark selection regex passed to go test -bench")
+	benchtime := fs.String("benchtime", "", "passed to go test -benchtime (default: go test's default; -short uses 1x)")
+	short := fs.Bool("short", false, "CI smoke mode: engine benchmarks only, one iteration each")
+	pkg := fs.String("pkg", ".", "package to benchmark")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sel, bt := *bench, *benchtime
+	if *short {
+		if sel == "." {
+			sel = shortBench
+		}
+		if bt == "" {
+			bt = "1x"
+		}
+	}
+
+	cmdArgs := []string{"test", "-run", "^$", "-bench", sel, "-benchmem"}
+	if bt != "" {
+		cmdArgs = append(cmdArgs, "-benchtime", bt)
+	}
+	cmdArgs = append(cmdArgs, *pkg)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(cmdArgs, " "), err)
+	}
+
+	doc := Doc{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Bench:      sel,
+		Benchtime:  bt,
+	}
+	if err := parse(raw, &doc); err != nil {
+		return err
+	}
+	if len(doc.Results) == 0 {
+		return fmt.Errorf("no benchmark lines matched %q", sel)
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchjson: %d benchmarks -> %s\n", len(doc.Results), *out)
+	return nil
+}
+
+// parse extracts benchmark result lines from go test output. The format is
+// stable: a name starting with "Benchmark", the iteration count, then
+// value/unit pairs.
+func parse(raw []byte, doc *Doc) error {
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			doc.CPU = cpu
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then at least one "value unit" pair.
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: fields[0], Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return fmt.Errorf("parsing %q: bad value %q", line, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = val
+			case "B/op":
+				v := val
+				r.BytesPerOp = &v
+			case "allocs/op":
+				v := val
+				r.AllocsPerOp = &v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = val
+			}
+		}
+		doc.Results = append(doc.Results, r)
+	}
+	return sc.Err()
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStep_RawVsDecoded/raw         	  104268	     11447 ns/op	       0 B/op	       0 allocs/op
+BenchmarkStep_RawVsDecoded/decoded     	  123058	      9744 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSim_VecAdd/IUP                	     418	   2863025 ns/op	      6418 guest-cycles
+BenchmarkNoMem                         	 1000000	      1050 ns/op
+PASS
+ok  	repro	14.9s
+`
+
+func TestParse(t *testing.T) {
+	var doc Doc
+	if err := parse([]byte(sampleOutput), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", doc.CPU)
+	}
+	if len(doc.Results) != 4 {
+		t.Fatalf("%d results, want 4", len(doc.Results))
+	}
+	raw := doc.Results[0]
+	if raw.Name != "BenchmarkStep_RawVsDecoded/raw" || raw.Iterations != 104268 || raw.NsPerOp != 11447 {
+		t.Errorf("raw line parsed as %+v", raw)
+	}
+	if raw.BytesPerOp == nil || *raw.BytesPerOp != 0 || raw.AllocsPerOp == nil || *raw.AllocsPerOp != 0 {
+		t.Errorf("raw line memory stats: %+v", raw)
+	}
+	vec := doc.Results[2]
+	if vec.Metrics["guest-cycles"] != 6418 {
+		t.Errorf("custom metric parsed as %+v", vec.Metrics)
+	}
+	if nomem := doc.Results[3]; nomem.BytesPerOp != nil || nomem.AllocsPerOp != nil {
+		t.Errorf("line without -benchmem stats parsed as %+v", nomem)
+	}
+}
+
+func TestParseRejectsMalformedValue(t *testing.T) {
+	var doc Doc
+	err := parse([]byte("BenchmarkX 10 abc ns/op\n"), &doc)
+	if err == nil || !strings.Contains(err.Error(), "bad value") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRunEndToEnd drives the CLI against the real go toolchain on a tiny
+// benchmark selection and checks the emitted file is a valid document.
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go test")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-bench", "Step_RawVsDecoded", "-benchtime", "1x", "-pkg", "repro", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"go_version", "BenchmarkStep_RawVsDecoded/raw", "ns_per_op"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("document missing %q:\n%s", want, data)
+		}
+	}
+	if err := run([]string{"-bench", "NoSuchBenchmarkAnywhere"}); err == nil {
+		t.Error("empty selection accepted")
+	}
+}
