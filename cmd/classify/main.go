@@ -7,12 +7,16 @@
 //
 //	classify -file archs.json
 //	classify -name MyCGRA -ips 1 -dps 16 -ipdp 1-16 -ipim 1-1 -dpdm 16-1 -dpdp 16x16
+//	classify -name MyCGRA ... -json     # machine-readable output
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/spec"
@@ -20,27 +24,50 @@ import (
 )
 
 func main() {
-	file := flag.String("file", "", "JSON file with an architecture collection")
-	name := flag.String("name", "", "architecture name (flag mode)")
-	ips := flag.String("ips", "1", "IP count cell (e.g. 1, 64, n, v)")
-	dps := flag.String("dps", "1", "DP count cell")
-	ipip := flag.String("ipip", "none", "IP-IP connectivity cell")
-	ipdp := flag.String("ipdp", "1-1", "IP-DP connectivity cell")
-	ipim := flag.String("ipim", "1-1", "IP-IM connectivity cell")
-	dpdm := flag.String("dpdm", "1-1", "DP-DM connectivity cell")
-	dpdp := flag.String("dpdp", "none", "DP-DP connectivity cell")
-	estimateN := flag.Int("n", 16, "instantiation size for the area/config estimate")
-	flag.Parse()
-
-	if err := run(*file, *name, *ips, *dps, *ipip, *ipdp, *ipim, *dpdm, *dpdp, *estimateN); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "classify:", err)
 		os.Exit(1)
 	}
 }
 
-func run(file, name, ips, dps, ipip, ipdp, ipim, dpdm, dpdp string, n int) error {
-	if file != "" {
-		data, err := os.ReadFile(file)
+// jsonClassification is the -json shape of one classified architecture,
+// field-compatible with the serving layer's /v1/classify items.
+type jsonClassification struct {
+	Name        string            `json:"name"`
+	Class       string            `json:"class"`
+	Row         int               `json:"row"`
+	Machine     string            `json:"machine"`
+	Proc        string            `json:"proc"`
+	Flexibility int               `json:"flexibility"`
+	AreaGE      float64           `json:"area_ge"`
+	ConfigBits  int               `json:"config_bits"`
+	Relatives   []string          `json:"relatives,omitempty"`
+	Switches    map[string]string `json:"switches"`
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
+	fs.SetOutput(w)
+	file := fs.String("file", "", "JSON file with an architecture collection")
+	name := fs.String("name", "", "architecture name (flag mode)")
+	ips := fs.String("ips", "1", "IP count cell (e.g. 1, 64, n, v)")
+	dps := fs.String("dps", "1", "DP count cell")
+	ipip := fs.String("ipip", "none", "IP-IP connectivity cell")
+	ipdp := fs.String("ipdp", "1-1", "IP-DP connectivity cell")
+	ipim := fs.String("ipim", "1-1", "IP-IM connectivity cell")
+	dpdm := fs.String("dpdm", "1-1", "DP-DM connectivity cell")
+	dpdp := fs.String("dpdp", "none", "DP-DP connectivity cell")
+	estimateN := fs.Int("n", 16, "instantiation size for the area/config estimate")
+	asJSON := fs.Bool("json", false, "emit the classification as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+
+	if *file != "" {
+		data, err := os.ReadFile(*file)
 		if err != nil {
 			return err
 		}
@@ -49,45 +76,41 @@ func run(file, name, ips, dps, ipip, ipdp, ipim, dpdm, dpdp string, n int) error
 			return err
 		}
 		for _, a := range col.Architectures {
-			if err := classifyOne(a, n); err != nil {
+			if err := classifyOne(w, a, *estimateN, *asJSON); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if name == "" {
+	if *name == "" {
 		return fmt.Errorf("need -file or -name (see -help)")
 	}
-	return classifyOne(spec.Architecture{
-		Name: name, IPs: ips, DPs: dps,
-		IPIP: ipip, IPDP: ipdp, IPIM: ipim, DPDM: dpdm, DPDP: dpdp,
-	}, n)
+	return classifyOne(w, spec.Architecture{
+		Name: *name, IPs: *ips, DPs: *dps,
+		IPIP: *ipip, IPDP: *ipdp, IPIM: *ipim, DPDM: *dpdm, DPDP: *dpdp,
+	}, *estimateN, *asJSON)
 }
 
-func classifyOne(a spec.Architecture, n int) error {
+func classifyOne(w io.Writer, a spec.Architecture, n int, asJSON bool) error {
 	c, flex, err := core.ClassifyWithFlexibility(a)
 	if err != nil {
 		// "Did you mean": rank the implementable classes by structural
 		// distance so an NI or malformed shape still gets guidance.
 		if r, rerr := spec.Resolve(a); rerr == nil {
 			if sugg, serr := taxonomy.Suggest(r.IPs, r.DPs, r.Links, 3); serr == nil {
-				fmt.Printf("%s: not classifiable (%v)\n  nearest implementable classes:", a.Name, err)
+				fmt.Fprintf(w, "%s: not classifiable (%v)\n  nearest implementable classes:", a.Name, err)
 				for _, s := range sugg {
-					fmt.Printf(" %s (distance %d)", s.Class, s.Distance)
+					fmt.Fprintf(w, " %s (distance %d)", s.Class, s.Distance)
 				}
-				fmt.Println()
+				fmt.Fprintln(w)
 			}
 		}
 		return err
 	}
-	fmt.Printf("%s: class %s (Table I row %d), flexibility %d\n", a.Name, c, c.Index, flex)
-	fmt.Printf("  %s, %s\n", c.Name.Machine, c.Name.Proc)
 	est, err := core.EstimateArchitecture(a, n)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  Eq 1 area estimate:        %.0f GE (IPs=%d, DPs=%d)\n", est.Area, est.IPCount, est.DPCount)
-	fmt.Printf("  Eq 2 config-bits estimate: %d bits\n", est.ConfigBits)
 	// Name the closest survey relatives: same class in Table III.
 	relatives := []string{}
 	for _, e := range core.Survey() {
@@ -95,24 +118,48 @@ func classifyOne(a spec.Architecture, n int) error {
 			relatives = append(relatives, e.Arch.Name)
 		}
 	}
-	if len(relatives) > 0 {
-		fmt.Printf("  surveyed relatives (%s): %v\n", c, relatives)
-	}
 	r, err := spec.Resolve(a)
 	if err != nil {
 		return err
 	}
-	fmt.Print("  abstracted switches: ")
+
+	if asJSON {
+		out := jsonClassification{
+			Name: a.Name, Class: c.String(), Row: c.Index,
+			Machine: c.Name.Machine.String(), Proc: c.Name.Proc.String(),
+			Flexibility: flex, AreaGE: est.Area, ConfigBits: est.ConfigBits,
+			Relatives: relatives, Switches: map[string]string{},
+		}
+		for _, s := range taxonomy.Sites() {
+			kind := r.Links.At(s).String()
+			if r.Limited[s] {
+				kind += " (limited)"
+			}
+			out.Switches[s.String()] = kind
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+
+	fmt.Fprintf(w, "%s: class %s (Table I row %d), flexibility %d\n", a.Name, c, c.Index, flex)
+	fmt.Fprintf(w, "  %s, %s\n", c.Name.Machine, c.Name.Proc)
+	fmt.Fprintf(w, "  Eq 1 area estimate:        %.0f GE (IPs=%d, DPs=%d)\n", est.Area, est.IPCount, est.DPCount)
+	fmt.Fprintf(w, "  Eq 2 config-bits estimate: %d bits\n", est.ConfigBits)
+	if len(relatives) > 0 {
+		fmt.Fprintf(w, "  surveyed relatives (%s): %v\n", c, relatives)
+	}
+	fmt.Fprint(w, "  abstracted switches: ")
 	for i, s := range taxonomy.Sites() {
 		if i > 0 {
-			fmt.Print(", ")
+			fmt.Fprint(w, ", ")
 		}
 		kind := r.Links.At(s).String()
 		if r.Limited[s] {
 			kind += " (limited)"
 		}
-		fmt.Printf("%s=%s", s, kind)
+		fmt.Fprintf(w, "%s=%s", s, kind)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	return nil
 }

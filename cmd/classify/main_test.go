@@ -1,38 +1,23 @@
 package main
 
 import (
-	"io"
+	"bytes"
+	"encoding/json"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
-func capture(t *testing.T, fn func() error) (string, error) {
-	t.Helper()
-	old := os.Stdout
-	r, w, err := os.Pipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	os.Stdout = w
-	runErr := fn()
-	w.Close()
-	os.Stdout = old
-	data, err := io.ReadAll(r)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return string(data), runErr
-}
-
 func TestRun_FlagMode(t *testing.T) {
-	out, err := capture(t, func() error {
-		return run("", "TestChip", "1", "16", "none", "1-16", "1-1", "16-1", "16x16", 16)
-	})
+	var b strings.Builder
+	err := run([]string{"-name", "TestChip", "-ips", "1", "-dps", "16",
+		"-ipdp", "1-16", "-ipim", "1-1", "-dpdm", "16-1", "-dpdp", "16x16"}, &b)
 	if err != nil {
 		t.Fatal(err)
 	}
+	out := b.String()
 	for _, want := range []string{"TestChip: class IAP-II", "flexibility 2", "Eq 1", "Eq 2", "abstracted switches"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
@@ -53,52 +38,128 @@ func TestRun_FileMode(t *testing.T) {
 	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	out, err := capture(t, func() error {
-		return run(path, "", "", "", "", "", "", "", "", 8)
-	})
+	var b strings.Builder
+	if err := run([]string{"-file", path, "-n", "8"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "A: class DMP-IV") || !strings.Contains(b.String(), "B: class USP") {
+		t.Errorf("file mode output:\n%s", b.String())
+	}
+}
+
+func TestRun_JSON(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-json", "-name", "TestChip", "-ips", "1", "-dps", "16",
+		"-ipdp", "1-16", "-ipim", "1-1", "-dpdm", "16-1", "-dpdp", "16x16"}, &b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "A: class DMP-IV") || !strings.Contains(out, "B: class USP") {
-		t.Errorf("file mode output:\n%s", out)
+	var doc jsonClassification
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if doc.Name != "TestChip" || doc.Class != "IAP-II" || doc.Flexibility != 2 {
+		t.Errorf("JSON doc = %+v", doc)
+	}
+	if doc.AreaGE <= 0 || doc.ConfigBits <= 0 || doc.Row == 0 {
+		t.Errorf("estimate fields missing: %+v", doc)
+	}
+	if len(doc.Switches) == 0 {
+		t.Errorf("switches missing: %+v", doc)
+	}
+	if !containsStr(doc.Relatives, "MorphoSys") {
+		t.Errorf("relatives = %v", doc.Relatives)
 	}
 }
 
 func TestRun_Errors(t *testing.T) {
-	if _, err := capture(t, func() error {
-		return run("", "", "", "", "", "", "", "", "", 8)
-	}); err == nil {
-		t.Error("missing name and file accepted")
+	cases := [][]string{
+		{}, // neither -file nor -name
+		{"-file", "/nonexistent/archs.json"},
+		{"-name", "X", "-ipip", "??"}, // bad cell
+		{"-definitely-not-a-flag"},
+		{"-name", "X", "positional"},
 	}
-	if _, err := capture(t, func() error {
-		return run("/nonexistent/archs.json", "", "", "", "", "", "", "", "", 8)
-	}); err == nil {
-		t.Error("missing file accepted")
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
-	if _, err := capture(t, func() error {
-		return run("", "X", "1", "1", "??", "1-1", "1-1", "1-1", "none", 8)
-	}); err == nil {
-		t.Error("bad cell accepted")
-	}
+
 	// NI shape: n IPs, 1 DP — fails but prints nearest-class suggestions.
-	out, err := capture(t, func() error {
-		return run("", "X", "4", "1", "none", "4-1", "4-4", "1-1", "none", 8)
-	})
+	var b strings.Builder
+	err := run([]string{"-name", "X", "-ips", "4", "-dps", "1",
+		"-ipdp", "4-1", "-ipim", "4-4", "-dpdm", "1-1"}, &b)
 	if err == nil {
 		t.Error("NI shape classified")
 	}
-	if !strings.Contains(out, "nearest implementable classes") {
-		t.Errorf("no suggestions on NI shape:\n%s", out)
+	if !strings.Contains(b.String(), "nearest implementable classes") {
+		t.Errorf("no suggestions on NI shape:\n%s", b.String())
 	}
+
 	// Bad JSON collection.
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bad.json")
 	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := capture(t, func() error {
-		return run(path, "", "", "", "", "", "", "", "", 8)
-	}); err == nil {
+	b.Reset()
+	if err := run([]string{"-file", path}, &b); err == nil {
 		t.Error("bad JSON accepted")
 	}
+}
+
+// TestHelperProcess re-executes the test binary as the real CLI so the
+// process-level tests below observe true exit codes.
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("CLASSIFY_HELPER") != "1" {
+		t.Skip("helper process only")
+	}
+	for i, a := range os.Args {
+		if a == "--" {
+			os.Args = append([]string{"classify"}, os.Args[i+1:]...)
+			break
+		}
+	}
+	main()
+	os.Exit(0)
+}
+
+// execMain runs the CLI in a child process and returns stdout and exit code.
+func execMain(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], append([]string{"-test.run=TestHelperProcess", "--"}, args...)...)
+	cmd.Env = append(os.Environ(), "CLASSIFY_HELPER=1")
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	_ = cmd.Run()
+	return stdout.String(), cmd.ProcessState.ExitCode()
+}
+
+func TestExitCodes(t *testing.T) {
+	out, code := execMain(t, "-name", "TestChip", "-ips", "1", "-dps", "16",
+		"-ipdp", "1-16", "-ipim", "1-1", "-dpdm", "16-1", "-dpdp", "16x16", "-json")
+	if code != 0 {
+		t.Fatalf("valid classification exited %d", code)
+	}
+	var doc jsonClassification
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("process stdout is not the JSON doc: %v\n%s", err, out)
+	}
+	if _, code := execMain(t, "-name", "X", "-ipip", "??"); code != 1 {
+		t.Errorf("bad cell exited %d, want 1", code)
+	}
+	if _, code := execMain(t); code != 1 {
+		t.Errorf("missing mode exited %d, want 1", code)
+	}
+}
+
+func containsStr(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
 }

@@ -13,7 +13,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro/internal/cost"
 	"repro/internal/registry"
@@ -22,14 +24,7 @@ import (
 )
 
 func main() {
-	class := flag.String("class", "", "taxonomy class name (e.g. IMP-XVI)")
-	arch := flag.String("arch", "", "surveyed architecture name (e.g. MorphoSys)")
-	sweep := flag.Bool("sweep", false, "estimate every named class")
-	n := flag.Int("n", 16, "instantiation size for plural counts")
-	asJSON := flag.Bool("json", false, "emit the estimate as JSON (class/arch modes)")
-	flag.Parse()
-
-	if err := run(*class, *arch, *sweep, *asJSON, *n); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "estimate:", err)
 		os.Exit(1)
 	}
@@ -46,7 +41,7 @@ type jsonEstimate struct {
 	BitTerms   map[string]int     `json:"bit_terms"`
 }
 
-func emitJSON(est cost.Estimate) error {
+func emitJSON(w io.Writer, est cost.Estimate) error {
 	out := jsonEstimate{
 		Class: est.Class.String(), IPs: est.IPCount, DPs: est.DPCount,
 		AreaGE: est.Area, ConfigBits: est.ConfigBits,
@@ -56,63 +51,77 @@ func emitJSON(est cost.Estimate) error {
 		out.AreaTerms[string(term)] = est.AreaBreakdown[term]
 		out.BitTerms[string(term)] = est.BitsBreakdown[term]
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
 }
 
-func run(class, arch string, sweep, asJSON bool, n int) error {
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("estimate", flag.ContinueOnError)
+	fs.SetOutput(w)
+	class := fs.String("class", "", "taxonomy class name (e.g. IMP-XVI)")
+	arch := fs.String("arch", "", "surveyed architecture name (e.g. MorphoSys)")
+	sweep := fs.Bool("sweep", false, "estimate every named class")
+	n := fs.Int("n", 16, "instantiation size for plural counts")
+	asJSON := fs.Bool("json", false, "emit the estimate as JSON (class/arch modes)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+
 	model, err := cost.NewModel(cost.DefaultLibrary())
 	if err != nil {
 		return err
 	}
 	switch {
-	case sweep:
-		out, err := report.CostTable(n)
+	case *sweep:
+		out, err := report.CostTable(*n)
 		if err != nil {
 			return err
 		}
-		fmt.Print(out)
+		fmt.Fprint(w, out)
 		return nil
-	case class != "":
-		c, err := taxonomy.LookupString(class)
+	case *class != "":
+		c, err := taxonomy.LookupString(*class)
 		if err != nil {
 			return err
 		}
-		est, err := model.ForClass(c, n)
+		est, err := model.ForClass(c, *n)
 		if err != nil {
 			return err
 		}
-		if asJSON {
-			return emitJSON(est)
+		if *asJSON {
+			return emitJSON(w, est)
 		}
-		printEstimate(est)
+		printEstimate(w, est)
 		return nil
-	case arch != "":
-		e, ok := registry.Find(arch)
+	case *arch != "":
+		e, ok := registry.Find(*arch)
 		if !ok {
-			return fmt.Errorf("architecture %q is not in the Table III registry (try cmd/survey -json for the list)", arch)
+			return fmt.Errorf("architecture %q is not in the Table III registry (try cmd/survey -json for the list)", *arch)
 		}
-		est, err := model.ForArchitecture(e.Arch, n)
+		est, err := model.ForArchitecture(e.Arch, *n)
 		if err != nil {
 			return err
 		}
-		if asJSON {
-			return emitJSON(est)
+		if *asJSON {
+			return emitJSON(w, est)
 		}
-		printEstimate(est)
+		printEstimate(w, est)
 		return nil
 	default:
 		return fmt.Errorf("need -class, -arch or -sweep (see -help)")
 	}
 }
 
-func printEstimate(est cost.Estimate) {
-	fmt.Printf("class %s instantiated with IPs=%d DPs=%d\n", est.Class, est.IPCount, est.DPCount)
-	fmt.Printf("Eq 1 area:        %.0f GE\n", est.Area)
-	fmt.Printf("Eq 2 config bits: %d\n", est.ConfigBits)
-	fmt.Println("term breakdown (area GE / config bits):")
+func printEstimate(w io.Writer, est cost.Estimate) {
+	fmt.Fprintf(w, "class %s instantiated with IPs=%d DPs=%d\n", est.Class, est.IPCount, est.DPCount)
+	fmt.Fprintf(w, "Eq 1 area:        %.0f GE\n", est.Area)
+	fmt.Fprintf(w, "Eq 2 config bits: %d\n", est.ConfigBits)
+	fmt.Fprintln(w, "term breakdown (area GE / config bits):")
 	for _, term := range cost.Terms() {
-		fmt.Printf("  %-6s %12.0f  %12d\n", term, est.AreaBreakdown[term], est.BitsBreakdown[term])
+		fmt.Fprintf(w, "  %-6s %12.0f  %12d\n", term, est.AreaBreakdown[term], est.BitsBreakdown[term])
 	}
 }

@@ -1,35 +1,20 @@
 package main
 
 import (
-	"io"
+	"bytes"
+	"encoding/json"
 	"os"
+	"os/exec"
 	"strings"
 	"testing"
 )
 
-func capture(t *testing.T, fn func() error) (string, error) {
-	t.Helper()
-	old := os.Stdout
-	r, w, err := os.Pipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	os.Stdout = w
-	runErr := fn()
-	w.Close()
-	os.Stdout = old
-	data, err := io.ReadAll(r)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return string(data), runErr
-}
-
 func TestRun_Class(t *testing.T) {
-	out, err := capture(t, func() error { return run("IMP-XVI", "", false, false, 16) })
-	if err != nil {
+	var b strings.Builder
+	if err := run([]string{"-class", "IMP-XVI"}, &b); err != nil {
 		t.Fatal(err)
 	}
+	out := b.String()
 	for _, want := range []string{"class IMP-XVI", "Eq 1 area", "Eq 2 config bits", "N*IP", "DP-DM"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("estimate output missing %q:\n%s", want, out)
@@ -38,55 +23,110 @@ func TestRun_Class(t *testing.T) {
 }
 
 func TestRun_Arch(t *testing.T) {
-	out, err := capture(t, func() error { return run("", "MorphoSys", false, false, 16) })
-	if err != nil {
+	var b strings.Builder
+	if err := run([]string{"-arch", "MorphoSys"}, &b); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "IPs=1 DPs=64") {
-		t.Errorf("MorphoSys estimate did not use printed counts:\n%s", out)
+	if !strings.Contains(b.String(), "IPs=1 DPs=64") {
+		t.Errorf("MorphoSys estimate did not use printed counts:\n%s", b.String())
 	}
 }
 
 func TestRun_Sweep(t *testing.T) {
-	out, err := capture(t, func() error { return run("", "", true, false, 8) })
-	if err != nil {
+	var b strings.Builder
+	if err := run([]string{"-sweep", "-n", "8"}, &b); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "USP") || !strings.Contains(out, "DUP") {
+	if !strings.Contains(b.String(), "USP") || !strings.Contains(b.String(), "DUP") {
 		t.Error("sweep incomplete")
 	}
 }
 
 func TestRun_Errors(t *testing.T) {
-	if _, err := capture(t, func() error { return run("", "", false, false, 16) }); err == nil {
-		t.Error("no mode accepted")
+	cases := [][]string{
+		{},                    // no mode
+		{"-class", "XXX"},     // bad class
+		{"-arch", "NotAChip"}, // unknown architecture
+		{"-class", "IUP", "-n", "0"},
+		{"-definitely-not-a-flag"},
+		{"-class", "IUP", "positional"},
 	}
-	if _, err := capture(t, func() error { return run("XXX", "", false, false, 16) }); err == nil {
-		t.Error("bad class accepted")
-	}
-	if _, err := capture(t, func() error { return run("", "NotAChip", false, false, 16) }); err == nil {
-		t.Error("unknown architecture accepted")
-	}
-	if _, err := capture(t, func() error { return run("IUP", "", false, false, 0) }); err == nil {
-		t.Error("n=0 accepted")
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }
 
 func TestRun_JSON(t *testing.T) {
-	out, err := capture(t, func() error { return run("IUP", "", false, true, 1) })
-	if err != nil {
+	var b strings.Builder
+	if err := run([]string{"-class", "IUP", "-n", "1", "-json"}, &b); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"class": "IUP"`, `"area_ge": 55128`, `"config_bits": 144`, `"N*IP"`} {
-		if !strings.Contains(out, want) {
-			t.Errorf("JSON output missing %q:\n%s", want, out)
+	var doc jsonEstimate
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, b.String())
+	}
+	// The paper's Eq 1/Eq 2 IUP n=1 figures.
+	if doc.Class != "IUP" || doc.AreaGE != 55128 || doc.ConfigBits != 144 {
+		t.Errorf("JSON doc = %+v", doc)
+	}
+	if _, ok := doc.AreaTerms["N*IP"]; !ok {
+		t.Errorf("area terms missing N*IP: %v", doc.AreaTerms)
+	}
+
+	b.Reset()
+	if err := run([]string{"-arch", "MorphoSys", "-n", "8", "-json"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.DPs != 64 {
+		t.Errorf("arch JSON missing concrete DPs: %+v", doc)
+	}
+}
+
+// TestHelperProcess re-executes the test binary as the real CLI so the
+// process-level tests below observe true exit codes.
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("ESTIMATE_HELPER") != "1" {
+		t.Skip("helper process only")
+	}
+	for i, a := range os.Args {
+		if a == "--" {
+			os.Args = append([]string{"estimate"}, os.Args[i+1:]...)
+			break
 		}
 	}
-	out, err = capture(t, func() error { return run("", "MorphoSys", false, true, 8) })
-	if err != nil {
-		t.Fatal(err)
+	main()
+	os.Exit(0)
+}
+
+func execMain(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], append([]string{"-test.run=TestHelperProcess", "--"}, args...)...)
+	cmd.Env = append(os.Environ(), "ESTIMATE_HELPER=1")
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	_ = cmd.Run()
+	return stdout.String(), cmd.ProcessState.ExitCode()
+}
+
+func TestExitCodes(t *testing.T) {
+	out, code := execMain(t, "-class", "IUP", "-n", "1", "-json")
+	if code != 0 {
+		t.Fatalf("valid estimate exited %d", code)
 	}
-	if !strings.Contains(out, `"dps": 64`) {
-		t.Errorf("arch JSON missing concrete DPs:\n%s", out)
+	var doc jsonEstimate
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("process stdout is not the JSON doc: %v\n%s", err, out)
+	}
+	if _, code := execMain(t, "-class", "nope"); code != 1 {
+		t.Errorf("bad class exited %d, want 1", code)
+	}
+	if _, code := execMain(t); code != 1 {
+		t.Errorf("missing mode exited %d, want 1", code)
 	}
 }

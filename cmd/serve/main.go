@@ -1,0 +1,93 @@
+// Command serve runs the taxonomy-as-a-service HTTP server: every /v1
+// endpoint takes a {"requests": [...]} batch, fans it across the worker
+// pool, caches deterministic results, and rejects with 429 under
+// saturation. Metrics are at /metrics, liveness at /healthz.
+//
+// Usage:
+//
+//	serve [-addr :8080] [-workers N] [-cache N] [-max-batch N]
+//	      [-max-concurrent N] [-timeout 60s] [-drain 10s]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of main: it serves until the context is
+// cancelled (SIGINT/SIGTERM in production), then drains gracefully.
+func run(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(w)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "exec pool width per batch (0 = GOMAXPROCS)")
+	cache := fs.Int("cache", 0, "result cache capacity in entries (0 = default 4096, negative = disabled)")
+	maxBatch := fs.Int("max-batch", 0, "max items per batch request (0 = default 256)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "per-endpoint in-flight request limit (0 = default, negative = unlimited)")
+	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = default 60s)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+
+	s := server.New(server.Config{
+		Addr:           *addr,
+		Workers:        *workers,
+		CacheSize:      *cache,
+		MaxBatch:       *maxBatch,
+		MaxConcurrent:  *maxConcurrent,
+		RequestTimeout: *timeout,
+	})
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "serving on http://%s\n", l.Addr())
+	fmt.Fprintf(w, "endpoints: %s /metrics /healthz\n", strings.Join(server.Endpoints(), " "))
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Serve(l) }()
+
+	select {
+	case err := <-errCh:
+		// The listener failed on its own; nothing to drain.
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(w, "shutting down (drain %s)\n", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(w, "drained")
+	return nil
+}

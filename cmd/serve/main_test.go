@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read what run's goroutine writes without racing.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var addrRE = regexp.MustCompile(`serving on (http://[^\s]+)`)
+
+// TestServeLifecycle boots the real server on an ephemeral port, makes a
+// batch request over TCP, then cancels the run context and expects a clean
+// graceful drain — the same path SIGTERM takes in production.
+func TestServeLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-drain", "5s"}, &out)
+	}()
+
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; output: %q", out.String())
+		}
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/v1/flexibility", "application/json",
+		strings.NewReader(`{"requests":[{"class":"IUP"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"flexibility"`) {
+		t.Fatalf("batch request: %d %s", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil after graceful drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after context cancellation")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Errorf("missing drain confirmation in output: %q", out.String())
+	}
+}
+
+func TestServeBadFlags(t *testing.T) {
+	var out syncBuffer
+	if err := run(context.Background(), []string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag must error")
+	}
+	if err := run(context.Background(), []string{"positional"}, &out); err == nil {
+		t.Error("positional arguments must error")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.256.256.256:1"}, &out); err == nil {
+		t.Error("unbindable address must error")
+	}
+}

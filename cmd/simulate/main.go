@@ -39,8 +39,8 @@ import (
 	"repro/internal/conformance"
 	"repro/internal/dataflow"
 	"repro/internal/exec"
-	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/modelzoo"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/taxonomy"
@@ -48,9 +48,10 @@ import (
 )
 
 // knownKernels lists every kernel the -kernel flag accepts, across all
-// classes. The conformance matrix (internal/conformance) must cover each
-// of them; cmd/simulate's kernels_test.go pins that.
-var knownKernels = []string{"vecadd", "dot", "reduce", "fir", "matmul", "scan", "stencil"}
+// classes: the modelzoo dispatch vocabulary. The conformance matrix
+// (internal/conformance) must cover each of them; cmd/simulate's
+// kernels_test.go pins that.
+var knownKernels = modelzoo.Kernels()
 
 func main() {
 	class := flag.String("class", "IUP", "machine class (IUP, IAP-I..IV, IMP-I..XVI, DMP-I..IV, USP)")
@@ -221,12 +222,6 @@ func run(className, kernel string, n, procs int, tracePath string, traceASCII, m
 	if err != nil {
 		return err
 	}
-	a := make([]isa.Word, n)
-	b := make([]isa.Word, n)
-	for i := range a {
-		a[i] = isa.Word(i%97 + 1)
-		b[i] = isa.Word(i%89 + 2)
-	}
 
 	var opts []workload.Option
 	var trace *obs.Trace
@@ -235,27 +230,9 @@ func run(className, kernel string, n, procs int, tracePath string, traceASCII, m
 		opts = append(opts, workload.WithTracer(trace))
 	}
 
-	var res workload.Result
-	switch {
-	case c.String() == "IUP":
-		res, err = runIUP(kernel, a, b, opts)
-	case c.Name.Machine == taxonomy.InstructionFlow && c.Name.Proc == taxonomy.ArrayProcessor:
-		res, err = runIAP(kernel, c.Name.Sub, procs, a, b, opts)
-	case c.Name.Machine == taxonomy.InstructionFlow && c.Name.Proc == taxonomy.MultiProcessor:
-		res, err = runIMP(kernel, c.Name.Sub, procs, a, b, opts)
-	case c.Name.Machine == taxonomy.DataFlow:
-		if kernel != "vecadd" {
-			return kernelErr(kernel, "vecadd")
-		}
-		res, err = workload.VecAddDataflow(c.Name.Sub, procs, a, b, opts...)
-	case c.Name.Machine == taxonomy.UniversalFlow:
-		if kernel != "vecadd" {
-			return kernelErr(kernel, "vecadd")
-		}
-		res, err = workload.VecAddFabric(16, clamp(a, 1<<15), clamp(b, 1<<15), opts...)
-	default:
-		return fmt.Errorf("no simulator runner for class %s (ISP demos live in examples and internal/spatial)", c)
-	}
+	// The kernel × class dispatch lives in internal/modelzoo so the serving
+	// layer (internal/server) runs the exact simulations this CLI does.
+	res, err := modelzoo.RunKernel(c, kernel, n, procs, opts...)
 	if err != nil {
 		return err
 	}
@@ -348,98 +325,6 @@ func printMetrics(c taxonomy.Class, events []obs.Event, stats machine.Stats, asJ
 		fmt.Println("\nmetrics cross-check: counters match the run stats")
 	}
 	return nil
-}
-
-func runIUP(kernel string, a, b []isa.Word, opts []workload.Option) (workload.Result, error) {
-	switch kernel {
-	case "vecadd":
-		return workload.VecAddUni(a, b, opts...)
-	case "dot", "reduce":
-		return workload.DotUni(a, b, opts...)
-	case "fir":
-		x, h := firInput(a)
-		return workload.FIRUni(x, h, opts...)
-	default:
-		return workload.Result{}, kernelErr(kernel, "vecadd", "dot", "reduce", "fir")
-	}
-}
-
-func runIAP(kernel string, sub, lanes int, a, b []isa.Word, opts []workload.Option) (workload.Result, error) {
-	switch kernel {
-	case "vecadd":
-		return workload.VecAddSIMD(sub, lanes, a, b, opts...)
-	case "dot", "reduce":
-		if sub == 1 || sub == 3 { // no DP-DP switch: butterfly impossible
-			return workload.DotSIMDPartial(sub, lanes, a, b, opts...)
-		}
-		return workload.DotSIMD(sub, lanes, a, b, opts...)
-	case "fir":
-		x, h := firInput(a)
-		return workload.FIRSIMD(sub, lanes, x, h, opts...)
-	case "stencil":
-		return workload.Stencil3SIMD(sub, lanes, a, opts...)
-	default:
-		return workload.Result{}, kernelErr(kernel, "vecadd", "dot", "reduce", "fir", "stencil")
-	}
-}
-
-func runIMP(kernel string, sub, cores int, a, b []isa.Word, opts []workload.Option) (workload.Result, error) {
-	switch kernel {
-	case "vecadd":
-		return workload.VecAddMIMD(sub, cores, a, b, opts...)
-	case "dot", "reduce":
-		if (sub-1)&1 == 0 { // no DP-DP switch: butterfly impossible
-			return workload.DotMIMDPartial(sub, cores, a, b, opts...)
-		}
-		return workload.DotMIMD(sub, cores, a, b, opts...)
-	case "scan":
-		return workload.ScanMIMD(sub, cores, a, opts...)
-	case "stencil":
-		return workload.Stencil3MIMD(sub, cores, a, opts...)
-	case "matmul":
-		// C = A x B with rows = n, inner dim and columns fixed at 8. The
-		// DP-DM switch kind picks the strategy: replicated B on direct
-		// banks, shared B through the crossbar.
-		const k, cols = 8, 8
-		rows := len(a)
-		am := make([]isa.Word, rows*k)
-		bm := make([]isa.Word, k*cols)
-		for i := range am {
-			am[i] = isa.Word(i%23 + 1)
-		}
-		for i := range bm {
-			bm[i] = isa.Word(i%19 + 1)
-		}
-		if (sub-1)&2 != 0 {
-			return workload.MatMulMIMDShared(sub, cores, am, bm, rows, k, cols, opts...)
-		}
-		return workload.MatMulMIMDReplicated(sub, cores, am, bm, rows, k, cols, opts...)
-	default:
-		return workload.Result{}, kernelErr(kernel, "vecadd", "dot", "reduce", "fir", "matmul", "scan", "stencil")
-	}
-}
-
-// firInput derives an 8-tap FIR input from the vector: a supplies the
-// output-length samples, extended with the ghost overlap the kernels need.
-func firInput(a []isa.Word) (x, h []isa.Word) {
-	const taps = 8
-	x = make([]isa.Word, len(a)+taps-1)
-	for i := range x {
-		x[i] = isa.Word(i%31 + 1)
-	}
-	h = make([]isa.Word, taps)
-	for i := range h {
-		h[i] = isa.Word(i + 1)
-	}
-	return x, h
-}
-
-func clamp(v []isa.Word, limit isa.Word) []isa.Word {
-	out := make([]isa.Word, len(v))
-	for i, x := range v {
-		out[i] = x % limit
-	}
-	return out
 }
 
 func printStats(c taxonomy.Class, kernel string, n, procs int, s machine.Stats) {

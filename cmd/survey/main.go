@@ -12,7 +12,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro/internal/registry"
 	"repro/internal/report"
@@ -20,61 +22,68 @@ import (
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "print paper figure 7 instead of the table")
-	asJSON := flag.Bool("json", false, "dump the survey as a JSON collection")
-	group := flag.Bool("group", false, "group the survey by derived class (the §IV narrative)")
-	width := flag.Int("width", 48, "bar chart width")
-	flag.Parse()
-
-	if err := run(*fig, *asJSON, *group, *width); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "survey:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, asJSON, group bool, width int) error {
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("survey", flag.ContinueOnError)
+	fs.SetOutput(w)
+	fig := fs.Int("fig", 0, "print paper figure 7 instead of the table")
+	asJSON := fs.Bool("json", false, "dump the survey as a JSON collection")
+	group := fs.Bool("group", false, "group the survey by derived class (the §IV narrative)")
+	width := fs.Int("width", 48, "bar chart width")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+
 	switch {
-	case group:
+	case *group:
 		groups, err := registry.GroupByClass()
 		if err != nil {
 			return err
 		}
 		for _, g := range groups {
-			fmt.Printf("%-8s (flexibility %d, %d machines):", g.Class, g.Flexibility, len(g.Architectures))
+			fmt.Fprintf(w, "%-8s (flexibility %d, %d machines):", g.Class, g.Flexibility, len(g.Architectures))
 			for _, name := range g.Architectures {
-				fmt.Printf(" %s;", name)
+				fmt.Fprintf(w, " %s;", name)
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 		collapse, err := report.FlynnCollapseTable()
 		if err != nil {
 			return err
 		}
-		fmt.Println()
-		fmt.Print(collapse)
+		fmt.Fprintln(w)
+		fmt.Fprint(w, collapse)
 		return nil
-	case asJSON:
+	case *asJSON:
 		data, err := spec.MarshalCollection(registry.Survey())
 		if err != nil {
 			return err
 		}
-		_, err = os.Stdout.Write(data)
+		_, err = w.Write(data)
 		return err
-	case fig == 7:
-		chart, err := report.Fig7Chart(width)
+	case *fig == 7:
+		chart, err := report.Fig7Chart(*width)
 		if err != nil {
 			return err
 		}
-		fmt.Print(chart)
+		fmt.Fprint(w, chart)
 		return nil
-	case fig == 0:
+	case *fig == 0:
 		table, err := report.TableIII()
 		if err != nil {
 			return err
 		}
-		fmt.Print(table)
+		fmt.Fprint(w, table)
 		return nil
 	default:
-		return fmt.Errorf("unknown figure %d (the survey has figure 7)", fig)
+		return fmt.Errorf("unknown figure %d (the survey has figure 7)", *fig)
 	}
 }

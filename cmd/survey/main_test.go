@@ -1,76 +1,121 @@
 package main
 
 import (
-	"io"
+	"bytes"
+	"encoding/json"
 	"os"
+	"os/exec"
 	"strings"
 	"testing"
 )
 
-func capture(t *testing.T, fn func() error) (string, error) {
-	t.Helper()
-	old := os.Stdout
-	r, w, err := os.Pipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	os.Stdout = w
-	runErr := fn()
-	w.Close()
-	os.Stdout = old
-	data, err := io.ReadAll(r)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return string(data), runErr
-}
-
 func TestRun_Table(t *testing.T) {
-	out, err := capture(t, func() error { return run(0, false, false, 48) })
-	if err != nil {
+	var b strings.Builder
+	if err := run(nil, &b); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"MorphoSys", "FPGA", "Derived", "DIFFERS"} {
-		if !strings.Contains(out, want) {
+		if !strings.Contains(b.String(), want) {
 			t.Errorf("table missing %q", want)
 		}
 	}
 }
 
 func TestRun_Fig7(t *testing.T) {
-	out, err := capture(t, func() error { return run(7, false, false, 30) })
-	if err != nil {
+	var b strings.Builder
+	if err := run([]string{"-fig", "7", "-width", "30"}, &b); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "FPGA (USP)") || !strings.Contains(out, "#") {
-		t.Errorf("fig 7 output:\n%s", out)
+	if !strings.Contains(b.String(), "FPGA (USP)") || !strings.Contains(b.String(), "#") {
+		t.Errorf("fig 7 output:\n%s", b.String())
 	}
 }
 
 func TestRun_JSON(t *testing.T) {
-	out, err := capture(t, func() error { return run(0, true, false, 48) })
-	if err != nil {
+	var b strings.Builder
+	if err := run([]string{"-json"}, &b); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, `"architectures"`) || !strings.Contains(out, `"Pact XPP"`) {
+	var doc struct {
+		Architectures []struct {
+			Name string `json:"name"`
+		} `json:"architectures"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.Architectures) != 25 {
+		t.Errorf("survey dump holds %d architectures, want 25", len(doc.Architectures))
+	}
+	if !strings.Contains(b.String(), `"Pact XPP"`) {
 		t.Error("JSON dump incomplete")
 	}
 }
 
-func TestRun_BadFigure(t *testing.T) {
-	if _, err := capture(t, func() error { return run(3, false, false, 48) }); err == nil {
-		t.Error("figure 3 accepted")
-	}
-}
-
 func TestRun_Group(t *testing.T) {
-	out, err := capture(t, func() error { return run(0, false, true, 48) })
-	if err != nil {
+	var b strings.Builder
+	if err := run([]string{"-group"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"IAP-II", "7 machines", "MorphoSys", "Flynn buckets", "SIMD=12"} {
-		if !strings.Contains(out, want) {
-			t.Errorf("group output missing %q:\n%s", want, out)
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("group output missing %q:\n%s", want, b.String())
 		}
+	}
+}
+
+func TestRun_Errors(t *testing.T) {
+	cases := [][]string{
+		{"-fig", "3"},
+		{"-definitely-not-a-flag"},
+		{"positional"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestHelperProcess re-executes the test binary as the real CLI so the
+// process-level tests below observe true exit codes.
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("SURVEY_HELPER") != "1" {
+		t.Skip("helper process only")
+	}
+	for i, a := range os.Args {
+		if a == "--" {
+			os.Args = append([]string{"survey"}, os.Args[i+1:]...)
+			break
+		}
+	}
+	main()
+	os.Exit(0)
+}
+
+func execMain(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], append([]string{"-test.run=TestHelperProcess", "--"}, args...)...)
+	cmd.Env = append(os.Environ(), "SURVEY_HELPER=1")
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	_ = cmd.Run()
+	return stdout.String(), cmd.ProcessState.ExitCode()
+}
+
+func TestExitCodes(t *testing.T) {
+	out, code := execMain(t, "-json")
+	if code != 0 {
+		t.Fatalf("survey -json exited %d", code)
+	}
+	if !strings.Contains(out, `"architectures"`) {
+		t.Fatalf("process stdout missing the collection:\n%s", out)
+	}
+	if _, code := execMain(t, "-fig", "3"); code != 1 {
+		t.Errorf("bad figure exited %d, want 1", code)
+	}
+	if _, code := execMain(t, "-definitely-not-a-flag"); code != 1 {
+		t.Errorf("bad flag exited %d, want 1", code)
 	}
 }

@@ -107,11 +107,30 @@ func Run[R any](ctx context.Context, workers int, jobs []Job[R]) []Result[R] {
 			}
 		}()
 	}
+	// The feeder selects on ctx.Done() so a cancellation observed while the
+	// workers are busy stops the submission immediately instead of queueing
+	// the remaining indices behind in-flight jobs. Unsubmitted jobs report
+	// ctx.Err() directly — the same verdict runOne would give them — so the
+	// result slice stays fully accounted and the workers exit as soon as
+	// their current job finishes, with no queued work left to drain.
+	unsent := -1
+feed:
 	for i := range jobs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			unsent = i
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if unsent >= 0 {
+		err := ctx.Err()
+		for i := unsent; i < len(jobs); i++ {
+			results[i] = Result[R]{Err: err}
+		}
+	}
 	return results
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -156,6 +157,84 @@ func TestRunCancellation(t *testing.T) {
 	}
 	if int(ran.Load()) != completed {
 		t.Fatalf("%d jobs ran but %d completed", ran.Load(), completed)
+	}
+}
+
+// TestMapCancelMidSubmissionNoLeak is the regression pin for the feeder's
+// cancellation path: with every worker held mid-job, a context cancelled
+// during submission must (a) stop the feeder immediately instead of queueing
+// the remaining indices behind the busy workers, (b) account every
+// unsubmitted job with ctx.Err(), and (c) leave no worker goroutine behind
+// once the in-flight jobs finish — the goroutine count returns to its
+// pre-batch baseline.
+func TestMapCancelMidSubmissionNoLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	const workers, n = 4, 256
+	var started atomic.Int32
+	items := make([]int, n)
+	for i := range items {
+		items[i] = i
+	}
+	// Cancel once all the workers are pinned inside their first job, so the
+	// feeder is observed blocked mid-submission.
+	go func() {
+		for started.Load() < workers {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	results := Map(ctx, workers, items, func(ctx context.Context, item int) (int, error) {
+		started.Add(1)
+		if item < workers {
+			<-ctx.Done() // hold every worker until the cancel lands
+		}
+		return item * 2, nil
+	})
+
+	// Map is synchronous: by the time it returns the feeder has stopped and
+	// the held jobs have completed. Every result must be accounted for.
+	var completed, cancelled int
+	for i, r := range results {
+		switch {
+		case r.Err == nil:
+			if r.Value != i*2 {
+				t.Fatalf("job %d value %d, want %d", i, r.Value, i*2)
+			}
+			completed++
+		case errors.Is(r.Err, context.Canceled):
+			cancelled++
+		default:
+			t.Fatalf("job %d unexpected error %v", i, r.Err)
+		}
+	}
+	if completed+cancelled != n {
+		t.Fatalf("accounted %d+%d results, want %d", completed, cancelled, n)
+	}
+	if completed < workers {
+		t.Fatalf("the %d held jobs must complete, got %d completions", workers, completed)
+	}
+	if cancelled == 0 {
+		t.Fatal("expected queued jobs to be cancelled without running")
+	}
+	// Only jobs the feeder actually submitted may have started: the held
+	// workers plus at most the handful drawn before the cancel was observed.
+	if int(started.Load()) != completed {
+		t.Fatalf("%d jobs started but %d completed: a job ran after cancellation", started.Load(), completed)
+	}
+
+	// Worker-goroutine leak check: poll until the count drops back to the
+	// baseline (the runtime needs a moment to retire exited goroutines).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= baseline+1 { // +1: the cancel helper may still be retiring
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine count %d did not return to baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,159 @@
+package modelzoo
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/taxonomy"
+	"repro/internal/workload"
+)
+
+// Kernels lists every kernel RunKernel accepts, across all classes (support
+// varies by class). It is the same vocabulary as the conformance matrix and
+// cmd/simulate's -kernel flag.
+func Kernels() []string {
+	return []string{"vecadd", "dot", "reduce", "fir", "matmul", "scan", "stencil"}
+}
+
+// KnownKernel reports whether name is in the Kernels vocabulary.
+func KnownKernel(name string) bool {
+	for _, k := range Kernels() {
+		if k == name {
+			return true
+		}
+	}
+	return false
+}
+
+// kernelErr lists the kernels a runner supports when asked for one it
+// doesn't.
+func kernelErr(kernel string, have ...string) error {
+	return fmt.Errorf("modelzoo: unknown kernel %q (have %s)", kernel, strings.Join(have, ", "))
+}
+
+// KernelInputs builds the deterministic operand vectors every RunKernel call
+// uses — the same generator cmd/simulate and the conformance matrix share,
+// so a served simulation reproduces the runs users see locally.
+func KernelInputs(n int) (a, b []isa.Word) {
+	a = make([]isa.Word, n)
+	b = make([]isa.Word, n)
+	for i := range a {
+		a[i] = isa.Word(i%97 + 1)
+		b[i] = isa.Word(i%89 + 2)
+	}
+	return a, b
+}
+
+// RunKernel executes one workload kernel on the simulator of the named
+// class — the dispatch cmd/simulate performs, packaged for reuse by the
+// serving layer. The run is fully deterministic in (class, kernel, n,
+// procs): inputs derive from n alone, so repeated calls return identical
+// stats and outputs.
+func RunKernel(c taxonomy.Class, kernel string, n, procs int, opts ...workload.Option) (workload.Result, error) {
+	a, b := KernelInputs(n)
+	switch {
+	case c.String() == "IUP":
+		return runUniKernel(kernel, a, b, opts)
+	case c.Name.Machine == taxonomy.InstructionFlow && c.Name.Proc == taxonomy.ArrayProcessor:
+		return runSIMDKernel(kernel, c.Name.Sub, procs, a, b, opts)
+	case c.Name.Machine == taxonomy.InstructionFlow && c.Name.Proc == taxonomy.MultiProcessor:
+		return runMIMDKernel(kernel, c.Name.Sub, procs, a, b, opts)
+	case c.Name.Machine == taxonomy.DataFlow:
+		if kernel != "vecadd" {
+			return workload.Result{}, kernelErr(kernel, "vecadd")
+		}
+		return workload.VecAddDataflow(c.Name.Sub, procs, a, b, opts...)
+	case c.Name.Machine == taxonomy.UniversalFlow:
+		if kernel != "vecadd" {
+			return workload.Result{}, kernelErr(kernel, "vecadd")
+		}
+		return workload.VecAddFabric(16, clampWords(a, 1<<15), clampWords(b, 1<<15), opts...)
+	default:
+		return workload.Result{}, fmt.Errorf("modelzoo: no simulator runner for class %s (ISP demos live in examples and internal/spatial)", c)
+	}
+}
+
+func runUniKernel(kernel string, a, b []isa.Word, opts []workload.Option) (workload.Result, error) {
+	switch kernel {
+	case "vecadd":
+		return workload.VecAddUni(a, b, opts...)
+	case "dot", "reduce":
+		return workload.DotUni(a, b, opts...)
+	case "fir":
+		x, h := firInput(len(a))
+		return workload.FIRUni(x, h, opts...)
+	default:
+		return workload.Result{}, kernelErr(kernel, "vecadd", "dot", "reduce", "fir")
+	}
+}
+
+func runSIMDKernel(kernel string, sub, lanes int, a, b []isa.Word, opts []workload.Option) (workload.Result, error) {
+	switch kernel {
+	case "vecadd":
+		return workload.VecAddSIMD(sub, lanes, a, b, opts...)
+	case "dot", "reduce":
+		if sub == 1 || sub == 3 { // no DP-DP switch: butterfly impossible
+			return workload.DotSIMDPartial(sub, lanes, a, b, opts...)
+		}
+		return workload.DotSIMD(sub, lanes, a, b, opts...)
+	case "fir":
+		x, h := firInput(len(a))
+		return workload.FIRSIMD(sub, lanes, x, h, opts...)
+	case "stencil":
+		return workload.Stencil3SIMD(sub, lanes, a, opts...)
+	default:
+		return workload.Result{}, kernelErr(kernel, "vecadd", "dot", "reduce", "fir", "stencil")
+	}
+}
+
+func runMIMDKernel(kernel string, sub, cores int, a, b []isa.Word, opts []workload.Option) (workload.Result, error) {
+	switch kernel {
+	case "vecadd":
+		return workload.VecAddMIMD(sub, cores, a, b, opts...)
+	case "dot", "reduce":
+		if (sub-1)&1 == 0 { // no DP-DP switch: butterfly impossible
+			return workload.DotMIMDPartial(sub, cores, a, b, opts...)
+		}
+		return workload.DotMIMD(sub, cores, a, b, opts...)
+	case "scan":
+		return workload.ScanMIMD(sub, cores, a, opts...)
+	case "stencil":
+		return workload.Stencil3MIMD(sub, cores, a, opts...)
+	case "matmul":
+		// C = A x B with rows = n, inner dim and columns fixed at 8. The
+		// DP-DM switch kind picks the strategy: replicated B on direct
+		// banks, shared B through the crossbar.
+		const k, cols = 8, 8
+		rows := len(a)
+		am := make([]isa.Word, rows*k)
+		bm := make([]isa.Word, k*cols)
+		for i := range am {
+			am[i] = isa.Word(i%23 + 1)
+		}
+		for i := range bm {
+			bm[i] = isa.Word(i%19 + 1)
+		}
+		if (sub-1)&2 != 0 {
+			return workload.MatMulMIMDShared(sub, cores, am, bm, rows, k, cols, opts...)
+		}
+		return workload.MatMulMIMDReplicated(sub, cores, am, bm, rows, k, cols, opts...)
+	default:
+		return workload.Result{}, kernelErr(kernel, "vecadd", "dot", "reduce", "fir", "matmul", "scan", "stencil")
+	}
+}
+
+// firInput derives an 8-tap FIR input at output length n: the samples extend
+// with the ghost overlap the kernels need.
+func firInput(n int) (x, h []isa.Word) {
+	const taps = 8
+	x = make([]isa.Word, n+taps-1)
+	for i := range x {
+		x[i] = isa.Word(i%31 + 1)
+	}
+	h = make([]isa.Word, taps)
+	for i := range h {
+		h[i] = isa.Word(i + 1)
+	}
+	return x, h
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestSaturationReturns429 pins the backpressure contract deterministically:
+// with a concurrency limit of 1 and the single slot held, the next request
+// is rejected immediately with a structured 429 and a Retry-After hint, and
+// the slot's release restores service.
+func TestSaturationReturns429(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1})
+	gate := s.limiters["/v1/flexibility"]
+	if !gate.TryAcquire() {
+		t.Fatal("fresh limiter must grant its slot")
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/flexibility", "application/json",
+		reqBody(`{"requests":[{"class":"IUP"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429; body: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 must carry Retry-After")
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error.Code != CodeOverloaded {
+		t.Fatalf("want structured overloaded error, got %s", body)
+	}
+	if got, _ := s.Registry().CounterValue("repro_http_rejected_total", "endpoint", "/v1/flexibility"); got != 1 {
+		t.Errorf("rejected counter = %v, want 1", got)
+	}
+	// Saturation on one endpoint must not spill into another.
+	status, _ := post(t, ts, "/v1/estimate", `{"requests":[{"class":"IUP"}]}`)
+	if status != http.StatusOK {
+		t.Errorf("sibling endpoint rejected: %d", status)
+	}
+
+	gate.Release()
+	status, _ = post(t, ts, "/v1/flexibility", `{"requests":[{"class":"IUP"}]}`)
+	if status != http.StatusOK {
+		t.Errorf("endpoint did not recover after release: %d", status)
+	}
+}
+
+// TestPerEndpointOverride: PerEndpoint trumps MaxConcurrent for the named
+// endpoint only.
+func TestPerEndpointOverride(t *testing.T) {
+	s, _ := newTestServer(t, Config{
+		MaxConcurrent: 1,
+		PerEndpoint:   map[string]int{"/v1/simulate": 3},
+	})
+	sim := s.limiters["/v1/simulate"]
+	for i := 0; i < 3; i++ {
+		if !sim.TryAcquire() {
+			t.Fatalf("simulate slot %d denied, want 3 slots", i)
+		}
+	}
+	if sim.TryAcquire() {
+		t.Error("simulate must cap at 3")
+	}
+	flex := s.limiters["/v1/flexibility"]
+	if !flex.TryAcquire() {
+		t.Fatal("flexibility keeps the global limit of 1")
+	}
+	if flex.TryAcquire() {
+		t.Error("flexibility must cap at 1")
+	}
+}
+
+// TestRequestTimeoutReturns504: with a deadline far shorter than the work,
+// the request fails as a structured 504, not a hung connection.
+func TestRequestTimeoutReturns504(t *testing.T) {
+	_, ts := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	status, body := post(t, ts, "/v1/conformance", `{"requests":[{"n":64,"procs":4}]}`)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body: %s", status, body)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error.Code != CodeTimeout {
+		t.Fatalf("want structured timeout error, got %s", body)
+	}
+}
+
+// TestGracefulShutdown: Serve on a real listener, issue a request, then
+// Shutdown must return cleanly and further connections must fail.
+func TestGracefulShutdown(t *testing.T) {
+	s := New(Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(l) }()
+
+	url := "http://" + l.Addr().String()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before shutdown: %d", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-done; err != http.ErrServerClosed {
+		t.Errorf("Serve returned %v, want ErrServerClosed", err)
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("server still accepting connections after shutdown")
+	}
+}

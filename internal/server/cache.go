@@ -1,0 +1,88 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// resultCache is an LRU cache from canonicalized request hashes to marshaled
+// per-item response bytes. Simulations are deterministic, so a hit replays
+// the exact bytes a miss would produce — the serving layer's byte-identity
+// guarantee rests on caching the encoded form, not the decoded structs.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+// cacheEntry is one key -> encoded-response pair.
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// newResultCache builds a cache holding up to max entries; max <= 0 disables
+// caching (Get always misses, Put discards).
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the cached bytes for key and promotes the entry. The returned
+// slice is shared and must be treated as immutable.
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores val under key, evicting the least recently used entries past
+// the capacity. val must not be mutated after Put.
+func (c *resultCache) Put(key string, val []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of live entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// cacheKey derives the canonical cache key for one batch item: the endpoint
+// name plus the SHA-256 of the item's canonical encoding. Handlers pass the
+// re-marshaled, defaults-applied request struct — not the client's raw
+// bytes — so formatting, field order and omitted-default variations of the
+// same request hash identically.
+func cacheKey(endpoint string, canonical []byte) string {
+	h := sha256.New()
+	h.Write([]byte(endpoint))
+	h.Write([]byte{0})
+	h.Write(canonical)
+	return endpoint + ":" + hex.EncodeToString(h.Sum(nil))
+}

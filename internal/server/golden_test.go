@@ -1,0 +1,92 @@
+package server
+
+import (
+	"bytes"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden response files")
+
+// TestGoldenEndpoints pins one full request/response pair per endpoint,
+// byte-for-byte. Every handler is deterministic, so the served bytes are a
+// stable contract; regenerate with:
+//
+//	go test ./internal/server -run TestGolden -update
+func TestGoldenEndpoints(t *testing.T) {
+	cases := []struct {
+		name    string
+		path    string
+		request string
+	}{
+		{
+			"classify", "/v1/classify",
+			`{"requests":[
+			  {"arch":{"name":"MorphoSysLike","ips":"1","dps":"64","ip_ip":"none","ip_dp":"1-64","ip_im":"1-1","dp_dm":"64-1","dp_dp":"64x64"}},
+			  {"arch":{"name":"PlainCPU","ips":"1","dps":"1","ip_ip":"none","ip_dp":"1-1","ip_im":"1-1","dp_dm":"1-1","dp_dp":"none"},"n":4}
+			]}`,
+		},
+		{
+			"flexibility", "/v1/flexibility",
+			`{"requests":[
+			  {"class":"IUP"},
+			  {"class":"IAP-II","compare_to":"IUP"},
+			  {"class":"USP","compare_to":"IMP-XVI"}
+			]}`,
+		},
+		{
+			"estimate", "/v1/estimate",
+			`{"requests":[
+			  {"class":"IUP","n":1},
+			  {"class":"IAP-II","n":64},
+			  {"arch":"MorphoSys"}
+			]}`,
+		},
+		{
+			"simulate", "/v1/simulate",
+			`{"requests":[
+			  {"class":"IUP","kernel":"vecadd","n":64},
+			  {"class":"IAP-II","kernel":"dot","n":64,"procs":4},
+			  {"class":"IMP-II","kernel":"scan","n":64,"procs":4}
+			]}`,
+		},
+		{
+			"conformance", "/v1/conformance",
+			`{"requests":[{"n":16,"procs":4,"seeds":1,"seed":7}]}`,
+		},
+		{
+			"survey", "/v1/survey",
+			`{"requests":[{}]}`,
+		},
+	}
+
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := post(t, ts, tc.path, tc.request)
+			if status != http.StatusOK {
+				t.Fatalf("status = %d: %s", status, body)
+			}
+			golden := filepath.Join("testdata", "golden", tc.name+".json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, body, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("golden missing (%v); regenerate with -update", err)
+			}
+			if !bytes.Equal(body, want) {
+				t.Errorf("response differs from %s:\nwant %s\ngot  %s", golden, want, body)
+			}
+		})
+	}
+}

@@ -1,0 +1,423 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/conformance"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/machine"
+	"repro/internal/modelzoo"
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/internal/spec"
+	"repro/internal/taxonomy"
+	"repro/internal/workload"
+)
+
+// Request sizing caps. Validation rejects anything beyond them with a 400 —
+// the serving layer refuses work that would monopolise the pool rather than
+// discovering it at run time.
+const (
+	// maxEstimateN bounds instantiation sizes for Eq 1 / Eq 2.
+	maxEstimateN = 1 << 20
+	// maxSimulateN bounds the per-kernel problem size.
+	maxSimulateN = 1 << 16
+	// maxSimulateProcs bounds lane/core/PE counts.
+	maxSimulateProcs = 1 << 10
+	// maxConformanceN bounds the matrix problem size (112 cells per item).
+	maxConformanceN = 1 << 12
+	// maxConformanceSeeds bounds the lockstep sweep length per item.
+	maxConformanceSeeds = 256
+)
+
+// registerRoutes wires every /v1 endpoint. The cost model is built once:
+// the default library is static and validated at startup.
+func registerRoutes(s *Server) {
+	model, err := cost.NewModel(cost.DefaultLibrary())
+	if err != nil {
+		panic(fmt.Sprintf("server: default cost library invalid: %v", err))
+	}
+
+	register(s, endpointSpec[ClassifyRequest, ClassifyResponse]{
+		path: "/v1/classify",
+		defaults: func(r *ClassifyRequest) {
+			if r.N == 0 {
+				r.N = 16
+			}
+		},
+		validate: func(r ClassifyRequest) error {
+			if r.Arch.Name == "" {
+				return fmt.Errorf("arch.name must be set")
+			}
+			if r.N < 1 || r.N > maxEstimateN {
+				return fmt.Errorf("n must be in [1, %d], got %d", maxEstimateN, r.N)
+			}
+			// Structural parse errors (malformed cells) are request errors;
+			// unclassifiable-but-well-formed shapes are run results.
+			if _, err := spec.Resolve(r.Arch); err != nil {
+				return err
+			}
+			return nil
+		},
+		run: func(ctx context.Context, r ClassifyRequest) (ClassifyResponse, error) {
+			return runClassify(model, r)
+		},
+	})
+
+	register(s, endpointSpec[FlexibilityRequest, FlexibilityResponse]{
+		path: "/v1/flexibility",
+		validate: func(r FlexibilityRequest) error {
+			if _, err := taxonomy.LookupString(r.Class); err != nil {
+				return err
+			}
+			if r.CompareTo != "" {
+				if _, err := taxonomy.LookupString(r.CompareTo); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		run: func(ctx context.Context, r FlexibilityRequest) (FlexibilityResponse, error) {
+			return runFlexibility(r)
+		},
+	})
+
+	register(s, endpointSpec[EstimateRequest, EstimateResponse]{
+		path: "/v1/estimate",
+		defaults: func(r *EstimateRequest) {
+			if r.N == 0 {
+				r.N = 16
+			}
+		},
+		validate: func(r EstimateRequest) error {
+			if (r.Class == "") == (r.Arch == "") {
+				return fmt.Errorf("exactly one of class and arch must be set")
+			}
+			if r.N < 1 || r.N > maxEstimateN {
+				return fmt.Errorf("n must be in [1, %d], got %d", maxEstimateN, r.N)
+			}
+			if r.Class != "" {
+				if _, err := taxonomy.LookupString(r.Class); err != nil {
+					return err
+				}
+			}
+			if r.Arch != "" {
+				if _, ok := registry.Find(r.Arch); !ok {
+					return fmt.Errorf("architecture %q is not in the Table III registry", r.Arch)
+				}
+			}
+			return nil
+		},
+		run: func(ctx context.Context, r EstimateRequest) (EstimateResponse, error) {
+			return runEstimate(model, r)
+		},
+	})
+
+	register(s, endpointSpec[SimulateRequest, SimulateResponse]{
+		path: "/v1/simulate",
+		defaults: func(r *SimulateRequest) {
+			if r.N == 0 {
+				r.N = 64
+			}
+			if r.Procs == 0 {
+				r.Procs = 4
+			}
+		},
+		validate: func(r SimulateRequest) error {
+			if _, err := taxonomy.LookupString(r.Class); err != nil {
+				return err
+			}
+			if !modelzoo.KnownKernel(r.Kernel) {
+				return fmt.Errorf("unknown kernel %q", r.Kernel)
+			}
+			if r.N < 1 || r.N > maxSimulateN {
+				return fmt.Errorf("n must be in [1, %d], got %d", maxSimulateN, r.N)
+			}
+			if r.Procs < 1 || r.Procs > maxSimulateProcs {
+				return fmt.Errorf("procs must be in [1, %d], got %d", maxSimulateProcs, r.Procs)
+			}
+			return nil
+		},
+		run: func(ctx context.Context, r SimulateRequest) (SimulateResponse, error) {
+			return runSimulate(r)
+		},
+	})
+
+	register(s, endpointSpec[ConformanceRequest, ConformanceResponse]{
+		path: "/v1/conformance",
+		defaults: func(r *ConformanceRequest) {
+			if r.N == 0 {
+				r.N = 64
+			}
+			if r.Procs == 0 {
+				r.Procs = 4
+			}
+			if r.Seed == 0 {
+				r.Seed = 1
+			}
+		},
+		validate: func(r ConformanceRequest) error {
+			if r.N > maxConformanceN {
+				return fmt.Errorf("n must be <= %d, got %d", maxConformanceN, r.N)
+			}
+			if r.Seeds < 0 || r.Seeds > maxConformanceSeeds {
+				return fmt.Errorf("seeds must be in [0, %d], got %d", maxConformanceSeeds, r.Seeds)
+			}
+			return conformance.Params{N: r.N, Procs: r.Procs}.Validate()
+		},
+		run: func(ctx context.Context, r ConformanceRequest) (ConformanceResponse, error) {
+			return runConformance(ctx, r)
+		},
+	})
+
+	register(s, endpointSpec[SurveyRequest, SurveyResponse]{
+		path: "/v1/survey",
+		defaults: func(r *SurveyRequest) {
+			if r.Run && r.N == 0 {
+				r.N = 1024
+			}
+		},
+		validate: func(r SurveyRequest) error {
+			if !r.Run && r.N != 0 {
+				return fmt.Errorf("n only applies with run=true")
+			}
+			if r.Run && (r.N < 1 || r.N > maxSimulateN) {
+				return fmt.Errorf("n must be in [1, %d], got %d", maxSimulateN, r.N)
+			}
+			return nil
+		},
+		run: func(ctx context.Context, r SurveyRequest) (SurveyResponse, error) {
+			return runSurvey(r)
+		},
+	})
+}
+
+// runClassify mirrors cmd/classify: classify, score, estimate, name the
+// surveyed relatives; unclassifiable shapes answer with the nearest
+// implementable classes instead of failing the item opaquely.
+func runClassify(model cost.Model, r ClassifyRequest) (ClassifyResponse, error) {
+	c, flex, err := core.ClassifyWithFlexibility(r.Arch)
+	if err != nil {
+		resp := ClassifyResponse{Name: r.Arch.Name}
+		resp.Error = &APIError{Code: CodeRunFailed, Message: err.Error()}
+		// Validation resolved the spec already, so Resolve cannot fail here.
+		if res, rerr := spec.Resolve(r.Arch); rerr == nil {
+			if sugg, serr := taxonomy.Suggest(res.IPs, res.DPs, res.Links, 3); serr == nil {
+				for _, sg := range sugg {
+					resp.Nearest = append(resp.Nearest, Neighbour{Class: sg.Class.String(), Distance: sg.Distance})
+				}
+			}
+		}
+		return resp, nil
+	}
+	est, err := model.ForArchitecture(r.Arch, r.N)
+	if err != nil {
+		return ClassifyResponse{}, err
+	}
+	resp := ClassifyResponse{
+		Name:        r.Arch.Name,
+		Class:       c.String(),
+		Row:         c.Index,
+		Machine:     c.Name.Machine.String(),
+		Proc:        c.Name.Proc.String(),
+		Flexibility: &flex,
+		AreaGE:      est.Area,
+		ConfigBits:  est.ConfigBits,
+	}
+	for _, e := range core.Survey() {
+		if e.PrintedName == c.String() && e.Arch.Name != r.Arch.Name {
+			resp.Relatives = append(resp.Relatives, e.Arch.Name)
+		}
+	}
+	return resp, nil
+}
+
+// runFlexibility scores one class and optionally compares it to another.
+func runFlexibility(r FlexibilityRequest) (FlexibilityResponse, error) {
+	c, err := taxonomy.LookupString(r.Class)
+	if err != nil {
+		return FlexibilityResponse{}, err
+	}
+	resp := FlexibilityResponse{
+		Class:         c.String(),
+		Flexibility:   taxonomy.Flexibility(c),
+		Base:          taxonomy.FlexibilityBase(c),
+		Implementable: c.Implementable,
+	}
+	if r.CompareTo != "" {
+		other, err := taxonomy.LookupString(r.CompareTo)
+		if err != nil {
+			return FlexibilityResponse{}, err
+		}
+		more, comparable := taxonomy.MoreFlexible(c, other)
+		morph := taxonomy.CanMorphInto(c, other)
+		resp.CompareTo = other.String()
+		resp.Comparable = &comparable
+		resp.MoreFlexible = &more
+		resp.CanMorphInto = &morph
+	}
+	return resp, nil
+}
+
+// runEstimate evaluates Eq 1 / Eq 2 with the per-term breakdown, the JSON
+// shape cmd/estimate -json prints.
+func runEstimate(model cost.Model, r EstimateRequest) (EstimateResponse, error) {
+	var est cost.Estimate
+	var err error
+	if r.Class != "" {
+		var c taxonomy.Class
+		if c, err = taxonomy.LookupString(r.Class); err == nil {
+			est, err = model.ForClass(c, r.N)
+		}
+	} else {
+		e, _ := registry.Find(r.Arch) // validated present
+		est, err = model.ForArchitecture(e.Arch, r.N)
+	}
+	if err != nil {
+		return EstimateResponse{}, err
+	}
+	resp := EstimateResponse{
+		Class:      est.Class.String(),
+		IPs:        est.IPCount,
+		DPs:        est.DPCount,
+		AreaGE:     est.Area,
+		ConfigBits: est.ConfigBits,
+		AreaTerms:  map[string]float64{},
+		BitTerms:   map[string]int{},
+	}
+	for _, term := range cost.Terms() {
+		resp.AreaTerms[string(term)] = est.AreaBreakdown[term]
+		resp.BitTerms[string(term)] = est.BitsBreakdown[term]
+	}
+	return resp, nil
+}
+
+// runSimulate executes one kernel × class cell with a tracer attached and
+// cross-checks the aggregated obs counters against the machine stats, the
+// same invariant the conformance matrix enforces per cell.
+func runSimulate(r SimulateRequest) (SimulateResponse, error) {
+	c, err := taxonomy.LookupString(r.Class)
+	if err != nil {
+		return SimulateResponse{}, err
+	}
+	trace := obs.AcquireTrace()
+	defer obs.ReleaseTrace(trace)
+	res, err := modelzoo.RunKernel(c, r.Kernel, r.N, r.Procs, workload.WithTracer(trace))
+	if err != nil {
+		return SimulateResponse{}, err
+	}
+	resp := SimulateResponse{
+		Class:             c.String(),
+		Kernel:            r.Kernel,
+		N:                 r.N,
+		Procs:             r.Procs,
+		Cycles:            res.Stats.Cycles,
+		Instructions:      res.Stats.Instructions,
+		IPC:               res.Stats.IPC(),
+		ALUOps:            res.Stats.ALUOps,
+		MemReads:          res.Stats.MemReads,
+		MemWrites:         res.Stats.MemWrites,
+		Messages:          res.Stats.Messages,
+		Barriers:          res.Stats.Barriers,
+		NetConflictCycles: res.Stats.NetConflictCycles,
+	}
+	for i := 0; i < len(res.Output) && i < 8; i++ {
+		resp.OutputHead = append(resp.OutputHead, int64(res.Output[i]))
+	}
+	// The fabric's clock steps are not evented, so USP is metrics-exempt.
+	if c.Name.Machine != taxonomy.UniversalFlow {
+		if err := crossCheckTrace(trace, res.Stats); err != nil {
+			return SimulateResponse{}, err
+		}
+		resp.MetricsChecked = true
+	}
+	return resp, nil
+}
+
+// crossCheckTrace aggregates the traced events into a registry and verifies
+// the standard counters reproduce the machine's own accounting — the
+// observability invariant of internal/obs, enforced on every served
+// simulation the way the conformance matrix enforces it per cell.
+func crossCheckTrace(trace *obs.Trace, stats machine.Stats) error {
+	reg := obs.NewRegistry()
+	if err := obs.Collect(reg, trace.Events()); err != nil {
+		return err
+	}
+	checks := []struct {
+		metric string
+		want   int64
+	}{
+		{obs.MetricInstructions, stats.Instructions},
+		{obs.MetricALUOps, stats.ALUOps},
+		{obs.MetricMemReads, stats.MemReads},
+		{obs.MetricMemWrites, stats.MemWrites},
+		{obs.MetricMessages, stats.Messages},
+		{obs.MetricBarriers, stats.Barriers},
+		{obs.MetricNetConflict, stats.NetConflictCycles},
+	}
+	var bad []string
+	for _, ch := range checks {
+		got, _ := reg.CounterValue(ch.metric)
+		if got != ch.want {
+			bad = append(bad, fmt.Sprintf("%s = %d, stats say %d", ch.metric, got, ch.want))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("metrics/stats cross-check failed: %s", strings.Join(bad, "; "))
+	}
+	return nil
+}
+
+// runConformance executes the suite serially inside the item — the batch
+// engine's parallelism is across items, and the serial run is byte-stable.
+func runConformance(ctx context.Context, r ConformanceRequest) (ConformanceResponse, error) {
+	p := conformance.Params{N: r.N, Procs: r.Procs}
+	cells, matrixPass := conformance.RunMatrixParallel(ctx, p, 1)
+	resp := ConformanceResponse{
+		Pass:    matrixPass,
+		Cells:   cells,
+		Summary: conformance.Summary(cells),
+	}
+	if r.Seeds > 0 {
+		lockstep, lockstepPass := conformance.LockstepSweepParallel(ctx, r.Seed, r.Seeds, 1)
+		resp.Lockstep = lockstep
+		resp.Pass = resp.Pass && lockstepPass
+	}
+	if err := ctx.Err(); err != nil {
+		return ConformanceResponse{}, err
+	}
+	return resp, nil
+}
+
+// runSurvey re-derives Table III and optionally executes every machine.
+func runSurvey(r SurveyRequest) (SurveyResponse, error) {
+	derived, err := registry.DeriveAll()
+	if err != nil {
+		return SurveyResponse{}, err
+	}
+	resp := SurveyResponse{Rows: make([]SurveyRow, len(derived))}
+	for i, d := range derived {
+		resp.Rows[i] = SurveyRow{
+			Name:               d.Entry.Arch.Name,
+			PrintedClass:       d.Entry.PrintedName,
+			PrintedFlexibility: d.Entry.PrintedFlexibility,
+			DerivedClass:       d.Class.String(),
+			DerivedFlexibility: d.Flexibility,
+			NameMatches:        d.NameMatches,
+			FlexibilityMatches: d.FlexibilityMatches,
+		}
+		if r.Run {
+			res, err := modelzoo.RunVecAdd(d.Entry.Arch, r.N)
+			if err != nil {
+				return SurveyResponse{}, err
+			}
+			resp.Rows[i].Processors = res.Instance.Processors
+			resp.Rows[i].Cycles = res.Stats.Cycles
+			resp.Rows[i].Instructions = res.Stats.Instructions
+		}
+	}
+	return resp, nil
+}

@@ -1,0 +1,40 @@
+package server
+
+// limiter is a non-blocking concurrency gate: each endpoint gets one, sized
+// by the per-endpoint limit, and a request that cannot take a slot is
+// rejected with 429 immediately. Rejecting instead of queueing is the
+// backpressure contract — under saturation the queue must not grow; clients
+// retry with the Retry-After hint.
+type limiter struct {
+	slots chan struct{}
+}
+
+// newLimiter builds a gate admitting up to n concurrent holders; n <= 0
+// means unlimited (TryAcquire always succeeds).
+func newLimiter(n int) *limiter {
+	if n <= 0 {
+		return &limiter{}
+	}
+	return &limiter{slots: make(chan struct{}, n)}
+}
+
+// TryAcquire takes a slot without blocking; false means the endpoint is
+// saturated.
+func (l *limiter) TryAcquire() bool {
+	if l.slots == nil {
+		return true
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot taken by TryAcquire.
+func (l *limiter) Release() {
+	if l.slots != nil {
+		<-l.slots
+	}
+}

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCachedEndpoint hammers one cached endpoint from 32
+// goroutines (run under -race in CI): every response must be a 200 or a 429,
+// and every 200 must be byte-identical — the cache, the limiter and the
+// metrics all get exercised concurrently.
+func TestConcurrentCachedEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 8})
+	const goroutines = 32
+	const perG = 8
+	body := `{"requests":[{"class":"IAP-II","kernel":"dot","n":64,"procs":4},{"class":"IUP","kernel":"vecadd","n":64,"procs":4}]}`
+
+	// Warm the cache once so the workers race on the hit path too.
+	status, want := post(t, ts, "/v1/simulate", body)
+	if status != http.StatusOK {
+		t.Fatalf("warmup: %d %s", status, want)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		statuses = map[int]int{}
+		mismatch []byte
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", reqBody(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				data := readAll(t, resp)
+				mu.Lock()
+				statuses[resp.StatusCode]++
+				if resp.StatusCode == http.StatusOK && !bytes.Equal(data, want) {
+					mismatch = data
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	for code := range statuses {
+		if code != http.StatusOK && code != http.StatusTooManyRequests {
+			t.Errorf("unexpected status %d (%d times)", code, statuses[code])
+		}
+	}
+	if statuses[http.StatusOK] == 0 {
+		t.Error("no request succeeded")
+	}
+	if mismatch != nil {
+		t.Errorf("a 200 response differed from the warmup bytes:\nwant %s\ngot  %s", want, mismatch)
+	}
+}

@@ -1,0 +1,448 @@
+// Package server is the taxonomy-as-a-service layer: a JSON-over-HTTP
+// facade that exposes every capability of the reproduction — classification,
+// flexibility scoring, Eq 1/Eq 2 estimation, kernel simulation, the
+// differential conformance suite and the Table III survey — as batched
+// endpoints backed by the internal/exec worker pool.
+//
+// The serving contracts:
+//
+//   - Batching: every /v1 endpoint takes {"requests": [...]} and fans the
+//     items across the worker pool; results return in item order.
+//   - Determinism + caching: simulations are pure functions of their
+//     request, so results are cached in an LRU keyed on canonicalized
+//     request hashes, and a cache hit replays byte-identical response
+//     bytes.
+//   - Backpressure: each endpoint holds a concurrency gate; a saturated
+//     endpoint rejects with 429 and a Retry-After hint instead of queueing.
+//   - Isolation: handler panics (and per-item simulation panics, via
+//     exec.PanicError) become structured 500s/item errors, never a torn
+//     connection for the other requests.
+//   - Observability: request, latency, cache and rejection metrics live in
+//     an internal/obs Registry served at /metrics (Prometheus text or
+//     ?format=json), with /healthz for liveness.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/obs"
+)
+
+// Config sizes the server. The zero value is usable: every field has a
+// production-lean default applied by New.
+type Config struct {
+	// Addr is the listen address for ListenAndServe ("" -> ":8080").
+	Addr string
+	// Workers is the exec pool width each batch fans out over
+	// (0 -> GOMAXPROCS).
+	Workers int
+	// CacheSize is the LRU capacity in entries (0 -> 4096; negative
+	// disables caching).
+	CacheSize int
+	// MaxBatch caps the item count of one batch request (0 -> 256).
+	MaxBatch int
+	// MaxBodyBytes caps the request body (0 -> 8 MiB).
+	MaxBodyBytes int64
+	// MaxConcurrent is the per-endpoint in-flight request limit
+	// (0 -> 4*GOMAXPROCS; negative disables the gate).
+	MaxConcurrent int
+	// PerEndpoint overrides MaxConcurrent for specific endpoints, keyed by
+	// path ("/v1/simulate").
+	PerEndpoint map[string]int
+	// RequestTimeout bounds one request's total work (0 -> 60s).
+	RequestTimeout time.Duration
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// Server is the HTTP serving layer. Create with New, expose with Handler
+// (tests) or ListenAndServe/Serve (production), stop with Shutdown.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	cache *resultCache
+	reg   *obs.Registry
+	http  *http.Server
+
+	// Per-endpoint instruments, pre-registered so the request path never
+	// takes the registry's write lock.
+	limiters map[string]*limiter
+	metrics  map[string]*endpointMetrics
+}
+
+// endpointMetrics groups one endpoint's instruments.
+type endpointMetrics struct {
+	requests map[int]*obs.Counter // by status code
+	rejected *obs.Counter
+	items    *obs.Counter
+	hits     *obs.Counter
+	misses   *obs.Counter
+	inflight *obs.Gauge
+	// inflightN is the authoritative in-flight count; the gauge mirrors it
+	// (Gauge has no atomic add, and concurrent Set(Value()+1) loses
+	// updates).
+	inflightN atomic.Int64
+	latency   *obs.Histogram
+}
+
+// enter/leave maintain the in-flight gauge race-free.
+func (em *endpointMetrics) enter() { em.inflight.Set(float64(em.inflightN.Add(1))) }
+func (em *endpointMetrics) leave() { em.inflight.Set(float64(em.inflightN.Add(-1))) }
+
+// Endpoints lists the batch endpoints the server exposes, in display order.
+func Endpoints() []string {
+	return []string{
+		"/v1/classify",
+		"/v1/flexibility",
+		"/v1/estimate",
+		"/v1/simulate",
+		"/v1/conformance",
+		"/v1/survey",
+	}
+}
+
+// statusCodes are the codes pre-registered per endpoint.
+var statusCodes = []int{
+	http.StatusOK,
+	http.StatusBadRequest,
+	http.StatusMethodNotAllowed,
+	http.StatusTooManyRequests,
+	http.StatusInternalServerError,
+	http.StatusGatewayTimeout,
+}
+
+// latencyBounds are the request-latency histogram bucket bounds in seconds.
+var latencyBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// New builds a server with the six /v1 endpoints, /metrics and /healthz
+// registered.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		cache:    newResultCache(cfg.CacheSize),
+		reg:      obs.NewRegistry(),
+		limiters: map[string]*limiter{},
+		metrics:  map[string]*endpointMetrics{},
+	}
+	for _, ep := range Endpoints() {
+		limit := cfg.MaxConcurrent
+		if v, ok := cfg.PerEndpoint[ep]; ok {
+			limit = v
+		}
+		s.limiters[ep] = newLimiter(limit)
+		em := &endpointMetrics{
+			requests: map[int]*obs.Counter{},
+			rejected: s.reg.MustCounter("repro_http_rejected_total", "requests rejected by the concurrency gate", "endpoint", ep),
+			items:    s.reg.MustCounter("repro_http_batch_items_total", "batch items processed", "endpoint", ep),
+			hits:     s.reg.MustCounter("repro_cache_hits_total", "batch items served from the result cache", "endpoint", ep),
+			misses:   s.reg.MustCounter("repro_cache_misses_total", "batch items computed on a cache miss", "endpoint", ep),
+			inflight: s.reg.MustGauge("repro_http_inflight", "requests currently being served", "endpoint", ep),
+			latency:  s.reg.MustHistogram("repro_http_request_seconds", "request latency", latencyBounds, "endpoint", ep),
+		}
+		for _, code := range statusCodes {
+			em.requests[code] = s.reg.MustCounter("repro_http_requests_total", "requests served", "endpoint", ep, "code", strconv.Itoa(code))
+		}
+		s.metrics[ep] = em
+	}
+
+	registerRoutes(s)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+
+	s.http = &http.Server{
+		Addr:              cfg.Addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the server's root handler (panic recovery included), for
+// httptest and embedding.
+func (s *Server) Handler() http.Handler {
+	return s.recoverPanics(s.mux)
+}
+
+// Registry exposes the server's metric registry (loadgen and tests read it).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// ListenAndServe serves on the configured address until Shutdown.
+func (s *Server) ListenAndServe() error { return s.http.ListenAndServe() }
+
+// Serve serves on an existing listener until Shutdown; cmd/serve and tests
+// use it to bind port 0 and learn the real address.
+func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
+
+// Shutdown gracefully drains in-flight requests.
+func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
+
+// recoverPanics is the outermost middleware: any panic escaping a handler
+// (the exec pool already fences per-item panics) becomes a structured 500.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				writeError(w, http.StatusInternalServerError, APIError{
+					Code:    CodeInternal,
+					Message: fmt.Sprintf("handler panic: %v", rec),
+				})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// handleMetrics serves the obs registry: Prometheus text by default,
+// machine-readable JSON with ?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.reg.WriteJSON(w); err != nil {
+			writeError(w, http.StatusInternalServerError, APIError{Code: CodeInternal, Message: err.Error()})
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.reg.WriteProm(w); err != nil {
+		writeError(w, http.StatusInternalServerError, APIError{Code: CodeInternal, Message: err.Error()})
+	}
+}
+
+// writeError emits a structured error body with the given status.
+func writeError(w http.ResponseWriter, status int, e APIError) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorBody{Error: e})
+}
+
+// endpointSpec wires one batch endpoint: defaults normalises a decoded item
+// (so semantically identical requests share a cache key), validate rejects
+// bad items with a 400 before any work runs, and run computes one item.
+type endpointSpec[Req, Resp any] struct {
+	// path is the endpoint's route ("/v1/classify").
+	path string
+	// defaults fills unset optional fields in place.
+	defaults func(*Req)
+	// validate returns a human-readable reason when the item is
+	// unacceptable; the whole batch is then rejected with a 400 naming the
+	// item index.
+	validate func(Req) error
+	// run computes one item. A returned error becomes the item's ItemError
+	// slot; the other items are unaffected. run must be deterministic in
+	// Req — the result cache depends on it.
+	run func(context.Context, Req) (Resp, error)
+}
+
+// register installs the endpoint on the server's mux with the full
+// middleware stack: method gate, concurrency gate, timeout, metrics,
+// per-item caching, exec fan-out.
+func register[Req, Resp any](s *Server, ep endpointSpec[Req, Resp]) {
+	em := s.metrics[ep.path]
+	gate := s.limiters[ep.path]
+	if em == nil || gate == nil {
+		panic(fmt.Sprintf("server: endpoint %q not declared in Endpoints()", ep.path))
+	}
+	s.mux.HandleFunc(ep.path, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		status := serveBatch(s, w, r, ep, em, gate)
+		em.latency.Observe(time.Since(start).Seconds())
+		if c := em.requests[status]; c != nil {
+			c.Inc()
+		}
+	})
+}
+
+// serveBatch is the shared batch request path; it returns the status code
+// written (for the request counter).
+func serveBatch[Req, Resp any](s *Server, w http.ResponseWriter, r *http.Request, ep endpointSpec[Req, Resp], em *endpointMetrics, gate *limiter) int {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, APIError{
+			Code:    CodeMethod,
+			Message: fmt.Sprintf("%s takes POST, got %s", ep.path, r.Method),
+		})
+		return http.StatusMethodNotAllowed
+	}
+	if !gate.TryAcquire() {
+		em.rejected.Inc()
+		writeError(w, http.StatusTooManyRequests, APIError{
+			Code:    CodeOverloaded,
+			Message: fmt.Sprintf("%s is at its concurrency limit; retry shortly", ep.path),
+		})
+		return http.StatusTooManyRequests
+	}
+	defer gate.Release()
+	em.enter()
+	defer em.leave()
+
+	// Decode the envelope, then each item strictly: unknown fields are a
+	// client error, not silently dropped request knobs.
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var env BatchEnvelope[json.RawMessage]
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil {
+		writeError(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Message: "body: " + err.Error()})
+		return http.StatusBadRequest
+	}
+	if len(env.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, APIError{Code: CodeEmptyBatch, Message: `"requests" must hold at least one item`})
+		return http.StatusBadRequest
+	}
+	if len(env.Requests) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, APIError{
+			Code:    CodeBatchTooLarge,
+			Message: fmt.Sprintf("batch holds %d items, limit is %d", len(env.Requests), s.cfg.MaxBatch),
+		})
+		return http.StatusBadRequest
+	}
+
+	items := make([]Req, len(env.Requests))
+	keys := make([]string, len(env.Requests))
+	for i, raw := range env.Requests {
+		idx := i
+		itemDec := json.NewDecoder(bytes.NewReader(raw))
+		itemDec.DisallowUnknownFields()
+		if err := itemDec.Decode(&items[i]); err != nil {
+			writeError(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Message: "item: " + err.Error(), Index: &idx})
+			return http.StatusBadRequest
+		}
+		if ep.defaults != nil {
+			ep.defaults(&items[i])
+		}
+		if err := ep.validate(items[i]); err != nil {
+			writeError(w, http.StatusBadRequest, APIError{Code: CodeInvalid, Message: err.Error(), Index: &idx})
+			return http.StatusBadRequest
+		}
+		// Canonical key: the defaults-applied struct re-marshaled, so field
+		// order, whitespace and spelled-out defaults all hash identically.
+		canon, err := json.Marshal(items[i])
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, APIError{Code: CodeInternal, Message: err.Error()})
+			return http.StatusInternalServerError
+		}
+		keys[i] = cacheKey(ep.path, canon)
+	}
+	em.items.Add(int64(len(items)))
+
+	// Split into cache hits and misses, then fan the misses across the
+	// worker pool. Hits and misses interleave back in item order; the hit
+	// bytes are the exact bytes an earlier miss stored.
+	results := make([]json.RawMessage, len(items))
+	var missIdx []int
+	for i := range items {
+		if cached, ok := s.cache.Get(keys[i]); ok {
+			results[i] = cached
+			em.hits.Inc()
+		} else {
+			missIdx = append(missIdx, i)
+			em.misses.Inc()
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	batch := exec.Map(ctx, s.cfg.Workers, missIdx, func(ctx context.Context, i int) (json.RawMessage, error) {
+		resp, err := ep.run(ctx, items[i])
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(resp)
+	})
+	timedOut := false
+	for bi, res := range batch {
+		i := missIdx[bi]
+		switch {
+		case res.Err == nil:
+			results[i] = json.RawMessage(res.Value)
+			s.cache.Put(keys[i], res.Value)
+		case errors.Is(res.Err, context.DeadlineExceeded):
+			timedOut = true
+		default:
+			// Per-item failures (including fenced panics) fill the item's
+			// slot; the rest of the batch is unaffected and uncached.
+			results[i] = marshalItemError(res.Err)
+		}
+	}
+	if timedOut {
+		writeError(w, http.StatusGatewayTimeout, APIError{
+			Code:    CodeTimeout,
+			Message: fmt.Sprintf("request exceeded the %s deadline", s.cfg.RequestTimeout),
+		})
+		return http.StatusGatewayTimeout
+	}
+
+	body, err := json.Marshal(struct {
+		Results []json.RawMessage `json:"results"`
+	}{results})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, APIError{Code: CodeInternal, Message: err.Error()})
+		return http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Batch-Items", strconv.Itoa(len(items)))
+	_, _ = w.Write(body)
+	return http.StatusOK
+}
+
+// marshalItemError encodes a run failure as the item's result slot.
+func marshalItemError(err error) json.RawMessage {
+	var pe *exec.PanicError
+	code := CodeRunFailed
+	if errors.As(err, &pe) {
+		code = CodeInternal
+	}
+	b, mErr := json.Marshal(ItemError{Error: &APIError{Code: code, Message: err.Error()}})
+	if mErr != nil {
+		return json.RawMessage(`{"error":{"code":"internal","message":"error encoding failed"}}`)
+	}
+	return b
+}

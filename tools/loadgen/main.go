@@ -1,0 +1,269 @@
+// Command loadgen is a closed-loop load generator for the taxonomy serving
+// layer (cmd/serve): a fixed number of workers each issue one batch request,
+// wait for the response, and immediately issue the next — so offered load
+// adapts to the server instead of overrunning it, and the measured
+// latencies are honest round-trip times.
+//
+// Two modes:
+//
+//	loadgen -url http://127.0.0.1:8080               # measure: per-endpoint
+//	                                                 # throughput + latency
+//	                                                 # percentiles -> JSON
+//	loadgen -url http://127.0.0.1:8080 -smoke        # CI gate: short sweep of
+//	                                                 # every endpoint; any
+//	                                                 # status outside 2xx/429
+//	                                                 # fails the run
+//
+// The JSON document (stdout or -out) is the BENCH_PR4.json serving
+// baseline: one result row per endpoint with requests, error counts,
+// throughput and p50/p90/p99/max latency.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// payloads maps each endpoint to a rotation of request bodies. Workers cycle
+// through the variants, so the run exercises both the cache-hit path (repeat
+// bodies) and the miss path (first sighting of each variant).
+var payloads = map[string][]string{
+	"/v1/classify": {
+		`{"requests":[{"arch":{"name":"A","ips":"1","dps":"64","ip_ip":"none","ip_dp":"1-64","ip_im":"1-1","dp_dm":"64-1","dp_dp":"64x64"}},{"arch":{"name":"B","ips":"1","dps":"64","ip_ip":"none","ip_dp":"1-64","ip_im":"1-1","dp_dm":"64-1","dp_dp":"64x64"},"n":4}]}`,
+		`{"requests":[{"arch":{"name":"C","ips":"1","dps":"64","ip_ip":"none","ip_dp":"1-64","ip_im":"1-1","dp_dm":"64-1","dp_dp":"64x64"},"n":16}]}`,
+	},
+	"/v1/flexibility": {
+		`{"requests":[{"class":"IUP"},{"class":"IAP-II"},{"class":"IMP-II"},{"class":"IMP-XVI"}]}`,
+		`{"requests":[{"class":"USP","compare_to":"IUP"},{"class":"DMP-IV","compare_to":"IMP-XVI"}]}`,
+	},
+	"/v1/estimate": {
+		`{"requests":[{"class":"IUP","n":1},{"class":"IAP-II","n":64},{"class":"IMP-XVI","n":16}]}`,
+		`{"requests":[{"arch":"MorphoSys"},{"class":"USP","n":64}]}`,
+	},
+	"/v1/simulate": {
+		`{"requests":[{"class":"IUP","kernel":"vecadd","n":64},{"class":"IAP-II","kernel":"dot","n":64,"procs":4}]}`,
+		`{"requests":[{"class":"IMP-II","kernel":"scan","n":64,"procs":4},{"class":"USP","kernel":"vecadd","n":16}]}`,
+		`{"requests":[{"class":"IAP-II","kernel":"dot","n":128,"procs":8}]}`,
+	},
+	"/v1/conformance": {
+		`{"requests":[{"n":16,"procs":4}]}`,
+	},
+	"/v1/survey": {
+		`{"requests":[{}]}`,
+		`{"requests":[{"run":true,"n":64}]}`,
+	},
+}
+
+// endpointOrder fixes the sweep order (and the result row order).
+var endpointOrder = []string{
+	"/v1/classify",
+	"/v1/flexibility",
+	"/v1/estimate",
+	"/v1/simulate",
+	"/v1/conformance",
+	"/v1/survey",
+}
+
+// EndpointResult is one endpoint's measured row.
+type EndpointResult struct {
+	Endpoint string `json:"endpoint"`
+	// Requests counts completed round trips; Rejected the 429 subset.
+	Requests int64 `json:"requests"`
+	Rejected int64 `json:"rejected"`
+	// Failures counts responses outside 2xx/429 plus transport errors.
+	Failures int64 `json:"failures"`
+	// RPS is completed requests per wall-clock second.
+	RPS float64 `json:"rps"`
+	// Latency percentiles over successful requests, milliseconds.
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// Doc is the emitted JSON document — the serving-baseline counterpart of
+// tools/benchjson's format.
+type Doc struct {
+	GoVersion   string           `json:"go_version"`
+	GOOS        string           `json:"goos"`
+	GOARCH      string           `json:"goarch"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Bench       string           `json:"bench"`
+	URL         string           `json:"url"`
+	Concurrency int              `json:"concurrency"`
+	Duration    string           `json:"duration_per_endpoint"`
+	Smoke       bool             `json:"smoke,omitempty"`
+	Results     []EndpointResult `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// run sweeps every requested endpoint and writes the JSON document.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(w)
+	url := fs.String("url", "http://127.0.0.1:8080", "base URL of the serve process")
+	concurrency := fs.Int("c", 8, "closed-loop workers per endpoint")
+	duration := fs.Duration("d", 5*time.Second, "measurement window per endpoint")
+	endpoints := fs.String("endpoints", "", "comma-separated endpoint subset (default: all)")
+	out := fs.String("out", "", "write the JSON document to this file instead of stdout")
+	smoke := fs.Bool("smoke", false, "CI smoke mode: 1s per endpoint, 2 workers, fail on any status outside 2xx/429")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	if *smoke {
+		*concurrency = 2
+		*duration = time.Second
+	}
+
+	sweep := endpointOrder
+	if *endpoints != "" {
+		sweep = strings.Split(*endpoints, ",")
+		for _, ep := range sweep {
+			if _, ok := payloads[ep]; !ok {
+				return fmt.Errorf("unknown endpoint %q", ep)
+			}
+		}
+	}
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	doc := Doc{
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Bench:       "serve-loadgen",
+		URL:         *url,
+		Concurrency: *concurrency,
+		Duration:    duration.String(),
+		Smoke:       *smoke,
+	}
+	for _, ep := range sweep {
+		res, err := hammer(client, *url, ep, *concurrency, *duration)
+		if err != nil {
+			return err
+		}
+		doc.Results = append(doc.Results, res)
+		fmt.Fprintf(w, "# %-16s %6d req  %8.1f req/s  p50 %6.2fms  p99 %6.2fms  429s %d  failures %d\n",
+			ep, res.Requests, res.RPS, res.P50Ms, res.P99Ms, res.Rejected, res.Failures)
+		if *smoke && res.Failures > 0 {
+			return fmt.Errorf("smoke: %s had %d responses outside 2xx/429", ep, res.Failures)
+		}
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		return os.WriteFile(*out, enc, 0o644)
+	}
+	_, err = w.Write(enc)
+	return err
+}
+
+// hammer drives one endpoint with a closed loop of workers for the window
+// and reduces the per-request observations into one result row.
+func hammer(client *http.Client, base, ep string, workers int, window time.Duration) (EndpointResult, error) {
+	bodies := payloads[ep]
+	var (
+		next      atomic.Int64 // rotation cursor across all workers
+		rejected  atomic.Int64
+		failures  atomic.Int64
+		mu        sync.Mutex
+		latencies []float64 // ms, successful requests only
+		wg        sync.WaitGroup
+	)
+	deadline := time.Now().Add(window)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []float64
+			for time.Now().Before(deadline) {
+				body := bodies[next.Add(1)%int64(len(bodies))]
+				start := time.Now()
+				resp, err := client.Post(base+ep, "application/json", strings.NewReader(body))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					rejected.Add(1)
+				case resp.StatusCode >= 200 && resp.StatusCode < 300:
+					local = append(local, float64(time.Since(start).Microseconds())/1000)
+				default:
+					failures.Add(1)
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	res := EndpointResult{
+		Endpoint: ep,
+		Requests: int64(len(latencies)) + rejected.Load() + failures.Load(),
+		Rejected: rejected.Load(),
+		Failures: failures.Load(),
+	}
+	res.RPS = round2(float64(res.Requests) / window.Seconds())
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		res.P50Ms = round2(percentile(latencies, 0.50))
+		res.P90Ms = round2(percentile(latencies, 0.90))
+		res.P99Ms = round2(percentile(latencies, 0.99))
+		res.MaxMs = round2(latencies[len(latencies)-1])
+		res.MeanMs = round2(sum / float64(len(latencies)))
+	}
+	return res, nil
+}
+
+// percentile reads the p-quantile (0..1) from a sorted sample with
+// nearest-rank interpolation.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// round2 keeps the JSON readable: two decimal places is plenty for ms.
+func round2(v float64) float64 { return math.Round(v*100) / 100 }

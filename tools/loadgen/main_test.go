@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestSmokeAgainstRealServer drives the actual serving stack end to end: a
+// smoke sweep over every endpoint must succeed and produce a well-formed
+// JSON document with one result row per endpoint.
+func TestSmokeAgainstRealServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second closed-loop run")
+	}
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-url", ts.URL, "-smoke", "-d", "200ms"}, &out); err != nil {
+		t.Fatalf("smoke run failed: %v\n%s", err, out.String())
+	}
+	// -smoke forces its own duration; the document is the last JSON object
+	// in the output after the per-endpoint progress lines.
+	idx := bytes.IndexByte(out.Bytes(), '{')
+	if idx < 0 {
+		t.Fatalf("no JSON document in output: %s", out.String())
+	}
+	var doc Doc
+	if err := json.Unmarshal(out.Bytes()[idx:], &doc); err != nil {
+		t.Fatalf("document does not parse: %v\n%s", err, out.String())
+	}
+	if len(doc.Results) != len(endpointOrder) {
+		t.Fatalf("got %d result rows, want %d", len(doc.Results), len(endpointOrder))
+	}
+	for _, r := range doc.Results {
+		if r.Failures != 0 {
+			t.Errorf("%s: %d failures in smoke mode", r.Endpoint, r.Failures)
+		}
+		if r.Requests == 0 {
+			t.Errorf("%s: no requests completed", r.Endpoint)
+		}
+		if r.Requests > r.Rejected && r.P50Ms <= 0 {
+			t.Errorf("%s: missing latency percentiles: %+v", r.Endpoint, r)
+		}
+	}
+}
+
+// TestSmokeFailsOnServerErrors pins the CI gate: a backend answering 500
+// must fail the smoke run.
+func TestSmokeFailsOnServerErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-url", ts.URL, "-smoke", "-endpoints", "/v1/flexibility"}, &out); err == nil {
+		t.Fatalf("smoke against a 500-ing server must fail\n%s", out.String())
+	}
+}
+
+// TestTolerates429 pins the other half of the gate: backpressure rejections
+// are an expected, non-fatal outcome.
+func TestTolerates429(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-url", ts.URL, "-smoke", "-endpoints", "/v1/flexibility"}, &out); err != nil {
+		t.Fatalf("429s must not fail the smoke: %v", err)
+	}
+	var doc Doc
+	idx := bytes.IndexByte(out.Bytes(), '{')
+	if err := json.Unmarshal(out.Bytes()[idx:], &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Results[0].Rejected == 0 {
+		t.Error("rejections not counted")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag must error")
+	}
+	if err := run([]string{"-endpoints", "/v1/nope"}, &out); err == nil {
+		t.Error("unknown endpoint must error")
+	}
+	if err := run([]string{"positional"}, &out); err == nil {
+		t.Error("positional args must error")
+	}
+}
