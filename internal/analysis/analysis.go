@@ -1,0 +1,301 @@
+// Package analysis is a self-contained static-analysis suite for this
+// repository: a narrow, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis model (the container this project builds
+// in has no module proxy access, so the framework rides on go/parser and
+// go/types alone) plus five domain-specific analyzers that turn the
+// reproduction's runtime invariants into compile-time checks:
+//
+//   - pooledrelease:   every pooled acquisition is released on all paths
+//   - determinism:     hot simulator packages stay byte-reproducible
+//   - classexhaustive: switches over taxonomy/kernel enums cover every class
+//   - strictdecode:    server handlers decode strictly from bounded readers
+//   - obsregister:     metrics register once, with static names
+//
+// tools/lint runs all five (plus go vet) over the module and exits
+// non-zero on any finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// lint:allow suppression comments.
+	Name string
+	// Doc is the one-paragraph description tools/lint prints.
+	Doc string
+	// Run reports the analyzer's findings for one package via
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass connects one analyzer to one package.
+type Pass struct {
+	// Analyzer is the checker being run.
+	Analyzer *Analyzer
+	// Fset maps positions for the package's files.
+	Fset *token.FileSet
+	// Path is the package's import path.
+	Path string
+	// Files are the package's parsed sources.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds types, definitions and uses for every expression.
+	Info *types.Info
+
+	diags *[]Diagnostic
+	allow map[string]map[int]string // filename -> line -> comment text
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer names the checker that produced it.
+	Analyzer string
+	// Message states the violated invariant.
+	Message string
+}
+
+// String renders the finding the way compilers do: file:line:col: message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding unless a lint:allow comment for this analyzer
+// sits on the same line or the line above.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressed reports whether a "//lint:allow <name> <reason>" comment
+// covers the given position.
+func (p *Pass) suppressed(pos token.Position) bool {
+	lines := p.allow[pos.Filename]
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		if text, ok := lines[l]; ok && allowCovers(text, p.Analyzer.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+// allowCovers reports whether the comment text allows the named analyzer.
+// The comment form is "lint:allow <analyzer> <reason>"; the reason is
+// mandatory so suppressions stay auditable.
+func allowCovers(text, name string) bool {
+	for {
+		i := strings.Index(text, "lint:allow ")
+		if i < 0 {
+			return false
+		}
+		rest := text[i+len("lint:allow "):]
+		fields := strings.Fields(rest)
+		if len(fields) >= 2 && fields[0] == name {
+			return true
+		}
+		text = rest
+	}
+}
+
+// buildAllowIndex maps comment lines so Reportf can honor suppressions.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) map[string]map[int]string {
+	idx := map[string]map[int]string{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, "lint:allow") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if idx[pos.Filename] == nil {
+					idx[pos.Filename] = map[int]string{}
+				}
+				idx[pos.Filename][pos.Line] = c.Text
+			}
+		}
+	}
+	return idx
+}
+
+// Run applies each analyzer to each package and returns the combined
+// findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allow := buildAllowIndex(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Path:     pkg.ImportPath,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+				allow:    allow,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the default analyzer suite tools/lint runs.
+func All() []*Analyzer {
+	return []*Analyzer{
+		PooledRelease,
+		Determinism,
+		ClassExhaustive,
+		StrictDecode,
+		ObsRegister,
+	}
+}
+
+// walkStack traverses root calling fn with each node and the stack of its
+// ancestors (outermost first, not including n itself). Returning false
+// prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	v := &stackVisitor{fn: fn}
+	ast.Walk(v, root)
+}
+
+type stackVisitor struct {
+	fn    func(n ast.Node, stack []ast.Node) bool
+	stack []ast.Node
+}
+
+func (v *stackVisitor) Visit(n ast.Node) ast.Visitor {
+	if n == nil {
+		v.stack = v.stack[:len(v.stack)-1]
+		return nil
+	}
+	if !v.fn(n, v.stack) {
+		return nil
+	}
+	v.stack = append(v.stack, n)
+	return v
+}
+
+// calleeFunc resolves a call expression to the function or method it
+// invokes, or nil for conversions, builtins and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function path.name.
+func isPkgFunc(fn *types.Func, path, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == path && fn.Name() == name
+}
+
+// rootIdent returns the identifier at the base of a selector/index chain:
+// m in m.banks[i], r in r.Body, x in x.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objectOf resolves an identifier to its object via Defs then Uses.
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// funcHasHTTPParams reports whether the function type declares an
+// http.ResponseWriter or *http.Request parameter, marking it (and any
+// function literal inside it) as per-request code.
+func funcHasHTTPParams(info *types.Info, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if isHTTPType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isHTTPType matches net/http.ResponseWriter and *net/http.Request.
+func isHTTPType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "net/http" {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "ResponseWriter" || name == "Request"
+}

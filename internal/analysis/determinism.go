@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DefaultDeterminismScope lists the packages whose byte-identical
+// reproducibility the CI gate proves (workers=1 must equal workers=8):
+// the simulator cores, the conformance differ and the kernel dispatch.
+// internal/exec is deliberately absent — it is the one sanctioned home
+// for goroutines, and its determinism is proven by its own ordering
+// tests rather than by syntactic restriction.
+var DefaultDeterminismScope = []string{
+	"repro/internal/machine",
+	"repro/internal/uniproc",
+	"repro/internal/simd",
+	"repro/internal/mimd",
+	"repro/internal/spatial",
+	"repro/internal/dataflow",
+	"repro/internal/conformance",
+	"repro/internal/modelzoo",
+}
+
+// Determinism is the default-configured determinism analyzer.
+var Determinism = NewDeterminism(DefaultDeterminismScope)
+
+// NewDeterminism builds the analyzer that keeps the simulator hot paths
+// reproducible. Within the scoped packages it forbids:
+//
+//   - wall-clock reads (time.Now/Since/Until): simulated time is the only
+//     clock the conformance goldens may observe
+//   - the global math/rand source (rand.Intn and friends): randomness must
+//     flow from a caller-provided seed via rand.New(rand.NewSource(seed))
+//   - raw goroutine spawns: parallelism goes through the internal/exec
+//     pool, whose submission-ordered results keep output byte-identical
+//   - map iteration feeding anything but a collect-keys-then-sort slice:
+//     Go randomizes map order, so any other use can reorder output
+//
+// Seeded *rand.Rand methods are always allowed. A finding that is
+// provably order-independent can be suppressed with
+// "//lint:allow determinism <reason>".
+func NewDeterminism(scope []string) *Analyzer {
+	scoped := map[string]bool{}
+	for _, p := range scope {
+		scoped[p] = true
+	}
+	a := &Analyzer{
+		Name: "determinism",
+		Doc:  "hot simulator packages must stay byte-reproducible: no wall clock, global rand, raw goroutines or order-sensitive map iteration",
+	}
+	a.Run = func(pass *Pass) error {
+		if !scoped[pass.Path] {
+			return nil
+		}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkDeterminismCall(pass, n)
+				case *ast.GoStmt:
+					pass.Reportf(n.Pos(),
+						"raw goroutine spawn in a determinism-gated package: submit work through the internal/exec pool, whose results are submission-ordered")
+				case *ast.RangeStmt:
+					checkMapRange(pass, n)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// checkDeterminismCall flags wall-clock and global-rand calls.
+func checkDeterminismCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock in a determinism-gated package: simulated cycles are the only clock the goldens may observe",
+				fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors hand back seeded sources; everything else draws
+		// from the shared global state.
+		if !strings.HasPrefix(fn.Name(), "New") {
+			pass.Reportf(call.Pos(),
+				"rand.%s draws from the global math/rand source: thread a seeded *rand.Rand (rand.New(rand.NewSource(seed))) instead",
+				fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags map iterations except the collect-keys idiom (a
+// single append into a slice, assumed to be sorted before use).
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if isCollectAppend(rng.Body) {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"map iteration order is randomized: collect the keys, sort, and iterate the slice (or annotate //lint:allow determinism <why order cannot matter>)")
+}
+
+// isCollectAppend reports whether a range body is exactly one
+// `slice = append(slice, x)` statement, the first half of the
+// collect-then-sort idiom.
+func isCollectAppend(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) != 1 {
+		return false
+	}
+	assign, ok := body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "append"
+}

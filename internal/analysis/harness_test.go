@@ -1,0 +1,157 @@
+package analysis
+
+// This file is the suite's analysistest-style harness. Each analyzer has a
+// fixture package under testdata/<name> (invisible to go build, like any
+// testdata directory) carrying both seeded violations and clean code. A
+// "// want \"regex\"" comment marks the line a diagnostic must land on;
+// the harness fails on any unmatched diagnostic and any unhit want, so the
+// fixtures pin both the true positives and the false-positive guards.
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	worldOnce sync.Once
+	theWorld  *World
+	worldErr  error
+)
+
+// moduleWorld loads the repository (and its full dependency closure) once
+// for the whole test binary; every fixture type-checks against it.
+func moduleWorld(t *testing.T) *World {
+	t.Helper()
+	worldOnce.Do(func() {
+		theWorld, worldErr = Load(filepath.Join("..", ".."), "./...")
+	})
+	if worldErr != nil {
+		t.Fatalf("loading module: %v", worldErr)
+	}
+	return theWorld
+}
+
+// fixturePrefix is the synthetic import-path root of the fixture packages.
+const fixturePrefix = "repro/internal/analysis/testdata/"
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// wantArgRe extracts the quoted regexes of a want comment.
+var wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// parseWants collects the want expectations from a fixture's comments.
+func parseWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				matches := wantArgRe.FindAllStringSubmatch(text, -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s:%d: want comment without a quoted regex", pos.Filename, pos.Line)
+				}
+				for _, m := range matches {
+					raw, err := strconv.Unquote(`"` + m[1] + `"`)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting want %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: compiling want %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture type-checks testdata/<name> against the loaded module, runs
+// one analyzer over it and compares diagnostics to the want comments.
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	w := moduleWorld(t)
+	pkg, err := w.CheckDir(filepath.Join("testdata", name), fixturePrefix+name)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", name, err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, name, err)
+	}
+
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		matched := false
+		for _, wnt := range wants {
+			if wnt.hit || wnt.file != d.Pos.Filename || wnt.line != d.Pos.Line {
+				continue
+			}
+			if wnt.re.MatchString(d.Message) {
+				wnt.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, wnt := range wants {
+		if !wnt.hit {
+			t.Errorf("%s:%d: no %s diagnostic matched want %q", wnt.file, wnt.line, a.Name, wnt.raw)
+		}
+	}
+}
+
+func TestPooledReleaseFixture(t *testing.T) {
+	runFixture(t, NewPooledRelease(DefaultPoolConfig), "pooledrelease")
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	runFixture(t, NewDeterminism([]string{fixturePrefix + "determinism"}), "determinism")
+}
+
+func TestClassExhaustiveFixture(t *testing.T) {
+	runFixture(t, NewClassExhaustive([]string{fixturePrefix + "classexhaustive"}), "classexhaustive")
+}
+
+func TestStrictDecodeFixture(t *testing.T) {
+	runFixture(t, NewStrictDecode([]string{fixturePrefix + "strictdecode"}), "strictdecode")
+}
+
+func TestObsRegisterFixture(t *testing.T) {
+	runFixture(t, ObsRegister, "obsregister")
+}
+
+// TestModuleClean runs the default suite over the repository itself: the
+// tree that ships the analyzers must satisfy them. This is the same check
+// `go run ./tools/lint ./...` performs, wired into `go test` so plain CI
+// cannot merge a violation even if the lint job is skipped.
+func TestModuleClean(t *testing.T) {
+	w := moduleWorld(t)
+	diags, err := Run(w.Module(), All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// obsRegistryPath is the package declaring the metrics Registry.
+const obsRegistryPath = "repro/internal/obs"
+
+// registrationMethods are the Registry methods that create or register a
+// metric series.
+var registrationMethods = map[string]bool{
+	"Counter":       true,
+	"Gauge":         true,
+	"Histogram":     true,
+	"MustCounter":   true,
+	"MustGauge":     true,
+	"MustHistogram": true,
+}
+
+// ObsRegister enforces the metrics-registration contract: series are
+// registered with static (compile-time constant) names, and never from
+// per-request code.
+//
+// The exposition formats (Prometheus text and the JSON mirror) assume a
+// bounded, stable set of series names; a name computed per request (say
+// fmt.Sprintf with a user-supplied path) grows the registry without
+// bound and reorders exposition between runs. Dynamic dimensions belong
+// in label VALUES, which stay unrestricted — only the series name must
+// be constant. Per-request registration is detected by an enclosing
+// function (or any function literal inside one) taking an
+// http.ResponseWriter or *http.Request.
+var ObsRegister = newObsRegister()
+
+func newObsRegister() *Analyzer {
+	a := &Analyzer{
+		Name: "obsregister",
+		Doc:  "metrics must register once with constant series names, never from per-request code",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if isRegistryMethod(pass.Info, fd) {
+					// The Registry's own methods necessarily pass name
+					// parameters through (MustCounter -> Counter); the
+					// contract binds the registry's clients.
+					continue
+				}
+				declPerRequest := funcHasHTTPParams(pass.Info, fd.Type)
+				walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					perRequest := declPerRequest
+					for _, anc := range stack {
+						if lit, ok := anc.(*ast.FuncLit); ok && funcHasHTTPParams(pass.Info, lit.Type) {
+							perRequest = true
+						}
+					}
+					checkRegistration(pass, call, perRequest)
+					return true
+				})
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// isRegistryMethod reports whether fd is a method on the obs Registry.
+func isRegistryMethod(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	tv, ok := info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Registry" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == obsRegistryPath
+}
+
+// checkRegistration inspects one call; if it registers a metric, the
+// name argument must be constant and the context must not be
+// per-request.
+func checkRegistration(pass *Pass, call *ast.CallExpr, perRequest bool) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || !registrationMethods[fn.Name()] {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	recvType := sig.Recv().Type()
+	if ptr, ok := recvType.(*types.Pointer); ok {
+		recvType = ptr.Elem()
+	}
+	named, ok := recvType.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != obsRegistryPath {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	if tv, ok := pass.Info.Types[call.Args[0]]; !ok || tv.Value == nil {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric series name must be a compile-time constant: dynamic names grow the registry without bound and destabilize exposition (put the dynamic part in a label value)")
+	}
+	if perRequest {
+		pass.Reportf(call.Pos(),
+			"metric registered from per-request code: register once at construction and look the series up per request")
+	}
+}

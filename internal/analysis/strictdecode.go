@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DefaultStrictDecodeScope limits the strict-decode contract to the
+// serving layer, where the structured-400 API promise lives.
+var DefaultStrictDecodeScope = []string{"repro/internal/server"}
+
+// StrictDecode is the default-configured strict-decode analyzer.
+var StrictDecode = NewStrictDecode(DefaultStrictDecodeScope)
+
+// NewStrictDecode builds the analyzer enforcing the serving layer's
+// request-decoding contract: every json.NewDecoder must (a) read from a
+// bounded source — http.MaxBytesReader, io.LimitReader, or an in-memory
+// reader — so a client cannot stream an unbounded body into memory, and
+// (b) call DisallowUnknownFields before the first Decode, so a mistyped
+// request knob is a structured 400 rather than a silently dropped field.
+// Raw json.Unmarshal inside a handler is flagged for the same reason: it
+// can neither bound nor strict-check its input.
+func NewStrictDecode(scope []string) *Analyzer {
+	scoped := map[string]bool{}
+	for _, p := range scope {
+		scoped[p] = true
+	}
+	a := &Analyzer{
+		Name: "strictdecode",
+		Doc:  "server handlers must decode request bodies strictly (DisallowUnknownFields) from bounded readers",
+	}
+	a.Run = func(pass *Pass) error {
+		if !scoped[pass.Path] {
+			return nil
+		}
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkStrictDecode(pass, fd)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// decoderUse tracks one json.NewDecoder result variable through its
+// enclosing function.
+type decoderUse struct {
+	newPos      ast.Node
+	obj         types.Object
+	disallowPos int // statement order index, -1 if absent
+	firstDecode int // statement order index, -1 if none
+	decodeNode  ast.Node
+}
+
+// checkStrictDecode verifies every decoder created in one function.
+func checkStrictDecode(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	httpFunc := funcHasHTTPParams(info, fd.Type)
+
+	// Assignments seen so far, for resolving whether a reader expression
+	// was bounded earlier in the function (r.Body = http.MaxBytesReader).
+	var boundedAssigns []boundedAssign
+
+	decoders := map[types.Object]*decoderUse{}
+	order := 0
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		order++
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				fn := calleeFunc(info, call)
+				if isBoundingCall(fn) && i < len(n.Lhs) {
+					boundedAssigns = append(boundedAssigns, boundedAssign{lhs: n.Lhs[i], pos: n})
+				}
+				if isPkgFunc(fn, "encoding/json", "NewDecoder") && i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+						obj := objectOf(info, id)
+						decoders[obj] = &decoderUse{newPos: call, obj: obj, disallowPos: -1, firstDecode: -1}
+						if len(call.Args) == 1 {
+							checkBoundedReader(pass, call, call.Args[0], boundedAssigns)
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			if fn == nil {
+				return true
+			}
+			if isPkgFunc(fn, "encoding/json", "Unmarshal") && httpFunc {
+				pass.Reportf(n.Pos(),
+					"json.Unmarshal in a handler bypasses DisallowUnknownFields and body bounds: decode through a strict bounded json.Decoder")
+				return true
+			}
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			d := decoders[objectOf(info, recv)]
+			if d == nil {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "DisallowUnknownFields":
+				if d.disallowPos < 0 {
+					d.disallowPos = order
+				}
+			case "Decode":
+				if d.firstDecode < 0 {
+					d.firstDecode = order
+					d.decodeNode = n
+				}
+			}
+		}
+		return true
+	})
+
+	for _, d := range decoders {
+		if d.firstDecode < 0 {
+			continue // decoder escaped or unused; nothing decoded here
+		}
+		if d.disallowPos < 0 {
+			pass.Reportf(d.decodeNode.Pos(),
+				"Decode without DisallowUnknownFields: unknown request fields would be silently dropped instead of a structured 400")
+		} else if d.disallowPos > d.firstDecode {
+			pass.Reportf(d.decodeNode.Pos(),
+				"DisallowUnknownFields is called only after the first Decode: strict mode must be set before decoding")
+		}
+	}
+}
+
+// boundedAssign records an assignment whose right side bounds a reader,
+// e.g. r.Body = http.MaxBytesReader(w, r.Body, n).
+type boundedAssign struct {
+	lhs ast.Expr
+	pos ast.Node
+}
+
+// checkBoundedReader verifies the reader handed to json.NewDecoder.
+func checkBoundedReader(pass *Pass, at *ast.CallExpr, reader ast.Expr, assigns []boundedAssign) {
+	info := pass.Info
+	reader = ast.Unparen(reader)
+
+	// Directly bounded constructor: json.NewDecoder(bytes.NewReader(b)).
+	if call, ok := reader.(*ast.CallExpr); ok {
+		if isBoundingCall(calleeFunc(info, call)) || isInMemoryReader(info.Types[call].Type) {
+			return
+		}
+		pass.Reportf(at.Pos(),
+			"json.NewDecoder reads an unbounded stream: wrap it with http.MaxBytesReader or io.LimitReader")
+		return
+	}
+
+	// Inherently bounded static type (in-memory readers).
+	if tv, ok := info.Types[reader]; ok && isInMemoryReader(tv.Type) {
+		return
+	}
+
+	// A variable or field (r.Body) re-assigned from a bounding call
+	// earlier in the function.
+	for _, a := range assigns {
+		if a.pos.Pos() < at.Pos() && sameExprShape(info, a.lhs, reader) {
+			return
+		}
+	}
+	pass.Reportf(at.Pos(),
+		"json.NewDecoder reads an unbounded stream: assign http.MaxBytesReader(w, r.Body, limit) over it first")
+}
+
+// isBoundingCall matches the reader-bounding constructors.
+func isBoundingCall(fn *types.Func) bool {
+	return isPkgFunc(fn, "net/http", "MaxBytesReader") ||
+		isPkgFunc(fn, "io", "LimitReader") ||
+		isPkgFunc(fn, "bytes", "NewReader") ||
+		isPkgFunc(fn, "bytes", "NewBuffer") ||
+		isPkgFunc(fn, "bytes", "NewBufferString") ||
+		isPkgFunc(fn, "strings", "NewReader")
+}
+
+// isInMemoryReader matches reader types whose content is already fully
+// in memory, hence bounded by construction.
+func isInMemoryReader(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "bytes.Reader", "bytes.Buffer", "strings.Reader":
+		return true
+	}
+	return false
+}
+
+// sameExprShape reports whether two expressions refer to the same
+// variable or the same field chain on the same variable (r.Body).
+func sameExprShape(info *types.Info, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch av := a.(type) {
+	case *ast.Ident:
+		bv, ok := b.(*ast.Ident)
+		return ok && objectOf(info, av) == objectOf(info, bv) && objectOf(info, av) != nil
+	case *ast.SelectorExpr:
+		bv, ok := b.(*ast.SelectorExpr)
+		return ok && av.Sel.Name == bv.Sel.Name && sameExprShape(info, av.X, bv.X)
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+// Package classexhaustive is the fixture for the classexhaustive
+// analyzer: switches over locally declared enums with missing constants,
+// an empty default, and the two accepted shapes (full coverage and a loud
+// default).
+package classexhaustive
+
+import "fmt"
+
+// Phase is a closed int enum.
+type Phase int
+
+// The Phase vocabulary; phaseCount is a sentinel and not a member.
+const (
+	PhaseLoad Phase = iota
+	PhaseRun
+	PhaseDrain
+	phaseCount
+)
+
+// Mode is a closed string enum, mirroring the modelzoo kernel vocabulary.
+type Mode string
+
+// The Mode vocabulary.
+const (
+	ModeFast Mode = "fast"
+	ModeSafe Mode = "safe"
+)
+
+func missing(p Phase) string {
+	switch p { // want "switch over classexhaustive.Phase misses PhaseDrain"
+	case PhaseLoad:
+		return "load"
+	case PhaseRun:
+		return "run"
+	}
+	return ""
+}
+
+func emptyDefault(p Phase) string {
+	switch p {
+	case PhaseLoad:
+		return "load"
+	default: // want "empty default swallows classexhaustive.Phase values PhaseDrain, PhaseRun silently"
+	}
+	return ""
+}
+
+func modeMissing(m Mode) bool {
+	switch m { // want "switch over classexhaustive.Mode misses ModeSafe"
+	case ModeFast:
+		return true
+	}
+	return false
+}
+
+// covered: full coverage needs no default; the sentinel does not count.
+func covered(p Phase) string {
+	switch p {
+	case PhaseLoad:
+		return "load"
+	case PhaseRun:
+		return "run"
+	case PhaseDrain:
+		return "drain"
+	}
+	return ""
+}
+
+// loudDefault: a default that errors is explicit coverage (the satellite
+// switch-with-default case).
+func loudDefault(p Phase) (string, error) {
+	switch p {
+	case PhaseLoad:
+		return "load", nil
+	default:
+		return "", fmt.Errorf("unhandled phase %d", p)
+	}
+}
+
+// allowedSwitch: a justified suppression is honored.
+func allowedSwitch(m Mode) bool {
+	//lint:allow classexhaustive fixture: only fast-path behavior differs
+	switch m {
+	case ModeFast:
+		return true
+	}
+	return false
+}

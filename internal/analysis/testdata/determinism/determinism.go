@@ -1,0 +1,65 @@
+// Package determinism is the fixture for the determinism analyzer: the
+// forbidden wall-clock, global-rand, goroutine and map-order constructs
+// plus the sanctioned seeded and collect-then-sort idioms.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().Unix() // want "time.Now reads the wall clock"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func globalRand() int {
+	return rand.Intn(8) // want "rand.Intn draws from the global math/rand source"
+}
+
+// seeded: methods on a caller-seeded source are reproducible.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+func spawn(ch chan int) {
+	go func() { ch <- 1 }() // want "raw goroutine spawn"
+}
+
+// sumPositive iterates a map with a body that does real work, so iteration
+// order could leak into any output derived from intermediate state.
+func sumPositive(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "map iteration order is randomized"
+		if v > 0 {
+			total += v
+		}
+	}
+	return total
+}
+
+// sortedKeys: the collect-keys-then-sort idiom is the sanctioned way
+// through a map.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// allowedRange: a justified suppression is honored.
+func allowedRange(m map[string]int) int {
+	n := 0
+	//lint:allow determinism counting is commutative, order cannot matter
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,39 @@
+// Package obsregister is the fixture for the obsregister analyzer:
+// constant-name registration at construction time versus dynamic names
+// and per-request registration.
+package obsregister
+
+import (
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+const metricHits = "fixture_hits_total"
+
+// register: a constant series name at construction time is the contract.
+func register(reg *obs.Registry) error {
+	_, err := reg.Counter(metricHits, "a fixture counter", "track", "0")
+	return err
+}
+
+func dynamic(reg *obs.Registry, path string) error {
+	_, err := reg.Counter("fixture_"+path, "per path") // want "metric series name must be a compile-time constant"
+	return err
+}
+
+// handler registers from inside a request handler: the registry grows per
+// request even though the name is constant.
+func handler(reg *obs.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reg.MustCounter(metricHits, "hit count").Inc() // want "metric registered from per-request code"
+	}
+}
+
+// lookupHandler: reading a pre-registered series per request is fine.
+func lookupHandler(reg *obs.Registry) http.HandlerFunc {
+	c := reg.MustCounter(metricHits, "hit count")
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.Inc()
+	}
+}

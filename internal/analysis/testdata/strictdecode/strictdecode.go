@@ -1,0 +1,67 @@
+// Package strictdecode is the fixture for the strictdecode analyzer: the
+// bounded-and-strict decoding contract, its violations, and the reader
+// shapes that are bounded by construction.
+package strictdecode
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+type req struct {
+	N int `json:"n"`
+}
+
+// good: bounded body, strict mode before the first Decode.
+func good(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var q req
+	_ = dec.Decode(&q)
+}
+
+func unbounded(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body) // want "json.NewDecoder reads an unbounded stream"
+	dec.DisallowUnknownFields()
+	var q req
+	_ = dec.Decode(&q)
+}
+
+func lax(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(r.Body)
+	var q req
+	_ = dec.Decode(&q) // want "Decode without DisallowUnknownFields"
+}
+
+func late(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(r.Body)
+	var q req
+	_ = dec.Decode(&q) // want "DisallowUnknownFields is called only after the first Decode"
+	dec.DisallowUnknownFields()
+}
+
+func raw(w http.ResponseWriter, r *http.Request, buf []byte) {
+	var q req
+	_ = json.Unmarshal(buf, &q) // want "json.Unmarshal in a handler bypasses"
+}
+
+// inMemory: bytes.Reader content is already in memory, hence bounded.
+func inMemory(buf []byte) {
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	dec.DisallowUnknownFields()
+	var q req
+	_ = dec.Decode(&q)
+}
+
+// limited: io.LimitReader bounds an arbitrary stream.
+func limited(src io.Reader) {
+	dec := json.NewDecoder(io.LimitReader(src, 1<<20))
+	dec.DisallowUnknownFields()
+	var q req
+	_ = dec.Decode(&q)
+}

@@ -1,0 +1,8 @@
+package analysis
+
+// StaticcheckVersion pins the honnef.co/go/tools release that CI
+// installs and that developers should run locally, so both see the same
+// check set and the committed staticcheck.conf stays in sync with the
+// binary interpreting it. CI reads it via `go run ./tools/lint
+// -staticcheck-version` instead of repeating the string in YAML.
+const StaticcheckVersion = "2024.1.1"

@@ -124,6 +124,14 @@ func New(cfg Config, graph *Graph, mapping []int) (*Machine, error) {
 	}
 	m := &Machine{cfg: cfg, graph: graph, mapping: append([]int(nil), mapping...)}
 	m.banks = make([]machine.Memory, cfg.PEs)
+	// On any failure past this point the cleanup returns the banks
+	// acquired so far to their pool; success disarms it.
+	built := false
+	defer func() {
+		if !built {
+			m.Release()
+		}
+	}()
 	for i := range m.banks {
 		bank, err := machine.GetMemory(cfg.BankWords)
 		if err != nil {
@@ -154,6 +162,7 @@ func New(cfg Config, graph *Graph, mapping []int) (*Machine, error) {
 		}
 		m.memNet = obs.ObserveNetwork(net, cfg.Tracer)
 	}
+	built = true
 	return m, nil
 }
 

@@ -1,6 +1,9 @@
 package dataflow
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // This file provides mapping heuristics for placing graph nodes onto
 // processing elements — the compile-time decision REDEFINE's run-time
@@ -96,13 +99,21 @@ func GreedyLocalityMapping(g *Graph, pes int) ([]int, error) {
 		for _, in := range node.Inputs {
 			votes[mapping[in]]++
 		}
+		// Iterate candidates in sorted PE order so the choice is a pure
+		// function of the votes, not of map iteration order.
+		candidates := make([]int, 0, len(votes))
+		for pe := range votes {
+			candidates = append(candidates, pe)
+		}
+		sort.Ints(candidates)
 		choice := -1
 		bestVotes := 0
-		for pe, v := range votes {
+		for _, pe := range candidates {
+			v := votes[pe]
 			if load[pe] >= capacity {
 				continue
 			}
-			if v > bestVotes || (v == bestVotes && (choice == -1 || pe < choice)) {
+			if v > bestVotes {
 				choice, bestVotes = pe, v
 			}
 		}

@@ -147,8 +147,9 @@ func (o Op) IsBranch() bool {
 	switch o {
 	case OpBeq, OpBne, OpBlt, OpBge, OpJmp:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // IsALU reports whether the op is an arithmetic/logic operation executed
@@ -159,8 +160,9 @@ func (o Op) IsALU() bool {
 		OpAnd, OpOr, OpXor, OpShl, OpShr,
 		OpSlt, OpSeq, OpMin, OpMax, OpAddi, OpMuli:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // IsMemory reports whether the op traverses the DP-DM switch.

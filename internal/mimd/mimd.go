@@ -199,6 +199,14 @@ func New(cfg Config, programs []isa.Program) (*Machine, error) {
 	for i, p := range programs {
 		m.decoded[i] = isa.Predecode(p)
 	}
+	// On any failure past this point the cleanup returns the banks
+	// acquired so far to their pool; success disarms it.
+	built := false
+	defer func() {
+		if !built {
+			m.Release()
+		}
+	}()
 	for i := range m.cores {
 		if cfg.IPIM == taxonomy.LinkDirect {
 			m.cores[i].prog = i
@@ -237,6 +245,7 @@ func New(cfg Config, programs []isa.Program) (*Machine, error) {
 	for i := range m.envs {
 		m.envs[i] = m.coreEnv(i)
 	}
+	built = true
 	return m, nil
 }
 

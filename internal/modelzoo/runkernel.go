@@ -9,27 +9,61 @@ import (
 	"repro/internal/workload"
 )
 
-// Kernels lists every kernel RunKernel accepts, across all classes (support
-// varies by class). It is the same vocabulary as the conformance matrix and
-// cmd/simulate's -kernel flag.
-func Kernels() []string {
-	return []string{"vecadd", "dot", "reduce", "fir", "matmul", "scan", "stencil"}
+// Kernel names one workload kernel in the shared vocabulary used by the
+// conformance matrix, cmd/simulate's -kernel flag and the serving layer.
+// It is a closed enum: switches over it are checked for exhaustiveness by
+// the classexhaustive analyzer, so adding a constant here forces every
+// dispatch site to take a position on the new kernel.
+type Kernel string
+
+// The kernel vocabulary. Support varies by class; RunKernel errors with
+// the supported subset when a class cannot run a kernel.
+const (
+	KernelVecAdd  Kernel = "vecadd"
+	KernelDot     Kernel = "dot"
+	KernelReduce  Kernel = "reduce"
+	KernelFIR     Kernel = "fir"
+	KernelMatMul  Kernel = "matmul"
+	KernelScan    Kernel = "scan"
+	KernelStencil Kernel = "stencil"
+)
+
+// AllKernels lists every kernel RunKernel accepts, in display order.
+func AllKernels() []Kernel {
+	return []Kernel{KernelVecAdd, KernelDot, KernelReduce, KernelFIR, KernelMatMul, KernelScan, KernelStencil}
 }
 
-// KnownKernel reports whether name is in the Kernels vocabulary.
+// Kernels lists the kernel vocabulary as plain strings, for flag help and
+// request validation.
+func Kernels() []string {
+	all := AllKernels()
+	names := make([]string, len(all))
+	for i, k := range all {
+		names[i] = string(k)
+	}
+	return names
+}
+
+// KnownKernel reports whether name is in the Kernels vocabulary. The
+// switch deliberately has no default: it must enumerate the whole enum,
+// so a kernel constant added without updating the vocabulary here is a
+// lint error rather than a silently rejected request.
 func KnownKernel(name string) bool {
-	for _, k := range Kernels() {
-		if k == name {
-			return true
-		}
+	switch Kernel(name) {
+	case KernelVecAdd, KernelDot, KernelReduce, KernelFIR, KernelMatMul, KernelScan, KernelStencil:
+		return true
 	}
 	return false
 }
 
 // kernelErr lists the kernels a runner supports when asked for one it
 // doesn't.
-func kernelErr(kernel string, have ...string) error {
-	return fmt.Errorf("modelzoo: unknown kernel %q (have %s)", kernel, strings.Join(have, ", "))
+func kernelErr(kernel Kernel, have ...Kernel) error {
+	names := make([]string, len(have))
+	for i, k := range have {
+		names[i] = string(k)
+	}
+	return fmt.Errorf("modelzoo: unknown kernel %q (have %s)", string(kernel), strings.Join(names, ", "))
 }
 
 // KernelInputs builds the deterministic operand vectors every RunKernel call
@@ -51,22 +85,23 @@ func KernelInputs(n int) (a, b []isa.Word) {
 // procs): inputs derive from n alone, so repeated calls return identical
 // stats and outputs.
 func RunKernel(c taxonomy.Class, kernel string, n, procs int, opts ...workload.Option) (workload.Result, error) {
+	k := Kernel(kernel)
 	a, b := KernelInputs(n)
 	switch {
 	case c.String() == "IUP":
-		return runUniKernel(kernel, a, b, opts)
+		return runUniKernel(k, a, b, opts)
 	case c.Name.Machine == taxonomy.InstructionFlow && c.Name.Proc == taxonomy.ArrayProcessor:
-		return runSIMDKernel(kernel, c.Name.Sub, procs, a, b, opts)
+		return runSIMDKernel(k, c.Name.Sub, procs, a, b, opts)
 	case c.Name.Machine == taxonomy.InstructionFlow && c.Name.Proc == taxonomy.MultiProcessor:
-		return runMIMDKernel(kernel, c.Name.Sub, procs, a, b, opts)
+		return runMIMDKernel(k, c.Name.Sub, procs, a, b, opts)
 	case c.Name.Machine == taxonomy.DataFlow:
-		if kernel != "vecadd" {
-			return workload.Result{}, kernelErr(kernel, "vecadd")
+		if k != KernelVecAdd {
+			return workload.Result{}, kernelErr(k, KernelVecAdd)
 		}
 		return workload.VecAddDataflow(c.Name.Sub, procs, a, b, opts...)
 	case c.Name.Machine == taxonomy.UniversalFlow:
-		if kernel != "vecadd" {
-			return workload.Result{}, kernelErr(kernel, "vecadd")
+		if k != KernelVecAdd {
+			return workload.Result{}, kernelErr(k, KernelVecAdd)
 		}
 		return workload.VecAddFabric(16, clampWords(a, 1<<15), clampWords(b, 1<<15), opts...)
 	default:
@@ -74,53 +109,53 @@ func RunKernel(c taxonomy.Class, kernel string, n, procs int, opts ...workload.O
 	}
 }
 
-func runUniKernel(kernel string, a, b []isa.Word, opts []workload.Option) (workload.Result, error) {
+func runUniKernel(kernel Kernel, a, b []isa.Word, opts []workload.Option) (workload.Result, error) {
 	switch kernel {
-	case "vecadd":
+	case KernelVecAdd:
 		return workload.VecAddUni(a, b, opts...)
-	case "dot", "reduce":
+	case KernelDot, KernelReduce:
 		return workload.DotUni(a, b, opts...)
-	case "fir":
+	case KernelFIR:
 		x, h := firInput(len(a))
 		return workload.FIRUni(x, h, opts...)
 	default:
-		return workload.Result{}, kernelErr(kernel, "vecadd", "dot", "reduce", "fir")
+		return workload.Result{}, kernelErr(kernel, KernelVecAdd, KernelDot, KernelReduce, KernelFIR)
 	}
 }
 
-func runSIMDKernel(kernel string, sub, lanes int, a, b []isa.Word, opts []workload.Option) (workload.Result, error) {
+func runSIMDKernel(kernel Kernel, sub, lanes int, a, b []isa.Word, opts []workload.Option) (workload.Result, error) {
 	switch kernel {
-	case "vecadd":
+	case KernelVecAdd:
 		return workload.VecAddSIMD(sub, lanes, a, b, opts...)
-	case "dot", "reduce":
+	case KernelDot, KernelReduce:
 		if sub == 1 || sub == 3 { // no DP-DP switch: butterfly impossible
 			return workload.DotSIMDPartial(sub, lanes, a, b, opts...)
 		}
 		return workload.DotSIMD(sub, lanes, a, b, opts...)
-	case "fir":
+	case KernelFIR:
 		x, h := firInput(len(a))
 		return workload.FIRSIMD(sub, lanes, x, h, opts...)
-	case "stencil":
+	case KernelStencil:
 		return workload.Stencil3SIMD(sub, lanes, a, opts...)
 	default:
-		return workload.Result{}, kernelErr(kernel, "vecadd", "dot", "reduce", "fir", "stencil")
+		return workload.Result{}, kernelErr(kernel, KernelVecAdd, KernelDot, KernelReduce, KernelFIR, KernelStencil)
 	}
 }
 
-func runMIMDKernel(kernel string, sub, cores int, a, b []isa.Word, opts []workload.Option) (workload.Result, error) {
+func runMIMDKernel(kernel Kernel, sub, cores int, a, b []isa.Word, opts []workload.Option) (workload.Result, error) {
 	switch kernel {
-	case "vecadd":
+	case KernelVecAdd:
 		return workload.VecAddMIMD(sub, cores, a, b, opts...)
-	case "dot", "reduce":
+	case KernelDot, KernelReduce:
 		if (sub-1)&1 == 0 { // no DP-DP switch: butterfly impossible
 			return workload.DotMIMDPartial(sub, cores, a, b, opts...)
 		}
 		return workload.DotMIMD(sub, cores, a, b, opts...)
-	case "scan":
+	case KernelScan:
 		return workload.ScanMIMD(sub, cores, a, opts...)
-	case "stencil":
+	case KernelStencil:
 		return workload.Stencil3MIMD(sub, cores, a, opts...)
-	case "matmul":
+	case KernelMatMul:
 		// C = A x B with rows = n, inner dim and columns fixed at 8. The
 		// DP-DM switch kind picks the strategy: replicated B on direct
 		// banks, shared B through the crossbar.
@@ -139,7 +174,7 @@ func runMIMDKernel(kernel string, sub, cores int, a, b []isa.Word, opts []worklo
 		}
 		return workload.MatMulMIMDReplicated(sub, cores, am, bm, rows, k, cols, opts...)
 	default:
-		return workload.Result{}, kernelErr(kernel, "vecadd", "dot", "reduce", "fir", "matmul", "scan", "stencil")
+		return workload.Result{}, kernelErr(kernel, KernelVecAdd, KernelDot, KernelReduce, KernelScan, KernelStencil, KernelMatMul)
 	}
 }
 

@@ -95,6 +95,9 @@ func Collect(reg *Registry, events []Event) error {
 		case KindReconfig:
 			reconfigs.Inc()
 			reconfigBits.Add(e.Arg)
+		case KindPhase:
+			// Phase markers delimit program stages; they carry no counter
+			// of their own and surface through the trace views instead.
 		}
 	}
 	reg.MustGauge(MetricCycles, "run makespan in guest cycles (max event end)").Set(float64(maxCycle))

@@ -120,6 +120,8 @@ func eventArgs(e Event) map[string]any {
 		if e.Flags&FlagHasOp == 0 {
 			return map[string]any{"node": e.Arg}
 		}
+	case KindBarrier, KindWait, KindPhase:
+		// No argument payload: the span itself is the information.
 	}
 	return nil
 }

@@ -84,6 +84,11 @@ func TraceGantt(events []obs.Event, maxCycles int) (string, error) {
 		case obs.KindReconfig:
 			s.mark = '@'
 			overlays = append(overlays, s)
+		default:
+			// Memory, message, wait and phase events have dedicated views
+			// (the mix table and the Chrome trace); the gantt draws only
+			// compute occupancy and its interruptions.
+			continue
 		}
 	}
 	header := fmt.Sprintf("cycles 0..%d, %d events:\n", span-1, len(events))

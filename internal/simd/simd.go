@@ -134,6 +134,14 @@ func New(cfg Config, prog isa.Program) (*Machine, error) {
 		banks: make([]machine.Memory, cfg.Lanes),
 		regs:  machine.GetRegs(cfg.Lanes),
 	}
+	// On any failure past this point the cleanup returns the banks and
+	// register files acquired so far to their pools; success disarms it.
+	built := false
+	defer func() {
+		if !built {
+			m.Release()
+		}
+	}()
 	for i := range m.banks {
 		bank, err := machine.GetMemory(cfg.BankWords)
 		if err != nil {
@@ -163,6 +171,7 @@ func New(cfg Config, prog isa.Program) (*Machine, error) {
 	for lane := range m.envs {
 		m.envs[lane] = m.laneEnv(lane)
 	}
+	built = true
 	return m, nil
 }
 

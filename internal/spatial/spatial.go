@@ -155,6 +155,14 @@ func New(cfg Config) (*Machine, error) {
 		banks:    make([]machine.Memory, cfg.Cores),
 		assigned: make([]bool, cfg.Cores),
 	}
+	// On any failure past this point the cleanup returns the banks
+	// acquired so far to their pool; success disarms it.
+	built := false
+	defer func() {
+		if !built {
+			m.Release()
+		}
+	}()
 	for i := range m.banks {
 		bank, err := machine.GetMemory(cfg.BankWords)
 		if err != nil {
@@ -197,6 +205,7 @@ func New(cfg Config) (*Machine, error) {
 	for cell := range m.envs {
 		m.envs[cell] = m.cellEnv(cell)
 	}
+	built = true
 	return m, nil
 }
 

@@ -1,0 +1,121 @@
+// Command lint is the repository's domain-specific multichecker: it runs
+// the internal/analysis suite (pooledrelease, determinism,
+// classexhaustive, strictdecode, obsregister) plus `go vet` over the
+// module and exits non-zero on any finding, printing file:line:col
+// diagnostics the way compilers do.
+//
+// Usage:
+//
+//	go run ./tools/lint ./...
+//	go run ./tools/lint -vet=false ./internal/server
+//	go run ./tools/lint -staticcheck-version
+//
+// The analyzers enforce the paper reproduction's cross-cutting
+// invariants at compile time; see README.md "Static analysis" for the
+// mapping from each analyzer to the invariant it guards.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the multichecker and returns the process exit code.
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	vet := fs.Bool("vet", true, "also run `go vet` over the same patterns")
+	listDoc := fs.Bool("list", false, "print the analyzer suite and exit")
+	staticcheckVersion := fs.Bool("staticcheck-version", false, "print the pinned staticcheck version and exit")
+	github := fs.Bool("github", false, "also emit GitHub Actions ::error annotations for findings")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *staticcheckVersion {
+		fmt.Fprintln(stdout, analysis.StaticcheckVersion)
+		return 0
+	}
+	analyzers := analysis.All()
+	if *listDoc {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	world, err := analysis.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	diags, err := analysis.Run(world.Module(), analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+		if *github {
+			// Workflow command: annotates the diff view at the finding.
+			rel := d.Pos.Filename
+			if r, err := filepath.Rel(root, rel); err == nil {
+				rel = r
+			}
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d::%s (%s)\n",
+				rel, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
+	}
+
+	exit := 0
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "lint: %d finding(s)\n", len(diags))
+		exit = 1
+	}
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Dir = root
+		cmd.Stdout, cmd.Stderr = stdout, stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintln(stderr, "lint: go vet failed")
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// moduleRoot locates the directory of the enclosing go.mod, so the
+// linter works from any working directory inside the module.
+func moduleRoot() (string, error) {
+	var out, errb bytes.Buffer
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("lint: go env GOMOD: %v\n%s", err, errb.String())
+	}
+	gomod := strings.TrimSpace(out.String())
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("lint: not inside a Go module")
+	}
+	return filepath.Dir(gomod), nil
+}
