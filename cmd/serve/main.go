@@ -1,12 +1,15 @@
 // Command serve runs the taxonomy-as-a-service HTTP server: every /v1
 // endpoint takes a {"requests": [...]} batch, fans it across the worker
 // pool, caches deterministic results, and rejects with 429 under
-// saturation. Metrics are at /metrics, liveness at /healthz.
+// saturation. Metrics are at /metrics, liveness at /healthz, the
+// flight recorder at /debug/requests, profiles at /debug/pprof/.
 //
 // Usage:
 //
 //	serve [-addr :8080] [-workers N] [-cache N] [-max-batch N]
 //	      [-max-concurrent N] [-timeout 60s] [-drain 10s]
+//	      [-no-trace] [-flight-recent N] [-flight-slow N] [-slow 500ms]
+//	      [-log-level info] [-log-format text]
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -25,6 +29,25 @@ import (
 
 	"repro/internal/server"
 )
+
+// newLogger builds the slog request logger from the -log-level and
+// -log-format flags; the logger writes to stderr so request lines never
+// interleave with the startup banner on stdout.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level: %w", err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format must be text or json, got %q", format)
+	}
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -47,11 +70,21 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	maxConcurrent := fs.Int("max-concurrent", 0, "per-endpoint in-flight request limit (0 = default, negative = unlimited)")
 	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = default 60s)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+	noTrace := fs.Bool("no-trace", false, "disable request tracing and the flight recorder")
+	flightRecent := fs.Int("flight-recent", 0, "flight recorder: most recent traces kept (0 = default 32)")
+	flightSlow := fs.Int("flight-slow", 0, "flight recorder: slowest traces kept (0 = default 32)")
+	slow := fs.Duration("slow", 0, "slow-request log threshold (0 = default 500ms, negative = never)")
+	logLevel := fs.String("log-level", "info", "request log level: debug logs every request, info only slow ones")
+	logFormat := fs.String("log-format", "text", "request log format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		return err
 	}
 
 	s := server.New(server.Config{
@@ -61,13 +94,18 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		MaxBatch:       *maxBatch,
 		MaxConcurrent:  *maxConcurrent,
 		RequestTimeout: *timeout,
+		DisableTracing: *noTrace,
+		FlightRecent:   *flightRecent,
+		FlightSlow:     *flightSlow,
+		SlowRequest:    *slow,
+		Logger:         logger,
 	})
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "serving on http://%s\n", l.Addr())
-	fmt.Fprintf(w, "endpoints: %s /metrics /healthz\n", strings.Join(server.Endpoints(), " "))
+	fmt.Fprintf(w, "endpoints: %s /metrics /healthz /debug/requests /debug/pprof/\n", strings.Join(server.Endpoints(), " "))
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- s.Serve(l) }()

@@ -2,7 +2,7 @@
 // repository: a narrow, dependency-free reimplementation of the
 // golang.org/x/tools/go/analysis model (the container this project builds
 // in has no module proxy access, so the framework rides on go/parser and
-// go/types alone) plus five domain-specific analyzers that turn the
+// go/types alone) plus six domain-specific analyzers that turn the
 // reproduction's runtime invariants into compile-time checks:
 //
 //   - pooledrelease:   every pooled acquisition is released on all paths
@@ -10,8 +10,9 @@
 //   - classexhaustive: switches over taxonomy/kernel enums cover every class
 //   - strictdecode:    server handlers decode strictly from bounded readers
 //   - obsregister:     metrics register once, with static names
+//   - spanend:         every request span started is ended on all paths
 //
-// tools/lint runs all five (plus go vet) over the module and exits
+// tools/lint runs all six (plus go vet) over the module and exits
 // non-zero on any finding.
 package analysis
 
@@ -180,6 +181,7 @@ func All() []*Analyzer {
 		ClassExhaustive,
 		StrictDecode,
 		ObsRegister,
+		SpanEnd,
 	}
 }
 

@@ -141,6 +141,10 @@ func TestObsRegisterFixture(t *testing.T) {
 	runFixture(t, ObsRegister, "obsregister")
 }
 
+func TestSpanEndFixture(t *testing.T) {
+	runFixture(t, NewSpanEnd(), "spanend")
+}
+
 // TestModuleClean runs the default suite over the repository itself: the
 // tree that ships the analyzers must satisfy them. This is the same check
 // `go run ./tools/lint ./...` performs, wired into `go test` so plain CI

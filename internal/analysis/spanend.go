@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanEnd is the request-span lifecycle analyzer.
+var SpanEnd = NewSpanEnd()
+
+// NewSpanEnd builds the analyzer enforcing the contract StartSpan's doc
+// states: every span obtained from obs.StartSpan must be ended on every
+// return path. An unended span stays open in the request trace — the flight
+// recorder clamps and flags it, but the recorded duration is wrong and the
+// Chrome export renders a span that never closed.
+//
+// The model is per-function and source-ordered, the same shape as
+// pooledrelease. A span is owned by the variable bound to StartSpan's
+// second result; at every return statement after the call, the span must be
+// covered by one of:
+//
+//   - an explicit or deferred End of the span (including End calls inside a
+//     deferred function literal)
+//   - the span appearing in the return's results (the caller owns its End,
+//     the traceStart pattern)
+//   - the span being passed to some other function or assigned onward
+//     (conservatively assumed to take over the End, the traceFinish
+//     pattern)
+//
+// Discarding the span result outright (`_, _ = obs.StartSpan(...)`) is its
+// own finding: a span nobody can end should not have been started.
+// Function literals are separate scopes: the exec pool's per-item closures
+// must end their own spans.
+func NewSpanEnd() *Analyzer {
+	a := &Analyzer{
+		Name: "spanend",
+		Doc:  "every span from obs.StartSpan must be ended on every return path",
+	}
+	a.Run = func(pass *Pass) error {
+		if pass.Path == "repro/internal/obs" {
+			return nil // the implementation itself manages raw span state
+		}
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkSpanFunc(pass, fd.Type, fd.Body)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						checkSpanFunc(pass, lit.Type, lit.Body)
+					}
+					return true
+				})
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// spanStart is one StartSpan call within a function scope.
+type spanStart struct {
+	pos     token.Pos
+	span    types.Object // variable bound to the *Span result
+	escaped bool         // returned, passed on, or assigned onward
+}
+
+// spanEndEvent is one End call (direct or deferred) on a tracked span.
+// block is the innermost enclosing block: the End covers a return only if
+// the return is inside it, or the span's own start is — an End on a
+// terminating branch says nothing about the paths that skipped the branch,
+// but a start/End pair inside one branch covers everything after it (no
+// start happened on the paths around the branch).
+type spanEndEvent struct {
+	pos    token.Pos
+	target types.Object
+	block  *ast.BlockStmt
+}
+
+// isStartSpan matches repro/internal/obs.StartSpan.
+func isStartSpan(fn *types.Func) bool {
+	return isPkgFunc(fn, "repro/internal/obs", "StartSpan")
+}
+
+// isSpanEndCall reports whether call is <expr>.End() and returns the root
+// object of the receiver chain.
+func isSpanEndCall(info *types.Info, call *ast.CallExpr) (types.Object, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" || len(call.Args) != 0 {
+		return nil, false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "repro/internal/obs" {
+		return nil, false
+	}
+	id := rootIdent(sel.X)
+	if id == nil {
+		return nil, false
+	}
+	return objectOf(info, id), true
+}
+
+// checkSpanFunc runs the per-scope analysis over one function declaration
+// or literal body (nested literals pruned; they are their own scopes).
+func checkSpanFunc(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	info := pass.Info
+
+	var starts []*spanStart
+	var ends []*spanEndEvent
+	var returns []*returnEvent
+
+	innermostBlock := func(stack []ast.Node) *ast.BlockStmt {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if b, ok := stack[i].(*ast.BlockStmt); ok {
+				return b
+			}
+		}
+		return body
+	}
+
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope
+
+		case *ast.DeferStmt:
+			// defer sp.End() or defer func() { ...; sp.End() }().
+			block := innermostBlock(stack)
+			ast.Inspect(n.Call, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if target, ok := isSpanEndCall(info, call); ok {
+						ends = append(ends, &spanEndEvent{pos: n.Pos(), target: target, block: block})
+					}
+				}
+				return true
+			})
+			return false
+
+		case *ast.CallExpr:
+			if target, ok := isSpanEndCall(info, n); ok {
+				ends = append(ends, &spanEndEvent{pos: n.Pos(), target: target, block: innermostBlock(stack)})
+				return true
+			}
+			if isStartSpan(calleeFunc(info, n)) {
+				st := &spanStart{pos: n.Pos()}
+				bindSpanStart(info, st, n, stack)
+				if st.span == nil && !st.escaped {
+					pass.Reportf(n.Pos(), "span result of obs.StartSpan is discarded: the span can never be ended")
+				} else {
+					starts = append(starts, st)
+				}
+			}
+
+		case *ast.ReturnStmt:
+			uses := map[types.Object]bool{}
+			for _, res := range n.Results {
+				ast.Inspect(res, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if obj := objectOf(info, id); obj != nil {
+							uses[obj] = true
+						}
+					}
+					return true
+				})
+			}
+			returns = append(returns, &returnEvent{stmt: n, pos: n.Pos(), uses: uses})
+		}
+		return true
+	})
+
+	if len(starts) == 0 {
+		return
+	}
+
+	// Escapes: the span handed to any call other than its own End, or
+	// assigned onward, transfers the End obligation conservatively.
+	for _, st := range starts {
+		if st.span == nil {
+			continue
+		}
+		trackSpanFlow(info, body, st)
+	}
+
+	// A void function falling off the end behaves like a trailing return.
+	if ftype.Results == nil {
+		last := body.List
+		if len(last) == 0 || !isTerminating(last[len(last)-1]) {
+			returns = append(returns, &returnEvent{pos: body.Rbrace, uses: map[types.Object]bool{}})
+		}
+	}
+
+	for _, ret := range returns {
+		for _, st := range starts {
+			if st.pos >= ret.pos || st.escaped || ret.uses[st.span] {
+				continue
+			}
+			covered := false
+			for _, e := range ends {
+				if e.target != st.span || e.pos >= ret.pos {
+					continue
+				}
+				inBlock := func(pos token.Pos) bool {
+					return e.block.Pos() <= pos && pos <= e.block.End()
+				}
+				if inBlock(ret.pos) || inBlock(st.pos) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				pass.Reportf(ret.pos,
+					"return leaves the span started at %s unended: End it on this path (or defer End right after StartSpan)",
+					pass.Fset.Position(st.pos))
+			}
+		}
+	}
+}
+
+// bindSpanStart resolves the variable bound to StartSpan's span result from
+// the call's ancestor stack. StartSpan returns (ctx, span), so the span is
+// the second element of a two-name assignment; a call in return position
+// escapes to the caller.
+func bindSpanStart(info *types.Info, st *spanStart, call *ast.CallExpr, stack []ast.Node) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.AssignStmt:
+			if len(parent.Rhs) == 1 && ast.Unparen(parent.Rhs[0]) == call && len(parent.Lhs) == 2 {
+				if id, ok := parent.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+					st.span = objectOf(info, id)
+				}
+			}
+			return
+		case *ast.ReturnStmt:
+			st.escaped = true
+			return
+		case ast.Stmt:
+			return
+		}
+	}
+}
+
+// trackSpanFlow marks a span escaped when it is passed to another function
+// (traceFinish owns the root span's End) or assigned onward.
+func trackSpanFlow(info *types.Info, body *ast.BlockStmt, st *spanStart) {
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if _, ok := isSpanEndCall(info, n); ok {
+				return true
+			}
+			for _, arg := range n.Args {
+				if usesObject(info, arg, st.span) {
+					st.escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				id, ok := ast.Unparen(rhs).(*ast.Ident)
+				if !ok || objectOf(info, id) != st.span {
+					continue
+				}
+				// `_ = sp` silences an unused variable, it does not hand
+				// the End to anyone.
+				if i < len(n.Lhs) {
+					if lhs, ok := n.Lhs[i].(*ast.Ident); ok && lhs.Name == "_" {
+						continue
+					}
+				}
+				st.escaped = true
+			}
+		case *ast.SendStmt:
+			if usesObject(info, n.Value, st.span) {
+				st.escaped = true
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,142 @@
+// Package spanend is the fixture for the spanend analyzer: seeded
+// span leaks alongside the End idioms the analyzer must accept.
+package spanend
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// leakOnEarlyReturn: the error path returns with the span still open.
+func leakOnEarlyReturn(ctx context.Context, fail bool) error {
+	_, sp := obs.StartSpan(ctx, "decode")
+	if fail {
+		return fmt.Errorf("boom") // want "return leaves the span started at .* unended"
+	}
+	sp.End()
+	return nil
+}
+
+// leakOnFallOff: a void function that never ends its span leaks it at the
+// closing brace.
+func leakOnFallOff(ctx context.Context) {
+	_, _ = obs.StartSpan(ctx, "work") // want "span result of obs.StartSpan is discarded"
+}
+
+// leakBothPaths: ending on one branch only still leaks the other.
+func leakBothPaths(ctx context.Context, ok bool) error {
+	_, sp := obs.StartSpan(ctx, "cache")
+	if ok {
+		sp.End()
+		return nil
+	}
+	return fmt.Errorf("miss") // want "return leaves the span started at .* unended"
+}
+
+// deferEnd: the canonical pattern — defer right after StartSpan covers
+// every path.
+func deferEnd(ctx context.Context, fail bool) error {
+	ctx, sp := obs.StartSpan(ctx, "decode")
+	defer sp.End()
+	if fail {
+		return fmt.Errorf("boom")
+	}
+	_ = ctx
+	return nil
+}
+
+// deferredLit: End inside a deferred function literal counts too (the
+// stage-stopwatch pattern).
+func deferredLit(ctx context.Context) time.Duration {
+	_, sp := obs.StartSpan(ctx, "encode")
+	start := time.Now()
+	defer func() {
+		sp.End()
+	}()
+	return time.Since(start)
+}
+
+// explicitEndAllPaths: straight-line End before every return is fine.
+func explicitEndAllPaths(ctx context.Context, n int) int {
+	_, sp := obs.StartSpan(ctx, "exec")
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	sp.End()
+	return sum
+}
+
+// escapeViaReturn: returning the span hands the End to the caller (the
+// traceStart pattern).
+func escapeViaReturn(ctx context.Context) (context.Context, *obs.Span) {
+	sctx, sp := obs.StartSpan(ctx, "request")
+	return sctx, sp
+}
+
+// finishHelper stands in for traceFinish: it owns the End of spans handed
+// to it.
+func finishHelper(sp *obs.Span) {
+	sp.End()
+}
+
+// escapeViaCall: passing the span to another function transfers the End
+// obligation (the traceFinish pattern).
+func escapeViaCall(ctx context.Context, fail bool) error {
+	_, sp := obs.StartSpan(ctx, "request")
+	finishHelper(sp)
+	if fail {
+		return fmt.Errorf("boom")
+	}
+	return nil
+}
+
+// innerScope: a function literal is its own scope — its span must end
+// inside it, and does here; the outer function's span is deferred.
+func innerScope(ctx context.Context, items []int) {
+	ctx, sp := obs.StartSpan(ctx, "batch")
+	defer sp.End()
+	for range items {
+		func() {
+			_, isp := obs.StartSpan(ctx, "item")
+			defer isp.End()
+		}()
+	}
+}
+
+// innerScopeLeak: the literal leaks its own span even though the outer
+// function ends one of the same name.
+func innerScopeLeak(ctx context.Context) {
+	ctx, sp := obs.StartSpan(ctx, "batch")
+	defer sp.End()
+	func() {
+		_, isp := obs.StartSpan(ctx, "item")
+		_ = isp
+	}() // want "return leaves the span started at .* unended"
+}
+
+// branchPair: a span started and ended inside one branch covers the
+// returns after it — the paths around the branch never started it (the
+// runConformance lockstep pattern).
+func branchPair(ctx context.Context, extra bool) error {
+	if extra {
+		lctx, lsp := obs.StartSpan(ctx, "lockstep")
+		_ = lctx
+		lsp.End()
+	}
+	return nil
+}
+
+// allowedLeak: a lint:allow comment with a reason suppresses the finding.
+func allowedLeak(ctx context.Context, fail bool) error {
+	_, sp := obs.StartSpan(ctx, "deliberate")
+	if fail {
+		//lint:allow spanend fixture: the snapshot clamps the open span
+		return fmt.Errorf("boom")
+	}
+	sp.End()
+	return nil
+}

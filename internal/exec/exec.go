@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Job is one unit of batch work. Jobs must be independent of each other:
@@ -56,6 +57,41 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("exec: job panicked: %v", e.Value)
 }
 
+// Observer receives one job's lifecycle timings after it finishes:
+// queueWait is the delay between batch submission (the Run call) and the
+// job starting on a worker — the time the job spent waiting for a pool
+// slot — and run is the job's own execution time. err is the job's final
+// verdict, including fenced panics. Observers are called concurrently from
+// the worker goroutines and must be safe for that; jobs cancelled before
+// any worker picked them up are not observed (they never entered the
+// pool). The serving layer uses this to attribute a request's wall time
+// between queueing and execution without the engine knowing anything about
+// spans or metrics.
+//
+// An observer applies only to the batch whose Run (or Map) call sees it in
+// the context: Run detaches it from the context it hands to jobs, so a job
+// that itself fans out through exec reports nothing to the outer observer —
+// its indices would be meaningless in the outer batch's frame.
+type Observer func(index int, queueWait, run time.Duration, err error)
+
+// observerKey carries a batch Observer through the context.
+type observerKey struct{}
+
+// WithObserver returns a context under which Run and Map report per-job
+// timings to fn. A nil fn returns ctx unchanged.
+func WithObserver(ctx context.Context, fn Observer) context.Context {
+	if fn == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, observerKey{}, fn)
+}
+
+// observerFrom extracts the batch observer, nil when none is attached.
+func observerFrom(ctx context.Context) Observer {
+	fn, _ := ctx.Value(observerKey{}).(Observer)
+	return fn
+}
+
 // Workers resolves a worker-count setting: n itself when positive,
 // otherwise GOMAXPROCS (the CLI flags pass runtime.NumCPU(), so 0 only
 // means "pick for me" in library use).
@@ -83,12 +119,20 @@ func Run[R any](ctx context.Context, workers int, jobs []Job[R]) []Result[R] {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	obs := observerFrom(ctx)
+	var batchStart time.Time
+	if obs != nil {
+		batchStart = time.Now()
+		// Detach the observer from the jobs' context so nested batches
+		// don't report out-of-frame indices to it.
+		ctx = context.WithValue(ctx, observerKey{}, Observer(nil))
+	}
 
 	if workers == 1 {
 		// The serial fast path keeps single-worker batches on the caller's
 		// goroutine: no channel traffic, easier profiles, same results.
 		for i, job := range jobs {
-			results[i] = runOne(ctx, i, job)
+			results[i] = runOne(ctx, i, job, obs, batchStart)
 		}
 		return results
 	}
@@ -103,7 +147,7 @@ func Run[R any](ctx context.Context, workers int, jobs []Job[R]) []Result[R] {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runOne(ctx, i, jobs[i])
+				results[i] = runOne(ctx, i, jobs[i], obs, batchStart)
 			}
 		}()
 	}
@@ -135,7 +179,15 @@ feed:
 }
 
 // runOne executes a single job with cancellation check and panic fencing.
-func runOne[R any](ctx context.Context, i int, job Job[R]) (res Result[R]) {
+// The observer defer is registered before the recover defer so it runs
+// after it and reports the fenced *PanicError, not a half-set result.
+func runOne[R any](ctx context.Context, i int, job Job[R], obs Observer, batchStart time.Time) (res Result[R]) {
+	if obs != nil {
+		jobStart := time.Now()
+		defer func() {
+			obs(i, jobStart.Sub(batchStart), time.Since(jobStart), res.Err)
+		}()
+	}
 	if err := ctx.Err(); err != nil {
 		res.Err = err
 		return res

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// FlightRecorder is the always-on tail-latency recorder: a fixed-size ring
+// of the most recent request traces plus a fixed-size set of the slowest
+// ones seen since boot. It holds snapshots — immutable, bounded — so a
+// recorder that runs for weeks costs the same memory as one that ran for a
+// minute, and /debug/requests can answer "what did the slowest request do"
+// without any sampling having been configured in advance.
+type FlightRecorder struct {
+	mu        sync.Mutex
+	recentCap int
+	slowCap   int
+	total     int64
+	// recent is a ring: next points at the slot the next Record overwrites.
+	recent []*TraceSnapshot
+	next   int
+	// slow holds the slowest snapshots, ascending by duration, so the
+	// eviction candidate is always slow[0].
+	slow []*TraceSnapshot
+}
+
+// NewFlightRecorder sizes the recorder: recentN most recent traces and
+// slowN slowest traces. Capacities <= 0 disable the respective set.
+func NewFlightRecorder(recentN, slowN int) *FlightRecorder {
+	if recentN < 0 {
+		recentN = 0
+	}
+	if slowN < 0 {
+		slowN = 0
+	}
+	return &FlightRecorder{recentCap: recentN, slowCap: slowN}
+}
+
+// Record admits one finished request trace.
+func (f *FlightRecorder) Record(snap *TraceSnapshot) {
+	if snap == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.total++
+	if f.recentCap > 0 {
+		if len(f.recent) < f.recentCap {
+			f.recent = append(f.recent, snap)
+		} else {
+			f.recent[f.next] = snap
+		}
+		f.next = (f.next + 1) % f.recentCap
+	}
+	if f.slowCap > 0 {
+		if len(f.slow) < f.slowCap {
+			f.slow = append(f.slow, snap)
+		} else if snap.DurationMs > f.slow[0].DurationMs {
+			f.slow[0] = snap
+		} else {
+			return
+		}
+		sort.SliceStable(f.slow, func(i, j int) bool { return f.slow[i].DurationMs < f.slow[j].DurationMs })
+	}
+}
+
+// Find returns the recorded trace with the given request ID, or nil. The
+// slow set is searched first: a tail outlier outlives its recency window.
+func (f *FlightRecorder) Find(id string) *TraceSnapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, s := range f.slow {
+		if s.ID == id {
+			return s
+		}
+	}
+	for _, s := range f.recent {
+		if s.ID == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// TraceSummary is one flight-recorder row: the trace without its span tree,
+// small enough to list.
+type TraceSummary struct {
+	ID         string  `json:"id"`
+	Name       string  `json:"name"`
+	DurationMs float64 `json:"duration_ms"`
+	Status     int     `json:"status,omitempty"`
+	Spans      int     `json:"spans"`
+	SimEvents  int     `json:"sim_events,omitempty"`
+}
+
+// summarize collapses a snapshot into its listing row.
+func summarize(s *TraceSnapshot) TraceSummary {
+	sum := TraceSummary{
+		ID:         s.ID,
+		Name:       s.Name,
+		DurationMs: s.DurationMs,
+		Status:     s.Status,
+		Spans:      len(s.Spans),
+	}
+	for _, sim := range s.Sims {
+		sum.SimEvents += sim.EventCount
+	}
+	return sum
+}
+
+// FlightDump is the /debug/requests listing body.
+type FlightDump struct {
+	// Total counts every request recorded since boot, admitted or evicted.
+	Total int64 `json:"total"`
+	// Recent lists the newest traces first.
+	Recent []TraceSummary `json:"recent"`
+	// Slowest lists the slowest traces first.
+	Slowest []TraceSummary `json:"slowest"`
+}
+
+// Dump summarizes the recorder's current contents.
+func (f *FlightRecorder) Dump() FlightDump {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d := FlightDump{Total: f.total, Recent: []TraceSummary{}, Slowest: []TraceSummary{}}
+	// Walk the ring backwards from the most recently written slot.
+	for i := 0; i < len(f.recent); i++ {
+		idx := (f.next - 1 - i + 2*f.recentCap) % f.recentCap
+		if idx < len(f.recent) {
+			d.Recent = append(d.Recent, summarize(f.recent[idx]))
+		}
+	}
+	for i := len(f.slow) - 1; i >= 0; i-- {
+		d.Slowest = append(d.Slowest, summarize(f.slow[i]))
+	}
+	return d
+}
+
+// WriteJSON writes the listing as indented JSON.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f.Dump())
+}

@@ -1,0 +1,109 @@
+package obs_test
+
+// Tests of the flight recorder: ring eviction of the recent set, the
+// keep-the-slowest policy, lookup order, and the listing shape.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// snap builds a minimal snapshot with the given id and duration.
+func snap(id string, ms float64) *obs.TraceSnapshot {
+	return &obs.TraceSnapshot{ID: id, Name: "/v1/test", DurationMs: ms, Status: 200}
+}
+
+// TestFlightRecentEviction fills a 3-slot ring with 5 traces and checks only
+// the newest 3 remain, newest first.
+func TestFlightRecentEviction(t *testing.T) {
+	f := obs.NewFlightRecorder(3, 0)
+	for i := 1; i <= 5; i++ {
+		f.Record(snap(fmt.Sprintf("r%d", i), float64(i)))
+	}
+	d := f.Dump()
+	if d.Total != 5 {
+		t.Errorf("total = %d, want 5", d.Total)
+	}
+	var ids []string
+	for _, s := range d.Recent {
+		ids = append(ids, s.ID)
+	}
+	if fmt.Sprint(ids) != "[r5 r4 r3]" {
+		t.Errorf("recent = %v, want [r5 r4 r3]", ids)
+	}
+	if len(d.Slowest) != 0 {
+		t.Errorf("slowest = %v, want empty (capacity 0)", d.Slowest)
+	}
+	if f.Find("r1") != nil {
+		t.Error("r1 should have been evicted from the ring")
+	}
+	if f.Find("r5") == nil {
+		t.Error("r5 should be findable")
+	}
+}
+
+// TestFlightSlowestRetention checks the slow set keeps the slowest traces
+// regardless of arrival order, and that a fast trace never evicts a slower
+// one.
+func TestFlightSlowestRetention(t *testing.T) {
+	f := obs.NewFlightRecorder(1, 2)
+	f.Record(snap("mid", 50))
+	f.Record(snap("slowest", 500))
+	f.Record(snap("fast", 1)) // must not enter the slow set
+	f.Record(snap("slower", 100))
+	d := f.Dump()
+	var ids []string
+	for _, s := range d.Slowest {
+		ids = append(ids, s.ID)
+	}
+	if fmt.Sprint(ids) != "[slowest slower]" {
+		t.Errorf("slowest = %v, want [slowest slower]", ids)
+	}
+	// The ring only holds the newest trace, but the tail outlier survives in
+	// the slow set — the recorder's whole point.
+	if f.Find("slowest") == nil {
+		t.Error("tail outlier fell out of the recorder")
+	}
+}
+
+// TestFlightDumpJSON checks the listing is valid JSON with the summary
+// fields and no span payloads.
+func TestFlightDumpJSON(t *testing.T) {
+	f := obs.NewFlightRecorder(2, 2)
+	s := snap("r1", 10)
+	s.Spans = []obs.SpanSnapshot{{ID: 0, Parent: obs.SpanNone, Name: "root"}}
+	s.Sims = []obs.SimSnapshot{{Span: 0, Label: "sim", EventCount: 42}}
+	f.Record(s)
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var d obs.FlightDump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("listing is not valid JSON: %v", err)
+	}
+	if len(d.Recent) != 1 || d.Recent[0].Spans != 1 || d.Recent[0].SimEvents != 42 {
+		t.Errorf("summary row = %+v, want 1 span and 42 sim events", d.Recent)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"spans":[`)) {
+		t.Error("listing should summarize spans, not embed them")
+	}
+}
+
+// TestFlightNilAndDisabled checks the degenerate configurations stay safe.
+func TestFlightNilAndDisabled(t *testing.T) {
+	f := obs.NewFlightRecorder(0, 0)
+	f.Record(nil)
+	f.Record(snap("r", 1))
+	d := f.Dump()
+	if d.Total != 1 || len(d.Recent) != 0 || len(d.Slowest) != 0 {
+		t.Errorf("disabled recorder dump = %+v", d)
+	}
+	if f.Find("r") != nil {
+		t.Error("disabled recorder should hold nothing")
+	}
+}

@@ -134,18 +134,14 @@ func tid(track int32) int64 {
 	return int64(track) + 1
 }
 
-// WriteChromeTrace writes events as a Chrome trace-event JSON document
-// ({"traceEvents": [...]}), loadable in Perfetto and chrome://tracing. One
-// thread row is emitted per track, so an IAP's lockstep broadcast, an
-// IMP's message interleave, a DMP's token firing and a USP's
-// reconfiguration phases are visually distinguishable. Events are sorted
-// by start cycle, so timestamps are monotone within every track.
-func WriteChromeTrace(w io.Writer, events []Event, opt ChromeOptions) error {
-	process := opt.Process
-	if process == "" {
-		process = "simulation"
-	}
-	trackName := opt.TrackName
+// appendSimChrome converts one simulator event stream to Chrome trace
+// events under the given process ID: thread metadata for every observed
+// track, then the events sorted by start cycle, with ts = tsOffset + cycle
+// (one guest cycle per exported microsecond). trackName labels the thread
+// rows; nil uses "P<track>". The shared conversion behind WriteChromeTrace
+// (whole-simulation export, pid 0, no offset) and TraceSnapshot.WriteChrome
+// (per-request export, one pid per attached stream, aligned to its span).
+func appendSimChrome(out []chromeEvent, events []Event, pid int, tsOffset int64, trackName func(track int32) string) []chromeEvent {
 	if trackName == nil {
 		trackName = func(track int32) string { return fmt.Sprintf("P%d", track) }
 	}
@@ -168,26 +164,21 @@ func WriteChromeTrace(w io.Writer, events []Event, opt ChromeOptions) error {
 	}
 	sort.Slice(trackList, func(i, j int) bool { return trackList[i] < trackList[j] })
 
-	out := make([]chromeEvent, 0, len(sorted)+len(trackList)+1)
-	out = append(out, chromeEvent{
-		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
-		Args: map[string]any{"name": process},
-	})
 	for _, tr := range trackList {
 		name := trackName(tr)
 		if tr == TrackMachine {
 			name = "machine"
 		}
 		out = append(out, chromeEvent{
-			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid(tr),
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid(tr),
 			Args: map[string]any{"name": name},
 		})
 	}
 	for _, e := range sorted {
 		ce := chromeEvent{
 			Name: eventName(e),
-			Ts:   e.Cycle,
-			Pid:  0,
+			Ts:   tsOffset + e.Cycle,
+			Pid:  pid,
 			Tid:  tid(e.Track),
 			Args: eventArgs(e),
 		}
@@ -199,6 +190,27 @@ func WriteChromeTrace(w io.Writer, events []Event, opt ChromeOptions) error {
 		}
 		out = append(out, ce)
 	}
+	return out
+}
+
+// WriteChromeTrace writes events as a Chrome trace-event JSON document
+// ({"traceEvents": [...]}), loadable in Perfetto and chrome://tracing. One
+// thread row is emitted per track, so an IAP's lockstep broadcast, an
+// IMP's message interleave, a DMP's token firing and a USP's
+// reconfiguration phases are visually distinguishable. Events are sorted
+// by start cycle, so timestamps are monotone within every track.
+func WriteChromeTrace(w io.Writer, events []Event, opt ChromeOptions) error {
+	process := opt.Process
+	if process == "" {
+		process = "simulation"
+	}
+
+	out := make([]chromeEvent, 0, len(events)+2)
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": process},
+	})
+	out = appendSimChrome(out, events, 0, 0, opt.TrackName)
 
 	enc := json.NewEncoder(w)
 	return enc.Encode(map[string]any{

@@ -142,7 +142,7 @@ func registerRoutes(s *Server) {
 			return nil
 		},
 		run: func(ctx context.Context, r SimulateRequest) (SimulateResponse, error) {
-			return runSimulate(r)
+			return runSimulate(ctx, r)
 		},
 	})
 
@@ -297,8 +297,10 @@ func runEstimate(model cost.Model, r EstimateRequest) (EstimateResponse, error) 
 
 // runSimulate executes one kernel × class cell with a tracer attached and
 // cross-checks the aggregated obs counters against the machine stats, the
-// same invariant the conformance matrix enforces per cell.
-func runSimulate(r SimulateRequest) (SimulateResponse, error) {
+// same invariant the conformance matrix enforces per cell. When the request
+// is traced, the simulator's event stream is attached under the item's span,
+// so the request's Chrome trace shows the guest cycles inside the wall time.
+func runSimulate(ctx context.Context, r SimulateRequest) (SimulateResponse, error) {
 	c, err := taxonomy.LookupString(r.Class)
 	if err != nil {
 		return SimulateResponse{}, err
@@ -308,6 +310,9 @@ func runSimulate(r SimulateRequest) (SimulateResponse, error) {
 	res, err := modelzoo.RunKernel(c, r.Kernel, r.N, r.Procs, workload.WithTracer(trace))
 	if err != nil {
 		return SimulateResponse{}, err
+	}
+	if sp := obs.CurrentSpan(ctx); sp != nil {
+		sp.AttachSim(fmt.Sprintf("%s %s n=%d", c, r.Kernel, r.N), trace.Events())
 	}
 	resp := SimulateResponse{
 		Class:             c.String(),
@@ -375,14 +380,18 @@ func crossCheckTrace(trace *obs.Trace, stats machine.Stats) error {
 // engine's parallelism is across items, and the serial run is byte-stable.
 func runConformance(ctx context.Context, r ConformanceRequest) (ConformanceResponse, error) {
 	p := conformance.Params{N: r.N, Procs: r.Procs}
-	cells, matrixPass := conformance.RunMatrixParallel(ctx, p, 1)
+	mctx, msp := obs.StartSpan(ctx, "matrix")
+	cells, matrixPass := conformance.RunMatrixParallel(mctx, p, 1)
+	msp.End()
 	resp := ConformanceResponse{
 		Pass:    matrixPass,
 		Cells:   cells,
 		Summary: conformance.Summary(cells),
 	}
 	if r.Seeds > 0 {
-		lockstep, lockstepPass := conformance.LockstepSweepParallel(ctx, r.Seed, r.Seeds, 1)
+		lctx, lsp := obs.StartSpan(ctx, "lockstep")
+		lockstep, lockstepPass := conformance.LockstepSweepParallel(lctx, r.Seed, r.Seeds, 1)
+		lsp.End()
 		resp.Lockstep = lockstep
 		resp.Pass = resp.Pass && lockstepPass
 	}

@@ -28,8 +28,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync/atomic"
@@ -62,6 +64,20 @@ type Config struct {
 	PerEndpoint map[string]int
 	// RequestTimeout bounds one request's total work (0 -> 60s).
 	RequestTimeout time.Duration
+	// DisableTracing turns off request tracing and the flight recorder;
+	// the span hooks then take their zero-allocation no-op path.
+	DisableTracing bool
+	// FlightRecent is the flight recorder's most-recent-traces ring size
+	// (0 -> 32; negative disables the ring).
+	FlightRecent int
+	// FlightSlow is the flight recorder's slowest-traces set size
+	// (0 -> 32; negative disables the set).
+	FlightSlow int
+	// SlowRequest is the latency at or above which a request is logged at
+	// Warn with its stage breakdown (0 -> 500ms; negative disables).
+	SlowRequest time.Duration
+	// Logger receives the structured request log (nil -> slog.Default()).
+	Logger *slog.Logger
 }
 
 // withDefaults resolves the zero values.
@@ -87,6 +103,18 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 60 * time.Second
 	}
+	if c.FlightRecent == 0 {
+		c.FlightRecent = 32
+	}
+	if c.FlightSlow == 0 {
+		c.FlightSlow = 32
+	}
+	if c.SlowRequest == 0 {
+		c.SlowRequest = 500 * time.Millisecond
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
 	return c
 }
 
@@ -98,6 +126,16 @@ type Server struct {
 	cache *resultCache
 	reg   *obs.Registry
 	http  *http.Server
+
+	// Tracing state: the flight recorder, the request-ID source and the
+	// request log. tracing mirrors !cfg.DisableTracing for the hot path.
+	tracing    bool
+	flight     *obs.FlightRecorder
+	idBase     string
+	reqSeq     atomic.Uint64
+	logger     *slog.Logger
+	slowThresh time.Duration
+	runtime    *runtimeGauges
 
 	// Per-endpoint instruments, pre-registered so the request path never
 	// takes the registry's write lock.
@@ -118,6 +156,9 @@ type endpointMetrics struct {
 	// updates).
 	inflightN atomic.Int64
 	latency   *obs.Histogram
+	// stages attributes request latency per stage (decode, cache, queue,
+	// item, exec, encode), keyed by stage name; see stageNames.
+	stages map[string]*obs.Histogram
 }
 
 // enter/leave maintain the in-flight gauge race-free.
@@ -146,23 +187,43 @@ var statusCodes = []int{
 	http.StatusGatewayTimeout,
 }
 
-// latencyBounds are the request-latency histogram bucket bounds in seconds.
+// latencyBounds are the request/stage-latency histogram bucket bounds in
+// seconds. The ladder is dense through the tail — BENCH_PR4 surfaced a
+// 2056ms conformance outlier hiding behind a 4.3ms p99, and the original
+// coarse ladder (…, 1, 2.5, 5, 10) could not separate a 2s outlier from a
+// 1.1s one, nor resolve anything between 500ms and 1s. Sub-second steps
+// every ~1.5x and explicit 0.75/1.5/2/3/7.5 rungs keep one-bucket
+// resolution across the whole observed tail; the 30/60 rungs bound the
+// request-timeout region. The metrics-schema golden pins this ladder.
 var latencyBounds = []float64{
-	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	0.75, 1, 1.5, 2, 3, 5, 7.5, 10, 30, 60,
 }
+
+// Stage and request latency metric names.
+const (
+	metricRequestSeconds = "repro_http_request_seconds"
+	metricStageSeconds   = "repro_http_stage_seconds"
+)
 
 // New builds a server with the six /v1 endpoints, /metrics and /healthz
 // registered.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-		cache:    newResultCache(cfg.CacheSize),
-		reg:      obs.NewRegistry(),
-		limiters: map[string]*limiter{},
-		metrics:  map[string]*endpointMetrics{},
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		cache:      newResultCache(cfg.CacheSize),
+		reg:        obs.NewRegistry(),
+		tracing:    !cfg.DisableTracing,
+		flight:     obs.NewFlightRecorder(cfg.FlightRecent, cfg.FlightSlow),
+		idBase:     fmt.Sprintf("%08x", uint32(time.Now().UnixNano())),
+		logger:     cfg.Logger,
+		slowThresh: cfg.SlowRequest,
+		limiters:   map[string]*limiter{},
+		metrics:    map[string]*endpointMetrics{},
 	}
+	s.runtime = newRuntimeGauges(s.reg)
 	for _, ep := range Endpoints() {
 		limit := cfg.MaxConcurrent
 		if v, ok := cfg.PerEndpoint[ep]; ok {
@@ -176,10 +237,14 @@ func New(cfg Config) *Server {
 			hits:     s.reg.MustCounter("repro_cache_hits_total", "batch items served from the result cache", "endpoint", ep),
 			misses:   s.reg.MustCounter("repro_cache_misses_total", "batch items computed on a cache miss", "endpoint", ep),
 			inflight: s.reg.MustGauge("repro_http_inflight", "requests currently being served", "endpoint", ep),
-			latency:  s.reg.MustHistogram("repro_http_request_seconds", "request latency", latencyBounds, "endpoint", ep),
+			latency:  s.reg.MustHistogram(metricRequestSeconds, "request latency", latencyBounds, "endpoint", ep),
+			stages:   map[string]*obs.Histogram{},
 		}
 		for _, code := range statusCodes {
 			em.requests[code] = s.reg.MustCounter("repro_http_requests_total", "requests served", "endpoint", ep, "code", strconv.Itoa(code))
+		}
+		for _, stage := range stageNames {
+			em.stages[stage] = s.reg.MustHistogram(metricStageSeconds, "request latency attributed per stage", latencyBounds, "endpoint", ep, "stage", stage)
 		}
 		s.metrics[ep] = em
 	}
@@ -187,6 +252,12 @@ func New(cfg Config) *Server {
 	registerRoutes(s)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	s.http = &http.Server{
 		Addr:              cfg.Addr,
@@ -238,8 +309,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves the obs registry: Prometheus text by default,
-// machine-readable JSON with ?format=json.
+// machine-readable JSON with ?format=json. Runtime gauges are sampled at
+// scrape time, so they are exactly as fresh as the scrape.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.runtime.sample()
 	if r.URL.Query().Get("format") == "json" {
 		w.Header().Set("Content-Type", "application/json")
 		if err := s.reg.WriteJSON(w); err != nil {
@@ -251,6 +324,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if err := s.reg.WriteProm(w); err != nil {
 		writeError(w, http.StatusInternalServerError, APIError{Code: CodeInternal, Message: err.Error()})
 	}
+}
+
+// writeIndentedJSON emits an indented JSON body for the human-facing debug
+// surfaces (curl without jq should still be readable).
+func writeIndentedJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
 }
 
 // writeError emits a structured error body with the given status.
@@ -292,17 +373,23 @@ func register[Req, Resp any](s *Server, ep endpointSpec[Req, Resp]) {
 	}
 	s.mux.HandleFunc(ep.path, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		status := serveBatch(s, w, r, ep, em, gate)
-		em.latency.Observe(time.Since(start).Seconds())
+		r, rt, root := s.traceStart(r, ep.path)
+		var st stageTimes
+		status := serveBatch(s, w, r, ep, em, gate, &st)
+		s.traceFinish(rt, root, status)
+		dur := time.Since(start)
+		em.latency.Observe(dur.Seconds())
 		if c := em.requests[status]; c != nil {
 			c.Inc()
 		}
+		s.logRequest(ep.path, rt, status, dur, st)
 	})
 }
 
 // serveBatch is the shared batch request path; it returns the status code
-// written (for the request counter).
-func serveBatch[Req, Resp any](s *Server, w http.ResponseWriter, r *http.Request, ep endpointSpec[Req, Resp], em *endpointMetrics, gate *limiter) int {
+// written (for the request counter) and fills st with the per-stage
+// stopwatch readings that also land in the stage histograms.
+func serveBatch[Req, Resp any](s *Server, w http.ResponseWriter, r *http.Request, ep endpointSpec[Req, Resp], em *endpointMetrics, gate *limiter, st *stageTimes) int {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, APIError{
@@ -322,76 +409,38 @@ func serveBatch[Req, Resp any](s *Server, w http.ResponseWriter, r *http.Request
 	defer gate.Release()
 	em.enter()
 	defer em.leave()
+	rctx := r.Context()
 
-	// Decode the envelope, then each item strictly: unknown fields are a
-	// client error, not silently dropped request knobs.
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	var env BatchEnvelope[json.RawMessage]
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&env); err != nil {
-		writeError(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Message: "body: " + err.Error()})
-		return http.StatusBadRequest
-	}
-	if len(env.Requests) == 0 {
-		writeError(w, http.StatusBadRequest, APIError{Code: CodeEmptyBatch, Message: `"requests" must hold at least one item`})
-		return http.StatusBadRequest
-	}
-	if len(env.Requests) > s.cfg.MaxBatch {
-		writeError(w, http.StatusBadRequest, APIError{
-			Code:    CodeBatchTooLarge,
-			Message: fmt.Sprintf("batch holds %d items, limit is %d", len(env.Requests), s.cfg.MaxBatch),
-		})
-		return http.StatusBadRequest
-	}
-
-	items := make([]Req, len(env.Requests))
-	keys := make([]string, len(env.Requests))
-	for i, raw := range env.Requests {
-		idx := i
-		itemDec := json.NewDecoder(bytes.NewReader(raw))
-		itemDec.DisallowUnknownFields()
-		if err := itemDec.Decode(&items[i]); err != nil {
-			writeError(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Message: "item: " + err.Error(), Index: &idx})
-			return http.StatusBadRequest
-		}
-		if ep.defaults != nil {
-			ep.defaults(&items[i])
-		}
-		if err := ep.validate(items[i]); err != nil {
-			writeError(w, http.StatusBadRequest, APIError{Code: CodeInvalid, Message: err.Error(), Index: &idx})
-			return http.StatusBadRequest
-		}
-		// Canonical key: the defaults-applied struct re-marshaled, so field
-		// order, whitespace and spelled-out defaults all hash identically.
-		canon, err := json.Marshal(items[i])
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, APIError{Code: CodeInternal, Message: err.Error()})
-			return http.StatusInternalServerError
-		}
-		keys[i] = cacheKey(ep.path, canon)
+	items, keys, errStatus := decodeStage(s, w, r, ep, em, st)
+	if errStatus != 0 {
+		return errStatus
 	}
 	em.items.Add(int64(len(items)))
 
-	// Split into cache hits and misses, then fan the misses across the
-	// worker pool. Hits and misses interleave back in item order; the hit
-	// bytes are the exact bytes an earlier miss stored.
-	results := make([]json.RawMessage, len(items))
-	var missIdx []int
-	for i := range items {
-		if cached, ok := s.cache.Get(keys[i]); ok {
-			results[i] = cached
-			em.hits.Inc()
-		} else {
-			missIdx = append(missIdx, i)
-			em.misses.Inc()
-		}
-	}
+	// Split into cache hits and misses. Hits and misses interleave back in
+	// item order; the hit bytes are the exact bytes an earlier miss stored.
+	results, missIdx := cacheStage(s, rctx, em, keys, st)
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	// Fan the misses across the worker pool. The exec observer attributes
+	// each item's share of the stage wall time between waiting for a pool
+	// slot and executing, and mirrors both as retroactive spans so the
+	// request trace shows the fan-out shape.
+	ectx, esp := obs.StartSpan(rctx, "exec")
+	execStart := time.Now()
+	ctx, cancel := context.WithTimeout(ectx, s.cfg.RequestTimeout)
 	defer cancel()
+	ctx = exec.WithObserver(ctx, func(bi int, wait, run time.Duration, err error) {
+		em.stages["queue"].Observe(wait.Seconds())
+		em.stages["item"].Observe(run.Seconds())
+		if wait > 0 {
+			obs.RecordSpan(ectx, "queue-wait", int32(missIdx[bi]+1), execStart, wait)
+		}
+	})
 	batch := exec.Map(ctx, s.cfg.Workers, missIdx, func(ctx context.Context, i int) (json.RawMessage, error) {
-		resp, err := ep.run(ctx, items[i])
+		ictx, isp := obs.StartSpan(ctx, "item")
+		defer isp.End()
+		isp.SetTrack(int32(i + 1))
+		resp, err := ep.run(ictx, items[i])
 		if err != nil {
 			return nil, err
 		}
@@ -412,6 +461,9 @@ func serveBatch[Req, Resp any](s *Server, w http.ResponseWriter, r *http.Request
 			results[i] = marshalItemError(res.Err)
 		}
 	}
+	esp.End()
+	st.exec = time.Since(execStart)
+	em.stages["exec"].Observe(st.exec.Seconds())
 	if timedOut {
 		writeError(w, http.StatusGatewayTimeout, APIError{
 			Code:    CodeTimeout,
@@ -420,6 +472,105 @@ func serveBatch[Req, Resp any](s *Server, w http.ResponseWriter, r *http.Request
 		return http.StatusGatewayTimeout
 	}
 
+	return encodeStage(s, rctx, w, em, results, len(items), st)
+}
+
+// decodeStage reads and strictly decodes the envelope, then each item:
+// unknown fields are a client error, not silently dropped request knobs.
+// A non-zero returned status means the error response was already written.
+func decodeStage[Req, Resp any](s *Server, w http.ResponseWriter, r *http.Request, ep endpointSpec[Req, Resp], em *endpointMetrics, st *stageTimes) (items []Req, keys []string, errStatus int) {
+	_, sp := obs.StartSpan(r.Context(), "decode")
+	defer sp.End()
+	start := time.Now()
+	defer func() {
+		st.decode = time.Since(start)
+		em.stages["decode"].Observe(st.decode.Seconds())
+	}()
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var env BatchEnvelope[json.RawMessage]
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil {
+		writeError(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Message: "body: " + err.Error()})
+		return nil, nil, http.StatusBadRequest
+	}
+	if len(env.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, APIError{Code: CodeEmptyBatch, Message: `"requests" must hold at least one item`})
+		return nil, nil, http.StatusBadRequest
+	}
+	if len(env.Requests) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, APIError{
+			Code:    CodeBatchTooLarge,
+			Message: fmt.Sprintf("batch holds %d items, limit is %d", len(env.Requests), s.cfg.MaxBatch),
+		})
+		return nil, nil, http.StatusBadRequest
+	}
+
+	items = make([]Req, len(env.Requests))
+	keys = make([]string, len(env.Requests))
+	for i, raw := range env.Requests {
+		idx := i
+		itemDec := json.NewDecoder(bytes.NewReader(raw))
+		itemDec.DisallowUnknownFields()
+		if err := itemDec.Decode(&items[i]); err != nil {
+			writeError(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Message: "item: " + err.Error(), Index: &idx})
+			return nil, nil, http.StatusBadRequest
+		}
+		if ep.defaults != nil {
+			ep.defaults(&items[i])
+		}
+		if err := ep.validate(items[i]); err != nil {
+			writeError(w, http.StatusBadRequest, APIError{Code: CodeInvalid, Message: err.Error(), Index: &idx})
+			return nil, nil, http.StatusBadRequest
+		}
+		// Canonical key: the defaults-applied struct re-marshaled, so field
+		// order, whitespace and spelled-out defaults all hash identically.
+		canon, err := json.Marshal(items[i])
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, APIError{Code: CodeInternal, Message: err.Error()})
+			return nil, nil, http.StatusInternalServerError
+		}
+		keys[i] = cacheKey(ep.path, canon)
+	}
+	return items, keys, 0
+}
+
+// cacheStage looks every item key up in the result cache, returning the
+// result slots (hits pre-filled) and the miss indices.
+func cacheStage(s *Server, ctx context.Context, em *endpointMetrics, keys []string, st *stageTimes) (results []json.RawMessage, missIdx []int) {
+	_, sp := obs.StartSpan(ctx, "cache")
+	defer sp.End()
+	start := time.Now()
+	defer func() {
+		st.cache = time.Since(start)
+		em.stages["cache"].Observe(st.cache.Seconds())
+	}()
+
+	results = make([]json.RawMessage, len(keys))
+	for i := range keys {
+		if cached, ok := s.cache.Get(keys[i]); ok {
+			results[i] = cached
+			em.hits.Inc()
+		} else {
+			missIdx = append(missIdx, i)
+			em.misses.Inc()
+		}
+	}
+	return results, missIdx
+}
+
+// encodeStage marshals the result envelope and writes the response.
+func encodeStage(s *Server, ctx context.Context, w http.ResponseWriter, em *endpointMetrics, results []json.RawMessage, items int, st *stageTimes) int {
+	_, sp := obs.StartSpan(ctx, "encode")
+	defer sp.End()
+	start := time.Now()
+	defer func() {
+		st.encode = time.Since(start)
+		em.stages["encode"].Observe(st.encode.Seconds())
+	}()
+
+	st.items = items
 	body, err := json.Marshal(struct {
 		Results []json.RawMessage `json:"results"`
 	}{results})
@@ -428,7 +579,7 @@ func serveBatch[Req, Resp any](s *Server, w http.ResponseWriter, r *http.Request
 		return http.StatusInternalServerError
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Batch-Items", strconv.Itoa(len(items)))
+	w.Header().Set("X-Batch-Items", strconv.Itoa(items))
 	_, _ = w.Write(body)
 	return http.StatusOK
 }

@@ -1,0 +1,444 @@
+package server
+
+// End-to-end tests of the tracing layer through the HTTP surface: the
+// flight recorder at /debug/requests (listing golden, detail, Chrome
+// download, ring eviction), structured request logging with the slow
+// threshold, the pprof wiring, stage-latency accounting, and the metrics
+// schema golden that pins the histogram ladder.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// getBody GETs a path and returns status plus raw body.
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// flightListing fetches and decodes /debug/requests.
+func flightListing(t *testing.T, base string) (bool, obs.FlightDump) {
+	t.Helper()
+	status, body := getBody(t, base+"/debug/requests")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/requests: %d %s", status, body)
+	}
+	var d struct {
+		TracingEnabled bool `json:"tracing_enabled"`
+		obs.FlightDump
+	}
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatalf("listing invalid: %v\n%s", err, body)
+	}
+	return d.TracingEnabled, d.FlightDump
+}
+
+// debugNormalize rewrites the run-dependent fields of a /debug/requests
+// body — request IDs, wall-clock durations and span counts (queue waits
+// shorter than the clock tick record no span) — so the rest is golden-able.
+var debugNormalizers = []struct {
+	re  *regexp.Regexp
+	sub string
+}{
+	{regexp.MustCompile(`"id": "[0-9a-f]{8}-[0-9]{6}"`), `"id": "RID"`},
+	{regexp.MustCompile(`"duration_ms": [0-9.eE+-]+`), `"duration_ms": 0`},
+	{regexp.MustCompile(`"spans": [0-9]+`), `"spans": 0`},
+}
+
+func debugNormalize(body []byte) []byte {
+	for _, n := range debugNormalizers {
+		body = n.re.ReplaceAll(body, []byte(n.sub))
+	}
+	return body
+}
+
+// TestDebugRequestsGolden pins the normalized /debug/requests listing after
+// one traced simulate request: field names, ordering, endpoint label,
+// status and the deterministic simulator event count.
+func TestDebugRequestsGolden(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body := post(t, ts, "/v1/simulate",
+		`{"requests":[{"class":"IAP-I","kernel":"vecadd","n":4,"procs":2}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("simulate: %d %s", status, body)
+	}
+	status, listing := getBody(t, ts.URL+"/debug/requests")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/requests: %d", status)
+	}
+	got := debugNormalize(listing)
+	path := filepath.Join("testdata", "golden", "debug_requests.json")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("listing drifted from golden (rerun with -update after reviewing)\ngot:\n%s", got)
+	}
+}
+
+// TestDebugRequestsDetailAndChrome walks the full drill-down: listing to
+// trace ID, trace ID to span tree, span tree to the Chrome download with the
+// simulator stream merged in.
+func TestDebugRequestsDetailAndChrome(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body := post(t, ts, "/v1/simulate",
+		`{"requests":[{"class":"IAP-I","kernel":"vecadd","n":4,"procs":2}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("simulate: %d %s", status, body)
+	}
+	_, dump := flightListing(t, ts.URL)
+	if len(dump.Recent) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	id := dump.Recent[0].ID
+
+	status, detail := getBody(t, ts.URL+"/debug/requests?id="+id)
+	if status != http.StatusOK {
+		t.Fatalf("detail: %d %s", status, detail)
+	}
+	var snap obs.TraceSnapshot
+	if err := json.Unmarshal(detail, &snap); err != nil {
+		t.Fatalf("detail invalid: %v", err)
+	}
+	names := map[string]int{}
+	for _, sp := range snap.Spans {
+		names[sp.Name]++
+	}
+	for _, want := range []string{"/v1/simulate", "decode", "cache", "exec", "item", "encode"} {
+		if names[want] == 0 {
+			t.Errorf("span %q missing from detail (have %v)", want, names)
+		}
+	}
+	if len(snap.Sims) != 1 || snap.Sims[0].EventCount == 0 {
+		t.Errorf("simulate trace should carry one sim stream, got %+v", snap.Sims)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/requests?id=" + id + "&format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chrome := readAll(t, resp)
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, "trace-"+id+".json") {
+		t.Errorf("Content-Disposition = %q", cd)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Pid  int    `json:"pid"`
+			Args struct {
+				Name string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome, &doc); err != nil {
+		t.Fatalf("chrome export invalid: %v", err)
+	}
+	var simProc, httpSpans int
+	for _, e := range doc.TraceEvents {
+		if e.Name == "process_name" && strings.HasPrefix(e.Args.Name, "sim: ") {
+			simProc++
+		}
+		if e.Pid == 0 && e.Name == "item" {
+			httpSpans++
+		}
+	}
+	if simProc != 1 {
+		t.Errorf("chrome export has %d sim process rows, want 1", simProc)
+	}
+	if httpSpans != 1 {
+		t.Errorf("chrome export has %d item spans, want 1", httpSpans)
+	}
+
+	if status, _ := getBody(t, ts.URL+"/debug/requests?id=nope"); status != http.StatusNotFound {
+		t.Errorf("unknown id: %d, want 404", status)
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/debug/requests", nil)
+	presp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /debug/requests: %d, want 405", presp.StatusCode)
+	}
+}
+
+// TestFlightRingEvictionUnderLoad drives more requests than the ring holds
+// and checks the recorder keeps exactly the configured window, newest
+// first, while the slow set still holds the configured count.
+func TestFlightRingEvictionUnderLoad(t *testing.T) {
+	_, ts := newTestServer(t, Config{FlightRecent: 2, FlightSlow: 1})
+	for i := 0; i < 5; i++ {
+		status, body := post(t, ts, "/v1/flexibility",
+			fmt.Sprintf(`{"requests":[{"class":"IUP"},{"class":"IAP-%s"}]}`, []string{"I", "II", "III", "IV", "I"}[i]))
+		if status != http.StatusOK {
+			t.Fatalf("request %d: %d %s", i, status, body)
+		}
+	}
+	_, dump := flightListing(t, ts.URL)
+	if dump.Total != 5 {
+		t.Errorf("total = %d, want 5", dump.Total)
+	}
+	if len(dump.Recent) != 2 {
+		t.Errorf("recent holds %d, want ring capacity 2", len(dump.Recent))
+	}
+	if len(dump.Slowest) != 1 {
+		t.Errorf("slowest holds %d, want 1", len(dump.Slowest))
+	}
+	// Every surviving trace must still resolve to its full span tree.
+	for _, row := range append(dump.Recent, dump.Slowest...) {
+		if status, _ := getBody(t, ts.URL+"/debug/requests?id="+row.ID); status != http.StatusOK {
+			t.Errorf("surviving trace %s not retrievable: %d", row.ID, status)
+		}
+	}
+}
+
+// TestDisableTracing checks the kill switch: no traces recorded, the debug
+// surface says so, and requests still serve.
+func TestDisableTracing(t *testing.T) {
+	_, ts := newTestServer(t, Config{DisableTracing: true})
+	status, body := post(t, ts, "/v1/flexibility", `{"requests":[{"class":"IUP"}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("request with tracing off: %d %s", status, body)
+	}
+	enabled, dump := flightListing(t, ts.URL)
+	if enabled {
+		t.Error("tracing_enabled = true, want false")
+	}
+	if dump.Total != 0 || len(dump.Recent) != 0 {
+		t.Errorf("disabled tracing still recorded: %+v", dump)
+	}
+}
+
+// logCapture is a slog.Handler that collects records for assertions.
+type logCapture struct {
+	mu      sync.Mutex
+	records []map[string]any
+	msgs    []string
+	level   slog.Level
+}
+
+func (h *logCapture) Enabled(_ context.Context, l slog.Level) bool { return l >= h.level }
+
+func (h *logCapture) Handle(_ context.Context, r slog.Record) error {
+	attrs := map[string]any{}
+	r.Attrs(func(a slog.Attr) bool { attrs[a.Key] = a.Value.Any(); return true })
+	h.mu.Lock()
+	h.records = append(h.records, attrs)
+	h.msgs = append(h.msgs, r.Message)
+	h.mu.Unlock()
+	return nil
+}
+
+func (h *logCapture) WithAttrs([]slog.Attr) slog.Handler { return h }
+
+func (h *logCapture) WithGroup(string) slog.Handler { return h }
+
+// TestSlowRequestLog checks a request over the threshold emits the Warn
+// line with the stage breakdown, and one under it stays quiet at Info.
+func TestSlowRequestLog(t *testing.T) {
+	cap := &logCapture{level: slog.LevelInfo}
+	_, ts := newTestServer(t, Config{
+		SlowRequest: time.Nanosecond, // everything is slow
+		Logger:      slog.New(cap),
+	})
+	post(t, ts, "/v1/flexibility", `{"requests":[{"class":"IUP"}]}`)
+	cap.mu.Lock()
+	defer cap.mu.Unlock()
+	if len(cap.msgs) != 1 || cap.msgs[0] != "slow request" {
+		t.Fatalf("messages = %v, want one slow-request line", cap.msgs)
+	}
+	rec := cap.records[0]
+	for _, key := range []string{"id", "endpoint", "status", "ms", "items", "decode_ms", "cache_ms", "exec_ms", "encode_ms", "threshold_ms"} {
+		if _, ok := rec[key]; !ok {
+			t.Errorf("slow-request line missing %q: %v", key, rec)
+		}
+	}
+	if rec["endpoint"] != "/v1/flexibility" {
+		t.Errorf("endpoint = %v", rec["endpoint"])
+	}
+	if id, _ := rec["id"].(string); !regexp.MustCompile(`^[0-9a-f]{8}-[0-9]{6}$`).MatchString(id) {
+		t.Errorf("request id = %q, want <boot>-<seq>", id)
+	}
+}
+
+// TestRequestLogQuietByDefault checks per-request lines stay at Debug: an
+// Info-level logger sees nothing for a fast request.
+func TestRequestLogQuietByDefault(t *testing.T) {
+	cap := &logCapture{level: slog.LevelInfo}
+	_, ts := newTestServer(t, Config{Logger: slog.New(cap)})
+	post(t, ts, "/v1/flexibility", `{"requests":[{"class":"IUP"}]}`)
+	cap.mu.Lock()
+	defer cap.mu.Unlock()
+	if len(cap.msgs) != 0 {
+		t.Errorf("fast request logged at Info: %v", cap.msgs)
+	}
+
+	dcap := &logCapture{level: slog.LevelDebug}
+	_, dts := newTestServer(t, Config{Logger: slog.New(dcap)})
+	post(t, dts, "/v1/flexibility", `{"requests":[{"class":"IUP"}]}`)
+	dcap.mu.Lock()
+	defer dcap.mu.Unlock()
+	if len(dcap.msgs) != 1 || dcap.msgs[0] != "request" {
+		t.Errorf("debug logger messages = %v, want one request line", dcap.msgs)
+	}
+}
+
+// TestPprofSmoke checks the net/http/pprof wiring: the goroutine profile
+// answers in debug text form.
+func TestPprofSmoke(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body := getBody(t, ts.URL+"/debug/pprof/goroutine?debug=1")
+	if status != http.StatusOK {
+		t.Fatalf("pprof goroutine: %d", status)
+	}
+	if !bytes.Contains(body, []byte("goroutine profile")) {
+		t.Errorf("pprof body does not look like a goroutine profile:\n%.200s", body)
+	}
+	if status, _ := getBody(t, ts.URL+"/debug/pprof/"); status != http.StatusOK {
+		t.Errorf("pprof index: %d", status)
+	}
+}
+
+// TestStageAccounting holds the attribution acceptance bar: the four
+// sequential stages (decode, cache, exec, encode) must account for at least
+// 95% of a conformance request's wall time.
+func TestStageAccounting(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	status, body := post(t, ts, "/v1/conformance", `{"requests":[{"n":16,"procs":4,"seeds":1}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("conformance: %d %s", status, body)
+	}
+	dump := s.flight.Dump()
+	if len(dump.Recent) != 1 {
+		t.Fatalf("recorded %d traces, want 1", len(dump.Recent))
+	}
+	snap := s.flight.Find(dump.Recent[0].ID)
+	var rootUs, stageUs int64
+	for _, sp := range snap.Spans {
+		switch sp.Name {
+		case "/v1/conformance":
+			rootUs = sp.DurUs
+		case "decode", "cache", "exec", "encode":
+			stageUs += sp.DurUs
+		}
+	}
+	if rootUs == 0 {
+		t.Fatal("root span missing")
+	}
+	if share := float64(stageUs) / float64(rootUs); share < 0.95 {
+		t.Errorf("stages account for %.1f%% of the request, want >= 95%%\n%+v", share*100, snap.Spans)
+	}
+	// The matrix and lockstep phases must nest under exec -> item.
+	names := map[string]int{}
+	for _, sp := range snap.Spans {
+		names[sp.Name]++
+	}
+	if names["matrix"] != 1 || names["lockstep"] != 1 {
+		t.Errorf("conformance child spans = %v, want matrix and lockstep", names)
+	}
+}
+
+// TestTracePropagationHammer posts concurrently from many goroutines while
+// scraping the debug surface; under -race this is the span-propagation
+// safety proof.
+func TestTracePropagationHammer(t *testing.T) {
+	_, ts := newTestServer(t, Config{FlightRecent: 4, FlightSlow: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				post(t, ts, "/v1/estimate",
+					fmt.Sprintf(`{"requests":[{"class":"IAP-I","n":%d}]}`, 16+g*5+i))
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				getBody(t, ts.URL+"/debug/requests")
+				getBody(t, ts.URL+"/metrics")
+			}
+		}()
+	}
+	wg.Wait()
+	_, dump := flightListing(t, ts.URL)
+	if dump.Total != 40 {
+		t.Errorf("recorded %d requests, want 40", dump.Total)
+	}
+}
+
+// metricValueLine strips a sample's value so the exposition schema —
+// metric names, label sets, histogram ladder — goldens deterministically.
+var metricValueLine = regexp.MustCompile(`^(.*) [^ ]+$`)
+
+// TestMetricsSchemaGolden pins the full Prometheus exposition schema of a
+// fresh server: every metric family, every stage histogram label set, and
+// the widened latency ladder. Values are normalized; adding, renaming or
+// re-bucketing a metric is what fails this test.
+func TestMetricsSchemaGolden(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body := getBody(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics: %d", status)
+	}
+	var out strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			out.WriteString(line)
+		} else {
+			out.WriteString(metricValueLine.ReplaceAllString(line, "$1 V"))
+		}
+		out.WriteByte('\n')
+	}
+	got := []byte(out.String())
+	path := filepath.Join("testdata", "golden", "metrics_schema.txt")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("metrics schema drifted from golden (rerun with -update after reviewing)")
+	}
+}

@@ -14,9 +14,12 @@
 //	                                                 # status outside 2xx/429
 //	                                                 # fails the run
 //
-// The JSON document (stdout or -out) is the BENCH_PR4.json serving
-// baseline: one result row per endpoint with requests, error counts,
-// throughput and p50/p90/p99/max latency.
+// The JSON document (stdout or -out) is the serving baseline
+// (BENCH_PR4.json, BENCH_PR6.json): one result row per endpoint with
+// requests, error counts, throughput, p50/p90/p99/max latency, and — when
+// the server exports the repro_http_stage_seconds histograms — the
+// per-stage latency attribution (decode, cache, queue, item, exec, encode)
+// measured server-side over exactly this endpoint's window.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"regexp"
 	"runtime"
 	"sort"
 	"strings"
@@ -75,6 +79,20 @@ var endpointOrder = []string{
 	"/v1/survey",
 }
 
+// StageStat is one stage's server-side attribution over the endpoint's
+// measurement window, diffed from the repro_http_stage_seconds histograms.
+type StageStat struct {
+	// TotalMs is the stage's summed latency across the window.
+	TotalMs float64 `json:"total_ms"`
+	// MeanMs is TotalMs per handled request.
+	MeanMs float64 `json:"mean_ms"`
+	// Share is the stage's fraction of the summed request wall time. The
+	// sequential stages (decode, cache, exec, encode) partition it; queue
+	// and item subdivide exec per batch item, so their shares can exceed
+	// exec's under parallel fan-out.
+	Share float64 `json:"share"`
+}
+
 // EndpointResult is one endpoint's measured row.
 type EndpointResult struct {
 	Endpoint string `json:"endpoint"`
@@ -91,6 +109,126 @@ type EndpointResult struct {
 	P99Ms  float64 `json:"p99_ms"`
 	MaxMs  float64 `json:"max_ms"`
 	MeanMs float64 `json:"mean_ms"`
+	// Stages is the server-side attribution; absent when the server does
+	// not export stage histograms.
+	Stages map[string]StageStat `json:"stages,omitempty"`
+	// DominantStage names the sequential stage with the largest share.
+	DominantStage string `json:"dominant_stage,omitempty"`
+}
+
+// Metric families scraped from /metrics?format=json for stage attribution.
+const (
+	stageMetricName   = "repro_http_stage_seconds"
+	requestMetricName = "repro_http_request_seconds"
+)
+
+// sequentialStages are the stages that partition request wall time end to
+// end; queue and item are per-batch-item subdivisions of exec.
+var sequentialStages = []string{"decode", "cache", "exec", "encode"}
+
+// metricRow is the subset of the server's JSON metrics exposition loadgen
+// reads: histogram name, rendered label string, and running sum/count.
+type metricRow struct {
+	Name   string   `json:"name"`
+	Labels string   `json:"labels"`
+	Sum    *float64 `json:"sum"`
+	Count  *int64   `json:"count"`
+}
+
+var (
+	endpointLabelRe = regexp.MustCompile(`endpoint="([^"]*)"`)
+	stageLabelRe    = regexp.MustCompile(`stage="([^"]*)"`)
+)
+
+// stageSnapshot is one scrape of the server-side latency histograms:
+// per-endpoint stage sums plus the request histogram's sum and count.
+type stageSnapshot struct {
+	stageSum map[string]map[string]float64 // endpoint -> stage -> seconds
+	reqSum   map[string]float64            // endpoint -> seconds
+	reqCount map[string]int64              // endpoint -> observations
+}
+
+// scrapeStages fetches the JSON metrics exposition and reduces it to the
+// snapshot stage attribution diffs against.
+func scrapeStages(client *http.Client, base string) (*stageSnapshot, error) {
+	resp, err := client.Get(base + "/metrics?format=json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics?format=json: status %d", resp.StatusCode)
+	}
+	var rows []metricRow
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		return nil, fmt.Errorf("decoding /metrics?format=json: %w", err)
+	}
+	snap := &stageSnapshot{
+		stageSum: map[string]map[string]float64{},
+		reqSum:   map[string]float64{},
+		reqCount: map[string]int64{},
+	}
+	for _, row := range rows {
+		epm := endpointLabelRe.FindStringSubmatch(row.Labels)
+		if epm == nil || row.Sum == nil {
+			continue
+		}
+		switch row.Name {
+		case stageMetricName:
+			stm := stageLabelRe.FindStringSubmatch(row.Labels)
+			if stm == nil {
+				continue
+			}
+			byStage := snap.stageSum[epm[1]]
+			if byStage == nil {
+				byStage = map[string]float64{}
+				snap.stageSum[epm[1]] = byStage
+			}
+			byStage[stm[1]] += *row.Sum
+		case requestMetricName:
+			snap.reqSum[epm[1]] += *row.Sum
+			if row.Count != nil {
+				snap.reqCount[epm[1]] += *row.Count
+			}
+		}
+	}
+	return snap, nil
+}
+
+// stageDelta attributes one endpoint's measurement window across stages by
+// diffing two snapshots, and names the dominant sequential stage.
+func stageDelta(before, after *stageSnapshot, ep string) (map[string]StageStat, string) {
+	reqSec := after.reqSum[ep] - before.reqSum[ep]
+	reqN := after.reqCount[ep] - before.reqCount[ep]
+	if reqN <= 0 || after.stageSum[ep] == nil {
+		return nil, ""
+	}
+	stats := map[string]StageStat{}
+	for stage, sum := range after.stageSum[ep] {
+		d := sum - before.stageSum[ep][stage]
+		if d < 0 {
+			d = 0 // server restarted mid-run; don't report nonsense
+		}
+		st := StageStat{
+			TotalMs: round2(d * 1000),
+			MeanMs:  round2(d * 1000 / float64(reqN)),
+		}
+		if reqSec > 0 {
+			st.Share = round2(d / reqSec)
+		}
+		stats[stage] = st
+	}
+	dominant := ""
+	for _, stage := range sequentialStages {
+		st, ok := stats[stage]
+		if !ok {
+			continue
+		}
+		if dominant == "" || st.TotalMs > stats[dominant].TotalMs {
+			dominant = stage
+		}
+	}
+	return stats, dominant
 }
 
 // Doc is the emitted JSON document — the serving-baseline counterpart of
@@ -158,14 +296,31 @@ func run(args []string, w io.Writer) error {
 		Duration:    duration.String(),
 		Smoke:       *smoke,
 	}
+	// Stage attribution brackets each endpoint's window with a metrics
+	// scrape; a server without the stage histograms degrades to latency-only
+	// rows rather than failing the run.
+	prev, scrapeErr := scrapeStages(client, *url)
+	if scrapeErr != nil {
+		fmt.Fprintf(w, "# stage attribution disabled: %v\n", scrapeErr)
+	}
 	for _, ep := range sweep {
 		res, err := hammer(client, *url, ep, *concurrency, *duration)
 		if err != nil {
 			return err
 		}
+		if prev != nil {
+			if cur, err := scrapeStages(client, *url); err == nil {
+				res.Stages, res.DominantStage = stageDelta(prev, cur, ep)
+				prev = cur
+			}
+		}
 		doc.Results = append(doc.Results, res)
-		fmt.Fprintf(w, "# %-16s %6d req  %8.1f req/s  p50 %6.2fms  p99 %6.2fms  429s %d  failures %d\n",
+		fmt.Fprintf(w, "# %-16s %6d req  %8.1f req/s  p50 %6.2fms  p99 %6.2fms  429s %d  failures %d",
 			ep, res.Requests, res.RPS, res.P50Ms, res.P99Ms, res.Rejected, res.Failures)
+		if res.DominantStage != "" {
+			fmt.Fprintf(w, "  dominant %s (%.0f%%)", res.DominantStage, res.Stages[res.DominantStage].Share*100)
+		}
+		fmt.Fprintln(w)
 		if *smoke && res.Failures > 0 {
 			return fmt.Errorf("smoke: %s had %d responses outside 2xx/429", ep, res.Failures)
 		}

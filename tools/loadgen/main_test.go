@@ -48,6 +48,53 @@ func TestSmokeAgainstRealServer(t *testing.T) {
 		if r.Requests > r.Rejected && r.P50Ms <= 0 {
 			t.Errorf("%s: missing latency percentiles: %+v", r.Endpoint, r)
 		}
+		// The real server exports stage histograms, so every measured row
+		// must carry the attribution columns.
+		if r.Requests > r.Rejected {
+			if r.DominantStage == "" || len(r.Stages) == 0 {
+				t.Errorf("%s: missing stage attribution: %+v", r.Endpoint, r)
+				continue
+			}
+			for _, stage := range sequentialStages {
+				if _, ok := r.Stages[stage]; !ok {
+					t.Errorf("%s: stage %q missing from attribution %v", r.Endpoint, stage, r.Stages)
+				}
+			}
+		}
+	}
+}
+
+// TestStageDelta pins the snapshot diff arithmetic: totals and means are
+// window-local, shares are fractions of the request histogram's sum, and
+// the dominant stage is the largest sequential contributor.
+func TestStageDelta(t *testing.T) {
+	before := &stageSnapshot{
+		stageSum: map[string]map[string]float64{"/v1/x": {"decode": 1, "exec": 2}},
+		reqSum:   map[string]float64{"/v1/x": 4},
+		reqCount: map[string]int64{"/v1/x": 10},
+	}
+	after := &stageSnapshot{
+		stageSum: map[string]map[string]float64{"/v1/x": {"decode": 1.5, "exec": 5}},
+		reqSum:   map[string]float64{"/v1/x": 8},
+		reqCount: map[string]int64{"/v1/x": 30},
+	}
+	stats, dominant := stageDelta(before, after, "/v1/x")
+	if dominant != "exec" {
+		t.Fatalf("dominant = %q, want exec (stats %v)", dominant, stats)
+	}
+	ex := stats["exec"]
+	if ex.TotalMs != 3000 || ex.MeanMs != 150 || ex.Share != 0.75 {
+		t.Errorf("exec = %+v, want total 3000ms mean 150ms share 0.75", ex)
+	}
+	de := stats["decode"]
+	if de.TotalMs != 500 || de.MeanMs != 25 || de.Share != 0.13 {
+		t.Errorf("decode = %+v, want total 500ms mean 25ms share 0.13", de)
+	}
+	if st, dom := stageDelta(before, before, "/v1/x"); st != nil || dom != "" {
+		t.Errorf("zero-request window must yield no attribution, got %v %q", st, dom)
+	}
+	if st, dom := stageDelta(before, after, "/v1/unknown"); st != nil || dom != "" {
+		t.Errorf("unknown endpoint must yield no attribution, got %v %q", st, dom)
 	}
 }
 
