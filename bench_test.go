@@ -521,12 +521,15 @@ func BenchmarkEq2_ReconfigBreakEven(b *testing.B) {
 	b.ReportMetric(float64(runs), "break-even-runs")
 }
 
-// BenchmarkStep_RawVsDecoded is the pre-decode ablation: the same guest
-// loop executed instruction by instruction through the raw Step interpreter
-// (re-decoding operands every cycle) and through StepDecoded over the
-// program lowered once by isa.Predecode. The delta is what every simulator
-// in this repo now saves per retired instruction.
-func BenchmarkStep_RawVsDecoded(b *testing.B) {
+// BenchmarkStep_RawVsDecodedVsCompiled is the backend ablation: the same
+// guest loop executed instruction by instruction through the raw Step
+// interpreter (re-decoding operands every cycle), through StepDecoded over
+// the program lowered once by isa.Predecode, and through machine.Compile's
+// threaded-closure chain with basic-block fusion and batched cycle
+// accounting. The raw-to-decoded delta is what pre-decode saves per retired
+// instruction; the decoded-to-compiled delta is what dispatch elimination
+// and superinstruction fusion save on top.
+func BenchmarkStep_RawVsDecodedVsCompiled(b *testing.B) {
 	prog, err := isa.Assemble(`
         ldi  r1, 0
         ldi  r2, 64
@@ -575,6 +578,16 @@ done:   halt
 					break
 				}
 				pc = out.NextPC
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		comp := machine.Compile(dec, machine.CompileOptions{})
+		for i := 0; i < b.N; i++ {
+			cpu := machine.CPU{Mem: mem}
+			if _, err := comp.Run(&cpu, machine.DefaultMaxCycles); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

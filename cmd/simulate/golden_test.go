@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/machine"
 )
 
 // update regenerates the golden metric files instead of comparing:
@@ -22,8 +24,8 @@ func TestGoldenMetrics(t *testing.T) {
 		file string
 		fn   func() error
 	}{
-		{"metrics_iup_vecadd.prom", func() error { return run("IUP", "vecadd", 8, 1, "", false, true, false) }},
-		{"metrics_iup_vecadd.json", func() error { return run("IUP", "vecadd", 8, 1, "", false, false, true) }},
+		{"metrics_iup_vecadd.prom", func() error { return run("IUP", "vecadd", 8, 1, "", false, true, false, machine.BackendDefault) }},
+		{"metrics_iup_vecadd.json", func() error { return run("IUP", "vecadd", 8, 1, "", false, false, true, machine.BackendDefault) }},
 	}
 	for _, tc := range cases {
 		out, err := capture(t, tc.fn)
@@ -50,7 +52,7 @@ func TestGoldenMetrics(t *testing.T) {
 // TestRun_MetricsJSON: the -metrics-json document must be valid JSON after
 // the stats header (the metrics block starts at the first '[' or '{').
 func TestRun_MetricsJSON(t *testing.T) {
-	out, err := capture(t, func() error { return run("IMP-II", "dot", 64, 4, "", false, false, true) })
+	out, err := capture(t, func() error { return run("IMP-II", "dot", 64, 4, "", false, false, true, machine.BackendDefault) })
 	if err != nil {
 		t.Fatal(err)
 	}

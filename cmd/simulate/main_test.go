@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/machine"
 )
 
 func capture(t *testing.T, fn func() error) (string, error) {
@@ -29,7 +31,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 
 // runPlain is run without any observability flags.
 func runPlain(class, kernel string, n, procs int) error {
-	return run(class, kernel, n, procs, "", false, false, false)
+	return run(class, kernel, n, procs, "", false, false, false, machine.BackendDefault)
 }
 
 func TestRun_AllClassKernelPairs(t *testing.T) {
@@ -132,7 +134,7 @@ func TestRun_UnknownKernelListsValid(t *testing.T) {
 func TestRun_Observability(t *testing.T) {
 	tracePath := filepath.Join(t.TempDir(), "trace.json")
 	out, err := capture(t, func() error {
-		return run("IMP-II", "dot", 64, 4, tracePath, true, true, false)
+		return run("IMP-II", "dot", 64, 4, tracePath, true, true, false, machine.BackendDefault)
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,250 @@
+package conformance
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/exec"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mimd"
+	"repro/internal/obs"
+	"repro/internal/simd"
+	"repro/internal/uniproc"
+)
+
+// This file is the backend half of the differential harness: the same
+// generated program, on the same machine shape, executed by every
+// machine.Backend — untraced and traced — must produce identical final
+// memories, an identical Stats struct (cycle counts included) and an
+// identical obs event stream. Where the lockstep sweep pins the taxonomy
+// property (different organisations, same results), this sweep pins the
+// implementation property the compiled backend's fusion and vector paths
+// must preserve: backends are host-dispatch choices, not architectures.
+
+// BackendResult reports one generated program's cross-backend run.
+type BackendResult struct {
+	Seed int64  `json:"seed"`
+	Pass bool   `json:"pass"`
+	Err  string `json:"error,omitempty"`
+	// Program holds the disassembly of the offending program on failure,
+	// for reproduction.
+	Program string `json:"program,omitempty"`
+}
+
+// backendOutcome is one (shape, backend, traced?) execution, flattened for
+// comparison.
+type backendOutcome struct {
+	mems   [][]isa.Word
+	stats  machine.Stats
+	events []obs.Event
+}
+
+// diffOutcome compares a run against the interp reference for the same
+// shape and tracing mode.
+func diffOutcome(who string, got, want backendOutcome) error {
+	for i := range want.mems {
+		if err := diffMemory(fmt.Sprintf("%s bank %d", who, i), got.mems[i], want.mems[i]); err != nil {
+			return err
+		}
+	}
+	if got.stats != want.stats {
+		return fmt.Errorf("conformance: %s stats %+v, interp says %+v", who, got.stats, want.stats)
+	}
+	if len(got.events) != len(want.events) {
+		return fmt.Errorf("conformance: %s emitted %d events, interp emitted %d", who, len(got.events), len(want.events))
+	}
+	for i := range got.events {
+		if got.events[i] != want.events[i] {
+			return fmt.Errorf("conformance: %s event %d = %+v, interp says %+v", who, i, got.events[i], want.events[i])
+		}
+	}
+	return nil
+}
+
+// BackendCheck generates the program for one seed and runs it on the three
+// machine shapes with every backend, untraced and traced. Within each
+// (shape, tracing) cell all backends must match the interp reference
+// exactly: memories, the full Stats struct and the traced event stream.
+func BackendCheck(seed int64) BackendResult {
+	return backendCheck(seed, DefaultGenConfig())
+}
+
+func backendCheck(seed int64, cfg GenConfig) BackendResult {
+	r := BackendResult{Seed: seed}
+	fail := func(err error, prog isa.Program) BackendResult {
+		r.Err = err.Error()
+		if prog != nil {
+			r.Program = isa.Disassemble(prog)
+		}
+		return r
+	}
+	rng := rand.New(rand.NewSource(seed))
+	prog, err := RandomProgram(rng, cfg)
+	if err != nil {
+		return fail(err, nil)
+	}
+	img := randomImage(rng, cfg)
+	bank := cfg.MemWords()
+
+	shapes := []struct {
+		name string
+		run  func(machine.Backend, obs.Tracer) (backendOutcome, error)
+	}{
+		{"IUP", func(b machine.Backend, tr obs.Tracer) (backendOutcome, error) {
+			return runUniBackend(prog, img, bank, b, tr)
+		}},
+		{"IAP-I", func(b machine.Backend, tr obs.Tracer) (backendOutcome, error) {
+			return runSIMDBackend(prog, img, bank, b, tr)
+		}},
+		{"IMP-I", func(b machine.Backend, tr obs.Tracer) (backendOutcome, error) {
+			return runMIMDBackend(prog, img, bank, b, tr)
+		}},
+	}
+	for _, shape := range shapes {
+		for _, traced := range []bool{false, true} {
+			var ref backendOutcome
+			for i, b := range machine.Backends() {
+				var tr *obs.Trace
+				var tracer obs.Tracer
+				if traced {
+					tr = obs.AcquireTrace()
+					tracer = tr
+				}
+				out, err := shape.run(b, tracer)
+				if tr != nil {
+					out.events = tr.Events()
+					obs.ReleaseTrace(tr)
+				}
+				if err != nil {
+					return fail(fmt.Errorf("%s/%s: %w", shape.name, b, err), prog)
+				}
+				if i == 0 {
+					ref = out
+					continue
+				}
+				who := fmt.Sprintf("%s/%s", shape.name, b)
+				if traced {
+					who += " (traced)"
+				}
+				if err := diffOutcome(who, out, ref); err != nil {
+					return fail(err, prog)
+				}
+			}
+		}
+	}
+	r.Pass = true
+	return r
+}
+
+func runUniBackend(prog isa.Program, img []isa.Word, bank int, b machine.Backend, tr obs.Tracer) (backendOutcome, error) {
+	uni, err := uniproc.New(uniproc.Config{MemWords: bank, Backend: b, Tracer: tr}, prog)
+	if err != nil {
+		return backendOutcome{}, err
+	}
+	defer uni.Release()
+	mem, stats, err := uni.RunWithInput(img, 0, bank)
+	if err != nil {
+		return backendOutcome{}, err
+	}
+	return backendOutcome{mems: [][]isa.Word{mem}, stats: stats}, nil
+}
+
+func runSIMDBackend(prog isa.Program, img []isa.Word, bank int, b machine.Backend, tr obs.Tracer) (backendOutcome, error) {
+	cfg, err := simd.ForSubtype(1, lockstepProcs, bank)
+	if err != nil {
+		return backendOutcome{}, err
+	}
+	cfg.Backend = b
+	cfg.Tracer = tr
+	arr, err := simd.New(cfg, prog)
+	if err != nil {
+		return backendOutcome{}, err
+	}
+	defer arr.Release()
+	for lane := 0; lane < lockstepProcs; lane++ {
+		if err := arr.LoadLane(lane, 0, img); err != nil {
+			return backendOutcome{}, err
+		}
+	}
+	stats, err := arr.Run()
+	if err != nil {
+		return backendOutcome{}, err
+	}
+	out := backendOutcome{stats: stats}
+	for lane := 0; lane < lockstepProcs; lane++ {
+		mem, err := arr.ReadLane(lane, 0, bank)
+		if err != nil {
+			return backendOutcome{}, err
+		}
+		out.mems = append(out.mems, mem)
+	}
+	return out, nil
+}
+
+func runMIMDBackend(prog isa.Program, img []isa.Word, bank int, b machine.Backend, tr obs.Tracer) (backendOutcome, error) {
+	cfg, err := mimd.ForSubtype(1, lockstepProcs, bank)
+	if err != nil {
+		return backendOutcome{}, err
+	}
+	cfg.Backend = b
+	cfg.Tracer = tr
+	images := make([]isa.Program, lockstepProcs)
+	for i := range images {
+		images[i] = prog
+	}
+	mp, err := mimd.New(cfg, images)
+	if err != nil {
+		return backendOutcome{}, err
+	}
+	defer mp.Release()
+	for core := 0; core < lockstepProcs; core++ {
+		if err := mp.LoadBank(core, 0, img); err != nil {
+			return backendOutcome{}, err
+		}
+	}
+	stats, err := mp.Run()
+	if err != nil {
+		return backendOutcome{}, err
+	}
+	out := backendOutcome{stats: stats}
+	for core := 0; core < lockstepProcs; core++ {
+		mem, err := mp.ReadBank(core, 0, bank)
+		if err != nil {
+			return backendOutcome{}, err
+		}
+		out.mems = append(out.mems, mem)
+	}
+	return out, nil
+}
+
+// BackendSweep runs count seeds starting at baseSeed through BackendCheck
+// and reports each result plus whether every backend matched everywhere.
+func BackendSweep(baseSeed int64, count int) ([]BackendResult, bool) {
+	return BackendSweepParallel(context.Background(), baseSeed, count, 1)
+}
+
+// BackendSweepParallel is BackendSweep across the given number of workers
+// (<= 0 means GOMAXPROCS); results land in seed order whatever the worker
+// count.
+func BackendSweepParallel(ctx context.Context, baseSeed int64, count, workers int) ([]BackendResult, bool) {
+	seeds := make([]int64, count)
+	for i := range seeds {
+		seeds[i] = baseSeed + int64(i)
+	}
+	batch := exec.Map(ctx, workers, seeds, func(ctx context.Context, seed int64) (BackendResult, error) {
+		return BackendCheck(seed), nil
+	})
+	results := make([]BackendResult, count)
+	allPass := true
+	for i, r := range batch {
+		if r.Err != nil {
+			results[i] = BackendResult{Seed: seeds[i], Err: r.Err.Error()}
+		} else {
+			results[i] = r.Value
+		}
+		allPass = allPass && results[i].Pass
+	}
+	return results, allPass
+}

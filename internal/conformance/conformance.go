@@ -43,6 +43,10 @@ type Params struct {
 	// a power of two >= 4 (the butterfly reductions need the power of two,
 	// the stencils need >= 3 processors) and divide N.
 	Procs int
+	// Backend selects the execution backend for the instruction-flow
+	// machines; the zero value is the repo-wide default (compiled). The
+	// matrix verdicts must not depend on it — that is the point.
+	Backend machine.Backend
 }
 
 // DefaultParams is the matrix sizing used by tests and the CLI default.
@@ -378,7 +382,7 @@ func Run(c Cell, p Params) CellResult {
 	}
 	trace := obs.AcquireTrace()
 	defer obs.ReleaseTrace(trace)
-	res, want, err := c.run(p, workload.WithTracer(trace))
+	res, want, err := c.run(p, workload.WithTracer(trace), workload.WithBackend(p.Backend))
 	if err != nil {
 		r.Err = err.Error()
 		return r

@@ -1,0 +1,769 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/obs"
+)
+
+// This file is the compiled backend: it lowers a pre-decoded program into
+// threaded code — one closure per instruction, specialized at compile time
+// to its operand registers, widened immediate and absolute branch target,
+// so the executed path has no per-op switch at all — plus a basic-block
+// program for the uni-processor fast path: straight-line runs are grouped
+// into blocks, fused into superinstructions where a known pattern matches
+// (load+ALU+store triples, induction-increment+branch pairs), and accounted
+// in one batched Stats update per block instead of one per instruction.
+//
+// Equivalence with Step/StepDecoded is architectural, not best-effort: the
+// differential sweeps in internal/conformance and the FuzzCompile oracle
+// byte-compare memories, registers, Stats and traced event streams across
+// all three backends.
+
+// OpFn is one unit of threaded code: StepDecoded specialized to a single
+// decoded instruction. The program counter is captured at compile time, so
+// callers index the chain by pc and follow Outcome.NextPC exactly as they
+// would with StepDecoded.
+type OpFn func(regs *Regs, env *Env) (Outcome, error)
+
+// CompileOptions carries the timing parameters the block accounting bakes
+// into its per-block cycle costs.
+type CompileOptions struct {
+	// MemLatency is the extra cycles a load/store spends on the DP-DM
+	// switch; 0 means the default single cycle (matching uniproc.Config).
+	MemLatency int64
+	// BranchPenalty is the extra cycles a taken branch costs; 0 means
+	// taken branches are free beyond their issue cycle.
+	BranchPenalty int64
+}
+
+// CPU is the execution state of the compiled uni-processor fast path: a
+// register file and a directly addressed data bank, with the run's Stats
+// accumulated in place.
+type CPU struct {
+	Regs  Regs
+	Mem   Memory
+	Stats Stats
+}
+
+// haltPC is the NextPC sentinel a terminator returns after HALT. Any
+// negative pc ends the run (the interpreters treat an out-of-range pc as an
+// implicit halt), so -1 is merely the conventional spelling.
+const haltPC = -1
+
+// microFn is one fused straight-line unit inside a block. It returns how
+// many of its constituent instructions retired: all of them on success,
+// fewer when a guest fault (bad address, division by zero, missing switch)
+// stopped the unit mid-way. The count only matters on the error path, where
+// the runner re-derives exact per-instruction accounting.
+type microFn func(c *CPU) (int32, error)
+
+// termFn computes a block's successor pc (haltPC after HALT), applying the
+// taken-branch penalty and any fused induction increment.
+type termFn func(c *CPU) int
+
+// unit is one microFn plus the pc range it covers.
+type unit struct {
+	fn   microFn
+	pc   int32
+	nops int32
+}
+
+// block is one basic block: fused straight-line units, a terminator, and
+// the batched Stats of every instruction in [start, end).
+type block struct {
+	start, end int32
+	units      []unit
+	term       termFn
+	// Batched accounting applied once per successful block execution.
+	nInstr, nALU, nLoads, nStores int64
+	// cycles is the static cycle cost of the whole block (instruction
+	// issues plus DP-DM latencies; the dynamic taken-branch penalty is the
+	// terminator's). It doubles as the budget-guard margin: a block only
+	// runs fused when the cycle budget cannot expire inside it.
+	cycles int64
+}
+
+// CompiledProgram is the lowered form of one program: the per-op threaded
+// chain (used by every simulator and by traced runs, where per-instruction
+// event emission is part of the contract) and the fused block program the
+// uni-processor fast path executes.
+type CompiledProgram struct {
+	ops           []OpFn
+	blocks        []block
+	blockAt       []int32 // pc of a block leader -> its index in blocks
+	dec           isa.DecodedProgram
+	n             int
+	memLatency    int64
+	branchPenalty int64
+}
+
+// Ops returns the threaded per-op chain, indexed by pc.
+func (p *CompiledProgram) Ops() []OpFn { return p.ops }
+
+// Len returns the program length in instructions.
+func (p *CompiledProgram) Len() int { return p.n }
+
+// Compile lowers a pre-decoded program. The caller is expected to have
+// validated the program, as with Predecode; compiling an empty program
+// yields a chain whose Run halts immediately.
+func Compile(dec isa.DecodedProgram, opts CompileOptions) *CompiledProgram {
+	memLat := opts.MemLatency
+	if memLat == 0 {
+		memLat = 1 // default DP-DM direct-switch traversal
+	}
+	p := &CompiledProgram{
+		dec:           dec,
+		n:             len(dec),
+		ops:           make([]OpFn, len(dec)),
+		blockAt:       make([]int32, len(dec)),
+		memLatency:    memLat,
+		branchPenalty: opts.BranchPenalty,
+	}
+	for pc := range dec {
+		p.ops[pc] = compileOp(pc, &dec[pc])
+	}
+	p.buildBlocks()
+	return p
+}
+
+// buildBlocks discovers basic-block leaders (pc 0, every branch target,
+// every instruction after a branch or halt) and lowers each block.
+func (p *CompiledProgram) buildBlocks() {
+	if p.n == 0 {
+		return
+	}
+	leader := make([]bool, p.n)
+	leader[0] = true
+	for pc := range p.dec {
+		d := &p.dec[pc]
+		if d.IsBranch() {
+			if t := int(d.Target); t >= 0 && t < p.n {
+				leader[t] = true
+			}
+			if pc+1 < p.n {
+				leader[pc+1] = true
+			}
+		}
+		if d.Op == isa.OpHalt && pc+1 < p.n {
+			leader[pc+1] = true
+		}
+	}
+	for pc := range p.blockAt {
+		p.blockAt[pc] = -1
+	}
+	start := 0
+	for pc := 0; pc < p.n; pc++ {
+		d := &p.dec[pc]
+		endsHere := d.IsBranch() || d.Op == isa.OpHalt
+		nextIsLeader := pc+1 < p.n && leader[pc+1]
+		if endsHere || nextIsLeader || pc+1 == p.n {
+			p.blockAt[start] = int32(len(p.blocks))
+			p.blocks = append(p.blocks, p.lowerBlock(start, pc+1))
+			start = pc + 1
+		}
+	}
+}
+
+// lowerBlock lowers the ops in [start, end) into fused units plus a
+// terminator and computes the block's batched accounting.
+func (p *CompiledProgram) lowerBlock(start, end int) block {
+	b := block{start: int32(start), end: int32(end)}
+	for pc := start; pc < end; pc++ {
+		d := &p.dec[pc]
+		b.nInstr++
+		b.cycles++
+		if d.IsALU() {
+			b.nALU++
+		}
+		if d.IsMemory() {
+			b.cycles += p.memLatency
+			if d.Op == isa.OpLd {
+				b.nLoads++
+			} else {
+				b.nStores++
+			}
+		}
+	}
+
+	last := &p.dec[end-1]
+	straight := end // ops [start, straight) become units
+	var pre *preInc
+	if last.IsBranch() || last.Op == isa.OpHalt {
+		straight = end - 1
+		// Induction-increment fusion: fold a trailing `addi rX, rX, imm`
+		// into a branch terminator so hot loop back-edges are one closure.
+		if last.IsBranch() && straight > start {
+			if d := &p.dec[straight-1]; d.Op == isa.OpAddi && d.Rd == d.Ra {
+				pre = &preInc{rd: d.Rd, imm: d.Imm}
+				straight--
+			}
+		}
+		b.term = p.genTerm(end-1, last, pre)
+	} else {
+		fall := end
+		b.term = func(*CPU) int { return fall }
+	}
+
+	for pc := start; pc < straight; {
+		if fn, n := p.fuseAt(pc, straight); fn != nil {
+			b.units = append(b.units, unit{fn: fn, pc: int32(pc), nops: n})
+			pc += int(n)
+			continue
+		}
+		b.units = append(b.units, unit{fn: p.genMicro(pc, &p.dec[pc]), pc: int32(pc), nops: 1})
+		pc++
+	}
+	return b
+}
+
+// preInc is an induction increment fused into a branch terminator.
+type preInc struct {
+	rd  uint8
+	imm isa.Word
+}
+
+// fusable ALU kernels for the load+ALU+store superinstruction. DIV/REM are
+// excluded: they fault on zero divisors and the fused unit would have to
+// carry their pc-stamped error, for no gain on real kernels.
+func aluKernel(d *isa.DecodedOp) func(c *CPU) {
+	rd, ra, rb, imm := d.Rd, d.Ra, d.Rb, d.Imm
+	switch d.Op {
+	case isa.OpAdd:
+		return func(c *CPU) { c.Regs[rd] = c.Regs[ra] + c.Regs[rb] }
+	case isa.OpSub:
+		return func(c *CPU) { c.Regs[rd] = c.Regs[ra] - c.Regs[rb] }
+	case isa.OpMul:
+		return func(c *CPU) { c.Regs[rd] = c.Regs[ra] * c.Regs[rb] }
+	case isa.OpAnd:
+		return func(c *CPU) { c.Regs[rd] = c.Regs[ra] & c.Regs[rb] }
+	case isa.OpOr:
+		return func(c *CPU) { c.Regs[rd] = c.Regs[ra] | c.Regs[rb] }
+	case isa.OpXor:
+		return func(c *CPU) { c.Regs[rd] = c.Regs[ra] ^ c.Regs[rb] }
+	case isa.OpShl:
+		return func(c *CPU) { c.Regs[rd] = c.Regs[ra] << uint(c.Regs[rb]&63) }
+	case isa.OpShr:
+		return func(c *CPU) { c.Regs[rd] = c.Regs[ra] >> uint(c.Regs[rb]&63) }
+	case isa.OpSlt:
+		return func(c *CPU) { c.Regs[rd] = boolWord(c.Regs[ra] < c.Regs[rb]) }
+	case isa.OpSeq:
+		return func(c *CPU) { c.Regs[rd] = boolWord(c.Regs[ra] == c.Regs[rb]) }
+	case isa.OpMin:
+		return func(c *CPU) { c.Regs[rd] = minWord(c.Regs[ra], c.Regs[rb]) }
+	case isa.OpMax:
+		return func(c *CPU) { c.Regs[rd] = maxWord(c.Regs[ra], c.Regs[rb]) }
+	case isa.OpAddi:
+		return func(c *CPU) { c.Regs[rd] = c.Regs[ra] + imm }
+	case isa.OpMuli:
+		return func(c *CPU) { c.Regs[rd] = c.Regs[ra] * imm }
+	default:
+		return nil // not a fusable ALU op
+	}
+}
+
+// fuseAt tries the superinstruction patterns at pc within the straight-line
+// region [pc, limit). It returns (nil, 0) when nothing matches. To add a
+// fusion rule: match the decoded ops here, build one microFn that performs
+// them in program order and returns how many retired before any fault, and
+// cover the new rule in compile_test.go's fusion tables — the batched block
+// accounting is derived from the decoded ops, so it needs no change.
+func (p *CompiledProgram) fuseAt(pc, limit int) (microFn, int32) {
+	// load + ALU + store: the inner-loop body of most of the kernel suite.
+	if pc+3 <= limit {
+		ld, mid, st := &p.dec[pc], &p.dec[pc+1], &p.dec[pc+2]
+		if ld.Op == isa.OpLd && st.Op == isa.OpSt {
+			if alu := aluKernel(mid); alu != nil {
+				lrd, lra, limm := ld.Rd, ld.Ra, ld.Imm
+				sra, srb, simm := st.Ra, st.Rb, st.Imm
+				return func(c *CPU) (int32, error) {
+					v, err := c.Mem.Load(c.Regs[lra] + limm)
+					if err != nil {
+						return 0, err
+					}
+					c.Regs[lrd] = v
+					alu(c)
+					if err := c.Mem.Store(c.Regs[sra]+simm, c.Regs[srb]); err != nil {
+						return 2, err
+					}
+					return 3, nil
+				}, 3
+			}
+		}
+	}
+	return nil, 0
+}
+
+// genMicro builds the direct-memory single-op unit for the uni-processor
+// fast path: same semantics and error text as StepDecoded under a
+// uni-processor Env (Lane 0, direct Load/Store, no network, no barrier).
+func (p *CompiledProgram) genMicro(pc int, d *isa.DecodedOp) microFn {
+	if alu := aluKernel(d); alu != nil {
+		return func(c *CPU) (int32, error) {
+			alu(c)
+			return 1, nil
+		}
+	}
+	rd, ra, rb, imm := d.Rd, d.Ra, d.Rb, d.Imm
+	switch d.Op {
+	case isa.OpNop:
+		return func(*CPU) (int32, error) { return 1, nil }
+	case isa.OpLdi:
+		return func(c *CPU) (int32, error) {
+			c.Regs[rd] = imm
+			return 1, nil
+		}
+	case isa.OpMov:
+		return func(c *CPU) (int32, error) {
+			c.Regs[rd] = c.Regs[ra]
+			return 1, nil
+		}
+	case isa.OpDiv:
+		return func(c *CPU) (int32, error) {
+			if c.Regs[rb] == 0 {
+				return 0, fmt.Errorf("machine: division by zero at pc %d", pc)
+			}
+			c.Regs[rd] = c.Regs[ra] / c.Regs[rb]
+			return 1, nil
+		}
+	case isa.OpRem:
+		return func(c *CPU) (int32, error) {
+			if c.Regs[rb] == 0 {
+				return 0, fmt.Errorf("machine: remainder by zero at pc %d", pc)
+			}
+			c.Regs[rd] = c.Regs[ra] % c.Regs[rb]
+			return 1, nil
+		}
+	case isa.OpLd:
+		return func(c *CPU) (int32, error) {
+			v, err := c.Mem.Load(c.Regs[ra] + imm)
+			if err != nil {
+				return 0, err
+			}
+			c.Regs[rd] = v
+			return 1, nil
+		}
+	case isa.OpSt:
+		return func(c *CPU) (int32, error) {
+			if err := c.Mem.Store(c.Regs[ra]+imm, c.Regs[rb]); err != nil {
+				return 0, err
+			}
+			return 1, nil
+		}
+	case isa.OpSend:
+		err := fmt.Errorf("machine: no DP-DP network for send at pc %d (this class has DP-DP: none)", pc)
+		return func(*CPU) (int32, error) { return 0, err }
+	case isa.OpRecv:
+		err := fmt.Errorf("machine: no DP-DP network for recv at pc %d (this class has DP-DP: none)", pc)
+		return func(*CPU) (int32, error) { return 0, err }
+	case isa.OpSync:
+		err := fmt.Errorf("machine: no barrier support at pc %d", pc)
+		return func(*CPU) (int32, error) { return 0, err }
+	case isa.OpLane:
+		return func(c *CPU) (int32, error) {
+			c.Regs[rd] = 0 // uni-processor: the lane index is 0
+			return 1, nil
+		}
+	default:
+		op := d.Op
+		err := fmt.Errorf("machine: unimplemented opcode %v at pc %d", op, pc)
+		return func(*CPU) (int32, error) { return 0, err }
+	}
+}
+
+// genTerm builds a block terminator for the branch or halt at pc, folding
+// in an induction increment when fuseAt matched one. The taken-branch
+// penalty replicates the interpreter rule exactly: it applies only when
+// NextPC differs from pc+1, so `jmp +0` and not-taken branches stay free.
+func (p *CompiledProgram) genTerm(pc int, d *isa.DecodedOp, pre *preInc) termFn {
+	if d.Op == isa.OpHalt {
+		return func(*CPU) int { return haltPC }
+	}
+	ra, rb := d.Ra, d.Rb
+	tgt, fall := int(d.Target), pc+1
+	pen := int64(0)
+	if tgt != fall {
+		pen = p.branchPenalty
+	}
+	if d.Op == isa.OpJmp {
+		if pre != nil {
+			prd, pimm := pre.rd, pre.imm
+			return func(c *CPU) int {
+				c.Regs[prd] += pimm
+				c.Stats.Cycles += pen
+				return tgt
+			}
+		}
+		return func(c *CPU) int {
+			c.Stats.Cycles += pen
+			return tgt
+		}
+	}
+	var cond func(c *CPU) bool
+	switch d.Op {
+	case isa.OpBeq:
+		cond = func(c *CPU) bool { return c.Regs[ra] == c.Regs[rb] }
+	case isa.OpBne:
+		cond = func(c *CPU) bool { return c.Regs[ra] != c.Regs[rb] }
+	case isa.OpBlt:
+		cond = func(c *CPU) bool { return c.Regs[ra] < c.Regs[rb] }
+	case isa.OpBge:
+		cond = func(c *CPU) bool { return c.Regs[ra] >= c.Regs[rb] }
+	default:
+		// Unreachable: every branch op is one of the four above or OpJmp.
+		return func(*CPU) int { return fall }
+	}
+	if pre != nil {
+		prd, pimm := pre.rd, pre.imm
+		return func(c *CPU) int {
+			c.Regs[prd] += pimm
+			if cond(c) {
+				c.Stats.Cycles += pen
+				return tgt
+			}
+			return fall
+		}
+	}
+	return func(c *CPU) int {
+		if cond(c) {
+			c.Stats.Cycles += pen
+			return tgt
+		}
+		return fall
+	}
+}
+
+// Run executes the block program on a CPU until halt, fall-off or a guest
+// fault, with uni-processor accounting (one cycle per instruction, the
+// configured DP-DM latency per memory op, the taken-branch penalty). It is
+// cycle-exact with the interpreted loop: whenever the budget could expire
+// inside a block, that block and the remainder of the run step one op at a
+// time with the interpreter's per-instruction budget check. failPC reports
+// the faulting pc for error wrapping; ErrDeadline is returned bare so the
+// caller can format it like the interpreters do.
+func (p *CompiledProgram) Run(c *CPU, budget int64) (failPC int, err error) {
+	pc := 0
+	for pc >= 0 && pc < p.n {
+		b := &p.blocks[p.blockAt[pc]]
+		if c.Stats.Cycles+b.cycles > budget {
+			return p.runExact(c, pc, budget)
+		}
+		for i := range b.units {
+			u := &b.units[i]
+			k, err := u.fn(c)
+			if err != nil {
+				fpc := int(u.pc) + int(k)
+				p.accountPartial(c, int(b.start), fpc)
+				return fpc, err
+			}
+		}
+		c.Stats.Cycles += b.cycles
+		c.Stats.Instructions += b.nInstr
+		c.Stats.ALUOps += b.nALU
+		c.Stats.MemReads += b.nLoads
+		c.Stats.MemWrites += b.nStores
+		pc = b.term(c)
+	}
+	return 0, nil
+}
+
+// runExact steps the rest of the run one op at a time through the threaded
+// chain, with the interpreter's exact per-instruction budget check. It is
+// only entered when the budget could expire within the next block, so it
+// runs a handful of instructions at most.
+func (p *CompiledProgram) runExact(c *CPU, pc int, budget int64) (failPC int, err error) {
+	env := Env{Load: c.Mem.Load, Store: c.Mem.Store}
+	for pc >= 0 && pc < p.n {
+		if c.Stats.Cycles >= budget {
+			return pc, ErrDeadline
+		}
+		d := &p.dec[pc]
+		out, err := p.ops[pc](&c.Regs, &env)
+		if err != nil {
+			return pc, err
+		}
+		c.Stats.Cycles++
+		c.Stats.Instructions++
+		if d.IsALU() {
+			c.Stats.ALUOps++
+		}
+		if out.Mem {
+			c.Stats.Cycles += p.memLatency
+			if d.Op == isa.OpLd {
+				c.Stats.MemReads++
+			} else {
+				c.Stats.MemWrites++
+			}
+		}
+		if d.IsBranch() && out.NextPC != pc+1 {
+			c.Stats.Cycles += p.branchPenalty
+		}
+		pc = out.NextPC
+		if out.Halted {
+			return 0, nil
+		}
+	}
+	return 0, nil
+}
+
+// accountPartial credits the instructions of block starting at start that
+// retired before the fault at failPC. The faulting instruction itself is
+// not counted, matching the interpreted loop.
+func (p *CompiledProgram) accountPartial(c *CPU, start, failPC int) {
+	for pc := start; pc < failPC; pc++ {
+		d := &p.dec[pc]
+		c.Stats.Cycles++
+		c.Stats.Instructions++
+		if d.IsALU() {
+			c.Stats.ALUOps++
+		}
+		if d.IsMemory() {
+			c.Stats.Cycles += p.memLatency
+			if d.Op == isa.OpLd {
+				c.Stats.MemReads++
+			} else {
+				c.Stats.MemWrites++
+			}
+		}
+	}
+}
+
+// compileOp specializes StepDecoded to one decoded instruction: the
+// threaded-code unit shared by every simulator's compiled dispatch. Each
+// closure mirrors the corresponding StepDecoded case, error strings and
+// traced events included.
+func compileOp(pc int, d *isa.DecodedOp) OpFn {
+	next := pc + 1
+	rd, ra, rb, imm := d.Rd, d.Ra, d.Rb, d.Imm
+	tgt := int(d.Target)
+	switch d.Op {
+	case isa.OpNop:
+		return func(*Regs, *Env) (Outcome, error) { return Outcome{NextPC: next}, nil }
+	case isa.OpHalt:
+		return func(*Regs, *Env) (Outcome, error) { return Outcome{NextPC: next, Halted: true}, nil }
+	case isa.OpLdi:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			regs[rd] = imm
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpMov:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			regs[rd] = regs[ra]
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpAdd:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			regs[rd] = regs[ra] + regs[rb]
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpSub:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			regs[rd] = regs[ra] - regs[rb]
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpMul:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			regs[rd] = regs[ra] * regs[rb]
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpDiv:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			if regs[rb] == 0 {
+				return Outcome{NextPC: next}, fmt.Errorf("machine: division by zero at pc %d", pc)
+			}
+			regs[rd] = regs[ra] / regs[rb]
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpRem:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			if regs[rb] == 0 {
+				return Outcome{NextPC: next}, fmt.Errorf("machine: remainder by zero at pc %d", pc)
+			}
+			regs[rd] = regs[ra] % regs[rb]
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpAnd:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			regs[rd] = regs[ra] & regs[rb]
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpOr:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			regs[rd] = regs[ra] | regs[rb]
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpXor:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			regs[rd] = regs[ra] ^ regs[rb]
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpShl:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			regs[rd] = regs[ra] << uint(regs[rb]&63)
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpShr:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			regs[rd] = regs[ra] >> uint(regs[rb]&63)
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpSlt:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			regs[rd] = boolWord(regs[ra] < regs[rb])
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpSeq:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			regs[rd] = boolWord(regs[ra] == regs[rb])
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpMin:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			regs[rd] = minWord(regs[ra], regs[rb])
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpMax:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			regs[rd] = maxWord(regs[ra], regs[rb])
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpAddi:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			regs[rd] = regs[ra] + imm
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpMuli:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			regs[rd] = regs[ra] * imm
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpLd:
+		return func(regs *Regs, env *Env) (Outcome, error) {
+			out := Outcome{NextPC: next}
+			if env.Load == nil {
+				return out, fmt.Errorf("machine: no DP-DM path for load at pc %d", pc)
+			}
+			addr := regs[ra] + imm
+			v, err := env.Load(addr)
+			if err != nil {
+				return out, err
+			}
+			regs[rd] = v
+			out.Mem = true
+			if env.Tracer != nil {
+				env.Tracer.Emit(obs.Event{Kind: obs.KindMemRead, Track: env.Track, Cycle: env.Now, Arg: int64(addr)})
+			}
+			return out, nil
+		}
+	case isa.OpSt:
+		return func(regs *Regs, env *Env) (Outcome, error) {
+			out := Outcome{NextPC: next}
+			if env.Store == nil {
+				return out, fmt.Errorf("machine: no DP-DM path for store at pc %d", pc)
+			}
+			addr := regs[ra] + imm
+			if err := env.Store(addr, regs[rb]); err != nil {
+				return out, err
+			}
+			out.Mem = true
+			if env.Tracer != nil {
+				env.Tracer.Emit(obs.Event{Kind: obs.KindMemWrite, Track: env.Track, Cycle: env.Now, Arg: int64(addr)})
+			}
+			return out, nil
+		}
+	case isa.OpBeq:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			if regs[ra] == regs[rb] {
+				return Outcome{NextPC: tgt}, nil
+			}
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpBne:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			if regs[ra] != regs[rb] {
+				return Outcome{NextPC: tgt}, nil
+			}
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpBlt:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			if regs[ra] < regs[rb] {
+				return Outcome{NextPC: tgt}, nil
+			}
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpBge:
+		return func(regs *Regs, _ *Env) (Outcome, error) {
+			if regs[ra] >= regs[rb] {
+				return Outcome{NextPC: tgt}, nil
+			}
+			return Outcome{NextPC: next}, nil
+		}
+	case isa.OpJmp:
+		return func(*Regs, *Env) (Outcome, error) { return Outcome{NextPC: tgt}, nil }
+	case isa.OpSend:
+		return func(regs *Regs, env *Env) (Outcome, error) {
+			out := Outcome{NextPC: next}
+			if env.SendTo == nil {
+				return out, fmt.Errorf("machine: no DP-DP network for send at pc %d (this class has DP-DP: none)", pc)
+			}
+			if err := env.SendTo(int(regs[rb]), regs[ra]); err != nil {
+				return out, err
+			}
+			out.Comm = true
+			if env.Tracer != nil {
+				env.Tracer.Emit(obs.Event{Kind: obs.KindSend, Track: env.Track, Cycle: env.Now, Arg: int64(regs[rb])})
+			}
+			return out, nil
+		}
+	case isa.OpRecv:
+		return func(regs *Regs, env *Env) (Outcome, error) {
+			out := Outcome{NextPC: next}
+			if env.RecvFrom == nil {
+				return out, fmt.Errorf("machine: no DP-DP network for recv at pc %d (this class has DP-DP: none)", pc)
+			}
+			peer := int(regs[rb])
+			v, err := env.RecvFrom(peer)
+			if errors.Is(err, ErrWouldBlock) {
+				out.NextPC = pc
+				out.Blocked = true
+				return out, nil
+			}
+			if err != nil {
+				return out, err
+			}
+			regs[rd] = v
+			out.Comm = true
+			if env.Tracer != nil {
+				env.Tracer.Emit(obs.Event{Kind: obs.KindRecv, Track: env.Track, Cycle: env.Now, Arg: int64(peer)})
+			}
+			return out, nil
+		}
+	case isa.OpSync:
+		return func(_ *Regs, env *Env) (Outcome, error) {
+			out := Outcome{NextPC: next}
+			if env.Barrier == nil {
+				return out, fmt.Errorf("machine: no barrier support at pc %d", pc)
+			}
+			if err := env.Barrier(); errors.Is(err, ErrWouldBlock) {
+				out.NextPC = pc
+				out.Blocked = true
+				return out, nil
+			} else if err != nil {
+				return out, err
+			}
+			return out, nil
+		}
+	case isa.OpLane:
+		return func(regs *Regs, env *Env) (Outcome, error) {
+			regs[rd] = env.Lane
+			return Outcome{NextPC: next}, nil
+		}
+	}
+	op := d.Op
+	return func(*Regs, *Env) (Outcome, error) {
+		return Outcome{NextPC: next}, fmt.Errorf("machine: unimplemented opcode %v at pc %d", op, pc)
+	}
+}

@@ -1,0 +1,606 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// refRun executes prog with uni-processor semantics through raw Step: one
+// cycle per instruction, memLat extra per memory op, branchPenalty extra
+// per taken branch, the budget checked before every issue. It is the
+// reference the compiled fast path must match cycle for cycle; faults are
+// wrapped as "pc %d: ..." and deadlines returned as bare ErrDeadline, the
+// shapes compiledRun normalizes to.
+func refRun(prog isa.Program, mem Memory, memLat, branchPenalty, budget int64) (Regs, Stats, error) {
+	var regs Regs
+	var stats Stats
+	env := Env{Load: mem.Load, Store: mem.Store}
+	if memLat == 0 {
+		memLat = 1
+	}
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(prog) {
+			return regs, stats, nil
+		}
+		if stats.Cycles >= budget {
+			return regs, stats, ErrDeadline
+		}
+		ins := prog[pc]
+		out, err := Step(&regs, pc, ins, env)
+		if err != nil {
+			return regs, stats, fmt.Errorf("pc %d: %w", pc, err)
+		}
+		stats.Cycles++
+		stats.Instructions++
+		if ins.Op.IsALU() {
+			stats.ALUOps++
+		}
+		if out.Mem {
+			stats.Cycles += memLat
+			if ins.Op == isa.OpLd {
+				stats.MemReads++
+			} else {
+				stats.MemWrites++
+			}
+		}
+		if ins.Op.IsBranch() && out.NextPC != pc+1 {
+			stats.Cycles += branchPenalty
+		}
+		pc = out.NextPC
+		if out.Halted {
+			return regs, stats, nil
+		}
+	}
+}
+
+// compiledRun executes prog through the fused block fast path and
+// normalizes its (failPC, err) convention to refRun's error shapes.
+func compiledRun(prog isa.Program, mem Memory, memLat, branchPenalty, budget int64) (Regs, Stats, error) {
+	p := Compile(isa.Predecode(prog), CompileOptions{MemLatency: memLat, BranchPenalty: branchPenalty})
+	c := CPU{Mem: mem}
+	failPC, err := p.Run(&c, budget)
+	if err != nil && !errors.Is(err, ErrDeadline) {
+		err = fmt.Errorf("pc %d: %w", failPC, err)
+	}
+	return c.Regs, c.Stats, err
+}
+
+// opsRun executes prog through the threaded per-op chain with the same
+// loop-level accounting: the path traced runs and the other simulators
+// dispatch through.
+func opsRun(prog isa.Program, mem Memory, memLat, branchPenalty, budget int64) (Regs, Stats, error) {
+	p := Compile(isa.Predecode(prog), CompileOptions{MemLatency: memLat, BranchPenalty: branchPenalty})
+	ops := p.Ops()
+	var regs Regs
+	var stats Stats
+	env := Env{Load: mem.Load, Store: mem.Store}
+	if memLat == 0 {
+		memLat = 1
+	}
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(prog) {
+			return regs, stats, nil
+		}
+		if stats.Cycles >= budget {
+			return regs, stats, ErrDeadline
+		}
+		out, err := ops[pc](&regs, &env)
+		if err != nil {
+			return regs, stats, fmt.Errorf("pc %d: %w", pc, err)
+		}
+		stats.Cycles++
+		stats.Instructions++
+		op := prog[pc].Op
+		if op.IsALU() {
+			stats.ALUOps++
+		}
+		if out.Mem {
+			stats.Cycles += memLat
+			if op == isa.OpLd {
+				stats.MemReads++
+			} else {
+				stats.MemWrites++
+			}
+		}
+		if op.IsBranch() && out.NextPC != pc+1 {
+			stats.Cycles += branchPenalty
+		}
+		pc = out.NextPC
+		if out.Halted {
+			return regs, stats, nil
+		}
+	}
+}
+
+// diffRuns compares two complete runs: error shape and text, Stats
+// byte-for-byte, register files and memories word-for-word.
+func diffRuns(t *testing.T, label string, regsA, regsB Regs, statsA, statsB Stats, memA, memB Memory, errA, errB error) {
+	t.Helper()
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("%s: err %v vs %v", label, errA, errB)
+	}
+	if errA != nil && errA.Error() != errB.Error() {
+		t.Fatalf("%s: error text %q vs %q", label, errA, errB)
+	}
+	if statsA != statsB {
+		t.Fatalf("%s: stats %+v vs %+v", label, statsA, statsB)
+	}
+	if regsA != regsB {
+		t.Fatalf("%s: registers diverged\n%v\n%v", label, regsA, regsB)
+	}
+	for i := range memA {
+		if memA[i] != memB[i] {
+			t.Fatalf("%s: memory diverged at %d: %d vs %d", label, i, memA[i], memB[i])
+		}
+	}
+}
+
+// TestCompiledOpMatchesStep drives randomized instructions through Step and
+// the compiled per-op closure side by side, mirroring
+// TestStepDecodedMatchesStep: the threaded chain is StepDecoded specialized
+// per instruction, so outcomes, registers, memories and error text must be
+// identical.
+func TestCompiledOpMatchesStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ops := []isa.Op{
+		isa.OpNop, isa.OpHalt, isa.OpLdi, isa.OpMov, isa.OpAdd, isa.OpSub,
+		isa.OpMul, isa.OpDiv, isa.OpRem, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpShl, isa.OpShr, isa.OpSlt, isa.OpSeq, isa.OpMin, isa.OpMax,
+		isa.OpAddi, isa.OpMuli, isa.OpLd, isa.OpSt, isa.OpBeq, isa.OpBne,
+		isa.OpBlt, isa.OpBge, isa.OpJmp, isa.OpSend, isa.OpRecv, isa.OpSync,
+		isa.OpLane,
+	}
+	const bank = 32
+	for trial := 0; trial < 5000; trial++ {
+		ins := isa.Instruction{
+			Op:  ops[rng.Intn(len(ops))],
+			Rd:  uint8(rng.Intn(isa.NumRegs)),
+			Ra:  uint8(rng.Intn(isa.NumRegs)),
+			Rb:  uint8(rng.Intn(isa.NumRegs)),
+			Imm: int32(rng.Intn(2*bank) - bank/2),
+		}
+		pc := rng.Intn(64)
+
+		var regsA, regsB Regs
+		for i := range regsA {
+			v := isa.Word(rng.Intn(41) - 20)
+			regsA[i], regsB[i] = v, v
+		}
+		memA := make(Memory, bank)
+		memB := make(Memory, bank)
+		for i := range memA {
+			v := isa.Word(rng.Intn(100))
+			memA[i], memB[i] = v, v
+		}
+		var sentA, sentB []isa.Word
+
+		envA := stepEnv(memA, &sentA)
+		envB := stepEnv(memB, &sentB)
+		outA, errA := Step(&regsA, pc, ins, envA)
+		d := isa.DecodeOp(pc, ins)
+		fn := compileOp(pc, &d)
+		outB, errB := fn(&regsB, &envB)
+
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("trial %d %v: Step err %v, compiled err %v", trial, ins, errA, errB)
+		}
+		if errA != nil {
+			if errA.Error() != errB.Error() {
+				t.Fatalf("trial %d %v: error text %q vs %q", trial, ins, errA, errB)
+			}
+			continue
+		}
+		if outA != outB {
+			t.Fatalf("trial %d %v: outcome %+v vs %+v", trial, ins, outA, outB)
+		}
+		if regsA != regsB {
+			t.Fatalf("trial %d %v: register files diverged\n%v\n%v", trial, ins, regsA, regsB)
+		}
+		for i := range memA {
+			if memA[i] != memB[i] {
+				t.Fatalf("trial %d %v: memory diverged at %d: %d vs %d", trial, ins, i, memA[i], memB[i])
+			}
+		}
+		if len(sentA) != len(sentB) {
+			t.Fatalf("trial %d %v: sends diverged", trial, ins)
+		}
+	}
+}
+
+// randCompileProgram generates a random valid program mixing ALU ops,
+// loads/stores (mostly in-bank, sometimes wild), DIV/REM (fault bait) and
+// branches in both directions. Unlike the conformance generator it allows
+// backward branches: non-termination is the budget check's job, and the
+// deadline path must match across backends too.
+func randCompileProgram(rng *rand.Rand, n, bank int) isa.Program {
+	prog := make(isa.Program, 0, n+1)
+	for pc := 0; pc < n; pc++ {
+		var ins isa.Instruction
+		reg := func() uint8 { return uint8(rng.Intn(isa.NumRegs)) }
+		switch pick := rng.Intn(100); {
+		case pick < 30:
+			alu := []isa.Op{isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpAnd, isa.OpOr, isa.OpXor,
+				isa.OpShl, isa.OpShr, isa.OpSlt, isa.OpSeq, isa.OpMin, isa.OpMax}
+			ins = isa.Instruction{Op: alu[rng.Intn(len(alu))], Rd: reg(), Ra: reg(), Rb: reg()}
+		case pick < 40:
+			ins = isa.Instruction{Op: isa.OpLdi, Rd: reg(), Imm: int32(rng.Intn(2*bank) - bank/2)}
+		case pick < 50:
+			ins = isa.Instruction{Op: isa.OpAddi, Rd: reg(), Ra: reg(), Imm: int32(rng.Intn(9) - 4)}
+		case pick < 65:
+			ins = isa.Instruction{Op: isa.OpLd, Rd: reg(), Ra: reg(), Imm: int32(rng.Intn(bank))}
+		case pick < 80:
+			ins = isa.Instruction{Op: isa.OpSt, Rb: reg(), Ra: reg(), Imm: int32(rng.Intn(bank))}
+		case pick < 84:
+			op := []isa.Op{isa.OpDiv, isa.OpRem}[rng.Intn(2)]
+			ins = isa.Instruction{Op: op, Rd: reg(), Ra: reg(), Rb: reg()}
+		case pick < 96:
+			br := []isa.Op{isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpJmp}
+			op := br[rng.Intn(len(br))]
+			target := rng.Intn(n + 2) // anywhere in [0, n+1]: forward, backward, self
+			ins = isa.Instruction{Op: op, Imm: int32(target - (pc + 1))}
+			if op != isa.OpJmp {
+				ins.Ra, ins.Rb = reg(), reg()
+			}
+		default:
+			ins = isa.Instruction{Op: isa.OpNop}
+		}
+		prog = append(prog, ins)
+	}
+	prog = append(prog, isa.Instruction{Op: isa.OpHalt})
+	return prog
+}
+
+// TestCompileRunMatchesInterp is the in-package differential run: random
+// programs (backward branches, guest faults and deadlines included) under
+// varying memory latencies and branch penalties, executed by the raw-Step
+// reference, the fused block path and the threaded per-op chain. Registers,
+// memories, Stats and errors must agree byte for byte. The cross-simulator
+// sweep lives in internal/conformance; this one pins the timing knobs the
+// generated cross-class programs never vary.
+func TestCompileRunMatchesInterp(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const bank = 48
+	for trial := 0; trial < 2000; trial++ {
+		prog := randCompileProgram(rng, 2+rng.Intn(40), bank)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid program: %v", trial, err)
+		}
+		memLat := int64(rng.Intn(4))
+		bp := int64(rng.Intn(3))
+		budget := int64(200 + rng.Intn(800))
+		img := make([]isa.Word, bank)
+		for i := range img {
+			img[i] = isa.Word(rng.Intn(201) - 100)
+		}
+		mk := func() Memory {
+			m := make(Memory, bank)
+			copy(m, img)
+			return m
+		}
+		memRef, memBlk, memOps := mk(), mk(), mk()
+		regsRef, statsRef, errRef := refRun(prog, memRef, memLat, bp, budget)
+		regsBlk, statsBlk, errBlk := compiledRun(prog, memBlk, memLat, bp, budget)
+		regsOps, statsOps, errOps := opsRun(prog, memOps, memLat, bp, budget)
+		label := fmt.Sprintf("trial %d (memLat=%d bp=%d budget=%d)\n%s", trial, memLat, bp, budget, isa.Disassemble(prog))
+		diffRuns(t, "block "+label, regsRef, regsBlk, statsRef, statsBlk, memRef, memBlk, errRef, errBlk)
+		diffRuns(t, "ops "+label, regsRef, regsOps, statsRef, statsOps, memRef, memOps, errRef, errOps)
+	}
+}
+
+// TestCompileBlockProperties checks the structural invariants of the block
+// program on random inputs: every branch target begins a block, the blocks
+// partition the program, and every block's batched accounting equals the
+// sum of its instructions' unfused costs (so superinstruction fusion can
+// never change Stats).
+func TestCompileBlockProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		prog := randCompileProgram(rng, 1+rng.Intn(60), 32)
+		memLat := int64(rng.Intn(4))
+		p := Compile(isa.Predecode(prog), CompileOptions{MemLatency: memLat})
+		if memLat == 0 {
+			memLat = 1
+		}
+
+		// Branch targets begin blocks.
+		for pc := range p.dec {
+			d := &p.dec[pc]
+			if !d.IsBranch() {
+				continue
+			}
+			if tgt := int(d.Target); tgt >= 0 && tgt < p.n && p.blockAt[tgt] < 0 {
+				t.Fatalf("trial %d: branch at pc %d targets %d, which does not begin a block\n%s",
+					trial, pc, tgt, isa.Disassemble(prog))
+			}
+		}
+
+		// Blocks partition [0, n) in order.
+		next := int32(0)
+		for i, b := range p.blocks {
+			if b.start != next || b.end <= b.start {
+				t.Fatalf("trial %d: block %d spans [%d,%d), want start %d", trial, i, b.start, b.end, next)
+			}
+			if p.blockAt[b.start] != int32(i) {
+				t.Fatalf("trial %d: blockAt[%d] = %d, want %d", trial, b.start, p.blockAt[b.start], i)
+			}
+			next = b.end
+		}
+		if next != int32(p.n) {
+			t.Fatalf("trial %d: blocks cover [0,%d), program has %d ops", trial, next, p.n)
+		}
+
+		// Fused accounting equals the per-op sum; fused units cover the
+		// straight-line ops exactly once, in order.
+		for i, b := range p.blocks {
+			var want block
+			for pc := b.start; pc < b.end; pc++ {
+				d := &p.dec[pc]
+				want.nInstr++
+				want.cycles++
+				if d.IsALU() {
+					want.nALU++
+				}
+				switch d.Op {
+				case isa.OpLd:
+					want.nLoads++
+					want.cycles += memLat
+				case isa.OpSt:
+					want.nStores++
+					want.cycles += memLat
+				}
+			}
+			if b.nInstr != want.nInstr || b.nALU != want.nALU || b.nLoads != want.nLoads ||
+				b.nStores != want.nStores || b.cycles != want.cycles {
+				t.Fatalf("trial %d block %d: fused stats {%d %d %d %d %d} != op sum {%d %d %d %d %d}\n%s",
+					trial, i, b.nInstr, b.nALU, b.nLoads, b.nStores, b.cycles,
+					want.nInstr, want.nALU, want.nLoads, want.nStores, want.cycles, isa.Disassemble(prog))
+			}
+			pc := b.start
+			for _, u := range b.units {
+				if u.pc != pc || u.nops < 1 {
+					t.Fatalf("trial %d block %d: unit at pc %d (nops %d), want pc %d", trial, i, u.pc, u.nops, pc)
+				}
+				pc += u.nops
+			}
+			if pc > b.end {
+				t.Fatalf("trial %d block %d: units overrun block end %d", trial, i, b.end)
+			}
+		}
+	}
+}
+
+// TestCompileFusionEdgeCases pins the block builder's corners: branches
+// into the middle of a would-be superinstruction, self-loops, zero-length
+// programs, immediate sign extension at the int32 extremes, and faults
+// inside fused units. Each case must both shape the blocks as stated and
+// run byte-identically to the raw-Step reference.
+func TestCompileFusionEdgeCases(t *testing.T) {
+	const bank = 16
+	cases := []struct {
+		name  string
+		prog  isa.Program
+		check func(t *testing.T, p *CompiledProgram)
+	}{
+		{
+			// ld/addi/st would fuse into a triple, but pc 2 (the addi) is a
+			// branch target and so must begin its own block, splitting the
+			// pattern.
+			name: "branch into middle of triple",
+			prog: isa.Program{
+				{Op: isa.OpBeq, Ra: 0, Rb: 1, Imm: 1}, // -> pc 2, into the triple
+				{Op: isa.OpLd, Rd: 2, Ra: 15, Imm: 3},
+				{Op: isa.OpAddi, Rd: 2, Ra: 2, Imm: 5},
+				{Op: isa.OpSt, Rb: 2, Ra: 15, Imm: 4},
+				{Op: isa.OpHalt},
+			},
+			check: func(t *testing.T, p *CompiledProgram) {
+				if p.blockAt[2] < 0 {
+					t.Fatal("branch target pc 2 does not begin a block")
+				}
+				for _, b := range p.blocks {
+					for _, u := range b.units {
+						if u.nops > 1 {
+							t.Fatalf("block at %d fused %d ops across a leader", b.start, u.nops)
+						}
+					}
+				}
+			},
+		},
+		{
+			// An unfusable-at-pc-1 triple: the whole pattern is present and
+			// fuses into one three-op unit.
+			name: "fused triple",
+			prog: isa.Program{
+				{Op: isa.OpLd, Rd: 2, Ra: 15, Imm: 3},
+				{Op: isa.OpAddi, Rd: 2, Ra: 2, Imm: 5},
+				{Op: isa.OpSt, Rb: 2, Ra: 15, Imm: 4},
+				{Op: isa.OpHalt},
+			},
+			check: func(t *testing.T, p *CompiledProgram) {
+				b := p.blocks[0]
+				if len(b.units) != 1 || b.units[0].nops != 3 {
+					t.Fatalf("want one fused 3-op unit, got %d units", len(b.units))
+				}
+			},
+		},
+		{
+			// The store of the triple faults: the load and ALU op retired,
+			// the store did not — partial accounting must match the
+			// interpreter exactly.
+			name: "fault mid triple",
+			prog: isa.Program{
+				{Op: isa.OpLd, Rd: 2, Ra: 15, Imm: 3},
+				{Op: isa.OpAddi, Rd: 2, Ra: 2, Imm: 5},
+				{Op: isa.OpSt, Rb: 2, Ra: 15, Imm: bank + 7}, // out of bank
+				{Op: isa.OpHalt},
+			},
+		},
+		{
+			name: "fault on triple load",
+			prog: isa.Program{
+				{Op: isa.OpLd, Rd: 2, Ra: 15, Imm: -1 - bank},
+				{Op: isa.OpAddi, Rd: 2, Ra: 2, Imm: 5},
+				{Op: isa.OpSt, Rb: 2, Ra: 15, Imm: 4},
+				{Op: isa.OpHalt},
+			},
+		},
+		{
+			name: "division by zero mid block",
+			prog: isa.Program{
+				{Op: isa.OpLdi, Rd: 1, Imm: 9},
+				{Op: isa.OpDiv, Rd: 2, Ra: 1, Rb: 3}, // r3 = 0
+				{Op: isa.OpLdi, Rd: 4, Imm: 1},
+				{Op: isa.OpHalt},
+			},
+		},
+		{
+			// A one-instruction self-loop: the smallest possible block, a
+			// budget check per iteration, and a deadline that must match the
+			// interpreter's cycle count exactly.
+			name: "self-loop jmp",
+			prog: isa.Program{{Op: isa.OpJmp, Imm: -1}},
+			check: func(t *testing.T, p *CompiledProgram) {
+				if len(p.blocks) != 1 || p.blocks[0].end != 1 {
+					t.Fatalf("self-loop: want one 1-op block, got %+v", p.blocks)
+				}
+			},
+		},
+		{
+			// jmp +0 falls through to pc+1: taken in form, but NextPC equals
+			// pc+1 so the branch penalty must NOT apply.
+			name: "jmp plus zero no penalty",
+			prog: isa.Program{
+				{Op: isa.OpJmp, Imm: 0},
+				{Op: isa.OpHalt},
+			},
+		},
+		{
+			// Induction increment fused into the backward branch: the block
+			// body is empty and the terminator does both.
+			name: "fused induction loop",
+			prog: isa.Program{
+				{Op: isa.OpLdi, Rd: 2, Imm: 10},
+				{Op: isa.OpAddi, Rd: 1, Ra: 1, Imm: 1},
+				{Op: isa.OpBlt, Ra: 1, Rb: 2, Imm: -2},
+				{Op: isa.OpHalt},
+			},
+			check: func(t *testing.T, p *CompiledProgram) {
+				b := p.blocks[p.blockAt[1]]
+				if len(b.units) != 0 {
+					t.Fatalf("induction pair not fused: %d units remain", len(b.units))
+				}
+			},
+		},
+		{
+			// addi that is not an induction increment (Rd != Ra) must not
+			// fuse into the branch.
+			name: "non-induction addi before branch",
+			prog: isa.Program{
+				{Op: isa.OpAddi, Rd: 1, Ra: 2, Imm: 1},
+				{Op: isa.OpBlt, Ra: 1, Rb: 3, Imm: -2},
+				{Op: isa.OpHalt},
+			},
+			check: func(t *testing.T, p *CompiledProgram) {
+				if b := p.blocks[0]; len(b.units) != 1 {
+					t.Fatalf("non-induction addi fused away: %d units", len(b.units))
+				}
+			},
+		},
+		{
+			// Immediates at the int32 extremes: LDI loads them, ADDI/MULI
+			// widen them, branches never see them. The widened Word
+			// arithmetic must match Step's exactly.
+			name: "max-imm sign extension",
+			prog: isa.Program{
+				{Op: isa.OpLdi, Rd: 1, Imm: math.MaxInt32},
+				{Op: isa.OpLdi, Rd: 2, Imm: math.MinInt32},
+				{Op: isa.OpAddi, Rd: 3, Ra: 1, Imm: math.MaxInt32},
+				{Op: isa.OpAddi, Rd: 4, Ra: 2, Imm: math.MinInt32},
+				{Op: isa.OpMuli, Rd: 5, Ra: 1, Imm: math.MinInt32},
+				{Op: isa.OpSt, Rb: 3, Ra: 15, Imm: 0},
+				{Op: isa.OpHalt},
+			},
+		},
+		{
+			name: "trailing fallthrough without halt",
+			prog: isa.Program{
+				{Op: isa.OpLdi, Rd: 1, Imm: 7},
+				{Op: isa.OpSt, Rb: 1, Ra: 15, Imm: 2},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.prog.Validate(); err != nil {
+				t.Fatalf("invalid case program: %v", err)
+			}
+			for _, bp := range []int64{0, 3} {
+				memRef := make(Memory, bank)
+				memCmp := make(Memory, bank)
+				for i := range memRef {
+					memRef[i] = isa.Word(i * 3)
+					memCmp[i] = isa.Word(i * 3)
+				}
+				budget := int64(100)
+				regsRef, statsRef, errRef := refRun(tc.prog, memRef, 0, bp, budget)
+				regsCmp, statsCmp, errCmp := compiledRun(tc.prog, memCmp, 0, bp, budget)
+				diffRuns(t, fmt.Sprintf("%s (bp=%d)", tc.name, bp),
+					regsRef, regsCmp, statsRef, statsCmp, memRef, memCmp, errRef, errCmp)
+			}
+			if tc.check != nil {
+				tc.check(t, Compile(isa.Predecode(tc.prog), CompileOptions{}))
+			}
+		})
+	}
+}
+
+// TestCompileZeroLength pins the degenerate input: compiling an empty
+// program must yield a chain whose Run halts immediately with zero Stats.
+func TestCompileZeroLength(t *testing.T) {
+	p := Compile(nil, CompileOptions{})
+	if p.Len() != 0 || len(p.Ops()) != 0 || len(p.blocks) != 0 {
+		t.Fatalf("empty program compiled to %d ops, %d blocks", len(p.Ops()), len(p.blocks))
+	}
+	c := CPU{Mem: make(Memory, 4)}
+	failPC, err := p.Run(&c, 100)
+	if err != nil || failPC != 0 {
+		t.Fatalf("empty Run: failPC %d err %v", failPC, err)
+	}
+	if c.Stats != (Stats{}) {
+		t.Fatalf("empty Run produced stats %+v", c.Stats)
+	}
+}
+
+// TestBackendParse pins the flag spellings, the default resolution and the
+// ablation order.
+func TestBackendParse(t *testing.T) {
+	for _, b := range append(Backends(), BackendDefault) {
+		spelled := b.String()
+		if b == BackendDefault {
+			spelled = ""
+		}
+		got, err := ParseBackend(spelled)
+		if err != nil || got != b {
+			t.Fatalf("ParseBackend(%q) = %v, %v; want %v", spelled, got, err, b)
+		}
+	}
+	if _, err := ParseBackend("jit"); err == nil {
+		t.Fatal("ParseBackend accepted an unknown backend")
+	}
+	if BackendDefault.Resolve() != BackendCompiled {
+		t.Fatalf("default backend resolves to %v, want compiled", BackendDefault.Resolve())
+	}
+	if got := Backends(); len(got) != 3 || got[0] != BackendInterp || got[1] != BackendDecoded || got[2] != BackendCompiled {
+		t.Fatalf("Backends() = %v", got)
+	}
+	if s := Backend(250).String(); s != "Backend(250)" {
+		t.Fatalf("stray backend String() = %q", s)
+	}
+}

@@ -56,6 +56,10 @@ type Config struct {
 	// releases on the machine track, network stalls on the sending core's
 	// track. Nil disables tracing.
 	Tracer obs.Tracer
+	// Backend selects the execution engine; the zero value resolves to the
+	// compiled backend. All backends are architecturally identical (results,
+	// Stats, traced events) — see machine.Backend.
+	Backend machine.Backend
 }
 
 // ForSubtype returns the configuration of IMP sub-type 1..16 with the
@@ -155,6 +159,12 @@ type Machine struct {
 	envs   []machine.Env
 	cycle  int64
 	finish int64
+	// backend is the resolved engine; with the compiled backend, ops holds
+	// one threaded per-op chain per program image. The cross-core network
+	// and barrier timing keeps the cycle-by-cycle scheduler either way —
+	// only the per-instruction dispatch changes.
+	backend machine.Backend
+	ops     [][]machine.OpFn
 }
 
 // CoreStats summarises one core's activity in a run.
@@ -198,6 +208,13 @@ func New(cfg Config, programs []isa.Program) (*Machine, error) {
 	}
 	for i, p := range programs {
 		m.decoded[i] = isa.Predecode(p)
+	}
+	m.backend = cfg.Backend.Resolve()
+	if m.backend == machine.BackendCompiled {
+		m.ops = make([][]machine.OpFn, len(programs))
+		for i := range m.decoded {
+			m.ops[i] = machine.Compile(m.decoded[i], machine.CompileOptions{}).Ops()
+		}
 	}
 	// On any failure past this point the cleanup returns the banks
 	// acquired so far to their pool; success disarms it.
@@ -366,7 +383,16 @@ func (m *Machine) Run() (machine.Stats, error) {
 			m.cycle, m.finish = cycle, cycle+1
 			env := &m.envs[i]
 			env.Now = cycle
-			out, err := machine.StepDecoded(&c.regs, c.pc, d, env)
+			var out machine.Outcome
+			var err error
+			switch {
+			case m.ops != nil:
+				out, err = m.ops[c.prog][c.pc](&c.regs, env)
+			case m.backend == machine.BackendInterp:
+				out, err = machine.Step(&c.regs, c.pc, m.programs[c.prog][c.pc], *env)
+			default:
+				out, err = machine.StepDecoded(&c.regs, c.pc, d, env)
+			}
 			finish := m.finish
 			if err != nil {
 				m.collectNetStats(&stats)

@@ -157,6 +157,10 @@ type SimulateRequest struct {
 	N int `json:"n,omitempty"`
 	// Procs is the lane/core/PE count for parallel classes. Default 4.
 	Procs int `json:"procs,omitempty"`
+	// Backend selects the execution backend: "interp", "decoded" or
+	// "compiled". Empty means the server default (compiled). Results and
+	// statistics are backend-independent; this is an ablation knob.
+	Backend string `json:"backend,omitempty"`
 }
 
 // SimulateResponse is one kernel run's cycle-level statistics plus the
@@ -167,6 +171,7 @@ type SimulateResponse struct {
 	Kernel            string  `json:"kernel,omitempty"`
 	N                 int     `json:"n,omitempty"`
 	Procs             int     `json:"procs,omitempty"`
+	Backend           string  `json:"backend,omitempty"`
 	Cycles            int64   `json:"cycles,omitempty"`
 	Instructions      int64   `json:"instructions,omitempty"`
 	IPC               float64 `json:"ipc,omitempty"`
@@ -198,6 +203,9 @@ type ConformanceRequest struct {
 	Seeds int `json:"seeds,omitempty"`
 	// Seed is the first lockstep seed (default 1).
 	Seed int64 `json:"seed,omitempty"`
+	// Backend selects the execution backend for the matrix runs: "interp",
+	// "decoded" or "compiled". Empty means the server default (compiled).
+	Backend string `json:"backend,omitempty"`
 }
 
 // ConformanceResponse is one full suite verdict.

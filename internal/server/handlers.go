@@ -139,6 +139,9 @@ func registerRoutes(s *Server) {
 			if r.Procs < 1 || r.Procs > maxSimulateProcs {
 				return fmt.Errorf("procs must be in [1, %d], got %d", maxSimulateProcs, r.Procs)
 			}
+			if _, err := machine.ParseBackend(r.Backend); err != nil {
+				return err
+			}
 			return nil
 		},
 		run: func(ctx context.Context, r SimulateRequest) (SimulateResponse, error) {
@@ -165,6 +168,9 @@ func registerRoutes(s *Server) {
 			}
 			if r.Seeds < 0 || r.Seeds > maxConformanceSeeds {
 				return fmt.Errorf("seeds must be in [0, %d], got %d", maxConformanceSeeds, r.Seeds)
+			}
+			if _, err := machine.ParseBackend(r.Backend); err != nil {
+				return err
 			}
 			return conformance.Params{N: r.N, Procs: r.Procs}.Validate()
 		},
@@ -305,9 +311,14 @@ func runSimulate(ctx context.Context, r SimulateRequest) (SimulateResponse, erro
 	if err != nil {
 		return SimulateResponse{}, err
 	}
+	backend, err := machine.ParseBackend(r.Backend)
+	if err != nil {
+		return SimulateResponse{}, err
+	}
 	trace := obs.AcquireTrace()
 	defer obs.ReleaseTrace(trace)
-	res, err := modelzoo.RunKernel(c, r.Kernel, r.N, r.Procs, workload.WithTracer(trace))
+	res, err := modelzoo.RunKernel(c, r.Kernel, r.N, r.Procs,
+		workload.WithTracer(trace), workload.WithBackend(backend))
 	if err != nil {
 		return SimulateResponse{}, err
 	}
@@ -319,6 +330,7 @@ func runSimulate(ctx context.Context, r SimulateRequest) (SimulateResponse, erro
 		Kernel:            r.Kernel,
 		N:                 r.N,
 		Procs:             r.Procs,
+		Backend:           backend.Resolve().String(),
 		Cycles:            res.Stats.Cycles,
 		Instructions:      res.Stats.Instructions,
 		IPC:               res.Stats.IPC(),
@@ -379,7 +391,11 @@ func crossCheckTrace(trace *obs.Trace, stats machine.Stats) error {
 // runConformance executes the suite serially inside the item — the batch
 // engine's parallelism is across items, and the serial run is byte-stable.
 func runConformance(ctx context.Context, r ConformanceRequest) (ConformanceResponse, error) {
-	p := conformance.Params{N: r.N, Procs: r.Procs}
+	backend, err := machine.ParseBackend(r.Backend)
+	if err != nil {
+		return ConformanceResponse{}, err
+	}
+	p := conformance.Params{N: r.N, Procs: r.Procs, Backend: backend}
 	mctx, msp := obs.StartSpan(ctx, "matrix")
 	cells, matrixPass := conformance.RunMatrixParallel(mctx, p, 1)
 	msp.End()

@@ -87,12 +87,12 @@ func (s *Server) logRequest(endpoint string, rt *obs.ReqTrace, status int, d tim
 		slog.String("id", id),
 		slog.String("endpoint", endpoint),
 		slog.Int("status", status),
-		slog.Float64("ms", float64(d.Microseconds()) / 1000),
+		slog.Float64("ms", float64(d.Microseconds())/1000),
 		slog.Int("items", st.items),
-		slog.Float64("decode_ms", float64(st.decode.Microseconds()) / 1000),
-		slog.Float64("cache_ms", float64(st.cache.Microseconds()) / 1000),
-		slog.Float64("exec_ms", float64(st.exec.Microseconds()) / 1000),
-		slog.Float64("encode_ms", float64(st.encode.Microseconds()) / 1000),
+		slog.Float64("decode_ms", float64(st.decode.Microseconds())/1000),
+		slog.Float64("cache_ms", float64(st.cache.Microseconds())/1000),
+		slog.Float64("exec_ms", float64(st.exec.Microseconds())/1000),
+		slog.Float64("encode_ms", float64(st.encode.Microseconds())/1000),
 	}
 	if slow {
 		attrs = append(attrs, slog.Float64("threshold_ms", float64(s.slowThresh.Microseconds())/1000))

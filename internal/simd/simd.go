@@ -42,6 +42,10 @@ type Config struct {
 	// Tracer, when non-nil, receives run events: one track per lane, plus
 	// network stalls on the source lane's track. Nil disables tracing.
 	Tracer obs.Tracer
+	// Backend selects the execution engine; the zero value resolves to the
+	// compiled backend. All backends are architecturally identical (results,
+	// Stats, traced events) — see machine.Backend.
+	Backend machine.Backend
 }
 
 // ForSubtype returns the configuration of one of the paper's four IAP
@@ -112,6 +116,12 @@ type Machine struct {
 	envs   []machine.Env
 	issue  int64
 	finish int64
+	// backend is the resolved engine. With the compiled backend, ops is the
+	// threaded per-op chain (per-lane and scalar dispatch) and vec the
+	// vectorized lane path (nil entries fall back to ops).
+	backend machine.Backend
+	ops     []machine.OpFn
+	vec     []vecFn
 }
 
 // New builds an array processor loaded with one broadcast program. The
@@ -170,6 +180,11 @@ func New(cfg Config, prog isa.Program) (*Machine, error) {
 	m.envs = make([]machine.Env, cfg.Lanes)
 	for lane := range m.envs {
 		m.envs[lane] = m.laneEnv(lane)
+	}
+	m.backend = cfg.Backend.Resolve()
+	if m.backend == machine.BackendCompiled {
+		m.ops = machine.Compile(m.dec, machine.CompileOptions{}).Ops()
+		m.vec = m.compileVec()
 	}
 	built = true
 	return m, nil
@@ -252,7 +267,16 @@ func (m *Machine) Run() (machine.Stats, error) {
 		case d.IsBranch():
 			// Scalar control: the IP evaluates the branch on lane 0.
 			env := machine.Env{Lane: 0}
-			out, err := machine.StepDecoded(&m.regs[0], pc, d, &env)
+			var out machine.Outcome
+			var err error
+			switch {
+			case m.ops != nil:
+				out, err = m.ops[pc](&m.regs[0], &env)
+			case m.backend == machine.BackendInterp:
+				out, err = machine.Step(&m.regs[0], pc, m.prog[pc], env)
+			default:
+				out, err = machine.StepDecoded(&m.regs[0], pc, d, &env)
+			}
 			if err != nil {
 				m.collectNetStats(&stats)
 				return stats, fmt.Errorf("simd: pc %d: %w", pc, err)
@@ -290,14 +314,35 @@ func (m *Machine) Run() (machine.Stats, error) {
 			continue
 		}
 
-		// Data instruction: broadcast to every lane. The prebuilt lane
-		// environments read issue/finish through the machine fields.
+		// Data instruction: broadcast to every lane. The vectorized path
+		// steps the op across all lanes over the register and bank slices;
+		// ops it does not cover — and every traced run, whose per-lane
+		// events are part of the backend-equivalence contract — use the
+		// per-lane path through the prebuilt environments.
 		m.issue, m.finish = issue, finish
 		isALU := d.IsALU()
+		if m.vec != nil && tr == nil && m.vec[pc] != nil {
+			if lane, err := m.vec[pc](m, &stats); err != nil {
+				m.collectNetStats(&stats)
+				return stats, fmt.Errorf("simd: lane %d pc %d: %w", lane, pc, err)
+			}
+			stats.Cycles = m.finish
+			pc++
+			continue
+		}
 		for lane := 0; lane < m.cfg.Lanes; lane++ {
 			env := &m.envs[lane]
 			env.Now = issue
-			out, err := machine.StepDecoded(&m.regs[lane], pc, d, env)
+			var out machine.Outcome
+			var err error
+			switch {
+			case m.ops != nil:
+				out, err = m.ops[pc](&m.regs[lane], env)
+			case m.backend == machine.BackendInterp:
+				out, err = machine.Step(&m.regs[lane], pc, m.prog[pc], *env)
+			default:
+				out, err = machine.StepDecoded(&m.regs[lane], pc, d, env)
+			}
 			if err != nil {
 				m.collectNetStats(&stats)
 				return stats, fmt.Errorf("simd: lane %d pc %d: %w", lane, pc, err)

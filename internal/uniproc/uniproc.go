@@ -8,6 +8,7 @@
 package uniproc
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/isa"
@@ -35,6 +36,10 @@ type Config struct {
 	// Tracer, when non-nil, receives run events (instruction retirements,
 	// memory traffic) on track 0. Nil disables tracing at zero cost.
 	Tracer obs.Tracer
+	// Backend selects the execution engine; the zero value resolves to the
+	// compiled backend. All backends are architecturally identical (results,
+	// Stats, traced events) — see machine.Backend.
+	Backend machine.Backend
 }
 
 // DefaultConfig returns a 64 KiW data memory and the default cycle budget.
@@ -48,6 +53,9 @@ type Machine struct {
 	prog isa.Program
 	dec  isa.DecodedProgram
 	mem  machine.Memory
+	// backend is the resolved engine; comp is non-nil iff it is compiled.
+	backend machine.Backend
+	comp    *machine.CompiledProgram
 }
 
 // New builds a uni-processor loaded with the given program. The program is
@@ -71,7 +79,16 @@ func New(cfg Config, prog isa.Program) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Machine{cfg: cfg, prog: prog, dec: isa.Predecode(prog), mem: mem}, nil
+	m := &Machine{cfg: cfg, prog: prog, dec: isa.Predecode(prog),
+		backend: cfg.Backend.Resolve()}
+	m.mem = mem
+	if m.backend == machine.BackendCompiled {
+		m.comp = machine.Compile(m.dec, machine.CompileOptions{
+			MemLatency:    cfg.MemLatency,
+			BranchPenalty: cfg.BranchPenalty,
+		})
+	}
+	return m, nil
 }
 
 // Release returns the machine's pooled buffers. The machine (including any
@@ -91,13 +108,35 @@ func (m *Machine) Program() isa.Program { return m.prog }
 // returns the run statistics. Memory operations cost one extra cycle for
 // the DP-DM traversal, matching the one-cycle direct-switch model of
 // internal/interconnect.
+//
+// The configured backend only changes host dispatch: the compiled backend
+// runs fused basic blocks with batched accounting when nothing observes
+// individual instructions, and its threaded per-op chain when a Tracer or
+// Trace callback does; interp and decoded step through machine.Step and
+// machine.StepDecoded. Results, Stats and traced events are identical
+// across all of them.
 func (m *Machine) Run() (machine.Stats, error) {
 	var stats machine.Stats
 	budget := m.cfg.MaxCycles
 	if budget <= 0 {
 		budget = machine.DefaultMaxCycles
 	}
+	if m.comp != nil && m.cfg.Tracer == nil && m.cfg.Trace == nil {
+		cpu := machine.CPU{Mem: m.mem}
+		failPC, err := m.comp.Run(&cpu, budget)
+		if err != nil {
+			if errors.Is(err, machine.ErrDeadline) {
+				return cpu.Stats, fmt.Errorf("uniproc: %w after %d cycles", machine.ErrDeadline, cpu.Stats.Cycles)
+			}
+			return cpu.Stats, fmt.Errorf("uniproc: pc %d: %w", failPC, err)
+		}
+		return cpu.Stats, nil
+	}
 
+	var ops []machine.OpFn
+	if m.comp != nil {
+		ops = m.comp.Ops()
+	}
 	var regs machine.Regs
 	tr := m.cfg.Tracer
 	env := machine.Env{
@@ -120,7 +159,16 @@ func (m *Machine) Run() (machine.Stats, error) {
 		}
 		issue := stats.Cycles
 		env.Now = issue
-		out, err := machine.StepDecoded(&regs, pc, d, &env)
+		var out machine.Outcome
+		var err error
+		switch {
+		case ops != nil:
+			out, err = ops[pc](&regs, &env)
+		case m.backend == machine.BackendInterp:
+			out, err = machine.Step(&regs, pc, m.prog[pc], env)
+		default:
+			out, err = machine.StepDecoded(&regs, pc, d, &env)
+		}
 		if err != nil {
 			return stats, fmt.Errorf("uniproc: pc %d: %w", pc, err)
 		}

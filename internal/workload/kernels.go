@@ -22,7 +22,8 @@ func VecAddUni(a, b []isa.Word, opts ...Option) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	m, err := uniproc.New(uniproc.Config{MemWords: 3*n + 16, Tracer: applyOpts(opts).tracer}, prog)
+	m, err := uniproc.New(uniproc.Config{MemWords: 3*n + 16, Tracer: applyOpts(opts).tracer,
+		Backend: applyOpts(opts).backend}, prog)
 	if err != nil {
 		return Result{}, err
 	}
@@ -62,7 +63,9 @@ func VecAddSIMD(sub, lanes int, a, b []isa.Word, opts ...Option) (Result, error)
 	if err != nil {
 		return Result{}, err
 	}
-	cfg.Tracer = applyOpts(opts).tracer
+	ro := applyOpts(opts)
+	cfg.Tracer = ro.tracer
+	cfg.Backend = ro.backend
 	mach, err := simd.New(cfg, prog)
 	if err != nil {
 		return Result{}, err
@@ -117,7 +120,9 @@ func VecAddMIMD(sub, cores int, a, b []isa.Word, opts ...Option) (Result, error)
 	if err != nil {
 		return Result{}, err
 	}
-	cfg.Tracer = applyOpts(opts).tracer
+	ro := applyOpts(opts)
+	cfg.Tracer = ro.tracer
+	cfg.Backend = ro.backend
 	images := []isa.Program{prog}
 	if (sub-1)&4 == 0 { // IP-IM direct: one private copy per core
 		images = make([]isa.Program, cores)
@@ -165,7 +170,8 @@ func DotUni(a, b []isa.Word, opts ...Option) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	m, err := uniproc.New(uniproc.Config{MemWords: 2*n + 16, Tracer: applyOpts(opts).tracer}, prog)
+	m, err := uniproc.New(uniproc.Config{MemWords: 2*n + 16, Tracer: applyOpts(opts).tracer,
+		Backend: applyOpts(opts).backend}, prog)
 	if err != nil {
 		return Result{}, err
 	}
@@ -207,7 +213,9 @@ func DotSIMD(sub, lanes int, a, b []isa.Word, opts ...Option) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	cfg.Tracer = applyOpts(opts).tracer
+	ro := applyOpts(opts)
+	cfg.Tracer = ro.tracer
+	cfg.Backend = ro.backend
 	mach, err := simd.New(cfg, prog)
 	if err != nil {
 		return Result{}, err
@@ -257,7 +265,9 @@ func DotMIMD(sub, cores int, a, b []isa.Word, opts ...Option) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	cfg.Tracer = applyOpts(opts).tracer
+	ro := applyOpts(opts)
+	cfg.Tracer = ro.tracer
+	cfg.Backend = ro.backend
 	images := []isa.Program{prog}
 	if (sub-1)&4 == 0 {
 		images = make([]isa.Program, cores)
@@ -318,7 +328,9 @@ func DotSIMDPartial(sub, lanes int, a, b []isa.Word, opts ...Option) (Result, er
 	if err != nil {
 		return Result{}, err
 	}
-	cfg.Tracer = applyOpts(opts).tracer
+	ro := applyOpts(opts)
+	cfg.Tracer = ro.tracer
+	cfg.Backend = ro.backend
 	mach, err := simd.New(cfg, prog)
 	if err != nil {
 		return Result{}, err
@@ -374,7 +386,9 @@ func DotMIMDPartial(sub, cores int, a, b []isa.Word, opts ...Option) (Result, er
 	if err != nil {
 		return Result{}, err
 	}
-	cfg.Tracer = applyOpts(opts).tracer
+	ro := applyOpts(opts)
+	cfg.Tracer = ro.tracer
+	cfg.Backend = ro.backend
 	images := []isa.Program{prog}
 	if (sub-1)&4 == 0 {
 		images = make([]isa.Program, cores)

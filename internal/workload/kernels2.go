@@ -87,7 +87,9 @@ func Stencil3SIMD(sub, lanes int, a []isa.Word, opts ...Option) (Result, error) 
 	if err != nil {
 		return Result{}, err
 	}
-	cfg.Tracer = applyOpts(opts).tracer
+	ro := applyOpts(opts)
+	cfg.Tracer = ro.tracer
+	cfg.Backend = ro.backend
 	mach, err := simd.New(cfg, prog)
 	if err != nil {
 		return Result{}, err
@@ -136,7 +138,9 @@ func Stencil3MIMD(sub, cores int, a []isa.Word, opts ...Option) (Result, error) 
 	if err != nil {
 		return Result{}, err
 	}
-	cfg.Tracer = applyOpts(opts).tracer
+	ro := applyOpts(opts)
+	cfg.Tracer = ro.tracer
+	cfg.Backend = ro.backend
 	mach, err := newSPMD(cfg, sub, cores, prog)
 	if err != nil {
 		return Result{}, err
@@ -186,7 +190,9 @@ func ScanMIMD(sub, cores int, a []isa.Word, opts ...Option) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	cfg.Tracer = applyOpts(opts).tracer
+	ro := applyOpts(opts)
+	cfg.Tracer = ro.tracer
+	cfg.Backend = ro.backend
 	mach, err := newSPMD(cfg, sub, cores, prog)
 	if err != nil {
 		return Result{}, err
@@ -236,7 +242,9 @@ func MatMulMIMDReplicated(sub, cores int, a, b []isa.Word, rows, k, n int, opts 
 	if err != nil {
 		return Result{}, err
 	}
-	cfg.Tracer = applyOpts(opts).tracer
+	ro := applyOpts(opts)
+	cfg.Tracer = ro.tracer
+	cfg.Backend = ro.backend
 	// Replicated-B addressing is local: only direct-DP-DM sub-types keep
 	// local addressing in this simulator, so require one.
 	if (sub-1)&2 != 0 {
@@ -301,7 +309,9 @@ func MatMulMIMDShared(sub, cores int, a, b []isa.Word, rows, k, n int, opts ...O
 	if err != nil {
 		return Result{}, err
 	}
-	cfg.Tracer = applyOpts(opts).tracer
+	ro := applyOpts(opts)
+	cfg.Tracer = ro.tracer
+	cfg.Backend = ro.backend
 	mach, err := newSPMD(cfg, sub, cores, prog)
 	if err != nil {
 		return Result{}, err
@@ -345,7 +355,8 @@ func FIRUni(x, h []isa.Word, opts ...Option) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	mach, err := uniproc.New(uniproc.Config{MemWords: len(x) + len(h) + m + 16, Tracer: applyOpts(opts).tracer}, prog)
+	mach, err := uniproc.New(uniproc.Config{MemWords: len(x) + len(h) + m + 16, Tracer: applyOpts(opts).tracer,
+		Backend: applyOpts(opts).backend}, prog)
 	if err != nil {
 		return Result{}, err
 	}
@@ -389,7 +400,9 @@ func FIRSIMD(sub, lanes int, x, h []isa.Word, opts ...Option) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	cfg.Tracer = applyOpts(opts).tracer
+	ro := applyOpts(opts)
+	cfg.Tracer = ro.tracer
+	cfg.Backend = ro.backend
 	mach, err := simd.New(cfg, prog)
 	if err != nil {
 		return Result{}, err

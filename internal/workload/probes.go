@@ -89,7 +89,9 @@ func probeIAPCannotActAsIMP(opts ...Option) (Probe, error) {
 	if err != nil {
 		return Probe{}, err
 	}
-	cfg.Tracer = applyOpts(opts).tracer
+	ro := applyOpts(opts)
+	cfg.Tracer = ro.tracer
+	cfg.Backend = ro.backend
 	images := make([]isa.Program, procs)
 	for i := range images {
 		images[i] = divergentProgram()
@@ -119,7 +121,8 @@ func probeIAPCannotActAsIMP(opts ...Option) (Probe, error) {
 	if err != nil {
 		return Probe{}, err
 	}
-	scfg.Tracer = applyOpts(opts).tracer
+	scfg.Tracer = ro.tracer
+	scfg.Backend = ro.backend
 	sm, err := simd.New(scfg, divergentProgram())
 	if err != nil {
 		return Probe{}, err
@@ -165,7 +168,9 @@ func probeIAPActsAsIUP(opts ...Option) (Probe, error) {
 	if err != nil {
 		return Probe{}, err
 	}
-	cfg.Tracer = applyOpts(opts).tracer
+	ro := applyOpts(opts)
+	cfg.Tracer = ro.tracer
+	cfg.Backend = ro.backend
 	sm, err := simd.New(cfg, prog)
 	if err != nil {
 		return Probe{}, err

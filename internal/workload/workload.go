@@ -19,7 +19,8 @@ import (
 // runOpts carries optional per-run settings kernels thread into the
 // machine configurations they build.
 type runOpts struct {
-	tracer obs.Tracer
+	tracer  obs.Tracer
+	backend machine.Backend
 }
 
 // Option customises one kernel run.
@@ -29,6 +30,14 @@ type Option func(*runOpts)
 // network traffic, barriers, stalls) to tr. A nil tr is a no-op.
 func WithTracer(tr obs.Tracer) Option {
 	return func(o *runOpts) { o.tracer = tr }
+}
+
+// WithBackend selects the execution backend for every machine the kernel
+// builds. The zero value keeps the repo-wide default (compiled); results
+// and Stats are identical across backends, so this is a host-performance
+// and ablation knob only.
+func WithBackend(b machine.Backend) Option {
+	return func(o *runOpts) { o.backend = b }
 }
 
 // applyOpts folds the option list into a runOpts value.

@@ -57,6 +57,10 @@ type Doc struct {
 	GOOS       string `json:"goos"`
 	GOARCH     string `json:"goarch"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	// NumCPU is the host's logical core count, recorded separately from
+	// GOMAXPROCS: the parallel-ablation speedups only compare across runs
+	// whose physical parallelism matched, even when GOMAXPROCS was capped.
+	NumCPU int `json:"num_cpu"`
 	// CPU is the "cpu:" line go test prints, when present.
 	CPU string `json:"cpu,omitempty"`
 	// Bench and Benchtime echo the selection this run used.
@@ -114,6 +118,7 @@ func run(args []string) error {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Bench:      sel,
 		Benchtime:  bt,
 	}

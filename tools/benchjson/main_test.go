@@ -11,8 +11,8 @@ const sampleOutput = `goos: linux
 goarch: amd64
 pkg: repro
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
-BenchmarkStep_RawVsDecoded/raw         	  104268	     11447 ns/op	       0 B/op	       0 allocs/op
-BenchmarkStep_RawVsDecoded/decoded     	  123058	      9744 ns/op	       0 B/op	       0 allocs/op
+BenchmarkStep_RawVsDecodedVsCompiled/raw         	  104268	     11447 ns/op	       0 B/op	       0 allocs/op
+BenchmarkStep_RawVsDecodedVsCompiled/decoded     	  123058	      9744 ns/op	       0 B/op	       0 allocs/op
 BenchmarkSim_VecAdd/IUP                	     418	   2863025 ns/op	      6418 guest-cycles
 BenchmarkNoMem                         	 1000000	      1050 ns/op
 PASS
@@ -31,7 +31,7 @@ func TestParse(t *testing.T) {
 		t.Fatalf("%d results, want 4", len(doc.Results))
 	}
 	raw := doc.Results[0]
-	if raw.Name != "BenchmarkStep_RawVsDecoded/raw" || raw.Iterations != 104268 || raw.NsPerOp != 11447 {
+	if raw.Name != "BenchmarkStep_RawVsDecodedVsCompiled/raw" || raw.Iterations != 104268 || raw.NsPerOp != 11447 {
 		t.Errorf("raw line parsed as %+v", raw)
 	}
 	if raw.BytesPerOp == nil || *raw.BytesPerOp != 0 || raw.AllocsPerOp == nil || *raw.AllocsPerOp != 0 {
@@ -61,14 +61,14 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Skip("shells out to go test")
 	}
 	out := filepath.Join(t.TempDir(), "bench.json")
-	if err := run([]string{"-bench", "Step_RawVsDecoded", "-benchtime", "1x", "-pkg", "repro", "-out", out}); err != nil {
+	if err := run([]string{"-bench", "Step_RawVsDecodedVsCompiled", "-benchtime", "1x", "-pkg", "repro", "-out", out}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"go_version", "BenchmarkStep_RawVsDecoded/raw", "ns_per_op"} {
+	for _, want := range []string{"go_version", "BenchmarkStep_RawVsDecodedVsCompiled/raw", "ns_per_op"} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("document missing %q:\n%s", want, data)
 		}

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"encoding/binary"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -77,6 +79,68 @@ func main() {
 	writeSeed(fabDir, "magic_only", bytesLit(bs[:4]))
 	writeSeed(fabDir, "header_only", bytesLit(bs[:12]))
 	writeSeed(fabDir, "empty", bytesLit(nil))
+
+	// internal/machine: encoded programs for the compiled-backend
+	// differential fuzzer, seeding the block shapes the fusion rules and
+	// terminators special-case.
+	encode := func(prog isa.Program) string {
+		buf := make([]byte, 0, len(prog)*8)
+		for _, ins := range prog {
+			var w [8]byte
+			binary.LittleEndian.PutUint64(w[:], isa.EncodeRaw(ins))
+			buf = append(buf, w[:]...)
+		}
+		return bytesLit(buf)
+	}
+	cmpDir := filepath.Join("internal", "machine", "testdata", "fuzz", "FuzzCompile")
+	writeSeed(cmpDir, "bench_loop", encode(isa.Program{
+		{Op: isa.OpLdi, Rd: 1, Imm: 0},
+		{Op: isa.OpLdi, Rd: 2, Imm: 32},
+		{Op: isa.OpBeq, Ra: 1, Rb: 2, Imm: 5},
+		{Op: isa.OpLd, Rd: 3, Ra: 1, Imm: 0},
+		{Op: isa.OpAddi, Rd: 3, Ra: 3, Imm: 1},
+		{Op: isa.OpSt, Rb: 3, Ra: 1, Imm: 32},
+		{Op: isa.OpAddi, Rd: 1, Ra: 1, Imm: 1},
+		{Op: isa.OpJmp, Imm: -6},
+		{Op: isa.OpHalt},
+	}))
+	writeSeed(cmpDir, "fused_triple", encode(isa.Program{
+		{Op: isa.OpLd, Rd: 2, Ra: 15, Imm: 3},
+		{Op: isa.OpAddi, Rd: 2, Ra: 2, Imm: 5},
+		{Op: isa.OpSt, Rb: 2, Ra: 15, Imm: 4},
+		{Op: isa.OpHalt},
+	}))
+	writeSeed(cmpDir, "branch_into_triple", encode(isa.Program{
+		{Op: isa.OpBeq, Ra: 0, Rb: 1, Imm: 1},
+		{Op: isa.OpLd, Rd: 2, Ra: 15, Imm: 3},
+		{Op: isa.OpAddi, Rd: 2, Ra: 2, Imm: 5},
+		{Op: isa.OpSt, Rb: 2, Ra: 15, Imm: 4},
+		{Op: isa.OpHalt},
+	}))
+	writeSeed(cmpDir, "self_loop", encode(isa.Program{{Op: isa.OpJmp, Imm: -1}}))
+	writeSeed(cmpDir, "induction_loop", encode(isa.Program{
+		{Op: isa.OpLdi, Rd: 2, Imm: 10},
+		{Op: isa.OpAddi, Rd: 1, Ra: 1, Imm: 1},
+		{Op: isa.OpBlt, Ra: 1, Rb: 2, Imm: -2},
+		{Op: isa.OpHalt},
+	}))
+	writeSeed(cmpDir, "div_by_zero", encode(isa.Program{
+		{Op: isa.OpLdi, Rd: 1, Imm: 9},
+		{Op: isa.OpDiv, Rd: 2, Ra: 1, Rb: 3},
+		{Op: isa.OpHalt},
+	}))
+	writeSeed(cmpDir, "comm_faults", encode(isa.Program{
+		{Op: isa.OpLane, Rd: 1},
+		{Op: isa.OpRecv, Rd: 2, Ra: 1},
+		{Op: isa.OpSync},
+		{Op: isa.OpHalt},
+	}))
+	writeSeed(cmpDir, "max_imm", encode(isa.Program{
+		{Op: isa.OpLdi, Rd: 1, Imm: math.MaxInt32},
+		{Op: isa.OpAddi, Rd: 2, Ra: 1, Imm: math.MinInt32},
+		{Op: isa.OpMuli, Rd: 3, Ra: 1, Imm: math.MinInt32},
+		{Op: isa.OpHalt},
+	}))
 
 	// internal/interconnect: port-count selectors with routes that collide
 	// on internal links (same destination, shuffled sources) and loopback.
