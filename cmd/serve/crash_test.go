@@ -1,0 +1,167 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/server"
+)
+
+// TestHelperServeProcess is the child body for TestJobQueueSurvivesKill:
+// when the env gate is set it runs the real serve loop and never returns on
+// its own — the parent SIGKILLs it mid-campaign.
+func TestHelperServeProcess(t *testing.T) {
+	if os.Getenv("SERVE_CRASH_HELPER") != "1" {
+		t.Skip("helper process body, driven by TestJobQueueSurvivesKill")
+	}
+	args := strings.Split(os.Getenv("SERVE_CRASH_ARGS"), "\x1f")
+	if err := run(context.Background(), args, os.Stdout); err != nil {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// TestJobQueueSurvivesKill is the crash-recovery acceptance test: a serve
+// process is SIGKILLed (no drain, no deferred cleanup — the kill -9 shape)
+// in the middle of a journaled sweep campaign, and a fresh server over the
+// same jobs directory must recover the job, resume at the journaled chunk
+// cursor rather than restarting, and finish it successfully.
+func TestJobQueueSurvivesKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child process and runs a multi-second sweep")
+	}
+	jobsDir := t.TempDir()
+
+	args := []string{"-addr", "127.0.0.1:0", "-jobs-dir", jobsDir}
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperServeProcess")
+	cmd.Env = append(os.Environ(),
+		"SERVE_CRASH_HELPER=1",
+		"SERVE_CRASH_ARGS="+strings.Join(args, "\x1f"),
+	)
+	var out syncBuffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	}()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("child never announced its address; output: %q", out.String())
+		}
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// A 16384-seed lockstep sweep journals 1024 chunks — plenty of runway
+	// to kill the process with the campaign provably in flight.
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"lockstep","spec":{"seeds":16384}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted jobs.Job
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+
+	// Wait until at least two chunks are journaled so the resume below has
+	// real progress to preserve.
+	var preKill jobs.Job
+	deadline = time.Now().Add(30 * time.Second)
+	for preKill.ChunksDone < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never made progress: %+v", preKill)
+		}
+		pr, err := http.Get(base + "/v1/jobs/" + submitted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(pr.Body).Decode(&preKill); err != nil {
+			t.Fatal(err)
+		}
+		pr.Body.Close()
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no goodbye
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+	killed = true
+
+	// Second life: a fresh server over the same journal.
+	s, err := server.New(server.Config{JobsDir: jobsDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if v, _ := s.Registry().CounterValue(jobs.MetricRecovered); v != 1 {
+		t.Errorf("%s = %d, want 1", jobs.MetricRecovered, v)
+	}
+
+	var final jobs.Job
+	deadline = time.Now().Add(2 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered job never finished: %+v", final)
+		}
+		pr, err := http.Get(ts.URL + "/v1/jobs/" + submitted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.StatusCode != http.StatusOK {
+			pr.Body.Close()
+			t.Fatalf("recovered job not found: status %d", pr.StatusCode)
+		}
+		if err := json.NewDecoder(pr.Body).Decode(&final); err != nil {
+			t.Fatal(err)
+		}
+		pr.Body.Close()
+		if final.State == jobs.StateDone || final.State == jobs.StateFailed || final.State == jobs.StateCancelled {
+			break
+		}
+		// Progress must never regress below the journaled cursor.
+		if final.ChunksDone < preKill.ChunksDone {
+			t.Fatalf("resume lost progress: %d chunks after kill at %d", final.ChunksDone, preKill.ChunksDone)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if final.State != jobs.StateDone {
+		t.Fatalf("recovered job finished %s (error %q), want done", final.State, final.Error)
+	}
+	var res jobs.SweepResult
+	if err := json.Unmarshal(final.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass || res.Seeds != 16384 {
+		t.Errorf("recovered result = %+v, want passing 16384-seed sweep", res)
+	}
+}

@@ -10,6 +10,13 @@
 //	      [-max-concurrent N] [-timeout 60s] [-drain 10s]
 //	      [-no-trace] [-flight-recent N] [-flight-slow N] [-slow 500ms]
 //	      [-log-level info] [-log-format text]
+//	      [-self URL -peers URL,URL,...] [-jobs-dir DIR] [-max-jobs N]
+//
+// With -self/-peers the result cache shards across the listed replicas:
+// each key has one owner, misses fill from the owner over HTTP, and the
+// replica serves its own shard on /internal/cache/fill (trusted network
+// only). -jobs-dir persists the async job queue (POST /v1/jobs) so campaigns
+// survive a crash or restart and resume from their last journaled chunk.
 package main
 
 import (
@@ -76,6 +83,10 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	slow := fs.Duration("slow", 0, "slow-request log threshold (0 = default 500ms, negative = never)")
 	logLevel := fs.String("log-level", "info", "request log level: debug logs every request, info only slow ones")
 	logFormat := fs.String("log-format", "text", "request log format: text or json")
+	self := fs.String("self", "", "this replica's base URL as listed in -peers (enables the sharded peer cache)")
+	peers := fs.String("peers", "", "comma-separated base URLs of every replica, including -self")
+	jobsDir := fs.String("jobs-dir", "", "directory for the async job queue journal (empty = in-memory queue)")
+	maxJobs := fs.Int("max-jobs", 0, "max queued async jobs before 429 (0 = default 16)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,7 +98,11 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return err
 	}
 
-	s := server.New(server.Config{
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
+	s, err := server.New(server.Config{
 		Addr:           *addr,
 		Workers:        *workers,
 		CacheSize:      *cache,
@@ -99,13 +114,21 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		FlightSlow:     *flightSlow,
 		SlowRequest:    *slow,
 		Logger:         logger,
+		Self:           *self,
+		Peers:          peerList,
+		JobsDir:        *jobsDir,
+		MaxQueuedJobs:  *maxJobs,
 	})
+	if err != nil {
+		return err
+	}
+	defer s.Close() // idempotent with Shutdown; covers the error exits
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "serving on http://%s\n", l.Addr())
-	fmt.Fprintf(w, "endpoints: %s /metrics /healthz /debug/requests /debug/pprof/\n", strings.Join(server.Endpoints(), " "))
+	fmt.Fprintf(w, "endpoints: %s /v1/jobs /metrics /healthz /debug/requests /debug/pprof/\n", strings.Join(server.Endpoints(), " "))
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- s.Serve(l) }()

@@ -8,7 +8,11 @@ import (
 
 // DefaultDeterminismScope lists the packages whose byte-identical
 // reproducibility the CI gate proves (workers=1 must equal workers=8):
-// the simulator cores, the conformance differ and the kernel dispatch.
+// the simulator cores, the conformance differ and the kernel dispatch —
+// plus the distributed serving tier's cache and job queue, whose
+// cross-replica byte-identity and crash-resumable results rest on the
+// same property (key derivation, ring placement, chunk execution and
+// journal replay must all be pure functions of their inputs).
 // internal/exec is deliberately absent — it is the one sanctioned home
 // for goroutines, and its determinism is proven by its own ordering
 // tests rather than by syntactic restriction.
@@ -21,6 +25,8 @@ var DefaultDeterminismScope = []string{
 	"repro/internal/dataflow",
 	"repro/internal/conformance",
 	"repro/internal/modelzoo",
+	"repro/internal/cache",
+	"repro/internal/jobs",
 }
 
 // Determinism is the default-configured determinism analyzer.

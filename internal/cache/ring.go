@@ -1,0 +1,79 @@
+package cache
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// defaultVirtualNodes is the number of ring points per peer. 64 points per
+// replica keeps the ownership split within a few percent of even for small
+// fleets while the ring stays tiny (3 replicas = 192 points).
+const defaultVirtualNodes = 64
+
+// ring is a consistent-hash ring over peer URLs. Placement is a pure
+// function of the sorted peer set and the key: every replica, given the
+// same peer list in any order, derives the same owner for every key — the
+// property the byte-identity tests pin. Adding or removing one replica
+// moves only the keys it owns (1/N of the space), which is the point of
+// consistent hashing: a rolling deploy does not dump the whole cache.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+// ringPoint is one virtual node: a hash position owned by a peer.
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// newRing places vnodes points per peer. Duplicate peers collapse.
+func newRing(peers []string, vnodes int) *ring {
+	uniq := make([]string, 0, len(peers))
+	seen := map[string]bool{}
+	for _, p := range peers {
+		if !seen[p] {
+			seen[p] = true
+			uniq = append(uniq, p)
+		}
+	}
+	sort.Strings(uniq)
+	r := &ring{points: make([]ringPoint, 0, len(uniq)*vnodes)}
+	for _, p := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(p + "#" + strconv.Itoa(v)), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit collision between distinct vnode labels is vanishingly
+		// rare; break the tie deterministically anyway.
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r
+}
+
+// owner returns the peer owning key: the first ring point at or clockwise
+// from the key's hash.
+func (r *ring) owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around
+	}
+	return r.points[i].peer
+}
+
+// ringHash is FNV-1a 64: fast, dependency-free, and stable across
+// processes and architectures (unlike hash/maphash, which is seeded per
+// process — replicas must agree).
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -27,7 +27,6 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/exec"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -420,23 +419,7 @@ func RunMatrix(p Params) ([]CellResult, bool) {
 // one. A cancelled context or a panicking cell surfaces as that cell's
 // Err.
 func RunMatrixParallel(ctx context.Context, p Params, workers int) ([]CellResult, bool) {
-	cells := Matrix()
-	batch := exec.Map(ctx, workers, cells, func(ctx context.Context, c Cell) (CellResult, error) {
-		return Run(c, p), nil
-	})
-	results := make([]CellResult, len(cells))
-	allPass := true
-	for i, r := range batch {
-		if r.Err != nil {
-			// Cancellation or a panic inside the cell: report it in-place so
-			// the matrix stays fully populated.
-			results[i] = CellResult{Kernel: cells[i].Kernel, Class: cells[i].Class, Err: r.Err.Error()}
-		} else {
-			results[i] = r.Value
-		}
-		allPass = allPass && results[i].Pass
-	}
-	return results, allPass
+	return RunCellsParallel(ctx, Matrix(), p, workers)
 }
 
 // diffOutput compares a machine output against the reference element-wise.

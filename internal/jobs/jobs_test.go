@@ -1,0 +1,500 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeRunner is a scriptable runner: chunk payloads are pure functions of
+// (spec, idx), optional gates block chunks, optional failures inject
+// errors.
+type fakeRunner struct {
+	kind    string
+	chunks  int
+	failAt  int           // chunk index that errors; -1 = never
+	gate    chan struct{} // when non-nil, each RunChunk receives once before returning
+	started chan int      // when non-nil, each RunChunk announces its index first
+	ran     atomic.Int64
+}
+
+func (f *fakeRunner) Kind() string { return f.kind }
+
+func (f *fakeRunner) Prepare(spec json.RawMessage) (int, error) {
+	if bytes.Contains(spec, []byte("reject")) {
+		return 0, errors.New("spec rejected")
+	}
+	return f.chunks, nil
+}
+
+func (f *fakeRunner) RunChunk(ctx context.Context, spec json.RawMessage, idx, workers int) (json.RawMessage, error) {
+	f.ran.Add(1)
+	if f.started != nil {
+		f.started <- idx
+	}
+	if f.gate != nil {
+		select {
+		case <-f.gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if idx == f.failAt {
+		return nil, fmt.Errorf("chunk %d exploded", idx)
+	}
+	return json.RawMessage(fmt.Sprintf(`{"chunk":%d,"spec":%s}`, idx, spec)), nil
+}
+
+func (f *fakeRunner) Reduce(spec json.RawMessage, chunks []json.RawMessage) (json.RawMessage, error) {
+	parts := make([]string, len(chunks))
+	for i, c := range chunks {
+		parts[i] = string(c)
+	}
+	return json.Marshal(parts)
+}
+
+func fixedNow() time.Time { return time.Unix(1700000000, 0).UTC() }
+
+func newTestManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	if cfg.Now == nil {
+		cfg.Now = fixedNow
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// startWorker runs the manager loop on a test goroutine and stops it at
+// cleanup.
+func startWorker(t *testing.T, m *Manager) context.CancelFunc {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.Run(ctx)
+	}()
+	t.Cleanup(func() { cancel(); wg.Wait() })
+	return cancel
+}
+
+// awaitState polls until the job reaches a terminal state or the deadline.
+func awaitState(t *testing.T, m *Manager, id string, want State) Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		j, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if j.State == want {
+			return j
+		}
+		if j.State.terminal() && j.State != want {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, j.State, j.Error, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	j, _ := m.Get(id)
+	t.Fatalf("job %s stuck in %s, want %s", id, j.State, want)
+	return Job{}
+}
+
+func TestSubmitRunDone(t *testing.T) {
+	r := &fakeRunner{kind: "fake", chunks: 3, failAt: -1}
+	met := NewMetrics(nil)
+	m := newTestManager(t, Config{Runners: []Runner{r}, Metrics: met})
+	startWorker(t, m)
+
+	j, err := m.Submit("fake", json.RawMessage(`{"x":1}`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID == "" || j.State != StateQueued {
+		t.Fatalf("submit snapshot = %+v", j)
+	}
+	got := awaitState(t, m, j.ID, StateDone)
+	if got.ChunksDone != 3 || got.ChunksTotal != 3 {
+		t.Errorf("progress = %d/%d, want 3/3", got.ChunksDone, got.ChunksTotal)
+	}
+	var parts []string
+	if err := json.Unmarshal(got.Result, &parts); err != nil {
+		t.Fatalf("result %s: %v", got.Result, err)
+	}
+	if len(parts) != 3 || parts[0] != `{"chunk":0,"spec":{"x":1}}` {
+		t.Errorf("result parts = %q", parts)
+	}
+	if got.StartedAt == nil || got.FinishedAt == nil {
+		t.Error("missing timestamps")
+	}
+	if met.Completed.Value() != 1 || met.Chunks.Value() != 3 {
+		t.Errorf("completed=%d chunks=%d", met.Completed.Value(), met.Chunks.Value())
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	r := &fakeRunner{kind: "fake", chunks: 1, failAt: -1}
+	m := newTestManager(t, Config{Runners: []Runner{r}})
+	if _, err := m.Submit("nope", json.RawMessage(`{}`), 0); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("unknown kind error = %v", err)
+	}
+	if _, err := m.Submit("fake", json.RawMessage(`{"reject":true}`), 0); err == nil || errors.Is(err, ErrUnknownKind) {
+		t.Errorf("spec rejection error = %v", err)
+	}
+	if _, err := m.Submit("fake", json.RawMessage(`{}`), -1); err == nil {
+		t.Error("negative timeout accepted")
+	}
+}
+
+func TestQueueBound(t *testing.T) {
+	r := &fakeRunner{kind: "fake", chunks: 1, failAt: -1}
+	met := NewMetrics(nil)
+	// No worker running: everything stays queued.
+	m := newTestManager(t, Config{Runners: []Runner{r}, MaxQueued: 2, Metrics: met})
+	for i := 0; i < 2; i++ {
+		if _, err := m.Submit("fake", json.RawMessage(`{}`), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := m.Submit("fake", json.RawMessage(`{}`), 0)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit error = %v, want ErrQueueFull", err)
+	}
+	if met.Rejected.Value() != 1 {
+		t.Errorf("rejected = %d, want 1", met.Rejected.Value())
+	}
+	if met.QueueDepth.Value() != 2 {
+		t.Errorf("depth gauge = %v, want 2", met.QueueDepth.Value())
+	}
+}
+
+func TestFailingChunk(t *testing.T) {
+	r := &fakeRunner{kind: "fake", chunks: 3, failAt: 1}
+	met := NewMetrics(nil)
+	m := newTestManager(t, Config{Runners: []Runner{r}, Metrics: met})
+	startWorker(t, m)
+	j, err := m.Submit("fake", json.RawMessage(`{}`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := awaitState(t, m, j.ID, StateFailed)
+	if got.Error != "chunk 1 exploded" {
+		t.Errorf("error = %q", got.Error)
+	}
+	if got.ChunksDone != 1 {
+		t.Errorf("chunks done = %d, want 1 (chunk 0 succeeded)", got.ChunksDone)
+	}
+	if met.Failed.Value() != 1 {
+		t.Errorf("failed counter = %d", met.Failed.Value())
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	r := &fakeRunner{kind: "fake", chunks: 1, failAt: -1}
+	m := newTestManager(t, Config{Runners: []Runner{r}})
+	j, err := m.Submit("fake", json.RawMessage(`{}`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Cancel(j.ID)
+	if err != nil || got.State != StateCancelled {
+		t.Fatalf("cancel = %+v, %v", got, err)
+	}
+	if _, err := m.Cancel(j.ID); !errors.Is(err, ErrTerminal) {
+		t.Errorf("double cancel error = %v", err)
+	}
+	// The worker must skip it.
+	startWorker(t, m)
+	time.Sleep(20 * time.Millisecond)
+	if r.ran.Load() != 0 {
+		t.Error("cancelled job still ran")
+	}
+}
+
+func TestCancelRunning(t *testing.T) {
+	r := &fakeRunner{kind: "fake", chunks: 2, failAt: -1,
+		gate: make(chan struct{}), started: make(chan int, 4)}
+	m := newTestManager(t, Config{Runners: []Runner{r}})
+	startWorker(t, m)
+	j, err := m.Submit("fake", json.RawMessage(`{}`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-r.started // chunk 0 is executing, blocked on the gate
+	if _, err := m.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	got := awaitState(t, m, j.ID, StateCancelled)
+	if got.State != StateCancelled {
+		t.Fatalf("state = %s", got.State)
+	}
+	if n := r.ran.Load(); n != 1 {
+		t.Errorf("chunks attempted = %d, want 1 (cancel stops the loop)", n)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	r := &fakeRunner{kind: "fake", chunks: 1, failAt: -1, gate: make(chan struct{})}
+	m := newTestManager(t, Config{Runners: []Runner{r}, Now: nil})
+	startWorker(t, m)
+	j, err := m.Submit("fake", json.RawMessage(`{}`), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := awaitState(t, m, j.ID, StateFailed)
+	if want := "deadline exceeded after 1s (chunk 0/1)"; got.Error != want {
+		t.Errorf("error = %q, want %q", got.Error, want)
+	}
+}
+
+func TestWatchLifecycle(t *testing.T) {
+	r := &fakeRunner{kind: "fake", chunks: 2, failAt: -1}
+	m := newTestManager(t, Config{Runners: []Runner{r}})
+	j, err := m.Submit("fake", json.RawMessage(`{}`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, stop, err := m.Watch(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	startWorker(t, m)
+
+	var types []string
+	var last Job
+	for ev := range ch {
+		types = append(types, ev.Type)
+		last = ev.Job
+	}
+	if types[0] != "snapshot" {
+		t.Errorf("first event = %s, want snapshot", types[0])
+	}
+	if last.State != StateDone {
+		t.Errorf("final event state = %s, want done", last.State)
+	}
+	sawProgress := false
+	for _, ty := range types {
+		if ty == "progress" {
+			sawProgress = true
+		}
+	}
+	if !sawProgress {
+		t.Errorf("no progress event in %v", types)
+	}
+
+	// Watching a finished job: snapshot, then immediate close.
+	ch2, stop2, err := m.Watch(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop2()
+	ev, ok := <-ch2
+	if !ok || ev.Type != "snapshot" || ev.Job.State != StateDone {
+		t.Fatalf("terminal watch first event = %+v, %v", ev, ok)
+	}
+	if _, ok := <-ch2; ok {
+		t.Error("terminal watch channel did not close")
+	}
+
+	if _, _, err := m.Watch("j-999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("watch unknown job error = %v", err)
+	}
+}
+
+// TestJournalPersistence: a finished job is still queryable — result bytes
+// intact — after a reopen.
+func TestJournalPersistence(t *testing.T) {
+	dir := t.TempDir()
+	r := &fakeRunner{kind: "fake", chunks: 2, failAt: -1}
+	m := newTestManager(t, Config{Dir: dir, Runners: []Runner{r}})
+	startWorker(t, m)
+	j, err := m.Submit("fake", json.RawMessage(`{"v":7}`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := awaitState(t, m, j.ID, StateDone)
+
+	r2 := &fakeRunner{kind: "fake", chunks: 2, failAt: -1}
+	m2 := newTestManager(t, Config{Dir: dir, Runners: []Runner{r2}})
+	got, ok := m2.Get(j.ID)
+	if !ok {
+		t.Fatal("job lost across reopen")
+	}
+	if got.State != StateDone || !bytes.Equal(got.Result, done.Result) {
+		t.Errorf("replayed job = %+v, want done with identical result", got)
+	}
+	if r2.ran.Load() != 0 {
+		t.Error("finished job re-ran after replay")
+	}
+	// Fresh submits continue the id sequence instead of reusing ids.
+	j2, err := m2.Submit("fake", json.RawMessage(`{}`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.ID == j.ID {
+		t.Errorf("id %s reused after replay", j2.ID)
+	}
+}
+
+// TestCrashResume is the queue's core guarantee: a job interrupted
+// mid-campaign (worker stopped without any graceful handoff, journal left
+// as-is — the kill -9 state) resumes from its last journaled chunk and
+// produces a byte-identical result.
+func TestCrashResume(t *testing.T) {
+	dir := t.TempDir()
+	r := &fakeRunner{kind: "fake", chunks: 4, failAt: -1,
+		gate: make(chan struct{}), started: make(chan int, 16)}
+	m := newTestManager(t, Config{Dir: dir, Runners: []Runner{r}})
+	cancel := startWorker(t, m)
+	j, err := m.Submit("fake", json.RawMessage(`{"v":9}`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-r.started          // chunk 0 executing
+	r.gate <- struct{}{} // let chunk 0 journal
+	<-r.started          // chunk 1 executing
+	r.gate <- struct{}{} // let chunk 1 journal
+	<-r.started          // chunk 2 executing, NOT journaled yet
+	cancel()             // "crash": worker stops mid-chunk, journal has chunks 0..1
+	m.Close()
+
+	// Restart: the job replays as queued with 2 chunks done.
+	r2 := &fakeRunner{kind: "fake", chunks: 4, failAt: -1}
+	met := NewMetrics(nil)
+	m2 := newTestManager(t, Config{Dir: dir, Runners: []Runner{r2}, Metrics: met})
+	got, ok := m2.Get(j.ID)
+	if !ok {
+		t.Fatal("job lost in crash")
+	}
+	if got.State != StateQueued || got.ChunksDone != 2 {
+		t.Fatalf("replayed job state=%s chunks=%d, want queued with 2", got.State, got.ChunksDone)
+	}
+	if met.Recovered.Value() != 1 {
+		t.Errorf("recovered counter = %d, want 1", met.Recovered.Value())
+	}
+	startWorker(t, m2)
+	done := awaitState(t, m2, j.ID, StateDone)
+	if n := r2.ran.Load(); n != 2 {
+		t.Errorf("chunks re-run after resume = %d, want 2 (chunks 2 and 3 only)", n)
+	}
+
+	// Byte-identity: an uninterrupted run of the same spec matches.
+	freshDir := t.TempDir()
+	r3 := &fakeRunner{kind: "fake", chunks: 4, failAt: -1}
+	m3 := newTestManager(t, Config{Dir: freshDir, Runners: []Runner{r3}})
+	startWorker(t, m3)
+	jf, err := m3.Submit("fake", json.RawMessage(`{"v":9}`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := awaitState(t, m3, jf.ID, StateDone)
+	if !bytes.Equal(done.Result, fresh.Result) {
+		t.Errorf("resumed result differs from uninterrupted run:\n%s\n%s", done.Result, fresh.Result)
+	}
+}
+
+// TestTornTail: a journal whose last record was cut mid-write (the torn
+// line a crash leaves) replays cleanly, dropping only the torn record.
+func TestTornTail(t *testing.T) {
+	dir := t.TempDir()
+	r := &fakeRunner{kind: "fake", chunks: 1, failAt: -1}
+	m := newTestManager(t, Config{Dir: dir, Runners: []Runner{r}})
+	if _, err := m.Submit("fake", json.RawMessage(`{}`), 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	path := filepath.Join(dir, walName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":"chunk","id":"j-0000`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	m2 := newTestManager(t, Config{Dir: dir, Runners: []Runner{&fakeRunner{kind: "fake", chunks: 1, failAt: -1}}})
+	if got := len(m2.List()); got != 1 {
+		t.Fatalf("jobs after torn-tail replay = %d, want 1", got)
+	}
+	// The torn bytes were truncated: appending a new record must yield a
+	// parseable journal (reopen once more).
+	if _, err := m2.Submit("fake", json.RawMessage(`{}`), 0); err != nil {
+		t.Fatal(err)
+	}
+	m2.Close()
+	m3 := newTestManager(t, Config{Dir: dir, Runners: []Runner{&fakeRunner{kind: "fake", chunks: 1, failAt: -1}}})
+	if got := len(m3.List()); got != 2 {
+		t.Errorf("jobs after second replay = %d, want 2", got)
+	}
+}
+
+// TestCorruptMiddleRejected: garbage that is NOT the tail is corruption,
+// not a torn write, and must fail loudly.
+func TestCorruptMiddleRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, walName)
+	good := `{"t":"submit","job":{"id":"j-000001","kind":"fake","spec":{},"state":"queued","submitted_at":"2023-11-14T22:13:20Z","chunks_done":0}}`
+	if err := os.WriteFile(path, []byte("garbage\n"+good+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := New(Config{Dir: dir, Now: fixedNow, Runners: []Runner{&fakeRunner{kind: "fake", chunks: 1, failAt: -1}}})
+	if err == nil {
+		t.Fatal("mid-journal corruption accepted")
+	}
+}
+
+// TestUnknownKindInJournal: a replayed job whose kind this binary cannot
+// run fails explicitly instead of wedging the queue.
+func TestUnknownKindInJournal(t *testing.T) {
+	dir := t.TempDir()
+	r := &fakeRunner{kind: "fake", chunks: 1, failAt: -1}
+	m := newTestManager(t, Config{Dir: dir, Runners: []Runner{r}})
+	j, err := m.Submit("fake", json.RawMessage(`{}`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	other := &fakeRunner{kind: "other", chunks: 1, failAt: -1}
+	m2 := newTestManager(t, Config{Dir: dir, Runners: []Runner{other}})
+	startWorker(t, m2)
+	got := awaitState(t, m2, j.ID, StateFailed)
+	if got.Error == "" {
+		t.Error("missing error message")
+	}
+}
+
+func TestList(t *testing.T) {
+	r := &fakeRunner{kind: "fake", chunks: 1, failAt: -1}
+	m := newTestManager(t, Config{Runners: []Runner{r}, MaxQueued: 8})
+	for i := 0; i < 3; i++ {
+		if _, err := m.Submit("fake", json.RawMessage(`{}`), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l := m.List()
+	if len(l) != 3 {
+		t.Fatalf("len = %d", len(l))
+	}
+	for i := 1; i < 3; i++ {
+		if l[i].ID <= l[i-1].ID {
+			t.Errorf("list not in submit order: %s before %s", l[i-1].ID, l[i].ID)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+)
+
+// nestedExecRunner is a job runner shaped like the real campaign runners: a
+// chunk fans its work across an exec batch under an Observer (the way the
+// serving layer attributes queue wait vs run time), and each of those jobs
+// fans out again through a nested exec batch. The Observer contract under
+// test: the outer observer sees exactly the outer batch's indices — nested
+// batches are detached and report only to their own observer.
+type nestedExecRunner struct {
+	mu         sync.Mutex
+	outerIdx   []int        // indices reported to the per-chunk outer observer
+	outerErrs  int          // outer reports carrying an error
+	innerSeen  atomic.Int64 // reports to the explicit inner observer
+	nestedJobs int          // fan-out width of each nested batch
+}
+
+func (r *nestedExecRunner) Kind() string { return "nested-exec" }
+
+func (r *nestedExecRunner) Prepare(spec json.RawMessage) (int, error) { return 2, nil }
+
+func (r *nestedExecRunner) RunChunk(ctx context.Context, spec json.RawMessage, idx, workers int) (json.RawMessage, error) {
+	octx := exec.WithObserver(ctx, func(i int, queueWait, run time.Duration, err error) {
+		r.mu.Lock()
+		r.outerIdx = append(r.outerIdx, i)
+		if err != nil {
+			r.outerErrs++
+		}
+		r.mu.Unlock()
+	})
+	outer := make([]exec.Job[int], 3)
+	for i := range outer {
+		i := i
+		outer[i] = func(jctx context.Context) (int, error) {
+			// Half the nested batches attach their own observer, half run
+			// bare — a bare nested batch must report to nobody, not fall
+			// through to the outer observer.
+			nctx := jctx
+			if i%2 == 0 {
+				nctx = exec.WithObserver(jctx, func(int, time.Duration, time.Duration, error) {
+					r.innerSeen.Add(1)
+				})
+			}
+			inner := make([]exec.Job[int], r.nestedJobs)
+			for k := range inner {
+				k := k
+				inner[k] = func(context.Context) (int, error) { return k, nil }
+			}
+			sum := 0
+			for _, res := range exec.Run(nctx, 2, inner) {
+				if res.Err != nil {
+					return 0, res.Err
+				}
+				sum += res.Value
+			}
+			return sum, nil
+		}
+	}
+	total := 0
+	for _, res := range exec.Run(octx, workers, outer) {
+		if res.Err != nil {
+			return nil, res.Err
+		}
+		total += res.Value
+	}
+	return json.Marshal(total)
+}
+
+func (r *nestedExecRunner) Reduce(spec json.RawMessage, chunks []json.RawMessage) (json.RawMessage, error) {
+	sum := 0
+	for _, c := range chunks {
+		var v int
+		if err := json.Unmarshal(c, &v); err != nil {
+			return nil, err
+		}
+		sum += v
+	}
+	return json.Marshal(sum)
+}
+
+// TestObserverNestedBatchesFromJobWorker runs the nested fan-out through the
+// real Manager worker loop and pins the frame isolation: 2 chunks x 3 outer
+// jobs = 6 outer observations with indices in the outer batch's frame, and
+// the inner observer sees only its own batches' jobs.
+func TestObserverNestedBatchesFromJobWorker(t *testing.T) {
+	r := &nestedExecRunner{nestedJobs: 2}
+	m := newTestManager(t, Config{Runners: []Runner{r}, Workers: 2})
+	startWorker(t, m)
+
+	j, err := m.Submit("nested-exec", json.RawMessage(`{}`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := awaitState(t, m, j.ID, StateDone)
+
+	// 2 chunks x (3 outer jobs summing a 2-job nested batch each: 0+1).
+	var total int
+	if err := json.Unmarshal(final.Result, &total); err != nil {
+		t.Fatal(err)
+	}
+	if total != 6 {
+		t.Errorf("reduced result = %d, want 6", total)
+	}
+
+	r.mu.Lock()
+	got := append([]int(nil), r.outerIdx...)
+	outerErrs := r.outerErrs
+	r.mu.Unlock()
+	sort.Ints(got)
+	// If nested batches leaked into the outer observer's frame there would
+	// be 6 extra reports per chunk, with indices from the wrong batch.
+	want := []int{0, 0, 1, 1, 2, 2}
+	if len(got) != len(want) {
+		t.Fatalf("outer observer saw %d reports (%v), want %d — nested batches must not report out of frame", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("outer observer indices = %v, want %v", got, want)
+		}
+	}
+	if outerErrs != 0 {
+		t.Errorf("outer observer saw %d errored jobs, want 0", outerErrs)
+	}
+	// Outer jobs 0 and 2 attach the inner observer: 2 chunks x 2 observed
+	// nested batches x 2 jobs each.
+	if inner := r.innerSeen.Load(); inner != 8 {
+		t.Errorf("inner observer saw %d reports, want 8", inner)
+	}
+}

@@ -1,0 +1,126 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// walName is the queue's journal file inside Config.Dir.
+const walName = "jobs.wal"
+
+// walRecord is one journal line. The journal is append-only JSONL: every
+// state transition a job takes is one fsynced line, so the queue's exact
+// state — including per-chunk progress of the job that was running — is
+// reconstructible after a crash or kill -9.
+//
+// Record types:
+//
+//	submit  {t, job}                full job snapshot at admission
+//	start   {t, id, total, at}      a run attempt began; total = chunk count
+//	chunk   {t, id, idx, payload}   chunk idx completed with this payload
+//	done    {t, id, result, at}     job finished; result = reduced payload
+//	fail    {t, id, error, at}      job failed (runner error or deadline)
+//	cancel  {t, id, at}             job cancelled by the client
+type walRecord struct {
+	T       string          `json:"t"`
+	Job     *Job            `json:"job,omitempty"`
+	ID      string          `json:"id,omitempty"`
+	Total   int             `json:"total,omitempty"`
+	Idx     int             `json:"idx,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	At      *time.Time      `json:"at,omitempty"`
+}
+
+// wal is the append-side handle. A nil *wal (in-memory mode, Dir == "")
+// accepts appends and drops them.
+type wal struct {
+	f *os.File
+}
+
+// openWAL opens (creating if absent) the journal in dir, replays every
+// intact record through apply in order, and truncates a torn trailing
+// record — the expected artifact of a crash mid-write. A corrupt record
+// that is NOT the final one is a hard error: that is real corruption, not
+// a torn tail, and silently skipping it could resurrect lost jobs.
+func openWAL(dir string, apply func(walRecord) error) (*wal, error) {
+	path := filepath.Join(dir, walName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: open journal: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jobs: read journal: %w", err)
+	}
+	good := 0 // byte offset past the last intact record
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // unterminated tail: torn write, truncate below
+		}
+		line := data[off : off+nl]
+		var rec walRecord
+		if len(bytes.TrimSpace(line)) > 0 {
+			if err := json.Unmarshal(line, &rec); err != nil {
+				if off+nl+1 >= len(data) {
+					break // final record torn mid-payload: truncate below
+				}
+				f.Close()
+				return nil, fmt.Errorf("jobs: journal corrupt at byte %d (not the tail): %w", off, err)
+			}
+			if err := apply(rec); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("jobs: journal replay: %w", err)
+			}
+		}
+		off += nl + 1
+		good = off
+	}
+	if good < len(data) {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("jobs: truncate torn journal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jobs: seek journal: %w", err)
+	}
+	return &wal{f: f}, nil
+}
+
+// append marshals rec, writes it as one line and fsyncs before returning —
+// a record the caller saw succeed survives kill -9.
+func (w *wal) append(rec walRecord) error {
+	if w == nil {
+		return nil
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: encode journal record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("jobs: append journal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("jobs: sync journal: %w", err)
+	}
+	return nil
+}
+
+// close releases the journal file handle.
+func (w *wal) close() error {
+	if w == nil {
+		return nil
+	}
+	return w.f.Close()
+}

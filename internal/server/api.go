@@ -1,9 +1,11 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/conformance"
+	"repro/internal/jobs"
 	"repro/internal/spec"
 )
 
@@ -43,6 +45,7 @@ const (
 	CodeRunFailed     = "run_failed" // per-item simulation/estimation error
 	CodeNotFound      = "not_found"
 	CodeMethod        = "method_not_allowed"
+	CodeConflict      = "conflict" // operation invalid in the job's state -> 409
 )
 
 // BatchEnvelope is the request body shape shared by every /v1 endpoint:
@@ -191,15 +194,24 @@ type SimulateResponse struct {
 
 // --- /v1/conformance ---
 
-// ConformanceRequest runs the differential conformance suite at one
-// operating point: the kernel × class matrix plus an optional random-program
-// lockstep sweep.
+// ConformanceRequest runs a filtered slice of the differential conformance
+// suite at one operating point: selected kernel × class cells plus an
+// optional short random-program lockstep sweep. The synchronous endpoint is
+// deliberately small — at most maxConformanceCells cells and
+// maxConformanceSeeds seeds per item; full-matrix campaigns and long sweeps
+// go through the async job queue (POST /v1/jobs).
 type ConformanceRequest struct {
 	// N is the problem size per kernel (default 64; must divide by Procs).
 	N int `json:"n,omitempty"`
 	// Procs is the lane/core count (default 4; power of two >= 4).
 	Procs int `json:"procs,omitempty"`
-	// Seeds is the lockstep sweep length (default 0: matrix only).
+	// Kernels selects the kernel rows to run. Required in effect: the
+	// unfiltered matrix exceeds the sync cell cap.
+	Kernels []string `json:"kernels,omitempty"`
+	// Classes selects the machine-class columns, by exact name ("IAP-II")
+	// or family prefix ("IAP").
+	Classes []string `json:"classes,omitempty"`
+	// Seeds is the lockstep sweep length (default 0: matrix cells only).
 	Seeds int `json:"seeds,omitempty"`
 	// Seed is the first lockstep seed (default 1).
 	Seed int64 `json:"seed,omitempty"`
@@ -215,6 +227,27 @@ type ConformanceResponse struct {
 	Cells    []conformance.CellResult     `json:"cells,omitempty"`
 	Summary  []string                     `json:"summary,omitempty"`
 	Lockstep []conformance.LockstepResult `json:"lockstep,omitempty"`
+}
+
+// --- /v1/jobs ---
+
+// JobSubmitRequest enqueues one asynchronous campaign. The response is the
+// admitted job snapshot (202 Accepted) with the id to poll or stream.
+type JobSubmitRequest struct {
+	// Kind names the campaign: "conformance", "lockstep" or "backends".
+	Kind string `json:"kind"`
+	// Spec is the kind-specific body (jobs.ConformanceSpec / jobs.SweepSpec);
+	// empty means the kind's defaults.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// TimeoutSec bounds the job's total run time (0 = no deadline).
+	TimeoutSec int `json:"timeout_sec,omitempty"`
+}
+
+// JobListResponse is the GET /v1/jobs body: every job in submit order plus
+// the kinds this replica can run.
+type JobListResponse struct {
+	Kinds []string   `json:"kinds"`
+	Jobs  []jobs.Job `json:"jobs"`
 }
 
 // --- /v1/survey ---

@@ -81,7 +81,8 @@ func TestPerEndpointOverride(t *testing.T) {
 // the request fails as a structured 504, not a hung connection.
 func TestRequestTimeoutReturns504(t *testing.T) {
 	_, ts := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
-	status, body := post(t, ts, "/v1/conformance", `{"requests":[{"n":64,"procs":4}]}`)
+	status, body := post(t, ts, "/v1/conformance",
+		`{"requests":[{"n":64,"procs":4,"kernels":["vecadd"],"classes":["IUP","IAP"]}]}`)
 	if status != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d, want 504; body: %s", status, body)
 	}
@@ -94,7 +95,10 @@ func TestRequestTimeoutReturns504(t *testing.T) {
 // TestGracefulShutdown: Serve on a real listener, issue a request, then
 // Shutdown must return cleanly and further connections must fail.
 func TestGracefulShutdown(t *testing.T) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

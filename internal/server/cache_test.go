@@ -4,63 +4,12 @@ import (
 	"bytes"
 	"net/http"
 	"testing"
+
+	"repro/internal/cache"
 )
 
-func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(2)
-	c.Put("a", []byte("1"))
-	c.Put("b", []byte("2"))
-	if _, ok := c.Get("a"); !ok {
-		t.Fatal("a evicted too early")
-	}
-	// a was just promoted, so inserting c evicts b.
-	c.Put("c", []byte("3"))
-	if _, ok := c.Get("b"); ok {
-		t.Error("b should have been evicted (LRU)")
-	}
-	if _, ok := c.Get("a"); !ok {
-		t.Error("a should survive (promoted)")
-	}
-	if _, ok := c.Get("c"); !ok {
-		t.Error("c should be present")
-	}
-	if c.Len() != 2 {
-		t.Errorf("Len = %d, want 2", c.Len())
-	}
-	// Overwrite keeps a single entry.
-	c.Put("c", []byte("3'"))
-	if v, _ := c.Get("c"); string(v) != "3'" {
-		t.Errorf("overwrite lost: %q", v)
-	}
-	if c.Len() != 2 {
-		t.Errorf("Len after overwrite = %d, want 2", c.Len())
-	}
-}
-
-func TestResultCacheDisabled(t *testing.T) {
-	c := newResultCache(0)
-	c.Put("a", []byte("1"))
-	if _, ok := c.Get("a"); ok {
-		t.Error("disabled cache must always miss")
-	}
-	if c.Len() != 0 {
-		t.Error("disabled cache must stay empty")
-	}
-}
-
-func TestCacheKeyCanonical(t *testing.T) {
-	k1 := cacheKey("/v1/x", []byte("payload"))
-	k2 := cacheKey("/v1/x", []byte("payload"))
-	if k1 != k2 {
-		t.Error("same input must produce the same key")
-	}
-	if cacheKey("/v1/y", []byte("payload")) == k1 {
-		t.Error("endpoint must be part of the key")
-	}
-	if cacheKey("/v1/x", []byte("other")) == k1 {
-		t.Error("payload must be part of the key")
-	}
-}
+// The LRU/key unit tests live with the cache implementation in
+// internal/cache; this file pins the HTTP-level caching contract.
 
 // TestCacheHitByteIdentity is the core caching contract: the bytes served on
 // a hit are exactly the bytes the original miss produced — for the whole
@@ -135,6 +84,45 @@ func TestCacheEviction(t *testing.T) {
 	_, secondA := post(t, ts, "/v1/simulate", reqA)
 	if !bytes.Equal(firstA, secondA) {
 		t.Errorf("recomputed A differs from original:\n%s\n%s", firstA, secondA)
+	}
+}
+
+// TestCacheLifecycleCounters pins the operational surface of the LRU: the
+// lookup hit/miss counters, the eviction counter and the live-entry gauge
+// all move with real HTTP traffic and are exported on /metrics.
+func TestCacheLifecycleCounters(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheSize: 1})
+	reqA := `{"requests":[{"class":"IUP","kernel":"vecadd","n":32,"procs":1}]}`
+	reqB := `{"requests":[{"class":"IUP","kernel":"reduce","n":32,"procs":1}]}`
+	post(t, ts, "/v1/simulate", reqA) // miss, cached
+	post(t, ts, "/v1/simulate", reqA) // hit
+	post(t, ts, "/v1/simulate", reqB) // miss, evicts A
+
+	reg := s.Registry()
+	if v, _ := reg.CounterValue(cache.MetricHits); v != 1 {
+		t.Errorf("%s = %d, want 1", cache.MetricHits, v)
+	}
+	if v, _ := reg.CounterValue(cache.MetricMisses); v != 2 {
+		t.Errorf("%s = %d, want 2", cache.MetricMisses, v)
+	}
+	if v, _ := reg.CounterValue(cache.MetricEvictions); v != 1 {
+		t.Errorf("%s = %d, want 1", cache.MetricEvictions, v)
+	}
+	if v, _ := reg.CounterValue(cache.MetricLoads); v != 2 {
+		t.Errorf("%s = %d, want 2 (each miss computed once)", cache.MetricLoads, v)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	// The capacity-1 cache holds exactly the latest entry.
+	if !bytes.Contains(body, []byte(cache.MetricEntries+" 1")) {
+		t.Errorf("/metrics must report %s 1", cache.MetricEntries)
+	}
+	if !bytes.Contains(body, []byte(cache.MetricEvictions+" 1")) {
+		t.Errorf("/metrics must report %s 1", cache.MetricEvictions)
 	}
 }
 

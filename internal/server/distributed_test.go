@@ -1,0 +1,180 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+)
+
+// newCluster boots n replicas on real TCP listeners, each configured with
+// the full peer list — the deployment shape of the sharded cache. Returns
+// the servers (for registry assertions) and their base URLs.
+func newCluster(t *testing.T, n int) ([]*Server, []string) {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		urls[i] = "http://" + l.Addr().String()
+	}
+	servers := make([]*Server, n)
+	for i := range servers {
+		s, err := New(Config{Self: urls[i], Peers: urls})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = s
+		go func(s *Server, l net.Listener) { _ = s.Serve(l) }(s, listeners[i])
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = s.Shutdown(ctx)
+		})
+	}
+	for _, u := range urls {
+		awaitHealthy(t, u)
+	}
+	return servers, urls
+}
+
+// awaitHealthy polls a replica's /healthz until it answers.
+func awaitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("replica %s never became healthy", base)
+}
+
+// clusterCounter sums one unlabeled counter across every replica.
+func clusterCounter(servers []*Server, name string) int64 {
+	var total int64
+	for _, s := range servers {
+		v, _ := s.Registry().CounterValue(name)
+		total += v
+	}
+	return total
+}
+
+// TestClusterByteIdentity is the distributed tier's core contract: the same
+// request posted to every replica of a 3-node cluster returns byte-identical
+// responses, the underlying simulation runs exactly once cluster-wide (the
+// key's owner computes, everyone else peer-fills), and the peer-fill
+// counters account for both mesh round trips.
+func TestClusterByteIdentity(t *testing.T) {
+	servers, urls := newCluster(t, 3)
+	body := `{"requests":[{"class":"IAP-II","kernel":"dot","n":128,"procs":8}]}`
+
+	responses := make([][]byte, len(urls))
+	for i, u := range urls {
+		resp, err := http.Post(u+"/v1/simulate", "application/json", reqBody(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("replica %d: status %d: %s", i, resp.StatusCode, data)
+		}
+		responses[i] = data
+	}
+	for i := 1; i < len(responses); i++ {
+		if !bytes.Equal(responses[0], responses[i]) {
+			t.Errorf("replica %d response differs from replica 0:\n%s\nvs\n%s",
+				i, responses[0], responses[i])
+		}
+	}
+
+	// One canonical item, three replicas: the owner computes once, the two
+	// non-owners fill over the mesh. No replica recomputes.
+	if loads := clusterCounter(servers, cache.MetricLoads); loads != 1 {
+		t.Errorf("cluster-wide loader runs = %d, want 1 (owner computes once)", loads)
+	}
+	peerTrips := clusterCounter(servers, cache.MetricPeerHits) +
+		clusterCounter(servers, cache.MetricPeerFills)
+	if peerTrips != 2 {
+		t.Errorf("peer fill round trips = %d, want 2 (both non-owners)", peerTrips)
+	}
+	if fills := clusterCounter(servers, cache.MetricFillRequests); fills != 2 {
+		t.Errorf("fill requests served = %d, want 2", fills)
+	}
+	if errs := clusterCounter(servers, cache.MetricPeerErrors); errs != 0 {
+		t.Errorf("peer errors = %d, want 0", errs)
+	}
+}
+
+// TestClusterFillEndpointServesShard pins the mesh protocol itself: a
+// replica's /internal/cache/fill computes on first sight (X-Peer-Cache:
+// fill) and serves from cache on the second (X-Peer-Cache: hit), with
+// byte-identical payloads.
+func TestClusterFillEndpointServesShard(t *testing.T) {
+	_, urls := newCluster(t, 2)
+	// A fill request needs the item's canonical encoding; defaults applied,
+	// keys sorted — mirror what makeLoader would re-derive.
+	fill := `{"endpoint":"/v1/flexibility","canonical":{"class":"IUP"}}`
+
+	var first []byte
+	for i, want := range []string{"fill", "hit"} {
+		resp, err := http.Post(urls[0]+cache.FillPath, "application/json", reqBody(fill))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fill %d: status %d: %s", i, resp.StatusCode, data)
+		}
+		if got := resp.Header.Get("X-Peer-Cache"); got != want {
+			t.Errorf("fill %d: X-Peer-Cache = %q, want %q", i, got, want)
+		}
+		if i == 0 {
+			first = data
+		} else if !bytes.Equal(first, data) {
+			t.Errorf("fill and hit bytes differ:\n%s\nvs\n%s", first, data)
+		}
+	}
+}
+
+// TestSingleNodePeerConfigRejected: a peer list that does not contain Self
+// must fail construction loudly instead of silently mis-sharding.
+func TestSingleNodePeerConfigRejected(t *testing.T) {
+	_, err := New(Config{Self: "http://other:1", Peers: []string{"http://a:1", "http://b:1"}})
+	if err == nil {
+		t.Fatal("New must reject Self absent from Peers")
+	}
+}
+
+// TestClusterMetricsExposition: every replica exposes the distributed-cache
+// families on /metrics so a fleet dashboard can sum them.
+func TestClusterMetricsExposition(t *testing.T) {
+	_, urls := newCluster(t, 2)
+	resp, err := http.Get(urls[0] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := readAll(t, resp)
+	for _, fam := range []string{
+		cache.MetricHits, cache.MetricMisses, cache.MetricEvictions,
+		cache.MetricLoads, cache.MetricCoalesced, cache.MetricPeerHits,
+		cache.MetricFillRequests,
+	} {
+		if !bytes.Contains(data, []byte(fam)) {
+			t.Errorf("/metrics missing family %s", fam)
+		}
+	}
+}

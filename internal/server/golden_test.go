@@ -55,7 +55,7 @@ func TestGoldenEndpoints(t *testing.T) {
 		},
 		{
 			"conformance", "/v1/conformance",
-			`{"requests":[{"n":16,"procs":4,"seeds":1,"seed":7}]}`,
+			`{"requests":[{"n":16,"procs":4,"seeds":1,"seed":7,"kernels":["vecadd"],"classes":["IUP","IAP"]}]}`,
 		},
 		{
 			"survey", "/v1/survey",

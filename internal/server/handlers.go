@@ -27,11 +27,22 @@ const (
 	maxSimulateN = 1 << 16
 	// maxSimulateProcs bounds lane/core/PE counts.
 	maxSimulateProcs = 1 << 10
-	// maxConformanceN bounds the matrix problem size (112 cells per item).
+	// maxConformanceN bounds the matrix problem size per cell.
 	maxConformanceN = 1 << 12
-	// maxConformanceSeeds bounds the lockstep sweep length per item.
-	maxConformanceSeeds = 256
+	// maxConformanceCells bounds the kernel × class cells one synchronous
+	// conformance item may run. The full matrix (112 cells) is far past it:
+	// full campaigns go through POST /v1/jobs, which journals progress and
+	// never holds a connection open.
+	maxConformanceCells = 16
+	// maxConformanceSeeds bounds the synchronous lockstep sweep length;
+	// longer sweeps are a "lockstep" job.
+	maxConformanceSeeds = 16
 )
+
+// jobRedirect names the async alternative in sync-cap rejection messages.
+func jobRedirect(kind string) string {
+	return fmt.Sprintf(`submit the campaign as a job instead: POST /v1/jobs {"kind":%q,...}`, kind)
+}
 
 // registerRoutes wires every /v1 endpoint. The cost model is built once:
 // the default library is static and validated at startup.
@@ -167,12 +178,27 @@ func registerRoutes(s *Server) {
 				return fmt.Errorf("n must be <= %d, got %d", maxConformanceN, r.N)
 			}
 			if r.Seeds < 0 || r.Seeds > maxConformanceSeeds {
-				return fmt.Errorf("seeds must be in [0, %d], got %d", maxConformanceSeeds, r.Seeds)
+				return fmt.Errorf("seeds must be in [0, %d] on the request path, got %d; %s",
+					maxConformanceSeeds, r.Seeds, jobRedirect("lockstep"))
 			}
 			if _, err := machine.ParseBackend(r.Backend); err != nil {
 				return err
 			}
-			return conformance.Params{N: r.N, Procs: r.Procs}.Validate()
+			if err := (conformance.Params{N: r.N, Procs: r.Procs}).Validate(); err != nil {
+				return err
+			}
+			cells, err := conformance.FilterCells(r.Kernels, r.Classes)
+			if err != nil {
+				return err
+			}
+			if len(cells) == 0 {
+				return fmt.Errorf("kernels/classes filters select no cells")
+			}
+			if len(cells) > maxConformanceCells {
+				return fmt.Errorf("filters select %d cells, the request-path limit is %d; %s",
+					len(cells), maxConformanceCells, jobRedirect("conformance"))
+			}
+			return nil
 		},
 		run: func(ctx context.Context, r ConformanceRequest) (ConformanceResponse, error) {
 			return runConformance(ctx, r)
@@ -388,16 +414,21 @@ func crossCheckTrace(trace *obs.Trace, stats machine.Stats) error {
 	return nil
 }
 
-// runConformance executes the suite serially inside the item — the batch
-// engine's parallelism is across items, and the serial run is byte-stable.
+// runConformance executes the selected cells serially inside the item —
+// the batch engine's parallelism is across items, and the serial run is
+// byte-stable. Validation already applied the cell and seed caps.
 func runConformance(ctx context.Context, r ConformanceRequest) (ConformanceResponse, error) {
 	backend, err := machine.ParseBackend(r.Backend)
 	if err != nil {
 		return ConformanceResponse{}, err
 	}
+	sel, err := conformance.FilterCells(r.Kernels, r.Classes)
+	if err != nil {
+		return ConformanceResponse{}, err
+	}
 	p := conformance.Params{N: r.N, Procs: r.Procs, Backend: backend}
 	mctx, msp := obs.StartSpan(ctx, "matrix")
-	cells, matrixPass := conformance.RunMatrixParallel(mctx, p, 1)
+	cells, matrixPass := conformance.RunCellsParallel(mctx, sel, p, 1)
 	msp.End()
 	resp := ConformanceResponse{
 		Pass:    matrixPass,

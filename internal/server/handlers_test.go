@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"io"
@@ -15,9 +16,15 @@ import (
 // newTestServer boots the full stack on an httptest listener.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		_ = s.Close()
+	})
 	return s, ts
 }
 
@@ -196,7 +203,8 @@ func TestSimulateEndpoint(t *testing.T) {
 
 func TestConformanceEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	status, body := post(t, ts, "/v1/conformance", `{"requests":[{"n":32,"procs":4,"seeds":2}]}`)
+	status, body := post(t, ts, "/v1/conformance",
+		`{"requests":[{"n":32,"procs":4,"seeds":2,"kernels":["vecadd"],"classes":["IUP","IAP"]}]}`)
 	if status != http.StatusOK {
 		t.Fatalf("status %d: %s", status, body)
 	}
@@ -208,14 +216,34 @@ func TestConformanceEndpoint(t *testing.T) {
 	if !resp.Pass {
 		t.Errorf("conformance suite failed: %s", body[:min(len(body), 600)])
 	}
-	if len(resp.Cells) != 112 {
-		t.Errorf("matrix has %d cells, want 112", len(resp.Cells))
+	// vecadd across IUP (uniprocessor) + IAP (4 array subclasses) = 5 cells.
+	if len(resp.Cells) != 5 {
+		t.Errorf("filtered matrix has %d cells, want 5", len(resp.Cells))
 	}
 	if len(resp.Lockstep) != 2 {
 		t.Errorf("lockstep has %d results, want 2", len(resp.Lockstep))
 	}
 	if len(resp.Summary) == 0 {
 		t.Error("summary missing")
+	}
+}
+
+// TestConformanceRedirectsHeavySweeps pins the sync/async split: the full
+// 112-cell matrix no longer runs on the request path — the 400 names the
+// async job API so clients know where the campaign moved.
+func TestConformanceRedirectsHeavySweeps(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, body := range []string{
+		`{"requests":[{"n":32,"procs":4}]}`,            // unfiltered matrix: 112 cells
+		`{"requests":[{"n":32,"procs":4,"seeds":17}]}`, // sweep over the sync cap
+	} {
+		status, resp := post(t, ts, "/v1/conformance", body)
+		if status != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400; body: %s", body, status, resp)
+		}
+		if !bytes.Contains(resp, []byte("POST /v1/jobs")) {
+			t.Errorf("%s: rejection must point at the job API: %s", body, resp)
+		}
 	}
 }
 
@@ -329,7 +357,11 @@ func TestMethodNotAllowed(t *testing.T) {
 // panic becomes a structured 500, not a torn connection, and the server
 // keeps serving afterwards.
 func TestPanicIsolation(t *testing.T) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
 	s.mux.HandleFunc("/boom", func(w http.ResponseWriter, r *http.Request) {
 		panic("kaboom")
 	})

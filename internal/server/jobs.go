@@ -1,0 +1,158 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/jobs"
+)
+
+// registerJobRoutes wires the async job API. The heavy batch campaigns
+// (full conformance matrices, long lockstep/backend sweeps) run here, off
+// the synchronous request path:
+//
+//	POST /v1/jobs                submit   -> 202 + job snapshot
+//	GET  /v1/jobs                list     -> kinds + every job
+//	GET  /v1/jobs/{id}           poll     -> job snapshot
+//	GET  /v1/jobs/{id}/stream    SSE      -> snapshot/progress/state events
+//	POST /v1/jobs/{id}/cancel    cancel   -> job snapshot
+func registerJobRoutes(s *Server) {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
+}
+
+// handleJobSubmit admits one campaign: spec validation failures are 400s,
+// a full queue is an explicit 429 (the queue never buffers unboundedly).
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req JobSubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Message: "body: " + err.Error()})
+		return
+	}
+	if req.Kind == "" {
+		writeError(w, http.StatusBadRequest, APIError{
+			Code:    CodeInvalid,
+			Message: fmt.Sprintf("kind is required (one of: %s)", strings.Join(s.jobs.Kinds(), ", ")),
+		})
+		return
+	}
+	spec := req.Spec
+	if len(spec) == 0 {
+		spec = json.RawMessage(`{}`) // kind defaults
+	}
+	job, err := s.jobs.Submit(req.Kind, spec, req.TimeoutSec)
+	if err != nil {
+		if errors.Is(err, jobs.ErrQueueFull) {
+			writeError(w, http.StatusTooManyRequests, APIError{Code: CodeOverloaded, Message: err.Error()})
+			return
+		}
+		writeError(w, http.StatusBadRequest, APIError{Code: CodeInvalid, Message: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(job)
+}
+
+// handleJobList answers with every job in submit order plus the runnable
+// kinds.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(JobListResponse{Kinds: s.jobs.Kinds(), Jobs: s.jobs.List()})
+}
+
+// handleJobGet is the polling surface: one job snapshot, including the
+// chunk progress cursor and, once done, the reduced result.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, APIError{Code: CodeNotFound, Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(job)
+}
+
+// handleJobCancel stops a queued or running job; cancelling a finished job
+// is a 409 conflict carrying its terminal state.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.jobs.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, jobs.ErrUnknownJob):
+		writeError(w, http.StatusNotFound, APIError{Code: CodeNotFound, Message: err.Error()})
+		return
+	case errors.Is(err, jobs.ErrTerminal):
+		writeError(w, http.StatusConflict, APIError{Code: CodeConflict, Message: fmt.Sprintf("%v (state %s)", err, job.State)})
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, APIError{Code: CodeInternal, Message: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(job)
+}
+
+// handleJobStream serves a job's lifecycle as server-sent events: an
+// opening "snapshot", "progress" per completed chunk, "state" on
+// transitions, closing after the terminal event. Progress events are
+// best-effort (a slow consumer may skip some), so after the watch channel
+// closes the handler re-reads the job and emits the authoritative final
+// snapshot if the terminal event was dropped.
+func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, APIError{Code: CodeInternal, Message: "streaming unsupported by this connection"})
+		return
+	}
+	ch, stop, err := s.jobs.Watch(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, APIError{Code: CodeNotFound, Message: err.Error()})
+		return
+	}
+	defer stop()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	writeEvent := func(ev jobs.Event) {
+		data, merr := json.Marshal(ev.Job)
+		if merr != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+		fl.Flush()
+	}
+	sawTerminal := false
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				if !sawTerminal {
+					if job, found := s.jobs.Get(id); found {
+						writeEvent(jobs.Event{Type: "state", Job: job})
+					}
+				}
+				return
+			}
+			writeEvent(ev)
+			switch ev.Job.State {
+			case jobs.StateDone, jobs.StateFailed, jobs.StateCancelled:
+				sawTerminal = true
+			}
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// pollJob GETs /v1/jobs/{id} until the job reaches a terminal state.
+func pollJob(t *testing.T, base, id string) jobs.Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll: status %d: %s", resp.StatusCode, body)
+		}
+		var j jobs.Job
+		if err := json.Unmarshal(body, &j); err != nil {
+			t.Fatalf("poll: %v\n%s", err, body)
+		}
+		switch j.State {
+		case jobs.StateDone, jobs.StateFailed, jobs.StateCancelled:
+			return j
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return jobs.Job{}
+}
+
+// TestJobLifecycleHTTP drives the async path end to end over HTTP: submit a
+// filtered conformance campaign, follow the Location header, poll to done,
+// and read the reduced result — the flow the sync endpoint's 400 redirect
+// points heavy sweeps at.
+func TestJobLifecycleHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body := post(t, ts, "/v1/jobs",
+		`{"kind":"conformance","spec":{"n":16,"kernels":["vecadd"],"classes":["IUP"]}}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d, want 202: %s", status, body)
+	}
+	var j jobs.Job
+	if err := json.Unmarshal(body, &j); err != nil {
+		t.Fatal(err)
+	}
+	if j.ID == "" || j.Kind != "conformance" {
+		t.Fatalf("submit snapshot = %+v", j)
+	}
+
+	final := pollJob(t, ts.URL, j.ID)
+	if final.State != jobs.StateDone {
+		t.Fatalf("job finished %s (error %q), want done", final.State, final.Error)
+	}
+	if final.ChunksDone != final.ChunksTotal || final.ChunksTotal == 0 {
+		t.Errorf("chunk cursor %d/%d, want complete", final.ChunksDone, final.ChunksTotal)
+	}
+	var res jobs.ConformanceResult
+	if err := json.Unmarshal(final.Result, &res); err != nil {
+		t.Fatalf("result: %v\n%s", err, final.Result)
+	}
+	if !res.Pass || res.Cells != 1 {
+		t.Errorf("result = pass %v cells %d, want pass with the 1 filtered cell", res.Pass, res.Cells)
+	}
+
+	// The listing carries the finished job and the runnable kinds.
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	listBody := readAll(t, resp)
+	var list JobListResponse
+	if err := json.Unmarshal(listBody, &list); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(list.Kinds, ",") != "backends,conformance,lockstep" {
+		t.Errorf("kinds = %v", list.Kinds)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != j.ID {
+		t.Errorf("job list = %+v", list.Jobs)
+	}
+}
+
+// TestJobStreamSSE: the stream endpoint plays the job's lifecycle as
+// server-sent events and terminates after the terminal event — whatever
+// mixture of snapshot/progress/state the timing produced, the last event
+// must be the authoritative done snapshot carrying the result.
+func TestJobStreamSSE(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body := post(t, ts, "/v1/jobs", `{"kind":"lockstep","spec":{"seeds":32}}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", status, body)
+	}
+	var j jobs.Job
+	if err := json.Unmarshal(body, &j); err != nil {
+		t.Fatal(err)
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(ts.URL + "/v1/jobs/" + j.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	var events []string
+	var lastData string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			events = append(events, strings.TrimPrefix(line, "event: "))
+		case strings.HasPrefix(line, "data: "):
+			lastData = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	if len(events) == 0 || events[0] != "snapshot" {
+		t.Fatalf("stream must open with a snapshot event, got %v", events)
+	}
+	var final jobs.Job
+	if err := json.Unmarshal([]byte(lastData), &final); err != nil {
+		t.Fatalf("final event: %v\n%s", err, lastData)
+	}
+	if final.State != jobs.StateDone {
+		t.Fatalf("final streamed state = %s (error %q), want done", final.State, final.Error)
+	}
+	var res jobs.SweepResult
+	if err := json.Unmarshal(final.Result, &res); err != nil || !res.Pass || res.Seeds != 32 {
+		t.Errorf("streamed result = %+v (err %v), want passing 32-seed sweep", res, err)
+	}
+}
+
+// TestJobQueueBackpressureAndCancel: the queue bound is a structured 429,
+// cancel flips queued/running jobs to cancelled, and double-cancel is a 409
+// conflict — never a silent success.
+func TestJobQueueBackpressureAndCancel(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxQueuedJobs: 1})
+	submit := func() jobs.Job {
+		t.Helper()
+		status, body := post(t, ts, "/v1/jobs", `{"kind":"lockstep","spec":{"seeds":16384}}`)
+		if status != http.StatusAccepted {
+			t.Fatalf("submit: status %d: %s", status, body)
+		}
+		var j jobs.Job
+		if err := json.Unmarshal(body, &j); err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	first := submit()
+	// Wait for the worker to pull the first job off the queue so the depth
+	// accounting below is deterministic.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + first.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j jobs.Job
+		if err := json.Unmarshal(readAll(t, resp), &j); err != nil {
+			t.Fatal(err)
+		}
+		if j.State == jobs.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("first job stuck in %s", j.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	second := submit() // fills the single queue slot
+	status, body := post(t, ts, "/v1/jobs", `{"kind":"lockstep","spec":{"seeds":16384}}`)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("third submit: status %d, want 429: %s", status, body)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error.Code != CodeOverloaded {
+		t.Fatalf("want structured overloaded error, got %s", body)
+	}
+
+	// Cancel the queued job, then the running one.
+	for _, id := range []string{second.ID, first.ID} {
+		status, body := post(t, ts, "/v1/jobs/"+id+"/cancel", "")
+		if status != http.StatusOK {
+			t.Fatalf("cancel %s: status %d: %s", id, status, body)
+		}
+	}
+	if j := pollJob(t, ts.URL, first.ID); j.State != jobs.StateCancelled {
+		t.Errorf("first job state = %s, want cancelled", j.State)
+	}
+
+	// Cancelling a finished job is a conflict, not a repeat.
+	status, body = post(t, ts, "/v1/jobs/"+second.ID+"/cancel", "")
+	if status != http.StatusConflict {
+		t.Fatalf("double cancel: status %d, want 409: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error.Code != CodeConflict {
+		t.Fatalf("want structured conflict error, got %s", body)
+	}
+}
+
+// TestJobValidationErrors: the submit surface rejects garbage loudly.
+func TestJobValidationErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, body string
+		wantStatus int
+		wantIn     string
+	}{
+		{"missing kind", `{}`, http.StatusBadRequest, "kind is required"},
+		{"unknown kind", `{"kind":"mining"}`, http.StatusBadRequest, "unknown job kind"},
+		{"unknown spec field", `{"kind":"lockstep","spec":{"sedes":9}}`, http.StatusBadRequest, "bad spec"},
+		{"oversized sweep", `{"kind":"lockstep","spec":{"seeds":99999}}`, http.StatusBadRequest, "seeds must be"},
+		{"bad envelope field", `{"kind":"lockstep","nope":1}`, http.StatusBadRequest, "unknown field"},
+	}
+	for _, tc := range cases {
+		status, body := post(t, ts, "/v1/jobs", tc.body)
+		if status != tc.wantStatus || !strings.Contains(string(body), tc.wantIn) {
+			t.Errorf("%s: got %d %s, want %d containing %q", tc.name, status, body, tc.wantStatus, tc.wantIn)
+		}
+	}
+
+	// Unknown ids: poll, stream and cancel all answer structured 404s.
+	for _, probe := range []struct{ method, path string }{
+		{"GET", "/v1/jobs/j-999999"},
+		{"GET", "/v1/jobs/j-999999/stream"},
+		{"POST", "/v1/jobs/j-999999/cancel"},
+	} {
+		req, err := http.NewRequest(probe.method, ts.URL+probe.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s %s: status %d, want 404: %s", probe.method, probe.path, resp.StatusCode, body)
+		}
+	}
+}

@@ -11,9 +11,16 @@
 //   - Determinism + caching: simulations are pure functions of their
 //     request, so results are cached in an LRU keyed on canonicalized
 //     request hashes, and a cache hit replays byte-identical response
-//     bytes.
+//     bytes. With Config.Peers set, the cache is sharded across replicas
+//     (internal/cache): consistent hashing names one owner per key, misses
+//     fill from the owner over HTTP, and a singleflight group coalesces
+//     concurrent misses so a stampede computes once.
 //   - Backpressure: each endpoint holds a concurrency gate; a saturated
 //     endpoint rejects with 429 and a Retry-After hint instead of queueing.
+//     Heavy campaigns (full conformance matrices, long lockstep/backend
+//     sweeps) are refused on the request path and redirected to the async
+//     job queue (POST /v1/jobs, internal/jobs): submit, poll or stream
+//     progress over SSE, fetch the result when done.
 //   - Isolation: handler panics (and per-item simulation panics, via
 //     exec.PanicError) become structured 500s/item errors, never a torn
 //     connection for the other requests.
@@ -34,10 +41,13 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/exec"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 )
 
@@ -78,6 +88,18 @@ type Config struct {
 	SlowRequest time.Duration
 	// Logger receives the structured request log (nil -> slog.Default()).
 	Logger *slog.Logger
+	// Self is this replica's own base URL ("http://10.0.0.1:8080") as it
+	// appears in Peers. Empty with empty Peers means single-node operation.
+	Self string
+	// Peers lists every replica's base URL, including Self, for the sharded
+	// peer cache. Empty means single-node operation (purely local cache).
+	Peers []string
+	// JobsDir holds the async job queue's write-ahead log; "" runs the
+	// queue in memory (jobs then do not survive a restart).
+	JobsDir string
+	// MaxQueuedJobs bounds the job queue; submits past it get a 429
+	// (0 -> 16).
+	MaxQueuedJobs int
 }
 
 // withDefaults resolves the zero values.
@@ -119,13 +141,27 @@ func (c Config) withDefaults() Config {
 }
 
 // Server is the HTTP serving layer. Create with New, expose with Handler
-// (tests) or ListenAndServe/Serve (production), stop with Shutdown.
+// (tests) or ListenAndServe/Serve (production), stop with Shutdown (or
+// Close in tests that never served).
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	cache *resultCache
-	reg   *obs.Registry
-	http  *http.Server
+	cfg Config
+	mux *http.ServeMux
+	reg *obs.Registry
+	http *http.Server
+
+	// The distributed result cache and its instruments, plus the
+	// per-endpoint loaders the cache computes misses through (filled by
+	// register, dispatched by endpoint path).
+	dcache   *cache.Cache
+	cmetrics *cache.Metrics
+	loaders  map[string]func(ctx context.Context, canonical []byte) ([]byte, error)
+
+	// The async job queue: the manager, the worker goroutine's cancel +
+	// done handshake, and the once guarding teardown.
+	jobs      *jobs.Manager
+	stopJobs  context.CancelFunc
+	jobsDone  chan struct{}
+	closeOnce sync.Once
 
 	// Tracing state: the flight recorder, the request-ID source and the
 	// request log. tracing mirrors !cfg.DisableTracing for the hot path.
@@ -206,15 +242,16 @@ const (
 	metricStageSeconds   = "repro_http_stage_seconds"
 )
 
-// New builds a server with the six /v1 endpoints, /metrics and /healthz
-// registered.
-func New(cfg Config) *Server {
+// New builds a server with the six /v1 batch endpoints, the async job API,
+// the peer-cache fill route, /metrics and /healthz registered. It errors on
+// an inconsistent peer set or an unreadable job journal.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:        cfg,
 		mux:        http.NewServeMux(),
-		cache:      newResultCache(cfg.CacheSize),
 		reg:        obs.NewRegistry(),
+		loaders:    map[string]func(ctx context.Context, canonical []byte) ([]byte, error){},
 		tracing:    !cfg.DisableTracing,
 		flight:     obs.NewFlightRecorder(cfg.FlightRecent, cfg.FlightSlow),
 		idBase:     fmt.Sprintf("%08x", uint32(time.Now().UnixNano())),
@@ -250,6 +287,55 @@ func New(cfg Config) *Server {
 	}
 
 	registerRoutes(s)
+
+	// The distributed cache dispatches misses to the loader register()
+	// stored for each endpoint; with Peers set it also shards ownership
+	// across replicas and serves its shard on cache.FillPath.
+	s.cmetrics = cache.NewMetrics(s.reg)
+	dc, err := cache.New(cache.Config{
+		Self:    cfg.Self,
+		Peers:   cfg.Peers,
+		Entries: cfg.CacheSize,
+		Loader: func(ctx context.Context, endpoint string, canonical []byte) ([]byte, error) {
+			ld := s.loaders[endpoint]
+			if ld == nil {
+				return nil, fmt.Errorf("no loader for endpoint %q", endpoint)
+			}
+			return ld(ctx, canonical)
+		},
+		Client:  &http.Client{Timeout: cfg.RequestTimeout},
+		Metrics: s.cmetrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.dcache = dc
+	s.mux.Handle(cache.FillPath, dc.FillHandler())
+
+	// The async job queue: replay the journal (recovering any job a crash
+	// interrupted), register the job API, and start the worker loop. The
+	// goroutine lives here — internal/jobs is determinism-scoped and the
+	// caller owns the worker.
+	mgr, err := jobs.New(jobs.Config{
+		Dir:       cfg.JobsDir,
+		MaxQueued: cfg.MaxQueuedJobs,
+		Workers:   cfg.Workers,
+		Runners:   jobs.DefaultRunners(),
+		Metrics:   jobs.NewMetrics(s.reg),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.jobs = mgr
+	registerJobRoutes(s)
+	jctx, jcancel := context.WithCancel(context.Background())
+	s.stopJobs = jcancel
+	s.jobsDone = make(chan struct{})
+	go func() {
+		defer close(s.jobsDone)
+		mgr.Run(jctx)
+	}()
+
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/requests", s.handleDebugRequests)
@@ -264,7 +350,7 @@ func New(cfg Config) *Server {
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return s
+	return s, nil
 }
 
 // Handler returns the server's root handler (panic recovery included), for
@@ -283,8 +369,32 @@ func (s *Server) ListenAndServe() error { return s.http.ListenAndServe() }
 // use it to bind port 0 and learn the real address.
 func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
 
-// Shutdown gracefully drains in-flight requests.
-func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
+// Shutdown gracefully drains in-flight requests, then stops the job worker
+// and closes the queue journal. A job mid-run stays "running" in the
+// journal and resumes from its last completed chunk on the next start —
+// graceful shutdown deliberately exercises the crash-recovery path.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.http.Shutdown(ctx)
+	s.closeJobs()
+	return err
+}
+
+// Close releases the job worker and journal without serving shutdown; for
+// tests and callers that never called Serve. Idempotent with Shutdown.
+func (s *Server) Close() error {
+	s.closeJobs()
+	return nil
+}
+
+// closeJobs stops the worker loop, waits for it to park, and closes the
+// journal — exactly once, however many of Shutdown/Close run.
+func (s *Server) closeJobs() {
+	s.closeOnce.Do(func() {
+		s.stopJobs()
+		<-s.jobsDone
+		_ = s.jobs.Close()
+	})
+}
 
 // recoverPanics is the outermost middleware: any panic escaping a handler
 // (the exec pool already fences per-item panics) becomes a structured 500.
@@ -362,6 +472,33 @@ type endpointSpec[Req, Resp any] struct {
 	run func(context.Context, Req) (Resp, error)
 }
 
+// makeLoader adapts one endpoint's run function into the distributed
+// cache's loader shape: canonical bytes in, response bytes out. It is the
+// compute path for local misses AND for peer fill requests arriving on
+// cache.FillPath — a peer-supplied canonical is untrusted input, so it is
+// decoded strictly and re-validated before running.
+func makeLoader[Req, Resp any](ep endpointSpec[Req, Resp]) func(ctx context.Context, canonical []byte) ([]byte, error) {
+	return func(ctx context.Context, canonical []byte) ([]byte, error) {
+		var req Req
+		dec := json.NewDecoder(bytes.NewReader(canonical))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return nil, fmt.Errorf("canonical item: %w", err)
+		}
+		if ep.defaults != nil {
+			ep.defaults(&req)
+		}
+		if err := ep.validate(req); err != nil {
+			return nil, err
+		}
+		resp, err := ep.run(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(resp)
+	}
+}
+
 // register installs the endpoint on the server's mux with the full
 // middleware stack: method gate, concurrency gate, timeout, metrics,
 // per-item caching, exec fan-out.
@@ -371,6 +508,7 @@ func register[Req, Resp any](s *Server, ep endpointSpec[Req, Resp]) {
 	if em == nil || gate == nil {
 		panic(fmt.Sprintf("server: endpoint %q not declared in Endpoints()", ep.path))
 	}
+	s.loaders[ep.path] = makeLoader(ep)
 	s.mux.HandleFunc(ep.path, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		r, rt, root := s.traceStart(r, ep.path)
@@ -411,7 +549,7 @@ func serveBatch[Req, Resp any](s *Server, w http.ResponseWriter, r *http.Request
 	defer em.leave()
 	rctx := r.Context()
 
-	items, keys, errStatus := decodeStage(s, w, r, ep, em, st)
+	items, keys, canons, errStatus := decodeStage(s, w, r, ep, em, st)
 	if errStatus != 0 {
 		return errStatus
 	}
@@ -440,11 +578,15 @@ func serveBatch[Req, Resp any](s *Server, w http.ResponseWriter, r *http.Request
 		ictx, isp := obs.StartSpan(ctx, "item")
 		defer isp.End()
 		isp.SetTrack(int32(i + 1))
-		resp, err := ep.run(ictx, items[i])
+		// The distributed cache resolves the miss: peer fill when another
+		// replica owns the key, a (singleflight-coalesced) local compute
+		// through this endpoint's loader otherwise. Successful bytes land
+		// in the local LRU inside Fetch.
+		v, _, err := s.dcache.Fetch(ictx, ep.path, canons[i])
 		if err != nil {
 			return nil, err
 		}
-		return json.Marshal(resp)
+		return v, nil
 	})
 	timedOut := false
 	for bi, res := range batch {
@@ -452,7 +594,6 @@ func serveBatch[Req, Resp any](s *Server, w http.ResponseWriter, r *http.Request
 		switch {
 		case res.Err == nil:
 			results[i] = json.RawMessage(res.Value)
-			s.cache.Put(keys[i], res.Value)
 		case errors.Is(res.Err, context.DeadlineExceeded):
 			timedOut = true
 		default:
@@ -477,8 +618,10 @@ func serveBatch[Req, Resp any](s *Server, w http.ResponseWriter, r *http.Request
 
 // decodeStage reads and strictly decodes the envelope, then each item:
 // unknown fields are a client error, not silently dropped request knobs.
-// A non-zero returned status means the error response was already written.
-func decodeStage[Req, Resp any](s *Server, w http.ResponseWriter, r *http.Request, ep endpointSpec[Req, Resp], em *endpointMetrics, st *stageTimes) (items []Req, keys []string, errStatus int) {
+// It returns each item's canonical encoding (the defaults-applied struct
+// re-marshaled) and its cache key. A non-zero returned status means the
+// error response was already written.
+func decodeStage[Req, Resp any](s *Server, w http.ResponseWriter, r *http.Request, ep endpointSpec[Req, Resp], em *endpointMetrics, st *stageTimes) (items []Req, keys []string, canons [][]byte, errStatus int) {
 	_, sp := obs.StartSpan(r.Context(), "decode")
 	defer sp.End()
 	start := time.Now()
@@ -493,47 +636,50 @@ func decodeStage[Req, Resp any](s *Server, w http.ResponseWriter, r *http.Reques
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&env); err != nil {
 		writeError(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Message: "body: " + err.Error()})
-		return nil, nil, http.StatusBadRequest
+		return nil, nil, nil, http.StatusBadRequest
 	}
 	if len(env.Requests) == 0 {
 		writeError(w, http.StatusBadRequest, APIError{Code: CodeEmptyBatch, Message: `"requests" must hold at least one item`})
-		return nil, nil, http.StatusBadRequest
+		return nil, nil, nil, http.StatusBadRequest
 	}
 	if len(env.Requests) > s.cfg.MaxBatch {
 		writeError(w, http.StatusBadRequest, APIError{
 			Code:    CodeBatchTooLarge,
 			Message: fmt.Sprintf("batch holds %d items, limit is %d", len(env.Requests), s.cfg.MaxBatch),
 		})
-		return nil, nil, http.StatusBadRequest
+		return nil, nil, nil, http.StatusBadRequest
 	}
 
 	items = make([]Req, len(env.Requests))
 	keys = make([]string, len(env.Requests))
+	canons = make([][]byte, len(env.Requests))
 	for i, raw := range env.Requests {
 		idx := i
 		itemDec := json.NewDecoder(bytes.NewReader(raw))
 		itemDec.DisallowUnknownFields()
 		if err := itemDec.Decode(&items[i]); err != nil {
 			writeError(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Message: "item: " + err.Error(), Index: &idx})
-			return nil, nil, http.StatusBadRequest
+			return nil, nil, nil, http.StatusBadRequest
 		}
 		if ep.defaults != nil {
 			ep.defaults(&items[i])
 		}
 		if err := ep.validate(items[i]); err != nil {
 			writeError(w, http.StatusBadRequest, APIError{Code: CodeInvalid, Message: err.Error(), Index: &idx})
-			return nil, nil, http.StatusBadRequest
+			return nil, nil, nil, http.StatusBadRequest
 		}
-		// Canonical key: the defaults-applied struct re-marshaled, so field
-		// order, whitespace and spelled-out defaults all hash identically.
+		// Canonical encoding: the defaults-applied struct re-marshaled, so
+		// field order, whitespace and spelled-out defaults all hash
+		// identically — on this replica and on every peer.
 		canon, err := json.Marshal(items[i])
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, APIError{Code: CodeInternal, Message: err.Error()})
-			return nil, nil, http.StatusInternalServerError
+			return nil, nil, nil, http.StatusInternalServerError
 		}
-		keys[i] = cacheKey(ep.path, canon)
+		canons[i] = canon
+		keys[i] = cache.Key(ep.path, canon)
 	}
-	return items, keys, 0
+	return items, keys, canons, 0
 }
 
 // cacheStage looks every item key up in the result cache, returning the
@@ -549,7 +695,7 @@ func cacheStage(s *Server, ctx context.Context, em *endpointMetrics, keys []stri
 
 	results = make([]json.RawMessage, len(keys))
 	for i := range keys {
-		if cached, ok := s.cache.Get(keys[i]); ok {
+		if cached, ok := s.dcache.Lookup(keys[i]); ok {
 			results[i] = cached
 			em.hits.Inc()
 		} else {

@@ -336,7 +336,8 @@ func TestPprofSmoke(t *testing.T) {
 // 95% of a conformance request's wall time.
 func TestStageAccounting(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
-	status, body := post(t, ts, "/v1/conformance", `{"requests":[{"n":16,"procs":4,"seeds":1}]}`)
+	status, body := post(t, ts, "/v1/conformance",
+		`{"requests":[{"n":16,"procs":4,"seeds":1,"kernels":["vecadd"],"classes":["IUP","IAP"]}]}`)
 	if status != http.StatusOK {
 		t.Fatalf("conformance: %d %s", status, body)
 	}

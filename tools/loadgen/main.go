@@ -1,25 +1,32 @@
-// Command loadgen is a closed-loop load generator for the taxonomy serving
-// layer (cmd/serve): a fixed number of workers each issue one batch request,
-// wait for the response, and immediately issue the next — so offered load
-// adapts to the server instead of overrunning it, and the measured
-// latencies are honest round-trip times.
+// Command loadgen is a load generator for the taxonomy serving layer
+// (cmd/serve). It drives one replica or a whole fleet (-urls, round-robin)
+// in either arrival discipline:
 //
-// Two modes:
+//   - closed loop (default): a fixed number of workers each issue one batch
+//     request, wait for the response, and immediately issue the next —
+//     offered load adapts to the server, latencies are honest round trips.
+//   - open loop (-mode open -rate N): arrivals are scheduled on a fixed
+//     N-per-second clock regardless of how the server is doing, and each
+//     request's latency is measured from its *scheduled* arrival time. A
+//     stalled server therefore shows up as growing tail latency instead of
+//     silently reduced load — the coordinated-omission fix.
 //
-//	loadgen -url http://127.0.0.1:8080               # measure: per-endpoint
-//	                                                 # throughput + latency
-//	                                                 # percentiles -> JSON
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8080               # single replica, closed
+//	loadgen -urls http://a:8080,http://b:8080        # fleet, round-robin
+//	loadgen -mode open -rate 50                      # open loop, 50 arrivals/s
 //	loadgen -url http://127.0.0.1:8080 -smoke        # CI gate: short sweep of
 //	                                                 # every endpoint; any
 //	                                                 # status outside 2xx/429
 //	                                                 # fails the run
 //
 // The JSON document (stdout or -out) is the serving baseline
-// (BENCH_PR4.json, BENCH_PR6.json): one result row per endpoint with
-// requests, error counts, throughput, p50/p90/p99/max latency, and — when
-// the server exports the repro_http_stage_seconds histograms — the
-// per-stage latency attribution (decode, cache, queue, item, exec, encode)
-// measured server-side over exactly this endpoint's window.
+// (BENCH_PR4.json, BENCH_PR6.json, BENCH_PR8.json): one result row per
+// endpoint with requests, error counts, throughput, p50/p90/p99/max latency,
+// and — when the servers export the repro_http_stage_seconds histograms —
+// the per-stage latency attribution (decode, cache, queue, item, exec,
+// encode) summed across replicas over exactly this endpoint's window.
 package main
 
 import (
@@ -61,7 +68,7 @@ var payloads = map[string][]string{
 		`{"requests":[{"class":"IAP-II","kernel":"dot","n":128,"procs":8}]}`,
 	},
 	"/v1/conformance": {
-		`{"requests":[{"n":16,"procs":4}]}`,
+		`{"requests":[{"n":16,"procs":4,"kernels":["vecadd"],"classes":["IUP","IAP"]}]}`,
 	},
 	"/v1/survey": {
 		`{"requests":[{}]}`,
@@ -148,25 +155,37 @@ type stageSnapshot struct {
 	reqCount map[string]int64              // endpoint -> observations
 }
 
-// scrapeStages fetches the JSON metrics exposition and reduces it to the
-// snapshot stage attribution diffs against.
-func scrapeStages(client *http.Client, base string) (*stageSnapshot, error) {
-	resp, err := client.Get(base + "/metrics?format=json")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET /metrics?format=json: status %d", resp.StatusCode)
-	}
-	var rows []metricRow
-	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
-		return nil, fmt.Errorf("decoding /metrics?format=json: %w", err)
-	}
+// scrapeStages fetches the JSON metrics exposition from every target and
+// reduces it to one fleet-wide snapshot stage attribution diffs against:
+// sums and counts add across replicas, so the shares stay meaningful when
+// the load is spread round-robin.
+func scrapeStages(client *http.Client, targets []string) (*stageSnapshot, error) {
 	snap := &stageSnapshot{
 		stageSum: map[string]map[string]float64{},
 		reqSum:   map[string]float64{},
 		reqCount: map[string]int64{},
+	}
+	for _, base := range targets {
+		if err := scrapeInto(client, base, snap); err != nil {
+			return nil, err
+		}
+	}
+	return snap, nil
+}
+
+// scrapeInto adds one replica's histograms to the fleet snapshot.
+func scrapeInto(client *http.Client, base string, snap *stageSnapshot) error {
+	resp, err := client.Get(base + "/metrics?format=json")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s/metrics?format=json: status %d", base, resp.StatusCode)
+	}
+	var rows []metricRow
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		return fmt.Errorf("decoding %s/metrics?format=json: %w", base, err)
 	}
 	for _, row := range rows {
 		epm := endpointLabelRe.FindStringSubmatch(row.Labels)
@@ -192,7 +211,7 @@ func scrapeStages(client *http.Client, base string) (*stageSnapshot, error) {
 			}
 		}
 	}
-	return snap, nil
+	return nil
 }
 
 // stageDelta attributes one endpoint's measurement window across stages by
@@ -234,12 +253,19 @@ func stageDelta(before, after *stageSnapshot, ep string) (map[string]StageStat, 
 // Doc is the emitted JSON document — the serving-baseline counterpart of
 // tools/benchjson's format.
 type Doc struct {
-	GoVersion   string           `json:"go_version"`
-	GOOS        string           `json:"goos"`
-	GOARCH      string           `json:"goarch"`
-	GOMAXPROCS  int              `json:"gomaxprocs"`
-	Bench       string           `json:"bench"`
-	URL         string           `json:"url"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Bench      string   `json:"bench"`
+	URL        string   `json:"url"`
+	URLs       []string `json:"urls,omitempty"`
+	// Mode records the arrival discipline ("closed" or "open") so a
+	// baseline is never compared against a document measured under the
+	// other discipline.
+	Mode string `json:"mode"`
+	// RatePerSec is the scheduled arrival rate per endpoint (open mode).
+	RatePerSec  float64          `json:"rate_per_sec,omitempty"`
 	Concurrency int              `json:"concurrency"`
 	Duration    string           `json:"duration_per_endpoint"`
 	Smoke       bool             `json:"smoke,omitempty"`
@@ -258,6 +284,9 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	fs.SetOutput(w)
 	url := fs.String("url", "http://127.0.0.1:8080", "base URL of the serve process")
+	urls := fs.String("urls", "", "comma-separated replica base URLs; requests round-robin across them (overrides -url)")
+	mode := fs.String("mode", "closed", "arrival discipline: closed (workers wait for responses) or open (fixed-rate schedule)")
+	rate := fs.Float64("rate", 50, "open mode: scheduled arrivals per second per endpoint")
 	concurrency := fs.Int("c", 8, "closed-loop workers per endpoint")
 	duration := fs.Duration("d", 5*time.Second, "measurement window per endpoint")
 	endpoints := fs.String("endpoints", "", "comma-separated endpoint subset (default: all)")
@@ -269,9 +298,19 @@ func run(args []string, w io.Writer) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
 	}
+	if *mode != "closed" && *mode != "open" {
+		return fmt.Errorf("-mode must be closed or open, got %q", *mode)
+	}
+	if *mode == "open" && *rate <= 0 {
+		return fmt.Errorf("-rate must be positive in open mode, got %g", *rate)
+	}
 	if *smoke {
 		*concurrency = 2
 		*duration = time.Second
+	}
+	targets := []string{*url}
+	if *urls != "" {
+		targets = strings.Split(*urls, ",")
 	}
 
 	sweep := endpointOrder
@@ -291,25 +330,32 @@ func run(args []string, w io.Writer) error {
 		GOARCH:      runtime.GOARCH,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Bench:       "serve-loadgen",
-		URL:         *url,
+		URL:         targets[0],
+		Mode:        *mode,
 		Concurrency: *concurrency,
 		Duration:    duration.String(),
 		Smoke:       *smoke,
 	}
+	if len(targets) > 1 {
+		doc.URLs = targets
+	}
+	if *mode == "open" {
+		doc.RatePerSec = *rate
+	}
 	// Stage attribution brackets each endpoint's window with a metrics
 	// scrape; a server without the stage histograms degrades to latency-only
 	// rows rather than failing the run.
-	prev, scrapeErr := scrapeStages(client, *url)
+	prev, scrapeErr := scrapeStages(client, targets)
 	if scrapeErr != nil {
 		fmt.Fprintf(w, "# stage attribution disabled: %v\n", scrapeErr)
 	}
 	for _, ep := range sweep {
-		res, err := hammer(client, *url, ep, *concurrency, *duration)
+		res, err := hammer(client, targets, ep, *mode, *concurrency, *rate, *duration)
 		if err != nil {
 			return err
 		}
 		if prev != nil {
-			if cur, err := scrapeStages(client, *url); err == nil {
+			if cur, err := scrapeStages(client, targets); err == nil {
 				res.Stages, res.DominantStage = stageDelta(prev, cur, ep)
 				prev = cur
 			}
@@ -338,47 +384,78 @@ func run(args []string, w io.Writer) error {
 	return err
 }
 
-// hammer drives one endpoint with a closed loop of workers for the window
-// and reduces the per-request observations into one result row.
-func hammer(client *http.Client, base, ep string, workers int, window time.Duration) (EndpointResult, error) {
+// hammer drives one endpoint for the window — closed loop of `workers`, or
+// open loop at `rate` arrivals/s — and reduces the per-request observations
+// into one result row. Requests round-robin across the targets; body and
+// target rotate on independent cursors so every payload variant reaches
+// every replica.
+func hammer(client *http.Client, targets []string, ep, mode string, workers int, rate float64, window time.Duration) (EndpointResult, error) {
 	bodies := payloads[ep]
 	var (
-		next      atomic.Int64 // rotation cursor across all workers
-		rejected  atomic.Int64
-		failures  atomic.Int64
-		mu        sync.Mutex
-		latencies []float64 // ms, successful requests only
-		wg        sync.WaitGroup
+		nextBody   atomic.Int64 // payload rotation cursor across all workers
+		nextTarget atomic.Int64 // replica round-robin cursor
+		rejected   atomic.Int64
+		failures   atomic.Int64
+		mu         sync.Mutex
+		latencies  []float64 // ms, successful requests only
+		wg         sync.WaitGroup
 	)
-	deadline := time.Now().Add(window)
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var local []float64
-			for time.Now().Before(deadline) {
-				body := bodies[next.Add(1)%int64(len(bodies))]
-				start := time.Now()
-				resp, err := client.Post(base+ep, "application/json", strings.NewReader(body))
-				if err != nil {
-					failures.Add(1)
-					continue
-				}
-				_, _ = io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				switch {
-				case resp.StatusCode == http.StatusTooManyRequests:
-					rejected.Add(1)
-				case resp.StatusCode >= 200 && resp.StatusCode < 300:
-					local = append(local, float64(time.Since(start).Microseconds())/1000)
-				default:
-					failures.Add(1)
-				}
-			}
+	// shoot issues one request and records its latency as measured from
+	// `start` — the send time in closed mode, the *scheduled* arrival time
+	// in open mode (so queueing behind a slow server is charged to the
+	// request, not silently dropped from the sample).
+	shoot := func(start time.Time) {
+		body := bodies[nextBody.Add(1)%int64(len(bodies))]
+		base := targets[nextTarget.Add(1)%int64(len(targets))]
+		resp, err := client.Post(base+ep, "application/json", strings.NewReader(body))
+		if err != nil {
+			failures.Add(1)
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			rejected.Add(1)
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			ms := float64(time.Since(start).Microseconds()) / 1000
 			mu.Lock()
-			latencies = append(latencies, local...)
+			latencies = append(latencies, ms)
 			mu.Unlock()
-		}()
+		default:
+			failures.Add(1)
+		}
+	}
+	deadline := time.Now().Add(window)
+	switch mode {
+	case "open":
+		// Fixed-rate arrival schedule: tick k fires at start + k/rate no
+		// matter how long earlier requests take. One goroutine per arrival;
+		// in-flight count floats with server latency, which is the point.
+		interval := time.Duration(float64(time.Second) / rate)
+		begin := time.Now()
+		for k := int64(0); ; k++ {
+			sched := begin.Add(time.Duration(k) * interval)
+			if !sched.Before(deadline) {
+				break
+			}
+			time.Sleep(time.Until(sched))
+			wg.Add(1)
+			go func(sched time.Time) {
+				defer wg.Done()
+				shoot(sched)
+			}(sched)
+		}
+	default: // closed
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					shoot(time.Now())
+				}
+			}()
+		}
 	}
 	wg.Wait()
 

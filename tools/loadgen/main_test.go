@@ -3,8 +3,10 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/server"
@@ -17,7 +19,11 @@ func TestSmokeAgainstRealServer(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second closed-loop run")
 	}
-	s := server.New(server.Config{})
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -144,5 +150,89 @@ func TestBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"positional"}, &out); err == nil {
 		t.Error("positional args must error")
+	}
+	if err := run([]string{"-mode", "sideways"}, &out); err == nil {
+		t.Error("unknown mode must error")
+	}
+	if err := run([]string{"-mode", "open", "-rate", "0"}, &out); err == nil {
+		t.Error("non-positive open-loop rate must error")
+	}
+}
+
+// TestRoundRobinURLs: with -urls listing two replicas, both must receive
+// traffic and the emitted document must record the whole fleet.
+func TestRoundRobinURLs(t *testing.T) {
+	var hits [2]int64
+	mk := func(i int) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/flexibility" {
+				atomic.AddInt64(&hits[i], 1)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"results":[]}`)
+		}))
+	}
+	a, b := mk(0), mk(1)
+	defer a.Close()
+	defer b.Close()
+
+	var out bytes.Buffer
+	err := run([]string{"-urls", a.URL + "," + b.URL, "-endpoints", "/v1/flexibility",
+		"-c", "2", "-d", "300ms"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if hits[0] == 0 || hits[1] == 0 {
+		t.Errorf("round-robin skipped a replica: hits = %v", hits)
+	}
+	var doc Doc
+	idx := bytes.IndexByte(out.Bytes(), '{')
+	if err := json.Unmarshal(out.Bytes()[idx:], &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.URLs) != 2 {
+		t.Errorf("doc.URLs = %v, want both replicas", doc.URLs)
+	}
+	if doc.Mode != "closed" {
+		t.Errorf("doc.Mode = %q, want closed", doc.Mode)
+	}
+}
+
+// TestOpenLoopMode: the open-loop scheduler must issue close to rate*window
+// arrivals even though each response is instant (a closed loop with the same
+// worker count would issue far more), and the document must record the
+// discipline and the rate so baselines are never cross-compared.
+func TestOpenLoopMode(t *testing.T) {
+	var hits int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/flexibility" {
+			atomic.AddInt64(&hits, 1)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"results":[]}`)
+	}))
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{"-url", ts.URL, "-mode", "open", "-rate", "100",
+		"-endpoints", "/v1/flexibility", "-d", "500ms"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	// 100/s over 500ms schedules 50 arrivals; allow generous slack for a
+	// loaded CI machine's sleep jitter, but fail if the scheduler degraded
+	// to closed-loop behaviour (instant responses would then yield
+	// thousands of requests).
+	got := atomic.LoadInt64(&hits)
+	if got < 25 || got > 75 {
+		t.Errorf("open loop issued %d arrivals, want ~50", got)
+	}
+	var doc Doc
+	idx := bytes.IndexByte(out.Bytes(), '{')
+	if err := json.Unmarshal(out.Bytes()[idx:], &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Mode != "open" || doc.RatePerSec != 100 {
+		t.Errorf("doc mode/rate = %q/%g, want open/100", doc.Mode, doc.RatePerSec)
 	}
 }
