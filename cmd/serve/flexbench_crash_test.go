@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flexbench"
+	"repro/internal/jobs"
+	"repro/internal/server"
+)
+
+// TestFlexbenchCampaignSurvivesKill is the measured-flexibility twin of
+// TestJobQueueSurvivesKill: a serve process is SIGKILLed in the middle of a
+// flexbench campaign (112 journaled cell chunks, padded with stability
+// repeats so the kill provably lands mid-sweep), and a fresh server over
+// the same jobs directory must resume at the journaled cell cursor and
+// reduce to the exact result an uninterrupted run produces.
+func TestFlexbenchCampaignSurvivesKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child process and runs a multi-second campaign")
+	}
+	jobsDir := t.TempDir()
+
+	args := []string{"-addr", "127.0.0.1:0", "-jobs-dir", jobsDir}
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperServeProcess")
+	cmd.Env = append(os.Environ(),
+		"SERVE_CRASH_HELPER=1",
+		"SERVE_CRASH_ARGS="+strings.Join(args, "\x1f"),
+	)
+	var out syncBuffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	}()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("child never announced its address; output: %q", out.String())
+		}
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// repeat=64 stretches each of the 112 cell chunks to ~100ms without
+	// changing the reduced result (every repeat must reproduce the first
+	// run bit for bit) — runway for a mid-campaign kill.
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"flexbench","spec":{"n":16,"repeat":64}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted jobs.Job
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+
+	var preKill jobs.Job
+	deadline = time.Now().Add(30 * time.Second)
+	for preKill.ChunksDone < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never made progress: %+v", preKill)
+		}
+		pr, err := http.Get(base + "/v1/jobs/" + submitted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(pr.Body).Decode(&preKill); err != nil {
+			t.Fatal(err)
+		}
+		pr.Body.Close()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if preKill.ChunksTotal != 112 {
+		t.Fatalf("campaign has %d chunks, want one per runnable cell (112)", preKill.ChunksTotal)
+	}
+
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no goodbye
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+	killed = true
+
+	s, err := server.New(server.Config{JobsDir: jobsDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if v, _ := s.Registry().CounterValue(jobs.MetricRecovered); v != 1 {
+		t.Errorf("%s = %d, want 1", jobs.MetricRecovered, v)
+	}
+
+	var final jobs.Job
+	deadline = time.Now().Add(2 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered job never finished: %+v", final)
+		}
+		pr, err := http.Get(ts.URL + "/v1/jobs/" + submitted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.StatusCode != http.StatusOK {
+			pr.Body.Close()
+			t.Fatalf("recovered job not found: status %d", pr.StatusCode)
+		}
+		if err := json.NewDecoder(pr.Body).Decode(&final); err != nil {
+			t.Fatal(err)
+		}
+		pr.Body.Close()
+		if final.State == jobs.StateDone || final.State == jobs.StateFailed || final.State == jobs.StateCancelled {
+			break
+		}
+		if final.ChunksDone < preKill.ChunksDone {
+			t.Fatalf("resume lost progress: %d chunks after kill at %d", final.ChunksDone, preKill.ChunksDone)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if final.State != jobs.StateDone {
+		t.Fatalf("recovered job finished %s (error %q), want done", final.State, final.Error)
+	}
+
+	// The crash must be invisible in the result: byte-identical to an
+	// uninterrupted in-process run at the same operating point.
+	var res flexbench.Result
+	if err := json.Unmarshal(final.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass || len(res.Scores) != 42 {
+		t.Fatalf("recovered result = pass %v with %d scores, want passing full frontier", res.Pass, len(res.Scores))
+	}
+	direct, err := flexbench.Run(context.Background(), flexbench.Params{N: 16, Procs: 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("recovered result differs from uninterrupted run:\nrecovered: %.300s\ndirect:    %.300s", gotJSON, wantJSON)
+	}
+}

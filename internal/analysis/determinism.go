@@ -24,6 +24,7 @@ var DefaultDeterminismScope = []string{
 	"repro/internal/spatial",
 	"repro/internal/dataflow",
 	"repro/internal/conformance",
+	"repro/internal/flexbench",
 	"repro/internal/modelzoo",
 	"repro/internal/cache",
 	"repro/internal/jobs",

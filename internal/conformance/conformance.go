@@ -370,6 +370,16 @@ func Matrix() []Cell {
 	return cells
 }
 
+// Execute runs the cell's kernel and returns the raw machine result plus
+// the pure-Go reference output, without Run's tracer and metric
+// cross-checks — the measurement accessor internal/flexbench builds on,
+// where the full machine.Stats (not just cycles and instructions) feed the
+// energy-weighted scores. The cycles it reports are the same ones Run
+// reports; flexbench's differential test tier pins that equality.
+func (c Cell) Execute(p Params, opts ...workload.Option) (workload.Result, []isa.Word, error) {
+	return c.run(p, opts...)
+}
+
 // Run executes one cell: the kernel runs with a tracer attached, the output
 // is compared against the pure-Go reference, and the trace is aggregated
 // into metrics that must reproduce the run's machine.Stats exactly.

@@ -1,0 +1,150 @@
+package flexbench
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/conformance"
+)
+
+// TestUniverseShape pins the measurement grid to the paper's geometry:
+// 7 kernels × 42 class columns = 294 cells, of which exactly the 112
+// conformance matrix cells are runnable.
+func TestUniverseShape(t *testing.T) {
+	uni := Universe()
+	if len(uni) != 7*42 {
+		t.Fatalf("universe has %d cells, want %d", len(uni), 7*42)
+	}
+	runnable := 0
+	for _, c := range uni {
+		if c.Runnable {
+			runnable++
+		}
+	}
+	if runnable != len(conformance.Matrix()) {
+		t.Errorf("universe marks %d cells runnable, conformance matrix has %d", runnable, len(conformance.Matrix()))
+	}
+	if got := len(RunnableCells()); got != runnable {
+		t.Errorf("RunnableCells() = %d cells, want %d", got, runnable)
+	}
+}
+
+// TestDifferentialAgainstConformance is the pinning tier: every flexbench
+// cell's cycle and instruction counts must equal — cell for cell — what the
+// independent conformance runner reports for the same (kernel, class) at
+// the same operating point. The two paths share the cell's program but not
+// the runner (conformance attaches a tracer and cross-checks metrics;
+// flexbench runs bare), so agreement here proves the measurement layer adds
+// zero perturbation.
+func TestDifferentialAgainstConformance(t *testing.T) {
+	p := Params{N: 16, Procs: 4}
+	ctx := context.Background()
+
+	cells, err := Measure(ctx, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, allPass := conformance.RunMatrixParallel(ctx, p.conf(), 4)
+	if !allPass {
+		t.Fatal("conformance matrix must pass for the differential to be meaningful")
+	}
+	byCell := make(map[string]conformance.CellResult, len(ref))
+	for _, r := range ref {
+		byCell[r.Kernel+"|"+r.Class] = r
+	}
+
+	compared := 0
+	for _, c := range cells {
+		if !c.Runnable {
+			if c.Cycles != 0 || c.Err != "" {
+				t.Errorf("%s/%s: unrunnable cell carries measurements: %+v", c.Kernel, c.Class, c)
+			}
+			continue
+		}
+		r, ok := byCell[c.Kernel+"|"+c.Class]
+		if !ok {
+			t.Errorf("%s/%s: flexbench measures a cell conformance does not have", c.Kernel, c.Class)
+			continue
+		}
+		if c.Err != "" {
+			t.Errorf("%s/%s: %s", c.Kernel, c.Class, c.Err)
+			continue
+		}
+		if c.Cycles != r.Cycles {
+			t.Errorf("%s/%s: flexbench %d cycles, conformance %d", c.Kernel, c.Class, c.Cycles, r.Cycles)
+		}
+		if c.Instructions != r.Instructions {
+			t.Errorf("%s/%s: flexbench %d instructions, conformance %d", c.Kernel, c.Class, c.Instructions, r.Instructions)
+		}
+		compared++
+	}
+	if compared != len(ref) {
+		t.Errorf("compared %d cells, conformance has %d", compared, len(ref))
+	}
+}
+
+// TestMeasureCellUnknownPair: asking for a cell outside the universe is a
+// coverage hole, not an error.
+func TestMeasureCellUnknownPair(t *testing.T) {
+	c := MeasureCell("matmul", "USP", DefaultParams())
+	if c.Runnable || c.Err != "" || c.Cycles != 0 {
+		t.Errorf("unrunnable cell = %+v, want empty hole", c)
+	}
+	c = MeasureCell("sort", "IUP", DefaultParams())
+	if c.Runnable || c.Cycles != 0 {
+		t.Errorf("unknown kernel cell = %+v, want empty hole", c)
+	}
+}
+
+// TestRunFullUniverse: the one-call entry point passes at the default
+// sizing and reports the full frontier with both correlations populated.
+func TestRunFullUniverse(t *testing.T) {
+	res, err := Run(context.Background(), Params{N: 16, Procs: 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		for _, s := range res.Scores {
+			for _, e := range s.Errors {
+				t.Errorf("%s: %s", s.Class, e)
+			}
+		}
+		t.Fatal("full-universe run did not pass")
+	}
+	if len(res.Kernels) != 7 || len(res.Scores) != 42 {
+		t.Fatalf("result has %d kernels, %d classes; want 7, 42", len(res.Kernels), len(res.Scores))
+	}
+	if res.TableII.Pairs != 42 {
+		t.Errorf("Table II correlation covers %d classes, want 42", res.TableII.Pairs)
+	}
+	if res.Survey.Pairs != 25 || len(res.Survey.Uncovered) != 0 {
+		t.Errorf("survey correlation covers %d machines (%d uncovered), want all 25",
+			res.Survey.Pairs, len(res.Survey.Uncovered))
+	}
+	for _, s := range res.Scores {
+		if s.Score < 0 || s.Score > 1 {
+			t.Errorf("%s: score %v outside [0,1]", s.Class, s.Score)
+		}
+		if s.StructuralFlexibility < 0 {
+			t.Errorf("%s: no Table II score for a real class", s.Class)
+		}
+	}
+}
+
+// TestValidateRejectsBadSizings mirrors the conformance sizing contract.
+func TestValidateRejectsBadSizings(t *testing.T) {
+	for _, p := range []Params{
+		{N: 0, Procs: 4},
+		{N: 64, Procs: 0},
+		{N: 64, Procs: 6},
+		{N: 30, Procs: 4},
+		{N: 64, Procs: 2},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid sizing", p)
+		}
+	}
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+}

@@ -1,0 +1,106 @@
+package flexbench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// FrontierTable renders the per-class frontier as a report table — the
+// shape EXPERIMENTS.md §B9 and the CLI's text/CSV modes share.
+func (r Result) FrontierTable() report.Table {
+	t := report.Table{Headers: []string{
+		"class", "tableII", "coverage", "geo-slowdown", "score",
+		"energy-score", "area-kGE", "score/MGE",
+	}}
+	for _, s := range r.Scores {
+		t.AddRow(
+			s.Class,
+			strconv.Itoa(s.StructuralFlexibility),
+			fmt.Sprintf("%.3f", s.Coverage),
+			fmt.Sprintf("%.3f", s.GeomeanSlowdown),
+			fmt.Sprintf("%.4f", s.Score),
+			fmt.Sprintf("%.4f", s.EnergyScore),
+			fmt.Sprintf("%.1f", s.AreaGE/1e3),
+			fmt.Sprintf("%.4f", s.ScorePerMGE),
+		)
+	}
+	return t
+}
+
+// CSV renders the frontier table as comma-separated values.
+func (r Result) CSV() string {
+	t := r.FrontierTable()
+	return t.CSV()
+}
+
+// familyGlyph maps a class column to its frontier-figure glyph.
+func familyGlyph(class string) rune {
+	switch {
+	case class == "IUP":
+		return 'u'
+	case class == "USP":
+		return 'f'
+	case strings.HasPrefix(class, "IAP"):
+		return 'a'
+	case strings.HasPrefix(class, "IMP"):
+		return 'm'
+	case strings.HasPrefix(class, "ISP"):
+		return 's'
+	case strings.HasPrefix(class, "DMP"):
+		return 'd'
+	}
+	return '*'
+}
+
+// Figure renders the frontier scatter: the paper's structural flexibility
+// on the x axis against the measured score on the y axis, one glyph per
+// class family.
+func (r Result) Figure(width, height int) (string, error) {
+	var pts []report.ScatterPoint
+	for _, s := range r.Scores {
+		if s.StructuralFlexibility < 0 {
+			continue
+		}
+		pts = append(pts, report.ScatterPoint{
+			X:     float64(s.StructuralFlexibility),
+			Y:     s.Score,
+			Glyph: familyGlyph(s.Class),
+		})
+	}
+	return report.Scatter(pts, width, height)
+}
+
+// Text renders the human report: the frontier table, the frontier figure
+// and the correlation summaries with their outlier lists.
+func (r Result) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "measured flexibility: %d kernels x %d classes at n=%d procs=%d (pass=%v)\n\n",
+		len(r.Kernels), len(r.Scores), r.Params.N, r.Params.Procs, r.Pass)
+	t := r.FrontierTable()
+	b.WriteString(t.Text())
+	if fig, err := r.Figure(56, 12); err == nil {
+		b.WriteString("\nfrontier: Table II structural flexibility (x) vs measured score (y)\n")
+		b.WriteString("glyphs: u=IUP a=IAP m=IMP s=ISP d=DMP f=USP (#=collision)\n")
+		b.WriteString(fig)
+	}
+	fmt.Fprintf(&b, "\nspearman vs Table II: %.4f over %d classes", r.TableII.Spearman, r.TableII.Pairs)
+	if len(r.TableII.Outliers) > 0 {
+		fmt.Fprintf(&b, " (outliers: %s)", strings.Join(r.TableII.Outliers, ", "))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "spearman vs Table III survey: %.4f over %d machines (%.4f instruction-flow only)",
+		r.Survey.Spearman, r.Survey.Pairs, r.Survey.SpearmanComparable)
+	if len(r.Survey.Outliers) > 0 {
+		fmt.Fprintf(&b, " (outliers: %s)", strings.Join(r.Survey.Outliers, ", "))
+	}
+	b.WriteString("\n")
+	for _, s := range r.Scores {
+		for _, e := range s.Errors {
+			fmt.Fprintf(&b, "FAIL %s %s\n", s.Class, e)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package flexbench
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// smallResult measures the real universe once per test binary; render tests
+// share it.
+func smallResult(t *testing.T) Result {
+	t.Helper()
+	res, err := Run(context.Background(), Params{N: 16, Procs: 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFrontierTableAndCSV(t *testing.T) {
+	res := smallResult(t)
+	table := res.FrontierTable()
+	if len(table.Headers) != 8 || table.Headers[0] != "class" {
+		t.Fatalf("table headers = %v", table.Headers)
+	}
+	csv := res.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if len(lines) != 1+42 {
+		t.Fatalf("CSV has %d lines, want header + 42 classes", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "IUP,") || !strings.HasPrefix(lines[42], "USP,") {
+		t.Errorf("CSV rows out of column order: first %q, last %q", lines[1], lines[42])
+	}
+}
+
+func TestFigureGlyphs(t *testing.T) {
+	res := smallResult(t)
+	fig, err := res.Figure(56, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every class family must land at least one glyph on the grid (some may
+	// collide into '#', so check families that occupy distinct columns).
+	for _, g := range []string{"u", "m"} {
+		if !strings.Contains(fig, g) {
+			t.Errorf("figure missing family glyph %q:\n%s", g, fig)
+		}
+	}
+	if _, err := res.Figure(1, 1); err == nil {
+		t.Error("degenerate figure size accepted")
+	}
+}
+
+func TestFamilyGlyph(t *testing.T) {
+	for class, want := range map[string]rune{
+		"IUP": 'u', "USP": 'f', "IAP-II": 'a', "IMP-XVI": 'm',
+		"ISP-I": 's', "DMP-IV": 'd', "ZZZ": '*',
+	} {
+		if got := familyGlyph(class); got != want {
+			t.Errorf("familyGlyph(%q) = %q, want %q", class, got, want)
+		}
+	}
+}
+
+func TestTextReport(t *testing.T) {
+	res := smallResult(t)
+	out := res.Text()
+	for _, want := range []string{
+		"measured flexibility: 7 kernels x 42 classes",
+		"spearman vs Table II:",
+		"spearman vs Table III survey:",
+		"glyphs: u=IUP",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("passing run renders FAIL lines:\n%s", out)
+	}
+
+	// A failed cell surfaces as a FAIL line.
+	bad := res
+	bad.Scores = append([]ClassScore{}, res.Scores...)
+	bad.Scores[0].Errors = []string{"vecadd: machine: exploded"}
+	if !strings.Contains(bad.Text(), "FAIL IUP vecadd: machine: exploded") {
+		t.Error("failed cell not rendered as a FAIL line")
+	}
+}

@@ -1,0 +1,189 @@
+package flexbench
+
+import (
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/taxonomy"
+)
+
+// KernelScore is one scored cell of a class's row: the raw cycles and the
+// slowdown against the best class for the same kernel (1.0 = this class is
+// the best), plus the energy-weighted variant priced by internal/cost.
+type KernelScore struct {
+	Kernel string `json:"kernel"`
+	Cycles int64  `json:"cycles"`
+	// Slowdown is Cycles / best-in-class cycles for this kernel, >= 1.
+	Slowdown float64 `json:"slowdown"`
+	// Best marks the cell(s) that set the kernel's baseline.
+	Best bool `json:"best,omitempty"`
+	// EnergyPJ is the run's modelled energy (Eq 1 area × leakage plus the
+	// per-event issue/ALU/memory/network charges); EnergyRatio normalises
+	// it against the kernel's best. Both are 0 when the class's area is
+	// unknown and the cell reports no priced events.
+	EnergyPJ    float64 `json:"energy_pj,omitempty"`
+	EnergyRatio float64 `json:"energy_ratio,omitempty"`
+}
+
+// ClassScore is one architecture class's row of the empirical frontier.
+type ClassScore struct {
+	Class string `json:"class"`
+	// StructuralFlexibility is the paper's Table II score for the class, or
+	// -1 when the class name is not in the taxonomy (synthetic test input).
+	StructuralFlexibility int `json:"structural_flexibility"`
+	// Coverage is the fraction of the kernel suite the class can run and
+	// ran successfully — unrunnable holes and failed cells both cost
+	// coverage, they never reach a division.
+	Coverage float64 `json:"coverage"`
+	// GeomeanSlowdown is the geometric mean of the scored cells' slowdowns
+	// (>= 1; 0 when nothing is scored).
+	GeomeanSlowdown float64 `json:"geomean_slowdown"`
+	// Score is the headline measured flexibility: Coverage /
+	// GeomeanSlowdown, in (0, 1] for any class that runs anything, 1.0 only
+	// for a class that runs every kernel best.
+	Score float64 `json:"score"`
+	// AreaGE is the class's Eq 1 area at the measurement's Procs (0 when
+	// unknown), and ScorePerMGE the area-weighted variant Score / (AreaGE /
+	// 1e6). The weight is class-intrinsic on purpose: adding another class
+	// to the measurement can never change it.
+	AreaGE      float64 `json:"area_ge,omitempty"`
+	ScorePerMGE float64 `json:"score_per_mge,omitempty"`
+	// GeomeanEnergyRatio and EnergyScore are the energy-weighted variants
+	// over the cells with a priced energy (> 0 pJ).
+	GeomeanEnergyRatio float64 `json:"geomean_energy_ratio,omitempty"`
+	EnergyScore        float64 `json:"energy_score,omitempty"`
+	// Kernels lists the scored cells in kernel order.
+	Kernels []KernelScore `json:"kernels,omitempty"`
+	// Errors lists the class's failed cells ("kernel: message").
+	Errors []string `json:"errors,omitempty"`
+}
+
+// ScoreCells derives the per-class frontier scores from measured cells. It
+// is a pure, total function of its input — the property-test and fuzz
+// surface guarding the scoring rule:
+//
+//   - normalisation is scale-invariant (scaling every cycle count leaves
+//     every slowdown, geomean and score bit-identical),
+//   - the best class for a kernel always gets slowdown 1.0,
+//   - adding a dominated class never changes existing classes' scores,
+//   - unrunnable or failed cells reduce coverage but never divide by zero.
+//
+// Kernel and class orders are first-appearance orders of the input, so the
+// full universe scores in display order.
+func ScoreCells(cells []CellMeasure, procs int) []ClassScore {
+	var kernels, classes []string
+	kidx := map[string]int{}
+	cidx := map[string]int{}
+	for _, c := range cells {
+		if _, ok := kidx[c.Kernel]; !ok {
+			kidx[c.Kernel] = len(kernels)
+			kernels = append(kernels, c.Kernel)
+		}
+		if _, ok := cidx[c.Class]; !ok {
+			cidx[c.Class] = len(classes)
+			classes = append(classes, c.Class)
+		}
+	}
+
+	// Class-intrinsic context: Table II score and Eq 1 area. Unknown class
+	// names (synthetic test input) score structurally -1 with no area.
+	structural := make([]int, len(classes))
+	areas := make([]float64, len(classes))
+	model, modelErr := cost.NewModel(cost.DefaultLibrary())
+	for i, cl := range classes {
+		structural[i] = -1
+		tc, err := taxonomy.LookupString(cl)
+		if err != nil {
+			continue
+		}
+		structural[i] = taxonomy.Flexibility(tc)
+		if modelErr == nil {
+			if est, err := model.ForClass(tc, procs); err == nil {
+				areas[i] = est.Area
+			}
+		}
+	}
+
+	// Per-cell energy, then per-kernel bests for both metrics. A cell with
+	// no priced energy (0 pJ) is excluded from the energy frontier rather
+	// than ever becoming a zero denominator.
+	energyParams := cost.DefaultEnergyParams()
+	energy := make([]float64, len(cells))
+	for i, c := range cells {
+		if !c.scored() {
+			continue
+		}
+		est := cost.Estimate{Area: areas[cidx[c.Class]]}
+		if eb, err := cost.Energy(energyParams, est, c.stats()); err == nil {
+			energy[i] = eb.TotalPJ
+		}
+	}
+	bestCycles := make([]int64, len(kernels))
+	bestEnergy := make([]float64, len(kernels))
+	for i, c := range cells {
+		if !c.scored() {
+			continue
+		}
+		k := kidx[c.Kernel]
+		if bestCycles[k] == 0 || c.Cycles < bestCycles[k] {
+			bestCycles[k] = c.Cycles
+		}
+		if energy[i] > 0 && (bestEnergy[k] == 0 || energy[i] < bestEnergy[k]) {
+			bestEnergy[k] = energy[i]
+		}
+	}
+
+	perClass := make([][]int, len(classes))
+	for i, c := range cells {
+		ci := cidx[c.Class]
+		perClass[ci] = append(perClass[ci], i)
+	}
+
+	out := make([]ClassScore, len(classes))
+	for ci, cl := range classes {
+		cs := ClassScore{Class: cl, StructuralFlexibility: structural[ci], AreaGE: areas[ci]}
+		var logSum, elogSum float64
+		var n, en int
+		for _, i := range perClass[ci] {
+			c := cells[i]
+			if c.Err != "" {
+				cs.Errors = append(cs.Errors, c.Kernel+": "+c.Err)
+			}
+			if !c.scored() {
+				continue
+			}
+			k := kidx[c.Kernel]
+			ks := KernelScore{
+				Kernel:   c.Kernel,
+				Cycles:   c.Cycles,
+				Slowdown: float64(c.Cycles) / float64(bestCycles[k]),
+				Best:     c.Cycles == bestCycles[k],
+			}
+			logSum += math.Log(ks.Slowdown)
+			n++
+			if energy[i] > 0 && bestEnergy[k] > 0 {
+				ks.EnergyPJ = energy[i]
+				ks.EnergyRatio = energy[i] / bestEnergy[k]
+				elogSum += math.Log(ks.EnergyRatio)
+				en++
+			}
+			cs.Kernels = append(cs.Kernels, ks)
+		}
+		if len(kernels) > 0 {
+			cs.Coverage = float64(n) / float64(len(kernels))
+		}
+		if n > 0 {
+			cs.GeomeanSlowdown = math.Exp(logSum / float64(n))
+			cs.Score = cs.Coverage / cs.GeomeanSlowdown
+		}
+		if en > 0 {
+			cs.GeomeanEnergyRatio = math.Exp(elogSum / float64(en))
+			cs.EnergyScore = cs.Coverage / cs.GeomeanEnergyRatio
+		}
+		if cs.AreaGE > 0 {
+			cs.ScorePerMGE = cs.Score / (cs.AreaGE / 1e6)
+		}
+		out[ci] = cs
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/flexbench"
+)
+
+// TestFlexbenchRunnerRoundTrip drives the campaign runner chunk by chunk,
+// the way the queue does, and checks the reduced result is byte-identical
+// to a direct flexbench.Run at the same operating point — chunked execution
+// with journaling in between must be an implementation detail, invisible in
+// the result.
+func TestFlexbenchRunnerRoundTrip(t *testing.T) {
+	r := FlexbenchRunner{}
+	spec := json.RawMessage(`{"n":16}`)
+	chunks, err := r.Prepare(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(flexbench.RunnableCells()); chunks != want {
+		t.Fatalf("Prepare = %d chunks, want one per runnable cell (%d)", chunks, want)
+	}
+
+	ctx := context.Background()
+	payloads := make([]json.RawMessage, chunks)
+	for i := 0; i < chunks; i++ {
+		payloads[i], err = r.RunChunk(ctx, spec, i, 1)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+	}
+	reduced, err := r.Reduce(spec, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct, err := flexbench.Run(ctx, flexbench.Params{N: 16, Procs: 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reduced, want) {
+		t.Errorf("reduced campaign differs from direct run:\ncampaign: %.300s\ndirect:   %.300s", reduced, want)
+	}
+}
+
+// TestFlexbenchRunnerRepeatStability: the repeat knob re-executes a cell and
+// demands bit-identical statistics — on a deterministic simulator every
+// repeat must agree, so the chunk payload is the same with or without it.
+func TestFlexbenchRunnerRepeatStability(t *testing.T) {
+	r := FlexbenchRunner{}
+	ctx := context.Background()
+	once, err := r.RunChunk(ctx, json.RawMessage(`{"n":16}`), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repeated, err := r.RunChunk(ctx, json.RawMessage(`{"n":16,"repeat":8}`), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(once, repeated) {
+		t.Errorf("repeat=8 payload differs from single run:\nonce:     %s\nrepeated: %s", once, repeated)
+	}
+	var cell flexbench.CellMeasure
+	if err := json.Unmarshal(repeated, &cell); err != nil {
+		t.Fatal(err)
+	}
+	if cell.Err != "" || cell.Cycles <= 0 {
+		t.Errorf("repeated cell = %+v, want a clean measurement", cell)
+	}
+}
+
+// TestFlexbenchRunnerSpecValidation: bad specs fail at Prepare, loudly.
+func TestFlexbenchRunnerSpecValidation(t *testing.T) {
+	r := FlexbenchRunner{}
+	for _, spec := range []string{
+		`{"n":30,"procs":4}`,
+		`{"procs":3}`,
+		`{"n":99999}`,
+		`{"repeat":-1}`,
+		`{"repeat":2048}`,
+		`{"cells":true}`,
+	} {
+		if _, err := r.Prepare(json.RawMessage(spec)); err == nil {
+			t.Errorf("Prepare accepted bad spec %s", spec)
+		}
+	}
+	if _, err := r.Prepare(json.RawMessage(`{}`)); err != nil {
+		t.Errorf("Prepare rejected the default spec: %v", err)
+	}
+}
+
+// TestFlexbenchRunnerChunkBounds: chunk indices outside the runnable set
+// and reduce with a short chunk list are errors, not silent truncation.
+func TestFlexbenchRunnerChunkBounds(t *testing.T) {
+	r := FlexbenchRunner{}
+	ctx := context.Background()
+	spec := json.RawMessage(`{"n":16}`)
+	if _, err := r.RunChunk(ctx, spec, -1, 1); err == nil {
+		t.Error("negative chunk index accepted")
+	}
+	if _, err := r.RunChunk(ctx, spec, len(flexbench.RunnableCells()), 1); err == nil {
+		t.Error("out-of-range chunk index accepted")
+	}
+	if _, err := r.Reduce(spec, nil); err == nil {
+		t.Error("Reduce accepted an empty chunk list for a full campaign")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"repro/internal/conformance"
+	"repro/internal/flexbench"
 )
 
 // Runner executes one job kind as a sequence of deterministic chunks. The
@@ -32,10 +33,10 @@ type Runner interface {
 	Reduce(spec json.RawMessage, chunks []json.RawMessage) (json.RawMessage, error)
 }
 
-// DefaultRunners are the three heavy batch campaigns the serving tier
-// redirects off the request path.
+// DefaultRunners are the heavy batch campaigns the serving tier redirects
+// off the request path.
 func DefaultRunners() []Runner {
-	return []Runner{ConformanceRunner{}, LockstepRunner{}, BackendsRunner{}}
+	return []Runner{ConformanceRunner{}, LockstepRunner{}, BackendsRunner{}, FlexbenchRunner{}}
 }
 
 // decodeSpec unmarshals a job spec strictly: unknown fields are an error,
@@ -372,4 +373,127 @@ func (BackendsRunner) Reduce(spec json.RawMessage, chunks []json.RawMessage) (js
 		}
 	}
 	return json.Marshal(out)
+}
+
+// ---- flexbench: the measured-flexibility frontier campaign.
+
+// FlexbenchSpec sizes a measured-flexibility campaign. Chunking is one
+// chunk per runnable matrix cell (112 at the full universe), so progress
+// reads as "cells measured" and a crash loses at most one cell. Repeat
+// re-executes each cell inside its chunk and demands bit-identical
+// statistics — a cycle-stability audit the synchronous endpoint cannot
+// afford.
+type FlexbenchSpec struct {
+	// N is the problem size (default 64).
+	N int `json:"n,omitempty"`
+	// Procs is the lane/core/PE count (default 4).
+	Procs int `json:"procs,omitempty"`
+	// Repeat is how many times each cell is executed (default 1); every
+	// repeat must reproduce the first run's statistics exactly.
+	Repeat int `json:"repeat,omitempty"`
+}
+
+// maxJobFlexbenchRepeat caps the per-cell stability repeats.
+const maxJobFlexbenchRepeat = 1 << 10
+
+// FlexbenchRunner runs measured-flexibility campaigns.
+type FlexbenchRunner struct{}
+
+// Kind implements Runner.
+func (FlexbenchRunner) Kind() string { return "flexbench" }
+
+// params applies defaults and validates.
+func (FlexbenchRunner) params(spec json.RawMessage) (flexbench.Params, int, error) {
+	var s FlexbenchSpec
+	if err := decodeSpec(spec, &s); err != nil {
+		return flexbench.Params{}, 0, err
+	}
+	p := flexbench.DefaultParams()
+	if s.N != 0 {
+		p.N = s.N
+	}
+	if s.Procs != 0 {
+		p.Procs = s.Procs
+	}
+	repeat := 1
+	if s.Repeat != 0 {
+		repeat = s.Repeat
+	}
+	if p.N > maxJobConformanceN {
+		return flexbench.Params{}, 0, fmt.Errorf("jobs: flexbench n must be <= %d, got %d", maxJobConformanceN, p.N)
+	}
+	if repeat < 1 || repeat > maxJobFlexbenchRepeat {
+		return flexbench.Params{}, 0, fmt.Errorf("jobs: flexbench repeat must be in [1, %d], got %d", maxJobFlexbenchRepeat, repeat)
+	}
+	if err := p.Validate(); err != nil {
+		return flexbench.Params{}, 0, err
+	}
+	return p, repeat, nil
+}
+
+// Prepare implements Runner: one chunk per runnable cell.
+func (r FlexbenchRunner) Prepare(spec json.RawMessage) (int, error) {
+	if _, _, err := r.params(spec); err != nil {
+		return 0, err
+	}
+	return len(flexbench.RunnableCells()), nil
+}
+
+// RunChunk implements Runner: measure runnable cell idx, Repeat times,
+// demanding bit-identical statistics across the repeats.
+func (r FlexbenchRunner) RunChunk(ctx context.Context, spec json.RawMessage, idx, workers int) (json.RawMessage, error) {
+	p, repeat, err := r.params(spec)
+	if err != nil {
+		return nil, err
+	}
+	cells := flexbench.RunnableCells()
+	if idx < 0 || idx >= len(cells) {
+		return nil, fmt.Errorf("jobs: flexbench chunk %d out of %d", idx, len(cells))
+	}
+	cell := flexbench.MeasureCell(cells[idx].Kernel, cells[idx].Class, p)
+	for rep := 1; rep < repeat && cell.Err == ""; rep++ {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		again := flexbench.MeasureCell(cells[idx].Kernel, cells[idx].Class, p)
+		if again != cell {
+			cell.Err = fmt.Sprintf("jobs: flexbench cell unstable: repeat %d measured %+v, first run %+v", rep, again, cell)
+		}
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return json.Marshal(cell)
+}
+
+// Reduce implements Runner: slot the measured cells back into the full
+// universe (the unrunnable holes are what the coverage score measures) and
+// run the scoring pipeline. The result is the same flexbench.Result shape
+// the CLI and the synchronous endpoint emit.
+func (r FlexbenchRunner) Reduce(spec json.RawMessage, chunks []json.RawMessage) (json.RawMessage, error) {
+	p, _, err := r.params(spec)
+	if err != nil {
+		return nil, err
+	}
+	universe := flexbench.Universe()
+	slot := 0
+	for i := range universe {
+		if !universe[i].Runnable {
+			continue
+		}
+		if slot >= len(chunks) {
+			return nil, fmt.Errorf("jobs: flexbench reduce got %d chunks for %d runnable cells", len(chunks), slot+1)
+		}
+		var cell flexbench.CellMeasure
+		if err := json.Unmarshal(chunks[slot], &cell); err != nil {
+			return nil, fmt.Errorf("jobs: corrupt flexbench chunk: %w", err)
+		}
+		universe[i] = cell
+		slot++
+	}
+	res, err := flexbench.Analyze(p, universe)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(res)
 }

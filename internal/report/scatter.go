@@ -1,0 +1,81 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ScatterPoint is one glyph on a Scatter plot. A zero Glyph renders as '*'.
+type ScatterPoint struct {
+	X, Y  float64
+	Glyph rune
+}
+
+// Scatter renders points on a width × height character grid with labelled
+// axes — the text-mode frontier figure. Axis ranges are the data's min/max
+// (a degenerate axis widens by one so a single point still renders); two
+// different glyphs landing on the same cell render as '#'.
+func Scatter(points []ScatterPoint, width, height int) (string, error) {
+	if width < 2 || height < 2 {
+		return "", fmt.Errorf("report: scatter needs width and height >= 2, got %dx%d", width, height)
+	}
+	if len(points) == 0 {
+		return "", fmt.Errorf("report: scatter needs at least one point")
+	}
+	minX, maxX := points[0].X, points[0].X
+	minY, maxY := points[0].Y, points[0].Y
+	for _, p := range points {
+		if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+			return "", fmt.Errorf("report: scatter point (%v, %v) is not finite", p.X, p.Y)
+		}
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for _, p := range points {
+		col := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+		row := height - 1 - int(math.Round((p.Y-minY)/(maxY-minY)*float64(height-1)))
+		g := p.Glyph
+		if g == 0 {
+			g = '*'
+		}
+		if grid[row][col] != ' ' && grid[row][col] != g {
+			g = '#'
+		}
+		grid[row][col] = g
+	}
+	var b strings.Builder
+	for i, line := range grid {
+		switch i {
+		case 0:
+			fmt.Fprintf(&b, "%8.3f |", maxY)
+		case height - 1:
+			fmt.Fprintf(&b, "%8.3f |", minY)
+		default:
+			b.WriteString("         |")
+		}
+		b.WriteString(strings.TrimRight(string(line), " "))
+		b.WriteString("\n")
+	}
+	b.WriteString("         +" + strings.Repeat("-", width) + "\n")
+	left := fmt.Sprintf("%.3g", minX)
+	right := fmt.Sprintf("%.3g", maxX)
+	pad := width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	b.WriteString("          " + left + strings.Repeat(" ", pad) + right + "\n")
+	return b.String(), nil
+}

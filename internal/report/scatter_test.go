@@ -1,0 +1,95 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestScatterPlacesGlyphs(t *testing.T) {
+	out, err := Scatter([]ScatterPoint{
+		{X: 0, Y: 0, Glyph: 'a'},
+		{X: 10, Y: 5, Glyph: 'b'},
+		{X: 5, Y: 2.5},
+	}, 21, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 13 { // 11 grid rows + axis + x labels
+		t.Fatalf("figure has %d lines, want 13:\n%s", len(lines), out)
+	}
+	// Corners: 'b' is the max of both axes (top-right), 'a' the min
+	// (bottom-left); the zero glyph renders as '*' at the centre.
+	if !strings.HasSuffix(lines[0], "b") {
+		t.Errorf("top row %q does not end with b", lines[0])
+	}
+	if !strings.Contains(lines[10], "a") {
+		t.Errorf("bottom row %q missing a", lines[10])
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("default glyph '*' missing")
+	}
+	// Axis labels carry the data range.
+	if !strings.Contains(lines[0], "5.000") || !strings.Contains(lines[10], "0.000") {
+		t.Errorf("y labels missing:\n%s", out)
+	}
+	if !strings.Contains(lines[12], "0") || !strings.Contains(lines[12], "10") {
+		t.Errorf("x labels missing: %q", lines[12])
+	}
+}
+
+func TestScatterCollisionsAndDegenerateAxes(t *testing.T) {
+	// Two different glyphs on the same cell become '#'; a repeated glyph
+	// stays itself.
+	out, err := Scatter([]ScatterPoint{
+		{X: 1, Y: 1, Glyph: 'u'},
+		{X: 1, Y: 1, Glyph: 'm'},
+	}, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "#") {
+		t.Errorf("collision glyph missing:\n%s", out)
+	}
+	out, err = Scatter([]ScatterPoint{
+		{X: 1, Y: 1, Glyph: 'u'},
+		{X: 1, Y: 1, Glyph: 'u'},
+	}, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "#") || !strings.Contains(out, "u") {
+		t.Errorf("same-glyph overlap should stay 'u':\n%s", out)
+	}
+}
+
+func TestScatterRejectsBadInput(t *testing.T) {
+	if _, err := Scatter(nil, 10, 10); err == nil {
+		t.Error("empty point set accepted")
+	}
+	if _, err := Scatter([]ScatterPoint{{X: 1, Y: 1}}, 1, 10); err == nil {
+		t.Error("width 1 accepted")
+	}
+	if _, err := Scatter([]ScatterPoint{{X: 1, Y: 1}}, 10, 1); err == nil {
+		t.Error("height 1 accepted")
+	}
+	if _, err := Scatter([]ScatterPoint{{X: math.NaN(), Y: 1}}, 10, 10); err == nil {
+		t.Error("NaN x accepted")
+	}
+	if _, err := Scatter([]ScatterPoint{{X: 1, Y: math.Inf(1)}}, 10, 10); err == nil {
+		t.Error("Inf y accepted")
+	}
+}
+
+func TestScatterSinglePoint(t *testing.T) {
+	// A single point has degenerate axes on both dimensions; it must still
+	// render rather than divide by zero.
+	out, err := Scatter([]ScatterPoint{{X: 3, Y: 7, Glyph: 'x'}}, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "x") {
+		t.Errorf("single point missing:\n%s", out)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/conformance"
+	"repro/internal/flexbench"
 	"repro/internal/jobs"
 	"repro/internal/spec"
 )
@@ -227,6 +228,31 @@ type ConformanceResponse struct {
 	Cells    []conformance.CellResult     `json:"cells,omitempty"`
 	Summary  []string                     `json:"summary,omitempty"`
 	Lockstep []conformance.LockstepResult `json:"lockstep,omitempty"`
+}
+
+// --- /v1/flexbench ---
+
+// FlexbenchRequest measures the empirical flexibility frontier: the full
+// kernel × machine-class universe at one operating point, scored and
+// correlated against the paper's Table II and the Table III survey. The
+// synchronous endpoint is capped at modest problem sizes; bigger sweeps
+// (and per-cell stability repeats) run as a "flexbench" job.
+type FlexbenchRequest struct {
+	// N is the problem size per kernel (default 64; must divide by Procs).
+	N int `json:"n,omitempty"`
+	// Procs is the lane/core count (default 4; power of two >= 4).
+	Procs int `json:"procs,omitempty"`
+	// Backend selects the execution backend: "interp", "decoded" or
+	// "compiled". Empty means the server default (compiled). The result is
+	// backend-independent by construction — this is an ablation knob, and
+	// the response does not echo it.
+	Backend string `json:"backend,omitempty"`
+}
+
+// FlexbenchResponse carries one full frontier measurement.
+type FlexbenchResponse struct {
+	ItemError
+	Result *flexbench.Result `json:"result,omitempty"`
 }
 
 // --- /v1/jobs ---

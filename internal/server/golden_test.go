@@ -58,6 +58,10 @@ func TestGoldenEndpoints(t *testing.T) {
 			`{"requests":[{"n":16,"procs":4,"seeds":1,"seed":7,"kernels":["vecadd"],"classes":["IUP","IAP"]}]}`,
 		},
 		{
+			"flexbench", "/v1/flexbench",
+			`{"requests":[{"n":16}]}`,
+		},
+		{
 			"survey", "/v1/survey",
 			`{"requests":[{}]}`,
 		},

@@ -8,6 +8,7 @@ import (
 	"repro/internal/conformance"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/flexbench"
 	"repro/internal/machine"
 	"repro/internal/modelzoo"
 	"repro/internal/obs"
@@ -37,6 +38,10 @@ const (
 	// maxConformanceSeeds bounds the synchronous lockstep sweep length;
 	// longer sweeps are a "lockstep" job.
 	maxConformanceSeeds = 16
+	// maxFlexbenchN bounds the synchronous measured-flexibility universe
+	// (always all 112 runnable cells, so only the problem size is the
+	// knob); bigger operating points are a "flexbench" job.
+	maxFlexbenchN = 256
 )
 
 // jobRedirect names the async alternative in sync-cap rejection messages.
@@ -202,6 +207,31 @@ func registerRoutes(s *Server) {
 		},
 		run: func(ctx context.Context, r ConformanceRequest) (ConformanceResponse, error) {
 			return runConformance(ctx, r)
+		},
+	})
+
+	register(s, endpointSpec[FlexbenchRequest, FlexbenchResponse]{
+		path: "/v1/flexbench",
+		defaults: func(r *FlexbenchRequest) {
+			if r.N == 0 {
+				r.N = 64
+			}
+			if r.Procs == 0 {
+				r.Procs = 4
+			}
+		},
+		validate: func(r FlexbenchRequest) error {
+			if r.N > maxFlexbenchN {
+				return fmt.Errorf("n must be <= %d on the request path, got %d; %s",
+					maxFlexbenchN, r.N, jobRedirect("flexbench"))
+			}
+			if _, err := machine.ParseBackend(r.Backend); err != nil {
+				return err
+			}
+			return (flexbench.Params{N: r.N, Procs: r.Procs}).Validate()
+		},
+		run: func(ctx context.Context, r FlexbenchRequest) (FlexbenchResponse, error) {
+			return runFlexbench(ctx, r)
 		},
 	})
 
@@ -446,6 +476,24 @@ func runConformance(ctx context.Context, r ConformanceRequest) (ConformanceRespo
 		return ConformanceResponse{}, err
 	}
 	return resp, nil
+}
+
+// runFlexbench measures the full universe serially inside the item — the
+// batch engine's parallelism is across items, and the serial measurement is
+// byte-stable. Validation already applied the sizing cap.
+func runFlexbench(ctx context.Context, r FlexbenchRequest) (FlexbenchResponse, error) {
+	backend, err := machine.ParseBackend(r.Backend)
+	if err != nil {
+		return FlexbenchResponse{}, err
+	}
+	p := flexbench.Params{N: r.N, Procs: r.Procs, Backend: backend}
+	mctx, msp := obs.StartSpan(ctx, "measure")
+	res, err := flexbench.Run(mctx, p, 1)
+	msp.End()
+	if err != nil {
+		return FlexbenchResponse{}, err
+	}
+	return FlexbenchResponse{Result: &res}, nil
 }
 
 // runSurvey re-derives Table III and optionally executes every machine.

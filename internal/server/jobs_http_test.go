@@ -82,7 +82,7 @@ func TestJobLifecycleHTTP(t *testing.T) {
 	if err := json.Unmarshal(listBody, &list); err != nil {
 		t.Fatal(err)
 	}
-	if strings.Join(list.Kinds, ",") != "backends,conformance,lockstep" {
+	if strings.Join(list.Kinds, ",") != "backends,conformance,flexbench,lockstep" {
 		t.Errorf("kinds = %v", list.Kinds)
 	}
 	if len(list.Jobs) != 1 || list.Jobs[0].ID != j.ID {

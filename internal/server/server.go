@@ -209,6 +209,7 @@ func Endpoints() []string {
 		"/v1/estimate",
 		"/v1/simulate",
 		"/v1/conformance",
+		"/v1/flexbench",
 		"/v1/survey",
 	}
 }

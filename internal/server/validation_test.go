@@ -43,6 +43,11 @@ func TestRequestValidation(t *testing.T) {
 		{"conformance procs does not divide n", "/v1/conformance", `{"requests":[{"n":30,"procs":4}]}`, CodeInvalid, 0},
 		{"conformance n too large", "/v1/conformance", fmt.Sprintf(`{"requests":[{"n":%d,"procs":4}]}`, maxConformanceN*2), CodeInvalid, 0},
 		{"conformance too many seeds", "/v1/conformance", fmt.Sprintf(`{"requests":[{"seeds":%d}]}`, maxConformanceSeeds+1), CodeInvalid, 0},
+		{"flexbench procs not power of two", "/v1/flexbench", `{"requests":[{"n":64,"procs":6}]}`, CodeInvalid, 0},
+		{"flexbench procs does not divide n", "/v1/flexbench", `{"requests":[{"n":30,"procs":4}]}`, CodeInvalid, 0},
+		{"flexbench n too large", "/v1/flexbench", fmt.Sprintf(`{"requests":[{"n":%d}]}`, maxFlexbenchN*2), CodeInvalid, 0},
+		{"flexbench unknown backend", "/v1/flexbench", `{"requests":[{"backend":"jit"}]}`, CodeInvalid, 0},
+		{"flexbench unknown item field", "/v1/flexbench", `{"requests":[{"n":16,"cells":true}]}`, CodeBadRequest, -1},
 		{"survey n without run", "/v1/survey", `{"requests":[{"n":64}]}`, CodeInvalid, 0},
 		{"survey n too large", "/v1/survey", fmt.Sprintf(`{"requests":[{"run":true,"n":%d}]}`, maxSimulateN+1), CodeInvalid, 0},
 		{"empty batch", "/v1/simulate", `{"requests":[]}`, CodeEmptyBatch, -1},

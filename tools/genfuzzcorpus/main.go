@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/fabric"
+	"repro/internal/flexbench"
 	"repro/internal/isa"
 )
 
@@ -141,6 +142,30 @@ func main() {
 		{Op: isa.OpMuli, Rd: 3, Ra: 1, Imm: math.MinInt32},
 		{Op: isa.OpHalt},
 	}))
+
+	// internal/flexbench: cycle-count vectors over the real kernel × class
+	// universe for the scoring-rule fuzzer (two little-endian bytes per
+	// universe cell): a varied spread, an all-tied grid where every scored
+	// cell is best, sparse coverage, and the empty input.
+	fbDir := filepath.Join("internal", "flexbench", "testdata", "fuzz", "FuzzScore")
+	uni := flexbench.Universe()
+	varied := make([]byte, 2*len(uni))
+	tied := make([]byte, 2*len(uni))
+	sparse := make([]byte, 2*len(uni))
+	for i, c := range uni {
+		if !c.Runnable {
+			continue
+		}
+		binary.LittleEndian.PutUint16(varied[2*i:], uint16(i*37+1))
+		binary.LittleEndian.PutUint16(tied[2*i:], 4096)
+		if i%5 == 0 {
+			binary.LittleEndian.PutUint16(sparse[2*i:], uint16(i+1))
+		}
+	}
+	writeSeed(fbDir, "varied", bytesLit(varied))
+	writeSeed(fbDir, "all_tied", bytesLit(tied))
+	writeSeed(fbDir, "sparse_coverage", bytesLit(sparse))
+	writeSeed(fbDir, "empty", bytesLit(nil))
 
 	// internal/interconnect: port-count selectors with routes that collide
 	// on internal links (same destination, shuffled sources) and loopback.

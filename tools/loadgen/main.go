@@ -70,6 +70,9 @@ var payloads = map[string][]string{
 	"/v1/conformance": {
 		`{"requests":[{"n":16,"procs":4,"kernels":["vecadd"],"classes":["IUP","IAP"]}]}`,
 	},
+	"/v1/flexbench": {
+		`{"requests":[{"n":16}]}`,
+	},
 	"/v1/survey": {
 		`{"requests":[{}]}`,
 		`{"requests":[{"run":true,"n":64}]}`,
@@ -83,6 +86,7 @@ var endpointOrder = []string{
 	"/v1/estimate",
 	"/v1/simulate",
 	"/v1/conformance",
+	"/v1/flexbench",
 	"/v1/survey",
 }
 
