@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSweepCleanAndDeterministic runs the kernel × class sweep and pins the
+// two properties CI gates on: every zoo program is check-clean, and the
+// JSON output is byte-identical across worker counts.
+func TestSweepCleanAndDeterministic(t *testing.T) {
+	var ref bytes.Buffer
+	if err := run([]string{"-json", "-workers", "1"}, &ref); err != nil {
+		t.Fatalf("sweep not clean: %v\n%s", err, ref.String())
+	}
+	var doc struct {
+		Pass     bool `json:"pass"`
+		Programs []struct {
+			Class string `json:"class"`
+		} `json:"programs"`
+	}
+	if err := json.Unmarshal(ref.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if !doc.Pass || len(doc.Programs) == 0 {
+		t.Fatalf("pass=%v with %d programs", doc.Pass, len(doc.Programs))
+	}
+	for _, workers := range []string{"4", "16"} {
+		var out bytes.Buffer
+		if err := run([]string{"-json", "-workers", workers}, &out); err != nil {
+			t.Fatalf("-workers %s: %v", workers, err)
+		}
+		if !bytes.Equal(out.Bytes(), ref.Bytes()) {
+			t.Fatalf("-workers %s output differs from -workers 1", workers)
+		}
+	}
+}
+
+// TestSourceModeFindings checks one assembly file with a deliberate
+// out-of-bounds store: the run must fail with the finding rendered.
+func TestSourceModeFindings(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "oob.s")
+	if err := os.WriteFile(src, []byte("ldi r1, 99\nst r1, [r1+0]\nhalt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-mem", "8", src}, &out)
+	if err == nil {
+		t.Fatalf("expected a failing verdict, got:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "memory-bounds") {
+		t.Fatalf("output missing the memory-bounds finding:\n%s", out.String())
+	}
+}
+
+// TestBadArguments pins the CLI's refusal paths: unknown severity names,
+// nonsensical worker counts, unreadable files and sources the assembler
+// rejects all fail before any checking happens.
+func TestBadArguments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-min", "fatal"}, &out); err == nil || !strings.Contains(err.Error(), "unknown severity") {
+		t.Errorf("-min fatal: err = %v, want unknown severity", err)
+	}
+	if err := run([]string{"-workers", "0"}, &out); err == nil || !strings.Contains(err.Error(), "-workers") {
+		t.Errorf("-workers 0: err = %v, want flag error", err)
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "missing.s")}, &out); err == nil {
+		t.Error("missing source file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.s")
+	if err := os.WriteFile(bad, []byte("frobnicate r1, r2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &out); err == nil || !strings.Contains(err.Error(), "bad.s") {
+		t.Errorf("unassemblable source: err = %v, want the file named", err)
+	}
+}
+
+// TestSourceModeMinSeverity: at -min error an advisory-only program passes,
+// and the JSON document still carries its findings.
+func TestSourceModeMinSeverity(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "warnonly.s")
+	// Possible (not definite) out-of-bounds: r1 in [0, 99] from the loop,
+	// memory has 8 words — a warn finding, no errors.
+	prog := "ldi r1, 0\nldi r2, 99\nloop: ld r3, [r1+0]\naddi r1, r1, 1\nblt r1, r2, loop\nhalt\n"
+	if err := os.WriteFile(src, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-mem", "8", src}, &out); err == nil {
+		t.Fatalf("warn finding passed at default -min warn:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-mem", "8", "-min", "error", "-json", src}, &out); err != nil {
+		t.Fatalf("warn finding failed at -min error: %v\n%s", err, out.String())
+	}
+	var doc struct {
+		Pass     bool `json:"pass"`
+		Programs []struct {
+			Report struct {
+				Findings []struct {
+					Check string `json:"check"`
+				} `json:"findings"`
+			} `json:"report"`
+		} `json:"programs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Pass || len(doc.Programs) != 1 || len(doc.Programs[0].Report.Findings) == 0 {
+		t.Fatalf("JSON should pass yet still carry the findings:\n%s", out.String())
+	}
+}
+
+// TestSourceModeClean checks a clean file against a sized target: exit 0
+// and a bounded budget line.
+func TestSourceModeClean(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "ok.s")
+	prog := "ldi r1, 0\nldi r2, 4\nloop: st r1, [r1+0]\naddi r1, r1, 1\nbne r1, r2, loop\nhalt\n"
+	if err := os.WriteFile(src, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-mem", "8", src}, &out); err != nil {
+		t.Fatalf("clean program failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "1/1 programs check-clean") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}

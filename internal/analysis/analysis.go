@@ -173,6 +173,34 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return diags, nil
 }
 
+// Suppressions counts the //lint:allow comments per analyzer across the
+// given packages, keyed by analyzer name. Only the canonical directive form
+// is counted — a comment beginning with "//lint:allow <analyzer> <reason>",
+// reason mandatory — so prose that merely mentions the directive (analyzer
+// documentation) does not inflate the audit. tools/lint -list prints these
+// counts so suppression growth is visible in review instead of accumulating
+// silently.
+func Suppressions(pkgs []*Package) map[string]int {
+	counts := map[string]int{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					if !strings.HasPrefix(text, "lint:allow ") {
+						continue
+					}
+					fields := strings.Fields(text[len("lint:allow "):])
+					if len(fields) >= 2 {
+						counts[fields[0]]++
+					}
+				}
+			}
+		}
+	}
+	return counts
+}
+
 // All returns the default analyzer suite tools/lint runs.
 func All() []*Analyzer {
 	return []*Analyzer{

@@ -11,7 +11,8 @@ import (
 // DefaultEnumPackages lists the packages whose declared constant sets
 // form the taxonomy's vocabularies: the class/name/link/site/count enums
 // of internal/taxonomy, the kernel vocabulary of internal/modelzoo, the
-// dataflow node ops, the ISA opcodes and the obs event kinds. Any named
+// dataflow node ops, the ISA opcodes, the obs event kinds and the
+// static-analysis severity levels of internal/report. Any named
 // integer or string type declared in one of these packages with at least
 // two constants of that type is treated as a closed enum, so new enums
 // (a class 13-46 sub-type, an eighth kernel) are enforced the moment
@@ -22,6 +23,7 @@ var DefaultEnumPackages = []string{
 	"repro/internal/dataflow",
 	"repro/internal/isa",
 	"repro/internal/obs",
+	"repro/internal/report",
 }
 
 // sentinelConst matches constants that bound an enum rather than belong

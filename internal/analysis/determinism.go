@@ -8,7 +8,9 @@ import (
 
 // DefaultDeterminismScope lists the packages whose byte-identical
 // reproducibility the CI gate proves (workers=1 must equal workers=8):
-// the simulator cores, the conformance differ and the kernel dispatch —
+// the simulator cores, the conformance differ, the kernel dispatch and
+// the static program checker (whose verdicts must be byte-identical
+// however many workers sweep a program set) —
 // plus the distributed serving tier's cache and job queue, whose
 // cross-replica byte-identity and crash-resumable results rest on the
 // same property (key derivation, ring placement, chunk execution and
@@ -26,6 +28,7 @@ var DefaultDeterminismScope = []string{
 	"repro/internal/conformance",
 	"repro/internal/flexbench",
 	"repro/internal/modelzoo",
+	"repro/internal/progcheck",
 	"repro/internal/cache",
 	"repro/internal/jobs",
 }

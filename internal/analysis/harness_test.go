@@ -159,3 +159,30 @@ func TestModuleClean(t *testing.T) {
 		t.Errorf("%s", d)
 	}
 }
+
+// TestSuppressionsCount pins the -list audit: the determinism fixture has
+// exactly one canonical //lint:allow directive, and prose mentions of the
+// directive form (analyzer docs, this comment) are not counted.
+func TestSuppressionsCount(t *testing.T) {
+	w := moduleWorld(t)
+	pkg, err := w.CheckDir(filepath.Join("testdata", "determinism"), fixturePrefix+"determinism")
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	counts := Suppressions([]*Package{pkg})
+	if counts["determinism"] != 1 {
+		t.Errorf("determinism suppressions = %d, want 1", counts["determinism"])
+	}
+
+	// The shipped module itself carries zero suppressions: every analyzer
+	// invariant holds without waivers. This count is what tools/lint -list
+	// prints; a new suppression shows up here and in review.
+	total := 0
+	for name, n := range Suppressions(w.Module()) {
+		t.Logf("module suppressions: %s = %d", name, n)
+		total += n
+	}
+	if total != 0 {
+		t.Errorf("module carries %d lint:allow suppressions, want 0 (update this pin deliberately when adding one)", total)
+	}
+}

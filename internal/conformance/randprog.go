@@ -9,6 +9,8 @@ import (
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/mimd"
+	"repro/internal/progcheck"
+	"repro/internal/report"
 	"repro/internal/simd"
 	"repro/internal/uniproc"
 )
@@ -175,6 +177,18 @@ func lockstepCheck(seed int64, cfg GenConfig) LockstepResult {
 	img := randomImage(rng, cfg)
 	bank := cfg.MemWords()
 
+	// Static gate: every generated program must be check-clean (generated
+	// code reads zero-initialised registers, so Info findings are fine) and
+	// provably bounded — the checker's verdicts are differentially pinned
+	// against thousands of real executions here.
+	rep := progcheck.Check(prog, progcheck.Target{MemWords: bank, Procs: 1})
+	if !rep.Clean(report.SevWarn) {
+		return fail(fmt.Errorf("progcheck: generated program is not check-clean:\n%s", rep.Text()), prog)
+	}
+	if !rep.Budget.Bounded {
+		return fail(fmt.Errorf("progcheck: generated program not provably bounded: %s", rep.Budget.Reason), prog)
+	}
+
 	// Uni-processor: the reference execution.
 	uni, err := uniproc.New(uniproc.Config{MemWords: bank}, prog)
 	if err != nil {
@@ -184,6 +198,10 @@ func lockstepCheck(seed int64, cfg GenConfig) LockstepResult {
 	uniMem, uniStats, err := uni.RunWithInput(img, 0, bank)
 	if err != nil {
 		return fail(fmt.Errorf("uniproc: %w", err), prog)
+	}
+	if uniStats.Cycles > rep.Budget.MaxCycles {
+		return fail(fmt.Errorf("progcheck: measured %d cycles exceed the static worst-case bound %d",
+			uniStats.Cycles, rep.Budget.MaxCycles), prog)
 	}
 
 	// 2-lane IAP-I: the broadcast program over identical banks.

@@ -1,0 +1,86 @@
+package isa
+
+import "testing"
+
+func TestBuildCFGPartition(t *testing.T) {
+	prog := MustAssemble(`
+        ldi  r1, 0
+        ldi  r2, 8
+loop:   beq  r1, r2, done
+        addi r1, r1, 1
+        jmp  loop
+done:   halt
+`)
+	g := BuildCFG(Predecode(prog))
+	if len(g.Blocks) != 4 {
+		t.Fatalf("got %d blocks, want 4: %+v", len(g.Blocks), g.Blocks)
+	}
+	wantBlocks := []BasicBlock{
+		{Start: 0, End: 2, Fall: 1, Taken: -1},
+		{Start: 2, End: 3, Fall: 2, Taken: 3},
+		{Start: 3, End: 5, Fall: -1, Taken: 1},
+		{Start: 5, End: 6, Fall: -1, Taken: -1},
+	}
+	for i, want := range wantBlocks {
+		if g.Blocks[i] != want {
+			t.Errorf("block %d = %+v, want %+v", i, g.Blocks[i], want)
+		}
+	}
+	// Every pc maps into the block covering it.
+	for pc := range prog {
+		b := g.BlockAt[pc]
+		if b < 0 || int32(pc) < g.Blocks[b].Start || int32(pc) >= g.Blocks[b].End {
+			t.Errorf("BlockAt[%d] = %d does not cover pc", pc, b)
+		}
+	}
+}
+
+func TestBuildCFGImplicitHalt(t *testing.T) {
+	// A branch to the program end is the implicit halt: no taken edge,
+	// FallsOff set. A block ending at the last pc without a terminator
+	// likewise falls off.
+	prog := Program{
+		{Op: OpBeq, Ra: 1, Rb: 2, Imm: 1}, // target = 2 = len: implicit halt
+		{Op: OpNop},
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := BuildCFG(Predecode(prog))
+	if len(g.Blocks) != 2 {
+		t.Fatalf("got %d blocks, want 2: %+v", len(g.Blocks), g.Blocks)
+	}
+	b0, b1 := g.Blocks[0], g.Blocks[1]
+	if b0.Taken != -1 || !b0.FallsOff {
+		t.Errorf("block 0 = %+v, want no taken edge and FallsOff", b0)
+	}
+	if b0.Fall != 1 {
+		t.Errorf("block 0 fall = %d, want 1", b0.Fall)
+	}
+	if b1.Fall != -1 || b1.Taken != -1 || !b1.FallsOff {
+		t.Errorf("block 1 = %+v, want edge-free FallsOff block", b1)
+	}
+}
+
+func TestBuildCFGEmpty(t *testing.T) {
+	g := BuildCFG(nil)
+	if len(g.Blocks) != 0 {
+		t.Fatalf("empty program produced %d blocks", len(g.Blocks))
+	}
+}
+
+func TestBasicBlockSuccs(t *testing.T) {
+	var buf [2]int32
+	b := BasicBlock{Fall: 3, Taken: 5}
+	if s := b.Succs(buf[:0]); len(s) != 2 || s[0] != 3 || s[1] != 5 {
+		t.Errorf("Succs = %v, want [3 5]", s)
+	}
+	b = BasicBlock{Fall: 4, Taken: 4}
+	if s := b.Succs(buf[:0]); len(s) != 1 || s[0] != 4 {
+		t.Errorf("coincident Succs = %v, want [4]", s)
+	}
+	b = BasicBlock{Fall: -1, Taken: -1}
+	if s := b.Succs(buf[:0]); len(s) != 0 {
+		t.Errorf("edge-free Succs = %v, want []", s)
+	}
+}

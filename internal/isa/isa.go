@@ -168,6 +168,21 @@ func (o Op) IsALU() bool {
 // IsMemory reports whether the op traverses the DP-DM switch.
 func (o Op) IsMemory() bool { return o == OpLd || o == OpSt }
 
+// WritesRd reports whether the op writes its Rd field. Rd is always a
+// destination when an op uses it, so this doubles as the def-set oracle for
+// dataflow analyses.
+func (o Op) WritesRd() bool { return o.Valid() && opTable[o].usesRd }
+
+// ReadsRa reports whether the op reads Ra as a source (or address base).
+func (o Op) ReadsRa() bool { return o.Valid() && opTable[o].usesRa }
+
+// ReadsRb reports whether the op reads Rb as a source (store data, second
+// operand, or peer index).
+func (o Op) ReadsRb() bool { return o.Valid() && opTable[o].usesRb }
+
+// UsesImm reports whether the op consumes its immediate field.
+func (o Op) UsesImm() bool { return o.Valid() && opTable[o].usesImm }
+
 // IsComm reports whether the op traverses the DP-DP network.
 func (o Op) IsComm() bool { return o == OpSend || o == OpRecv }
 

@@ -129,40 +129,31 @@ func Compile(dec isa.DecodedProgram, opts CompileOptions) *CompiledProgram {
 	return p
 }
 
-// buildBlocks discovers basic-block leaders (pc 0, every branch target,
-// every instruction after a branch or halt) and lowers each block.
+// buildBlocks lowers each basic block of the shared CFG (isa.BuildCFG owns
+// the leader rules: pc 0, every branch target, every instruction after a
+// branch or halt) and asserts the fusion invariant: every fused unit stays
+// inside one CFG block, so a superinstruction can never span a boundary
+// the static checker reasons about.
 func (p *CompiledProgram) buildBlocks() {
 	if p.n == 0 {
 		return
 	}
-	leader := make([]bool, p.n)
-	leader[0] = true
-	for pc := range p.dec {
-		d := &p.dec[pc]
-		if d.IsBranch() {
-			if t := int(d.Target); t >= 0 && t < p.n {
-				leader[t] = true
-			}
-			if pc+1 < p.n {
-				leader[pc+1] = true
-			}
-		}
-		if d.Op == isa.OpHalt && pc+1 < p.n {
-			leader[pc+1] = true
-		}
-	}
+	cfg := isa.BuildCFG(p.dec)
 	for pc := range p.blockAt {
 		p.blockAt[pc] = -1
 	}
-	start := 0
-	for pc := 0; pc < p.n; pc++ {
-		d := &p.dec[pc]
-		endsHere := d.IsBranch() || d.Op == isa.OpHalt
-		nextIsLeader := pc+1 < p.n && leader[pc+1]
-		if endsHere || nextIsLeader || pc+1 == p.n {
-			p.blockAt[start] = int32(len(p.blocks))
-			p.blocks = append(p.blocks, p.lowerBlock(start, pc+1))
-			start = pc + 1
+	for i := range cfg.Blocks {
+		cb := &cfg.Blocks[i]
+		p.blockAt[cb.Start] = int32(len(p.blocks))
+		p.blocks = append(p.blocks, p.lowerBlock(int(cb.Start), int(cb.End)))
+	}
+	for _, b := range p.blocks {
+		for _, u := range b.units {
+			lastPC := int(u.pc) + int(u.nops) - 1
+			if cfg.BlockAt[u.pc] != cfg.BlockAt[lastPC] {
+				panic(fmt.Sprintf("machine: fused unit [%d,%d] spans CFG blocks %d and %d",
+					u.pc, lastPC, cfg.BlockAt[u.pc], cfg.BlockAt[lastPC]))
+			}
 		}
 	}
 }

@@ -1,0 +1,41 @@
+package modelzoo
+
+import (
+	"repro/internal/progcheck"
+	"repro/internal/taxonomy"
+	"repro/internal/workload"
+)
+
+// CheckedProgram pairs one staged guest program with its checker report.
+type CheckedProgram struct {
+	// Name labels the program within the kernel run (a kernel may stage
+	// several variants, e.g. local vs global addressing).
+	Name string `json:"name"`
+	// Report is the static checker's verdict.
+	Report *progcheck.Report `json:"report"`
+}
+
+// CheckKernel statically verifies every guest program the (class, kernel,
+// n, procs) run would execute — without building or running a simulator.
+// The machine shape (bank size, lane count, DP-DP network, barrier
+// capability) comes from the same runner that would execute the program,
+// so the checker sees exactly what the simulator would. Classes with no
+// guest ISA program (data-flow token graphs, the LUT fabric) return an
+// empty slice; unsupported (class, kernel) pairs return an error that
+// Unsupported recognizes.
+func CheckKernel(c taxonomy.Class, kernel string, n, procs int) ([]CheckedProgram, error) {
+	var specs []workload.ProgramSpec
+	if _, err := RunKernel(c, kernel, n, procs, workload.WithProgramSink(&specs)); err != nil {
+		return nil, err
+	}
+	out := make([]CheckedProgram, len(specs))
+	for i, s := range specs {
+		out[i] = CheckedProgram{Name: s.Name, Report: progcheck.Check(s.Program, progcheck.Target{
+			MemWords:   s.MemWords,
+			Procs:      s.Procs,
+			HasNetwork: s.HasNetwork,
+			HasBarrier: s.HasBarrier,
+		})}
+	}
+	return out, nil
+}

@@ -1,6 +1,7 @@
 package modelzoo
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -56,6 +57,20 @@ func KnownKernel(name string) bool {
 	return false
 }
 
+// unsupportedError marks (class, kernel) combinations the dispatch cannot
+// run, as opposed to run failures.
+type unsupportedError struct{ msg string }
+
+func (e *unsupportedError) Error() string { return e.msg }
+
+// Unsupported reports whether err marks a (class, kernel) combination
+// RunKernel cannot run — the signal sweeps use to skip holes in the
+// kernel × class matrix rather than fail on them.
+func Unsupported(err error) bool {
+	var u *unsupportedError
+	return errors.As(err, &u)
+}
+
 // kernelErr lists the kernels a runner supports when asked for one it
 // doesn't.
 func kernelErr(kernel Kernel, have ...Kernel) error {
@@ -63,7 +78,7 @@ func kernelErr(kernel Kernel, have ...Kernel) error {
 	for i, k := range have {
 		names[i] = string(k)
 	}
-	return fmt.Errorf("modelzoo: unknown kernel %q (have %s)", string(kernel), strings.Join(names, ", "))
+	return &unsupportedError{fmt.Sprintf("modelzoo: unknown kernel %q (have %s)", string(kernel), strings.Join(names, ", "))}
 }
 
 // KernelInputs builds the deterministic operand vectors every RunKernel call
@@ -105,7 +120,7 @@ func RunKernel(c taxonomy.Class, kernel string, n, procs int, opts ...workload.O
 		}
 		return workload.VecAddFabric(16, clampWords(a, 1<<15), clampWords(b, 1<<15), opts...)
 	default:
-		return workload.Result{}, fmt.Errorf("modelzoo: no simulator runner for class %s (ISP demos live in examples and internal/spatial)", c)
+		return workload.Result{}, &unsupportedError{fmt.Sprintf("modelzoo: no simulator runner for class %s (ISP demos live in examples and internal/spatial)", c)}
 	}
 }
 

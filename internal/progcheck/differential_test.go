@@ -1,0 +1,85 @@
+package progcheck_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/conformance"
+	"repro/internal/progcheck"
+	"repro/internal/report"
+	"repro/internal/uniproc"
+)
+
+// TestGeneratorCheckClean sweeps the conformance random-program generator
+// through the checker: every generated program must be check-clean (no Warn
+// or Error; Info is allowed — generated code deliberately reads
+// zero-initialised registers) and provably bounded. The generator is the
+// adversarial half of this pin: it emits every operand shape the checker's
+// transfer functions must interpret, so a widening or trip-inference
+// regression surfaces here as an unbounded verdict or a spurious warning.
+func TestGeneratorCheckClean(t *testing.T) {
+	seeds := 5000
+	if testing.Short() {
+		seeds = 500
+	}
+	cfg := conformance.DefaultGenConfig()
+	tgt := progcheck.Target{MemWords: cfg.MemWords(), Procs: 1}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		prog, err := conformance.RandomProgram(rng, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rep := progcheck.Check(prog, tgt)
+		if !rep.Clean(report.SevWarn) {
+			t.Fatalf("seed %d not check-clean:\n%s", seed, rep.Text())
+		}
+		if !rep.Budget.Bounded {
+			t.Fatalf("seed %d not provably bounded: %s", seed, rep.Budget.Reason)
+		}
+	}
+}
+
+// TestDifferentialBudgetPin is the soundness pin: when the checker says
+// "clean and bounded", the machine must agree. For thousands of generated
+// programs, the uni-processor executes without a guest fault and retires
+// within the statically predicted worst-case cycle and instruction bounds.
+// A checker bound below a real execution is a soundness bug, the worst kind
+// this subsystem can have — this test makes that class of bug loud.
+func TestDifferentialBudgetPin(t *testing.T) {
+	seeds := 2000
+	if testing.Short() {
+		seeds = 200
+	}
+	cfg := conformance.DefaultGenConfig()
+	bank := cfg.MemWords()
+	tgt := progcheck.Target{MemWords: bank, Procs: 1}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed) * 7919))
+		prog, err := conformance.RandomProgram(rng, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rep := progcheck.Check(prog, tgt)
+		if !rep.Clean(report.SevWarn) || !rep.Budget.Bounded {
+			t.Fatalf("seed %d: generated program not clean+bounded:\n%s", seed, rep.Text())
+		}
+
+		m, err := uniproc.New(uniproc.Config{MemWords: bank}, prog)
+		if err != nil {
+			t.Fatalf("seed %d: uniproc.New: %v", seed, err)
+		}
+		_, stats, err := m.RunWithInput(nil, 0, bank)
+		m.Release()
+		if err != nil {
+			t.Fatalf("seed %d: checker said clean but the machine faulted: %v", seed, err)
+		}
+		if stats.Cycles > rep.Budget.MaxCycles {
+			t.Fatalf("seed %d: measured %d cycles exceed static bound %d", seed, stats.Cycles, rep.Budget.MaxCycles)
+		}
+		if stats.Instructions > rep.Budget.MaxInstructions {
+			t.Fatalf("seed %d: retired %d instructions exceed static bound %d",
+				seed, stats.Instructions, rep.Budget.MaxInstructions)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package progcheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/report"
+)
+
+// The fixture harness mirrors internal/analysis: each testdata/*.s file is
+// assembled and checked, `; want <check> <severity> "<substring>"` comments
+// pin findings to the instruction on their line, and `;;` directive lines
+// pin the target shape and the budget verdict. Matching is bidirectional —
+// an unexpected finding fails the same way a missing one does.
+
+// wantFinding is one expectation parsed from a fixture comment.
+type wantFinding struct {
+	pc     int
+	check  string
+	sev    report.Severity
+	substr string
+}
+
+var wantRe = regexp.MustCompile(`want\s+(\S+)\s+(info|warn|error)\s+"([^"]*)"`)
+
+// fixtureSpec is one parsed fixture file.
+type fixtureSpec struct {
+	target      Target
+	wants       []wantFinding
+	wantBounded *bool
+	unboundedIn string
+	cycles      int64
+	instrs      int64
+	loops       int
+}
+
+func parseFixture(t *testing.T, src string) *fixtureSpec {
+	t.Helper()
+	spec := &fixtureSpec{cycles: -1, instrs: -1, loops: -1}
+	pc := -1
+	for lineNum, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, ";;") {
+			parseDirective(t, spec, lineNum+1, strings.TrimSpace(trimmed[2:]))
+			continue
+		}
+		code, comment, hasComment := strings.Cut(line, ";")
+		// Replicate the assembler's line rules to track the pc: strip
+		// label prefixes, and any remaining text is one instruction.
+		rest := strings.TrimSpace(code)
+		for {
+			head, tail, found := strings.Cut(rest, ":")
+			if !found || strings.ContainsAny(head, " \t") {
+				break
+			}
+			rest = strings.TrimSpace(tail)
+		}
+		if rest != "" {
+			pc++
+		}
+		if !hasComment {
+			continue
+		}
+		for _, m := range wantRe.FindAllStringSubmatch(comment, -1) {
+			if rest == "" {
+				t.Fatalf("line %d: want comment on a line with no instruction", lineNum+1)
+			}
+			sev, err := report.ParseSeverity(m[2])
+			if err != nil {
+				t.Fatalf("line %d: %v", lineNum+1, err)
+			}
+			spec.wants = append(spec.wants, wantFinding{pc: pc, check: m[1], sev: sev, substr: m[3]})
+		}
+	}
+	return spec
+}
+
+func parseDirective(t *testing.T, spec *fixtureSpec, lineNum int, text string) {
+	t.Helper()
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return
+	}
+	bad := func(err error) { t.Fatalf("line %d: directive %q: %v", lineNum, text, err) }
+	num := func(s string) int64 {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			bad(err)
+		}
+		return v
+	}
+	switch fields[0] {
+	case "target":
+		for _, f := range fields[1:] {
+			key, val, _ := strings.Cut(f, "=")
+			switch key {
+			case "mem":
+				spec.target.MemWords = int(num(val))
+			case "procs":
+				spec.target.Procs = int(num(val))
+			case "memlat":
+				spec.target.MemLatency = num(val)
+			case "penalty":
+				spec.target.BranchPenalty = num(val)
+			case "budget":
+				spec.target.MaxCycles = num(val)
+			case "network":
+				spec.target.HasNetwork = true
+			case "barrier":
+				spec.target.HasBarrier = true
+			default:
+				bad(fmt.Errorf("unknown target knob %q", key))
+			}
+		}
+	case "want":
+		// Program-level findings (pc -1), e.g. budget verdicts.
+		ms := wantRe.FindAllStringSubmatch(text, -1)
+		if len(ms) == 0 {
+			bad(fmt.Errorf("malformed want clause"))
+		}
+		for _, m := range ms {
+			sev, err := report.ParseSeverity(m[2])
+			if err != nil {
+				bad(err)
+			}
+			spec.wants = append(spec.wants, wantFinding{pc: -1, check: m[1], sev: sev, substr: m[3]})
+		}
+	case "bounded":
+		v := true
+		spec.wantBounded = &v
+	case "unbounded":
+		v := false
+		spec.wantBounded = &v
+		spec.unboundedIn = strings.Join(fields[1:], " ")
+	default:
+		key, val, found := strings.Cut(fields[0], "=")
+		if !found {
+			bad(fmt.Errorf("unknown directive"))
+		}
+		switch key {
+		case "cycles":
+			spec.cycles = num(val)
+		case "instrs":
+			spec.instrs = num(val)
+		case "loops":
+			spec.loops = int(num(val))
+		default:
+			bad(fmt.Errorf("unknown directive key %q", key))
+		}
+	}
+}
+
+func TestFixtures(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.s")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixtures found: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := parseFixture(t, string(src))
+			prog, err := isa.Assemble(string(src))
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			rep := Check(prog, spec.target)
+
+			used := make([]bool, len(spec.wants))
+			for _, f := range rep.Findings {
+				matched := false
+				for i, w := range spec.wants {
+					if used[i] || w.pc != f.PC || w.check != f.Check || w.sev != f.Severity {
+						continue
+					}
+					if !strings.Contains(f.Message, w.substr) {
+						continue
+					}
+					used[i] = true
+					matched = true
+					break
+				}
+				if !matched {
+					t.Errorf("unexpected finding: pc=%d block=%d %s %s: %s", f.PC, f.Block, f.Severity, f.Check, f.Message)
+				}
+			}
+			for i, w := range spec.wants {
+				if !used[i] {
+					t.Errorf("missing finding: pc=%d %s %s %q", w.pc, w.sev, w.check, w.substr)
+				}
+			}
+			if spec.wantBounded != nil {
+				if rep.Budget.Bounded != *spec.wantBounded {
+					t.Errorf("Bounded = %v (reason %q), want %v", rep.Budget.Bounded, rep.Budget.Reason, *spec.wantBounded)
+				}
+				if !*spec.wantBounded && !strings.Contains(rep.Budget.Reason, spec.unboundedIn) {
+					t.Errorf("unbounded reason %q does not contain %q", rep.Budget.Reason, spec.unboundedIn)
+				}
+			}
+			if spec.cycles >= 0 && rep.Budget.MaxCycles != spec.cycles {
+				t.Errorf("MaxCycles = %d, want %d", rep.Budget.MaxCycles, spec.cycles)
+			}
+			if spec.instrs >= 0 && rep.Budget.MaxInstructions != spec.instrs {
+				t.Errorf("MaxInstructions = %d, want %d", rep.Budget.MaxInstructions, spec.instrs)
+			}
+			if spec.loops >= 0 && rep.Loops != spec.loops {
+				t.Errorf("Loops = %d, want %d", rep.Loops, spec.loops)
+			}
+			if t.Failed() {
+				t.Logf("report:\n%s", rep.Text())
+			}
+		})
+	}
+}

@@ -1,0 +1,106 @@
+package progcheck
+
+import "testing"
+
+func TestIntervalOverflowWidensToTop(t *testing.T) {
+	big := itv{posInf - 2, posInf - 1}
+	if got := addII(big, itv{10, 10}); got != topItv {
+		t.Errorf("addII overflow = %v, want top", got)
+	}
+	if got := subII(itv{negInf + 2, negInf + 3}, itv{10, 10}); got != topItv {
+		t.Errorf("subII overflow = %v, want top", got)
+	}
+	if got := mulII(itv{1 << 40, 1 << 40}, itv{1 << 40, 1 << 40}); got != topItv {
+		t.Errorf("mulII overflow = %v, want top", got)
+	}
+	if got := addII(topItv, itv{1, 1}); got != topItv {
+		t.Errorf("addII(top, x) = %v, want top", got)
+	}
+}
+
+func TestOverflowHelpers(t *testing.T) {
+	if _, ok := addOv(posInf, 1); ok {
+		t.Error("addOv(max, 1) did not overflow")
+	}
+	if _, ok := addOv(negInf+1, -2); ok {
+		t.Error("addOv(min+1, -2) did not overflow")
+	}
+	if v, ok := addOv(3, 4); !ok || v != 7 {
+		t.Errorf("addOv(3,4) = %d,%v", v, ok)
+	}
+	if _, ok := mulOv(1<<40, 1<<40); ok {
+		t.Error("mulOv(2^40, 2^40) did not overflow")
+	}
+	if v, ok := mulOv(0, 99); !ok || v != 0 {
+		t.Errorf("mulOv(0,99) = %d,%v", v, ok)
+	}
+	if v, ok := subOv(5, 2); !ok || v != 3 {
+		t.Errorf("subOv(5,2) = %d,%v", v, ok)
+	}
+}
+
+func TestThresholdSearch(t *testing.T) {
+	ts := []int64{0, 4, 16, 64}
+	cases := []struct{ v, le, ge int64 }{
+		{-5, negInf, 0},
+		{0, 0, 0},
+		{5, 4, 16},
+		{64, 64, 64},
+		{100, 64, posInf},
+	}
+	for _, c := range cases {
+		if got := thresholdLE(ts, c.v); got != c.le {
+			t.Errorf("thresholdLE(%d) = %d, want %d", c.v, got, c.le)
+		}
+		if got := thresholdGE(ts, c.v); got != c.ge {
+			t.Errorf("thresholdGE(%d) = %d, want %d", c.v, got, c.ge)
+		}
+	}
+}
+
+func TestWidenState(t *testing.T) {
+	ts := []int64{0, 8, 32}
+	var old, next astate
+	for i := range old {
+		old[i] = itv{0, 4}
+		next[i] = itv{0, 4}
+	}
+	next[1] = itv{-3, 9}  // both endpoints moved
+	next[2] = itv{0, 100} // hi past the largest threshold
+
+	soft := widenState(&old, &next, ts, false)
+	if soft[0] != (itv{0, 4}) {
+		t.Errorf("unchanged register widened: %v", soft[0])
+	}
+	if soft[1] != (itv{negInf, 32}) {
+		t.Errorf("soft widen r1 = %v, want [-inf, 32]", soft[1])
+	}
+	if soft[2] != (itv{0, posInf}) {
+		t.Errorf("soft widen r2 = %v, want [0, +inf]", soft[2])
+	}
+
+	hard := widenState(&old, &next, ts, true)
+	if hard[1] != (itv{negInf, posInf}) {
+		t.Errorf("hard widen r1 = %v, want top", hard[1])
+	}
+	if hard[0] != (itv{0, 4}) {
+		t.Errorf("hard widen unchanged r0 = %v", hard[0])
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	cases := []struct {
+		v    itv
+		want string
+	}{
+		{itv{3, 3}, "3"},
+		{itv{0, 8}, "0..8"},
+		{topItv, "-inf..+inf"},
+		{itv{negInf, 5}, "-inf..5"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package progcheck
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/report"
+)
+
+// Cases the assembler cannot express (it validates on the way out) are
+// constructed as raw isa.Program values here.
+
+func findingWith(r *Report, check string, sev report.Severity, substr string) *Finding {
+	for i := range r.Findings {
+		f := &r.Findings[i]
+		if f.Check == check && f.Severity == sev && strings.Contains(f.Message, substr) {
+			return f
+		}
+	}
+	return nil
+}
+
+func TestCheckBranchOutOfRange(t *testing.T) {
+	prog := isa.Program{
+		{Op: isa.OpBeq, Ra: 1, Rb: 2, Imm: 100},
+		{Op: isa.OpHalt},
+	}
+	r := Check(prog, Target{})
+	f := findingWith(r, CheckBranch, report.SevError, "outside program")
+	if f == nil {
+		t.Fatalf("no branch-target error:\n%s", r.Text())
+	}
+	if f.PC != 0 {
+		t.Errorf("finding at pc %d, want 0", f.PC)
+	}
+
+	prog[0].Imm = -100
+	r = Check(prog, Target{})
+	if findingWith(r, CheckBranch, report.SevError, "outside program") == nil {
+		t.Fatalf("no branch-target error for negative target:\n%s", r.Text())
+	}
+}
+
+func TestCheckInvalidEncoding(t *testing.T) {
+	prog := isa.Program{
+		{Op: isa.Op(200)},
+		{Op: isa.OpHalt},
+	}
+	r := Check(prog, Target{})
+	if findingWith(r, CheckEncoding, report.SevError, "") == nil {
+		t.Fatalf("no encoding error:\n%s", r.Text())
+	}
+	if r.Budget.Bounded {
+		t.Error("invalid encodings must not claim a bounded budget")
+	}
+	if !strings.Contains(r.Budget.Reason, "invalid encodings") {
+		t.Errorf("budget reason = %q", r.Budget.Reason)
+	}
+	// Deep analyses are gated: the only findings are structural.
+	for _, f := range r.Findings {
+		if f.Check != CheckEncoding && f.Check != CheckBranch && f.Check != CheckComm {
+			t.Errorf("deep-analysis finding on an undecodable program: %+v", f)
+		}
+	}
+
+	bad := isa.Program{{Op: isa.OpAdd, Rd: 99, Ra: 0, Rb: 0}}
+	r = Check(bad, Target{})
+	if findingWith(r, CheckEncoding, report.SevError, "") == nil {
+		t.Fatalf("no encoding error for bad register:\n%s", r.Text())
+	}
+}
+
+func TestCheckEmptyProgram(t *testing.T) {
+	r := Check(nil, Target{})
+	if len(r.Findings) != 0 {
+		t.Errorf("empty program has findings: %+v", r.Findings)
+	}
+	if !r.Budget.Bounded || r.Budget.MaxCycles != 0 {
+		t.Errorf("empty budget = %+v", r.Budget)
+	}
+}
+
+func TestCheckDeterministicJSON(t *testing.T) {
+	prog := isa.MustAssemble(`
+        ldi  r1, 0
+        ldi  r2, 8
+loop:   beq  r1, r2, done
+        ld   r3, [r1+0]
+        st   r3, [r1+64]
+        addi r1, r1, 1
+        jmp  loop
+done:   send r1, r9
+        halt
+`)
+	tgt := Target{MemWords: 32, Procs: 4}
+	first, err := Check(prog, tgt).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := Check(prog, tgt).JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("run %d: JSON differs:\n%s\nvs\n%s", i, first, again)
+		}
+	}
+}
+
+func TestCleanAndMaxSeverity(t *testing.T) {
+	r := &Report{}
+	if !r.Clean(report.SevInfo) {
+		t.Error("empty report is not clean")
+	}
+	if got := r.MaxSeverity(); got != report.Severity(-1) {
+		t.Errorf("empty MaxSeverity = %v", got)
+	}
+	r.add(CheckDefUse, report.SevInfo, 0, 0, "x")
+	r.add(CheckBounds, report.SevWarn, 1, 0, "y")
+	if r.Clean(report.SevWarn) {
+		t.Error("warn finding not counted against SevWarn threshold")
+	}
+	if !r.Clean(report.SevError) {
+		t.Error("warn finding counted against SevError threshold")
+	}
+	if got := r.MaxSeverity(); got != report.SevWarn {
+		t.Errorf("MaxSeverity = %v, want warn", got)
+	}
+}
+
+func TestUnknownMemSizeSkipsBounds(t *testing.T) {
+	prog := isa.MustAssemble(`
+        ldi r1, 1000000
+        ld  r2, [r1+0]
+        halt
+`)
+	r := Check(prog, Target{}) // MemWords 0: size unknown
+	if f := findingWith(r, CheckBounds, report.SevError, ""); f != nil {
+		t.Errorf("bounds finding with unknown memory size: %+v", f)
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	prog := isa.MustAssemble(`
+        ldi r1, 10
+        ld  r2, [r1+0]
+        halt
+`)
+	r := Check(prog, Target{MemWords: 8})
+	text := r.Text()
+	for _, want := range []string{"memory-bounds", "provably out of bounds", "budget: bounded"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text() missing %q:\n%s", want, text)
+		}
+	}
+	clean := Check(isa.MustAssemble("halt"), Target{})
+	if !strings.Contains(clean.Text(), "no findings") {
+		t.Errorf("clean Text() missing 'no findings':\n%s", clean.Text())
+	}
+}

@@ -1,0 +1,49 @@
+package progcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// Text renders the report as an aligned findings table plus the budget
+// verdict, in the internal/report house style.
+func (r *Report) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d instructions, %d blocks, %d loops\n", r.Instructions, r.Blocks, r.Loops)
+	if len(r.Findings) == 0 {
+		sb.WriteString("no findings\n")
+	} else {
+		t := report.Table{Headers: []string{"severity", "check", "pc", "block", "message"}}
+		for _, f := range r.Findings {
+			pc, blk := "-", "-"
+			if f.PC >= 0 {
+				pc = fmt.Sprintf("%d", f.PC)
+			}
+			if f.Block >= 0 {
+				blk = fmt.Sprintf("%d", f.Block)
+			}
+			t.AddRow(f.Severity.String(), f.Check, pc, blk, f.Message)
+		}
+		sb.WriteString(t.Text())
+	}
+	b := r.Budget
+	if b.Bounded {
+		fmt.Fprintf(&sb, "budget: bounded, <= %d cycles, <= %d instructions", b.MaxCycles, b.MaxInstructions)
+		if b.CommStalls {
+			sb.WriteString(" (excluding recv/sync stalls)")
+		}
+		sb.WriteString("\n")
+	} else {
+		fmt.Fprintf(&sb, "budget: unbounded — %s\n", b.Reason)
+	}
+	return sb.String()
+}
+
+// JSON renders the report deterministically (byte-identical for identical
+// inputs, which CI checks across worker counts).
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

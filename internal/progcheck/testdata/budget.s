@@ -1,0 +1,16 @@
+; Bounded, but the worst-case bound exceeds the target's cycle budget.
+;; target mem=32 budget=50
+;; bounded
+;; cycles=93
+;; loops=1
+;; want budget warn "exceeds the run budget"
+        ldi  r1, 0
+        ldi  r2, 8
+loop:   beq  r1, r2, done
+        ld   r3, [r1+0]
+        ld   r4, [r1+8]
+        add  r5, r3, r4
+        st   r5, [r1+16]
+        addi r1, r1, 1
+        jmp  loop
+done:   halt

@@ -1,0 +1,18 @@
+; A vecadd-shaped counted loop: c[i] = a[i] + b[i] over 8 elements.
+; Everything is clean; the cycle bound is pinned so precision regressions
+; (interval widening, trip inference) show up as a changed number.
+;; target mem=32
+;; bounded
+;; cycles=93
+;; instrs=66
+;; loops=1
+        ldi  r1, 0          ; i = 0
+        ldi  r2, 8          ; n = 8
+loop:   beq  r1, r2, done
+        ld   r3, [r1+0]     ; a[i]
+        ld   r4, [r1+8]     ; b[i]
+        add  r5, r3, r4
+        st   r5, [r1+16]    ; c[i]
+        addi r1, r1, 1
+        jmp  loop
+done:   halt

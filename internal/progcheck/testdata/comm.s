@@ -1,0 +1,9 @@
+; SEND/RECV need a DP-DP network and SYNC needs a barrier; this target
+; (a plain uni-processor) has neither.
+;; target mem=8 procs=4
+;; bounded
+        lane r1
+        send r1, r1         ; want comm-shape error "needs a DP-DP network"
+        recv r2, r1         ; want comm-shape error "needs a DP-DP network"
+        sync                ; want comm-shape error "needs a barrier"
+        halt

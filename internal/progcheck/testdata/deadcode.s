@@ -1,0 +1,9 @@
+; Code after an unconditional jump that nothing targets is unreachable.
+;; target mem=8
+;; bounded
+;; cycles=3
+        ldi r1, 1
+        jmp end
+        ldi r2, 2           ; want unreachable info "unreachable code (2 ops)"
+        add r3, r1, r2
+end:    halt

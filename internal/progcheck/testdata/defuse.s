@@ -1,0 +1,8 @@
+; Reads of registers no write reaches rely on the machines' zero-init.
+;; target mem=8
+;; bounded
+;; cycles=5
+        ldi r1, 1
+        add r2, r1, r3      ; want def-before-use info "reads r3 before any write"
+        st  r2, [r0+4]      ; want def-before-use info "reads r0 before any write"
+        halt

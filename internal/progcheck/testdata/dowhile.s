@@ -1,0 +1,12 @@
+; A do-while loop: the exit test sits at the latch (bne), not the header.
+;; target mem=16
+;; bounded
+;; cycles=39
+;; instrs=30
+;; loops=1
+        ldi  r1, 0
+        ldi  r2, 8
+loop:   st   r1, [r1+0]
+        addi r1, r1, 1
+        bne  r1, r2, loop
+        halt

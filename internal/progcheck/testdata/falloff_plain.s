@@ -1,0 +1,6 @@
+; A straight-line program with no halt at all.
+;; target mem=8
+;; bounded
+;; cycles=2
+        ldi  r1, 1
+        addi r1, r1, 1      ; want fallthrough warn "missing halt"

@@ -1,0 +1,6 @@
+; Missing halt: plain fall-off is a warning; a trailing conditional branch
+; whose taken edge is the legal implicit halt still leaks its not-taken path.
+;; target mem=8
+;; bounded
+        ldi  r1, 1
+        beq  r1, r1, 0      ; want branch-target info "implicit halt" ; want fallthrough warn "not-taken path falls off the end"

@@ -1,0 +1,14 @@
+; A doubling counter (add r1, r1, r1) against an upper bound: the trip
+; count is logarithmic and still inferable.
+;; target mem=16
+;; bounded
+;; cycles=31
+;; instrs=31
+;; loops=1
+        ldi r1, 1
+        ldi r2, 100
+loop:   blt r1, r2, body
+        jmp done
+body:   add r1, r1, r1
+        jmp loop
+done:   halt

@@ -1,0 +1,12 @@
+; Two distinct back edges to the same header defeat trip inference.
+;; target mem=8
+;; unbounded back edges
+;; want budget warn "not provably bounded"
+;; loops=1
+        ldi  r1, 0
+        ldi  r2, 8
+loop:   beq  r1, r2, done
+        addi r1, r1, 1
+        beq  r1, r2, loop
+        jmp  loop
+done:   halt

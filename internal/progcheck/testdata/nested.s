@@ -1,0 +1,19 @@
+; A matmul-shaped nest: 4x4 outer/inner counted loops. Both trip bounds are
+; inferred and multiplied through.
+;; target mem=64
+;; bounded
+;; cycles=198
+;; instrs=148
+;; loops=2
+        ldi  r1, 0          ; i
+        ldi  r3, 4          ; n
+outer:  beq  r1, r3, done
+        ldi  r2, 0          ; j
+inner:  beq  r2, r3, iend
+        ld   r4, [r2+0]
+        st   r4, [r2+16]
+        addi r2, r2, 1
+        jmp  inner
+iend:   addi r1, r1, 1
+        jmp  outer
+done:   halt

@@ -1,0 +1,12 @@
+; Memory-bounds grading: provable violations are errors, possible ones
+; (address from an unconstrained load) are warnings.
+;; target mem=8
+;; bounded
+;; cycles=11
+        ldi r1, 10
+        ld  r2, [r1+0]      ; want memory-bounds error "provably out of bounds"
+        ldi r3, 5
+        st  r2, [r3+4]      ; want memory-bounds error "provably out of bounds"
+        ld  r4, [r0+0]      ; want def-before-use info "reads r0 before any write"
+        st  r1, [r4+0]      ; want memory-bounds warn "may be out of bounds"
+        halt

@@ -1,0 +1,10 @@
+; With a network present, peer indices are graded against the processor
+; count: provably-out-of-range peers are errors.
+;; target mem=8 procs=4 network barrier
+;; bounded
+        ldi  r1, 7
+        send r1, r1         ; want comm-shape error "provably out of range"
+        ldi  r2, 3
+        recv r3, r2
+        sync
+        halt

@@ -1,0 +1,13 @@
+; Same do-while as dowhile.s under SIMD-ish timing knobs: 2-cycle memory,
+; 3-cycle taken-branch penalty. Only the cycle bound moves.
+;; target mem=16 memlat=2 penalty=3
+;; bounded
+;; cycles=75
+;; instrs=30
+;; loops=1
+        ldi  r1, 0
+        ldi  r2, 8
+loop:   st   r1, [r1+0]
+        addi r1, r1, 1
+        bne  r1, r2, loop
+        halt

@@ -1,0 +1,12 @@
+; The loop counter is squared, not stepped by a recognized induction
+; pattern, so the budget verdict is an explicit "unbounded".
+;; target mem=8
+;; unbounded not stepped by a recognized induction pattern
+;; want budget warn "not provably bounded"
+;; loops=1
+        ldi r1, 0
+        ldi r2, 10
+loop:   beq r1, r2, done
+        mul r1, r1, r1
+        jmp loop
+done:   halt

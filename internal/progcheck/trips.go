@@ -1,0 +1,353 @@
+package progcheck
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// This file infers loop trip bounds from the induction pattern every
+// workload kernel (and every bounded guest program the generator emits)
+// uses: a counter register stepped by exactly one `addi ctr, ctr, c` (or
+// doubled by `add ctr, ctr, ctr`) per iteration, tested at the loop header
+// or latch against a loop-invariant bound. Everything else is reported as
+// "unbounded" — an explicit verdict, never a guess.
+
+// stay relations: how the counter compares to the bound on the edge that
+// stays in the loop.
+type stayRel int
+
+const (
+	relEQ stayRel = iota
+	relNE
+	relLT
+	relLE
+	relGT
+	relGE
+)
+
+// negateRel flips a relation to its complement (the other branch edge).
+func negateRel(r stayRel) stayRel {
+	switch r {
+	case relEQ:
+		return relNE
+	case relNE:
+		return relEQ
+	case relLT:
+		return relGE
+	case relGE:
+		return relLT
+	case relLE:
+		return relGT
+	case relGT:
+		return relLE
+	}
+	return r
+}
+
+// mirrorRel swaps the sides of a relation (bound REL ctr -> ctr REL' bound).
+func mirrorRel(r stayRel) stayRel {
+	switch r {
+	case relLT:
+		return relGT
+	case relGT:
+		return relLT
+	case relGE:
+		return relLE
+	case relLE:
+		return relGE
+	case relEQ, relNE:
+		return r
+	}
+	return r
+}
+
+// subOv subtracts with overflow detection (operands must be > MinInt64).
+func subOv(a, b int64) (int64, bool) {
+	return addOv(a, -b)
+}
+
+// tripBound bounds how many times the loop's header can execute per entry
+// into the loop. A negative result means no bound could be inferred; the
+// reason explains the closest miss.
+func (w *wcetCtx) tripBound(inSCC []bool, members []int32, header, latch int32, member []bool, skipTo int32) (int64, string) {
+	// Register writers inside the loop.
+	var writeCount [isa.NumRegs]int
+	var writerPC, writerBlock [isa.NumRegs]int32
+	for _, b := range members {
+		blk := &w.g.Blocks[b]
+		for pc := blk.Start; pc < blk.End; pc++ {
+			d := &w.dec[pc]
+			if d.Op.WritesRd() {
+				writeCount[d.Rd]++
+				writerPC[d.Rd] = pc
+				writerBlock[d.Rd] = b
+			}
+		}
+	}
+	// Blocks still on a cycle once back edges to the header are cut: an
+	// induction step there may run several times per iteration, which
+	// breaks the equality-exit arithmetic.
+	nb := len(w.g.Blocks)
+	bodyMember := make([]bool, nb)
+	for _, b := range members {
+		bodyMember[b] = true
+	}
+	_, bcomps := w.tarjan(bodyMember, header)
+	innerCyclic := make([]bool, nb)
+	for _, bm := range bcomps {
+		if len(bm) > 1 {
+			for _, b := range bm {
+				innerCyclic[b] = true
+			}
+		}
+	}
+	for _, b := range members {
+		if !innerCyclic[b] && w.hasSelfEdge(b, bodyMember, header) {
+			innerCyclic[b] = true
+		}
+	}
+
+	exits := []int32{header}
+	if latch != header {
+		exits = append(exits, latch)
+	}
+	best := int64(-1)
+	reason := fmt.Sprintf("no exit test at the header or latch of the loop at block %d", header)
+	for _, e := range exits {
+		t, why := w.inferExit(e, inSCC, &writeCount, &writerPC, &writerBlock, innerCyclic, header, latch, member, skipTo)
+		if t >= 0 {
+			if best < 0 || t < best {
+				best = t
+			}
+		} else if why != "" {
+			reason = fmt.Sprintf("loop at block %d: %s", header, why)
+		}
+	}
+	if best < 0 {
+		return -1, reason
+	}
+	return best, ""
+}
+
+// inferExit bounds header executions via the exit branch at block e, or
+// returns -1 (with a reason when the block looked like a candidate).
+func (w *wcetCtx) inferExit(e int32, inSCC []bool, writeCount *[isa.NumRegs]int, writerPC, writerBlock *[isa.NumRegs]int32, innerCyclic []bool, header, latch int32, member []bool, skipTo int32) (int64, string) {
+	blk := &w.g.Blocks[e]
+	d := &w.dec[blk.End-1]
+	if !d.IsBranch() || d.Op == isa.OpJmp {
+		return -1, ""
+	}
+	fallIn := blk.Fall >= 0 && inSCC[blk.Fall]
+	takenIn := blk.Taken >= 0 && inSCC[blk.Taken]
+	if fallIn == takenIn {
+		return -1, "" // both edges stay in (or leave) the loop: not an exit test
+	}
+	stayTaken := takenIn
+
+	ra, rb := d.Ra, d.Rb
+	var ctr, bound uint8
+	switch {
+	case writeCount[ra] > 0 && writeCount[rb] == 0:
+		ctr, bound = ra, rb
+	case writeCount[rb] > 0 && writeCount[ra] == 0:
+		ctr, bound = rb, ra
+	default:
+		return -1, fmt.Sprintf("exit test at pc %d has no loop-invariant bound operand", blk.End-1)
+	}
+	if writeCount[ctr] != 1 {
+		return -1, fmt.Sprintf("counter r%d has %d writers in the loop", ctr, writeCount[ctr])
+	}
+	wb := writerBlock[ctr]
+	if wb != header && wb != latch {
+		return -1, fmt.Sprintf("counter r%d is not stepped on every iteration", ctr)
+	}
+	if innerCyclic[wb] {
+		return -1, fmt.Sprintf("counter r%d steps inside an inner loop", ctr)
+	}
+	wop := &w.dec[writerPC[ctr]]
+	var stride int64
+	geometric := false
+	switch {
+	case wop.Op == isa.OpAddi && wop.Rd == ctr && wop.Ra == ctr && wop.Imm != 0:
+		stride = wop.Imm
+	case wop.Op == isa.OpAdd && wop.Rd == ctr && wop.Ra == ctr && wop.Rb == ctr:
+		geometric = true
+	default:
+		return -1, fmt.Sprintf("counter r%d is not stepped by a recognized induction pattern", ctr)
+	}
+
+	// Bound interval at the exit test; counter interval at loop entry.
+	if !w.st.visited[e] {
+		return -1, ""
+	}
+	s := w.st.in[e]
+	for pc := blk.Start; pc < blk.End-1; pc++ {
+		transfer(&w.dec[pc], &s, w.t)
+	}
+	bItv := s[bound]
+	c0, ok := w.entryState(header, inSCC, member, skipTo)
+	if !ok {
+		return -1, "loop entry state unknown"
+	}
+	c0Itv := c0[ctr]
+
+	// Relation of ctr to bound on the staying edge.
+	var rel stayRel
+	switch d.Op {
+	case isa.OpBeq:
+		rel = relEQ
+	case isa.OpBne:
+		rel = relNE
+	case isa.OpBlt:
+		rel = relLT
+	case isa.OpBge:
+		rel = relGE
+	default:
+		return -1, ""
+	}
+	if !stayTaken {
+		rel = negateRel(rel)
+	}
+	if ctr == rb {
+		rel = mirrorRel(rel)
+	}
+
+	switch rel {
+	case relEQ:
+		// Stays only while ctr equals the bound; one step breaks it.
+		return 2, ""
+	case relNE:
+		if geometric {
+			return -1, fmt.Sprintf("equality exit on doubling counter r%d", ctr)
+		}
+		if !c0Itv.singleton() || !bItv.singleton() {
+			return -1, fmt.Sprintf("equality exit needs exact counter start and bound (have r%d=[%s], bound=[%s])", ctr, c0Itv, bItv)
+		}
+		diff, ok := subOv(bItv.lo, c0Itv.lo)
+		if !ok {
+			return -1, "counter range overflows"
+		}
+		if stride > 0 {
+			if diff < 0 || diff%stride != 0 {
+				return -1, fmt.Sprintf("counter r%d steps over its bound without hitting it", ctr)
+			}
+			return diff/stride + 1, ""
+		}
+		if diff > 0 || diff%stride != 0 {
+			return -1, fmt.Sprintf("counter r%d steps over its bound without hitting it", ctr)
+		}
+		return diff/stride + 1, ""
+	case relLT, relLE:
+		// Stays while ctr < limit (LE: <= bound, so limit = bound+1).
+		if bItv.hi == posInf || c0Itv.lo == negInf {
+			return -1, fmt.Sprintf("counter r%d start or bound is unbounded", ctr)
+		}
+		limit := bItv.hi
+		if rel == relLE {
+			var ok bool
+			limit, ok = addOv(limit, 1)
+			if !ok {
+				return -1, "counter range overflows"
+			}
+		}
+		if geometric {
+			return doublingExecs(c0Itv.lo, limit, ctr)
+		}
+		if stride <= 0 {
+			return -1, fmt.Sprintf("counter r%d never reaches its upper bound (stride %d)", ctr, stride)
+		}
+		span, ok := subOv(limit-1, c0Itv.lo)
+		if !ok {
+			return -1, "counter range overflows"
+		}
+		return nonnegDiv(span, stride) + 2, ""
+	case relGT, relGE:
+		// Stays while ctr > floor (GE: >= bound, so floor = bound).
+		if bItv.lo == negInf || c0Itv.hi == posInf {
+			return -1, fmt.Sprintf("counter r%d start or bound is unbounded", ctr)
+		}
+		floor := bItv.lo
+		if rel == relGT {
+			var ok bool
+			floor, ok = addOv(floor, 1)
+			if !ok {
+				return -1, "counter range overflows"
+			}
+		}
+		if geometric {
+			return -1, fmt.Sprintf("doubling counter r%d with a lower bound", ctr)
+		}
+		if stride >= 0 {
+			return -1, fmt.Sprintf("counter r%d never reaches its lower bound (stride %d)", ctr, stride)
+		}
+		span, ok := subOv(c0Itv.hi, floor)
+		if !ok {
+			return -1, "counter range overflows"
+		}
+		return nonnegDiv(span, -stride) + 2, ""
+	}
+	return -1, ""
+}
+
+// nonnegDiv is floor(num/den) clamped at zero (den > 0).
+func nonnegDiv(num, den int64) int64 {
+	if num < 0 {
+		return 0
+	}
+	return num / den
+}
+
+// doublingExecs counts header executions of a doubling counter staying
+// while ctr < limit.
+func doublingExecs(start, limit int64, ctr uint8) (int64, string) {
+	if start < 1 {
+		return -1, fmt.Sprintf("doubling counter r%d starts at %d (never grows)", ctr, start)
+	}
+	v, execs := start, int64(1)
+	for v < limit {
+		if v > costCap {
+			break
+		}
+		v *= 2
+		execs++
+	}
+	return execs + 1, ""
+}
+
+// entryState joins the abstract states flowing into the loop header from
+// outside the loop (plus the machine zero state when the header is the
+// program entry).
+func (w *wcetCtx) entryState(header int32, inSCC []bool, member []bool, skipTo int32) (astate, bool) {
+	var s astate
+	have := false
+	if header == 0 {
+		s = zeroState()
+		have = true
+	}
+	for _, p := range w.preds[header] {
+		if !member[p] || inSCC[p] || !w.st.visited[p] {
+			continue
+		}
+		blk := &w.g.Blocks[p]
+		if blk.Fall == header {
+			if es, ok := w.st.edgeOut(w.dec, w.g, int(p), false, w.t); ok {
+				if have {
+					s = joinState(&s, &es)
+				} else {
+					s, have = es, true
+				}
+			}
+		}
+		if blk.Taken == header && blk.Taken != blk.Fall {
+			if es, ok := w.st.edgeOut(w.dec, w.g, int(p), true, w.t); ok {
+				if have {
+					s = joinState(&s, &es)
+				} else {
+					s, have = es, true
+				}
+			}
+		}
+	}
+	return s, have
+}

@@ -1,0 +1,265 @@
+package progcheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// checkBounded asserts the program gets a bounded budget and returns it.
+func checkBounded(t *testing.T, src string) Budget {
+	t.Helper()
+	r := Check(isa.MustAssemble(src), Target{MemWords: 64})
+	if !r.Budget.Bounded {
+		t.Fatalf("unbounded: %s\n%s", r.Budget.Reason, r.Text())
+	}
+	return r.Budget
+}
+
+// checkUnbounded asserts the verdict is unbounded for the given reason.
+func checkUnbounded(t *testing.T, src, reason string) {
+	t.Helper()
+	r := Check(isa.MustAssemble(src), Target{MemWords: 64})
+	if r.Budget.Bounded {
+		t.Fatalf("bounded (<= %d cycles), want unbounded with %q", r.Budget.MaxCycles, reason)
+	}
+	if !strings.Contains(r.Budget.Reason, reason) {
+		t.Fatalf("reason = %q, want substring %q", r.Budget.Reason, reason)
+	}
+}
+
+func TestTripDownCountingGE(t *testing.T) {
+	// Stays while ctr >= bound with a negative stride: the relGE arm.
+	b := checkBounded(t, `
+        ldi  r1, 8
+        ldi  r2, 1
+loop:   addi r1, r1, -1
+        bge  r1, r2, loop
+        halt
+`)
+	// Counter 8 -> 0, at most 8 + slack header executions.
+	if b.MaxCycles < 8 || b.MaxCycles > 64 {
+		t.Errorf("down-counting bound = %d cycles, want a small finite bound", b.MaxCycles)
+	}
+}
+
+func TestTripMirroredGT(t *testing.T) {
+	// blt bound, ctr stays while bound < ctr: the counter sits on the rb
+	// side, so the relation must mirror (relLT -> relGT).
+	checkBounded(t, `
+        ldi  r1, 8
+        ldi  r2, 0
+loop:   addi r1, r1, -1
+        blt  r2, r1, loop
+        halt
+`)
+}
+
+func TestTripFallthroughStays(t *testing.T) {
+	// The taken edge exits, so the stay relation is the negation of the
+	// branch: bge exits => relLT stays; bne exits => relEQ stays (2 trips).
+	checkBounded(t, `
+        ldi  r1, 0
+        ldi  r2, 8
+loop:   addi r1, r1, 1
+        bge  r1, r2, done
+        jmp  loop
+done:   halt
+`)
+	b := checkBounded(t, `
+        ldi  r1, 0
+        ldi  r2, 0
+loop:   addi r1, r1, 1
+        bne  r1, r2, done
+        jmp  loop
+done:   halt
+`)
+	// Stays only while equal: one step breaks equality, so the loop body
+	// runs at most twice.
+	if b.MaxCycles > 32 {
+		t.Errorf("equality-stay bound = %d cycles, want <= 32", b.MaxCycles)
+	}
+}
+
+func TestTripEqualityExit(t *testing.T) {
+	// beq exits (stay relation NE): needs exact start/bound and a stride
+	// that lands on the bound.
+	checkBounded(t, `
+        ldi  r1, 0
+        ldi  r2, 8
+loop:   addi r1, r1, 2
+        beq  r1, r2, done
+        jmp  loop
+done:   halt
+`)
+	// Negative stride toward a lower bound.
+	checkBounded(t, `
+        ldi  r1, 8
+        ldi  r2, 0
+loop:   addi r1, r1, -2
+        beq  r1, r2, done
+        jmp  loop
+done:   halt
+`)
+	// A stride that steps over the bound never exits.
+	checkUnbounded(t, `
+        ldi  r1, 0
+        ldi  r2, 8
+loop:   addi r1, r1, 3
+        beq  r1, r2, done
+        jmp  loop
+done:   halt
+`, "steps over its bound")
+}
+
+func TestTripDoublingCounter(t *testing.T) {
+	// add r,r,r doubles: log-bounded while ctr < bound.
+	b := checkBounded(t, `
+        ldi  r1, 1
+        ldi  r2, 64
+loop:   add  r1, r1, r1
+        blt  r1, r2, loop
+        halt
+`)
+	if b.MaxCycles > 64 {
+		t.Errorf("doubling bound = %d cycles, want logarithmic (<= 64)", b.MaxCycles)
+	}
+	// Starting at zero never grows.
+	checkUnbounded(t, `
+        ldi  r1, 0
+        ldi  r2, 64
+loop:   add  r1, r1, r1
+        blt  r1, r2, loop
+        halt
+`, "never grows")
+	// Equality exits cannot bound a doubling counter.
+	checkUnbounded(t, `
+        ldi  r1, 1
+        ldi  r2, 64
+loop:   add  r1, r1, r1
+        beq  r1, r2, done
+        jmp  loop
+done:   halt
+`, "equality exit on doubling counter")
+	// Neither can a lower bound.
+	checkUnbounded(t, `
+        ldi  r1, 8
+        ldi  r2, 1
+loop:   add  r1, r1, r1
+        bge  r1, r2, loop
+        halt
+`, "doubling counter")
+}
+
+func TestTripStrideFightsBound(t *testing.T) {
+	// Counting up against a lower bound (and down against an upper bound)
+	// never reaches the exit.
+	checkUnbounded(t, `
+        ldi  r1, 8
+        ldi  r2, 1
+loop:   addi r1, r1, 1
+        bge  r1, r2, loop
+        halt
+`, "never reaches its lower bound")
+	checkUnbounded(t, `
+        ldi  r1, 0
+        ldi  r2, 8
+loop:   addi r1, r1, -1
+        blt  r1, r2, loop
+        halt
+`, "never reaches its upper bound")
+}
+
+func TestTripStartPastBound(t *testing.T) {
+	// Counter starts beyond the bound: the loop body still runs once
+	// (do-while shape), so the bound is small but nonzero.
+	b := checkBounded(t, `
+        ldi  r1, 10
+        ldi  r2, 5
+loop:   addi r1, r1, 1
+        blt  r1, r2, loop
+        halt
+`)
+	if b.MaxCycles > 16 {
+		t.Errorf("start-past-bound = %d cycles, want a tiny bound", b.MaxCycles)
+	}
+}
+
+func TestTripLoopAtProgramEntry(t *testing.T) {
+	// The loop header is the program's first block: the entry state is the
+	// machine zero state (all registers zero), so the bound register reads
+	// as the singleton 0 and the loop exits immediately.
+	r := Check(isa.MustAssemble(`
+loop:   addi r1, r1, 1
+        blt  r1, r2, loop
+        halt
+`), Target{MemWords: 64})
+	if !r.Budget.Bounded {
+		t.Fatalf("entry-header loop unbounded: %s", r.Budget.Reason)
+	}
+}
+
+func TestTripEnteredByJump(t *testing.T) {
+	// The header's outside predecessor arrives on a taken edge, not a
+	// fallthrough: the entry state must flow across it.
+	checkBounded(t, `
+        ldi  r1, 0
+        ldi  r2, 8
+        jmp  loop
+        halt
+loop:   addi r1, r1, 1
+        blt  r1, r2, loop
+        halt
+`)
+}
+
+func TestSaturatingCostArithmetic(t *testing.T) {
+	if got := satAddC(costCap-1, 5); got != costCap {
+		t.Errorf("satAddC near cap = %d, want %d", got, costCap)
+	}
+	if got := satAddC(1, 2); got != 3 {
+		t.Errorf("satAddC(1,2) = %d", got)
+	}
+	if got := satMulC(costCap/2, 4); got != costCap {
+		t.Errorf("satMulC overflow = %d, want %d", got, costCap)
+	}
+	if got := satMulC(0, 99); got != 0 {
+		t.Errorf("satMulC(0,99) = %d", got)
+	}
+	if got := satMulC(6, 7); got != 42 {
+		t.Errorf("satMulC(6,7) = %d", got)
+	}
+}
+
+func TestNonnegDiv(t *testing.T) {
+	if got := nonnegDiv(-3, 2); got != 0 {
+		t.Errorf("nonnegDiv(-3,2) = %d, want 0", got)
+	}
+	if got := nonnegDiv(7, 2); got != 3 {
+		t.Errorf("nonnegDiv(7,2) = %d, want 3", got)
+	}
+}
+
+func TestRelationHelpers(t *testing.T) {
+	negPairs := [][2]stayRel{
+		{relEQ, relNE}, {relNE, relEQ},
+		{relLT, relGE}, {relGE, relLT},
+		{relLE, relGT}, {relGT, relLE},
+	}
+	for _, p := range negPairs {
+		if got := negateRel(p[0]); got != p[1] {
+			t.Errorf("negateRel(%d) = %d, want %d", p[0], got, p[1])
+		}
+	}
+	mirPairs := [][2]stayRel{
+		{relLT, relGT}, {relGT, relLT},
+		{relLE, relGE}, {relGE, relLE},
+		{relEQ, relEQ}, {relNE, relNE},
+	}
+	for _, p := range mirPairs {
+		if got := mirrorRel(p[0]); got != p[1] {
+			t.Errorf("mirrorRel(%d) = %d, want %d", p[0], got, p[1])
+		}
+	}
+}

@@ -1,0 +1,344 @@
+package progcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/report"
+)
+
+// This file computes the worst-case cycle/instruction budget: Tarjan SCC
+// loop discovery (recursively, so nests decompose innermost-first), trip
+// bounds inferred from the induction pattern (a single counter stepped by
+// one addi — or doubled by add r,r,r — tested against a loop-invariant
+// bound), and a longest path over the condensed DAG. Loops with no
+// inferable bound make the whole verdict "unbounded" with a reason; the
+// bound itself is a sound over-approximation the differential pin test
+// (bounded programs must finish within it on the interp backend) keeps
+// honest.
+
+// costCap saturates cost arithmetic far below int64 overflow.
+const costCap = int64(1) << 60
+
+func satAddC(a, b int64) int64 {
+	if a > costCap-b {
+		return costCap
+	}
+	return a + b
+}
+
+func satMulC(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > costCap/b {
+		return costCap
+	}
+	return a * b
+}
+
+// wcetCtx carries the immutable inputs of one budget computation.
+type wcetCtx struct {
+	dec    isa.DecodedProgram
+	g      *isa.CFG
+	st     *absResult
+	t      Target
+	cycles []int64   // static cycle cost per block
+	instrs []int64   // instruction count per block
+	preds  [][]int32 // global predecessor lists
+	loops  int
+}
+
+// computeBudget derives the Report budget and its findings.
+func computeBudget(dec isa.DecodedProgram, g *isa.CFG, reach []bool, st *absResult, t Target, r *Report) {
+	nb := len(g.Blocks)
+	w := &wcetCtx{dec: dec, g: g, st: st, t: t,
+		cycles: make([]int64, nb), instrs: make([]int64, nb), preds: make([][]int32, nb)}
+	comm := false
+	for b := 0; b < nb; b++ {
+		blk := &g.Blocks[b]
+		for pc := blk.Start; pc < blk.End; pc++ {
+			d := &dec[pc]
+			w.cycles[b]++
+			if d.IsMemory() {
+				w.cycles[b] += t.MemLatency
+			}
+			if st.visited[b] && (d.Op == isa.OpRecv || d.Op == isa.OpSync) {
+				comm = true
+			}
+		}
+		w.instrs[b] = int64(blk.End - blk.Start)
+		var succs [2]int32
+		for _, s := range blk.Succs(succs[:0]) {
+			w.preds[s] = append(w.preds[s], int32(b))
+		}
+	}
+
+	member := make([]bool, nb)
+	for b := 0; b < nb; b++ {
+		member[b] = st.visited[b]
+	}
+	cyc, ins, ok, reason := w.solve(member, 0, -1)
+	r.Loops = w.loops
+	if !ok {
+		r.Budget = Budget{Bounded: false, Reason: reason, CommStalls: comm}
+		r.add(CheckBudget, report.SevWarn, -1, -1, "execution is not provably bounded: "+reason)
+		return
+	}
+	r.Budget = Budget{Bounded: true, MaxCycles: cyc, MaxInstructions: ins, CommStalls: comm}
+	if cyc > t.MaxCycles {
+		r.add(CheckBudget, report.SevWarn, -1, -1,
+			fmt.Sprintf("worst-case cycle bound %d exceeds the run budget of %d cycles", cyc, t.MaxCycles))
+	}
+}
+
+// penalty returns the cycle penalty of one edge of block b: taken branches
+// whose target is not the fall-through pc pay the branch penalty.
+func (w *wcetCtx) penalty(b int32, taken bool) int64 {
+	if !taken {
+		return 0
+	}
+	d := &w.dec[w.g.Blocks[b].End-1]
+	if d.IsBranch() && d.Target != w.g.Blocks[b].End {
+		return w.t.BranchPenalty
+	}
+	return 0
+}
+
+// eachSucc visits block b's in-region successors (fall first, then taken),
+// skipping edges into skipTo (used to cut a loop's back edges).
+func (w *wcetCtx) eachSucc(b int32, member []bool, skipTo int32, fn func(to int32, pen int64)) {
+	blk := &w.g.Blocks[b]
+	if blk.Fall >= 0 && member[blk.Fall] && blk.Fall != skipTo {
+		fn(blk.Fall, w.penalty(b, false))
+	}
+	if blk.Taken >= 0 && member[blk.Taken] && blk.Taken != skipTo && blk.Taken != blk.Fall {
+		fn(blk.Taken, w.penalty(b, true))
+	}
+}
+
+// tarjan computes SCCs of the member-induced subgraph with edges into
+// skipTo removed. comps come out in reverse topological order.
+func (w *wcetCtx) tarjan(member []bool, skipTo int32) (comp []int32, comps [][]int32) {
+	nb := len(w.g.Blocks)
+	comp = make([]int32, nb)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int32, nb)
+	low := make([]int32, nb)
+	onStack := make([]bool, nb)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int32
+	var next int32
+	var strong func(v int32)
+	strong = func(v int32) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		w.eachSucc(v, member, skipTo, func(to int32, _ int64) {
+			if index[to] < 0 {
+				strong(to)
+				if low[to] < low[v] {
+					low[v] = low[to]
+				}
+			} else if onStack[to] && index[to] < low[v] {
+				low[v] = index[to]
+			}
+		})
+		if low[v] == index[v] {
+			var members []int32
+			for {
+				u := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[u] = false
+				comp[u] = int32(len(comps))
+				members = append(members, u)
+				if u == v {
+					break
+				}
+			}
+			sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+			comps = append(comps, members)
+		}
+	}
+	for v := 0; v < nb; v++ {
+		if member[v] && index[v] < 0 {
+			strong(int32(v))
+		}
+	}
+	return comp, comps
+}
+
+// solve bounds the longest execution path through the member-induced
+// subgraph entered at entry (with edges into skipTo removed — the caller
+// cuts back edges when solving a loop body). It returns cycle and
+// instruction bounds, or ok=false with a reason.
+func (w *wcetCtx) solve(member []bool, entry, skipTo int32) (cyc, ins int64, ok bool, reason string) {
+	if !member[entry] {
+		return 0, 0, true, ""
+	}
+	comp, comps := w.tarjan(member, skipTo)
+
+	// Per-SCC weights, topologically (comps is reverse topological, so
+	// walk it backwards).
+	weightC := make([]int64, len(comps))
+	weightI := make([]int64, len(comps))
+	for ci := len(comps) - 1; ci >= 0; ci-- {
+		members := comps[ci]
+		if len(members) == 1 && !w.hasSelfEdge(members[0], member, skipTo) {
+			b := members[0]
+			weightC[ci] = w.cycles[b]
+			weightI[ci] = w.instrs[b]
+			continue
+		}
+		lc, li, lok, lreason := w.solveLoop(members, member, entry, skipTo)
+		if !lok {
+			return 0, 0, false, lreason
+		}
+		weightC[ci] = lc
+		weightI[ci] = li
+	}
+
+	// Longest path over the condensation from entry's component.
+	distC := make([]int64, len(comps))
+	distI := make([]int64, len(comps))
+	seen := make([]bool, len(comps))
+	ec := comp[entry]
+	distC[ec] = weightC[ec]
+	distI[ec] = weightI[ec]
+	seen[ec] = true
+	for ci := len(comps) - 1; ci >= 0; ci-- {
+		if !seen[ci] {
+			continue
+		}
+		for _, b := range comps[ci] {
+			w.eachSucc(b, member, skipTo, func(to int32, pen int64) {
+				tc := comp[to]
+				if tc == int32(ci) {
+					return
+				}
+				dc := satAddC(satAddC(distC[ci], pen), weightC[tc])
+				di := satAddC(distI[ci], weightI[tc])
+				if !seen[tc] {
+					distC[tc], distI[tc], seen[tc] = dc, di, true
+				} else {
+					distC[tc] = max64(distC[tc], dc)
+					distI[tc] = max64(distI[tc], di)
+				}
+			})
+		}
+	}
+	for ci := range comps {
+		if seen[ci] {
+			cyc = max64(cyc, distC[ci])
+			ins = max64(ins, distI[ci])
+		}
+	}
+	// A branch that exits the program (target == program end) pays its
+	// penalty after the last block; one slack term keeps the bound sound.
+	cyc = satAddC(cyc, w.exitPenalty(member))
+	return cyc, ins, true, ""
+}
+
+// hasSelfEdge reports whether b has an edge to itself in the subgraph.
+func (w *wcetCtx) hasSelfEdge(b int32, member []bool, skipTo int32) bool {
+	self := false
+	w.eachSucc(b, member, skipTo, func(to int32, _ int64) {
+		if to == b {
+			self = true
+		}
+	})
+	return self
+}
+
+// exitPenalty is the worst penalty a program-exiting branch can pay.
+func (w *wcetCtx) exitPenalty(member []bool) int64 {
+	for b := range w.g.Blocks {
+		if !member[b] || !w.g.Blocks[b].FallsOff {
+			continue
+		}
+		d := &w.dec[w.g.Blocks[b].End-1]
+		if d.IsBranch() && d.Target != w.g.Blocks[b].End {
+			return w.t.BranchPenalty
+		}
+	}
+	return 0
+}
+
+// solveLoop bounds one loop SCC: find its unique header and latch, infer a
+// trip bound, recursively solve one iteration's body, and multiply.
+func (w *wcetCtx) solveLoop(members []int32, member []bool, entry, skipTo int32) (cyc, ins int64, ok bool, reason string) {
+	w.loops++
+	inSCC := make([]bool, len(w.g.Blocks))
+	for _, b := range members {
+		inSCC[b] = true
+	}
+	// Header: the unique block entered from outside the SCC (the region
+	// entry counts as externally entered).
+	var headers []int32
+	for _, b := range members {
+		external := b == entry
+		for _, p := range w.preds[b] {
+			if member[p] && !inSCC[p] && w.edgeExists(p, b, member, skipTo) {
+				external = true
+			}
+		}
+		if external {
+			headers = append(headers, b)
+		}
+	}
+	if len(headers) != 1 {
+		return 0, 0, false, fmt.Sprintf("irreducible loop over blocks %v (%d entry blocks)", members, len(headers))
+	}
+	header := headers[0]
+	// Latches: in-SCC sources of back edges to the header.
+	var latches []int32
+	for _, b := range members {
+		if w.edgeExists(b, header, member, skipTo) {
+			latches = append(latches, b)
+		}
+	}
+	if len(latches) != 1 {
+		return 0, 0, false, fmt.Sprintf("loop at block %d has %d back edges (need exactly one for trip inference)", header, len(latches))
+	}
+	latch := latches[0]
+
+	trips, treason := w.tripBound(inSCC, members, header, latch, member, skipTo)
+	if trips < 0 {
+		return 0, 0, false, treason
+	}
+	// One iteration: the loop body with back edges to the header cut.
+	bodyMember := make([]bool, len(w.g.Blocks))
+	for _, b := range members {
+		bodyMember[b] = true
+	}
+	bc, bi, bok, breason := w.solve(bodyMember, header, header)
+	if !bok {
+		return 0, 0, false, breason
+	}
+	backPen := int64(0)
+	blk := &w.g.Blocks[latch]
+	if blk.Taken == header {
+		backPen = w.penalty(latch, true)
+	}
+	cyc = satMulC(trips, satAddC(bc, backPen))
+	ins = satMulC(trips, bi)
+	return cyc, ins, true, ""
+}
+
+// edgeExists reports a subgraph edge from b to target.
+func (w *wcetCtx) edgeExists(b, target int32, member []bool, skipTo int32) bool {
+	found := false
+	w.eachSucc(b, member, skipTo, func(to int32, _ int64) {
+		if to == target {
+			found = true
+		}
+	})
+	return found
+}

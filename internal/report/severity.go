@@ -1,0 +1,73 @@
+package report
+
+import "fmt"
+
+// Severity grades one static-analysis finding. The levels follow the
+// compiler convention: Info findings are advisory and never block a run,
+// Warn findings flag behavior that is legal but likely unintended (or a
+// budget the deadline guard would trip), and Error findings mark programs
+// the simulators would fault on or that ask for hardware the target class
+// does not have.
+type Severity int
+
+const (
+	// SevInfo is advisory: worth reading, never blocking.
+	SevInfo Severity = iota
+	// SevWarn flags legal-but-suspect behavior: a possibly out-of-bounds
+	// access, control running off the end of the program, a worst-case
+	// cycle bound past the run budget, or a loop with no inferable bound.
+	SevWarn
+	// SevError marks definite faults: invalid encodings or branch
+	// targets, accesses provably outside data memory, communication ops
+	// the target machine shape cannot execute.
+	SevError
+
+	sevCount // sentinel; keep last
+)
+
+// String returns the lower-case level name used in text and JSON output.
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarn:
+		return "warn"
+	case SevError:
+		return "error"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// MarshalJSON renders the severity as its level name so findings read the
+// same in text and JSON output.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the level name written by MarshalJSON.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("report: severity must be a JSON string, got %s", b)
+	}
+	v, err := ParseSeverity(string(b[1 : len(b)-1]))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// ParseSeverity maps a level name to its Severity (for CLI flags and JSON).
+func ParseSeverity(name string) (Severity, error) {
+	switch name {
+	case "info":
+		return SevInfo, nil
+	case "warn":
+		return SevWarn, nil
+	case "error":
+		return SevError, nil
+	default:
+		return 0, fmt.Errorf("report: unknown severity %q (want info, warn or error)", name)
+	}
+}

@@ -1,0 +1,61 @@
+package report
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSeverityString(t *testing.T) {
+	cases := []struct {
+		s    Severity
+		want string
+	}{
+		{SevInfo, "info"},
+		{SevWarn, "warn"},
+		{SevError, "error"},
+		{Severity(42), "severity(42)"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("Severity(%d).String() = %q, want %q", int(c.s), got, c.want)
+		}
+	}
+}
+
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	for _, s := range []Severity{SevInfo, SevWarn, SevError} {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Severity
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != s {
+			t.Errorf("round trip %v -> %s -> %v", s, b, back)
+		}
+	}
+}
+
+func TestSeverityUnmarshalRejectsGarbage(t *testing.T) {
+	var s Severity
+	if err := json.Unmarshal([]byte(`"loud"`), &s); err == nil {
+		t.Error("unknown level name accepted")
+	}
+	if err := s.UnmarshalJSON([]byte(`7`)); err == nil {
+		t.Error("non-string severity accepted")
+	}
+}
+
+func TestParseSeverity(t *testing.T) {
+	for name, want := range map[string]Severity{"info": SevInfo, "warn": SevWarn, "error": SevError} {
+		got, err := ParseSeverity(name)
+		if err != nil || got != want {
+			t.Errorf("ParseSeverity(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseSeverity("fatal"); err == nil {
+		t.Error("ParseSeverity accepted an unknown name")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/conformance"
 	"repro/internal/flexbench"
 	"repro/internal/jobs"
+	"repro/internal/progcheck"
 	"repro/internal/spec"
 )
 
@@ -19,6 +20,10 @@ type APIError struct {
 	// Index points at the offending batch item for request-level rejections
 	// (nil when the error concerns the whole request).
 	Index *int `json:"index,omitempty"`
+	// Findings carries the static checker's diagnoses when a /v1/simulate
+	// item is rejected because its guest program failed verification, so
+	// clients see exactly which op is wrong instead of a prose summary.
+	Findings []progcheck.Finding `json:"findings,omitempty"`
 }
 
 // Error implements error.

@@ -12,7 +12,9 @@ import (
 	"repro/internal/machine"
 	"repro/internal/modelzoo"
 	"repro/internal/obs"
+	"repro/internal/progcheck"
 	"repro/internal/registry"
+	"repro/internal/report"
 	"repro/internal/spec"
 	"repro/internal/taxonomy"
 	"repro/internal/workload"
@@ -158,7 +160,7 @@ func registerRoutes(s *Server) {
 			if _, err := machine.ParseBackend(r.Backend); err != nil {
 				return err
 			}
-			return nil
+			return checkSimulateProgram(r)
 		},
 		run: func(ctx context.Context, r SimulateRequest) (SimulateResponse, error) {
 			return runSimulate(ctx, r)
@@ -355,6 +357,63 @@ func runEstimate(model cost.Model, r EstimateRequest) (EstimateResponse, error) 
 		resp.BitTerms[string(term)] = est.BitsBreakdown[term]
 	}
 	return resp, nil
+}
+
+// checkError is the validation failure a statically rejected guest program
+// produces: the findings ride into the 400 body (APIError.Findings) so the
+// client sees the per-op diagnoses, not just prose.
+type checkError struct {
+	program  string
+	findings []progcheck.Finding
+	reason   string // unbounded-budget reason, "" when bounded
+}
+
+func (e *checkError) Error() string {
+	parts := make([]string, 0, len(e.findings)+1)
+	for _, f := range e.findings {
+		parts = append(parts, fmt.Sprintf("pc %d: %s", f.PC, f.Message))
+	}
+	if e.reason != "" {
+		parts = append(parts, e.reason)
+	}
+	return fmt.Sprintf("program %q failed static verification: %s", e.program, strings.Join(parts, "; "))
+}
+
+// checkSimulateProgram statically verifies every guest program the request
+// would execute against the machine shape it would run on, before the item
+// is admitted to the pool. Rejections are structured 400s carrying the
+// findings. Programs whose worst-case cycle bound exceeds the run budget
+// are rejected here too — previously such requests were admitted and burned
+// their entire budget before failing at run time. (class, kernel) pairs the
+// dispatch cannot run are left for the run stage's per-item error.
+func checkSimulateProgram(r SimulateRequest) error {
+	c, err := taxonomy.LookupString(r.Class) // validated present
+	if err != nil {
+		return err
+	}
+	progs, err := modelzoo.CheckKernel(c, r.Kernel, r.N, r.Procs)
+	if err != nil {
+		if modelzoo.Unsupported(err) {
+			return nil
+		}
+		return err
+	}
+	for _, p := range progs {
+		bad := make([]progcheck.Finding, 0, len(p.Report.Findings))
+		for _, f := range p.Report.Findings {
+			if f.Severity >= report.SevWarn {
+				bad = append(bad, f)
+			}
+		}
+		reason := ""
+		if !p.Report.Budget.Bounded {
+			reason = "execution is not provably bounded: " + p.Report.Budget.Reason
+		}
+		if len(bad) > 0 || reason != "" {
+			return &checkError{program: p.Name, findings: bad, reason: reason}
+		}
+	}
+	return nil
 }
 
 // runSimulate executes one kernel × class cell with a tracer attached and

@@ -666,7 +666,12 @@ func decodeStage[Req, Resp any](s *Server, w http.ResponseWriter, r *http.Reques
 			ep.defaults(&items[i])
 		}
 		if err := ep.validate(items[i]); err != nil {
-			writeError(w, http.StatusBadRequest, APIError{Code: CodeInvalid, Message: err.Error(), Index: &idx})
+			apiErr := APIError{Code: CodeInvalid, Message: err.Error(), Index: &idx}
+			var ce *checkError
+			if errors.As(err, &ce) {
+				apiErr.Findings = ce.findings
+			}
+			writeError(w, http.StatusBadRequest, apiErr)
 			return nil, nil, nil, http.StatusBadRequest
 		}
 		// Canonical encoding: the defaults-applied struct re-marshaled, so

@@ -39,6 +39,7 @@ func TestRequestValidation(t *testing.T) {
 		{"simulate n too large", "/v1/simulate", fmt.Sprintf(`{"requests":[{"class":"IUP","kernel":"vecadd","n":%d}]}`, maxSimulateN+1), CodeInvalid, 0},
 		{"simulate procs too large", "/v1/simulate", fmt.Sprintf(`{"requests":[{"class":"IMP-XVI","kernel":"vecadd","procs":%d}]}`, maxSimulateProcs+1), CodeInvalid, 0},
 		{"simulate negative procs", "/v1/simulate", `{"requests":[{"class":"IMP-XVI","kernel":"vecadd","procs":-2}]}`, CodeInvalid, 0},
+		{"simulate budget over max cycles", "/v1/simulate", fmt.Sprintf(`{"requests":[{"class":"IMP-XVI","kernel":"matmul","n":%d}]}`, maxSimulateN), CodeInvalid, 0},
 		{"conformance procs not power of two", "/v1/conformance", `{"requests":[{"n":64,"procs":6}]}`, CodeInvalid, 0},
 		{"conformance procs does not divide n", "/v1/conformance", `{"requests":[{"n":30,"procs":4}]}`, CodeInvalid, 0},
 		{"conformance n too large", "/v1/conformance", fmt.Sprintf(`{"requests":[{"n":%d,"procs":4}]}`, maxConformanceN*2), CodeInvalid, 0},
@@ -95,5 +96,36 @@ func TestOversizedBody(t *testing.T) {
 	var eb ErrorBody
 	if err := json.Unmarshal(body, &eb); err != nil || eb.Error.Code != CodeBadRequest {
 		t.Fatalf("want structured bad_request, got %s", body)
+	}
+}
+
+// TestSimulateStaticRejection pins the checker gate on /v1/simulate: a
+// request whose guest program's worst-case cycle bound exceeds the run
+// budget is rejected at validation with the checker findings in the 400
+// body — before this gate, such a request was admitted and burned its
+// whole cycle budget in the worker pool before failing at run time.
+func TestSimulateStaticRejection(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := fmt.Sprintf(`{"requests":[{"class":"IMP-XVI","kernel":"matmul","n":%d}]}`, maxSimulateN)
+	status, resp := post(t, ts, "/v1/simulate", body)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body: %s", status, resp)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(resp, &eb); err != nil {
+		t.Fatalf("error body is not structured JSON: %v\n%s", err, resp)
+	}
+	if eb.Error.Code != CodeInvalid {
+		t.Fatalf("code = %q, want %q", eb.Error.Code, CodeInvalid)
+	}
+	if len(eb.Error.Findings) == 0 {
+		t.Fatalf("400 body carries no findings:\n%s", resp)
+	}
+	f := eb.Error.Findings[0]
+	if f.Check != "budget" || !strings.Contains(f.Message, "exceeds the run budget") {
+		t.Fatalf("unexpected finding %+v", f)
+	}
+	if !strings.Contains(eb.Error.Message, "failed static verification") {
+		t.Fatalf("message %q lacks the verification summary", eb.Error.Message)
 	}
 }

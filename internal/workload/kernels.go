@@ -22,8 +22,12 @@ func VecAddUni(a, b []isa.Word, opts ...Option) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	m, err := uniproc.New(uniproc.Config{MemWords: 3*n + 16, Tracer: applyOpts(opts).tracer,
-		Backend: applyOpts(opts).backend}, prog)
+	ro := applyOpts(opts)
+	if ro.record(ProgramSpec{Name: "vecadd", Program: prog, MemWords: 3*n + 16, Procs: 1}) {
+		return Result{}, nil
+	}
+	m, err := uniproc.New(uniproc.Config{MemWords: 3*n + 16, Tracer: ro.tracer,
+		Backend: ro.backend}, prog)
 	if err != nil {
 		return Result{}, err
 	}
@@ -66,6 +70,9 @@ func VecAddSIMD(sub, lanes int, a, b []isa.Word, opts ...Option) (Result, error)
 	ro := applyOpts(opts)
 	cfg.Tracer = ro.tracer
 	cfg.Backend = ro.backend
+	if ro.record(simdSpec("vecadd", prog, cfg)) {
+		return Result{}, nil
+	}
 	mach, err := simd.New(cfg, prog)
 	if err != nil {
 		return Result{}, err
@@ -123,6 +130,9 @@ func VecAddMIMD(sub, cores int, a, b []isa.Word, opts ...Option) (Result, error)
 	ro := applyOpts(opts)
 	cfg.Tracer = ro.tracer
 	cfg.Backend = ro.backend
+	if ro.record(mimdSpec("vecadd", prog, cfg)) {
+		return Result{}, nil
+	}
 	images := []isa.Program{prog}
 	if (sub-1)&4 == 0 { // IP-IM direct: one private copy per core
 		images = make([]isa.Program, cores)
@@ -170,8 +180,12 @@ func DotUni(a, b []isa.Word, opts ...Option) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	m, err := uniproc.New(uniproc.Config{MemWords: 2*n + 16, Tracer: applyOpts(opts).tracer,
-		Backend: applyOpts(opts).backend}, prog)
+	ro := applyOpts(opts)
+	if ro.record(ProgramSpec{Name: "dot", Program: prog, MemWords: 2*n + 16, Procs: 1}) {
+		return Result{}, nil
+	}
+	m, err := uniproc.New(uniproc.Config{MemWords: 2*n + 16, Tracer: ro.tracer,
+		Backend: ro.backend}, prog)
 	if err != nil {
 		return Result{}, err
 	}
@@ -216,6 +230,9 @@ func DotSIMD(sub, lanes int, a, b []isa.Word, opts ...Option) (Result, error) {
 	ro := applyOpts(opts)
 	cfg.Tracer = ro.tracer
 	cfg.Backend = ro.backend
+	if ro.record(simdSpec("dot-butterfly", prog, cfg)) {
+		return Result{}, nil
+	}
 	mach, err := simd.New(cfg, prog)
 	if err != nil {
 		return Result{}, err
@@ -268,6 +285,9 @@ func DotMIMD(sub, cores int, a, b []isa.Word, opts ...Option) (Result, error) {
 	ro := applyOpts(opts)
 	cfg.Tracer = ro.tracer
 	cfg.Backend = ro.backend
+	if ro.record(mimdSpec("dot-butterfly", prog, cfg)) {
+		return Result{}, nil
+	}
 	images := []isa.Program{prog}
 	if (sub-1)&4 == 0 {
 		images = make([]isa.Program, cores)
@@ -331,6 +351,9 @@ func DotSIMDPartial(sub, lanes int, a, b []isa.Word, opts ...Option) (Result, er
 	ro := applyOpts(opts)
 	cfg.Tracer = ro.tracer
 	cfg.Backend = ro.backend
+	if ro.record(simdSpec("dot-partial", prog, cfg)) {
+		return Result{}, nil
+	}
 	mach, err := simd.New(cfg, prog)
 	if err != nil {
 		return Result{}, err
@@ -389,6 +412,9 @@ func DotMIMDPartial(sub, cores int, a, b []isa.Word, opts ...Option) (Result, er
 	ro := applyOpts(opts)
 	cfg.Tracer = ro.tracer
 	cfg.Backend = ro.backend
+	if ro.record(mimdSpec("dot-partial", prog, cfg)) {
+		return Result{}, nil
+	}
 	images := []isa.Program{prog}
 	if (sub-1)&4 == 0 {
 		images = make([]isa.Program, cores)
@@ -437,6 +463,9 @@ func VecAddDataflow(sub, pes int, a, b []isa.Word, opts ...Option) (Result, erro
 	n := len(a)
 	if pes < 1 || n%pes != 0 {
 		return Result{}, fmt.Errorf("workload: %d elements do not shard over %d PEs", n, pes)
+	}
+	if applyOpts(opts).sinkOnly() {
+		return Result{}, nil // token graph, no guest ISA program to record
 	}
 	m := n / pes
 	g := dataflow.NewGraph()
@@ -506,6 +535,9 @@ func VecAddFabric(width int, a, b []isa.Word, opts ...Option) (Result, error) {
 	want, err := RefVecAdd(a, b)
 	if err != nil {
 		return Result{}, err
+	}
+	if applyOpts(opts).sinkOnly() {
+		return Result{}, nil // LUT bitstream, no guest ISA program to record
 	}
 	f, err := fabric.New(2*width, 2*width)
 	if err != nil {

@@ -90,6 +90,9 @@ func Stencil3SIMD(sub, lanes int, a []isa.Word, opts ...Option) (Result, error) 
 	ro := applyOpts(opts)
 	cfg.Tracer = ro.tracer
 	cfg.Backend = ro.backend
+	if ro.record(simdSpec("stencil3", prog, cfg)) {
+		return Result{}, nil
+	}
 	mach, err := simd.New(cfg, prog)
 	if err != nil {
 		return Result{}, err
@@ -141,6 +144,9 @@ func Stencil3MIMD(sub, cores int, a []isa.Word, opts ...Option) (Result, error) 
 	ro := applyOpts(opts)
 	cfg.Tracer = ro.tracer
 	cfg.Backend = ro.backend
+	if ro.record(mimdSpec("stencil3", prog, cfg)) {
+		return Result{}, nil
+	}
 	mach, err := newSPMD(cfg, sub, cores, prog)
 	if err != nil {
 		return Result{}, err
@@ -193,6 +199,9 @@ func ScanMIMD(sub, cores int, a []isa.Word, opts ...Option) (Result, error) {
 	ro := applyOpts(opts)
 	cfg.Tracer = ro.tracer
 	cfg.Backend = ro.backend
+	if ro.record(mimdSpec("scan", prog, cfg)) {
+		return Result{}, nil
+	}
 	mach, err := newSPMD(cfg, sub, cores, prog)
 	if err != nil {
 		return Result{}, err
@@ -245,6 +254,9 @@ func MatMulMIMDReplicated(sub, cores int, a, b []isa.Word, rows, k, n int, opts 
 	ro := applyOpts(opts)
 	cfg.Tracer = ro.tracer
 	cfg.Backend = ro.backend
+	if ro.record(mimdSpec("matmul-replicated", prog, cfg)) {
+		return Result{}, nil
+	}
 	// Replicated-B addressing is local: only direct-DP-DM sub-types keep
 	// local addressing in this simulator, so require one.
 	if (sub-1)&2 != 0 {
@@ -312,6 +324,9 @@ func MatMulMIMDShared(sub, cores int, a, b []isa.Word, rows, k, n int, opts ...O
 	ro := applyOpts(opts)
 	cfg.Tracer = ro.tracer
 	cfg.Backend = ro.backend
+	if ro.record(mimdSpec("matmul-shared", prog, cfg)) {
+		return Result{}, nil
+	}
 	mach, err := newSPMD(cfg, sub, cores, prog)
 	if err != nil {
 		return Result{}, err
@@ -355,8 +370,12 @@ func FIRUni(x, h []isa.Word, opts ...Option) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	mach, err := uniproc.New(uniproc.Config{MemWords: len(x) + len(h) + m + 16, Tracer: applyOpts(opts).tracer,
-		Backend: applyOpts(opts).backend}, prog)
+	ro := applyOpts(opts)
+	if ro.record(ProgramSpec{Name: "fir", Program: prog, MemWords: len(x) + len(h) + m + 16, Procs: 1}) {
+		return Result{}, nil
+	}
+	mach, err := uniproc.New(uniproc.Config{MemWords: len(x) + len(h) + m + 16, Tracer: ro.tracer,
+		Backend: ro.backend}, prog)
 	if err != nil {
 		return Result{}, err
 	}
@@ -403,6 +422,9 @@ func FIRSIMD(sub, lanes int, x, h []isa.Word, opts ...Option) (Result, error) {
 	ro := applyOpts(opts)
 	cfg.Tracer = ro.tracer
 	cfg.Backend = ro.backend
+	if ro.record(simdSpec("fir", prog, cfg)) {
+		return Result{}, nil
+	}
 	mach, err := simd.New(cfg, prog)
 	if err != nil {
 		return Result{}, err

@@ -198,6 +198,7 @@ func divergentProgram() isa.Program {
 	return isa.MustAssemble(`
         lane r1
         addi r2, r1, 1      ; bound = lane+1
+        ldi  r0, 0
         ldi  r3, 0
         ldi  r4, 0
 loop:   addi r4, r4, 1

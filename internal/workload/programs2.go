@@ -22,6 +22,7 @@ func stencilProgram(m, procs int) (isa.Program, error) {
 		return nil, fmt.Errorf("workload: halo exchange needs >= 3 processors, got %d", procs)
 	}
 	src := fmt.Sprintf(`
+        ldi  r0, 0           ; base of the local chunk
         lane r1
         ldi  r5, %d          ; procs
         addi r2, r1, %d      ; left = (lane-1+procs) mod procs

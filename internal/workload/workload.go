@@ -13,7 +13,10 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/mimd"
 	"repro/internal/obs"
+	"repro/internal/simd"
+	"repro/internal/taxonomy"
 )
 
 // runOpts carries optional per-run settings kernels thread into the
@@ -21,6 +24,27 @@ import (
 type runOpts struct {
 	tracer  obs.Tracer
 	backend machine.Backend
+	specs   *[]ProgramSpec
+}
+
+// ProgramSpec describes one guest program a kernel runner was about to
+// execute, together with the machine shape it would run on — the bridge
+// between the workload layer and the static checker (internal/progcheck).
+type ProgramSpec struct {
+	// Name labels the program within its kernel run (one kernel may stage
+	// several programs, e.g. partial-sum then merge).
+	Name string
+	// Program is the guest program itself.
+	Program isa.Program
+	// MemWords is the data-memory size the program addresses: the bank
+	// size under local addressing, all banks under a DP-DM crossbar.
+	MemWords int
+	// Procs is the number of lanes/cores the program runs on.
+	Procs int
+	// HasNetwork and HasBarrier report the machine's DP-DP switch and
+	// barrier capability, which decide whether SEND/RECV/SYNC are legal.
+	HasNetwork bool
+	HasBarrier bool
 }
 
 // Option customises one kernel run.
@@ -39,6 +63,28 @@ func WithTracer(tr obs.Tracer) Option {
 func WithBackend(b machine.Backend) Option {
 	return func(o *runOpts) { o.backend = b }
 }
+
+// WithProgramSink diverts the run into a dry audit: each runner appends
+// the program(s) it would execute — with the machine shape — to sink and
+// returns before building or running any machine. Runners whose class has
+// no guest ISA program (data-flow token graphs, the LUT fabric) record
+// nothing. The returned Result is empty in this mode.
+func WithProgramSink(sink *[]ProgramSpec) Option {
+	return func(o *runOpts) { o.specs = sink }
+}
+
+// record appends spec when a program sink is installed and reports whether
+// the runner should stop (sink-only mode).
+func (o *runOpts) record(spec ProgramSpec) bool {
+	if o.specs == nil {
+		return false
+	}
+	*o.specs = append(*o.specs, spec)
+	return true
+}
+
+// sinkOnly reports sink-only mode for runners with no guest ISA program.
+func (o runOpts) sinkOnly() bool { return o.specs != nil }
 
 // applyOpts folds the option list into a runOpts value.
 func applyOpts(opts []Option) runOpts {
@@ -111,3 +157,25 @@ func checkEqual(got, want []isa.Word) error {
 
 // isPow2 reports whether v is a positive power of two.
 func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// simdSpec derives the checker-facing program spec from an IAP
+// configuration: a DP-DM crossbar means global addressing over all banks,
+// and the lockstep array always has an (implicit) barrier.
+func simdSpec(name string, prog isa.Program, cfg simd.Config) ProgramSpec {
+	mem := cfg.BankWords
+	if cfg.DPDM == taxonomy.LinkCrossbar {
+		mem = cfg.Lanes * cfg.BankWords
+	}
+	return ProgramSpec{Name: name, Program: prog, MemWords: mem, Procs: cfg.Lanes,
+		HasNetwork: cfg.DPDP == taxonomy.LinkCrossbar, HasBarrier: true}
+}
+
+// mimdSpec is simdSpec for IMP configurations.
+func mimdSpec(name string, prog isa.Program, cfg mimd.Config) ProgramSpec {
+	mem := cfg.BankWords
+	if cfg.DPDM == taxonomy.LinkCrossbar {
+		mem = cfg.Cores * cfg.BankWords
+	}
+	return ProgramSpec{Name: name, Program: prog, MemWords: mem, Procs: cfg.Cores,
+		HasNetwork: cfg.DPDP == taxonomy.LinkCrossbar, HasBarrier: true}
+}

@@ -167,6 +167,70 @@ func main() {
 	writeSeed(fbDir, "sparse_coverage", bytesLit(sparse))
 	writeSeed(fbDir, "empty", bytesLit(nil))
 
+	// internal/progcheck: raw-field programs (FuzzProgcheck's own packing:
+	// byte 0 opcode, 1 rd, 2 ra, 3 rb, 4..7 immediate — a full byte per
+	// register so invalid encodings are reachable) plus the target shape.
+	packCheck := func(prog isa.Program) string {
+		buf := make([]byte, 0, len(prog)*8)
+		for _, ins := range prog {
+			var w [8]byte
+			w[0] = uint8(ins.Op)
+			w[1], w[2], w[3] = ins.Rd, ins.Ra, ins.Rb
+			binary.LittleEndian.PutUint32(w[4:], uint32(ins.Imm))
+			buf = append(buf, w[:]...)
+		}
+		return bytesLit(buf)
+	}
+	pcDir := filepath.Join("internal", "progcheck", "testdata", "fuzz", "FuzzProgcheck")
+	target := func(mem int, procs, flags uint8) []string {
+		return []string{fmt.Sprintf("uint16(%d)", mem), fmt.Sprintf("uint8(%d)", procs), fmt.Sprintf("uint8(%d)", flags)}
+	}
+	seedCheck := func(name string, prog isa.Program, tgt []string) {
+		writeSeed(pcDir, name, append([]string{packCheck(prog)}, tgt...)...)
+	}
+	seedCheck("counted_loop", isa.Program{
+		{Op: isa.OpLdi, Rd: 1, Imm: 0},
+		{Op: isa.OpLdi, Rd: 2, Imm: 32},
+		{Op: isa.OpBeq, Ra: 1, Rb: 2, Imm: 3},
+		{Op: isa.OpSt, Rb: 1, Ra: 1, Imm: 0},
+		{Op: isa.OpAddi, Rd: 1, Ra: 1, Imm: 1},
+		{Op: isa.OpJmp, Imm: -4},
+		{Op: isa.OpHalt},
+	}, target(64, 1, 0))
+	seedCheck("comm_no_network", isa.Program{
+		{Op: isa.OpLane, Rd: 1},
+		{Op: isa.OpSend, Ra: 1, Rb: 1},
+		{Op: isa.OpRecv, Rd: 2, Rb: 1},
+		{Op: isa.OpSync},
+		{Op: isa.OpHalt},
+	}, target(16, 4, 0))
+	seedCheck("comm_with_network", isa.Program{
+		{Op: isa.OpLane, Rd: 1},
+		{Op: isa.OpSend, Ra: 1, Rb: 1},
+		{Op: isa.OpRecv, Rd: 2, Rb: 1},
+		{Op: isa.OpSync},
+		{Op: isa.OpHalt},
+	}, target(16, 4, 3))
+	seedCheck("oob_store", isa.Program{
+		{Op: isa.OpLdi, Rd: 1, Imm: 99},
+		{Op: isa.OpSt, Rb: 1, Ra: 1, Imm: 0},
+		{Op: isa.OpHalt},
+	}, target(8, 1, 0))
+	seedCheck("self_loop", isa.Program{{Op: isa.OpJmp, Imm: -1}}, target(8, 1, 0))
+	seedCheck("branch_out_of_range", isa.Program{
+		{Op: isa.OpBeq, Ra: 0, Rb: 0, Imm: 100},
+		{Op: isa.OpHalt},
+	}, target(8, 1, 0))
+	seedCheck("bad_register", isa.Program{
+		{Op: isa.OpAdd, Rd: 200, Ra: 1, Rb: 1},
+		{Op: isa.OpHalt},
+	}, target(8, 1, 0))
+	seedCheck("bad_opcode", isa.Program{
+		{Op: isa.Op(0xEE)},
+		{Op: isa.OpHalt},
+	}, target(8, 1, 0))
+	seedCheck("empty", nil, target(0, 0, 0))
+
 	// internal/interconnect: port-count selectors with routes that collide
 	// on internal links (same destination, shuffled sources) and loopback.
 	omgDir := filepath.Join("internal", "interconnect", "testdata", "fuzz", "FuzzOmegaRouting")

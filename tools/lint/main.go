@@ -47,12 +47,6 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 0
 	}
 	analyzers := analysis.All()
-	if *listDoc {
-		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
-		}
-		return 0
-	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -68,6 +62,15 @@ func run(args []string, stdout, stderr *os.File) int {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
+	}
+	if *listDoc {
+		// The suite plus the live //lint:allow suppression count per
+		// analyzer, so waived invariants are auditable at a glance.
+		counts := analysis.Suppressions(world.Module())
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-16s %d suppression(s)  %s\n", a.Name, counts[a.Name], a.Doc)
+		}
+		return 0
 	}
 	diags, err := analysis.Run(world.Module(), analyzers)
 	if err != nil {
