@@ -379,7 +379,7 @@ func analyze(dec isa.DecodedProgram, g *isa.CFG, reach []bool, t Target) *absRes
 		}
 	}
 	// The cap is a backstop for a convergence bug, not a normal exit: give
-	// every visited block the sound top state and settle in one pass.
+	// every visited block the sound top state, then settle visited itself.
 	for b := 0; b < nb; b++ {
 		if st.visited[b] {
 			for r := range st.in[b] {
@@ -387,7 +387,35 @@ func analyze(dec isa.DecodedProgram, g *isa.CFG, reach []bool, t Target) *absRes
 			}
 		}
 	}
+	settleTop(st, g, reach)
 	return st
+}
+
+// settleTop closes visited under successor edges after the backstop widened
+// every visited block to top. Under top states no edge can be refined to
+// infeasible, so blocks that looked unreachable under the pre-backstop
+// states must rejoin the analysis — bounds checks and the WCET path only
+// cover visited blocks, and leaving them out would under-approximate.
+func settleTop(st *absResult, g *isa.CFG, reach []bool) {
+	for changed := true; changed; {
+		changed = false
+		for b := range g.Blocks {
+			if !reach[b] || !st.visited[b] {
+				continue
+			}
+			blk := &g.Blocks[b]
+			var succs [2]int32
+			for _, to := range blk.Succs(succs[:0]) {
+				if !st.visited[to] {
+					st.visited[to] = true
+					for r := range st.in[to] {
+						st.in[to][r] = topItv
+					}
+					changed = true
+				}
+			}
+		}
+	}
 }
 
 // widenState accelerates a growing join: endpoints that moved are pushed

@@ -1,6 +1,10 @@
 package progcheck
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
 
 func TestIntervalOverflowWidensToTop(t *testing.T) {
 	big := itv{posInf - 2, posInf - 1}
@@ -85,6 +89,39 @@ func TestWidenState(t *testing.T) {
 	}
 	if hard[0] != (itv{0, 4}) {
 		t.Errorf("hard widen unchanged r0 = %v", hard[0])
+	}
+}
+
+func TestSettleTopClosesVisited(t *testing.T) {
+	// After the widening backstop, blocks whose incoming edges looked
+	// infeasible under the pre-backstop states must rejoin the analysis:
+	// with every visited block at top, no edge can be refined away, so
+	// visited must close over successor edges (here the chain 0 -> 1 -> 2).
+	g := &isa.CFG{Blocks: []isa.BasicBlock{
+		{Fall: 1, Taken: -1},
+		{Fall: 2, Taken: -1},
+		{Fall: -1, Taken: -1},
+		{Fall: -1, Taken: -1}, // disconnected: must stay unvisited
+	}}
+	st := &absResult{in: make([]astate, 4), visited: make([]bool, 4)}
+	st.visited[0] = true
+	for r := range st.in[0] {
+		st.in[0][r] = topItv
+	}
+	reach := []bool{true, true, true, true}
+	settleTop(st, g, reach)
+	for b := 0; b < 3; b++ {
+		if !st.visited[b] {
+			t.Fatalf("block %d not visited after settle", b)
+		}
+		for r := range st.in[b] {
+			if st.in[b][r] != topItv {
+				t.Errorf("block %d r%d = %v, want top", b, r, st.in[b][r])
+			}
+		}
+	}
+	if st.visited[3] {
+		t.Error("disconnected block 3 marked visited")
 	}
 }
 

@@ -215,7 +215,14 @@ func (w *wcetCtx) inferExit(e int32, inSCC []bool, writeCount *[isa.NumRegs]int,
 
 	switch rel {
 	case relEQ:
-		// Stays only while ctr equals the bound; one step breaks it.
+		// Stays only while ctr equals the bound. A nonzero stride breaks
+		// the equality after one step, but a doubling counter stuck at zero
+		// never moves — and the stay condition permits ctr = 0 whenever the
+		// bound can be zero, so that loop would spin forever. Only a
+		// provably nonzero bound rules the stuck case out.
+		if geometric && bItv.lo <= 0 && bItv.hi >= 0 {
+			return -1, fmt.Sprintf("equality stay-condition on doubling counter r%d with a possibly-zero bound", ctr)
+		}
 		return 2, ""
 	case relNE:
 		if geometric {

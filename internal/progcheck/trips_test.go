@@ -150,6 +150,26 @@ loop:   add  r1, r1, r1
         bge  r1, r2, loop
         halt
 `, "doubling counter")
+	// Equality stay-condition: a doubling counter stuck at zero satisfies
+	// `ctr == 0` forever (here both registers start at the machine zero
+	// state, so the loop never exits).
+	checkUnbounded(t, `
+loop:   add  r1, r1, r1
+        beq  r1, r2, loop
+        halt
+`, "possibly-zero bound")
+	// With a provably nonzero bound the stuck case is impossible: one
+	// doubling step breaks the equality, so two trips still bound it.
+	b = checkBounded(t, `
+        ldi  r1, 5
+        ldi  r2, 5
+loop:   add  r1, r1, r1
+        beq  r1, r2, loop
+        halt
+`)
+	if b.MaxCycles > 32 {
+		t.Errorf("nonzero-bound equality stay = %d cycles, want <= 32", b.MaxCycles)
+	}
 }
 
 func TestTripStrideFightsBound(t *testing.T) {
